@@ -1,0 +1,77 @@
+//! Criterion: fragment-cache operations (install, lookup, divert) and a
+//! whole Dynamo engine run — the concrete costs behind Figure 5's
+//! transitions and build accounting.
+//!
+//! ```text
+//! cargo bench -p hotpath-bench --bench fragment_cache
+//! ```
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use hotpath_dynamo::{run_dynamo, DynamoConfig, FragmentCache, Scheme};
+use hotpath_ir::BlockId;
+use hotpath_workloads::{build, Scale, WorkloadName};
+
+fn bench_cache_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fragment_cache");
+
+    group.bench_function("install_1000", |b| {
+        b.iter_batched(
+            FragmentCache::new,
+            |mut cache| {
+                for i in 0..1000u32 {
+                    let head = i % 97;
+                    let blocks = [head, head + 100, head + 200, i + 300];
+                    let _ = cache.install(&blocks, 16);
+                }
+                cache
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut cache = FragmentCache::new();
+    for i in 0..1000u32 {
+        let head = i % 97;
+        let _ = cache.install(&[head, head + 100, head + 200, i + 300], 16);
+    }
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("entry_lookup_1000", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for i in 0..1000u32 {
+                if cache.entry_for(BlockId::new(i % 200)).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.bench_function("divert_1000", |b| {
+        let id = cache.entry_for(BlockId::new(0)).expect("installed");
+        b.iter(|| {
+            let mut found = 0usize;
+            for i in 0..1000u32 {
+                if cache.divert(id, 3, 300 + i).is_some() {
+                    found += 1;
+                }
+            }
+            found
+        })
+    });
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let w = build(WorkloadName::Deltablue, Scale::Smoke);
+    let mut group = c.benchmark_group("dynamo_engine");
+    // Whole-engine runs are ~0.1 s each; a small sample keeps `cargo
+    // bench --workspace` minutes-scale.
+    group.sample_size(10);
+    group.bench_function("deltablue_smoke_net50", |b| {
+        b.iter(|| run_dynamo(&w.program, &DynamoConfig::new(Scheme::Net, 50)).expect("runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_ops, bench_engine);
+criterion_main!(benches);

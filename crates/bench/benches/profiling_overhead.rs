@@ -1,0 +1,102 @@
+//! Criterion: the *concrete* per-operation costs the paper's overhead
+//! argument is about — what one path execution costs each profiling
+//! scheme, and what one block event costs each profiler.
+//!
+//! ```text
+//! cargo bench -p hotpath-bench --bench profiling_overhead
+//! ```
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use hotpath_core::{HotPathPredictor, NetPredictor, PathProfilePredictor};
+use hotpath_profiles::{
+    BallLarusProfiler, KBoundedProfiler, PathExtractor, StreamingSink,
+};
+use hotpath_vm::{TraceRecorder, Vm};
+use hotpath_workloads::{build, Scale, WorkloadName};
+
+fn bench_predictors(c: &mut Criterion) {
+    // Record m88ksim once; replay its path stream through each predictor.
+    let w = build(WorkloadName::M88ksim, Scale::Smoke);
+    let mut ex = PathExtractor::new(StreamingSink::new());
+    Vm::new(&w.program).run(&mut ex).expect("runs");
+    let (sink, table) = ex.into_parts();
+    let stream = sink.into_stream();
+    let execs: Vec<_> = (0..stream.len())
+        .map(|i| stream.execution(i, &table))
+        .collect();
+
+    let mut group = c.benchmark_group("predictor_observe");
+    group.sample_size(30);
+    group.throughput(Throughput::Elements(execs.len() as u64));
+    group.bench_function("net", |b| {
+        b.iter_batched(
+            || NetPredictor::new(50),
+            |mut p| {
+                for e in &execs {
+                    let _ = p.observe(e);
+                }
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("path_profile", |b| {
+        b.iter_batched(
+            || PathProfilePredictor::new(50),
+            |mut p| {
+                for e in &execs {
+                    let _ = p.observe(e);
+                }
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_profilers(c: &mut Criterion) {
+    // Record the raw block trace once; replay it through each profiler.
+    let w = build(WorkloadName::Compress, Scale::Smoke);
+    let mut rec = TraceRecorder::new();
+    Vm::new(&w.program).run(&mut rec).expect("runs");
+    let trace = rec.into_trace();
+
+    let mut group = c.benchmark_group("profiler_per_block");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("path_extractor_bit_tracing", |b| {
+        b.iter_batched(
+            || PathExtractor::new(StreamingSink::new()),
+            |mut p| {
+                trace.replay(&mut p);
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("ball_larus", |b| {
+        b.iter_batched(
+            || BallLarusProfiler::new(&w.program).expect("reducible"),
+            |mut p| {
+                trace.replay(&mut p);
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("k_bounded_k4", |b| {
+        b.iter_batched(
+            || KBoundedProfiler::new(4),
+            |mut p| {
+                trace.replay(&mut p);
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictors, bench_profilers);
+criterion_main!(benches);

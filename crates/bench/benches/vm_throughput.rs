@@ -1,0 +1,54 @@
+//! Criterion: raw interpreter throughput (blocks and instructions per
+//! second), with and without observers — the substrate cost every
+//! experiment divides out.
+//!
+//! ```text
+//! cargo bench -p hotpath-bench --bench vm_throughput
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hotpath_profiles::{PathExtractor, StreamingSink};
+use hotpath_vm::{CountingObserver, NullObserver, Vm};
+use hotpath_workloads::synthetic::{build, SyntheticSpec};
+
+fn bench_vm(c: &mut Criterion) {
+    let program = build(&SyntheticSpec {
+        trips: 20_000,
+        branches: 8,
+        bias_percent: 90,
+        seed: 11,
+    });
+    // Measure one run's block count for throughput accounting.
+    let blocks = {
+        let mut counter = CountingObserver::default();
+        Vm::new(&program).run(&mut counter).expect("runs");
+        counter.blocks
+    };
+
+    let mut group = c.benchmark_group("vm_run");
+    group.sample_size(30);
+    group.throughput(Throughput::Elements(blocks));
+    group.bench_function("null_observer", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(&program);
+            vm.run(&mut NullObserver).expect("runs")
+        })
+    });
+    group.bench_function("counting_observer", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(&program);
+            vm.run(&mut CountingObserver::default()).expect("runs")
+        })
+    });
+    group.bench_function("path_extractor", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(&program);
+            let mut ex = PathExtractor::new(StreamingSink::new());
+            vm.run(&mut ex).expect("runs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vm);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Ablation: cost-model robustness for the Figure 5 conclusion.
+//!
+//! Sweeps the two dominant constants — interpretation slowdown and cached
+//! trace speed — and reports the NET-vs-PathProfile speedup gap on a
+//! trace-friendly benchmark. The claim under test: NET ≥ PathProfile
+//! across the plausible constant range, not just at the defaults.
+//!
+//! ```text
+//! cargo run -p hotpath-bench --release --bin ablation_cost -- --scale small
+//! ```
+
+use hotpath_bench::{write_csv, Options};
+use hotpath_dynamo::{run_dynamo, run_native, CostModel, DynamoConfig, Scheme};
+use hotpath_workloads::{build, WorkloadName};
+
+fn main() {
+    let opts = Options::from_env();
+    let w = build(WorkloadName::Deltablue, opts.scale);
+    let native = run_native(&w.program).expect("native");
+
+    println!(
+        "{:>8} {:>8} {:>10} {:>10} {:>8}",
+        "interp", "trace", "NET50", "PP50", "gap"
+    );
+    let mut rows = Vec::new();
+    for interp in [8.0f64, 12.0, 20.0] {
+        for trace in [0.7f64, 0.8, 0.9] {
+            let mut speedups = [0.0f64; 2];
+            for (i, scheme) in [Scheme::Net, Scheme::PathProfile].into_iter().enumerate() {
+                let mut cfg = DynamoConfig::new(scheme, 50);
+                cfg.cost = CostModel {
+                    interp_per_inst: interp,
+                    trace_per_inst: trace,
+                    ..CostModel::default()
+                };
+                let out = run_dynamo(&w.program, &cfg).expect("dynamo");
+                speedups[i] = out.speedup_percent(native);
+            }
+            let gap = speedups[0] - speedups[1];
+            println!(
+                "{:>8.1} {:>8.2} {:>+9.1}% {:>+9.1}% {:>+7.1}%",
+                interp, trace, speedups[0], speedups[1], gap
+            );
+            rows.push(format!(
+                "{interp},{trace},{:.3},{:.3},{gap:.3}",
+                speedups[0], speedups[1]
+            ));
+        }
+    }
+    write_csv(
+        &opts.out_dir,
+        "ablation_cost.csv",
+        "interp_per_inst,trace_per_inst,net50_speedup,pp50_speedup,gap",
+        &rows,
+    );
+}

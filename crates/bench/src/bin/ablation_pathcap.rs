@@ -1,0 +1,59 @@
+//! Ablation: the path length cap.
+//!
+//! Dynamo bounds trace length; the extractor mirrors that with a cap.
+//! This bench shows path statistics and NET hit rates as the cap shrinks
+//! from the default to aggressively short.
+//!
+//! ```text
+//! cargo run -p hotpath-bench --release --bin ablation_pathcap -- --scale small
+//! ```
+
+use hotpath_bench::{write_csv, Options, HOT_FRACTION};
+use hotpath_core::{evaluate, NetPredictor};
+use hotpath_profiles::{BackwardRule, PathExtractor, StreamingSink};
+use hotpath_vm::Vm;
+use hotpath_workloads::{build, WorkloadName};
+
+fn main() {
+    let opts = Options::from_env();
+    println!(
+        "{:<10} {:>6} {:>9} {:>9} {:>10}",
+        "benchmark", "cap", "paths", "flow", "hit@50"
+    );
+    let mut rows = Vec::new();
+    for name in [WorkloadName::Li, WorkloadName::Ijpeg, WorkloadName::Compress] {
+        let w = build(name, opts.scale);
+        for cap in [8u32, 32, 128, 1024] {
+            let mut ex = PathExtractor::with_options(
+                StreamingSink::new(),
+                cap,
+                BackwardRule::default(),
+            );
+            Vm::new(&w.program).run(&mut ex).expect("runs");
+            let (sink, table) = ex.into_parts();
+            let stream = sink.into_stream();
+            let hot = stream.to_profile().hot_set(HOT_FRACTION);
+            let o = evaluate(&stream, &table, &hot, &mut NetPredictor::new(50));
+            println!(
+                "{:<10} {:>6} {:>9} {:>9} {:>9.2}%",
+                name.to_string(),
+                cap,
+                table.len(),
+                stream.len(),
+                o.hit_rate()
+            );
+            rows.push(format!(
+                "{name},{cap},{},{},{:.3}",
+                table.len(),
+                stream.len(),
+                o.hit_rate()
+            ));
+        }
+    }
+    write_csv(
+        &opts.out_dir,
+        "ablation_pathcap.csv",
+        "benchmark,cap,paths,flow,net_hit_at_50",
+        &rows,
+    );
+}

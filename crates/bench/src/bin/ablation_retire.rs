@@ -1,0 +1,70 @@
+//! Ablation: the path-retirement model (the paper's §6.1/§8 future work).
+//!
+//! Evaluates NET with windowed hot sets and several idle-retirement
+//! thresholds on the phased benchmarks: how much phase-induced noise does
+//! retirement remove, and how many still-hot predictions does it evict?
+//!
+//! ```text
+//! cargo run -p hotpath-bench --release --bin ablation_retire -- --scale small
+//! ```
+
+use hotpath_bench::{record_workload, write_csv, Options};
+use hotpath_core::{evaluate_phased, NetPredictor, RetirePolicy};
+use hotpath_workloads::{build, WorkloadName};
+
+fn main() {
+    let opts = Options::from_env();
+    println!(
+        "{:<10} {:>12} {:>9} {:>10} {:>9} {:>13} {:>10}",
+        "benchmark", "idle_window", "covered%", "precision%", "retired", "noise_avoided", "hits_lost"
+    );
+    let mut rows = Vec::new();
+    for name in [
+        WorkloadName::M88ksim, // three guest phases
+        WorkloadName::Go,      // board drifts as stones are played
+        WorkloadName::Deltablue,
+    ] {
+        let w = build(name, opts.scale);
+        let run = record_workload(&w);
+        let window = (run.flow() / 50).max(1_000);
+        for idle in [window / 4, window, window * 4, u64::MAX] {
+            let out = evaluate_phased(
+                &run.stream,
+                &run.table,
+                &mut NetPredictor::new(50),
+                window,
+                0.001,
+                RetirePolicy { idle_window: idle },
+            );
+            let label = if idle == u64::MAX {
+                "never".to_string()
+            } else {
+                idle.to_string()
+            };
+            println!(
+                "{:<10} {:>12} {:>8.2}% {:>9.2}% {:>9} {:>13} {:>10}",
+                name.to_string(),
+                label,
+                out.covered_flow_pct(),
+                out.coverage_precision(),
+                out.retirements,
+                out.noise_avoided,
+                out.hits_lost
+            );
+            rows.push(format!(
+                "{name},{label},{:.3},{:.3},{},{},{}",
+                out.covered_flow_pct(),
+                out.coverage_precision(),
+                out.retirements,
+                out.noise_avoided,
+                out.hits_lost
+            ));
+        }
+    }
+    write_csv(
+        &opts.out_dir,
+        "ablation_retire.csv",
+        "benchmark,idle_window,covered_pct,precision_pct,retirements,noise_avoided,hits_lost",
+        &rows,
+    );
+}

@@ -1,0 +1,61 @@
+//! Ablation: the backward-transfer rule (§3 interpretation).
+//!
+//! Compares path statistics and NET prediction quality when only branch
+//! instructions end paths (`BranchesOnly`) vs. when calls and returns do
+//! too (`AllTransfers`, the default and the literal reading of the paper).
+//!
+//! ```text
+//! cargo run -p hotpath-bench --release --bin ablation_rule -- --scale small
+//! ```
+
+use hotpath_bench::{write_csv, Options, HOT_FRACTION};
+use hotpath_core::{evaluate, NetPredictor};
+use hotpath_profiles::{BackwardRule, PathExtractor, StreamingSink, DEFAULT_PATH_CAP};
+use hotpath_vm::Vm;
+use hotpath_workloads::{build, ALL_WORKLOADS};
+
+fn main() {
+    let opts = Options::from_env();
+    println!(
+        "{:<10} {:<13} {:>8} {:>7} {:>10} {:>9}",
+        "benchmark", "rule", "paths", "heads", "hit@50", "noise@50"
+    );
+    let mut rows = Vec::new();
+    for &name in &ALL_WORKLOADS {
+        let w = build(name, opts.scale);
+        for (label, rule) in [
+            ("all-transfers", BackwardRule::AllTransfers),
+            ("branches-only", BackwardRule::BranchesOnly),
+        ] {
+            let mut ex =
+                PathExtractor::with_options(StreamingSink::new(), DEFAULT_PATH_CAP, rule);
+            Vm::new(&w.program).run(&mut ex).expect("runs");
+            let (sink, table) = ex.into_parts();
+            let stream = sink.into_stream();
+            let hot = stream.to_profile().hot_set(HOT_FRACTION);
+            let o = evaluate(&stream, &table, &hot, &mut NetPredictor::new(50));
+            println!(
+                "{:<10} {:<13} {:>8} {:>7} {:>9.2}% {:>8.2}%",
+                name.to_string(),
+                label,
+                table.len(),
+                table.unique_heads(),
+                o.hit_rate(),
+                o.noise_rate()
+            );
+            rows.push(format!(
+                "{name},{label},{},{},{:.3},{:.3}",
+                table.len(),
+                table.unique_heads(),
+                o.hit_rate(),
+                o.noise_rate()
+            ));
+        }
+    }
+    write_csv(
+        &opts.out_dir,
+        "ablation_rule.csv",
+        "benchmark,rule,paths,heads,net_hit_at_50,net_noise_at_50",
+        &rows,
+    );
+}

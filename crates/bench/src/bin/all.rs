@@ -1,0 +1,155 @@
+//! Regenerates every table and figure in one invocation, recording each
+//! workload once and reusing the streams (Tables 1–2, Figures 2–4), then
+//! running the Dynamo matrix (Figure 5).
+//!
+//! ```text
+//! cargo run -p hotpath-bench --release --bin all -- --scale full
+//! ```
+
+use hotpath_bench::{
+    average_series, record_suite, sweep_suite, write_csv, Options,
+};
+use hotpath_core::SchemeKind;
+use hotpath_dynamo::{run_dynamo, run_native, DynamoConfig, Scheme};
+use hotpath_workloads::{build, ALL_WORKLOADS};
+
+fn main() {
+    let opts = Options::from_env();
+    let runs = record_suite(opts.scale);
+
+    // ---- Table 1 -------------------------------------------------------
+    println!("\n== Table 1: benchmark set ==");
+    let mut rows = Vec::new();
+    for run in &runs {
+        println!(
+            "{:<10} paths={:<7} flow={:<11} hot_paths={:<5} hot_flow={:.1}%",
+            run.name.to_string(),
+            run.table.len(),
+            run.flow(),
+            run.hot.len(),
+            run.hot.flow_percentage()
+        );
+        rows.push(format!(
+            "{},{},{},{},{:.2}",
+            run.name,
+            run.table.len(),
+            run.flow(),
+            run.hot.len(),
+            run.hot.flow_percentage()
+        ));
+    }
+    write_csv(
+        &opts.out_dir,
+        "table1.csv",
+        "benchmark,paths,flow,hot_paths,hot_flow_pct",
+        &rows,
+    );
+
+    // ---- Table 2 + Figure 4 ---------------------------------------------
+    println!("\n== Table 2 / Figure 4: counter space ==");
+    let mut t2 = Vec::new();
+    let mut f4 = Vec::new();
+    let mut ratios = Vec::new();
+    for run in &runs {
+        let heads = run.table.unique_heads();
+        let paths = run.table.len().max(1);
+        let ratio = heads as f64 / paths as f64;
+        ratios.push(ratio);
+        println!(
+            "{:<10} heads={:<6} paths={:<7} net/pp={:.3}",
+            run.name.to_string(),
+            heads,
+            paths,
+            ratio
+        );
+        t2.push(format!("{},{},{}", run.name, paths, heads));
+        f4.push(format!("{},{heads},{paths},{ratio:.4}", run.name));
+    }
+    let avg_ratio = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    println!("Average net/pp counter space: {avg_ratio:.3}");
+    f4.push(format!("average,,,{avg_ratio:.4}"));
+    write_csv(
+        &opts.out_dir,
+        "table2.csv",
+        "benchmark,paths,unique_path_heads",
+        &t2,
+    );
+    write_csv(
+        &opts.out_dir,
+        "fig4_counter_space.csv",
+        "benchmark,unique_heads,paths,net_over_pathprofile",
+        &f4,
+    );
+
+    // ---- Figures 2 and 3 -------------------------------------------------
+    println!("\n== Figures 2 & 3: tau sweeps ==");
+    let swept = sweep_suite(&runs);
+    let mut f2 = Vec::new();
+    for sr in &swept {
+        for pt in &sr.points {
+            f2.push(format!(
+                "{},{},{},{:.4},{:.4},{:.4},{:.4},{}",
+                sr.name,
+                sr.scheme,
+                pt.delay,
+                pt.outcome.profiled_flow_pct(),
+                pt.outcome.hit_rate(),
+                pt.outcome.noise_rate(),
+                pt.outcome.moc_pct(),
+                pt.outcome.counter_space,
+            ));
+        }
+    }
+    write_csv(
+        &opts.out_dir,
+        "fig2_hit_rates.csv",
+        "benchmark,scheme,delay,profiled_flow_pct,hit_rate_pct,noise_rate_pct,moc_pct,counter_space",
+        &f2,
+    );
+    write_csv(
+        &opts.out_dir,
+        "fig3_noise_rates.csv",
+        "benchmark,scheme,delay,profiled_flow_pct,noise_rate_pct",
+        &f2,
+    );
+    for scheme in [SchemeKind::PathProfile, SchemeKind::Net] {
+        println!("-- {scheme} average: delay profiled% hit% noise% --");
+        for (delay, prof, hit, noise) in average_series(&swept, scheme) {
+            println!("  {delay:>8} {prof:>7.2}% {hit:>7.2}% {noise:>7.2}%");
+        }
+    }
+
+    // ---- Figure 5 ---------------------------------------------------------
+    println!("\n== Figure 5: Dynamo speedups ==");
+    let mut f5 = Vec::new();
+    for name in ALL_WORKLOADS.iter().filter(|w| w.in_dynamo_figure()) {
+        let w = build(*name, opts.scale);
+        let native = run_native(&w.program).expect("native");
+        for scheme in [Scheme::Net, Scheme::PathProfile] {
+            for delay in [10u64, 50, 100] {
+                let out =
+                    run_dynamo(&w.program, &DynamoConfig::new(scheme, delay)).expect("dynamo");
+                println!(
+                    "{:<10} {:<12} tau={:<4} speedup={:+.1}%{}",
+                    name.to_string(),
+                    scheme.to_string(),
+                    delay,
+                    out.speedup_percent(native),
+                    if out.bailed_out { " (bail-out)" } else { "" }
+                );
+                f5.push(format!(
+                    "{name},{scheme},{delay},{:.3},{}",
+                    out.speedup_percent(native),
+                    out.bailed_out
+                ));
+            }
+        }
+    }
+    write_csv(
+        &opts.out_dir,
+        "fig5_dynamo_speedup.csv",
+        "benchmark,scheme,delay,speedup_pct,bailed_out",
+        &f5,
+    );
+    println!("\nAll tables and figures regenerated into {}", opts.out_dir.display());
+}

@@ -1,0 +1,37 @@
+//! Diagnostic: detailed breakdown for one workload (args: NAME SCALE).
+use hotpath_dynamo::{run_dynamo, run_native, DynamoConfig, Scheme};
+use hotpath_workloads::{build, Scale};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "li".into()).parse().unwrap();
+    let scale = match args.next().as_deref() {
+        Some("full") => Scale::Full,
+        Some("smoke") => Scale::Smoke,
+        _ => Scale::Small,
+    };
+    let w = build(name, scale);
+    let native = run_native(&w.program).unwrap();
+    for (scheme, delay) in [
+        (Scheme::Net, 10u64),
+        (Scheme::Net, 50),
+        (Scheme::Net, 100),
+        (Scheme::PathProfile, 50),
+    ] {
+        let out = run_dynamo(&w.program, &DynamoConfig::new(scheme, delay)).unwrap();
+        let c = out.cycles;
+        println!(
+            "{name} {scheme} tau={delay}: speedup={:+.1}% cached={:.3} frags={} flushes={} bail={} paths={}",
+            out.speedup_percent(native),
+            out.cached_block_fraction,
+            out.fragments_installed,
+            out.flushes,
+            out.bailed_out,
+            out.paths_completed
+        );
+        println!(
+            "   interp={:.0} trace={:.0} native={:.0} prof={:.0} build={:.0} trans={:.0}",
+            c.interp, c.trace, c.native, c.profiling, c.build, c.transitions
+        );
+    }
+}

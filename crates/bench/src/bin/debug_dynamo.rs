@@ -1,0 +1,24 @@
+//! Diagnostic: cycle breakdown of one Dynamo run per workload (not a
+//! paper figure; kept for cost-model calibration).
+use hotpath_bench::Options;
+use hotpath_dynamo::{run_dynamo, run_native, DynamoConfig, Scheme};
+use hotpath_workloads::{build, ALL_WORKLOADS};
+
+fn main() {
+    let opts = Options::from_env();
+    for name in ALL_WORKLOADS.iter().filter(|w| w.in_dynamo_figure()) {
+        let w = build(*name, opts.scale);
+        let native = run_native(&w.program).unwrap();
+        let out = run_dynamo(&w.program, &DynamoConfig::new(Scheme::Net, 50)).unwrap();
+        let c = out.cycles;
+        println!(
+            "{:<10} native={:>12.0} total={:>12.0} speedup={:+.1}% cached_frac={:.3} frags={} flushes={} bail={}",
+            name.to_string(), native, c.total(), out.speedup_percent(native),
+            out.cached_block_fraction, out.fragments_installed, out.flushes, out.bailed_out
+        );
+        println!(
+            "           interp={:>12.0} trace={:>12.0} prof={:>10.0} build={:>10.0} trans={:>10.0}",
+            c.interp, c.trace, c.profiling, c.build, c.transitions
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Regenerates **Figure 2**: hit rate vs. profiled flow for path-profile
+//! based prediction (a–b) and NET prediction (c–d), sweeping prediction
+//! delays from 10 to 1,000,000.
+//!
+//! The CSV contains every benchmark's full series; stdout prints the
+//! zoomed right-hand panels (profiled flow ≤ 10%) plus the Average series,
+//! which is where the paper's "virtually no difference" claim lives.
+//!
+//! ```text
+//! cargo run -p hotpath-bench --release --bin fig2 -- --scale full
+//! ```
+
+use hotpath_bench::{ascii_chart, average_series, record_suite, sweep_suite, write_csv, Options};
+use hotpath_core::SchemeKind;
+
+fn main() {
+    let opts = Options::from_env();
+    let runs = record_suite(opts.scale);
+    let swept = sweep_suite(&runs);
+
+    let mut rows = Vec::new();
+    for sr in &swept {
+        for pt in &sr.points {
+            rows.push(format!(
+                "{},{},{},{:.4},{:.4},{:.4},{:.4},{}",
+                sr.name,
+                sr.scheme,
+                pt.delay,
+                pt.outcome.profiled_flow_pct(),
+                pt.outcome.hit_rate(),
+                pt.outcome.noise_rate(),
+                pt.outcome.moc_pct(),
+                pt.outcome.counter_space,
+            ));
+        }
+    }
+    write_csv(
+        &opts.out_dir,
+        "fig2_hit_rates.csv",
+        "benchmark,scheme,delay,profiled_flow_pct,hit_rate_pct,noise_rate_pct,moc_pct,counter_space",
+        &rows,
+    );
+
+    for scheme in [SchemeKind::PathProfile, SchemeKind::Net] {
+        println!("\nFigure 2 ({scheme}): hit rate in the practical range (profiled flow <= 10%)");
+        println!("{:<10} {:>8} {:>14} {:>10}", "Benchmark", "delay", "profiled%", "hit%");
+        for sr in swept.iter().filter(|s| s.scheme == scheme) {
+            for pt in &sr.points {
+                if pt.outcome.profiled_flow_pct() <= 10.0 {
+                    println!(
+                        "{:<10} {:>8} {:>13.2}% {:>9.2}%",
+                        sr.name.to_string(),
+                        pt.delay,
+                        pt.outcome.profiled_flow_pct(),
+                        pt.outcome.hit_rate()
+                    );
+                }
+            }
+        }
+        println!("-- Average series ({scheme}) --");
+        println!("{:>8} {:>14} {:>10}", "delay", "profiled%", "hit%");
+        for (delay, prof, hit, _noise) in average_series(&swept, scheme) {
+            println!("{delay:>8} {prof:>13.2}% {hit:>9.2}%");
+        }
+    }
+    // The paper's panel (a)/(c) shape at a glance: average hit rate vs
+    // profiled flow for both schemes.
+    let net: Vec<(f64, f64)> = average_series(&swept, SchemeKind::Net)
+        .into_iter()
+        .map(|(_, p, h, _)| (p, h))
+        .collect();
+    let pp: Vec<(f64, f64)> = average_series(&swept, SchemeKind::PathProfile)
+        .into_iter()
+        .map(|(_, p, h, _)| (p, h))
+        .collect();
+    println!(
+        "
+{}",
+        ascii_chart(
+            "Figure 2 average series: N = NET, P = PathProfile",
+            "profiled flow",
+            "hit rate",
+            &[('P', &pp), ('N', &net)],
+            72,
+            20,
+        )
+    );
+}

@@ -1,0 +1,46 @@
+//! Regenerates **Figure 4**: the amount of counter space used by NET
+//! prediction normalized to path-profile based prediction — i.e. unique
+//! path heads over dynamic paths, per benchmark plus the average.
+//!
+//! ```text
+//! cargo run -p hotpath-bench --release --bin fig4 -- --scale full
+//! ```
+
+use hotpath_bench::{record_suite, write_csv, Options};
+
+fn main() {
+    let opts = Options::from_env();
+    let runs = record_suite(opts.scale);
+
+    println!("\nFigure 4. NET counter space normalized to path-profile counter space");
+    println!("{:<10} {:>9} {:>9} {:>10}", "Benchmark", "heads", "paths", "ratio");
+    let mut rows = Vec::new();
+    let mut ratios = Vec::new();
+    for run in &runs {
+        let heads = run.table.unique_heads();
+        let paths = run.table.len().max(1);
+        let ratio = heads as f64 / paths as f64;
+        ratios.push(ratio);
+        println!(
+            "{:<10} {:>9} {:>9} {:>9.3}",
+            run.name.to_string(),
+            heads,
+            paths,
+            ratio
+        );
+        rows.push(format!("{},{heads},{paths},{ratio:.4}", run.name));
+    }
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    println!("{:<10} {:>9} {:>9} {:>9.3}", "Average", "", "", avg);
+    rows.push(format!("average,,,{avg:.4}"));
+    write_csv(
+        &opts.out_dir,
+        "fig4_counter_space.csv",
+        "benchmark,unique_heads,paths,net_over_pathprofile",
+        &rows,
+    );
+    println!(
+        "\nNET uses on average {:.0}% of the counter space of path-profile based prediction.",
+        avg * 100.0
+    );
+}

@@ -1,0 +1,123 @@
+//! Regenerates **Figure 5**: Dynamo speedup over native execution with
+//! NET and path-profile based hot path prediction, each at prediction
+//! delays 10, 50, and 100, on the five benchmarks Dynamo processes
+//! without bail-out (compress, li, m88ksim, perl, deltablue).
+//!
+//! ```text
+//! cargo run -p hotpath-bench --release --bin fig5 -- --scale full
+//! ```
+
+use hotpath_bench::{write_csv, Options};
+use hotpath_dynamo::{run_dynamo, run_native, DynamoConfig, Scheme};
+use hotpath_workloads::{build, WorkloadName, ALL_WORKLOADS};
+
+const DELAYS: [u64; 3] = [10, 50, 100];
+
+fn main() {
+    let opts = Options::from_env();
+    let names: Vec<WorkloadName> = ALL_WORKLOADS
+        .iter()
+        .copied()
+        .filter(|w| w.in_dynamo_figure())
+        .collect();
+
+    // One thread per benchmark; each runs native + 6 Dynamo configs.
+    let results: Vec<(WorkloadName, Vec<(Scheme, u64, f64, bool)>)> =
+        std::thread::scope(|s| {
+            let handles: Vec<_> = names
+                .iter()
+                .map(|&name| {
+                    let scale = opts.scale;
+                    s.spawn(move || {
+                        let w = build(name, scale);
+                        let native = run_native(&w.program).expect("native run");
+                        let mut rows = Vec::new();
+                        for scheme in [Scheme::Net, Scheme::PathProfile] {
+                            for delay in DELAYS {
+                                let out = run_dynamo(&w.program, &DynamoConfig::new(scheme, delay))
+                                    .expect("dynamo run");
+                                rows.push((
+                                    scheme,
+                                    delay,
+                                    out.speedup_percent(native),
+                                    out.bailed_out,
+                                ));
+                                eprintln!(
+                                    "[fig5] {:<10} {:<12} tau={:<4} speedup={:+.1}%{}",
+                                    name.to_string(),
+                                    scheme.to_string(),
+                                    delay,
+                                    out.speedup_percent(native),
+                                    if out.bailed_out { " (bail-out)" } else { "" }
+                                );
+                            }
+                        }
+                        (name, rows)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panics"))
+                .collect()
+        });
+
+    println!("\nFigure 5. Dynamo speedup over native execution (percent)");
+    println!(
+        "{:<10} {:>7} {:>7} {:>7} {:>9} {:>9} {:>9}",
+        "Benchmark", "NET10", "NET50", "NET100", "PP10", "PP50", "PP100"
+    );
+    let mut csv = Vec::new();
+    let mut sums = [0.0f64; 6];
+    for (name, rows) in &results {
+        let mut cells = [0.0f64; 6];
+        for (scheme, delay, speedup, bailed) in rows {
+            let col = match (scheme, delay) {
+                (Scheme::Net, 10) => 0,
+                (Scheme::Net, 50) => 1,
+                (Scheme::Net, 100) => 2,
+                (Scheme::PathProfile, 10) => 3,
+                (Scheme::PathProfile, 50) => 4,
+                _ => 5,
+            };
+            cells[col] = *speedup;
+            csv.push(format!("{name},{scheme},{delay},{speedup:.3},{bailed}"));
+        }
+        for (s, c) in sums.iter_mut().zip(&cells) {
+            *s += c;
+        }
+        println!(
+            "{:<10} {:>6.1}% {:>6.1}% {:>6.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
+            name.to_string(),
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3],
+            cells[4],
+            cells[5]
+        );
+    }
+    let n = results.len() as f64;
+    println!(
+        "{:<10} {:>6.1}% {:>6.1}% {:>6.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
+        "Average",
+        sums[0] / n,
+        sums[1] / n,
+        sums[2] / n,
+        sums[3] / n,
+        sums[4] / n,
+        sums[5] / n
+    );
+    for (i, label) in ["NET,10", "NET,50", "NET,100", "PathProfile,10", "PathProfile,50", "PathProfile,100"]
+        .iter()
+        .enumerate()
+    {
+        csv.push(format!("average,{label},{:.3},false", sums[i] / n));
+    }
+    write_csv(
+        &opts.out_dir,
+        "fig5_dynamo_speedup.csv",
+        "benchmark,scheme,delay,speedup_pct,bailed_out",
+        &csv,
+    );
+}

@@ -1,0 +1,44 @@
+//! Regenerates **Table 1**: per benchmark, the total number of paths, the
+//! flow, and the size and flow share of the 0.1% `HotPath` set.
+//!
+//! ```text
+//! cargo run -p hotpath-bench --release --bin table1 -- --scale full
+//! ```
+
+use hotpath_bench::{record_suite, write_csv, Options};
+
+fn main() {
+    let opts = Options::from_env();
+    let runs = record_suite(opts.scale);
+
+    println!("\nTable 1. Benchmark set (hot threshold 0.1% of flow)");
+    println!(
+        "{:<10} {:>9} {:>12} {:>14} {:>9}",
+        "Benchmark", "#Paths", "Flow", "Hot #Paths", "%Flow"
+    );
+    let mut rows = Vec::new();
+    for run in &runs {
+        println!(
+            "{:<10} {:>9} {:>12} {:>14} {:>8.1}%",
+            run.name.to_string(),
+            run.table.len(),
+            run.flow(),
+            run.hot.len(),
+            run.hot.flow_percentage()
+        );
+        rows.push(format!(
+            "{},{},{},{},{:.2}",
+            run.name,
+            run.table.len(),
+            run.flow(),
+            run.hot.len(),
+            run.hot.flow_percentage()
+        ));
+    }
+    write_csv(
+        &opts.out_dir,
+        "table1.csv",
+        "benchmark,paths,flow,hot_paths,hot_flow_pct",
+        &rows,
+    );
+}

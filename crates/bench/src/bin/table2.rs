@@ -1,0 +1,38 @@
+//! Regenerates **Table 2**: number of dynamic paths vs. unique path heads
+//! per benchmark — the counter-space comparison between path-profile based
+//! prediction (one counter per path) and NET (one counter per head).
+//!
+//! ```text
+//! cargo run -p hotpath-bench --release --bin table2 -- --scale full
+//! ```
+
+use hotpath_bench::{record_suite, write_csv, Options};
+
+fn main() {
+    let opts = Options::from_env();
+    let runs = record_suite(opts.scale);
+
+    println!("\nTable 2. Number of paths and unique path heads");
+    println!("{:<10} {:>9} {:>20}", "Benchmark", "#Paths", "#Unique Path Heads");
+    let mut rows = Vec::new();
+    for run in &runs {
+        println!(
+            "{:<10} {:>9} {:>20}",
+            run.name.to_string(),
+            run.table.len(),
+            run.table.unique_heads()
+        );
+        rows.push(format!(
+            "{},{},{}",
+            run.name,
+            run.table.len(),
+            run.table.unique_heads()
+        ));
+    }
+    write_csv(
+        &opts.out_dir,
+        "table2.csv",
+        "benchmark,paths,unique_path_heads",
+        &rows,
+    );
+}

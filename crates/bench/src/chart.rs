@@ -1,0 +1,89 @@
+//! Terminal scatter charts for the figure binaries.
+//!
+//! The paper's figures are line plots of rate-vs-profiled-flow; for a
+//! terminal reproduction an ASCII scatter is enough to see the shapes
+//! (descending hit rate, faster-descending noise, NET ≈ PathProfile in
+//! the practical corner).
+
+/// Renders series of `(x, y)` points (both in percent, 0..=100) into an
+/// ASCII chart. Each series is drawn with its own glyph; later series
+/// overwrite earlier ones where they collide.
+pub fn ascii_chart(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[(char, &[(f64, f64)])],
+    width: usize,
+    height: usize,
+) -> String {
+    let width = width.max(20);
+    let height = height.max(8);
+    let mut grid = vec![vec![' '; width]; height];
+    for &(glyph, points) in series {
+        for &(x, y) in points {
+            let cx = ((x.clamp(0.0, 100.0) / 100.0) * (width - 1) as f64).round() as usize;
+            let cy = ((y.clamp(0.0, 100.0) / 100.0) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy][cx] = glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (i, row) in grid.iter().enumerate() {
+        let y_tick = if i == 0 {
+            "100%".to_string()
+        } else if i == height - 1 {
+            "  0%".to_string()
+        } else if i == height / 2 {
+            " 50%".to_string()
+        } else {
+            "    ".to_string()
+        };
+        out.push_str(&y_tick);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("    +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "     0%{}100%  x: {x_label}, y: {y_label}\n",
+        " ".repeat(width.saturating_sub(9)),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_at_corners() {
+        let pts = [(0.0, 0.0), (100.0, 100.0)];
+        let s = ascii_chart("t", "x", "y", &[('*', &pts)], 40, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "t");
+        // Top row contains the (100,100) point at the right edge.
+        assert!(lines[1].ends_with('*'));
+        // Bottom data row contains the (0,0) point at the left edge.
+        assert_eq!(lines[10].chars().nth(5), Some('*'));
+        assert!(s.contains("x: x, y: y"));
+    }
+
+    #[test]
+    fn later_series_overwrite() {
+        let a = [(50.0, 50.0)];
+        let b = [(50.0, 50.0)];
+        let s = ascii_chart("t", "x", "y", &[('a', &a), ('b', &b)], 21, 9);
+        assert!(s.contains('b'));
+        assert!(!s.contains('a') || s.lines().next() == Some("t"));
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let pts = [(-10.0, 150.0)];
+        let s = ascii_chart("t", "x", "y", &[('*', &pts)], 30, 9);
+        assert!(s.contains('*'));
+    }
+}

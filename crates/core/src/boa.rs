@@ -1,0 +1,220 @@
+//! A Boa-style branch-profile trace selector (paper §7, related work).
+//!
+//! The Boa binary translator [17] profiles *every branch* during
+//! interpretation and, when a hot group entry is found, constructs a trace
+//! by following the most likely successor of each block according to the
+//! collected frequencies. The paper's critique:
+//!
+//! > *Unlike our NET scheme, Boa's prediction scheme requires every branch
+//! > to be profiled. Furthermore, constructing paths from isolated branch
+//! > frequencies ignores branch correlation, which may lead to paths that,
+//! > as a whole, never execute.*
+//!
+//! [`BoaSelector`] reproduces that scheme over the block-event stream:
+//! per-edge counters (one profiling operation per control transfer),
+//! per-head arrival counters with the same delay τ as NET, and trace
+//! construction by argmax successor walking. The `ablation_boa` bench
+//! measures the phantom rate — constructed traces whose block sequence
+//! never executed as a real path — which is the branch-correlation failure
+//! in the flesh.
+
+use std::collections::{HashMap, HashSet};
+
+use hotpath_profiles::ProfilingCost;
+use hotpath_vm::{BlockEvent, ExecutionObserver, TransferKind};
+
+/// Maximum length of a constructed trace, in blocks.
+pub const BOA_TRACE_CAP: usize = 64;
+
+/// The Boa-style selector; drive it as a VM observer.
+#[derive(Clone, Debug)]
+pub struct BoaSelector {
+    delay: u64,
+    /// Edge frequencies, keyed by `(from << 32) | to`.
+    edges: HashMap<u64, u64>,
+    /// Observed successor lists per block (small, deduplicated).
+    succs: HashMap<u32, Vec<u32>>,
+    /// Arrival counters at backward-transfer targets.
+    heads: HashMap<u32, u64>,
+    /// Constructed traces, deduplicated.
+    traces: Vec<Vec<u32>>,
+    seen_traces: HashSet<Vec<u32>>,
+    cost: ProfilingCost,
+}
+
+impl BoaSelector {
+    /// Creates a selector with prediction delay `delay`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay == 0`.
+    pub fn new(delay: u64) -> Self {
+        assert!(delay > 0, "prediction delay must be positive");
+        BoaSelector {
+            delay,
+            edges: HashMap::new(),
+            succs: HashMap::new(),
+            heads: HashMap::new(),
+            traces: Vec::new(),
+            seen_traces: HashSet::new(),
+            cost: ProfilingCost::new(),
+        }
+    }
+
+    /// The constructed traces, in construction order.
+    pub fn traces(&self) -> &[Vec<u32>] {
+        &self.traces
+    }
+
+    /// Number of distinct branch-edge counters allocated — Boa's counter
+    /// space, to contrast with NET's per-head counters.
+    pub fn counter_space(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Profiling operations performed (one per control transfer).
+    pub fn cost(&self) -> &ProfilingCost {
+        &self.cost
+    }
+
+    /// Builds a trace from `head` by repeatedly following the most
+    /// frequent observed successor, stopping at a backward edge (block ids
+    /// are in address order), a block without data, a cycle, or the cap.
+    fn construct(&self, head: u32) -> Vec<u32> {
+        let mut trace = vec![head];
+        let mut cur = head;
+        while trace.len() < BOA_TRACE_CAP {
+            let Some(succs) = self.succs.get(&cur) else { break };
+            let next = succs
+                .iter()
+                .copied()
+                .max_by_key(|&s| self.edges.get(&(((cur as u64) << 32) | s as u64)).copied());
+            let Some(next) = next else { break };
+            // A backward edge ends the trace (it would close the loop).
+            if next <= cur && trace.len() > 1 || next == head {
+                break;
+            }
+            if trace.contains(&next) {
+                break;
+            }
+            trace.push(next);
+            cur = next;
+        }
+        trace
+    }
+}
+
+impl ExecutionObserver for BoaSelector {
+    fn on_block(&mut self, event: &BlockEvent) {
+        let Some(from) = event.from else { return };
+        // Every branch is profiled: bump the edge counter.
+        let from = from.as_u32();
+        let to = event.block.as_u32();
+        let key = ((from as u64) << 32) | to as u64;
+        if self.edges.insert(key, self.edges.get(&key).copied().unwrap_or(0) + 1) == None {
+            self.succs.entry(from).or_default().push(to);
+        }
+        self.cost.counter_increments += 1;
+
+        // Hot-group entries: arrivals via backward transfers, like NET.
+        if event.backward && event.kind != TransferKind::Start {
+            let c = self.heads.entry(to).or_insert(0);
+            *c += 1;
+            if *c >= self.delay {
+                *c = 0;
+                let trace = self.construct(to);
+                if trace.len() > 1 && self.seen_traces.insert(trace.clone()) {
+                    self.traces.push(trace);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
+    use hotpath_ir::CmpOp;
+    use hotpath_vm::Vm;
+
+    /// A loop whose two branch decisions are perfectly anti-correlated:
+    /// iteration takes (A, not-B) or (not-A, B), never (A, B). Argmax
+    /// construction gleefully glues the two majority outcomes together
+    /// into a path that never executes — the paper's §7 critique.
+    fn anti_correlated_loop(trip: i64) -> hotpath_ir::Program {
+        let mut fb = FunctionBuilder::new("main");
+        let i = fb.reg();
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let a1 = fb.new_block();
+        let a2 = fb.new_block();
+        let mid = fb.new_block();
+        let b1 = fb.new_block();
+        let b2 = fb.new_block();
+        let latch = fb.new_block();
+        let exit = fb.new_block();
+        fb.const_(i, 0);
+        fb.jump(header);
+        fb.switch_to(header);
+        let c = fb.cmp_imm(CmpOp::Lt, i, trip);
+        fb.branch(c, body, exit);
+        fb.switch_to(body);
+        let par = fb.reg();
+        fb.and_imm(par, i, 1);
+        // Branch A: taken ~half the time (parity 1).
+        fb.branch(par, a1, a2);
+        fb.switch_to(a1);
+        fb.jump(mid);
+        fb.switch_to(a2);
+        fb.jump(mid);
+        fb.switch_to(mid);
+        // Branch B: exactly the opposite of A.
+        let npar = fb.cmp_imm(CmpOp::Eq, par, 0);
+        fb.branch(npar, b1, b2);
+        fb.switch_to(b1);
+        fb.jump(latch);
+        fb.switch_to(b2);
+        fb.jump(latch);
+        fb.switch_to(latch);
+        fb.add_imm(i, i, 1);
+        fb.jump(header);
+        fb.switch_to(exit);
+        fb.halt();
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(fb).unwrap();
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn profiles_every_transfer() {
+        let p = anti_correlated_loop(100);
+        let mut boa = BoaSelector::new(10);
+        let stats = Vm::new(&p).run(&mut boa).unwrap();
+        // One counter bump per transfer (all events except the first).
+        assert_eq!(boa.cost().counter_increments, stats.blocks_executed - 1);
+        assert!(boa.counter_space() > 5, "per-edge counters");
+    }
+
+    #[test]
+    fn constructs_traces_at_hot_heads() {
+        let p = anti_correlated_loop(500);
+        let mut boa = BoaSelector::new(50);
+        Vm::new(&p).run(&mut boa).unwrap();
+        assert!(!boa.traces().is_empty());
+        for t in boa.traces() {
+            assert!(t.len() > 1);
+            assert!(t.len() <= BOA_TRACE_CAP);
+            // Forward walk: strictly increasing block ids after the head.
+            for w in t[1..].windows(2) {
+                assert!(w[0] < w[1], "constructed traces walk forward");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prediction delay")]
+    fn zero_delay_panics() {
+        let _ = BoaSelector::new(0);
+    }
+}

@@ -1,0 +1,86 @@
+//! NET hot-path prediction and the abstract prediction metrics of
+//! Duesterwald & Bala, *Software Profiling for Hot Path Prediction: Less is
+//! More* (ASPLOS 2000).
+//!
+//! This crate is the paper's primary contribution, rebuilt:
+//!
+//! * [`HotPathPredictor`] — the online prediction interface: observe path
+//!   executions, occasionally predict one as hot;
+//! * [`NetPredictor`] — **Next Executing Tail** prediction (§4.1): a counter
+//!   per *path head* (target of a backward taken branch); when a head's
+//!   counter reaches the prediction delay τ, the very next executing path
+//!   from that head — the one executing right now — is speculatively
+//!   predicted hot;
+//! * [`PathProfilePredictor`] — path-profile based prediction (§4): full
+//!   per-path counters (bit-traced signatures); a path is predicted when its
+//!   own frequency reaches τ;
+//! * [`FirstExecutionPredictor`] — the τ=0 degenerate that predicts every
+//!   path on first sight, the paper's argument for why hit rate alone is a
+//!   vacuous objective;
+//! * [`evaluate`] / [`PredictionOutcome`] — the abstract metrics of §3:
+//!   hit rate, noise rate, missed opportunity cost, and profiled/predicted
+//!   flow, computed event-exactly over a recorded [`PathStream`](hotpath_profiles::PathStream);
+//! * [`sweep`] — τ-sweeps producing the hit-rate/profiled-flow and
+//!   noise-rate/profiled-flow series of Figures 2 and 3.
+//!
+//! # Example
+//!
+//! ```
+//! use hotpath_core::{evaluate, NetPredictor, SchemeKind};
+//! use hotpath_profiles::{PathExtractor, StreamingSink};
+//! use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
+//! use hotpath_ir::CmpOp;
+//! use hotpath_vm::Vm;
+//!
+//! // A counted loop: one hot path.
+//! let mut fb = FunctionBuilder::new("main");
+//! let i = fb.reg();
+//! let header = fb.new_block();
+//! let body = fb.new_block();
+//! let exit = fb.new_block();
+//! fb.const_(i, 0);
+//! fb.jump(header);
+//! fb.switch_to(header);
+//! let c = fb.cmp_imm(CmpOp::Lt, i, 10_000);
+//! fb.branch(c, body, exit);
+//! fb.switch_to(body);
+//! fb.add_imm(i, i, 1);
+//! fb.jump(header);
+//! fb.switch_to(exit);
+//! fb.halt();
+//! let mut pb = ProgramBuilder::new();
+//! pb.add_function(fb)?;
+//! let program = pb.finish()?;
+//!
+//! // Record the path stream once.
+//! let mut ex = PathExtractor::new(StreamingSink::new());
+//! Vm::new(&program).run(&mut ex)?;
+//! let (sink, table) = ex.into_parts();
+//! let stream = sink.into_stream();
+//!
+//! // Evaluate NET prediction at τ = 50 against the 0.1% hot set.
+//! let hot = stream.to_profile().hot_set(0.001);
+//! let outcome = evaluate(&stream, &table, &hot, &mut NetPredictor::new(50));
+//! assert!(outcome.hit_rate() > 99.0);
+//! assert_eq!(outcome.scheme, SchemeKind::Net);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod boa;
+mod metrics;
+mod net;
+mod path_profile;
+mod phased;
+mod predictor;
+mod sweep;
+
+pub use boa::{BoaSelector, BOA_TRACE_CAP};
+pub use metrics::{evaluate, PredictionOutcome};
+pub use phased::{evaluate_phased, PhasedOutcome, RetirePolicy};
+pub use net::NetPredictor;
+pub use path_profile::PathProfilePredictor;
+pub use predictor::{FirstExecutionPredictor, HotPathPredictor, SchemeKind};
+pub use sweep::{sweep, SweepPoint, DEFAULT_DELAYS};

@@ -1,0 +1,327 @@
+//! The abstract prediction metrics of paper §3.
+//!
+//! For a prediction set `P` made against `HotPath_h`:
+//!
+//! * **hit rate** — hot flow captured *after* each path's prediction
+//!   instant, as a percentage of `freq(HotPath_h)`;
+//! * **noise rate** — cold flow inadvertently captured after prediction,
+//!   same denominator;
+//! * **missed opportunity cost (MOC)** — hot-path executions burned before
+//!   their prediction (the τ executions per predicted path in the paper's
+//!   closed form);
+//! * **profiled flow** — all executions not covered by a prediction:
+//!   pre-prediction executions of predicted paths plus the entire flow of
+//!   never-predicted paths.
+//!
+//! The paper computes `Hits(P) = freq(P ∩ HotPath) − |P ∩ HotPath|·τ`
+//! assuming every predicted path was profiled exactly τ times. We replay
+//! the recorded execution stream and attribute *every individual execution*
+//! to profiled or predicted flow, which makes the identity
+//! `profiled + hits + noise = Flow` exact for both schemes — including NET,
+//! where a predicted path may have executed fewer than τ times itself
+//! (its head absorbed arrivals from sibling paths).
+
+use hotpath_profiles::{HotPathSet, PathStream, PathTable, ProfilingCost};
+
+use crate::predictor::{HotPathPredictor, SchemeKind};
+
+/// The measured outcome of running one prediction scheme over one recorded
+/// run.
+#[derive(Clone, Debug)]
+pub struct PredictionOutcome {
+    /// Scheme that produced the outcome.
+    pub scheme: SchemeKind,
+    /// Prediction delay τ used.
+    pub delay: u64,
+    /// Total flow of the run (number of path executions).
+    pub total_flow: u64,
+    /// Flow of the hot set the outcome is measured against.
+    pub hot_flow: u64,
+    /// Executions attributed to profiling (before prediction, or of paths
+    /// never predicted).
+    pub profiled_flow: u64,
+    /// Hot-path executions captured after prediction (`Hits`).
+    pub hits: u64,
+    /// Cold-path executions captured after prediction (`Noise`).
+    pub noise: u64,
+    /// Hot-path executions spent before their path's prediction (`MOC`).
+    pub missed_opportunity: u64,
+    /// Paths predicted, total.
+    pub predictions: usize,
+    /// Predicted paths that are in the hot set.
+    pub hot_predictions: usize,
+    /// Counters allocated by the scheme.
+    pub counter_space: usize,
+    /// Profiling operations performed by the scheme.
+    pub cost: ProfilingCost,
+}
+
+impl PredictionOutcome {
+    /// `HitRate(P)` — percentage of the hot flow captured (§3).
+    pub fn hit_rate(&self) -> f64 {
+        percentage(self.hits, self.hot_flow)
+    }
+
+    /// `NoiseRate(P)` — captured cold flow as a percentage of the hot flow
+    /// (§3; note the denominator is the hot flow, so noise can exceed
+    /// 100%).
+    pub fn noise_rate(&self) -> f64 {
+        percentage(self.noise, self.hot_flow)
+    }
+
+    /// Profiled flow as a percentage of total flow (the X axis of Figures
+    /// 2 and 3).
+    pub fn profiled_flow_pct(&self) -> f64 {
+        percentage(self.profiled_flow, self.total_flow)
+    }
+
+    /// Predicted flow as a percentage of total flow (complement of
+    /// profiled flow).
+    pub fn predicted_flow_pct(&self) -> f64 {
+        100.0 - self.profiled_flow_pct()
+    }
+
+    /// `MOC(P)` as a percentage of hot flow.
+    pub fn moc_pct(&self) -> f64 {
+        percentage(self.missed_opportunity, self.hot_flow)
+    }
+}
+
+fn percentage(num: u64, denom: u64) -> f64 {
+    if denom == 0 {
+        0.0
+    } else {
+        num as f64 / denom as f64 * 100.0
+    }
+}
+
+/// Replays `stream` through `predictor` and measures the §3 metrics
+/// against `hot`.
+///
+/// Every execution of an already-predicted path counts as predicted flow
+/// (hit or noise); every other execution counts as profiled flow and is
+/// fed to the predictor.
+pub fn evaluate<P: HotPathPredictor>(
+    stream: &PathStream,
+    table: &PathTable,
+    hot: &HotPathSet,
+    predictor: &mut P,
+) -> PredictionOutcome {
+    let hot_bits = hot.membership_bitmap(table);
+    let mut predicted = vec![false; table.len()];
+    let mut pre_counts = vec![0u64; table.len()];
+
+    let mut profiled = 0u64;
+    let mut hits = 0u64;
+    let mut noise = 0u64;
+    let mut moc = 0u64;
+    let mut predictions = 0usize;
+    let mut hot_predictions = 0usize;
+
+    for i in 0..stream.len() {
+        let id = stream.path(i);
+        let idx = id.index();
+        if predicted[idx] {
+            if hot_bits[idx] {
+                hits += 1;
+            } else {
+                noise += 1;
+            }
+            continue;
+        }
+        profiled += 1;
+        pre_counts[idx] += 1;
+        let exec = stream.execution(i, table);
+        if let Some(p) = predictor.observe(&exec) {
+            let pi = p.index();
+            debug_assert!(!predicted[pi], "a path must be predicted at most once");
+            predicted[pi] = true;
+            predictions += 1;
+            if hot_bits[pi] {
+                hot_predictions += 1;
+                moc += pre_counts[pi];
+            }
+        }
+    }
+
+    PredictionOutcome {
+        scheme: predictor.scheme(),
+        delay: predictor.delay(),
+        total_flow: stream.len() as u64,
+        hot_flow: hot.hot_flow(),
+        profiled_flow: profiled,
+        hits,
+        noise,
+        missed_opportunity: moc,
+        predictions,
+        hot_predictions,
+        counter_space: predictor.counter_space(),
+        cost: predictor.cost(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetPredictor;
+    use crate::path_profile::PathProfilePredictor;
+    use crate::predictor::FirstExecutionPredictor;
+    use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
+    use hotpath_ir::{CmpOp, Program};
+    use hotpath_profiles::{PathExtractor, StreamingSink};
+    use hotpath_vm::Vm;
+
+    /// Loop with a rare branch: iterations 0..990 take the common arm,
+    /// the last 10 take the rare arm.
+    fn skewed_program(trip: i64, rare_after: i64) -> Program {
+        let mut fb = FunctionBuilder::new("main");
+        let i = fb.reg();
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let common = fb.new_block();
+        let rare = fb.new_block();
+        let latch = fb.new_block();
+        let exit = fb.new_block();
+        fb.const_(i, 0);
+        fb.jump(header);
+        fb.switch_to(header);
+        let c = fb.cmp_imm(CmpOp::Lt, i, trip);
+        fb.branch(c, body, exit);
+        fb.switch_to(body);
+        let r = fb.cmp_imm(CmpOp::Ge, i, rare_after);
+        fb.branch(r, rare, common);
+        fb.switch_to(common);
+        fb.jump(latch);
+        fb.switch_to(rare);
+        fb.jump(latch);
+        fb.switch_to(latch);
+        fb.add_imm(i, i, 1);
+        fb.jump(header);
+        fb.switch_to(exit);
+        fb.halt();
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(fb).unwrap();
+        pb.finish().unwrap()
+    }
+
+    fn record(p: &Program) -> (PathStream, PathTable) {
+        let mut ex = PathExtractor::new(StreamingSink::new());
+        Vm::new(p).run(&mut ex).unwrap();
+        let (sink, table) = ex.into_parts();
+        (sink.into_stream(), table)
+    }
+
+    #[test]
+    fn flow_identity_holds_for_all_schemes() {
+        let p = skewed_program(2000, 1990);
+        let (stream, table) = record(&p);
+        let hot = stream.to_profile().hot_set(0.001);
+        for delay in [1u64, 10, 50, 500, 5000] {
+            let o = evaluate(&stream, &table, &hot, &mut NetPredictor::new(delay));
+            assert_eq!(
+                o.profiled_flow + o.hits + o.noise,
+                o.total_flow,
+                "NET τ={delay}"
+            );
+            let o = evaluate(&stream, &table, &hot, &mut PathProfilePredictor::new(delay));
+            assert_eq!(
+                o.profiled_flow + o.hits + o.noise,
+                o.total_flow,
+                "PP τ={delay}"
+            );
+        }
+    }
+
+    #[test]
+    fn first_execution_maximizes_hit_rate_and_noise() {
+        let p = skewed_program(2000, 1990);
+        let (stream, table) = record(&p);
+        let profile = stream.to_profile();
+        let hot = profile.hot_set(0.001);
+        let o = evaluate(&stream, &table, &hot, &mut FirstExecutionPredictor::new());
+        // Each path is profiled exactly once (its first execution).
+        assert_eq!(o.profiled_flow, profile.path_count() as u64);
+        // Everything else is captured: hits = hot_flow - |hot paths|.
+        assert_eq!(o.hits, hot.hot_flow() - hot.len() as u64);
+        // Noise captures all the cold flow beyond first executions.
+        assert_eq!(
+            o.noise,
+            o.total_flow - hot.hot_flow() - (profile.path_count() - hot.len()) as u64
+        );
+    }
+
+    #[test]
+    fn infinite_delay_profiles_everything() {
+        let p = skewed_program(500, 490);
+        let (stream, table) = record(&p);
+        let hot = stream.to_profile().hot_set(0.001);
+        let o = evaluate(
+            &stream,
+            &table,
+            &hot,
+            &mut NetPredictor::new(u64::MAX),
+        );
+        assert_eq!(o.profiled_flow, o.total_flow);
+        assert_eq!(o.hits, 0);
+        assert_eq!(o.noise, 0);
+        assert_eq!(o.hit_rate(), 0.0);
+        assert_eq!(o.profiled_flow_pct(), 100.0);
+    }
+
+    #[test]
+    fn hit_rate_decreases_with_delay() {
+        let p = skewed_program(5000, 4990);
+        let (stream, table) = record(&p);
+        let hot = stream.to_profile().hot_set(0.001);
+        let mut last = f64::INFINITY;
+        for delay in [1u64, 10, 100, 1000, 4000] {
+            let o = evaluate(&stream, &table, &hot, &mut NetPredictor::new(delay));
+            assert!(
+                o.hit_rate() <= last + 1e-9,
+                "hit rate should not increase with τ (τ={delay})"
+            );
+            last = o.hit_rate();
+        }
+    }
+
+    #[test]
+    fn net_and_path_profile_agree_on_single_dominant_path() {
+        let p = skewed_program(5000, 4990);
+        let (stream, table) = record(&p);
+        let hot = stream.to_profile().hot_set(0.001);
+        let net = evaluate(&stream, &table, &hot, &mut NetPredictor::new(50));
+        let pp = evaluate(&stream, &table, &hot, &mut PathProfilePredictor::new(50));
+        // One dominant loop path: both schemes predict it at the same
+        // instant, so hit rates agree tightly.
+        assert!((net.hit_rate() - pp.hit_rate()).abs() < 0.5);
+        // NET uses at most as much counter space (heads <= paths).
+        assert!(net.counter_space <= pp.counter_space);
+        // And performs far fewer profiling operations.
+        assert!(net.cost.total_ops() < pp.cost.total_ops());
+    }
+
+    #[test]
+    fn moc_tracks_pre_prediction_hot_flow() {
+        let p = skewed_program(5000, 4990);
+        let (stream, table) = record(&p);
+        let hot = stream.to_profile().hot_set(0.001);
+        let o = evaluate(&stream, &table, &hot, &mut PathProfilePredictor::new(100));
+        // Paper closed form: each predicted hot path burned exactly τ
+        // executions before prediction.
+        assert_eq!(o.missed_opportunity, o.hot_predictions as u64 * 100);
+        assert!(o.moc_pct() > 0.0);
+    }
+
+    #[test]
+    fn rates_against_empty_hot_set_are_zero() {
+        let p = skewed_program(100, 90);
+        let (stream, table) = record(&p);
+        // Absurd threshold: nothing is hot.
+        let hot = stream.to_profile().hot_set(1.0);
+        assert!(hot.is_empty());
+        let o = evaluate(&stream, &table, &hot, &mut NetPredictor::new(5));
+        assert_eq!(o.hits, 0);
+        assert_eq!(o.hit_rate(), 0.0);
+        assert_eq!(o.noise_rate(), 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Path-profile based prediction — paper §4.
+//!
+//! The straightforward adaptation of an offline path profiling scheme to
+//! online prediction: profile every path (bit-traced signature → counter)
+//! and predict a path as hot as soon as its own execution frequency reaches
+//! the prediction delay τ.
+//!
+//! The runtime price is what the paper argues against: one history-shift
+//! per conditional branch and one indirect-target record per indirect
+//! transfer on *every* profiled path execution, one path-table update per
+//! path end, and one counter per dynamic path — potentially exponential in
+//! program size (§4, §5.2).
+
+use std::collections::HashMap;
+
+use hotpath_profiles::{PathExecution, PathId, ProfilingCost};
+
+use crate::predictor::{HotPathPredictor, SchemeKind};
+
+/// The path-profile based predictor.
+///
+/// # Example
+///
+/// ```
+/// use hotpath_core::{HotPathPredictor, PathProfilePredictor};
+/// let mut pp = PathProfilePredictor::new(50);
+/// assert_eq!(pp.delay(), 50);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PathProfilePredictor {
+    delay: u64,
+    counts: HashMap<u32, u64>,
+    cost: ProfilingCost,
+    predictions: usize,
+}
+
+impl PathProfilePredictor {
+    /// Creates a predictor with prediction delay `delay`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay == 0`; use
+    /// [`FirstExecutionPredictor`](crate::FirstExecutionPredictor) for the
+    /// τ=0 degenerate.
+    pub fn new(delay: u64) -> Self {
+        assert!(delay > 0, "prediction delay must be positive");
+        PathProfilePredictor {
+            delay,
+            counts: HashMap::new(),
+            cost: ProfilingCost::new(),
+            predictions: 0,
+        }
+    }
+
+    /// Number of predictions made so far.
+    pub fn predictions(&self) -> usize {
+        self.predictions
+    }
+
+    /// Profiled frequency of a path so far.
+    pub fn path_count(&self, path: PathId) -> u64 {
+        self.counts.get(&(path.index() as u32)).copied().unwrap_or(0)
+    }
+}
+
+impl HotPathPredictor for PathProfilePredictor {
+    fn observe(&mut self, exec: &PathExecution) -> Option<PathId> {
+        // Bit tracing pays per-branch costs while the path executes...
+        self.cost.history_shifts += exec.blocks.saturating_sub(1) as u64;
+        // (conservatively: one shift per transfer on the path; the paper's
+        // "every branch execution requires the shifting of a bit")
+        // ...and a table update when the path completes.
+        self.cost.table_updates += 1;
+        let count = self.counts.entry(exec.path.index() as u32).or_insert(0);
+        *count += 1;
+        if *count >= self.delay {
+            // A path is fed to `observe` only until predicted, so reaching
+            // the threshold predicts exactly once.
+            self.predictions += 1;
+            Some(exec.path)
+        } else {
+            None
+        }
+    }
+
+    fn scheme(&self) -> SchemeKind {
+        SchemeKind::PathProfile
+    }
+
+    fn delay(&self) -> u64 {
+        self.delay
+    }
+
+    fn counter_space(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn cost(&self) -> ProfilingCost {
+        self.cost
+    }
+
+    fn reset(&mut self) {
+        self.counts.clear();
+        self.cost = ProfilingCost::new();
+        self.predictions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotpath_ir::BlockId;
+    use hotpath_profiles::{PathEndKind, PathStartKind};
+
+    fn exec(path: u32) -> PathExecution {
+        PathExecution {
+            path: PathId::new(path),
+            head: BlockId::new(0),
+            start: PathStartKind::BackwardTarget,
+            end: PathEndKind::BackwardBranch,
+            blocks: 4,
+            insts: 8,
+        }
+    }
+
+    #[test]
+    fn predicts_at_exactly_tau_executions() {
+        let mut pp = PathProfilePredictor::new(3);
+        assert_eq!(pp.observe(&exec(5)), None);
+        assert_eq!(pp.observe(&exec(5)), None);
+        assert_eq!(pp.observe(&exec(5)), Some(PathId::new(5)));
+        assert_eq!(pp.path_count(PathId::new(5)), 3);
+        assert_eq!(pp.predictions(), 1);
+    }
+
+    #[test]
+    fn paths_count_independently() {
+        let mut pp = PathProfilePredictor::new(2);
+        assert_eq!(pp.observe(&exec(0)), None);
+        assert_eq!(pp.observe(&exec(1)), None);
+        assert_eq!(pp.observe(&exec(0)), Some(PathId::new(0)));
+        assert_eq!(pp.observe(&exec(1)), Some(PathId::new(1)));
+        assert_eq!(pp.counter_space(), 2);
+    }
+
+    #[test]
+    fn counts_every_start_kind() {
+        // Unlike NET, path-profile prediction counts entry and continuation
+        // starts too: every completed path updates the table.
+        let mut pp = PathProfilePredictor::new(2);
+        let mut e = exec(0);
+        e.start = PathStartKind::Continuation;
+        assert_eq!(pp.observe(&e), None);
+        e.start = PathStartKind::Entry;
+        assert_eq!(pp.observe(&e), Some(PathId::new(0)));
+    }
+
+    #[test]
+    fn cost_scales_with_path_length() {
+        let mut pp = PathProfilePredictor::new(100);
+        pp.observe(&exec(0)); // blocks = 4 -> 3 shifts
+        pp.observe(&exec(0));
+        assert_eq!(pp.cost().history_shifts, 6);
+        assert_eq!(pp.cost().table_updates, 2);
+    }
+
+    #[test]
+    fn reset_clears_counts() {
+        let mut pp = PathProfilePredictor::new(1);
+        pp.observe(&exec(0));
+        pp.reset();
+        assert_eq!(pp.counter_space(), 0);
+        assert_eq!(pp.predictions(), 0);
+        assert_eq!(pp.path_count(PathId::new(0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "prediction delay")]
+    fn zero_delay_panics() {
+        let _ = PathProfilePredictor::new(0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Phase-sensitive prediction metrics with a path-retirement model — the
+//! extension the paper names as future work (§6.1, §8):
+//!
+//! > *We plan to extend our path metrics to model path removal from the
+//! > prediction set. With a path removal model we obtain an abstract
+//! > measure to evaluate how well a prediction scheme reacts to phase
+//! > changes and how well it handles phase-induced noise.*
+//!
+//! [`evaluate_phased`] replays a recorded stream like
+//! [`evaluate`](crate::evaluate), but (a) measures hits and noise against
+//! *windowed* hot sets — a path is hot in a window if its frequency within
+//! the window clears the threshold — and (b) retires predicted paths that
+//! go unused for [`RetirePolicy::idle_window`] executions, re-admitting
+//! them only after a fresh prediction. Retired-but-then-executed flow is
+//! *phase-induced noise avoided*; predictions evicted while still hot are
+//! the heuristic's collateral damage. Both are reported.
+
+use hotpath_profiles::{PathStream, PathTable};
+
+use crate::predictor::{HotPathPredictor, SchemeKind};
+
+/// When to retire a predicted path from the prediction set.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RetirePolicy {
+    /// A predicted path is retired after this many total path executions
+    /// pass without it executing (the path has gone cold).
+    pub idle_window: u64,
+}
+
+impl Default for RetirePolicy {
+    fn default() -> Self {
+        RetirePolicy {
+            idle_window: 100_000,
+        }
+    }
+}
+
+/// Outcome of a phase-sensitive evaluation.
+#[derive(Clone, Debug)]
+pub struct PhasedOutcome {
+    /// Scheme evaluated.
+    pub scheme: SchemeKind,
+    /// Prediction delay τ.
+    pub delay: u64,
+    /// Retirement policy used.
+    pub policy: RetirePolicy,
+    /// Window length (in path executions) used for the windowed hot sets.
+    pub window: u64,
+    /// Total flow.
+    pub total_flow: u64,
+    /// Executions covered by a live prediction that were hot *in their
+    /// window*.
+    pub hits: u64,
+    /// Executions covered by a live prediction that were cold in their
+    /// window — phase-induced and plain noise together.
+    pub noise: u64,
+    /// Executions not covered (profiled or post-retirement).
+    pub uncovered: u64,
+    /// Noise avoided by retirement: executions of retired paths that were
+    /// cold in their window (would have been noise had the path stayed).
+    pub noise_avoided: u64,
+    /// Hits lost to retirement: executions of retired paths that were hot
+    /// in their window.
+    pub hits_lost: u64,
+    /// Paths retired, total (re-predictions can retire again).
+    pub retirements: u64,
+    /// Predictions made, total.
+    pub predictions: u64,
+}
+
+impl PhasedOutcome {
+    /// Windowed hit rate: hits / (hits + hits_lost + uncovered hot flow)
+    /// is not recoverable without a second pass, so the headline ratio is
+    /// hits as a share of covered flow.
+    pub fn coverage_precision(&self) -> f64 {
+        let covered = self.hits + self.noise;
+        if covered == 0 {
+            0.0
+        } else {
+            self.hits as f64 / covered as f64 * 100.0
+        }
+    }
+
+    /// Share of the total flow covered by live predictions.
+    pub fn covered_flow_pct(&self) -> f64 {
+        if self.total_flow == 0 {
+            0.0
+        } else {
+            (self.hits + self.noise) as f64 / self.total_flow as f64 * 100.0
+        }
+    }
+}
+
+/// Replays `stream` with windowed hot sets and path retirement.
+///
+/// Memory: the windowed frequency matrix is `O(windows × paths)`; for
+/// path-heavy benchmarks keep the window coarse.
+///
+/// `window` is the phase granularity in path executions; a path is hot in
+/// a window if it executes at least `hot_fraction * window` times within
+/// it. The final partial window is evaluated pro rata.
+///
+/// # Panics
+///
+/// Panics if `window == 0` or `hot_fraction` is not in `(0, 1]`.
+pub fn evaluate_phased<P: HotPathPredictor>(
+    stream: &PathStream,
+    table: &PathTable,
+    predictor: &mut P,
+    window: u64,
+    hot_fraction: f64,
+    policy: RetirePolicy,
+) -> PhasedOutcome {
+    assert!(window > 0, "window must be positive");
+    assert!(policy.idle_window > 0, "idle window must be positive");
+    assert!(
+        hot_fraction > 0.0 && hot_fraction <= 1.0,
+        "hot fraction must be in (0, 1]"
+    );
+
+    let n = stream.len();
+    let npaths = table.len();
+    // Pass 1: per-window frequency, to define windowed hot sets.
+    let nwindows = n.div_ceil(window as usize).max(1);
+    let mut win_freq = vec![0u32; nwindows * npaths];
+    for i in 0..n {
+        let wdx = i / window as usize;
+        win_freq[wdx * npaths + stream.path(i).index()] += 1;
+    }
+    let hot_in = |wdx: usize, path: usize| {
+        let wlen = if wdx + 1 == nwindows && n % window as usize != 0 {
+            (n % window as usize) as f64
+        } else {
+            window as f64
+        };
+        win_freq[wdx * npaths + path] as f64 >= hot_fraction * wlen
+    };
+
+    // Pass 2: replay with prediction + retirement.
+    let mut predicted_at = vec![u64::MAX; npaths]; // MAX = not predicted
+    let mut last_used = vec![0u64; npaths];
+    let mut out = PhasedOutcome {
+        scheme: predictor.scheme(),
+        delay: predictor.delay(),
+        policy,
+        window,
+        total_flow: n as u64,
+        hits: 0,
+        noise: 0,
+        uncovered: 0,
+        noise_avoided: 0,
+        hits_lost: 0,
+        retirements: 0,
+        predictions: 0,
+    };
+    let mut live: Vec<u32> = Vec::new(); // predicted path ids, scanned for retirement
+    for i in 0..n {
+        let now = i as u64;
+        let id = stream.path(i);
+        let idx = id.index();
+        let wdx = i / window as usize;
+
+        // Retire stale predictions (amortized scan every window boundary).
+        if now % policy.idle_window.min(window) == 0 && !live.is_empty() {
+            live.retain(|&p| {
+                let pi = p as usize;
+                if predicted_at[pi] != u64::MAX && now - last_used[pi] > policy.idle_window {
+                    predicted_at[pi] = u64::MAX;
+                    out.retirements += 1;
+                    false
+                } else {
+                    predicted_at[pi] != u64::MAX
+                }
+            });
+        }
+
+        if predicted_at[idx] != u64::MAX {
+            last_used[idx] = now;
+            if hot_in(wdx, idx) {
+                out.hits += 1;
+            } else {
+                out.noise += 1;
+            }
+            continue;
+        }
+        // Not covered: was it retired earlier (i.e., predicted before)?
+        if last_used[idx] != 0 && predicted_at[idx] == u64::MAX && out.retirements > 0 {
+            if hot_in(wdx, idx) {
+                out.hits_lost += 1;
+            } else {
+                out.noise_avoided += 1;
+            }
+        }
+        out.uncovered += 1;
+        let exec = stream.execution(i, table);
+        if let Some(p) = predictor.observe(&exec) {
+            let pi = p.index();
+            predicted_at[pi] = now;
+            last_used[pi] = now;
+            live.push(pi as u32);
+            out.predictions += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetPredictor;
+    use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
+    use hotpath_ir::CmpOp;
+    use hotpath_profiles::{PathExtractor, StreamingSink};
+    use hotpath_vm::Vm;
+
+    /// Two sequential loops: phase 1 runs path A hot, phase 2 runs path B
+    /// hot; A never executes again after the transition.
+    fn two_phase_program(trip: i64) -> hotpath_ir::Program {
+        let mut fb = FunctionBuilder::new("main");
+        for _ in 0..2 {
+            let i = fb.reg();
+            let header = fb.new_block();
+            let body = fb.new_block();
+            let exit = fb.new_block();
+            fb.const_(i, 0);
+            fb.jump(header);
+            fb.switch_to(header);
+            let c = fb.cmp_imm(CmpOp::Lt, i, trip);
+            fb.branch(c, body, exit);
+            fb.switch_to(body);
+            fb.add_imm(i, i, 1);
+            fb.jump(header);
+            fb.switch_to(exit);
+        }
+        fb.halt();
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(fb).unwrap();
+        pb.finish().unwrap()
+    }
+
+    fn record(p: &hotpath_ir::Program) -> (PathStream, PathTable) {
+        let mut ex = PathExtractor::new(StreamingSink::new());
+        Vm::new(p).run(&mut ex).unwrap();
+        let (sink, table) = ex.into_parts();
+        (sink.into_stream(), table)
+    }
+
+    #[test]
+    fn phased_accounting_partitions_flow() {
+        let p = two_phase_program(20_000);
+        let (stream, table) = record(&p);
+        let out = evaluate_phased(
+            &stream,
+            &table,
+            &mut NetPredictor::new(50),
+            5_000,
+            0.001,
+            RetirePolicy { idle_window: 2_000 },
+        );
+        assert_eq!(out.hits + out.noise + out.uncovered, out.total_flow);
+        assert!(out.predictions >= 2, "both phases' paths get predicted");
+        assert!(out.covered_flow_pct() > 90.0);
+        assert!(out.coverage_precision() > 90.0);
+    }
+
+    #[test]
+    fn retirement_fires_after_phase_transition() {
+        let p = two_phase_program(50_000);
+        let (stream, table) = record(&p);
+        let out = evaluate_phased(
+            &stream,
+            &table,
+            &mut NetPredictor::new(20),
+            10_000,
+            0.001,
+            RetirePolicy { idle_window: 5_000 },
+        );
+        // Phase 1's path goes idle for the whole second phase: retired.
+        assert!(out.retirements >= 1, "phase-1 path must retire");
+    }
+
+    #[test]
+    fn no_retirement_with_huge_idle_window() {
+        let p = two_phase_program(5_000);
+        let (stream, table) = record(&p);
+        let out = evaluate_phased(
+            &stream,
+            &table,
+            &mut NetPredictor::new(20),
+            1_000,
+            0.001,
+            RetirePolicy {
+                idle_window: u64::MAX,
+            },
+        );
+        assert_eq!(out.retirements, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let p = two_phase_program(100);
+        let (stream, table) = record(&p);
+        let _ = evaluate_phased(
+            &stream,
+            &table,
+            &mut NetPredictor::new(5),
+            0,
+            0.001,
+            RetirePolicy::default(),
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! The online prediction interface.
+
+use std::fmt;
+
+use hotpath_profiles::{PathExecution, PathId, ProfilingCost};
+
+/// Which prediction scheme an outcome belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SchemeKind {
+    /// Next Executing Tail prediction (§4.1).
+    Net,
+    /// Path-profile based prediction (§4).
+    PathProfile,
+    /// Predict-on-first-execution degenerate baseline.
+    FirstExecution,
+    /// Any other scheme (extensions).
+    Other,
+}
+
+impl fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SchemeKind::Net => "NET",
+            SchemeKind::PathProfile => "PathProfile",
+            SchemeKind::FirstExecution => "FirstExecution",
+            SchemeKind::Other => "Other",
+        })
+    }
+}
+
+/// An online hot-path prediction scheme.
+///
+/// The evaluator feeds every *not-yet-predicted* path execution to
+/// [`observe`](HotPathPredictor::observe); returning `Some(path)` declares
+/// that path hot from this instant on. (Executions of already-predicted
+/// paths run out of the code cache in a real system and bypass profiling.)
+pub trait HotPathPredictor {
+    /// Observes one path execution; returns a prediction if this
+    /// observation triggers one.
+    fn observe(&mut self, exec: &PathExecution) -> Option<PathId>;
+
+    /// The scheme's identity, for reporting.
+    fn scheme(&self) -> SchemeKind;
+
+    /// The prediction delay τ this instance runs with.
+    fn delay(&self) -> u64;
+
+    /// Number of profiling counters currently allocated — the space cost
+    /// compared in Figure 4.
+    fn counter_space(&self) -> usize;
+
+    /// Runtime profiling operations performed so far — the time cost the
+    /// paper's §4 overhead argument is about.
+    fn cost(&self) -> ProfilingCost;
+
+    /// Clears all counters and predictions (e.g. on a Dynamo cache flush).
+    fn reset(&mut self);
+}
+
+impl<P: HotPathPredictor + ?Sized> HotPathPredictor for &mut P {
+    fn observe(&mut self, exec: &PathExecution) -> Option<PathId> {
+        (**self).observe(exec)
+    }
+
+    fn scheme(&self) -> SchemeKind {
+        (**self).scheme()
+    }
+
+    fn delay(&self) -> u64 {
+        (**self).delay()
+    }
+
+    fn counter_space(&self) -> usize {
+        (**self).counter_space()
+    }
+
+    fn cost(&self) -> ProfilingCost {
+        (**self).cost()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+}
+
+/// Predicts every path the first time it executes (τ = 0).
+///
+/// The paper uses this degenerate to motivate the noise metric: it
+/// maximizes hit rate — nothing is ever missed — while also maximizing
+/// noise, since every cold path is "predicted" too.
+#[derive(Clone, Default, Debug)]
+pub struct FirstExecutionPredictor {
+    predicted: Vec<bool>,
+    count: usize,
+}
+
+impl FirstExecutionPredictor {
+    /// Creates the predictor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl HotPathPredictor for FirstExecutionPredictor {
+    fn observe(&mut self, exec: &PathExecution) -> Option<PathId> {
+        let i = exec.path.index();
+        if i >= self.predicted.len() {
+            self.predicted.resize(i + 1, false);
+        }
+        if self.predicted[i] {
+            return None;
+        }
+        self.predicted[i] = true;
+        self.count += 1;
+        Some(exec.path)
+    }
+
+    fn scheme(&self) -> SchemeKind {
+        SchemeKind::FirstExecution
+    }
+
+    fn delay(&self) -> u64 {
+        0
+    }
+
+    fn counter_space(&self) -> usize {
+        0
+    }
+
+    fn cost(&self) -> ProfilingCost {
+        ProfilingCost::new()
+    }
+
+    fn reset(&mut self) {
+        self.predicted.clear();
+        self.count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotpath_ir::BlockId;
+    use hotpath_profiles::{PathEndKind, PathStartKind};
+
+    fn exec(id: u32) -> PathExecution {
+        PathExecution {
+            path: PathId::new(id),
+            head: BlockId::new(0),
+            start: PathStartKind::BackwardTarget,
+            end: PathEndKind::BackwardBranch,
+            blocks: 2,
+            insts: 4,
+        }
+    }
+
+    #[test]
+    fn first_execution_predicts_each_path_once() {
+        let mut p = FirstExecutionPredictor::new();
+        assert_eq!(p.observe(&exec(3)), Some(PathId::new(3)));
+        assert_eq!(p.observe(&exec(3)), None);
+        assert_eq!(p.observe(&exec(1)), Some(PathId::new(1)));
+        p.reset();
+        assert_eq!(p.observe(&exec(3)), Some(PathId::new(3)));
+    }
+
+    #[test]
+    fn scheme_display() {
+        assert_eq!(SchemeKind::Net.to_string(), "NET");
+        assert_eq!(SchemeKind::PathProfile.to_string(), "PathProfile");
+    }
+}

@@ -1,0 +1,131 @@
+//! τ-sweeps: the data series behind Figures 2 and 3.
+
+use hotpath_profiles::{HotPathSet, PathStream, PathTable};
+
+use crate::metrics::{evaluate, PredictionOutcome};
+use crate::net::NetPredictor;
+use crate::path_profile::PathProfilePredictor;
+use crate::predictor::SchemeKind;
+
+/// The prediction delays the paper sweeps ("ranging from 10 to 1,000,000"),
+/// log-spaced.
+pub const DEFAULT_DELAYS: [u64; 16] = [
+    10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000,
+    500_000, 1_000_000,
+];
+
+/// One point of a sweep: the outcome at one `(scheme, τ)` pair.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// The prediction delay.
+    pub delay: u64,
+    /// The measured outcome.
+    pub outcome: PredictionOutcome,
+}
+
+/// Evaluates `scheme` over `stream` at each delay in `delays`, returning
+/// one [`SweepPoint`] per delay (in the given order).
+///
+/// # Panics
+///
+/// Panics if `scheme` is not [`SchemeKind::Net`] or
+/// [`SchemeKind::PathProfile`] — the sweepable schemes of the paper.
+pub fn sweep(
+    stream: &PathStream,
+    table: &PathTable,
+    hot: &HotPathSet,
+    scheme: SchemeKind,
+    delays: &[u64],
+) -> Vec<SweepPoint> {
+    delays
+        .iter()
+        .map(|&delay| {
+            let outcome = match scheme {
+                SchemeKind::Net => {
+                    evaluate(stream, table, hot, &mut NetPredictor::new(delay))
+                }
+                SchemeKind::PathProfile => {
+                    evaluate(stream, table, hot, &mut PathProfilePredictor::new(delay))
+                }
+                other => panic!("sweep supports NET and PathProfile, not {other}"),
+            };
+            SweepPoint { delay, outcome }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
+    use hotpath_ir::CmpOp;
+    use hotpath_profiles::{PathExtractor, StreamingSink};
+    use hotpath_vm::Vm;
+
+    fn record(trip: i64) -> (PathStream, PathTable) {
+        let mut fb = FunctionBuilder::new("main");
+        let i = fb.reg();
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.const_(i, 0);
+        fb.jump(header);
+        fb.switch_to(header);
+        let c = fb.cmp_imm(CmpOp::Lt, i, trip);
+        fb.branch(c, body, exit);
+        fb.switch_to(body);
+        fb.add_imm(i, i, 1);
+        fb.jump(header);
+        fb.switch_to(exit);
+        fb.halt();
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(fb).unwrap();
+        let p = pb.finish().unwrap();
+        let mut ex = PathExtractor::new(StreamingSink::new());
+        Vm::new(&p).run(&mut ex).unwrap();
+        let (sink, table) = ex.into_parts();
+        (sink.into_stream(), table)
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_delay() {
+        let (stream, table) = record(10_000);
+        let hot = stream.to_profile().hot_set(0.001);
+        let delays = [10u64, 100, 1_000];
+        let points = sweep(&stream, &table, &hot, SchemeKind::Net, &delays);
+        assert_eq!(points.len(), 3);
+        for (pt, &d) in points.iter().zip(&delays) {
+            assert_eq!(pt.delay, d);
+            assert_eq!(pt.outcome.delay, d);
+        }
+        // Profiled flow grows with τ.
+        assert!(points[0].outcome.profiled_flow <= points[1].outcome.profiled_flow);
+        assert!(points[1].outcome.profiled_flow <= points[2].outcome.profiled_flow);
+    }
+
+    #[test]
+    fn both_schemes_sweep() {
+        let (stream, table) = record(1_000);
+        let hot = stream.to_profile().hot_set(0.001);
+        for scheme in [SchemeKind::Net, SchemeKind::PathProfile] {
+            let pts = sweep(&stream, &table, &hot, scheme, &[10, 100]);
+            assert_eq!(pts.len(), 2);
+            assert_eq!(pts[0].outcome.scheme, scheme);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep supports")]
+    fn unsupported_scheme_panics() {
+        let (stream, table) = record(100);
+        let hot = stream.to_profile().hot_set(0.001);
+        let _ = sweep(&stream, &table, &hot, SchemeKind::FirstExecution, &[10]);
+    }
+
+    #[test]
+    fn default_delays_are_sorted_and_span_paper_range() {
+        assert_eq!(*DEFAULT_DELAYS.first().unwrap(), 10);
+        assert_eq!(*DEFAULT_DELAYS.last().unwrap(), 1_000_000);
+        assert!(DEFAULT_DELAYS.windows(2).all(|w| w[0] < w[1]));
+    }
+}

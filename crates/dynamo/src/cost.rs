@@ -1,0 +1,135 @@
+//! The abstract cycle cost model.
+//!
+//! The paper never reports absolute times for its overhead argument — the
+//! claim is structural: interpretation is an order of magnitude slower
+//! than native execution, per-branch profiling multiplies that, cached
+//! traces run slightly *faster* than native (straightened layout, partial
+//! redundancy removal, fragment linking), and trace construction is
+//! expensive enough that predictions must be re-used to amortize. The
+//! defaults below encode those magnitudes; the ablation bench
+//! (`ablation_cost`) sweeps them to show the Figure 5 shape is robust.
+
+/// Cycle costs for every operation class the engine charges.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CostModel {
+    /// Cycles per instruction executed natively (the baseline; 1.0).
+    pub native_per_inst: f64,
+    /// Cycles per instruction interpreted (Dynamo's interpreter loop).
+    pub interp_per_inst: f64,
+    /// Cycles per instruction executed inside a cached fragment (< native:
+    /// trace layout + lightweight optimization).
+    pub trace_per_inst: f64,
+    /// NET profiling: one counter lookup+increment per arrival at a
+    /// backward-taken-branch target.
+    pub counter_op: f64,
+    /// Path-profile profiling: one history-register shift per control
+    /// transfer on an interpreted path.
+    pub shift_op: f64,
+    /// Path-profile profiling: one path-table update per completed
+    /// interpreted path — hashing a multi-word signature, probing, and
+    /// occasionally growing the table; the expensive operation the paper's
+    /// overhead argument centers on.
+    pub table_op: f64,
+    /// Fragment construction: fixed cost per fragment (allocation, stubs).
+    pub build_fixed: f64,
+    /// Fragment construction: per recorded instruction (copy + optimize +
+    /// emit).
+    pub build_per_inst: f64,
+    /// Context switch into the fragment cache.
+    pub cache_entry: f64,
+    /// Context switch out of the fragment cache at a fragment's end.
+    pub cache_exit: f64,
+    /// Extra penalty when execution diverges from a fragment mid-way
+    /// (exit through a stub).
+    pub early_exit: f64,
+    /// Fragment-to-fragment transition through a direct link (replaces
+    /// exit + entry). Not free — every hop off a straightened trace gives
+    /// up layout locality — except a fragment looping back to its own head,
+    /// which is just the trace's own loop-closing branch.
+    pub link_transfer: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            native_per_inst: 1.0,
+            interp_per_inst: 12.0,
+            trace_per_inst: 0.80,
+            counter_op: 4.0,
+            shift_op: 6.0,
+            table_op: 400.0,
+            build_fixed: 400.0,
+            build_per_inst: 60.0,
+            cache_entry: 12.0,
+            cache_exit: 15.0,
+            early_exit: 30.0,
+            link_transfer: 0.5,
+        }
+    }
+}
+
+impl CostModel {
+    /// The default model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Where the cycles of a Dynamo run went.
+#[derive(Clone, Copy, Default, PartialEq, Debug)]
+pub struct CycleBreakdown {
+    /// Interpreted instructions.
+    pub interp: f64,
+    /// Instructions executed in the fragment cache.
+    pub trace: f64,
+    /// Instructions executed natively after a bail-out.
+    pub native: f64,
+    /// Profiling operations (counters, shifts, table updates).
+    pub profiling: f64,
+    /// Fragment construction.
+    pub build: f64,
+    /// Cache entries, exits, early exits, and link transfers.
+    pub transitions: f64,
+}
+
+impl CycleBreakdown {
+    /// Total cycles.
+    pub fn total(&self) -> f64 {
+        self.interp + self.trace + self.native + self.profiling + self.build + self.transitions
+    }
+
+    /// Overhead cycles (everything but useful instruction execution).
+    pub fn overhead(&self) -> f64 {
+        self.profiling + self.build + self.transitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_encode_the_papers_magnitudes() {
+        let c = CostModel::default();
+        assert!(c.interp_per_inst >= 8.0 * c.native_per_inst);
+        assert!(c.trace_per_inst < c.native_per_inst);
+        assert!(c.table_op > c.counter_op);
+        assert!(c.build_per_inst > c.interp_per_inst);
+        assert!(c.link_transfer < c.cache_entry);
+        assert!(c.link_transfer >= 0.0);
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let b = CycleBreakdown {
+            interp: 1.0,
+            trace: 2.0,
+            native: 3.0,
+            profiling: 4.0,
+            build: 5.0,
+            transitions: 6.0,
+        };
+        assert!((b.total() - 21.0).abs() < 1e-12);
+        assert!((b.overhead() - 15.0).abs() < 1e-12);
+    }
+}

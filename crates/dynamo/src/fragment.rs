@@ -1,0 +1,283 @@
+//! The fragment (trace) cache.
+//!
+//! A *fragment* is the code-cache image of one predicted hot path: its
+//! block sequence, straightened, with exit stubs at every off-path branch.
+//! The cache maps path heads to their fragments; multiple fragments can
+//! share a head (Dynamo's exit-stub trace heads create siblings) and
+//! divergence can transfer between same-head fragments along their common
+//! prefix, modeling linked exit stubs.
+
+use std::collections::HashMap;
+
+use hotpath_ir::BlockId;
+
+/// Identifies a fragment in its [`FragmentCache`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FragmentId(u32);
+
+impl FragmentId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One cached trace.
+#[derive(Clone, Debug)]
+pub struct Fragment {
+    blocks: Vec<u32>,
+    insts: u32,
+    entries: u64,
+    completions: u64,
+}
+
+impl Fragment {
+    /// The block sequence (global block ids) the fragment covers.
+    pub fn blocks(&self) -> &[u32] {
+        &self.blocks
+    }
+
+    /// The head block.
+    pub fn head(&self) -> BlockId {
+        BlockId::new(self.blocks[0])
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// A fragment always covers at least its head block.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Total instruction slots across the fragment's blocks.
+    pub fn insts(&self) -> u32 {
+        self.insts
+    }
+
+    /// How many times execution entered this fragment.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// How many times execution ran the fragment to its end.
+    pub fn completions(&self) -> u64 {
+        self.completions
+    }
+}
+
+/// The software code cache: fragments indexed by head block.
+#[derive(Clone, Default, Debug)]
+pub struct FragmentCache {
+    fragments: Vec<Fragment>,
+    by_head: HashMap<u32, Vec<FragmentId>>,
+    installs: u64,
+    flushes: u64,
+}
+
+impl FragmentCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live fragments.
+    pub fn len(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// True if the cache holds no fragments.
+    pub fn is_empty(&self) -> bool {
+        self.fragments.is_empty()
+    }
+
+    /// Total fragments ever installed (not reset by flushes).
+    pub fn installs(&self) -> u64 {
+        self.installs
+    }
+
+    /// Number of flushes performed.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Installs a fragment for a path's block sequence. Returns its id, or
+    /// `None` if an identical fragment is already cached (installation is
+    /// idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty.
+    pub fn install(&mut self, blocks: &[u32], insts: u32) -> Option<FragmentId> {
+        assert!(!blocks.is_empty(), "a fragment covers at least one block");
+        let head = blocks[0];
+        if let Some(ids) = self.by_head.get(&head) {
+            if ids
+                .iter()
+                .any(|&id| self.fragments[id.index()].blocks == blocks)
+            {
+                return None;
+            }
+        }
+        let id = FragmentId(self.fragments.len() as u32);
+        self.fragments.push(Fragment {
+            blocks: blocks.to_vec(),
+            insts,
+            entries: 0,
+            completions: 0,
+        });
+        self.by_head.entry(head).or_default().push(id);
+        self.installs += 1;
+        Some(id)
+    }
+
+    /// The primary (first-installed) fragment for a head, if any.
+    pub fn entry_for(&self, head: BlockId) -> Option<FragmentId> {
+        self.by_head
+            .get(&head.as_u32())
+            .and_then(|v| v.first())
+            .copied()
+    }
+
+    /// True if any fragment starts at `head`.
+    pub fn has_head(&self, head: BlockId) -> bool {
+        self.by_head.contains_key(&head.as_u32())
+    }
+
+    /// Fragment accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this cache generation.
+    pub fn fragment(&self, id: FragmentId) -> &Fragment {
+        &self.fragments[id.index()]
+    }
+
+    /// Records an entry into `id`.
+    pub fn note_entry(&mut self, id: FragmentId) {
+        self.fragments[id.index()].entries += 1;
+    }
+
+    /// Records a full run-through of `id`.
+    pub fn note_completion(&mut self, id: FragmentId) {
+        self.fragments[id.index()].completions += 1;
+    }
+
+    /// Looks for a sibling fragment of `id` (same head) that shares the
+    /// executed prefix `prefix_len` and continues with `next` — the linked
+    /// exit-stub transfer.
+    pub fn divert(&self, id: FragmentId, prefix_len: usize, next: u32) -> Option<FragmentId> {
+        let cur = &self.fragments[id.index()];
+        let head = cur.blocks[0];
+        let ids = self.by_head.get(&head)?;
+        ids.iter()
+            .copied()
+            .filter(|&cand| cand != id)
+            .find(|&cand| {
+                let f = &self.fragments[cand.index()];
+                f.blocks.len() > prefix_len
+                    && f.blocks[prefix_len] == next
+                    && f.blocks[..prefix_len] == cur.blocks[..prefix_len]
+            })
+    }
+
+    /// Empties the cache (Dynamo's phase flush). Statistics of installed
+    /// fragments are discarded; `installs`/`flushes` counters survive.
+    pub fn flush(&mut self) {
+        self.fragments.clear();
+        self.by_head.clear();
+        self.flushes += 1;
+    }
+
+    /// Sum of `entries` over live fragments.
+    pub fn total_entries(&self) -> u64 {
+        self.fragments.iter().map(|f| f.entries).sum()
+    }
+
+    /// Iterates over live fragments.
+    pub fn iter(&self) -> impl Iterator<Item = (FragmentId, &Fragment)> {
+        self.fragments
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FragmentId(i as u32), f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_and_lookup() {
+        let mut c = FragmentCache::new();
+        let id = c.install(&[5, 6, 7], 12).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.entry_for(BlockId::new(5)), Some(id));
+        assert!(c.has_head(BlockId::new(5)));
+        assert!(!c.has_head(BlockId::new(6)));
+        assert_eq!(c.fragment(id).blocks(), &[5, 6, 7]);
+        assert_eq!(c.fragment(id).insts(), 12);
+        assert_eq!(c.fragment(id).head(), BlockId::new(5));
+        assert_eq!(c.fragment(id).len(), 3);
+    }
+
+    #[test]
+    fn duplicate_install_is_idempotent() {
+        let mut c = FragmentCache::new();
+        c.install(&[1, 2], 4).unwrap();
+        assert_eq!(c.install(&[1, 2], 4), None);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.installs(), 1);
+        // A sibling with the same head but different body installs fine.
+        assert!(c.install(&[1, 3], 4).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn primary_entry_is_first_installed() {
+        let mut c = FragmentCache::new();
+        let a = c.install(&[9, 1], 2).unwrap();
+        let _b = c.install(&[9, 2], 2).unwrap();
+        assert_eq!(c.entry_for(BlockId::new(9)), Some(a));
+    }
+
+    #[test]
+    fn divert_finds_prefix_sharing_sibling() {
+        let mut c = FragmentCache::new();
+        let a = c.install(&[1, 2, 3, 4], 8).unwrap();
+        let b = c.install(&[1, 2, 5], 6).unwrap();
+        // Executing `a`, diverging at position 2 toward block 5: sibling
+        // `b` continues there.
+        assert_eq!(c.divert(a, 2, 5), Some(b));
+        // No sibling continues with block 9.
+        assert_eq!(c.divert(a, 2, 9), None);
+        // Prefix mismatch: diverging at position 1 toward 5 requires a
+        // sibling whose second block is 5 — b's is 2 at position 1? No:
+        // b.blocks[1] == 2, so looking for next == 2 from a at pos 1 would
+        // match... but a[1] is already 2, so the engine would not divert.
+        assert_eq!(c.divert(a, 1, 5), None);
+    }
+
+    #[test]
+    fn flush_empties_but_keeps_counters() {
+        let mut c = FragmentCache::new();
+        let id = c.install(&[3], 1).unwrap();
+        c.note_entry(id);
+        c.note_completion(id);
+        assert_eq!(c.total_entries(), 1);
+        c.flush();
+        assert!(c.is_empty());
+        assert_eq!(c.installs(), 1);
+        assert_eq!(c.flushes(), 1);
+        assert!(!c.has_head(BlockId::new(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn empty_fragment_panics() {
+        let mut c = FragmentCache::new();
+        let _ = c.install(&[], 0);
+    }
+}

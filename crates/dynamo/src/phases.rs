@@ -1,0 +1,200 @@
+//! Phase-change detection via prediction-rate spikes (paper §6.1).
+//!
+//! > *Dynamo monitors the path prediction activity in order to identify
+//! > sudden and sharp increases in the prediction rate. Such increases
+//! > provide a good indication that a new phase is about to be entered.
+//! > After detecting a phase transition, Dynamo triggers a cache flush.*
+//!
+//! [`SpikeDetector`] implements that heuristic over a window of path
+//! completions: if the number of predictions inside the current window
+//! exceeds `spike_factor` times the long-run per-window average (after a
+//! warmup period), it signals a flush.
+
+/// Whether and how the engine flushes the fragment cache on phase changes.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub enum FlushPolicy {
+    /// Never flush (the baseline for ablations).
+    #[default]
+    Never,
+    /// Flush when the prediction rate spikes.
+    OnSpike {
+        /// Window length in observed path completions.
+        window: u64,
+        /// Spike threshold as a multiple of the long-run rate.
+        factor: f64,
+        /// Minimum predictions inside one window before a spike can fire
+        /// (suppresses noise at tiny rates).
+        min_predictions: u64,
+    },
+}
+
+impl FlushPolicy {
+    /// A reasonable spike policy for the experiments.
+    pub fn default_spike() -> Self {
+        FlushPolicy::OnSpike {
+            window: 20_000,
+            factor: 8.0,
+            min_predictions: 24,
+        }
+    }
+}
+
+/// Sliding-window prediction-rate spike detector.
+#[derive(Clone, Debug)]
+pub struct SpikeDetector {
+    window: u64,
+    factor: f64,
+    min_predictions: u64,
+    /// Path completions in the current window.
+    seen: u64,
+    /// Predictions in the current window.
+    predicted: u64,
+    /// Completed windows and their total predictions.
+    windows_done: u64,
+    predictions_total: u64,
+    spikes: u64,
+    /// Windows remaining in the post-flush cooldown: right after a flush
+    /// the evicted working set re-predicts in a burst that must not be
+    /// mistaken for another phase change.
+    cooldown: u64,
+}
+
+impl SpikeDetector {
+    /// Creates a detector from a [`FlushPolicy::OnSpike`] configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `factor <= 1.0`.
+    pub fn new(window: u64, factor: f64, min_predictions: u64) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(factor > 1.0, "spike factor must exceed 1.0");
+        SpikeDetector {
+            window,
+            factor,
+            min_predictions,
+            seen: 0,
+            predicted: 0,
+            windows_done: 0,
+            predictions_total: 0,
+            spikes: 0,
+            cooldown: 0,
+        }
+    }
+
+    /// Observes one path completion; `was_prediction` marks completions
+    /// that produced a new fragment. Returns `true` when the current
+    /// window closed with a spike — the caller should flush.
+    pub fn observe(&mut self, was_prediction: bool) -> bool {
+        self.seen += 1;
+        if was_prediction {
+            self.predicted += 1;
+        }
+        if self.seen < self.window {
+            return false;
+        }
+        // Window complete: compare to the long-run average, unless we are
+        // cooling down after a recent flush (the re-prediction burst would
+        // read as another spike).
+        let spike = if self.cooldown == 0
+            && self.windows_done >= 2
+            && self.predicted >= self.min_predictions
+        {
+            let avg = self.predictions_total as f64 / self.windows_done as f64;
+            self.predicted as f64 > self.factor * avg.max(0.5)
+        } else {
+            false
+        };
+        self.windows_done += 1;
+        self.predictions_total += self.predicted;
+        self.seen = 0;
+        self.predicted = 0;
+        self.cooldown = self.cooldown.saturating_sub(1);
+        if spike {
+            self.spikes += 1;
+            self.cooldown = 2;
+        }
+        spike
+    }
+
+    /// Number of spikes signaled so far.
+    pub fn spikes(&self) -> u64 {
+        self.spikes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_stream_never_spikes() {
+        let mut d = SpikeDetector::new(100, 4.0, 5);
+        for i in 0..10_000 {
+            // 1% steady prediction rate.
+            assert!(!d.observe(i % 100 == 0), "no spike at {i}");
+        }
+        assert_eq!(d.spikes(), 0);
+    }
+
+    #[test]
+    fn burst_after_quiet_spikes() {
+        let mut d = SpikeDetector::new(100, 4.0, 5);
+        // Three quiet windows (1 prediction each).
+        for i in 0..300 {
+            d.observe(i % 100 == 0);
+        }
+        // A burst window: 30 predictions out of 100.
+        let mut fired = false;
+        for i in 0..100 {
+            fired |= d.observe(i % 3 == 0);
+        }
+        assert!(fired, "burst should trigger a flush");
+        assert_eq!(d.spikes(), 1);
+    }
+
+    #[test]
+    fn min_predictions_suppresses_tiny_spikes() {
+        let mut d = SpikeDetector::new(100, 2.0, 50);
+        for i in 0..300 {
+            d.observe(i % 100 == 0);
+        }
+        // 10 predictions is 10x the average but below min_predictions.
+        let mut fired = false;
+        for i in 0..100 {
+            fired |= d.observe(i % 10 == 0);
+        }
+        assert!(!fired);
+    }
+
+    #[test]
+    fn cooldown_suppresses_the_echo_spike() {
+        let mut d = SpikeDetector::new(100, 3.0, 5);
+        for i in 0..300 {
+            d.observe(i % 100 == 0);
+        }
+        // Phase change: a burst window spikes...
+        for i in 0..100 {
+            d.observe(i % 4 == 0);
+        }
+        assert_eq!(d.spikes(), 1);
+        // ...and the post-flush re-prediction burst in the next two
+        // windows does not.
+        let mut echoed = false;
+        for i in 0..200 {
+            echoed |= d.observe(i % 4 == 0);
+        }
+        assert!(!echoed, "cooldown must absorb the re-prediction burst");
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let _ = SpikeDetector::new(0, 2.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "spike factor")]
+    fn low_factor_panics() {
+        let _ = SpikeDetector::new(10, 1.0, 1);
+    }
+}

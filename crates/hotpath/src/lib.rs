@@ -1,0 +1,61 @@
+//! Hot-path prediction: a full reproduction of Duesterwald & Bala,
+//! *Software Profiling for Hot Path Prediction: Less is More* (ASPLOS
+//! 2000), as a Rust workspace.
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! | Layer | Crate | What it provides |
+//! |---|---|---|
+//! | IR | [`ir`] | virtual ISA, CFGs, layout, Ball–Larus numbering |
+//! | VM | [`vm`] | deterministic interpreter + block event stream |
+//! | Profiling | [`profiles`] | forward-path extraction, bit tracing, path tables, k-bounded paths |
+//! | Prediction | [`core`] | NET and path-profile predictors, hit/noise/MOC metrics, τ-sweeps |
+//! | Workloads | [`workloads`] | the nine SPECint95-inspired benchmarks |
+//! | Dynamo | [`dynamo`] | fragment-cache optimizer simulation, Figure 5 harness |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hotpath::prelude::*;
+//!
+//! // Build a benchmark, record its path stream, evaluate NET at tau=50.
+//! let w = hotpath::workloads::build(WorkloadName::Compress, Scale::Smoke);
+//! let mut extractor = PathExtractor::new(StreamingSink::new());
+//! Vm::new(&w.program).run(&mut extractor)?;
+//! let (sink, table) = extractor.into_parts();
+//! let stream = sink.into_stream();
+//! let hot = stream.to_profile().hot_set(0.001);
+//! let outcome = evaluate(&stream, &table, &hot, &mut NetPredictor::new(50));
+//! assert!(outcome.hit_rate() > 90.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use hotpath_core as core;
+pub use hotpath_dynamo as dynamo;
+pub use hotpath_ir as ir;
+pub use hotpath_profiles as profiles;
+pub use hotpath_vm as vm;
+pub use hotpath_workloads as workloads;
+
+/// The most commonly used items, one `use` away.
+pub mod prelude {
+    pub use hotpath_core::{
+        evaluate, evaluate_phased, sweep, BoaSelector, FirstExecutionPredictor,
+        HotPathPredictor, NetPredictor, PathProfilePredictor, PhasedOutcome,
+        PredictionOutcome, RetirePolicy, SchemeKind, DEFAULT_DELAYS,
+    };
+    pub use hotpath_dynamo::{
+        run_dynamo, run_native, CostModel, DynamoConfig, DynamoOutcome, Engine, FlushPolicy,
+        Scheme,
+    };
+    pub use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
+    pub use hotpath_ir::{BinOp, BlockId, CmpOp, GlobalReg, Layout, Program};
+    pub use hotpath_profiles::{
+        load_run, save_run, showdown, BackwardRule, EdgeProfiler, HotPathSet, PathExecution,
+        PathExtractor, PathProfile, PathStream, PathTable, SequenceRecorder, StreamingSink,
+    };
+    pub use hotpath_vm::{BlockEvent, ExecutionObserver, RunConfig, TraceRecorder, Vm};
+    pub use hotpath_workloads::{build, suite, Scale, Workload, WorkloadName};
+}

@@ -1,0 +1,641 @@
+//! Ball–Larus acyclic path numbering with spanning-tree instrumentation
+//! placement.
+//!
+//! This is the "efficient path profiling" substrate described in §2 of the
+//! paper (Ball & Larus, MICRO-29, 1996): each function's CFG is turned into
+//! a DAG by replacing loop back edges with pseudo `ENTRY -> header` and
+//! `latch -> EXIT` edges, every DAG edge gets a value such that the sum of
+//! the values along any `ENTRY -> EXIT` path is a unique number in
+//! `0..num_paths`, and a maximum-weight spanning tree confines runtime
+//! increments to chord edges.
+//!
+//! The numbering provides:
+//!
+//! * [`BallLarus::num_paths`] — the size of the acyclic path space
+//!   (potentially exponential in the block count, hence `u128`);
+//! * [`BallLarus::encode`] / [`BallLarus::decode`] — bijection between
+//!   block sequences and path ids;
+//! * runtime actions ([`BallLarus::path_start`], [`BallLarus::transfer`],
+//!   [`BallLarus::block_exit_inc`]) used by the `hotpath-profiles` crate to
+//!   drive a Ball–Larus profile from the VM event stream;
+//! * [`BallLarus::instrumented_edge_count`] — how many real CFG edges carry
+//!   a nonzero increment, the paper's measure of profiling operations.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::cfg::{Cfg, Dominators};
+use crate::ids::LocalBlockId;
+use crate::loops::LoopForest;
+use crate::program::{Function, Terminator};
+
+/// Errors from constructing a [`BallLarus`] numbering.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BallLarusError {
+    /// The function's CFG is irreducible: removing dominator back edges did
+    /// not produce a DAG.
+    Irreducible {
+        /// Name of the offending function.
+        function: String,
+    },
+    /// The acyclic path space exceeds the supported range.
+    TooManyPaths {
+        /// Name of the offending function.
+        function: String,
+    },
+}
+
+impl fmt::Display for BallLarusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BallLarusError::Irreducible { function } => {
+                write!(f, "function `{function}` has an irreducible CFG")
+            }
+            BallLarusError::TooManyPaths { function } => {
+                write!(f, "function `{function}` has too many acyclic paths to number")
+            }
+        }
+    }
+}
+
+impl Error for BallLarusError {}
+
+/// What the profiler must do on a dynamic control transfer, as dictated by
+/// the numbering. See [`BallLarus::transfer`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Transfer {
+    /// Stay on the current path; add the increment to the path register.
+    Advance(i128),
+    /// The transfer is a loop back edge: finish the current path by adding
+    /// `end_inc` to the path register and counting it, then restart the
+    /// register at `restart` for the new path.
+    EndAndRestart {
+        /// Increment applied before the finished path is counted.
+        end_inc: i128,
+        /// Fresh value of the path register for the new path.
+        restart: i128,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct DagEdge {
+    from: usize,
+    to: usize,
+    val: i128,
+    inc: i128,
+    /// True for edges present in the CFG (not ENTRY/EXIT pseudo edges).
+    real: bool,
+}
+
+/// The Ball–Larus numbering of one function.
+#[derive(Clone, Debug)]
+pub struct BallLarus {
+    num_paths: u128,
+    init: i128,
+    /// `inc` for the pseudo `ENTRY -> block` edge, keyed by block index;
+    /// present exactly for valid path-start blocks.
+    entry_inc: HashMap<usize, i128>,
+    /// `inc` for the `block -> EXIT` edge, keyed by block index; present
+    /// exactly for valid path-end blocks (latches, returns, halts).
+    exit_inc: HashMap<usize, i128>,
+    /// `inc` for real CFG edges, keyed by `(from, to)`.
+    edge_inc: HashMap<(usize, usize), i128>,
+    /// Real CFG edges that are loop back edges.
+    back_edges: HashMap<(usize, usize), ()>,
+    /// Number of real CFG edges with a nonzero increment.
+    instrumented: usize,
+    /// DAG successor lists (with per-edge `val`) used by decode.
+    dag_succs: Vec<Vec<(usize, i128)>>,
+    entry_node: usize,
+    exit_node: usize,
+}
+
+impl BallLarus {
+    /// Numbers the acyclic paths of `func`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BallLarusError::Irreducible`] for irreducible CFGs and
+    /// [`BallLarusError::TooManyPaths`] if the path count overflows.
+    pub fn new(func: &Function) -> Result<Self, BallLarusError> {
+        let cfg = Cfg::new(func);
+        let dom = Dominators::new(&cfg);
+        let loops = LoopForest::from_cfg(&cfg, &dom);
+        let n = func.blocks.len();
+        let entry_node = n;
+        let exit_node = n + 1;
+
+        // Loop depth per block, used as the spanning-tree weight heuristic:
+        // deeper edges run more often, so keeping them OFF the instrumented
+        // chord set mirrors Ball–Larus' frequency-weighted tree.
+        let mut depth = vec![0u32; n];
+        for lp in loops.loops() {
+            for b in &lp.body {
+                depth[b.index()] += 1;
+            }
+        }
+
+        // Collect DAG edges.
+        let mut edges: Vec<DagEdge> = Vec::new();
+        let mut back_edges: HashMap<(usize, usize), ()> = HashMap::new();
+        let mut entry_targets: Vec<usize> = vec![Function::ENTRY.index()];
+        let mut exit_sources: Vec<usize> = Vec::new();
+        for &b in cfg.reverse_postorder() {
+            let bi = b.index();
+            match &func.blocks[bi].terminator {
+                Terminator::Return | Terminator::Halt => exit_sources.push(bi),
+                _ => {}
+            }
+            for &s in cfg.succs(b) {
+                let si = s.index();
+                if dom.dominates(s, b) {
+                    back_edges.insert((bi, si), ());
+                    if !entry_targets.contains(&si) {
+                        entry_targets.push(si);
+                    }
+                    if !exit_sources.contains(&bi) {
+                        exit_sources.push(bi);
+                    }
+                } else {
+                    edges.push(DagEdge {
+                        from: bi,
+                        to: si,
+                        val: 0,
+                        inc: 0,
+                        real: true,
+                    });
+                }
+            }
+        }
+        for &t in &entry_targets {
+            edges.push(DagEdge {
+                from: entry_node,
+                to: t,
+                val: 0,
+                inc: 0,
+                real: false,
+            });
+        }
+        for &s in &exit_sources {
+            edges.push(DagEdge {
+                from: s,
+                to: exit_node,
+                val: 0,
+                inc: 0,
+                real: false,
+            });
+        }
+
+        // Topological order over DAG nodes (only nodes touched by edges plus
+        // ENTRY/EXIT matter; unreachable blocks have no edges).
+        let node_count = n + 2;
+        let mut succ_idx: Vec<Vec<usize>> = vec![Vec::new(); node_count];
+        let mut indeg = vec![0usize; node_count];
+        let mut present = vec![false; node_count];
+        present[entry_node] = true;
+        present[exit_node] = true;
+        for (i, e) in edges.iter().enumerate() {
+            succ_idx[e.from].push(i);
+            indeg[e.to] += 1;
+            present[e.from] = true;
+            present[e.to] = true;
+        }
+        let mut topo = Vec::with_capacity(node_count);
+        let mut work: Vec<usize> = (0..node_count)
+            .filter(|&v| present[v] && indeg[v] == 0)
+            .collect();
+        while let Some(v) = work.pop() {
+            topo.push(v);
+            for &ei in &succ_idx[v] {
+                let t = edges[ei].to;
+                indeg[t] -= 1;
+                if indeg[t] == 0 {
+                    work.push(t);
+                }
+            }
+        }
+        if topo.len() != present.iter().filter(|&&p| p).count() {
+            return Err(BallLarusError::Irreducible {
+                function: func.name.clone(),
+            });
+        }
+
+        // NumPaths + edge values, in reverse topological order.
+        let mut node_paths = vec![0u128; node_count];
+        node_paths[exit_node] = 1;
+        for &v in topo.iter().rev() {
+            if v == exit_node {
+                continue;
+            }
+            let mut sum: u128 = 0;
+            for &ei in &succ_idx[v] {
+                edges[ei].val = i128::try_from(sum).map_err(|_| BallLarusError::TooManyPaths {
+                    function: func.name.clone(),
+                })?;
+                sum = sum
+                    .checked_add(node_paths[edges[ei].to])
+                    .filter(|&s| s <= (i128::MAX as u128))
+                    .ok_or_else(|| BallLarusError::TooManyPaths {
+                        function: func.name.clone(),
+                    })?;
+            }
+            node_paths[v] = sum;
+        }
+        let num_paths = node_paths[entry_node];
+
+        // Maximum-weight spanning tree (Prim) over the undirected DAG.
+        // Weight of a real edge = loop depth of its shallower endpoint;
+        // pseudo-edge weight is irrelevant (their increments fold into the
+        // mandatory start/end operations), so give them the highest weight
+        // to keep real edges off the tree when possible... quite the
+        // opposite: give pseudo edges maximal weight so that REAL edges in
+        // hot loops can also join the tree.
+        let weight = |e: &DagEdge| -> u64 {
+            if !e.real {
+                u64::MAX
+            } else {
+                let df = if e.from < n { depth[e.from] } else { 0 };
+                let dt = if e.to < n { depth[e.to] } else { 0 };
+                df.min(dt) as u64
+            }
+        };
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); node_count];
+        for (i, e) in edges.iter().enumerate() {
+            adj[e.from].push(i);
+            adj[e.to].push(i);
+        }
+        let mut in_tree_node = vec![false; node_count];
+        let mut tree_edge = vec![false; edges.len()];
+        let mut d = vec![0i128; node_count];
+        in_tree_node[entry_node] = true;
+        // Prim: repeatedly take the max-weight edge crossing the cut.
+        loop {
+            let mut best: Option<(usize, u64)> = None;
+            for (i, e) in edges.iter().enumerate() {
+                if in_tree_node[e.from] ^ in_tree_node[e.to] {
+                    let w = weight(e);
+                    if best.map_or(true, |(_, bw)| w > bw) {
+                        best = Some((i, w));
+                    }
+                }
+            }
+            let Some((i, _)) = best else { break };
+            tree_edge[i] = true;
+            let e = &edges[i];
+            if in_tree_node[e.from] {
+                d[e.to] = d[e.from] + e.val;
+                in_tree_node[e.to] = true;
+            } else {
+                d[e.from] = d[e.to] - e.val;
+                in_tree_node[e.from] = true;
+            }
+        }
+
+        // Chord increments: inc(e) = D(from) + val - D(to); zero on tree
+        // edges by construction.
+        let mut entry_inc = HashMap::new();
+        let mut exit_inc = HashMap::new();
+        let mut edge_inc = HashMap::new();
+        let mut instrumented = 0usize;
+        let mut dag_succs: Vec<Vec<(usize, i128)>> = vec![Vec::new(); node_count];
+        for (i, e) in edges.iter_mut().enumerate() {
+            e.inc = d[e.from] + e.val - d[e.to];
+            debug_assert!(!tree_edge[i] || e.inc == 0, "tree edge got nonzero inc");
+            if e.real {
+                edge_inc.insert((e.from, e.to), e.inc);
+                if e.inc != 0 {
+                    instrumented += 1;
+                }
+            } else if e.from == entry_node {
+                entry_inc.insert(e.to, e.inc);
+            } else {
+                exit_inc.insert(e.from, e.inc);
+            }
+            dag_succs[e.from].push((e.to, e.val));
+        }
+        // decode() picks the successor with the greatest val <= remainder;
+        // keep lists sorted by val.
+        for succs in &mut dag_succs {
+            succs.sort_by_key(|&(_, val)| val);
+        }
+
+        let init = d[exit_node];
+        Ok(BallLarus {
+            num_paths,
+            init,
+            entry_inc,
+            exit_inc,
+            edge_inc,
+            back_edges,
+            instrumented,
+            dag_succs,
+            entry_node,
+            exit_node,
+        })
+    }
+
+    /// Number of distinct acyclic (forward) paths through the function.
+    pub fn num_paths(&self) -> u128 {
+        self.num_paths
+    }
+
+    /// Number of real CFG edges carrying a nonzero increment — the
+    /// spanning-tree-minimized instrumentation count.
+    pub fn instrumented_edge_count(&self) -> usize {
+        self.instrumented
+    }
+
+    /// Initial path-register value when a path starts at `block`.
+    ///
+    /// Returns `None` if `block` is not a valid path start (function entry
+    /// or loop header).
+    pub fn path_start(&self, block: LocalBlockId) -> Option<i128> {
+        self.entry_inc
+            .get(&block.index())
+            .map(|inc| self.init + inc)
+    }
+
+    /// Runtime action for a dynamic transfer `from -> to` inside the
+    /// function.
+    ///
+    /// Returns `None` when `from -> to` is not a CFG edge (callers should
+    /// treat that as a bug).
+    pub fn transfer(&self, from: LocalBlockId, to: LocalBlockId) -> Option<Transfer> {
+        let key = (from.index(), to.index());
+        if self.back_edges.contains_key(&key) {
+            Some(Transfer::EndAndRestart {
+                end_inc: *self.exit_inc.get(&key.0).expect("latch has exit inc"),
+                restart: self.init + self.entry_inc[&key.1],
+            })
+        } else {
+            self.edge_inc.get(&key).copied().map(Transfer::Advance)
+        }
+    }
+
+    /// Final increment when the path ends because `block` leaves the
+    /// function (`Return`/`Halt`). `None` if `block` cannot end a path this
+    /// way.
+    pub fn block_exit_inc(&self, block: LocalBlockId) -> Option<i128> {
+        self.exit_inc.get(&block.index()).copied()
+    }
+
+    /// Encodes a complete forward path (from a path-start block to a
+    /// path-end block, inclusive) into its path id.
+    ///
+    /// Returns `None` if the sequence is not a valid acyclic path.
+    pub fn encode(&self, blocks: &[LocalBlockId]) -> Option<u128> {
+        let first = blocks.first()?;
+        let mut r = self.path_start(*first)?;
+        for w in blocks.windows(2) {
+            match self.transfer(w[0], w[1])? {
+                Transfer::Advance(inc) => r += inc,
+                Transfer::EndAndRestart { .. } => return None,
+            }
+        }
+        let last = blocks.last()?;
+        r += self.block_exit_inc(*last)?;
+        u128::try_from(r).ok().filter(|&id| id < self.num_paths)
+    }
+
+    /// Decodes a path id into its block sequence (pseudo ENTRY/EXIT nodes
+    /// excluded).
+    ///
+    /// Returns `None` if `id >= num_paths()`.
+    pub fn decode(&self, id: u128) -> Option<Vec<LocalBlockId>> {
+        if id >= self.num_paths {
+            return None;
+        }
+        let mut blocks = Vec::new();
+        let mut node = self.entry_node;
+        let mut remaining = id;
+        while node != self.exit_node {
+            // Largest val <= remaining among successors (they are sorted).
+            let succs = &self.dag_succs[node];
+            let (next, val) = *succs
+                .iter()
+                .rev()
+                .find(|&&(_, val)| (val as u128) <= remaining || val == 0)
+                .expect("decode: no viable successor");
+            remaining -= val as u128;
+            node = next;
+            if node != self.exit_node {
+                blocks.push(LocalBlockId::new(node as u32));
+            }
+        }
+        debug_assert_eq!(remaining, 0, "decode left a remainder");
+        Some(blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Reg;
+    use crate::program::BasicBlock;
+
+    fn func(terms: Vec<Terminator>) -> Function {
+        Function {
+            name: "t".into(),
+            blocks: terms
+                .into_iter()
+                .map(|t| BasicBlock::new(vec![], t))
+                .collect(),
+            num_regs: 8,
+        }
+    }
+
+    fn l(i: u32) -> LocalBlockId {
+        LocalBlockId::new(i)
+    }
+
+    fn br(c: u16, t: u32, f: u32) -> Terminator {
+        Terminator::Branch {
+            cond: Reg::new(c),
+            taken: l(t),
+            fallthrough: l(f),
+        }
+    }
+
+    /// The diamond from Figure 1's spirit: 0 -> {1,2} -> 3 -> halt.
+    #[test]
+    fn diamond_has_two_paths() {
+        let f = func(vec![br(0, 1, 2), Terminator::Jump(l(3)), Terminator::Jump(l(3)), Terminator::Halt]);
+        let bl = BallLarus::new(&f).unwrap();
+        assert_eq!(bl.num_paths(), 2);
+        let p0 = bl.decode(0).unwrap();
+        let p1 = bl.decode(1).unwrap();
+        assert_ne!(p0, p1);
+        assert_eq!(bl.encode(&p0), Some(0));
+        assert_eq!(bl.encode(&p1), Some(1));
+    }
+
+    /// Figure 1 of the paper: a loop body with 5 acyclic paths.
+    ///
+    /// A(0) -> B(1) | C(2); B -> D(3); D -> G(4) | H(5); C -> E(6) | F(7);
+    /// E -> I(8); F -> I; G -> J(9) (and G can end at a backward branch);
+    /// H -> J; I -> J; J -> A (back edge).
+    #[test]
+    fn figure_one_loop_paths() {
+        let f = func(vec![
+            br(0, 1, 2),                // A
+            Terminator::Jump(l(3)),     // B
+            br(1, 6, 7),                // C
+            br(2, 4, 5),                // D
+            Terminator::Jump(l(9)),     // G
+            Terminator::Jump(l(9)),     // H
+            Terminator::Jump(l(8)),     // E
+            Terminator::Jump(l(8)),     // F
+            Terminator::Jump(l(9)),     // I
+            br(3, 0, 10),               // J -> A back edge, or exit
+            Terminator::Halt,           // exit
+        ]);
+        let bl = BallLarus::new(&f).unwrap();
+        // Four A->..->J prefixes (ABDGJ, ABDHJ, ACEIJ, ACFIJ); each either
+        // takes the back edge at J (J->EXIT pseudo) or falls through to the
+        // halt block, so the acyclic path space has 4 * 2 = 8 paths.
+        assert_eq!(bl.num_paths(), 8);
+        round_trip_all(&bl);
+    }
+
+    fn round_trip_all(bl: &BallLarus) {
+        let n = u128::try_from(bl.num_paths()).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..n {
+            let blocks = bl.decode(id).expect("decodable");
+            assert!(seen.insert(blocks.clone()), "duplicate path for id {id}");
+            assert_eq!(bl.encode(&blocks), Some(id), "encode(decode({id}))");
+        }
+    }
+
+    #[test]
+    fn loop_with_if_else_runtime_simulation() {
+        // 0: init -> 1 header; 1: branch body(2)/exit(5);
+        // 2: branch 3 / 4; 3 -> 1 (latch); 4 -> 1 (latch); 5: halt.
+        let f = func(vec![
+            Terminator::Jump(l(1)),
+            br(0, 2, 5),
+            br(1, 3, 4),
+            Terminator::Jump(l(1)),
+            Terminator::Jump(l(1)),
+            Terminator::Halt,
+        ]);
+        let bl = BallLarus::new(&f).unwrap();
+        // Path starts: entry block 0 and header 1. Path ends: latches 3, 4
+        // and halt 5.
+        assert!(bl.path_start(l(0)).is_some());
+        assert!(bl.path_start(l(1)).is_some());
+        assert!(bl.path_start(l(2)).is_none());
+        assert!(bl.block_exit_inc(l(3)).is_some());
+        assert!(bl.block_exit_inc(l(5)).is_some());
+        round_trip_all(&bl);
+
+        // Simulate the dynamic sequence 0,1,2,3, 1,2,4, 1,5 and check that
+        // the runtime register reproduces encode() of each path.
+        let mut r = bl.path_start(l(0)).unwrap();
+        for (from, to) in [(0u32, 1u32), (1, 2), (2, 3)] {
+            match bl.transfer(l(from), l(to)).unwrap() {
+                Transfer::Advance(inc) => r += inc,
+                Transfer::EndAndRestart { .. } => panic!("unexpected end"),
+            }
+        }
+        // 3 -> 1 is the back edge.
+        let Transfer::EndAndRestart { end_inc, restart } = bl.transfer(l(3), l(1)).unwrap() else {
+            panic!("expected back edge")
+        };
+        let id1 = u128::try_from(r + end_inc).unwrap();
+        assert_eq!(
+            bl.decode(id1).unwrap(),
+            vec![l(0), l(1), l(2), l(3)],
+            "first dynamic path"
+        );
+        let mut r = restart;
+        for (from, to) in [(1u32, 2u32), (2, 4)] {
+            match bl.transfer(l(from), l(to)).unwrap() {
+                Transfer::Advance(inc) => r += inc,
+                Transfer::EndAndRestart { .. } => panic!("unexpected end"),
+            }
+        }
+        let Transfer::EndAndRestart { end_inc, restart } = bl.transfer(l(4), l(1)).unwrap() else {
+            panic!("expected back edge")
+        };
+        let id2 = u128::try_from(r + end_inc).unwrap();
+        assert_eq!(bl.decode(id2).unwrap(), vec![l(1), l(2), l(4)]);
+        // Final path 1 -> 5 ends at halt.
+        let mut r = restart;
+        match bl.transfer(l(1), l(5)).unwrap() {
+            Transfer::Advance(inc) => r += inc,
+            Transfer::EndAndRestart { .. } => panic!("unexpected end"),
+        }
+        let id3 = u128::try_from(r + bl.block_exit_inc(l(5)).unwrap()).unwrap();
+        assert_eq!(bl.decode(id3).unwrap(), vec![l(1), l(5)]);
+        // All three dynamic paths are distinct.
+        assert_ne!(id1, id2);
+        assert_ne!(id2, id3);
+        assert_ne!(id1, id3);
+    }
+
+    #[test]
+    fn straight_line_single_path() {
+        let f = func(vec![Terminator::Jump(l(1)), Terminator::Halt]);
+        let bl = BallLarus::new(&f).unwrap();
+        assert_eq!(bl.num_paths(), 1);
+        assert_eq!(bl.decode(0).unwrap(), vec![l(0), l(1)]);
+        assert_eq!(bl.instrumented_edge_count(), 0, "one path needs no probes");
+    }
+
+    #[test]
+    fn switch_multiplies_paths() {
+        let f = func(vec![
+            Terminator::Switch {
+                index: Reg::new(0),
+                targets: vec![l(1), l(2), l(3)],
+                default: l(4),
+            },
+            Terminator::Jump(l(5)),
+            Terminator::Jump(l(5)),
+            Terminator::Jump(l(5)),
+            Terminator::Jump(l(5)),
+            Terminator::Halt,
+        ]);
+        let bl = BallLarus::new(&f).unwrap();
+        assert_eq!(bl.num_paths(), 4);
+        round_trip_all(&bl);
+    }
+
+    #[test]
+    fn nested_loops_are_numbered() {
+        // outer: 1, inner: 2; 0->1->2->3, 3->2 latch, 3->4, 4->1 latch, 4->5
+        let f = func(vec![
+            Terminator::Jump(l(1)),
+            Terminator::Jump(l(2)),
+            Terminator::Jump(l(3)),
+            br(0, 2, 4),
+            br(1, 1, 5),
+            Terminator::Halt,
+        ]);
+        let bl = BallLarus::new(&f).unwrap();
+        round_trip_all(&bl);
+        // Starts: 0, 1, 2; ends: 3 (latch), 4 (latch), 5 (halt).
+        assert!(bl.path_start(l(2)).is_some());
+        assert!(bl.block_exit_inc(l(4)).is_some());
+    }
+
+    #[test]
+    fn self_loop_block() {
+        let f = func(vec![br(0, 0, 1), Terminator::Halt]);
+        let bl = BallLarus::new(&f).unwrap();
+        // Paths: [0] ending at back edge, [0, 1] ending at halt.
+        assert_eq!(bl.num_paths(), 2);
+        round_trip_all(&bl);
+        let t = bl.transfer(l(0), l(0)).unwrap();
+        assert!(matches!(t, Transfer::EndAndRestart { .. }));
+    }
+
+    #[test]
+    fn non_edge_transfer_is_none() {
+        let f = func(vec![Terminator::Jump(l(1)), Terminator::Halt]);
+        let bl = BallLarus::new(&f).unwrap();
+        assert_eq!(bl.transfer(l(1), l(0)), None);
+    }
+}

@@ -1,0 +1,574 @@
+//! Ergonomic construction of [`Program`]s.
+//!
+//! [`FunctionBuilder`] emits straight-line instructions into a *current*
+//! block and finishes blocks with terminator methods ([`jump`], [`branch`],
+//! [`switch`], [`call`], [`ret`], [`halt`]). Blocks are write-once: create
+//! them with [`new_block`], fill them after [`switch_to`]. The
+//! `hotpath-workloads` crate builds all nine benchmark programs with this
+//! API.
+//!
+//! [`jump`]: FunctionBuilder::jump
+//! [`branch`]: FunctionBuilder::branch
+//! [`switch`]: FunctionBuilder::switch
+//! [`call`]: FunctionBuilder::call
+//! [`ret`]: FunctionBuilder::ret
+//! [`halt`]: FunctionBuilder::halt
+//! [`new_block`]: FunctionBuilder::new_block
+//! [`switch_to`]: FunctionBuilder::switch_to
+
+use std::collections::HashMap;
+
+use crate::error::IrError;
+use crate::ids::{FuncId, GlobalReg, LocalBlockId, Reg};
+use crate::inst::{BinOp, CmpOp, Inst, UnOp};
+use crate::program::{BasicBlock, Function, Program, Terminator};
+use crate::validate::validate;
+
+/// Incrementally builds one [`Function`].
+///
+/// The entry block (block 0) is created and selected by [`FunctionBuilder::new`].
+///
+/// # Panics
+///
+/// Builder misuse — emitting with no current block, switching to a finished
+/// block, or terminating twice — panics with a descriptive message; these
+/// are programming errors in the embedding code, not runtime conditions.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    finished: Vec<Option<BasicBlock>>,
+    current: Option<LocalBlockId>,
+    pending: Vec<Inst>,
+    next_reg: u16,
+}
+
+impl FunctionBuilder {
+    /// Starts a function; creates the entry block and selects it.
+    pub fn new(name: impl Into<String>) -> Self {
+        FunctionBuilder {
+            name: name.into(),
+            finished: vec![None],
+            current: Some(LocalBlockId::new(0)),
+            pending: Vec::new(),
+            next_reg: 0,
+        }
+    }
+
+    /// The function's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Allocates a fresh register in this function's frame.
+    pub fn reg(&mut self) -> Reg {
+        let r = Reg::new(self.next_reg);
+        self.next_reg = self
+            .next_reg
+            .checked_add(1)
+            .expect("function uses more than 65535 registers");
+        r
+    }
+
+    /// Creates a new, empty, unselected block and returns its id.
+    pub fn new_block(&mut self) -> LocalBlockId {
+        let id = LocalBlockId::new(self.finished.len() as u32);
+        self.finished.push(None);
+        id
+    }
+
+    /// Selects `block` as the current emission target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another block is still open or if `block` already has a
+    /// body.
+    pub fn switch_to(&mut self, block: LocalBlockId) {
+        assert!(
+            self.current.is_none(),
+            "switch_to({block}) while block {} is still open in `{}`",
+            self.current.expect("checked"),
+            self.name
+        );
+        assert!(
+            self.finished[block.index()].is_none(),
+            "switch_to({block}): block already finished in `{}`",
+            self.name
+        );
+        self.current = Some(block);
+    }
+
+    /// The block currently being emitted into, if any.
+    pub fn current_block(&self) -> Option<LocalBlockId> {
+        self.current
+    }
+
+    /// Appends a raw instruction to the current block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no block is selected.
+    pub fn emit(&mut self, inst: Inst) {
+        assert!(
+            self.current.is_some(),
+            "emit with no open block in `{}`",
+            self.name
+        );
+        self.pending.push(inst);
+    }
+
+    // ---- straight-line convenience emitters ------------------------------
+
+    /// `dst = value`
+    pub fn const_(&mut self, dst: Reg, value: i64) {
+        self.emit(Inst::Const { dst, value });
+    }
+
+    /// Allocates a register holding `value`.
+    pub fn imm(&mut self, value: i64) -> Reg {
+        let dst = self.reg();
+        self.const_(dst, value);
+        dst
+    }
+
+    /// `dst = src`
+    pub fn mov(&mut self, dst: Reg, src: Reg) {
+        self.emit(Inst::Mov { dst, src });
+    }
+
+    /// `dst = lhs op rhs`
+    pub fn bin(&mut self, op: BinOp, dst: Reg, lhs: Reg, rhs: Reg) {
+        self.emit(Inst::Bin { op, dst, lhs, rhs });
+    }
+
+    /// `dst = lhs op imm`
+    pub fn bin_imm(&mut self, op: BinOp, dst: Reg, lhs: Reg, imm: i64) {
+        self.emit(Inst::BinImm { op, dst, lhs, imm });
+    }
+
+    /// `dst = op src`
+    pub fn un(&mut self, op: UnOp, dst: Reg, src: Reg) {
+        self.emit(Inst::Un { op, dst, src });
+    }
+
+    /// `dst = lhs + rhs`
+    pub fn add(&mut self, dst: Reg, lhs: Reg, rhs: Reg) {
+        self.bin(BinOp::Add, dst, lhs, rhs);
+    }
+
+    /// `dst = lhs + imm`
+    pub fn add_imm(&mut self, dst: Reg, lhs: Reg, imm: i64) {
+        self.bin_imm(BinOp::Add, dst, lhs, imm);
+    }
+
+    /// `dst = lhs - rhs`
+    pub fn sub(&mut self, dst: Reg, lhs: Reg, rhs: Reg) {
+        self.bin(BinOp::Sub, dst, lhs, rhs);
+    }
+
+    /// `dst = lhs * rhs`
+    pub fn mul(&mut self, dst: Reg, lhs: Reg, rhs: Reg) {
+        self.bin(BinOp::Mul, dst, lhs, rhs);
+    }
+
+    /// `dst = lhs * imm`
+    pub fn mul_imm(&mut self, dst: Reg, lhs: Reg, imm: i64) {
+        self.bin_imm(BinOp::Mul, dst, lhs, imm);
+    }
+
+    /// `dst = lhs % imm`
+    pub fn rem_imm(&mut self, dst: Reg, lhs: Reg, imm: i64) {
+        self.bin_imm(BinOp::Rem, dst, lhs, imm);
+    }
+
+    /// `dst = lhs & imm`
+    pub fn and_imm(&mut self, dst: Reg, lhs: Reg, imm: i64) {
+        self.bin_imm(BinOp::And, dst, lhs, imm);
+    }
+
+    /// `dst = lhs ^ rhs`
+    pub fn xor(&mut self, dst: Reg, lhs: Reg, rhs: Reg) {
+        self.bin(BinOp::Xor, dst, lhs, rhs);
+    }
+
+    /// `dst = lhs >> imm` (arithmetic)
+    pub fn shr_imm(&mut self, dst: Reg, lhs: Reg, imm: i64) {
+        self.bin_imm(BinOp::Shr, dst, lhs, imm);
+    }
+
+    /// `dst = lhs << imm`
+    pub fn shl_imm(&mut self, dst: Reg, lhs: Reg, imm: i64) {
+        self.bin_imm(BinOp::Shl, dst, lhs, imm);
+    }
+
+    /// Allocates a register with `(lhs op rhs) ? 1 : 0`.
+    pub fn cmp(&mut self, op: CmpOp, lhs: Reg, rhs: Reg) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::Cmp { op, dst, lhs, rhs });
+        dst
+    }
+
+    /// Allocates a register with `(lhs op imm) ? 1 : 0`.
+    pub fn cmp_imm(&mut self, op: CmpOp, lhs: Reg, imm: i64) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::CmpImm { op, dst, lhs, imm });
+        dst
+    }
+
+    /// `dst = memory[addr + offset]`
+    pub fn load(&mut self, dst: Reg, addr: Reg, offset: i64) {
+        self.emit(Inst::Load { dst, addr, offset });
+    }
+
+    /// `memory[addr + offset] = src`
+    pub fn store(&mut self, src: Reg, addr: Reg, offset: i64) {
+        self.emit(Inst::Store { src, addr, offset });
+    }
+
+    /// `dst = globals[g]`
+    pub fn get_global(&mut self, dst: Reg, g: GlobalReg) {
+        self.emit(Inst::GetGlobal { dst, global: g });
+    }
+
+    /// `globals[g] = src`
+    pub fn set_global(&mut self, g: GlobalReg, src: Reg) {
+        self.emit(Inst::SetGlobal { src, global: g });
+    }
+
+    // ---- terminators ------------------------------------------------------
+
+    fn finish_current(&mut self, terminator: Terminator) {
+        let cur = self
+            .current
+            .take()
+            .unwrap_or_else(|| panic!("terminator with no open block in `{}`", self.name));
+        let insts = std::mem::take(&mut self.pending);
+        self.finished[cur.index()] = Some(BasicBlock::new(insts, terminator));
+    }
+
+    /// Ends the current block with an unconditional jump.
+    pub fn jump(&mut self, target: LocalBlockId) {
+        self.finish_current(Terminator::Jump(target));
+    }
+
+    /// Ends the current block with a conditional branch (`cond != 0` takes
+    /// the first target).
+    pub fn branch(&mut self, cond: Reg, taken: LocalBlockId, fallthrough: LocalBlockId) {
+        self.finish_current(Terminator::Branch {
+            cond,
+            taken,
+            fallthrough,
+        });
+    }
+
+    /// Ends the current block with an indirect branch through a jump table.
+    pub fn switch(&mut self, index: Reg, targets: Vec<LocalBlockId>, default: LocalBlockId) {
+        self.finish_current(Terminator::Switch {
+            index,
+            targets,
+            default,
+        });
+    }
+
+    /// Ends the current block with a call; execution resumes at `ret_to`.
+    pub fn call(&mut self, callee: FuncId, ret_to: LocalBlockId) {
+        self.finish_current(Terminator::Call { callee, ret_to });
+    }
+
+    /// Ends the current block with a return.
+    pub fn ret(&mut self) {
+        self.finish_current(Terminator::Return);
+    }
+
+    /// Ends the current block with a halt.
+    pub fn halt(&mut self) {
+        self.finish_current(Terminator::Halt);
+    }
+
+    /// Finalizes the function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::UnfinishedBlock`] if any created block was never
+    /// given a body.
+    pub fn finish(self) -> Result<Function, IrError> {
+        assert!(
+            self.current.is_none(),
+            "finish() while block {} is still open in `{}`",
+            self.current.expect("checked"),
+            self.name
+        );
+        let mut blocks = Vec::with_capacity(self.finished.len());
+        for (i, b) in self.finished.into_iter().enumerate() {
+            match b {
+                Some(b) => blocks.push(b),
+                None => {
+                    return Err(IrError::UnfinishedBlock {
+                        function: self.name,
+                        block: i,
+                    })
+                }
+            }
+        }
+        Ok(Function {
+            name: self.name,
+            blocks,
+            num_regs: self.next_reg,
+        })
+    }
+}
+
+/// Incrementally builds a [`Program`] out of functions.
+///
+/// Functions that call each other can be pre-declared with
+/// [`ProgramBuilder::declare`] to obtain their [`FuncId`] before their body
+/// exists.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    slots: Vec<Option<Function>>,
+    names: HashMap<String, FuncId>,
+    entry: Option<FuncId>,
+    memory_words: usize,
+    data: Vec<(usize, i64)>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty program builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a function name, reserving its [`FuncId`] so other functions
+    /// can call it before it is defined. Declaring the same name twice
+    /// returns the same id.
+    pub fn declare(&mut self, name: impl Into<String>) -> FuncId {
+        let name = name.into();
+        if let Some(&id) = self.names.get(&name) {
+            return id;
+        }
+        let id = FuncId::new(self.slots.len() as u32);
+        self.slots.push(None);
+        self.names.insert(name, id);
+        id
+    }
+
+    /// Finalizes `fb` and installs it, either into its declared slot or as a
+    /// new function. Returns its [`FuncId`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FunctionBuilder::finish`] errors.
+    pub fn add_function(&mut self, fb: FunctionBuilder) -> Result<FuncId, IrError> {
+        let func = fb.finish()?;
+        let id = self.declare(func.name.clone());
+        self.slots[id.index()] = Some(func);
+        Ok(id)
+    }
+
+    /// Sets the entry function. Defaults to the function named `main`, or
+    /// the first function if no `main` exists.
+    pub fn set_entry(&mut self, entry: FuncId) -> &mut Self {
+        self.entry = Some(entry);
+        self
+    }
+
+    /// Sets the data-memory size in 64-bit words.
+    pub fn memory_words(&mut self, words: usize) -> &mut Self {
+        self.memory_words = words;
+        self
+    }
+
+    /// Adds an initial-memory word.
+    pub fn datum(&mut self, address: usize, value: i64) -> &mut Self {
+        self.data.push((address, value));
+        self
+    }
+
+    /// Validates and returns the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`IrError`] if a declared function was never defined, the
+    /// program is empty, or validation fails (bad targets, bad registers,
+    /// out-of-range data, missing entry).
+    pub fn finish(self) -> Result<Program, IrError> {
+        if self.slots.is_empty() {
+            return Err(IrError::NoFunctions);
+        }
+        let mut functions = Vec::with_capacity(self.slots.len());
+        for (i, slot) in self.slots.into_iter().enumerate() {
+            match slot {
+                Some(f) => functions.push(f),
+                None => {
+                    let name = self
+                        .names
+                        .iter()
+                        .find(|(_, id)| id.index() == i)
+                        .map(|(n, _)| n.clone())
+                        .unwrap_or_else(|| format!("fn{i}"));
+                    return Err(IrError::EmptyFunction { function: name });
+                }
+            }
+        }
+        let entry = match self.entry {
+            Some(e) => e,
+            None => functions
+                .iter()
+                .position(|f| f.name == "main")
+                .map(|i| FuncId::new(i as u32))
+                .unwrap_or(FuncId::new(0)),
+        };
+        let program = Program {
+            functions,
+            entry,
+            memory_words: self.memory_words,
+            data: self.data,
+        };
+        validate(&program)?;
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_counting_loop() {
+        let mut fb = FunctionBuilder::new("main");
+        let i = fb.reg();
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.const_(i, 0);
+        fb.jump(header);
+        fb.switch_to(header);
+        let c = fb.cmp_imm(CmpOp::Lt, i, 5);
+        fb.branch(c, body, exit);
+        fb.switch_to(body);
+        fb.add_imm(i, i, 1);
+        fb.jump(header);
+        fb.switch_to(exit);
+        fb.halt();
+
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(fb).unwrap();
+        let p = pb.finish().unwrap();
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].blocks.len(), 4);
+        assert_eq!(p.entry, FuncId::new(0));
+    }
+
+    #[test]
+    fn declare_before_define() {
+        let mut pb = ProgramBuilder::new();
+        let helper = pb.declare("helper");
+
+        let mut main = FunctionBuilder::new("main");
+        let after = main.new_block();
+        main.call(helper, after);
+        main.switch_to(after);
+        main.halt();
+        pb.add_function(main).unwrap();
+
+        let mut h = FunctionBuilder::new("helper");
+        h.ret();
+        pb.add_function(h).unwrap();
+
+        let p = pb.finish().unwrap();
+        assert_eq!(p.find_function("helper"), Some(helper));
+        // Entry defaults to `main` even though helper was declared first.
+        assert_eq!(p.function(p.entry).name, "main");
+    }
+
+    #[test]
+    fn undeclared_function_errors() {
+        let mut pb = ProgramBuilder::new();
+        pb.declare("ghost");
+        let err = pb.finish().unwrap_err();
+        assert_eq!(
+            err,
+            IrError::EmptyFunction {
+                function: "ghost".into()
+            }
+        );
+    }
+
+    #[test]
+    fn unfinished_block_errors() {
+        let mut fb = FunctionBuilder::new("f");
+        let dangling = fb.new_block();
+        fb.jump(dangling);
+        // `dangling` never gets a body.
+        let err = fb.finish().unwrap_err();
+        assert_eq!(
+            err,
+            IrError::UnfinishedBlock {
+                function: "f".into(),
+                block: 1
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "still open")]
+    fn switch_while_open_panics() {
+        let mut fb = FunctionBuilder::new("f");
+        let b = fb.new_block();
+        fb.switch_to(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "already finished")]
+    fn switch_to_finished_panics() {
+        let mut fb = FunctionBuilder::new("f");
+        let b = fb.new_block();
+        fb.jump(b);
+        fb.switch_to(b);
+        fb.halt();
+        fb.switch_to(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "no open block")]
+    fn emit_without_block_panics() {
+        let mut fb = FunctionBuilder::new("f");
+        fb.halt();
+        fb.const_(Reg::new(0), 1);
+    }
+
+    #[test]
+    fn imm_allocates_register() {
+        let mut fb = FunctionBuilder::new("f");
+        let a = fb.imm(42);
+        let b = fb.imm(43);
+        assert_ne!(a, b);
+        fb.halt();
+        let f = fb.finish().unwrap();
+        assert_eq!(f.num_regs, 2);
+    }
+
+    #[test]
+    fn memory_and_data() {
+        let mut fb = FunctionBuilder::new("main");
+        fb.halt();
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(fb).unwrap();
+        pb.memory_words(8).datum(3, 99);
+        let p = pb.finish().unwrap();
+        assert_eq!(p.memory_words, 8);
+        assert_eq!(p.data, vec![(3, 99)]);
+    }
+
+    #[test]
+    fn data_out_of_range_errors() {
+        let mut fb = FunctionBuilder::new("main");
+        fb.halt();
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(fb).unwrap();
+        pb.memory_words(2).datum(5, 1);
+        assert!(matches!(
+            pb.finish().unwrap_err(),
+            IrError::BadDataAddress { address: 5, .. }
+        ));
+    }
+}

@@ -1,0 +1,305 @@
+//! Intraprocedural control-flow graph analyses.
+//!
+//! Successor/predecessor maps, reverse postorder, and dominator trees
+//! (Cooper–Harvey–Kennedy iterative algorithm). These back the natural-loop
+//! detection in [`crate::loops`] and the Ball–Larus numbering in
+//! [`crate::ball_larus`].
+
+use crate::ids::LocalBlockId;
+use crate::program::Function;
+
+/// Per-function CFG with precomputed predecessor lists and reverse
+/// postorder.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    succs: Vec<Vec<LocalBlockId>>,
+    preds: Vec<Vec<LocalBlockId>>,
+    /// Blocks in reverse postorder of a DFS from the entry. Unreachable
+    /// blocks are absent.
+    rpo: Vec<LocalBlockId>,
+    /// Position of each block in `rpo`; `usize::MAX` for unreachable blocks.
+    rpo_index: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `func` using
+    /// [`Terminator::successors`](crate::Terminator::successors) (calls fall
+    /// through to their return continuation).
+    pub fn new(func: &Function) -> Self {
+        let n = func.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (i, block) in func.blocks.iter().enumerate() {
+            let from = LocalBlockId::new(i as u32);
+            for s in block.terminator.successors() {
+                if !succs[i].contains(&s) {
+                    succs[i].push(s);
+                    preds[s.index()].push(from);
+                }
+            }
+        }
+
+        // Iterative DFS computing postorder, then reverse it.
+        let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+        let mut postorder = Vec::with_capacity(n);
+        let mut stack: Vec<(usize, usize)> = Vec::new();
+        if n > 0 {
+            stack.push((0, 0));
+            state[0] = 1;
+        }
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if *next < succs[node].len() {
+                let s = succs[node][*next].index();
+                *next += 1;
+                if state[s] == 0 {
+                    state[s] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[node] = 2;
+                postorder.push(LocalBlockId::new(node as u32));
+                stack.pop();
+            }
+        }
+        postorder.reverse();
+        let rpo = postorder;
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        Cfg {
+            succs,
+            preds,
+            rpo,
+            rpo_index,
+        }
+    }
+
+    /// Number of blocks in the function (including unreachable ones).
+    pub fn block_count(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Successors of a block (deduplicated, in terminator order).
+    pub fn succs(&self, b: LocalBlockId) -> &[LocalBlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessors of a block.
+    pub fn preds(&self, b: LocalBlockId) -> &[LocalBlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Blocks in reverse postorder from the entry; unreachable blocks are
+    /// omitted.
+    pub fn reverse_postorder(&self) -> &[LocalBlockId] {
+        &self.rpo
+    }
+
+    /// True if the block is reachable from the entry.
+    pub fn is_reachable(&self, b: LocalBlockId) -> bool {
+        self.rpo_index[b.index()] != usize::MAX
+    }
+
+    /// Position of a block in reverse postorder, if reachable.
+    pub fn rpo_index(&self, b: LocalBlockId) -> Option<usize> {
+        match self.rpo_index[b.index()] {
+            usize::MAX => None,
+            i => Some(i),
+        }
+    }
+}
+
+/// Dominator tree computed with the Cooper–Harvey–Kennedy iterative
+/// algorithm over reverse postorder.
+#[derive(Clone, Debug)]
+pub struct Dominators {
+    /// Immediate dominator of each block; entry maps to itself, unreachable
+    /// blocks map to `None`.
+    idom: Vec<Option<LocalBlockId>>,
+}
+
+impl Dominators {
+    /// Computes dominators for a CFG.
+    pub fn new(cfg: &Cfg) -> Self {
+        let n = cfg.block_count();
+        let mut idom: Vec<Option<usize>> = vec![None; n];
+        if n == 0 {
+            return Dominators { idom: Vec::new() };
+        }
+        let entry = 0usize;
+        idom[entry] = Some(entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.reverse_postorder().iter().skip(1) {
+                let bi = b.index();
+                // Find first processed predecessor.
+                let mut new_idom: Option<usize> = None;
+                for &p in cfg.preds(b) {
+                    let pi = p.index();
+                    if idom[pi].is_some() {
+                        new_idom = Some(match new_idom {
+                            None => pi,
+                            Some(cur) => intersect(cfg, &idom, pi, cur),
+                        });
+                    }
+                }
+                if let Some(ni) = new_idom {
+                    if idom[bi] != Some(ni) {
+                        idom[bi] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators {
+            idom: idom
+                .into_iter()
+                .map(|o| o.map(|i| LocalBlockId::new(i as u32)))
+                .collect(),
+        }
+    }
+
+    /// Immediate dominator of `b`. The entry block dominates itself;
+    /// unreachable blocks have none.
+    pub fn idom(&self, b: LocalBlockId) -> Option<LocalBlockId> {
+        self.idom[b.index()]
+    }
+
+    /// True if `a` dominates `b` (reflexive). Unreachable blocks dominate
+    /// nothing and are dominated by nothing.
+    pub fn dominates(&self, a: LocalBlockId, b: LocalBlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+}
+
+fn intersect(cfg: &Cfg, idom: &[Option<usize>], mut a: usize, mut b: usize) -> usize {
+    let rpo_of = |x: usize| cfg.rpo_index(LocalBlockId::new(x as u32)).expect("reachable");
+    while a != b {
+        while rpo_of(a) > rpo_of(b) {
+            a = idom[a].expect("processed");
+        }
+        while rpo_of(b) > rpo_of(a) {
+            b = idom[b].expect("processed");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Reg;
+    use crate::program::{BasicBlock, Terminator};
+
+    fn func(terms: Vec<Terminator>) -> Function {
+        Function {
+            name: "t".into(),
+            blocks: terms
+                .into_iter()
+                .map(|t| BasicBlock::new(vec![], t))
+                .collect(),
+            num_regs: 4,
+        }
+    }
+
+    fn l(i: u32) -> LocalBlockId {
+        LocalBlockId::new(i)
+    }
+
+    /// Diamond: 0 -> {1,2} -> 3
+    fn diamond() -> Function {
+        func(vec![
+            Terminator::Branch {
+                cond: Reg::new(0),
+                taken: l(1),
+                fallthrough: l(2),
+            },
+            Terminator::Jump(l(3)),
+            Terminator::Jump(l(3)),
+            Terminator::Halt,
+        ])
+    }
+
+    #[test]
+    fn diamond_cfg_edges() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.succs(l(0)), &[l(1), l(2)]);
+        assert_eq!(cfg.preds(l(3)), &[l(1), l(2)]);
+        assert_eq!(cfg.reverse_postorder()[0], l(0));
+        assert_eq!(cfg.reverse_postorder().len(), 4);
+        assert!(cfg.is_reachable(l(3)));
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&cfg);
+        assert_eq!(dom.idom(l(0)), Some(l(0)));
+        assert_eq!(dom.idom(l(1)), Some(l(0)));
+        assert_eq!(dom.idom(l(2)), Some(l(0)));
+        assert_eq!(dom.idom(l(3)), Some(l(0)));
+        assert!(dom.dominates(l(0), l(3)));
+        assert!(!dom.dominates(l(1), l(3)));
+        assert!(dom.dominates(l(3), l(3)));
+    }
+
+    #[test]
+    fn loop_dominators() {
+        // 0 -> 1 -> 2 -> 1 (latch), 2 -> 3 exit
+        let f = func(vec![
+            Terminator::Jump(l(1)),
+            Terminator::Jump(l(2)),
+            Terminator::Branch {
+                cond: Reg::new(0),
+                taken: l(1),
+                fallthrough: l(3),
+            },
+            Terminator::Halt,
+        ]);
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&cfg);
+        assert_eq!(dom.idom(l(1)), Some(l(0)));
+        assert_eq!(dom.idom(l(2)), Some(l(1)));
+        assert_eq!(dom.idom(l(3)), Some(l(2)));
+        assert!(dom.dominates(l(1), l(3)));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let f = func(vec![Terminator::Halt, Terminator::Halt]);
+        let cfg = Cfg::new(&f);
+        assert!(!cfg.is_reachable(l(1)));
+        assert_eq!(cfg.rpo_index(l(1)), None);
+        let dom = Dominators::new(&cfg);
+        assert_eq!(dom.idom(l(1)), None);
+        assert!(!dom.dominates(l(0), l(1)));
+    }
+
+    #[test]
+    fn duplicate_successors_are_deduplicated() {
+        let f = func(vec![
+            Terminator::Branch {
+                cond: Reg::new(0),
+                taken: l(1),
+                fallthrough: l(1),
+            },
+            Terminator::Halt,
+        ]);
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.succs(l(0)), &[l(1)]);
+        assert_eq!(cfg.preds(l(1)), &[l(0)]);
+    }
+}

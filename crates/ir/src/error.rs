@@ -1,0 +1,151 @@
+//! Error type for program construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating a [`Program`](crate::Program).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum IrError {
+    /// A function has no blocks.
+    EmptyFunction {
+        /// Name of the offending function.
+        function: String,
+    },
+    /// A block in the named function was created but never given a body via
+    /// the builder.
+    UnfinishedBlock {
+        /// Name of the offending function.
+        function: String,
+        /// Index of the unfinished block.
+        block: usize,
+    },
+    /// A terminator references a block index outside the function.
+    BadBlockTarget {
+        /// Name of the offending function.
+        function: String,
+        /// Block containing the bad terminator.
+        block: usize,
+        /// The out-of-range target index.
+        target: usize,
+    },
+    /// A call references a function index outside the program.
+    BadCallTarget {
+        /// Name of the offending function.
+        function: String,
+        /// Block containing the bad call.
+        block: usize,
+        /// The out-of-range callee index.
+        callee: usize,
+    },
+    /// An instruction references a register not in the function's frame.
+    BadRegister {
+        /// Name of the offending function.
+        function: String,
+        /// Block containing the bad instruction.
+        block: usize,
+        /// The out-of-range register index.
+        reg: usize,
+        /// Number of registers declared by the function.
+        num_regs: usize,
+    },
+    /// The program's entry function id is out of range.
+    BadEntry {
+        /// The out-of-range entry index.
+        entry: usize,
+    },
+    /// An initial-data entry addresses a word outside program memory.
+    BadDataAddress {
+        /// The out-of-range word address.
+        address: usize,
+        /// Memory size in words.
+        memory_words: usize,
+    },
+    /// The program contains no functions.
+    NoFunctions,
+    /// Two functions share the same name.
+    DuplicateFunctionName {
+        /// The duplicated name.
+        name: String,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::EmptyFunction { function } => {
+                write!(f, "function `{function}` has no blocks")
+            }
+            IrError::UnfinishedBlock { function, block } => {
+                write!(f, "block b{block} in `{function}` was never finished")
+            }
+            IrError::BadBlockTarget {
+                function,
+                block,
+                target,
+            } => write!(
+                f,
+                "terminator of b{block} in `{function}` targets nonexistent block b{target}"
+            ),
+            IrError::BadCallTarget {
+                function,
+                block,
+                callee,
+            } => write!(
+                f,
+                "call in b{block} of `{function}` targets nonexistent function fn{callee}"
+            ),
+            IrError::BadRegister {
+                function,
+                block,
+                reg,
+                num_regs,
+            } => write!(
+                f,
+                "b{block} of `{function}` uses register r{reg} but the frame has {num_regs} registers"
+            ),
+            IrError::BadEntry { entry } => {
+                write!(f, "entry function fn{entry} does not exist")
+            }
+            IrError::BadDataAddress {
+                address,
+                memory_words,
+            } => write!(
+                f,
+                "initial data addresses word {address} but memory has {memory_words} words"
+            ),
+            IrError::NoFunctions => f.write_str("program contains no functions"),
+            IrError::DuplicateFunctionName { name } => {
+                write!(f, "duplicate function name `{name}`")
+            }
+        }
+    }
+}
+
+impl Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            IrError::EmptyFunction {
+                function: "f".into(),
+            },
+            IrError::NoFunctions,
+            IrError::BadEntry { entry: 9 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IrError>();
+    }
+}

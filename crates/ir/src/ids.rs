@@ -1,0 +1,185 @@
+//! Identifier newtypes for functions, blocks, and registers.
+
+use std::fmt;
+
+/// Identifies a [`Function`](crate::Function) within a [`Program`](crate::Program).
+///
+/// The wrapped index is the position of the function in
+/// [`Program::functions`](crate::Program::functions).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FuncId(u32);
+
+impl FuncId {
+    /// Creates a function id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        FuncId(index)
+    }
+
+    /// Returns the raw index into the program's function table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn{}", self.0)
+    }
+}
+
+/// Identifies a [`BasicBlock`](crate::BasicBlock) *within one function*.
+///
+/// Local block ids are what [`Terminator`](crate::Terminator)s reference.
+/// For a program-wide identifier see [`BlockId`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LocalBlockId(u32);
+
+impl LocalBlockId {
+    /// Creates a local block id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        LocalBlockId(index)
+    }
+
+    /// Returns the raw index into the function's block table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LocalBlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// A program-wide block identifier assigned by [`Layout`](crate::Layout).
+///
+/// Global ids are dense (`0..layout.block_count()`), ordered by layout
+/// address, and are what the VM event stream, the path extractor, and the
+/// prediction schemes operate on — they play the role of code addresses in
+/// the paper.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BlockId(u32);
+
+impl BlockId {
+    /// Creates a global block id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        BlockId(index)
+    }
+
+    /// Returns the raw dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw dense index as `u32`.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// A virtual register local to one function's frame.
+///
+/// Each function declares how many registers its frame holds
+/// ([`Function::num_regs`](crate::Function::num_regs)); registers are not
+/// shared across calls.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Reg(u16);
+
+impl Reg {
+    /// Creates a register from a raw index.
+    pub const fn new(index: u16) -> Self {
+        Reg(index)
+    }
+
+    /// Returns the raw frame-slot index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One of the [`GlobalReg::COUNT`] machine-global registers.
+///
+/// Global registers survive across calls and are the calling convention of
+/// the virtual machine: callers place arguments in globals, callees read
+/// them and place results back.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct GlobalReg(u8);
+
+impl GlobalReg {
+    /// Number of global registers provided by the VM.
+    pub const COUNT: usize = 16;
+
+    /// Creates a global register reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= GlobalReg::COUNT`.
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < Self::COUNT,
+            "global register index {index} out of range 0..{}",
+            Self::COUNT
+        );
+        GlobalReg(index)
+    }
+
+    /// Returns the raw index into the VM's global register file.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GlobalReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_index() {
+        assert_eq!(FuncId::new(3).index(), 3);
+        assert_eq!(LocalBlockId::new(7).index(), 7);
+        assert_eq!(BlockId::new(11).index(), 11);
+        assert_eq!(BlockId::new(11).as_u32(), 11);
+        assert_eq!(Reg::new(2).index(), 2);
+        assert_eq!(GlobalReg::new(5).index(), 5);
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(FuncId::new(1).to_string(), "fn1");
+        assert_eq!(LocalBlockId::new(2).to_string(), "b2");
+        assert_eq!(BlockId::new(3).to_string(), "B3");
+        assert_eq!(Reg::new(4).to_string(), "r4");
+        assert_eq!(GlobalReg::new(5).to_string(), "g5");
+    }
+
+    #[test]
+    #[should_panic(expected = "global register index")]
+    fn global_reg_out_of_range_panics() {
+        let _ = GlobalReg::new(16);
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(BlockId::new(1) < BlockId::new(2));
+        assert!(Reg::new(0) < Reg::new(1));
+    }
+}

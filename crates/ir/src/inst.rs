@@ -1,0 +1,357 @@
+//! The straight-line instruction set executed inside basic blocks.
+
+use std::fmt;
+
+use crate::ids::{GlobalReg, Reg};
+
+/// Binary arithmetic and bitwise operators.
+///
+/// All arithmetic is wrapping two's-complement on `i64`. Division and
+/// remainder by zero are runtime errors reported by the VM; shifts mask
+/// their amount to the low six bits, as hardware does.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Truncating signed division. Division by zero is a VM error.
+    Div,
+    /// Signed remainder. Remainder by zero is a VM error.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Left shift; the shift amount is masked to `0..64`.
+    Shl,
+    /// Arithmetic right shift; the shift amount is masked to `0..64`.
+    Shr,
+    /// Minimum of the two operands.
+    Min,
+    /// Maximum of the two operands.
+    Max,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnOp {
+    /// Wrapping negation.
+    Neg,
+    /// Bitwise complement.
+    Not,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UnOp::Neg => "neg",
+            UnOp::Not => "not",
+        })
+    }
+}
+
+/// Comparison operators; results are `1` (true) or `0` (false).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates the comparison on two values.
+    pub fn eval(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        })
+    }
+}
+
+/// A straight-line (non-control-flow) instruction.
+///
+/// Control flow lives exclusively in block [`Terminator`](crate::Terminator)s
+/// so that the dynamic block stream is exactly the branch trace the paper's
+/// profiling schemes observe.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Inst {
+    /// `dst = value`
+    Const {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        value: i64,
+    },
+    /// `dst = src`
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst = op src`
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst = lhs op rhs`
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        lhs: Reg,
+        /// Right operand.
+        rhs: Reg,
+    },
+    /// `dst = lhs op imm`
+    BinImm {
+        /// Operator.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        lhs: Reg,
+        /// Immediate right operand.
+        imm: i64,
+    },
+    /// `dst = (lhs op rhs) ? 1 : 0`
+    Cmp {
+        /// Comparison operator.
+        op: CmpOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        lhs: Reg,
+        /// Right operand.
+        rhs: Reg,
+    },
+    /// `dst = (lhs op imm) ? 1 : 0`
+    CmpImm {
+        /// Comparison operator.
+        op: CmpOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        lhs: Reg,
+        /// Immediate right operand.
+        imm: i64,
+    },
+    /// `dst = memory[addr + offset]`; out-of-bounds access is a VM error.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Register holding the base word address.
+        addr: Reg,
+        /// Constant word offset added to the base.
+        offset: i64,
+    },
+    /// `memory[addr + offset] = src`; out-of-bounds access is a VM error.
+    Store {
+        /// Source register.
+        src: Reg,
+        /// Register holding the base word address.
+        addr: Reg,
+        /// Constant word offset added to the base.
+        offset: i64,
+    },
+    /// `dst = globals[global]` — read a machine-global register.
+    GetGlobal {
+        /// Destination register.
+        dst: Reg,
+        /// Global register to read.
+        global: GlobalReg,
+    },
+    /// `globals[global] = src` — write a machine-global register.
+    SetGlobal {
+        /// Source register.
+        src: Reg,
+        /// Global register to write.
+        global: GlobalReg,
+    },
+}
+
+impl Inst {
+    /// Returns the register written by this instruction, if any.
+    pub fn def(&self) -> Option<Reg> {
+        match *self {
+            Inst::Const { dst, .. }
+            | Inst::Mov { dst, .. }
+            | Inst::Un { dst, .. }
+            | Inst::Bin { dst, .. }
+            | Inst::BinImm { dst, .. }
+            | Inst::Cmp { dst, .. }
+            | Inst::CmpImm { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::GetGlobal { dst, .. } => Some(dst),
+            Inst::Store { .. } | Inst::SetGlobal { .. } => None,
+        }
+    }
+
+    /// Appends the registers read by this instruction to `uses`.
+    pub fn uses_into(&self, uses: &mut Vec<Reg>) {
+        match *self {
+            Inst::Const { .. } | Inst::GetGlobal { .. } => {}
+            Inst::Mov { src, .. } | Inst::Un { src, .. } => uses.push(src),
+            Inst::Bin { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } => {
+                uses.push(lhs);
+                uses.push(rhs);
+            }
+            Inst::BinImm { lhs, .. } | Inst::CmpImm { lhs, .. } => uses.push(lhs),
+            Inst::Load { addr, .. } => uses.push(addr),
+            Inst::Store { src, addr, .. } => {
+                uses.push(src);
+                uses.push(addr);
+            }
+            Inst::SetGlobal { src, .. } => uses.push(src),
+        }
+    }
+
+    /// Returns the registers read by this instruction.
+    pub fn uses(&self) -> Vec<Reg> {
+        let mut v = Vec::new();
+        self.uses_into(&mut v);
+        v
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Const { dst, value } => write!(f, "{dst} = const {value}"),
+            Inst::Mov { dst, src } => write!(f, "{dst} = {src}"),
+            Inst::Un { op, dst, src } => write!(f, "{dst} = {op} {src}"),
+            Inst::Bin { op, dst, lhs, rhs } => write!(f, "{dst} = {op} {lhs}, {rhs}"),
+            Inst::BinImm { op, dst, lhs, imm } => write!(f, "{dst} = {op} {lhs}, #{imm}"),
+            Inst::Cmp { op, dst, lhs, rhs } => write!(f, "{dst} = cmp.{op} {lhs}, {rhs}"),
+            Inst::CmpImm { op, dst, lhs, imm } => write!(f, "{dst} = cmp.{op} {lhs}, #{imm}"),
+            Inst::Load { dst, addr, offset } => write!(f, "{dst} = load [{addr}+{offset}]"),
+            Inst::Store { src, addr, offset } => write!(f, "store [{addr}+{offset}] = {src}"),
+            Inst::GetGlobal { dst, global } => write!(f, "{dst} = {global}"),
+            Inst::SetGlobal { src, global } => write!(f, "{global} = {src}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_eval_all_ops() {
+        assert!(CmpOp::Lt.eval(1, 2));
+        assert!(!CmpOp::Lt.eval(2, 2));
+        assert!(CmpOp::Le.eval(2, 2));
+        assert!(CmpOp::Eq.eval(3, 3));
+        assert!(CmpOp::Ne.eval(3, 4));
+        assert!(CmpOp::Gt.eval(5, 4));
+        assert!(CmpOp::Ge.eval(4, 4));
+        assert!(!CmpOp::Ge.eval(3, 4));
+    }
+
+    #[test]
+    fn def_and_uses() {
+        let r0 = Reg::new(0);
+        let r1 = Reg::new(1);
+        let r2 = Reg::new(2);
+        let add = Inst::Bin {
+            op: BinOp::Add,
+            dst: r0,
+            lhs: r1,
+            rhs: r2,
+        };
+        assert_eq!(add.def(), Some(r0));
+        assert_eq!(add.uses(), vec![r1, r2]);
+
+        let st = Inst::Store {
+            src: r1,
+            addr: r2,
+            offset: 4,
+        };
+        assert_eq!(st.def(), None);
+        assert_eq!(st.uses(), vec![r1, r2]);
+
+        let cg = Inst::GetGlobal {
+            dst: r0,
+            global: GlobalReg::new(0),
+        };
+        assert_eq!(cg.def(), Some(r0));
+        assert!(cg.uses().is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        let r0 = Reg::new(0);
+        let r1 = Reg::new(1);
+        let i = Inst::BinImm {
+            op: BinOp::Add,
+            dst: r0,
+            lhs: r1,
+            imm: 7,
+        };
+        assert_eq!(i.to_string(), "r0 = add r1, #7");
+        let c = Inst::CmpImm {
+            op: CmpOp::Lt,
+            dst: r0,
+            lhs: r1,
+            imm: 3,
+        };
+        assert_eq!(c.to_string(), "r0 = cmp.lt r1, #3");
+    }
+}

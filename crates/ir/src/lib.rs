@@ -1,0 +1,84 @@
+//! Virtual instruction set and control-flow graphs for the hot-path
+//! prediction reproduction.
+//!
+//! This crate provides the *program substrate* that replaces the PA-RISC
+//! binaries used in Duesterwald & Bala, "Software Profiling for Hot Path
+//! Prediction: Less is More" (ASPLOS 2000). It defines:
+//!
+//! * a small register-machine instruction set ([`Inst`]) with explicit
+//!   control flow ([`Terminator`]): conditional branches, indirect branches
+//!   (switches), calls, and returns;
+//! * [`Program`]s made of [`Function`]s made of [`BasicBlock`]s;
+//! * a deterministic address [`Layout`] that makes the notion of a
+//!   *backward branch* — the anchor of the paper's path definition —
+//!   well-defined, exactly as it is on a real binary;
+//! * CFG analyses (reverse postorder, dominators, natural loops) in
+//!   [`mod@cfg`] and [`loops`];
+//! * the Ball–Larus acyclic path numbering with spanning-tree instrumentation
+//!   placement in [`ball_larus`];
+//! * an ergonomic [`builder`] used by the `hotpath-workloads` crate to author
+//!   benchmark programs, and a seeded random structured-program generator in
+//!   [`gen`] used by property tests.
+//!
+//! # Example
+//!
+//! Build a program that sums the first ten integers and lay it out:
+//!
+//! ```
+//! use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
+//! use hotpath_ir::{CmpOp, Layout};
+//!
+//! let mut fb = FunctionBuilder::new("main");
+//! let (i, sum) = (fb.reg(), fb.reg());
+//! let header = fb.new_block();
+//! let body = fb.new_block();
+//! let exit = fb.new_block();
+//!
+//! fb.const_(i, 0);
+//! fb.const_(sum, 0);
+//! fb.jump(header);
+//!
+//! fb.switch_to(header);
+//! let cond = fb.cmp_imm(CmpOp::Lt, i, 10);
+//! fb.branch(cond, body, exit);
+//!
+//! fb.switch_to(body);
+//! fb.add(sum, sum, i);
+//! fb.add_imm(i, i, 1);
+//! fb.jump(header); // backward branch: loop latch
+//!
+//! fb.switch_to(exit);
+//! fb.halt();
+//!
+//! let mut pb = ProgramBuilder::new();
+//! pb.add_function(fb);
+//! let program = pb.finish()?;
+//! let layout = Layout::new(&program);
+//! assert!(layout.block_count() >= 4);
+//! # Ok::<(), hotpath_ir::IrError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ball_larus;
+pub mod builder;
+pub mod cfg;
+mod error;
+pub mod gen;
+mod ids;
+mod inst;
+mod layout;
+pub mod loops;
+pub mod parse;
+pub mod pretty;
+mod program;
+mod validate;
+
+pub use error::IrError;
+pub use ids::{BlockId, FuncId, GlobalReg, LocalBlockId, Reg};
+pub use inst::{BinOp, CmpOp, Inst, UnOp};
+pub use layout::{Address, Layout};
+pub use parse::{parse_program, ParseError};
+pub use program::{BasicBlock, Function, Program, Terminator};
+pub use validate::validate;

@@ -1,0 +1,233 @@
+//! Natural-loop detection.
+//!
+//! A *back edge* is a CFG edge `latch -> header` whose header dominates the
+//! latch; the natural loop of a back edge is the set of blocks that can
+//! reach the latch without passing through the header. Loop headers are the
+//! static analogue of the paper's "targets of backward taken branches" and
+//! are used by tests to cross-check the dynamic path-head census.
+
+use crate::cfg::{Cfg, Dominators};
+use crate::ids::LocalBlockId;
+use crate::program::Function;
+
+/// One natural loop.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NaturalLoop {
+    /// The loop header (target of the back edge).
+    pub header: LocalBlockId,
+    /// Latches: sources of back edges into this header.
+    pub latches: Vec<LocalBlockId>,
+    /// All blocks in the loop body, including the header, sorted by index.
+    pub body: Vec<LocalBlockId>,
+}
+
+impl NaturalLoop {
+    /// True if the loop contains `block`.
+    pub fn contains(&self, block: LocalBlockId) -> bool {
+        self.body.binary_search(&block).is_ok()
+    }
+}
+
+/// All natural loops of a function, merged per header.
+#[derive(Clone, Debug)]
+pub struct LoopForest {
+    loops: Vec<NaturalLoop>,
+}
+
+impl LoopForest {
+    /// Detects the natural loops of `func`.
+    pub fn new(func: &Function) -> Self {
+        let cfg = Cfg::new(func);
+        let dom = Dominators::new(&cfg);
+        Self::from_cfg(&cfg, &dom)
+    }
+
+    /// Detects natural loops from precomputed analyses.
+    pub fn from_cfg(cfg: &Cfg, dom: &Dominators) -> Self {
+        // Collect back edges grouped by header.
+        let mut by_header: Vec<(LocalBlockId, Vec<LocalBlockId>)> = Vec::new();
+        for &b in cfg.reverse_postorder() {
+            for &s in cfg.succs(b) {
+                if dom.dominates(s, b) {
+                    match by_header.iter_mut().find(|(h, _)| *h == s) {
+                        Some((_, latches)) => latches.push(b),
+                        None => by_header.push((s, vec![b])),
+                    }
+                }
+            }
+        }
+        let mut loops = Vec::with_capacity(by_header.len());
+        for (header, latches) in by_header {
+            let mut in_body = vec![false; cfg.block_count()];
+            in_body[header.index()] = true;
+            let mut stack: Vec<LocalBlockId> = Vec::new();
+            for &latch in &latches {
+                if !in_body[latch.index()] {
+                    in_body[latch.index()] = true;
+                    stack.push(latch);
+                }
+            }
+            while let Some(b) = stack.pop() {
+                for &p in cfg.preds(b) {
+                    if !in_body[p.index()] && cfg.is_reachable(p) {
+                        in_body[p.index()] = true;
+                        stack.push(p);
+                    }
+                }
+            }
+            let body: Vec<LocalBlockId> = (0..cfg.block_count() as u32)
+                .map(LocalBlockId::new)
+                .filter(|b| in_body[b.index()])
+                .collect();
+            loops.push(NaturalLoop {
+                header,
+                latches,
+                body,
+            });
+        }
+        loops.sort_by_key(|l| l.header);
+        LoopForest { loops }
+    }
+
+    /// The detected loops, ordered by header block index.
+    pub fn loops(&self) -> &[NaturalLoop] {
+        &self.loops
+    }
+
+    /// Number of distinct loop headers.
+    pub fn header_count(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// The innermost loop containing `block`, by smallest body size.
+    pub fn innermost_containing(&self, block: LocalBlockId) -> Option<&NaturalLoop> {
+        self.loops
+            .iter()
+            .filter(|l| l.contains(block))
+            .min_by_key(|l| l.body.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Reg;
+    use crate::program::{BasicBlock, Terminator};
+
+    fn func(terms: Vec<Terminator>) -> Function {
+        Function {
+            name: "t".into(),
+            blocks: terms
+                .into_iter()
+                .map(|t| BasicBlock::new(vec![], t))
+                .collect(),
+            num_regs: 4,
+        }
+    }
+
+    fn l(i: u32) -> LocalBlockId {
+        LocalBlockId::new(i)
+    }
+
+    #[test]
+    fn simple_loop() {
+        // 0 -> 1(header) -> 2 -> 1, 2 -> 3
+        let f = func(vec![
+            Terminator::Jump(l(1)),
+            Terminator::Jump(l(2)),
+            Terminator::Branch {
+                cond: Reg::new(0),
+                taken: l(1),
+                fallthrough: l(3),
+            },
+            Terminator::Halt,
+        ]);
+        let forest = LoopForest::new(&f);
+        assert_eq!(forest.header_count(), 1);
+        let lp = &forest.loops()[0];
+        assert_eq!(lp.header, l(1));
+        assert_eq!(lp.latches, vec![l(2)]);
+        assert_eq!(lp.body, vec![l(1), l(2)]);
+        assert!(lp.contains(l(1)));
+        assert!(!lp.contains(l(3)));
+    }
+
+    #[test]
+    fn nested_loops() {
+        // 0 -> 1(outer hdr) -> 2(inner hdr) -> 3 -> 2 (inner latch),
+        // 3 -> 4 -> 1 (outer latch), 4 -> 5 exit
+        let f = func(vec![
+            Terminator::Jump(l(1)),
+            Terminator::Jump(l(2)),
+            Terminator::Jump(l(3)),
+            Terminator::Branch {
+                cond: Reg::new(0),
+                taken: l(2),
+                fallthrough: l(4),
+            },
+            Terminator::Branch {
+                cond: Reg::new(1),
+                taken: l(1),
+                fallthrough: l(5),
+            },
+            Terminator::Halt,
+        ]);
+        let forest = LoopForest::new(&f);
+        assert_eq!(forest.header_count(), 2);
+        let outer = forest.loops().iter().find(|lp| lp.header == l(1)).unwrap();
+        let inner = forest.loops().iter().find(|lp| lp.header == l(2)).unwrap();
+        assert_eq!(inner.body, vec![l(2), l(3)]);
+        assert_eq!(outer.body, vec![l(1), l(2), l(3), l(4)]);
+        assert_eq!(forest.innermost_containing(l(3)).unwrap().header, l(2));
+        assert_eq!(forest.innermost_containing(l(4)).unwrap().header, l(1));
+        assert!(forest.innermost_containing(l(5)).is_none());
+    }
+
+    #[test]
+    fn self_loop() {
+        let f = func(vec![
+            Terminator::Branch {
+                cond: Reg::new(0),
+                taken: l(0),
+                fallthrough: l(1),
+            },
+            Terminator::Halt,
+        ]);
+        let forest = LoopForest::new(&f);
+        assert_eq!(forest.header_count(), 1);
+        assert_eq!(forest.loops()[0].header, l(0));
+        assert_eq!(forest.loops()[0].body, vec![l(0)]);
+        assert_eq!(forest.loops()[0].latches, vec![l(0)]);
+    }
+
+    #[test]
+    fn two_latches_merge_into_one_loop() {
+        // 0(header) -> 1 -> 0 and 0 -> 2 -> 0; 1 -> 3 exit
+        let f = func(vec![
+            Terminator::Branch {
+                cond: Reg::new(0),
+                taken: l(1),
+                fallthrough: l(2),
+            },
+            Terminator::Branch {
+                cond: Reg::new(1),
+                taken: l(0),
+                fallthrough: l(3),
+            },
+            Terminator::Jump(l(0)),
+            Terminator::Halt,
+        ]);
+        let forest = LoopForest::new(&f);
+        assert_eq!(forest.header_count(), 1);
+        let lp = &forest.loops()[0];
+        assert_eq!(lp.header, l(0));
+        assert_eq!(lp.latches.len(), 2);
+        assert_eq!(lp.body, vec![l(0), l(1), l(2)]);
+    }
+
+    #[test]
+    fn acyclic_function_has_no_loops() {
+        let f = func(vec![Terminator::Jump(l(1)), Terminator::Halt]);
+        assert_eq!(LoopForest::new(&f).header_count(), 0);
+    }
+}

@@ -1,0 +1,598 @@
+//! Parser for the pseudo-assembly emitted by [`crate::pretty`].
+//!
+//! The textual form round-trips:
+//! `parse(program_to_string(p)) ≈ p` (register-file sizes are inferred
+//! from use, everything else is exact), which makes `.hpasm` files a
+//! convenient way to author small programs and to snapshot generated ones.
+//!
+//! ```text
+//! memory 8
+//! data 2 77
+//!
+//! fn0 main (entry):
+//!   b0:
+//!     r0 = const 0
+//!     jump b1
+//!   b1:
+//!     r1 = cmp.lt r0, #10
+//!     br r1 ? b2 : b3
+//!   b2:
+//!     r0 = add r0, #1
+//!     jump b1
+//!   b3:
+//!     halt
+//! ```
+//!
+//! Layout `@addr` annotations produced by
+//! [`program_to_string`](crate::pretty::program_to_string) with a layout
+//! are accepted and ignored.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::error::IrError;
+use crate::ids::{FuncId, GlobalReg, LocalBlockId, Reg};
+use crate::inst::{BinOp, CmpOp, Inst, UnOp};
+use crate::program::{BasicBlock, Function, Program, Terminator};
+use crate::validate::validate;
+
+/// A parse failure, with the 1-based source line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<(usize, String)> for ParseError {
+    fn from((line, message): (usize, String)) -> Self {
+        ParseError { line, message }
+    }
+}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Parses a whole program from its textual form.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line on malformed input,
+/// or wraps the [`IrError`] message if the parsed program fails
+/// validation.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let mut memory_words = 0usize;
+    let mut data: Vec<(usize, i64)> = Vec::new();
+    let mut functions: Vec<Function> = Vec::new();
+    let mut entry: Option<FuncId> = None;
+
+    // Per-function accumulation.
+    let mut cur_func: Option<(String, Vec<BasicBlock>, u16)> = None;
+    let mut cur_block: Option<(Vec<Inst>, usize)> = None;
+
+    fn finish_block(
+        func: &mut (String, Vec<BasicBlock>, u16),
+        block: Option<(Vec<Inst>, usize)>,
+    ) -> Result<(), ParseError> {
+        if let Some((insts, line)) = block {
+            let _ = insts;
+            return err(line, "block is missing a terminator");
+        }
+        let _ = func;
+        Ok(())
+    }
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.trim();
+        if text.is_empty() || text.starts_with("//") || text.starts_with('#') {
+            continue;
+        }
+        let mut max_reg_seen = 0u16;
+
+        // Directives.
+        if let Some(rest) = text.strip_prefix("memory ") {
+            memory_words = rest
+                .trim()
+                .parse()
+                .map_err(|_| ParseError::from((line, format!("bad memory size `{rest}`"))))?;
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix("data ") {
+            let mut it = rest.split_whitespace();
+            let (a, v) = (it.next(), it.next());
+            match (a.and_then(|a| a.parse().ok()), v.and_then(|v| v.parse().ok())) {
+                (Some(a), Some(v)) if it.next().is_none() => data.push((a, v)),
+                _ => return err(line, format!("bad data directive `{rest}`")),
+            }
+            continue;
+        }
+
+        // Function header: `fnN name:` or `fnN name (entry):`.
+        if text.starts_with("fn") && text.ends_with(':') && !text.starts_with("fn ") {
+            if let Some((name_part, is_entry)) = parse_func_header(text) {
+                if let Some(mut f) = cur_func.take() {
+                    finish_block(&mut f, cur_block.take())?;
+                    functions.push(Function {
+                        name: f.0,
+                        blocks: f.1,
+                        num_regs: f.2,
+                    });
+                }
+                if is_entry {
+                    entry = Some(FuncId::new(functions.len() as u32));
+                }
+                cur_func = Some((name_part, Vec::new(), 0));
+                continue;
+            }
+        }
+
+        // Block header: `bN:` or `bN @addr:`.
+        if text.starts_with('b') && text.ends_with(':') {
+            let inner = &text[1..text.len() - 1];
+            let index_part = inner.split('@').next().unwrap_or("").trim();
+            if let Ok(idx) = index_part.parse::<usize>() {
+                let Some(func) = cur_func.as_mut() else {
+                    return err(line, "block outside a function");
+                };
+                if cur_block.is_some() {
+                    return err(line, "previous block is missing a terminator");
+                }
+                if idx != func.1.len() {
+                    return err(
+                        line,
+                        format!("expected block b{}, found b{idx}", func.1.len()),
+                    );
+                }
+                cur_block = Some((Vec::new(), line));
+                continue;
+            }
+        }
+
+        // Body line: instruction or terminator.
+        let Some(func) = cur_func.as_mut() else {
+            return err(line, format!("unexpected line outside a function: `{text}`"));
+        };
+        let Some(block) = cur_block.as_mut() else {
+            return err(line, format!("unexpected line outside a block: `{text}`"));
+        };
+        if let Some(term) = parse_terminator(text, line)? {
+            let (insts, _) = cur_block.take().expect("checked above");
+            func.1.push(BasicBlock::new(insts, term));
+            // Track registers referenced by the terminator.
+            match &func.1.last().expect("just pushed").terminator {
+                Terminator::Branch { cond, .. } => max_reg_seen = max_reg_seen.max(cond.index() as u16 + 1),
+                Terminator::Switch { index, .. } => {
+                    max_reg_seen = max_reg_seen.max(index.index() as u16 + 1)
+                }
+                _ => {}
+            }
+            func.2 = func.2.max(max_reg_seen);
+            continue;
+        }
+        let inst = parse_inst(text, line)?;
+        if let Some(d) = inst.def() {
+            max_reg_seen = max_reg_seen.max(d.index() as u16 + 1);
+        }
+        for u in inst.uses() {
+            max_reg_seen = max_reg_seen.max(u.index() as u16 + 1);
+        }
+        func.2 = func.2.max(max_reg_seen);
+        block.0.push(inst);
+    }
+
+    if let Some(mut f) = cur_func.take() {
+        finish_block(&mut f, cur_block.take())?;
+        functions.push(Function {
+            name: f.0,
+            blocks: f.1,
+            num_regs: f.2,
+        });
+    }
+    if functions.is_empty() {
+        return err(0, "no functions in input");
+    }
+    let entry = entry.unwrap_or_else(|| {
+        functions
+            .iter()
+            .position(|f| f.name == "main")
+            .map(|i| FuncId::new(i as u32))
+            .unwrap_or(FuncId::new(0))
+    });
+    let program = Program {
+        functions,
+        entry,
+        memory_words,
+        data,
+    };
+    validate(&program).map_err(|e: IrError| ParseError {
+        line: 0,
+        message: e.to_string(),
+    })?;
+    Ok(program)
+}
+
+fn parse_func_header(text: &str) -> Option<(String, bool)> {
+    // `fnN name:` / `fnN name (entry):`
+    let body = text.strip_suffix(':')?;
+    let mut it = body.split_whitespace();
+    let fn_tok = it.next()?;
+    fn_tok.strip_prefix("fn")?.parse::<u32>().ok()?;
+    let name = it.next()?.to_string();
+    let is_entry = matches!(it.next(), Some("(entry)"));
+    Some((name, is_entry))
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    tok.strip_prefix('r')
+        .and_then(|n| n.parse::<u16>().ok())
+        .map(Reg::new)
+        .ok_or_else(|| ParseError::from((line, format!("expected register, found `{tok}`"))))
+}
+
+fn parse_global(tok: &str, line: usize) -> Result<GlobalReg, ParseError> {
+    tok.strip_prefix('g')
+        .and_then(|n| n.parse::<u8>().ok())
+        .filter(|&n| (n as usize) < GlobalReg::COUNT)
+        .map(GlobalReg::new)
+        .ok_or_else(|| ParseError::from((line, format!("expected global register, found `{tok}`"))))
+}
+
+fn parse_block_ref(tok: &str, line: usize) -> Result<LocalBlockId, ParseError> {
+    tok.strip_prefix('b')
+        .and_then(|n| n.parse::<u32>().ok())
+        .map(LocalBlockId::new)
+        .ok_or_else(|| ParseError::from((line, format!("expected block, found `{tok}`"))))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, ParseError> {
+    tok.strip_prefix('#')
+        .and_then(|n| n.parse::<i64>().ok())
+        .ok_or_else(|| ParseError::from((line, format!("expected immediate `#n`, found `{tok}`"))))
+}
+
+fn bin_op(name: &str) -> Option<BinOp> {
+    Some(match name {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "div" => BinOp::Div,
+        "rem" => BinOp::Rem,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        "shl" => BinOp::Shl,
+        "shr" => BinOp::Shr,
+        "min" => BinOp::Min,
+        "max" => BinOp::Max,
+        _ => return None,
+    })
+}
+
+fn cmp_op(name: &str) -> Option<CmpOp> {
+    Some(match name {
+        "lt" => CmpOp::Lt,
+        "le" => CmpOp::Le,
+        "eq" => CmpOp::Eq,
+        "ne" => CmpOp::Ne,
+        "gt" => CmpOp::Gt,
+        "ge" => CmpOp::Ge,
+        _ => return None,
+    })
+}
+
+/// Parses a terminator line; `Ok(None)` means "not a terminator".
+fn parse_terminator(text: &str, line: usize) -> Result<Option<Terminator>, ParseError> {
+    let toks: Vec<&str> = text
+        .split([' ', ','])
+        .filter(|t| !t.is_empty())
+        .collect();
+    Ok(Some(match toks.as_slice() {
+        ["halt"] => Terminator::Halt,
+        ["return"] => Terminator::Return,
+        ["jump", t] => Terminator::Jump(parse_block_ref(t, line)?),
+        ["br", c, "?", t, ":", f] => Terminator::Branch {
+            cond: parse_reg(c, line)?,
+            taken: parse_block_ref(t, line)?,
+            fallthrough: parse_block_ref(f, line)?,
+        },
+        ["call", callee, "ret", b] => Terminator::Call {
+            callee: callee
+                .strip_prefix("fn")
+                .and_then(|n| n.parse::<u32>().ok())
+                .map(FuncId::new)
+                .ok_or_else(|| {
+                    ParseError::from((line, format!("expected function, found `{callee}`")))
+                })?,
+            ret_to: parse_block_ref(b, line)?,
+        },
+        ["switch", idx, rest @ ..] if !rest.is_empty() => {
+            // `switch rN [b1, b2] default bD`
+            let joined = rest.join(" ");
+            let (targets_part, default_part) = joined
+                .split_once("default")
+                .ok_or_else(|| ParseError::from((line, "switch missing `default`".to_string())))?;
+            let targets_part = targets_part.trim();
+            let inner = targets_part
+                .strip_prefix('[')
+                .and_then(|t| t.strip_suffix(']'))
+                .ok_or_else(|| {
+                    ParseError::from((line, "switch targets must be bracketed".to_string()))
+                })?;
+            let mut targets = Vec::new();
+            for t in inner.split_whitespace().filter(|t| !t.is_empty()) {
+                targets.push(parse_block_ref(t, line)?);
+            }
+            Terminator::Switch {
+                index: parse_reg(idx, line)?,
+                targets,
+                default: parse_block_ref(default_part.trim(), line)?,
+            }
+        }
+        _ => return Ok(None),
+    }))
+}
+
+fn parse_inst(text: &str, line: usize) -> Result<Inst, ParseError> {
+    // `store [rA+off] = rS`
+    if let Some(rest) = text.strip_prefix("store ") {
+        let (addr_part, src_part) = rest
+            .split_once('=')
+            .ok_or_else(|| ParseError::from((line, "store missing `=`".to_string())))?;
+        let (addr, offset) = parse_mem_operand(addr_part.trim(), line)?;
+        return Ok(Inst::Store {
+            src: parse_reg(src_part.trim(), line)?,
+            addr,
+            offset,
+        });
+    }
+
+    // Everything else is `<dst> = <rhs>`.
+    let (dst_part, rhs) = text
+        .split_once('=')
+        .ok_or_else(|| ParseError::from((line, format!("unrecognized line `{text}`"))))?;
+    let dst_tok = dst_part.trim();
+    let rhs = rhs.trim();
+
+    // `gN = rS`
+    if dst_tok.starts_with('g') {
+        return Ok(Inst::SetGlobal {
+            global: parse_global(dst_tok, line)?,
+            src: parse_reg(rhs, line)?,
+        });
+    }
+    let dst = parse_reg(dst_tok, line)?;
+
+    // `rD = load [rA+off]`
+    if let Some(rest) = rhs.strip_prefix("load ") {
+        let (addr, offset) = parse_mem_operand(rest.trim(), line)?;
+        return Ok(Inst::Load { dst, addr, offset });
+    }
+    // `rD = const N`
+    if let Some(rest) = rhs.strip_prefix("const ") {
+        let value = rest.trim().parse().map_err(|_| {
+            ParseError::from((line, format!("bad constant `{rest}`")))
+        })?;
+        return Ok(Inst::Const { dst, value });
+    }
+    // `rD = gN`
+    if rhs.starts_with('g') && !rhs.contains(' ') {
+        return Ok(Inst::GetGlobal {
+            dst,
+            global: parse_global(rhs, line)?,
+        });
+    }
+    // `rD = rS`
+    if rhs.starts_with('r') && !rhs.contains(' ') {
+        return Ok(Inst::Mov {
+            dst,
+            src: parse_reg(rhs, line)?,
+        });
+    }
+    // `rD = neg rS` / `rD = not rS`
+    let toks: Vec<&str> = rhs.split([' ', ',']).filter(|t| !t.is_empty()).collect();
+    match toks.as_slice() {
+        ["neg", s] => {
+            return Ok(Inst::Un {
+                op: UnOp::Neg,
+                dst,
+                src: parse_reg(s, line)?,
+            })
+        }
+        ["not", s] => {
+            return Ok(Inst::Un {
+                op: UnOp::Not,
+                dst,
+                src: parse_reg(s, line)?,
+            })
+        }
+        [op, a, b] => {
+            // `rD = cmp.lt rA, rB|#n` or `rD = add rA, rB|#n`
+            if let Some(cop) = op.strip_prefix("cmp.").and_then(cmp_op) {
+                let lhs = parse_reg(a, line)?;
+                return Ok(if b.starts_with('#') {
+                    Inst::CmpImm {
+                        op: cop,
+                        dst,
+                        lhs,
+                        imm: parse_imm(b, line)?,
+                    }
+                } else {
+                    Inst::Cmp {
+                        op: cop,
+                        dst,
+                        lhs,
+                        rhs: parse_reg(b, line)?,
+                    }
+                });
+            }
+            if let Some(bop) = bin_op(op) {
+                let lhs = parse_reg(a, line)?;
+                return Ok(if b.starts_with('#') {
+                    Inst::BinImm {
+                        op: bop,
+                        dst,
+                        lhs,
+                        imm: parse_imm(b, line)?,
+                    }
+                } else {
+                    Inst::Bin {
+                        op: bop,
+                        dst,
+                        lhs,
+                        rhs: parse_reg(b, line)?,
+                    }
+                });
+            }
+        }
+        _ => {}
+    }
+    err(line, format!("unrecognized instruction `{text}`"))
+}
+
+/// Parses `[rA+off]` (off may be negative).
+fn parse_mem_operand(tok: &str, line: usize) -> Result<(Reg, i64), ParseError> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| ParseError::from((line, format!("expected `[rN+off]`, found `{tok}`"))))?;
+    // Split on the LAST '+' or a '-' after the register.
+    let plus = inner.rfind('+');
+    let (reg_part, off_part) = match plus {
+        Some(i) => (&inner[..i], &inner[i + 1..]),
+        None => {
+            return err(line, format!("expected `[rN+off]`, found `{tok}`"));
+        }
+    };
+    let offset: i64 = off_part.parse().map_err(|_| {
+        ParseError::from((line, format!("bad memory offset `{off_part}`")))
+    })?;
+    Ok((parse_reg(reg_part.trim(), line)?, offset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate_default;
+    use crate::pretty::program_to_string;
+
+    #[test]
+    fn parses_a_counting_loop() {
+        let src = r"
+memory 8
+data 2 77
+
+fn0 main (entry):
+  b0:
+    r0 = const 0
+    jump b1
+  b1:
+    r1 = cmp.lt r0, #10
+    br r1 ? b2 : b3
+  b2:
+    r0 = add r0, #1
+    jump b1
+  b3:
+    r2 = load [r0+-5]
+    store [r0+2] = r2
+    g0 = r2
+    r3 = g0
+    halt
+";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.memory_words, 8);
+        assert_eq!(p.data, vec![(2, 77)]);
+        assert_eq!(p.functions[0].blocks.len(), 4);
+        assert_eq!(p.functions[0].num_regs, 4);
+    }
+
+    #[test]
+    fn round_trips_generated_programs_textually() {
+        for seed in 0..25u64 {
+            let p = generate_default(seed);
+            let text = program_to_string(&p, None);
+            let q = parse_program(&text)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
+            let text2 = program_to_string(&q, None);
+            assert_eq!(text, text2, "seed {seed}: textual fixpoint");
+        }
+    }
+
+    #[test]
+    fn accepts_layout_annotations() {
+        let p = generate_default(3);
+        let layout = crate::layout::Layout::new(&p);
+        let text = program_to_string(&p, Some(&layout));
+        let q = parse_program(&text).expect("annotated form parses");
+        assert_eq!(program_to_string(&q, None), program_to_string(&p, None));
+    }
+
+    #[test]
+    fn reports_missing_terminator() {
+        let src = "fn0 main (entry):\n  b0:\n    r0 = const 1\n";
+        let e = parse_program(src).unwrap_err();
+        assert!(e.message.contains("terminator"), "{e}");
+    }
+
+    #[test]
+    fn reports_bad_instruction_with_line() {
+        let src = "fn0 main (entry):\n  b0:\n    r0 = frobnicate r1\n    halt\n";
+        let e = parse_program(src).unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn reports_out_of_order_blocks() {
+        let src = "fn0 main (entry):\n  b1:\n    halt\n";
+        let e = parse_program(src).unwrap_err();
+        assert!(e.message.contains("expected block b0"), "{e}");
+    }
+
+    #[test]
+    fn validation_failures_surface() {
+        let src = "fn0 main (entry):\n  b0:\n    jump b9\n";
+        let e = parse_program(src).unwrap_err();
+        assert!(e.message.contains("nonexistent block"), "{e}");
+    }
+
+    #[test]
+    fn parses_switch_and_call() {
+        let src = r"
+fn0 helper:
+  b0:
+    return
+
+fn1 main (entry):
+  b0:
+    r0 = const 1
+    switch r0 [b1, b2] default b3
+  b1:
+    call fn0 ret b3
+  b2:
+    jump b3
+  b3:
+    halt
+";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.functions.len(), 2);
+        assert_eq!(p.function(p.entry).name, "main");
+        assert!(matches!(
+            p.functions[1].blocks[0].terminator,
+            Terminator::Switch { .. }
+        ));
+    }
+}

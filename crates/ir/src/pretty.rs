@@ -1,0 +1,104 @@
+//! Textual disassembly of programs, functions, and blocks.
+
+use std::fmt::Write as _;
+
+use crate::layout::Layout;
+use crate::program::{Function, Program};
+
+/// Renders a whole program as pseudo-assembly, one block per paragraph,
+/// annotated with layout addresses when `layout` is provided.
+pub fn program_to_string(program: &Program, layout: Option<&Layout>) -> String {
+    let mut out = String::new();
+    if program.memory_words > 0 {
+        let _ = writeln!(out, "memory {}", program.memory_words);
+    }
+    for &(addr, value) in &program.data {
+        let _ = writeln!(out, "data {addr} {value}");
+    }
+    if program.memory_words > 0 || !program.data.is_empty() {
+        out.push('\n');
+    }
+    for (fi, func) in program.functions.iter().enumerate() {
+        let marker = if fi == program.entry.index() {
+            " (entry)"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "fn{} {}{}:", fi, func.name, marker);
+        write_function(&mut out, func, fi, layout);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one function.
+pub fn function_to_string(func: &Function) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}:", func.name);
+    write_function(&mut out, func, usize::MAX, None);
+    out
+}
+
+fn write_function(out: &mut String, func: &Function, func_index: usize, layout: Option<&Layout>) {
+    for (bid, block) in func.iter_blocks() {
+        let addr = layout
+            .filter(|_| func_index != usize::MAX)
+            .map(|l| {
+                let gid = l.global_id(crate::ids::FuncId::new(func_index as u32), bid);
+                format!(" @{}", l.address(gid))
+            })
+            .unwrap_or_default();
+        let _ = writeln!(out, "  {bid}{addr}:");
+        for inst in &block.insts {
+            let _ = writeln!(out, "    {inst}");
+        }
+        let _ = writeln!(out, "    {}", block.terminator);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FunctionBuilder, ProgramBuilder};
+    use crate::inst::CmpOp;
+
+    fn sample() -> Program {
+        let mut fb = FunctionBuilder::new("main");
+        let i = fb.reg();
+        let exit = fb.new_block();
+        fb.const_(i, 3);
+        let c = fb.cmp_imm(CmpOp::Gt, i, 0);
+        fb.branch(c, exit, exit);
+        fb.switch_to(exit);
+        fb.halt();
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(fb).unwrap();
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn renders_blocks_and_insts() {
+        let p = sample();
+        let s = program_to_string(&p, None);
+        assert!(s.contains("fn0 main (entry):"));
+        assert!(s.contains("r0 = const 3"));
+        assert!(s.contains("halt"));
+        assert!(s.contains("b0:"));
+    }
+
+    #[test]
+    fn renders_addresses_with_layout() {
+        let p = sample();
+        let l = Layout::new(&p);
+        let s = program_to_string(&p, Some(&l));
+        assert!(s.contains("b0 @0:"));
+    }
+
+    #[test]
+    fn function_to_string_standalone() {
+        let p = sample();
+        let s = function_to_string(&p.functions[0]);
+        assert!(s.starts_with("main:"));
+        assert!(s.contains("br r1 ? b1 : b1"));
+    }
+}

@@ -1,0 +1,313 @@
+//! Programs, functions, basic blocks, and terminators.
+
+use std::fmt;
+
+use crate::ids::{FuncId, LocalBlockId, Reg};
+use crate::inst::Inst;
+
+/// The control-flow instruction that ends every basic block.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Terminator {
+    /// Unconditional jump to another block in the same function.
+    Jump(LocalBlockId),
+    /// Conditional branch: transfers to `taken` when `cond != 0`, otherwise
+    /// to `fallthrough`.
+    Branch {
+        /// Condition register; non-zero means taken.
+        cond: Reg,
+        /// Target when the condition holds.
+        taken: LocalBlockId,
+        /// Target when the condition does not hold.
+        fallthrough: LocalBlockId,
+    },
+    /// Indirect branch through a jump table: transfers to
+    /// `targets[index]`, or to `default` when `index` is out of range.
+    ///
+    /// This models the *indirect branches* of the paper's path signatures:
+    /// the dynamic target is appended to the signature's indirect-target
+    /// list instead of contributing a history bit.
+    Switch {
+        /// Register whose value selects the jump-table entry.
+        index: Reg,
+        /// Jump-table targets.
+        targets: Vec<LocalBlockId>,
+        /// Target when `index` does not select a table entry.
+        default: LocalBlockId,
+    },
+    /// Call `callee`; on return, execution continues at `ret_to` in the
+    /// calling function.
+    Call {
+        /// The function being invoked.
+        callee: FuncId,
+        /// Block in the calling function that the matching return
+        /// transfers to.
+        ret_to: LocalBlockId,
+    },
+    /// Return to the most recent caller (a VM error if the call stack is
+    /// empty).
+    Return,
+    /// Stop the machine successfully.
+    Halt,
+}
+
+impl Terminator {
+    /// Returns the intraprocedural successor blocks of this terminator.
+    ///
+    /// A `Call`'s successor is its return continuation; `Return` and `Halt`
+    /// have none. This is the successor relation used by the CFG analyses.
+    pub fn successors(&self) -> Vec<LocalBlockId> {
+        match self {
+            Terminator::Jump(t) => vec![*t],
+            Terminator::Branch {
+                taken, fallthrough, ..
+            } => vec![*taken, *fallthrough],
+            Terminator::Switch {
+                targets, default, ..
+            } => {
+                let mut v = targets.clone();
+                v.push(*default);
+                v
+            }
+            Terminator::Call { ret_to, .. } => vec![*ret_to],
+            Terminator::Return | Terminator::Halt => Vec::new(),
+        }
+    }
+
+    /// True if this terminator is a conditional or indirect branch, i.e.
+    /// contributes to the dynamic branch count used by the profiling-cost
+    /// model.
+    pub fn is_dynamic_branch(&self) -> bool {
+        matches!(self, Terminator::Branch { .. } | Terminator::Switch { .. })
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Jump(t) => write!(f, "jump {t}"),
+            Terminator::Branch {
+                cond,
+                taken,
+                fallthrough,
+            } => write!(f, "br {cond} ? {taken} : {fallthrough}"),
+            Terminator::Switch {
+                index,
+                targets,
+                default,
+            } => {
+                write!(f, "switch {index} [")?;
+                for (i, t) in targets.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "] default {default}")
+            }
+            Terminator::Call { callee, ret_to } => write!(f, "call {callee} ret {ret_to}"),
+            Terminator::Return => f.write_str("return"),
+            Terminator::Halt => f.write_str("halt"),
+        }
+    }
+}
+
+/// A maximal straight-line code sequence ended by one [`Terminator`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BasicBlock {
+    /// Straight-line instructions executed in order.
+    pub insts: Vec<Inst>,
+    /// The control transfer ending the block.
+    pub terminator: Terminator,
+}
+
+impl BasicBlock {
+    /// Creates a block with the given instructions and terminator.
+    pub fn new(insts: Vec<Inst>, terminator: Terminator) -> Self {
+        BasicBlock { insts, terminator }
+    }
+
+    /// Code size of the block in instruction slots (straight-line
+    /// instructions plus the terminator). Layout addresses are measured in
+    /// these units.
+    pub fn size(&self) -> usize {
+        self.insts.len() + 1
+    }
+}
+
+/// A function: a named CFG of basic blocks with a private register frame.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Function {
+    /// Human-readable name, used by the pretty-printer and diagnostics.
+    pub name: String,
+    /// Blocks; `LocalBlockId(i)` refers to `blocks[i]`. Block 0 is the
+    /// entry.
+    pub blocks: Vec<BasicBlock>,
+    /// Number of registers in this function's frame.
+    pub num_regs: u16,
+}
+
+impl Function {
+    /// The entry block of every function.
+    pub const ENTRY: LocalBlockId = LocalBlockId::new(0);
+
+    /// Returns the block for a local id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range (validated programs never do this).
+    pub fn block(&self, id: LocalBlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Iterates over `(LocalBlockId, &BasicBlock)` pairs in layout order.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (LocalBlockId, &BasicBlock)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (LocalBlockId::new(i as u32), b))
+    }
+}
+
+/// A complete program: functions plus machine configuration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Program {
+    /// All functions; `FuncId(i)` refers to `functions[i]`.
+    pub functions: Vec<Function>,
+    /// The function where execution starts.
+    pub entry: FuncId,
+    /// Size of data memory in 64-bit words.
+    pub memory_words: usize,
+    /// Initial memory image as `(word_address, value)` pairs; unlisted words
+    /// start at zero.
+    pub data: Vec<(usize, i64)>,
+}
+
+impl Program {
+    /// Returns the function for an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range (validated programs never do this).
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Total number of basic blocks across all functions.
+    pub fn total_blocks(&self) -> usize {
+        self.functions.iter().map(|f| f.blocks.len()).sum()
+    }
+
+    /// Total static code size in instruction slots.
+    pub fn code_size(&self) -> usize {
+        self.functions
+            .iter()
+            .flat_map(|f| f.blocks.iter())
+            .map(|b| b.size())
+            .sum()
+    }
+
+    /// Looks up a function id by name.
+    pub fn find_function(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId::new(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Reg;
+
+    fn b(term: Terminator) -> BasicBlock {
+        BasicBlock::new(Vec::new(), term)
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let t0 = LocalBlockId::new(0);
+        let t1 = LocalBlockId::new(1);
+        let t2 = LocalBlockId::new(2);
+        assert_eq!(Terminator::Jump(t1).successors(), vec![t1]);
+        assert_eq!(
+            Terminator::Branch {
+                cond: Reg::new(0),
+                taken: t1,
+                fallthrough: t2
+            }
+            .successors(),
+            vec![t1, t2]
+        );
+        assert_eq!(
+            Terminator::Switch {
+                index: Reg::new(0),
+                targets: vec![t0, t1],
+                default: t2
+            }
+            .successors(),
+            vec![t0, t1, t2]
+        );
+        assert_eq!(
+            Terminator::Call {
+                callee: FuncId::new(1),
+                ret_to: t1
+            }
+            .successors(),
+            vec![t1]
+        );
+        assert!(Terminator::Return.successors().is_empty());
+        assert!(Terminator::Halt.successors().is_empty());
+    }
+
+    #[test]
+    fn dynamic_branch_classification() {
+        assert!(Terminator::Branch {
+            cond: Reg::new(0),
+            taken: LocalBlockId::new(0),
+            fallthrough: LocalBlockId::new(1)
+        }
+        .is_dynamic_branch());
+        assert!(Terminator::Switch {
+            index: Reg::new(0),
+            targets: vec![],
+            default: LocalBlockId::new(0)
+        }
+        .is_dynamic_branch());
+        assert!(!Terminator::Jump(LocalBlockId::new(0)).is_dynamic_branch());
+        assert!(!Terminator::Return.is_dynamic_branch());
+    }
+
+    #[test]
+    fn program_accessors() {
+        let f = Function {
+            name: "main".to_string(),
+            blocks: vec![b(Terminator::Halt)],
+            num_regs: 0,
+        };
+        let p = Program {
+            functions: vec![f],
+            entry: FuncId::new(0),
+            memory_words: 16,
+            data: vec![(3, 42)],
+        };
+        assert_eq!(p.total_blocks(), 1);
+        assert_eq!(p.code_size(), 1);
+        assert_eq!(p.find_function("main"), Some(FuncId::new(0)));
+        assert_eq!(p.find_function("nope"), None);
+        assert_eq!(p.function(FuncId::new(0)).name, "main");
+        assert_eq!(Function::ENTRY.index(), 0);
+    }
+
+    #[test]
+    fn block_size_counts_terminator() {
+        let blk = BasicBlock::new(
+            vec![Inst::Const {
+                dst: Reg::new(0),
+                value: 1,
+            }],
+            Terminator::Halt,
+        );
+        assert_eq!(blk.size(), 2);
+    }
+}

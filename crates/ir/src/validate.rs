@@ -1,0 +1,220 @@
+//! Whole-program validation.
+
+use crate::error::IrError;
+use crate::ids::Reg;
+use crate::inst::Inst;
+use crate::program::{Program, Terminator};
+
+/// Checks a [`Program`] for structural validity: non-empty, unique function
+/// names, in-range entry, in-range block and call targets, in-range
+/// registers, and in-range initial data.
+///
+/// The VM and all analyses assume a validated program; [`crate::builder`]
+/// validates automatically on
+/// [`ProgramBuilder::finish`](crate::builder::ProgramBuilder::finish).
+///
+/// # Errors
+///
+/// Returns the first violation found as an [`IrError`].
+pub fn validate(program: &Program) -> Result<(), IrError> {
+    if program.functions.is_empty() {
+        return Err(IrError::NoFunctions);
+    }
+    if program.entry.index() >= program.functions.len() {
+        return Err(IrError::BadEntry {
+            entry: program.entry.index(),
+        });
+    }
+    let mut seen = std::collections::HashSet::new();
+    for func in &program.functions {
+        if !seen.insert(func.name.as_str()) {
+            return Err(IrError::DuplicateFunctionName {
+                name: func.name.clone(),
+            });
+        }
+    }
+    for func in &program.functions {
+        if func.blocks.is_empty() {
+            return Err(IrError::EmptyFunction {
+                function: func.name.clone(),
+            });
+        }
+        let nblocks = func.blocks.len();
+        let nregs = func.num_regs as usize;
+        let check_reg = |r: Reg, block: usize| -> Result<(), IrError> {
+            if r.index() >= nregs {
+                Err(IrError::BadRegister {
+                    function: func.name.clone(),
+                    block,
+                    reg: r.index(),
+                    num_regs: nregs,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        for (bi, block) in func.blocks.iter().enumerate() {
+            for inst in &block.insts {
+                if let Some(d) = inst.def() {
+                    check_reg(d, bi)?;
+                }
+                for u in inst.uses() {
+                    check_reg(u, bi)?;
+                }
+                // GlobalReg construction already bounds-checks; Load/Store
+                // addresses are dynamic and checked by the VM.
+                let _ = inst as &Inst;
+            }
+            for target in block.terminator.successors() {
+                if target.index() >= nblocks {
+                    return Err(IrError::BadBlockTarget {
+                        function: func.name.clone(),
+                        block: bi,
+                        target: target.index(),
+                    });
+                }
+            }
+            match &block.terminator {
+                Terminator::Branch { cond, .. } => check_reg(*cond, bi)?,
+                Terminator::Switch { index, .. } => check_reg(*index, bi)?,
+                Terminator::Call { callee, .. } => {
+                    if callee.index() >= program.functions.len() {
+                        return Err(IrError::BadCallTarget {
+                            function: func.name.clone(),
+                            block: bi,
+                            callee: callee.index(),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    for &(addr, _) in &program.data {
+        if addr >= program.memory_words {
+            return Err(IrError::BadDataAddress {
+                address: addr,
+                memory_words: program.memory_words,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{FuncId, LocalBlockId};
+    use crate::program::{BasicBlock, Function};
+
+    fn one_block_program(term: Terminator, num_regs: u16) -> Program {
+        Program {
+            functions: vec![Function {
+                name: "main".into(),
+                blocks: vec![BasicBlock::new(vec![], term)],
+                num_regs,
+            }],
+            entry: FuncId::new(0),
+            memory_words: 0,
+            data: vec![],
+        }
+    }
+
+    #[test]
+    fn valid_minimal_program() {
+        assert_eq!(validate(&one_block_program(Terminator::Halt, 0)), Ok(()));
+    }
+
+    #[test]
+    fn bad_entry() {
+        let mut p = one_block_program(Terminator::Halt, 0);
+        p.entry = FuncId::new(5);
+        assert!(matches!(
+            validate(&p).unwrap_err(),
+            IrError::BadEntry { entry: 5 }
+        ));
+    }
+
+    #[test]
+    fn bad_block_target() {
+        let p = one_block_program(Terminator::Jump(LocalBlockId::new(9)), 0);
+        assert!(matches!(
+            validate(&p).unwrap_err(),
+            IrError::BadBlockTarget { target: 9, .. }
+        ));
+    }
+
+    #[test]
+    fn bad_call_target() {
+        let p = one_block_program(
+            Terminator::Call {
+                callee: FuncId::new(4),
+                ret_to: LocalBlockId::new(0),
+            },
+            0,
+        );
+        assert!(matches!(
+            validate(&p).unwrap_err(),
+            IrError::BadCallTarget { callee: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn bad_register_in_inst() {
+        let mut p = one_block_program(Terminator::Halt, 1);
+        p.functions[0].blocks[0].insts.push(Inst::Const {
+            dst: Reg::new(3),
+            value: 0,
+        });
+        assert!(matches!(
+            validate(&p).unwrap_err(),
+            IrError::BadRegister { reg: 3, num_regs: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn bad_register_in_branch_cond() {
+        let p = one_block_program(
+            Terminator::Branch {
+                cond: Reg::new(2),
+                taken: LocalBlockId::new(0),
+                fallthrough: LocalBlockId::new(0),
+            },
+            1,
+        );
+        assert!(matches!(
+            validate(&p).unwrap_err(),
+            IrError::BadRegister { reg: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let f = Function {
+            name: "dup".into(),
+            blocks: vec![BasicBlock::new(vec![], Terminator::Halt)],
+            num_regs: 0,
+        };
+        let p = Program {
+            functions: vec![f.clone(), f],
+            entry: FuncId::new(0),
+            memory_words: 0,
+            data: vec![],
+        };
+        assert!(matches!(
+            validate(&p).unwrap_err(),
+            IrError::DuplicateFunctionName { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        let p = Program {
+            functions: vec![],
+            entry: FuncId::new(0),
+            memory_words: 0,
+            data: vec![],
+        };
+        assert_eq!(validate(&p).unwrap_err(), IrError::NoFunctions);
+    }
+}

@@ -1,0 +1,343 @@
+//! Runtime Ball–Larus path profiling driven by the VM event stream.
+//!
+//! This is the "existing offline path profiling scheme" of paper §2: the
+//! per-function [`BallLarus`] numbering places increments on spanning-tree
+//! chords; at runtime a path register accumulates them and indexes a path
+//! table at every path end. Paths are intraprocedural (they pause across
+//! calls and resume after the matching return), exactly as in Ball & Larus.
+
+use std::collections::HashMap;
+
+use hotpath_ir::ball_larus::{BallLarus, BallLarusError, Transfer};
+use hotpath_ir::{Layout, LocalBlockId, Program};
+use hotpath_vm::{BlockEvent, ExecutionObserver, TransferKind};
+
+use crate::cost::ProfilingCost;
+
+/// A saved caller context while a callee runs.
+#[derive(Clone, Copy, Debug)]
+struct SavedFrame {
+    func: u32,
+    reg: i128,
+    /// The caller block containing the call; its CFG edge to the return
+    /// continuation is traversed when the callee returns.
+    call_block: LocalBlockId,
+}
+
+/// Collects a Ball–Larus path profile for every function of a program.
+#[derive(Debug)]
+pub struct BallLarusProfiler {
+    layout: Layout,
+    numberings: Vec<BallLarus>,
+    counts: HashMap<(u32, u128), u64>,
+    stack: Vec<SavedFrame>,
+    cur_func: u32,
+    reg: i128,
+    last_local: LocalBlockId,
+    cost: ProfilingCost,
+}
+
+impl BallLarusProfiler {
+    /// Builds numberings for all functions of `program`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BallLarusError`] if any function is irreducible or its
+    /// path space overflows.
+    pub fn new(program: &Program) -> Result<Self, BallLarusError> {
+        let numberings = program
+            .functions
+            .iter()
+            .map(BallLarus::new)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BallLarusProfiler {
+            layout: Layout::new(program),
+            numberings,
+            counts: HashMap::new(),
+            stack: Vec::new(),
+            cur_func: 0,
+            reg: 0,
+            last_local: LocalBlockId::new(0),
+            cost: ProfilingCost::new(),
+        })
+    }
+
+    /// Per-function numbering (e.g. to decode counted path ids).
+    pub fn numbering(&self, func: hotpath_ir::FuncId) -> &BallLarus {
+        &self.numberings[func.index()]
+    }
+
+    /// Iterates over `((FuncId, path id), count)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = ((hotpath_ir::FuncId, u128), u64)> + '_ {
+        self.counts
+            .iter()
+            .map(|(&(f, p), &c)| ((hotpath_ir::FuncId::new(f), p), c))
+    }
+
+    /// Number of distinct (function, path) pairs counted.
+    pub fn distinct_paths(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of counted path executions.
+    pub fn flow(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Count for one function path.
+    pub fn count(&self, func: hotpath_ir::FuncId, path: u128) -> u64 {
+        self.counts
+            .get(&(func.index() as u32, path))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Profiling operations performed so far.
+    pub fn cost(&self) -> &ProfilingCost {
+        &self.cost
+    }
+
+    fn bump(&mut self, path_reg: i128) {
+        self.cost.table_updates += 1;
+        let id = u128::try_from(path_reg).unwrap_or_else(|_| {
+            panic!(
+                "negative Ball-Larus path id {path_reg} in fn{}",
+                self.cur_func
+            )
+        });
+        *self.counts.entry((self.cur_func, id)).or_insert(0) += 1;
+    }
+}
+
+impl ExecutionObserver for BallLarusProfiler {
+    fn on_block(&mut self, event: &BlockEvent) {
+        let (to_func, to_local) = self.layout.location(event.block);
+        match event.kind {
+            TransferKind::Start => {
+                self.cur_func = to_func.index() as u32;
+                self.reg = self.numberings[to_func.index()]
+                    .path_start(to_local)
+                    .expect("function entry starts a path");
+            }
+            TransferKind::Jump
+            | TransferKind::BranchTaken
+            | TransferKind::BranchNotTaken
+            | TransferKind::Indirect => {
+                let from_local = self.last_local;
+                match self.numberings[self.cur_func as usize].transfer(from_local, to_local) {
+                    Some(Transfer::Advance(inc)) => {
+                        self.reg += inc;
+                        if inc != 0 {
+                            self.cost.counter_increments += 1;
+                        }
+                    }
+                    Some(Transfer::EndAndRestart { end_inc, restart }) => {
+                        let finished = self.reg + end_inc;
+                        self.bump(finished);
+                        self.reg = restart;
+                    }
+                    None => {
+                        debug_assert!(false, "dynamic transfer is not a CFG edge");
+                    }
+                }
+            }
+            TransferKind::Call => {
+                self.stack.push(SavedFrame {
+                    func: self.cur_func,
+                    reg: self.reg,
+                    call_block: self.last_local,
+                });
+                self.cur_func = to_func.index() as u32;
+                self.reg = self.numberings[to_func.index()]
+                    .path_start(to_local)
+                    .expect("callee entry starts a path");
+            }
+            TransferKind::Return => {
+                // Finish the callee's current path at its return block.
+                if let Some(exit_inc) =
+                    self.numberings[self.cur_func as usize].block_exit_inc(self.last_local)
+                {
+                    let finished = self.reg + exit_inc;
+                    self.bump(finished);
+                } else {
+                    debug_assert!(false, "return block has no exit increment");
+                }
+                let frame = self.stack.pop().expect("return matches a call");
+                self.cur_func = frame.func;
+                self.reg = frame.reg;
+                // Resume the caller's path across the call edge.
+                match self.numberings[self.cur_func as usize]
+                    .transfer(frame.call_block, to_local)
+                {
+                    Some(Transfer::Advance(inc)) => {
+                        self.reg += inc;
+                        if inc != 0 {
+                            self.cost.counter_increments += 1;
+                        }
+                    }
+                    Some(Transfer::EndAndRestart { .. }) | None => {
+                        debug_assert!(false, "call continuation edge must be a forward CFG edge");
+                    }
+                }
+            }
+        }
+        self.last_local = to_local;
+    }
+
+    fn on_halt(&mut self) {
+        // Finish the path of the halting function; paths of suspended
+        // callers are abandoned (the program ended mid-path).
+        if let Some(exit_inc) =
+            self.numberings[self.cur_func as usize].block_exit_inc(self.last_local)
+        {
+            let finished = self.reg + exit_inc;
+            self.bump(finished);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
+    use hotpath_ir::{CmpOp, FuncId};
+    use hotpath_vm::Vm;
+
+    /// Loop with if/else body: iteration paths alternate between two BL
+    /// path ids.
+    #[test]
+    fn loop_profile_counts_match_iterations() {
+        let mut fb = FunctionBuilder::new("main");
+        let i = fb.reg();
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let odd_b = fb.new_block();
+        let even_b = fb.new_block();
+        let latch = fb.new_block();
+        let exit = fb.new_block();
+        fb.const_(i, 0);
+        fb.jump(header);
+        fb.switch_to(header);
+        let c = fb.cmp_imm(CmpOp::Lt, i, 10);
+        fb.branch(c, body, exit);
+        fb.switch_to(body);
+        let par = fb.reg();
+        fb.and_imm(par, i, 1);
+        fb.branch(par, odd_b, even_b);
+        fb.switch_to(odd_b);
+        fb.jump(latch);
+        fb.switch_to(even_b);
+        fb.jump(latch);
+        fb.switch_to(latch);
+        fb.add_imm(i, i, 1);
+        fb.jump(header);
+        fb.switch_to(exit);
+        fb.halt();
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(fb).unwrap();
+        let p = pb.finish().unwrap();
+
+        let mut profiler = BallLarusProfiler::new(&p).unwrap();
+        Vm::new(&p).run(&mut profiler).unwrap();
+        // 10 loop iterations end at the latch back edge; plus the final
+        // header->exit path ends at halt. The entry path (b0->header...)
+        // also ends at the first back edge. Total counted = 11.
+        assert_eq!(profiler.flow(), 11);
+        // Distinct intraprocedural paths: entry+even-iteration,
+        // header+odd-iteration, header+even-iteration, header->exit.
+        assert_eq!(profiler.distinct_paths(), 4);
+        // Each count's decoded block sequence starts at a path-start block.
+        let main = FuncId::new(0);
+        for ((f, id), count) in profiler.iter() {
+            assert_eq!(f, main);
+            assert!(count > 0);
+            let blocks = profiler.numbering(f).decode(id).expect("countable id");
+            assert!(!blocks.is_empty());
+        }
+        // 5 odd iterations and 4 even header-started iterations (iteration
+        // 0 runs on the entry path).
+        let counts: Vec<u64> = {
+            let mut v: Vec<u64> = profiler.iter().map(|(_, c)| c).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(counts, vec![1, 1, 4, 5]);
+    }
+
+    /// Calls pause the caller's path and resume it at the return.
+    #[test]
+    fn calls_pause_and_resume_caller_paths() {
+        let mut pb = ProgramBuilder::new();
+        let helper = pb.declare("helper");
+        let mut hb = FunctionBuilder::new("helper");
+        hb.ret();
+        pb.add_function(hb).unwrap();
+
+        let mut fb = FunctionBuilder::new("main");
+        let i = fb.reg();
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let after = fb.new_block();
+        let exit = fb.new_block();
+        fb.const_(i, 0);
+        fb.jump(header);
+        fb.switch_to(header);
+        let c = fb.cmp_imm(CmpOp::Lt, i, 4);
+        fb.branch(c, body, exit);
+        fb.switch_to(body);
+        fb.add_imm(i, i, 1);
+        fb.call(helper, after);
+        fb.switch_to(after);
+        fb.jump(header);
+        fb.switch_to(exit);
+        fb.halt();
+        pb.add_function(fb).unwrap();
+        let p = pb.finish().unwrap();
+
+        let mut profiler = BallLarusProfiler::new(&p).unwrap();
+        Vm::new(&p).run(&mut profiler).unwrap();
+        // Helper runs 4 one-block paths; main runs 4 iteration paths plus
+        // the final exit path (entry path merges into iteration 1's path).
+        let helper_flow: u64 = profiler
+            .iter()
+            .filter(|((f, _), _)| *f == helper)
+            .map(|(_, c)| c)
+            .sum();
+        assert_eq!(helper_flow, 4);
+        let main_flow = profiler.flow() - helper_flow;
+        assert_eq!(main_flow, 5);
+        // The helper has exactly one path shape.
+        let helper_paths = profiler
+            .iter()
+            .filter(|((f, _), _)| *f == helper)
+            .count();
+        assert_eq!(helper_paths, 1);
+    }
+
+    #[test]
+    fn cost_counts_table_updates() {
+        let mut fb = FunctionBuilder::new("main");
+        let i = fb.reg();
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.const_(i, 0);
+        fb.jump(header);
+        fb.switch_to(header);
+        let c = fb.cmp_imm(CmpOp::Lt, i, 6);
+        fb.branch(c, body, exit);
+        fb.switch_to(body);
+        fb.add_imm(i, i, 1);
+        fb.jump(header);
+        fb.switch_to(exit);
+        fb.halt();
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(fb).unwrap();
+        let p = pb.finish().unwrap();
+        let mut profiler = BallLarusProfiler::new(&p).unwrap();
+        Vm::new(&p).run(&mut profiler).unwrap();
+        // One table update per completed path: 6 iterations + final exit.
+        assert_eq!(profiler.cost().table_updates, 7);
+        assert_eq!(profiler.flow(), 7);
+    }
+}

@@ -1,0 +1,98 @@
+//! Accounting of runtime profiling operations.
+//!
+//! The paper's central overhead argument (§4) compares schemes by the
+//! *profiling operations* they execute: bit tracing shifts a history bit on
+//! every branch and updates a path table at every path end; Ball–Larus
+//! updates a path register on instrumented (chord) edges; NET bumps a
+//! single counter per backward-taken-branch target. [`ProfilingCost`]
+//! tallies those operations so the Dynamo cost model (and the Criterion
+//! micro-benches) can charge them.
+
+use std::ops::{Add, AddAssign};
+
+/// Counts of runtime profiling operations performed by a scheme.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct ProfilingCost {
+    /// History-register shift operations (bit tracing: one per conditional
+    /// branch on a profiled path).
+    pub history_shifts: u64,
+    /// Indirect-target recordings (bit tracing: one per indirect transfer
+    /// on a profiled path).
+    pub indirect_records: u64,
+    /// Plain counter increments (NET head counters, Ball–Larus path
+    /// register updates on chord edges).
+    pub counter_increments: u64,
+    /// Hash/path-table updates (one per completed profiled path).
+    pub table_updates: u64,
+}
+
+impl ProfilingCost {
+    /// A zeroed cost.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of operations, unweighted.
+    pub fn total_ops(&self) -> u64 {
+        self.history_shifts + self.indirect_records + self.counter_increments + self.table_updates
+    }
+
+    /// Weighted cost in abstract cycles: cheap register ops at `cheap`
+    /// cycles each, table updates at `table` cycles each.
+    pub fn weighted(&self, cheap: f64, table: f64) -> f64 {
+        (self.history_shifts + self.indirect_records + self.counter_increments) as f64 * cheap
+            + self.table_updates as f64 * table
+    }
+}
+
+impl Add for ProfilingCost {
+    type Output = ProfilingCost;
+
+    fn add(self, rhs: ProfilingCost) -> ProfilingCost {
+        ProfilingCost {
+            history_shifts: self.history_shifts + rhs.history_shifts,
+            indirect_records: self.indirect_records + rhs.indirect_records,
+            counter_increments: self.counter_increments + rhs.counter_increments,
+            table_updates: self.table_updates + rhs.table_updates,
+        }
+    }
+}
+
+impl AddAssign for ProfilingCost {
+    fn add_assign(&mut self, rhs: ProfilingCost) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_weighting() {
+        let c = ProfilingCost {
+            history_shifts: 10,
+            indirect_records: 2,
+            counter_increments: 5,
+            table_updates: 3,
+        };
+        assert_eq!(c.total_ops(), 20);
+        let w = c.weighted(1.0, 10.0);
+        assert!((w - (17.0 + 30.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_combines_fields() {
+        let a = ProfilingCost {
+            history_shifts: 1,
+            indirect_records: 2,
+            counter_increments: 3,
+            table_updates: 4,
+        };
+        let mut b = a;
+        b += a;
+        assert_eq!(b, a + a);
+        assert_eq!(b.history_shifts, 2);
+        assert_eq!(b.table_updates, 8);
+    }
+}

@@ -1,0 +1,245 @@
+//! Edge profiling and the edge-vs-path "showdown" (paper §7, ref. [6]).
+//!
+//! Ball, Mataga & Sagiv showed that plain edge profiles often suffice to
+//! recover most of the hot portion of a path profile. [`EdgeProfiler`]
+//! collects edge and block frequencies (one counter bump per control
+//! transfer — cheaper than bit tracing, pricier than NET), and
+//! [`estimate_path_freq`] scores a path under the branch-independence
+//! assumption:
+//!
+//! ```text
+//! freq̂(p) = count(head) · Π  P(bᵢ₊₁ | bᵢ)
+//! ```
+//!
+//! [`showdown`] ranks the true paths by that estimate and reports how much of
+//! the true hot flow the edge-derived top set captures — the experiment
+//! behind the paper's closing remark that even offline, sophisticated path
+//! profiling buys little over cheaper schemes.
+
+use std::collections::HashMap;
+
+use hotpath_vm::{BlockEvent, ExecutionObserver};
+
+use crate::profile::{HotPathSet, PathProfile};
+use crate::signature::{PathId, PathTable};
+
+/// Collects edge and block execution frequencies.
+#[derive(Clone, Default, Debug)]
+pub struct EdgeProfiler {
+    edges: HashMap<u64, u64>,
+    blocks: HashMap<u32, u64>,
+    transfers: u64,
+}
+
+impl EdgeProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Frequency of the edge `from -> to`.
+    pub fn edge(&self, from: u32, to: u32) -> u64 {
+        self.edges
+            .get(&(((from as u64) << 32) | to as u64))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Execution count of a block.
+    pub fn block(&self, block: u32) -> u64 {
+        self.blocks.get(&block).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct edges seen (the scheme's counter space).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Total control transfers observed.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Probability of taking `from -> to` among `from`'s outgoing
+    /// transfers (0 if `from` was never left).
+    pub fn transition_probability(&self, from: u32, to: u32) -> f64 {
+        let out = self.block(from);
+        if out == 0 {
+            0.0
+        } else {
+            self.edge(from, to) as f64 / out as f64
+        }
+    }
+}
+
+impl ExecutionObserver for EdgeProfiler {
+    fn on_block(&mut self, event: &BlockEvent) {
+        *self.blocks.entry(event.block.as_u32()).or_insert(0) += 1;
+        if let Some(from) = event.from {
+            let key = ((from.as_u32() as u64) << 32) | event.block.as_u32() as u64;
+            *self.edges.entry(key).or_insert(0) += 1;
+            self.transfers += 1;
+        }
+    }
+}
+
+/// Estimates a path's frequency from edge profiles under branch
+/// independence.
+pub fn estimate_path_freq(edges: &EdgeProfiler, blocks: &[u32]) -> f64 {
+    let Some(&head) = blocks.first() else {
+        return 0.0;
+    };
+    let mut est = edges.block(head) as f64;
+    for w in blocks.windows(2) {
+        est *= edges.transition_probability(w[0], w[1]);
+        if est == 0.0 {
+            break;
+        }
+    }
+    est
+}
+
+/// Result of the edge-vs-path showdown.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ShowdownReport {
+    /// Size of the true hot set.
+    pub hot_paths: usize,
+    /// How many of the edge-estimated top-`hot_paths` paths are truly hot.
+    pub overlap: usize,
+    /// True hot flow captured by the edge-estimated top set, as a
+    /// percentage of the true hot flow.
+    pub hot_flow_captured_pct: f64,
+    /// Edge counters used vs. path counters used.
+    pub edge_counters: usize,
+    /// Distinct paths (the path profile's counter requirement).
+    pub path_counters: usize,
+}
+
+/// Ranks true paths by their edge-profile estimate and measures how much
+/// of the hot path profile the top set recovers.
+pub fn showdown(
+    edges: &EdgeProfiler,
+    profile: &PathProfile,
+    table: &PathTable,
+    sequences: &[Vec<u32>],
+    hot: &HotPathSet,
+) -> ShowdownReport {
+    let mut scored: Vec<(PathId, f64)> = profile
+        .iter()
+        .map(|(id, _)| {
+            let seq = sequences
+                .get(id.index())
+                .map(|s| s.as_slice())
+                .unwrap_or(&[]);
+            (id, estimate_path_freq(edges, seq))
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    scored.truncate(hot.len());
+
+    let mut overlap = 0usize;
+    let mut captured = 0u64;
+    for (id, _) in &scored {
+        if hot.contains(*id) {
+            overlap += 1;
+            captured += profile.freq(*id);
+        }
+    }
+    ShowdownReport {
+        hot_paths: hot.len(),
+        overlap,
+        hot_flow_captured_pct: if hot.hot_flow() == 0 {
+            0.0
+        } else {
+            captured as f64 / hot.hot_flow() as f64 * 100.0
+        },
+        edge_counters: edges.edge_count(),
+        path_counters: table.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequences::SequenceRecorder;
+    use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
+    use hotpath_ir::CmpOp;
+    use hotpath_vm::{Tee, Vm};
+
+    fn skewed_loop(trip: i64) -> hotpath_ir::Program {
+        let mut fb = FunctionBuilder::new("main");
+        let i = fb.reg();
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let rare = fb.new_block();
+        let common = fb.new_block();
+        let latch = fb.new_block();
+        let exit = fb.new_block();
+        fb.const_(i, 0);
+        fb.jump(header);
+        fb.switch_to(header);
+        let c = fb.cmp_imm(CmpOp::Lt, i, trip);
+        fb.branch(c, body, exit);
+        fb.switch_to(body);
+        let m = fb.reg();
+        fb.and_imm(m, i, 15);
+        let r = fb.cmp_imm(CmpOp::Eq, m, 15);
+        fb.branch(r, rare, common);
+        fb.switch_to(rare);
+        fb.jump(latch);
+        fb.switch_to(common);
+        fb.jump(latch);
+        fb.switch_to(latch);
+        fb.add_imm(i, i, 1);
+        fb.jump(header);
+        fb.switch_to(exit);
+        fb.halt();
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(fb).unwrap();
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn edge_counts_are_exact() {
+        let p = skewed_loop(160);
+        let mut edges = EdgeProfiler::new();
+        let stats = Vm::new(&p).run(&mut edges).unwrap();
+        assert_eq!(edges.transfers(), stats.blocks_executed - 1);
+        // Block ids: header=1, body=2, rare=3, common=4.
+        assert_eq!(edges.edge(2, 3), 10, "rare arm every 16th iteration");
+        assert_eq!(edges.edge(2, 4), 150);
+        let pr = edges.transition_probability(2, 4);
+        assert!((pr - 150.0 / 160.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn showdown_recovers_the_dominant_path() {
+        let p = skewed_loop(3200);
+        let mut edges = EdgeProfiler::new();
+        let mut seqs = SequenceRecorder::new();
+        let mut tee = Tee(&mut edges, &mut seqs);
+        Vm::new(&p).run(&mut tee).unwrap();
+        let (stream, table, sequences) = seqs.into_parts();
+        let profile = stream.to_profile();
+        let hot = profile.hot_set(0.001);
+        let report = showdown(&edges, &profile, &table, &sequences, &hot);
+        assert_eq!(report.hot_paths, hot.len());
+        // The dominant common-arm path must be recovered.
+        assert!(report.overlap >= 1);
+        assert!(
+            report.hot_flow_captured_pct > 90.0,
+            "captured {:.1}%",
+            report.hot_flow_captured_pct
+        );
+    }
+
+    #[test]
+    fn estimate_is_zero_for_phantom_sequences() {
+        let p = skewed_loop(100);
+        let mut edges = EdgeProfiler::new();
+        Vm::new(&p).run(&mut edges).unwrap();
+        // rare (3) never transfers to itself.
+        assert_eq!(estimate_path_freq(&edges, &[3, 3]), 0.0);
+        assert_eq!(estimate_path_freq(&edges, &[]), 0.0);
+    }
+}

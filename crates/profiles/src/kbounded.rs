@@ -1,0 +1,190 @@
+//! Young & Smith k-bounded general path profiling (paper §2).
+//!
+//! A *k-bounded general path* is an intraprocedural path of at most `k`
+//! branches that, unlike a Ball–Larus path, may include backward edges.
+//! Young & Smith compute them at runtime with a k-entry FIFO of the most
+//! recently executed branches; each executed branch defines a new general
+//! path — the current FIFO contents — whose counter is bumped (they use a
+//! lazy update; we charge one table update per branch, its cost
+//! upper bound).
+
+use std::collections::HashMap;
+
+use hotpath_vm::{BlockEvent, ExecutionObserver, TransferKind};
+
+use crate::cost::ProfilingCost;
+
+/// Profiles k-bounded general paths over the dynamic branch stream.
+///
+/// The profiled unit is the sequence of the last `k` *branch targets*
+/// (conditional or indirect), a faithful dynamic encoding of the original's
+/// branch FIFO.
+#[derive(Debug)]
+pub struct KBoundedProfiler {
+    k: usize,
+    window: Vec<u32>,
+    counts: HashMap<Box<[u32]>, u64>,
+    cost: ProfilingCost,
+    branches: u64,
+}
+
+impl KBoundedProfiler {
+    /// Creates a profiler with bound `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        KBoundedProfiler {
+            k,
+            window: Vec::with_capacity(k),
+            counts: HashMap::new(),
+            cost: ProfilingCost::new(),
+            branches: 0,
+        }
+    }
+
+    /// The bound `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of distinct general paths observed.
+    pub fn distinct_paths(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total branches processed (each defines one general-path
+    /// observation).
+    pub fn observations(&self) -> u64 {
+        self.branches
+    }
+
+    /// Count for a specific window of branch targets.
+    pub fn count(&self, window: &[u32]) -> u64 {
+        self.counts.get(window).copied().unwrap_or(0)
+    }
+
+    /// The `n` most frequent general paths, most frequent first.
+    pub fn top_n(&self, n: usize) -> Vec<(Vec<u32>, u64)> {
+        let mut all: Vec<(Vec<u32>, u64)> = self
+            .counts
+            .iter()
+            .map(|(w, &c)| (w.to_vec(), c))
+            .collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(n);
+        all
+    }
+
+    /// Profiling operations performed so far.
+    pub fn cost(&self) -> &ProfilingCost {
+        &self.cost
+    }
+}
+
+impl ExecutionObserver for KBoundedProfiler {
+    fn on_block(&mut self, event: &BlockEvent) {
+        let is_branch = matches!(
+            event.kind,
+            TransferKind::BranchTaken | TransferKind::BranchNotTaken | TransferKind::Indirect
+        );
+        if !is_branch {
+            return;
+        }
+        self.branches += 1;
+        // FIFO update: drop the oldest entry once full, push the new
+        // branch target.
+        if self.window.len() == self.k {
+            self.window.remove(0);
+        }
+        self.window.push(event.block.as_u32());
+        self.cost.history_shifts += 1;
+        self.cost.table_updates += 1;
+        match self.counts.get_mut(self.window.as_slice()) {
+            Some(c) => *c += 1,
+            None => {
+                self.counts
+                    .insert(self.window.clone().into_boxed_slice(), 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
+    use hotpath_ir::CmpOp;
+    use hotpath_vm::Vm;
+
+    fn loop_program(trip: i64) -> hotpath_ir::Program {
+        let mut fb = FunctionBuilder::new("main");
+        let i = fb.reg();
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.const_(i, 0);
+        fb.jump(header);
+        fb.switch_to(header);
+        let c = fb.cmp_imm(CmpOp::Lt, i, trip);
+        fb.branch(c, body, exit);
+        fb.switch_to(body);
+        fb.add_imm(i, i, 1);
+        fb.jump(header);
+        fb.switch_to(exit);
+        fb.halt();
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(fb).unwrap();
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn observes_every_branch() {
+        let p = loop_program(10);
+        let mut prof = KBoundedProfiler::new(4);
+        let stats = Vm::new(&p).run(&mut prof).unwrap();
+        assert_eq!(
+            prof.observations(),
+            stats.cond_branches + stats.indirect_branches
+        );
+        assert_eq!(prof.cost().table_updates, prof.observations());
+    }
+
+    #[test]
+    fn window_bounded_by_k() {
+        let p = loop_program(20);
+        let mut prof = KBoundedProfiler::new(3);
+        Vm::new(&p).run(&mut prof).unwrap();
+        for (w, _) in prof.top_n(usize::MAX) {
+            assert!(w.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn steady_loop_converges_to_one_dominant_window() {
+        let p = loop_program(50);
+        let mut prof = KBoundedProfiler::new(2);
+        Vm::new(&p).run(&mut prof).unwrap();
+        let top = prof.top_n(1);
+        // The steady-state window (body, body, ...) dominates.
+        assert!(top[0].1 >= 45, "dominant window count {}", top[0].1);
+        assert!(prof.count(&top[0].0) == top[0].1);
+    }
+
+    #[test]
+    fn k_one_degenerates_to_branch_target_profile() {
+        let p = loop_program(10);
+        let mut prof = KBoundedProfiler::new(1);
+        Vm::new(&p).run(&mut prof).unwrap();
+        // Two distinct branch targets: body (taken) and exit (not taken).
+        assert_eq!(prof.distinct_paths(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = KBoundedProfiler::new(0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Saving and loading recorded runs.
+//!
+//! Recording a full-scale workload takes seconds to minutes; analyses
+//! (sweeps, ablations) are replay-only. [`save_run`] writes a
+//! `(PathStream, PathTable)` pair in a compact binary format so analyses
+//! can run in separate processes without re-executing the VM.
+//!
+//! The format is versioned by magic number and makes no cross-platform
+//! promises beyond little-endian integers.
+
+use std::io::{self, Read, Write};
+
+use hotpath_ir::BlockId;
+
+use crate::signature::{PathInfo, PathSignature, PathTable};
+use crate::stream::PathStream;
+
+const MAGIC: &[u8; 8] = b"HPRUN01\n";
+
+fn w_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn w_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn r_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn r_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Writes a recorded run.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn save_run<W: Write>(w: &mut W, stream: &PathStream, table: &PathTable) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    // Stream.
+    w_u64(w, stream.len() as u64)?;
+    w.write_all(&[u8::from(stream.ended())])?;
+    for i in 0..stream.len() {
+        w_u32(w, stream.path(i).index() as u32)?;
+    }
+    for i in 0..stream.len() {
+        w.write_all(&[stream.raw_kind(i)])?;
+    }
+    // Table: infos + signatures, in id order.
+    w_u64(w, table.len() as u64)?;
+    for (id, info) in table.iter() {
+        let sig = table
+            .signature(id)
+            .expect("every interned id has a signature");
+        w_u32(w, info.head.as_u32())?;
+        w_u32(w, info.blocks)?;
+        w_u32(w, info.insts)?;
+        w_u32(w, info.cond_branches)?;
+        w_u32(w, info.indirects)?;
+        w_u32(w, sig.start().as_u32())?;
+        w_u32(w, sig.history_len())?;
+        for i in 0..sig.history_len().div_ceil(64) {
+            w_u64(w, sig.history_word(i as usize))?;
+        }
+        w_u32(w, sig.indirect_len() as u32)?;
+        for i in 0..sig.indirect_len() {
+            w_u32(w, sig.indirect_target(i).expect("in range").as_u32())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a recorded run written by [`save_run`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a bad magic number or malformed contents, and
+/// propagates I/O errors.
+pub fn load_run<R: Read>(r: &mut R) -> io::Result<(PathStream, PathTable)> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a hotpath run file (bad magic)",
+        ));
+    }
+    let n = r_u64(r)? as usize;
+    let mut ended_b = [0u8; 1];
+    r.read_exact(&mut ended_b)?;
+    let mut ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        ids.push(r_u32(r)?);
+    }
+    let mut kinds = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut b = [0u8; 1];
+        r.read_exact(&mut b)?;
+        kinds.push(b[0]);
+    }
+    let stream = PathStream::from_raw(ids, kinds, ended_b[0] != 0);
+
+    let paths = r_u64(r)? as usize;
+    let mut table = PathTable::new();
+    for k in 0..paths {
+        let head = BlockId::new(r_u32(r)?);
+        let blocks = r_u32(r)?;
+        let insts = r_u32(r)?;
+        let cond_branches = r_u32(r)?;
+        let indirects = r_u32(r)?;
+        let start = BlockId::new(r_u32(r)?);
+        let hlen = r_u32(r)?;
+        let mut sig = PathSignature::new(start);
+        let words = hlen.div_ceil(64);
+        let mut history = Vec::with_capacity(words as usize);
+        for _ in 0..words {
+            history.push(r_u64(r)?);
+        }
+        for i in 0..hlen {
+            let word = history[(i / 64) as usize];
+            sig.push_bit(word >> (i % 64) & 1 == 1);
+        }
+        let ilen = r_u32(r)?;
+        for _ in 0..ilen {
+            sig.push_indirect(BlockId::new(r_u32(r)?));
+        }
+        let id = table.intern(
+            &sig,
+            PathInfo {
+                head,
+                blocks,
+                insts,
+                cond_branches,
+                indirects,
+            },
+        );
+        if id.index() != k {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "duplicate signature in run file",
+            ));
+        }
+    }
+    // All stream ids must be covered by the table.
+    for i in 0..stream.len() {
+        if stream.path(i).index() >= table.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "stream references a path missing from the table",
+            ));
+        }
+    }
+    Ok((stream, table))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::PathExtractor;
+    use crate::stream::StreamingSink;
+    use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
+    use hotpath_ir::CmpOp;
+    use hotpath_vm::Vm;
+
+    fn record() -> (PathStream, PathTable) {
+        let mut fb = FunctionBuilder::new("main");
+        let i = fb.reg();
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let odd = fb.new_block();
+        let even = fb.new_block();
+        let latch = fb.new_block();
+        let exit = fb.new_block();
+        fb.const_(i, 0);
+        fb.jump(header);
+        fb.switch_to(header);
+        let c = fb.cmp_imm(CmpOp::Lt, i, 100);
+        fb.branch(c, body, exit);
+        fb.switch_to(body);
+        let par = fb.reg();
+        fb.and_imm(par, i, 1);
+        fb.branch(par, odd, even);
+        fb.switch_to(odd);
+        fb.jump(latch);
+        fb.switch_to(even);
+        fb.jump(latch);
+        fb.switch_to(latch);
+        fb.add_imm(i, i, 1);
+        fb.jump(header);
+        fb.switch_to(exit);
+        fb.halt();
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(fb).unwrap();
+        let p = pb.finish().unwrap();
+        let mut ex = PathExtractor::new(StreamingSink::new());
+        Vm::new(&p).run(&mut ex).unwrap();
+        let (sink, table) = ex.into_parts();
+        (sink.into_stream(), table)
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let (stream, table) = record();
+        let mut buf = Vec::new();
+        save_run(&mut buf, &stream, &table).unwrap();
+        let (s2, t2) = load_run(&mut buf.as_slice()).unwrap();
+        assert_eq!(s2.len(), stream.len());
+        assert_eq!(s2.ended(), stream.ended());
+        assert_eq!(t2.len(), table.len());
+        for i in 0..stream.len() {
+            assert_eq!(s2.path(i), stream.path(i), "id at {i}");
+            assert_eq!(s2.start_kind(i), stream.start_kind(i), "kind at {i}");
+            assert_eq!(s2.end_kind(i), stream.end_kind(i), "end at {i}");
+        }
+        for (id, info) in table.iter() {
+            assert_eq!(t2.info(id), info, "{id}");
+        }
+        // Profiles derived from both are identical.
+        assert_eq!(s2.to_profile().flow(), stream.to_profile().flow());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = load_run(&mut &b"NOTARUN!"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_file_is_an_error() {
+        let (stream, table) = record();
+        let mut buf = Vec::new();
+        save_run(&mut buf, &stream, &table).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(load_run(&mut buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,262 @@
+//! Path profiles: frequency distributions, flow, and hot sets.
+
+use crate::path::{PathExecution, PathSink};
+use crate::signature::{PathId, PathTable};
+
+/// A frequency distribution over interned paths — the paper's
+/// `freq(p)` / `Flow` (§2).
+///
+/// Collect one by using it as the [`PathSink`] of a
+/// [`PathExtractor`](crate::PathExtractor), or build it from a recorded
+/// [`PathStream`](crate::PathStream).
+#[derive(Clone, Default, Debug)]
+pub struct PathProfile {
+    counts: Vec<u64>,
+}
+
+impl PathProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one execution of `path`.
+    pub fn record(&mut self, path: PathId) {
+        let i = path.index();
+        if i >= self.counts.len() {
+            self.counts.resize(i + 1, 0);
+        }
+        self.counts[i] += 1;
+    }
+
+    /// Execution frequency of `path` (`freq(p)`).
+    pub fn freq(&self, path: PathId) -> u64 {
+        self.counts.get(path.index()).copied().unwrap_or(0)
+    }
+
+    /// Total flow: the sum of all path frequencies.
+    pub fn flow(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Number of distinct paths with nonzero frequency.
+    pub fn path_count(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Iterates over `(PathId, freq)` pairs with nonzero frequency.
+    pub fn iter(&self) -> impl Iterator<Item = (PathId, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (PathId::new(i as u32), c))
+    }
+
+    /// The hot-path set for a frequency threshold expressed as a fraction
+    /// of total flow (the paper uses 0.1%, i.e. `0.001`).
+    ///
+    /// A path is hot if `freq(p) >= fraction * flow` and `freq(p) > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `(0, 1]`.
+    pub fn hot_set(&self, fraction: f64) -> HotPathSet {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "hot fraction must be in (0, 1], got {fraction}"
+        );
+        let flow = self.flow();
+        let threshold = fraction * flow as f64;
+        let mut paths: Vec<PathId> = Vec::new();
+        let mut hot_flow = 0u64;
+        for (id, freq) in self.iter() {
+            if freq as f64 >= threshold {
+                paths.push(id);
+                hot_flow += freq;
+            }
+        }
+        HotPathSet {
+            paths,
+            hot_flow,
+            total_flow: flow,
+            fraction,
+        }
+    }
+
+    /// The `n` most frequent paths, most frequent first (frequency ties
+    /// broken by path id for determinism).
+    pub fn top_n(&self, n: usize) -> Vec<(PathId, u64)> {
+        let mut all: Vec<(PathId, u64)> = self.iter().collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(n);
+        all
+    }
+}
+
+impl PathSink for PathProfile {
+    fn on_path(&mut self, exec: &PathExecution) {
+        self.record(exec.path);
+    }
+}
+
+/// The `HotPath_h` set of paper §3: all paths whose frequency meets the
+/// hot threshold, plus the flow bookkeeping Table 1 reports.
+#[derive(Clone, PartialEq, Debug)]
+pub struct HotPathSet {
+    paths: Vec<PathId>,
+    hot_flow: u64,
+    total_flow: u64,
+    fraction: f64,
+}
+
+impl HotPathSet {
+    /// The hot paths, in path-id order.
+    pub fn paths(&self) -> &[PathId] {
+        &self.paths
+    }
+
+    /// Number of hot paths (Table 1, `#Paths` of the hot set).
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// True if no path met the threshold.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Membership test (binary search; the set is ordered).
+    pub fn contains(&self, path: PathId) -> bool {
+        self.paths.binary_search(&path).is_ok()
+    }
+
+    /// Flow captured by the hot paths (`freq(HotPath)`).
+    pub fn hot_flow(&self) -> u64 {
+        self.hot_flow
+    }
+
+    /// Total flow of the profile the set was computed from.
+    pub fn total_flow(&self) -> u64 {
+        self.total_flow
+    }
+
+    /// Percentage of total flow captured by the hot set (Table 1,
+    /// `%Flow`).
+    pub fn flow_percentage(&self) -> f64 {
+        if self.total_flow == 0 {
+            0.0
+        } else {
+            self.hot_flow as f64 / self.total_flow as f64 * 100.0
+        }
+    }
+
+    /// The threshold fraction the set was computed with.
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+
+    /// Builds a dense membership bitmap covering `table` (fast lookups in
+    /// replay loops).
+    pub fn membership_bitmap(&self, table: &PathTable) -> Vec<bool> {
+        let mut bits = vec![false; table.len()];
+        for p in &self.paths {
+            if p.index() < bits.len() {
+                bits[p.index()] = true;
+            }
+        }
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(counts: &[(u32, u64)]) -> PathProfile {
+        let mut p = PathProfile::new();
+        for &(id, n) in counts {
+            for _ in 0..n {
+                p.record(PathId::new(id));
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn freq_and_flow() {
+        let p = profile(&[(0, 5), (2, 3)]);
+        assert_eq!(p.freq(PathId::new(0)), 5);
+        assert_eq!(p.freq(PathId::new(1)), 0);
+        assert_eq!(p.freq(PathId::new(2)), 3);
+        assert_eq!(p.freq(PathId::new(99)), 0);
+        assert_eq!(p.flow(), 8);
+        assert_eq!(p.path_count(), 2);
+    }
+
+    #[test]
+    fn hot_set_thresholding() {
+        // flow = 1000; 0.1% threshold = 1.0, so paths with freq >= 1 are
+        // hot; with 10% threshold = 100 only the dominant path is hot.
+        let p = profile(&[(0, 900), (1, 99), (2, 1)]);
+        let all_hot = p.hot_set(0.001);
+        assert_eq!(all_hot.len(), 3);
+        assert_eq!(all_hot.hot_flow(), 1000);
+        assert!((all_hot.flow_percentage() - 100.0).abs() < 1e-9);
+
+        let hot = p.hot_set(0.10);
+        assert_eq!(hot.paths(), &[PathId::new(0)]);
+        assert!(hot.contains(PathId::new(0)));
+        assert!(!hot.contains(PathId::new(1)));
+        assert_eq!(hot.hot_flow(), 900);
+        assert!((hot.flow_percentage() - 90.0).abs() < 1e-9);
+        assert_eq!(hot.total_flow(), 1000);
+        assert_eq!(hot.fraction(), 0.10);
+    }
+
+    #[test]
+    fn empty_profile_has_empty_hot_set() {
+        let p = PathProfile::new();
+        let h = p.hot_set(0.001);
+        assert!(h.is_empty());
+        assert_eq!(h.flow_percentage(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hot fraction")]
+    fn bad_fraction_panics() {
+        let _ = PathProfile::new().hot_set(0.0);
+    }
+
+    #[test]
+    fn top_n_orders_by_frequency() {
+        let p = profile(&[(0, 5), (1, 50), (2, 20), (3, 50)]);
+        let top = p.top_n(3);
+        assert_eq!(
+            top,
+            vec![
+                (PathId::new(1), 50),
+                (PathId::new(3), 50),
+                (PathId::new(2), 20)
+            ]
+        );
+    }
+
+    #[test]
+    fn sink_impl_records() {
+        use crate::path::{PathEndKind, PathStartKind};
+        use hotpath_ir::BlockId;
+        let mut p = PathProfile::new();
+        let exec = PathExecution {
+            path: PathId::new(4),
+            head: BlockId::new(0),
+            start: PathStartKind::Entry,
+            end: PathEndKind::ProgramEnd,
+            blocks: 1,
+            insts: 1,
+        };
+        p.on_path(&exec);
+        p.on_path(&exec);
+        assert_eq!(p.freq(PathId::new(4)), 2);
+    }
+}

@@ -1,0 +1,141 @@
+//! Recording the block sequence of every distinct path.
+//!
+//! The extractor identifies paths by signature; several analyses (the
+//! Boa phantom check, the edge-vs-path showdown) need the *block
+//! sequences* behind those ids. [`SequenceRecorder`] wraps an extractor
+//! and stores each path's sequence the first time it completes.
+
+use hotpath_vm::{BlockEvent, ExecutionObserver};
+
+use crate::path::{PathExecution, PathExtractor, PathSink};
+use crate::signature::{PathId, PathTable};
+use crate::stream::{PathStream, StreamingSink};
+
+#[derive(Default, Debug)]
+struct TapSink {
+    inner: StreamingSink,
+    last: Option<PathExecution>,
+}
+
+impl PathSink for TapSink {
+    fn on_path(&mut self, exec: &PathExecution) {
+        self.inner.on_path(exec);
+        self.last = Some(*exec);
+    }
+
+    fn on_end(&mut self) {
+        self.inner.on_end();
+    }
+}
+
+/// Records a run's path stream *and* the block sequence of each distinct
+/// path.
+#[derive(Debug)]
+pub struct SequenceRecorder {
+    extractor: PathExtractor<TapSink>,
+    cur: Vec<u32>,
+    sequences: Vec<Vec<u32>>,
+}
+
+impl SequenceRecorder {
+    /// Creates a recorder with default extractor options.
+    pub fn new() -> Self {
+        SequenceRecorder {
+            extractor: PathExtractor::new(TapSink::default()),
+            cur: Vec::new(),
+            sequences: Vec::new(),
+        }
+    }
+
+    fn on_completion(&mut self) {
+        if let Some(exec) = self.extractor.sink_mut().last.take() {
+            let blocks = std::mem::take(&mut self.cur);
+            let idx = exec.path.index();
+            if idx >= self.sequences.len() {
+                self.sequences.resize(idx + 1, Vec::new());
+            }
+            if self.sequences[idx].is_empty() {
+                self.sequences[idx] = blocks;
+            }
+        }
+    }
+
+    /// Finishes recording: the stream, the table, and per-path block
+    /// sequences (indexed by [`PathId`]).
+    pub fn into_parts(self) -> (PathStream, PathTable, Vec<Vec<u32>>) {
+        let SequenceRecorder {
+            extractor,
+            sequences,
+            ..
+        } = self;
+        let (sink, table) = extractor.into_parts();
+        (sink.inner.into_stream(), table, sequences)
+    }
+
+    /// The sequence of a path recorded so far, if any.
+    pub fn sequence(&self, path: PathId) -> Option<&[u32]> {
+        self.sequences
+            .get(path.index())
+            .filter(|s| !s.is_empty())
+            .map(|s| s.as_slice())
+    }
+}
+
+impl Default for SequenceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExecutionObserver for SequenceRecorder {
+    fn on_block(&mut self, event: &BlockEvent) {
+        self.extractor.on_block(event);
+        self.on_completion();
+        self.cur.push(event.block.as_u32());
+    }
+
+    fn on_halt(&mut self) {
+        self.extractor.on_halt();
+        self.on_completion();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
+    use hotpath_ir::CmpOp;
+    use hotpath_vm::Vm;
+
+    #[test]
+    fn sequences_match_path_info() {
+        let mut fb = FunctionBuilder::new("main");
+        let i = fb.reg();
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.const_(i, 0);
+        fb.jump(header);
+        fb.switch_to(header);
+        let c = fb.cmp_imm(CmpOp::Lt, i, 5);
+        fb.branch(c, body, exit);
+        fb.switch_to(body);
+        fb.add_imm(i, i, 1);
+        fb.jump(header);
+        fb.switch_to(exit);
+        fb.halt();
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(fb).unwrap();
+        let p = pb.finish().unwrap();
+
+        let mut rec = SequenceRecorder::new();
+        Vm::new(&p).run(&mut rec).unwrap();
+        let (stream, table, seqs) = rec.into_parts();
+        assert!(stream.len() > 0);
+        for (id, info) in table.iter() {
+            let seq = &seqs[id.index()];
+            assert_eq!(seq.len(), info.blocks as usize, "{id}");
+            assert_eq!(seq[0], info.head.as_u32(), "{id} head");
+        }
+    }
+}

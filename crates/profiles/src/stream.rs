@@ -1,0 +1,236 @@
+//! Compact recordings of path-execution streams.
+//!
+//! The τ-sweeps of Figures 2 and 3 evaluate two schemes at ~16 prediction
+//! delays each; re-running the VM for all 32 points would dominate the
+//! experiment. [`StreamingSink`] records each path execution in five bytes
+//! (path id + start kind), and [`PathStream`] replays the stream through
+//! anything that consumes [`PathExecution`]s, reconstructing per-path
+//! details from the [`PathTable`].
+
+use crate::path::{PathEndKind, PathExecution, PathSink, PathStartKind};
+use crate::signature::{PathId, PathTable};
+
+/// A [`PathSink`] that records the execution stream compactly.
+#[derive(Clone, Default, Debug)]
+pub struct StreamingSink {
+    ids: Vec<u32>,
+    kinds: Vec<u8>,
+    ended: bool,
+}
+
+impl StreamingSink {
+    /// Creates an empty recording sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finishes recording, producing the stream.
+    pub fn into_stream(self) -> PathStream {
+        PathStream {
+            ids: self.ids,
+            kinds: self.kinds,
+            ended: self.ended,
+        }
+    }
+}
+
+impl PathSink for StreamingSink {
+    fn on_path(&mut self, exec: &PathExecution) {
+        self.ids.push(exec.path.index() as u32);
+        // Pack start kind (2 bits) and end kind (2 bits).
+        let end_tag = match exec.end {
+            PathEndKind::BackwardBranch => 0u8,
+            PathEndKind::CallReturn => 1,
+            PathEndKind::Capped => 2,
+            PathEndKind::ProgramEnd => 3,
+        };
+        self.kinds.push(exec.start.tag() | (end_tag << 2));
+    }
+
+    fn on_end(&mut self) {
+        self.ended = true;
+    }
+}
+
+/// A recorded sequence of path executions.
+#[derive(Clone, Default, Debug)]
+pub struct PathStream {
+    ids: Vec<u32>,
+    kinds: Vec<u8>,
+    ended: bool,
+}
+
+impl PathStream {
+    /// Rebuilds a stream from raw parts (the persistence format).
+    pub(crate) fn from_raw(ids: Vec<u32>, kinds: Vec<u8>, ended: bool) -> Self {
+        PathStream { ids, kinds, ended }
+    }
+
+    /// The packed kind byte of the `i`-th execution (persistence format).
+    pub(crate) fn raw_kind(&self, i: usize) -> u8 {
+        self.kinds[i]
+    }
+
+    /// Number of recorded path executions (the run's total *flow*).
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// True if the recorded run ended normally.
+    pub fn ended(&self) -> bool {
+        self.ended
+    }
+
+    /// The path id of the `i`-th execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn path(&self, i: usize) -> PathId {
+        PathId::new(self.ids[i])
+    }
+
+    /// The start kind of the `i`-th execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn start_kind(&self, i: usize) -> PathStartKind {
+        PathStartKind::from_tag(self.kinds[i] & 0b11).expect("recorded tag is valid")
+    }
+
+    /// The end kind of the `i`-th execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn end_kind(&self, i: usize) -> PathEndKind {
+        match self.kinds[i] >> 2 {
+            0 => PathEndKind::BackwardBranch,
+            1 => PathEndKind::CallReturn,
+            2 => PathEndKind::Capped,
+            _ => PathEndKind::ProgramEnd,
+        }
+    }
+
+    /// Reconstructs the `i`-th execution using `table` for per-path facts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()` or the table does not cover the recorded ids.
+    pub fn execution(&self, i: usize, table: &PathTable) -> PathExecution {
+        let id = self.path(i);
+        let info = table.info(id);
+        PathExecution {
+            path: id,
+            head: info.head,
+            start: self.start_kind(i),
+            end: self.end_kind(i),
+            blocks: info.blocks,
+            insts: info.insts,
+        }
+    }
+
+    /// Replays the stream through `sink`.
+    pub fn replay<S: PathSink>(&self, table: &PathTable, sink: &mut S) {
+        for i in 0..self.len() {
+            let exec = self.execution(i, table);
+            sink.on_path(&exec);
+        }
+        if self.ended {
+            sink.on_end();
+        }
+    }
+
+    /// Builds the frequency profile of the stream.
+    pub fn to_profile(&self) -> crate::PathProfile {
+        let mut p = crate::PathProfile::new();
+        for &id in &self.ids {
+            p.record(PathId::new(id));
+        }
+        p
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.ids.len() * 4 + self.kinds.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::{CollectSink, PathExtractor};
+    use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
+    use hotpath_ir::CmpOp;
+    use hotpath_vm::Vm;
+
+    fn loop_program(trip: i64) -> hotpath_ir::Program {
+        let mut fb = FunctionBuilder::new("main");
+        let i = fb.reg();
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.const_(i, 0);
+        fb.jump(header);
+        fb.switch_to(header);
+        let c = fb.cmp_imm(CmpOp::Lt, i, trip);
+        fb.branch(c, body, exit);
+        fb.switch_to(body);
+        fb.add_imm(i, i, 1);
+        fb.jump(header);
+        fb.switch_to(exit);
+        fb.halt();
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(fb).unwrap();
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn stream_round_trips_the_live_execution() {
+        let p = loop_program(7);
+        // Live collection.
+        let mut live = PathExtractor::new(CollectSink::default());
+        Vm::new(&p).run(&mut live).unwrap();
+        let (live_sink, live_table) = live.into_parts();
+
+        // Streamed collection, then replay into a CollectSink.
+        let mut rec = PathExtractor::new(StreamingSink::new());
+        Vm::new(&p).run(&mut rec).unwrap();
+        let (streaming, table) = rec.into_parts();
+        let stream = streaming.into_stream();
+        assert!(stream.ended());
+        assert_eq!(stream.len(), live_sink.paths.len());
+
+        let mut replayed = CollectSink::default();
+        stream.replay(&table, &mut replayed);
+        assert!(replayed.ended);
+        assert_eq!(replayed.paths, live_sink.paths);
+        let _ = live_table;
+    }
+
+    #[test]
+    fn to_profile_matches_stream_contents() {
+        let p = loop_program(5);
+        let mut rec = PathExtractor::new(StreamingSink::new());
+        Vm::new(&p).run(&mut rec).unwrap();
+        let (streaming, _) = rec.into_parts();
+        let stream = streaming.into_stream();
+        let profile = stream.to_profile();
+        assert_eq!(profile.flow() as usize, stream.len());
+    }
+
+    #[test]
+    fn empty_stream() {
+        let s = PathStream::default();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(!s.ended());
+        assert_eq!(s.memory_bytes(), 0);
+    }
+}

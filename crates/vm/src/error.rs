@@ -1,0 +1,90 @@
+//! Runtime errors.
+
+use std::error::Error;
+use std::fmt;
+
+use hotpath_ir::BlockId;
+
+/// Errors raised while executing a program.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VmError {
+    /// Integer division or remainder by zero.
+    DivisionByZero {
+        /// Block that executed the faulting instruction.
+        block: BlockId,
+    },
+    /// A load or store addressed a word outside program memory.
+    MemoryOutOfBounds {
+        /// Block that executed the faulting instruction.
+        block: BlockId,
+        /// The effective word address.
+        address: i64,
+        /// Memory size in words.
+        memory_words: usize,
+    },
+    /// A `Return` executed with no caller on the stack.
+    ReturnWithoutCaller {
+        /// Block containing the return.
+        block: BlockId,
+    },
+    /// The call stack exceeded the configured depth limit.
+    StackOverflow {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The run exceeded the configured block budget without halting.
+    OutOfFuel {
+        /// The configured budget in executed blocks.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::DivisionByZero { block } => {
+                write!(f, "division by zero in block {block}")
+            }
+            VmError::MemoryOutOfBounds {
+                block,
+                address,
+                memory_words,
+            } => write!(
+                f,
+                "memory access at word {address} out of bounds (0..{memory_words}) in block {block}"
+            ),
+            VmError::ReturnWithoutCaller { block } => {
+                write!(f, "return without caller in block {block}")
+            }
+            VmError::StackOverflow { limit } => {
+                write!(f, "call stack exceeded {limit} frames")
+            }
+            VmError::OutOfFuel { budget } => {
+                write!(f, "execution exceeded the budget of {budget} blocks")
+            }
+        }
+    }
+}
+
+impl Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = VmError::DivisionByZero {
+            block: BlockId::new(3),
+        };
+        assert!(e.to_string().contains("B3"));
+        let e = VmError::OutOfFuel { budget: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<T: Error + Send + Sync + 'static>() {}
+        check::<VmError>();
+    }
+}

@@ -1,0 +1,191 @@
+//! Execution events and the observer interface.
+
+use std::fmt;
+
+use hotpath_ir::BlockId;
+
+/// How control reached a block.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TransferKind {
+    /// The first block of the run; no incoming transfer.
+    Start,
+    /// An unconditional `Jump`.
+    Jump,
+    /// A conditional branch whose condition held.
+    BranchTaken,
+    /// A conditional branch whose condition did not hold.
+    BranchNotTaken,
+    /// An indirect branch (`Switch`); the dynamic target is the event's
+    /// block.
+    Indirect,
+    /// A procedure call; the block is the callee's entry.
+    Call,
+    /// A procedure return; the block is the caller's continuation.
+    Return,
+}
+
+impl TransferKind {
+    /// True for transfers produced by a conditional branch. Bit tracing
+    /// shifts one history bit exactly for these.
+    pub fn is_conditional(self) -> bool {
+        matches!(self, TransferKind::BranchTaken | TransferKind::BranchNotTaken)
+    }
+
+    /// A compact tag used by trace encodings; inverse of [`from_tag`].
+    ///
+    /// [`from_tag`]: TransferKind::from_tag
+    pub fn tag(self) -> u8 {
+        match self {
+            TransferKind::Start => 0,
+            TransferKind::Jump => 1,
+            TransferKind::BranchTaken => 2,
+            TransferKind::BranchNotTaken => 3,
+            TransferKind::Indirect => 4,
+            TransferKind::Call => 5,
+            TransferKind::Return => 6,
+        }
+    }
+
+    /// Decodes a [`tag`](TransferKind::tag); returns `None` for invalid
+    /// tags.
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => TransferKind::Start,
+            1 => TransferKind::Jump,
+            2 => TransferKind::BranchTaken,
+            3 => TransferKind::BranchNotTaken,
+            4 => TransferKind::Indirect,
+            5 => TransferKind::Call,
+            6 => TransferKind::Return,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TransferKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TransferKind::Start => "start",
+            TransferKind::Jump => "jump",
+            TransferKind::BranchTaken => "taken",
+            TransferKind::BranchNotTaken => "not-taken",
+            TransferKind::Indirect => "indirect",
+            TransferKind::Call => "call",
+            TransferKind::Return => "return",
+        })
+    }
+}
+
+/// One entry of the dynamic block stream: a block was entered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BlockEvent {
+    /// The block control came from; `None` for the first event.
+    pub from: Option<BlockId>,
+    /// The block being entered.
+    pub block: BlockId,
+    /// The kind of control transfer that led here.
+    pub kind: TransferKind,
+    /// True if the transfer was backward in the address layout (target
+    /// address not greater than source address). Always `false` for
+    /// [`TransferKind::Start`].
+    pub backward: bool,
+    /// Number of straight-line instructions plus terminator in the entered
+    /// block; lets cost models account instructions without touching the
+    /// program.
+    pub block_size: u32,
+}
+
+/// Receives the dynamic block stream from a [`Vm`](crate::Vm) run.
+///
+/// Implementations must be cheap: `on_block` runs once per executed basic
+/// block, i.e. tens of millions of times per experiment.
+pub trait ExecutionObserver {
+    /// Called for every basic block entered, including the entry block.
+    fn on_block(&mut self, event: &BlockEvent);
+
+    /// Called once when the program halts normally (not on errors).
+    fn on_halt(&mut self) {}
+}
+
+/// An observer that ignores everything; useful for measuring raw VM
+/// throughput.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct NullObserver;
+
+impl ExecutionObserver for NullObserver {
+    #[inline]
+    fn on_block(&mut self, _event: &BlockEvent) {}
+}
+
+impl<O: ExecutionObserver + ?Sized> ExecutionObserver for &mut O {
+    #[inline]
+    fn on_block(&mut self, event: &BlockEvent) {
+        (**self).on_block(event);
+    }
+
+    fn on_halt(&mut self) {
+        (**self).on_halt();
+    }
+}
+
+/// Fans one event stream out to two observers.
+#[derive(Debug)]
+pub struct Tee<A, B>(pub A, pub B);
+
+impl<A: ExecutionObserver, B: ExecutionObserver> ExecutionObserver for Tee<A, B> {
+    #[inline]
+    fn on_block(&mut self, event: &BlockEvent) {
+        self.0.on_block(event);
+        self.1.on_block(event);
+    }
+
+    fn on_halt(&mut self) {
+        self.0.on_halt();
+        self.1.on_halt();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_roundtrip() {
+        for tag in 0..7u8 {
+            let k = TransferKind::from_tag(tag).unwrap();
+            assert_eq!(k.tag(), tag);
+        }
+        assert_eq!(TransferKind::from_tag(7), None);
+    }
+
+    #[test]
+    fn conditional_classification() {
+        assert!(TransferKind::BranchTaken.is_conditional());
+        assert!(TransferKind::BranchNotTaken.is_conditional());
+        assert!(!TransferKind::Jump.is_conditional());
+        assert!(!TransferKind::Indirect.is_conditional());
+    }
+
+    #[test]
+    fn tee_delivers_to_both() {
+        #[derive(Default)]
+        struct Count(u64);
+        impl ExecutionObserver for Count {
+            fn on_block(&mut self, _: &BlockEvent) {
+                self.0 += 1;
+            }
+        }
+        let mut tee = Tee(Count::default(), Count::default());
+        let ev = BlockEvent {
+            from: None,
+            block: BlockId::new(0),
+            kind: TransferKind::Start,
+            backward: false,
+            block_size: 1,
+        };
+        tee.on_block(&ev);
+        tee.on_block(&ev);
+        assert_eq!(tee.0 .0, 2);
+        assert_eq!(tee.1 .0, 2);
+    }
+}

@@ -1,0 +1,239 @@
+//! Trace recording and simple statistics observers.
+//!
+//! Experiments record a workload's block stream once with [`TraceRecorder`]
+//! (≈5 bytes per executed block) and replay it through any number of
+//! prediction schemes via [`RecordedTrace::replay`], so a τ-sweep does not
+//! re-run the VM.
+
+use hotpath_ir::BlockId;
+
+use crate::event::{BlockEvent, ExecutionObserver, TransferKind};
+
+/// Counts events; the cheapest useful observer.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct CountingObserver {
+    /// Blocks entered.
+    pub blocks: u64,
+    /// Conditional branch transfers observed.
+    pub cond_branches: u64,
+    /// Backward transfers observed.
+    pub backward: u64,
+    /// Halt notifications received.
+    pub halts: u64,
+}
+
+impl ExecutionObserver for CountingObserver {
+    #[inline]
+    fn on_block(&mut self, event: &BlockEvent) {
+        self.blocks += 1;
+        if event.kind.is_conditional() {
+            self.cond_branches += 1;
+        }
+        if event.backward {
+            self.backward += 1;
+        }
+    }
+
+    fn on_halt(&mut self) {
+        self.halts += 1;
+    }
+}
+
+/// Records the block stream in a compact in-memory encoding.
+#[derive(Clone, Default, Debug)]
+pub struct TraceRecorder {
+    blocks: Vec<u32>,
+    flags: Vec<u8>,
+    sizes: Vec<u32>,
+    halted: bool,
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finishes recording and returns the trace.
+    pub fn into_trace(self) -> RecordedTrace {
+        RecordedTrace {
+            blocks: self.blocks,
+            flags: self.flags,
+            sizes: self.sizes,
+            halted: self.halted,
+        }
+    }
+}
+
+impl ExecutionObserver for TraceRecorder {
+    #[inline]
+    fn on_block(&mut self, event: &BlockEvent) {
+        let b = event.block.as_u32();
+        self.blocks.push(b);
+        self.flags
+            .push(event.kind.tag() | ((event.backward as u8) << 3));
+        let bi = b as usize;
+        if bi >= self.sizes.len() {
+            self.sizes.resize(bi + 1, 0);
+        }
+        self.sizes[bi] = event.block_size;
+    }
+
+    fn on_halt(&mut self) {
+        self.halted = true;
+    }
+}
+
+/// A recorded block stream, replayable through any observer.
+#[derive(Clone, Default, Debug)]
+pub struct RecordedTrace {
+    blocks: Vec<u32>,
+    flags: Vec<u8>,
+    sizes: Vec<u32>,
+    halted: bool,
+}
+
+impl RecordedTrace {
+    /// Number of recorded block events.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// True if the recorded run halted normally.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Reconstructs the `i`-th event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn event(&self, i: usize) -> BlockEvent {
+        let block = BlockId::new(self.blocks[i]);
+        let flags = self.flags[i];
+        BlockEvent {
+            from: if i == 0 {
+                None
+            } else {
+                Some(BlockId::new(self.blocks[i - 1]))
+            },
+            block,
+            kind: TransferKind::from_tag(flags & 0b111).expect("recorded tag is valid"),
+            backward: flags & 0b1000 != 0,
+            block_size: self.sizes[self.blocks[i] as usize],
+        }
+    }
+
+    /// Replays every recorded event (and the halt notification, if the run
+    /// halted) through `observer`.
+    pub fn replay<O: ExecutionObserver>(&self, observer: &mut O) {
+        for i in 0..self.blocks.len() {
+            let ev = self.event(i);
+            observer.on_block(&ev);
+        }
+        if self.halted {
+            observer.on_halt();
+        }
+    }
+
+    /// Iterates over reconstructed events.
+    pub fn iter(&self) -> impl Iterator<Item = BlockEvent> + '_ {
+        (0..self.len()).map(move |i| self.event(i))
+    }
+
+    /// Approximate heap footprint in bytes, for reporting.
+    pub fn memory_bytes(&self) -> usize {
+        self.blocks.len() * 4 + self.flags.len() + self.sizes.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::Vm;
+    use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
+    use hotpath_ir::CmpOp;
+
+    fn loop_program() -> hotpath_ir::Program {
+        let mut fb = FunctionBuilder::new("main");
+        let i = fb.reg();
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.const_(i, 0);
+        fb.jump(header);
+        fb.switch_to(header);
+        let c = fb.cmp_imm(CmpOp::Lt, i, 3);
+        fb.branch(c, body, exit);
+        fb.switch_to(body);
+        fb.add_imm(i, i, 1);
+        fb.jump(header);
+        fb.switch_to(exit);
+        fb.halt();
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(fb).unwrap();
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn record_and_replay_match_live_run() {
+        let p = loop_program();
+        let mut recorder = TraceRecorder::new();
+        let stats = Vm::new(&p).run(&mut recorder).unwrap();
+        let trace = recorder.into_trace();
+        assert_eq!(trace.len() as u64, stats.blocks_executed);
+        assert!(trace.halted());
+
+        // Replaying must reproduce the live counter results.
+        let mut live = CountingObserver::default();
+        Vm::new(&p).run(&mut live).unwrap();
+        let mut replayed = CountingObserver::default();
+        trace.replay(&mut replayed);
+        assert_eq!(live.blocks, replayed.blocks);
+        assert_eq!(live.cond_branches, replayed.cond_branches);
+        assert_eq!(live.backward, replayed.backward);
+        assert_eq!(replayed.halts, 1);
+    }
+
+    #[test]
+    fn events_reconstruct_from_links() {
+        let p = loop_program();
+        let mut recorder = TraceRecorder::new();
+        Vm::new(&p).run(&mut recorder).unwrap();
+        let trace = recorder.into_trace();
+        assert_eq!(trace.event(0).from, None);
+        assert_eq!(trace.event(0).kind, TransferKind::Start);
+        for i in 1..trace.len() {
+            assert_eq!(trace.event(i).from, Some(trace.event(i - 1).block));
+        }
+    }
+
+    #[test]
+    fn determinism_same_trace_twice() {
+        let p = loop_program();
+        let run = || {
+            let mut r = TraceRecorder::new();
+            Vm::new(&p).run(&mut r).unwrap();
+            r.into_trace()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.blocks, b.blocks);
+        assert_eq!(a.flags, b.flags);
+    }
+
+    #[test]
+    fn empty_trace_is_empty() {
+        let t = RecordedTrace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(!t.halted());
+        assert!(t.memory_bytes() == 0);
+    }
+}

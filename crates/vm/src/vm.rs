@@ -1,0 +1,653 @@
+//! The interpreter.
+
+use hotpath_ir::{
+    BinOp, BlockId, GlobalReg, Inst, Layout, Program, Reg, Terminator, UnOp,
+};
+
+use crate::error::VmError;
+use crate::event::{BlockEvent, ExecutionObserver, TransferKind};
+
+/// Limits for one [`Vm::run`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RunConfig {
+    /// Maximum number of basic blocks to execute before aborting with
+    /// [`VmError::OutOfFuel`].
+    pub max_blocks: u64,
+    /// Maximum call-stack depth before aborting with
+    /// [`VmError::StackOverflow`].
+    pub max_call_depth: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            max_blocks: 2_000_000_000,
+            max_call_depth: 4096,
+        }
+    }
+}
+
+/// Summary of a completed run.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct RunStats {
+    /// Basic blocks executed (equals the number of observer events).
+    pub blocks_executed: u64,
+    /// Straight-line instructions plus terminators executed.
+    pub insts_executed: u64,
+    /// Conditional branches executed.
+    pub cond_branches: u64,
+    /// Indirect branches executed.
+    pub indirect_branches: u64,
+    /// Calls executed.
+    pub calls: u64,
+    /// Backward control transfers (any kind).
+    pub backward_transfers: u64,
+    /// Deepest call stack observed.
+    pub max_call_depth: usize,
+    /// True if the program reached `Halt` (always true on `Ok`).
+    pub halted: bool,
+}
+
+/// A frame on the call stack.
+#[derive(Clone, Copy, Debug)]
+struct CallFrame {
+    /// Global block id to continue at after the matching return.
+    ret_global: u32,
+    /// Saved register-stack base of the caller.
+    frame_base: usize,
+    /// Function index of the caller.
+    func: u32,
+}
+
+/// Flattened per-block execution info, indexed by global block id.
+#[derive(Clone, Debug)]
+struct FlatBlock {
+    inst_start: u32,
+    inst_end: u32,
+    size: u32,
+    /// Function index owning this block.
+    func: u32,
+    /// Global id of the owning function's block 0; local targets resolve as
+    /// `func_base + local_index`.
+    func_base: u32,
+}
+
+/// The virtual machine.
+///
+/// Construction flattens the program and computes its [`Layout`]; memory is
+/// initialized from the program's data segment and can be adjusted through
+/// [`Vm::memory_mut`] / [`Vm::set_global`] before [`Vm::run`]. A run mutates
+/// machine state; build a fresh `Vm` for a fresh run.
+#[derive(Debug)]
+pub struct Vm<'p> {
+    program: &'p Program,
+    layout: Layout,
+    flat: Vec<FlatBlock>,
+    insts: Vec<Inst>,
+    /// Terminator of each global block (cloned out of the program so the
+    /// hot loop avoids double indirection).
+    terms: Vec<Terminator>,
+    num_regs: Vec<u32>,
+    memory: Vec<i64>,
+    globals: [i64; GlobalReg::COUNT],
+    config: RunConfig,
+}
+
+impl<'p> Vm<'p> {
+    /// Creates a VM for `program` with the default [`RunConfig`].
+    ///
+    /// The program must be valid (see [`hotpath_ir::validate`]); builders
+    /// validate automatically.
+    pub fn new(program: &'p Program) -> Self {
+        let layout = Layout::new(program);
+        let total = layout.block_count();
+        let mut flat = Vec::with_capacity(total);
+        let mut insts = Vec::new();
+        let mut terms = Vec::with_capacity(total);
+        for (fi, func) in program.functions.iter().enumerate() {
+            let func_base = layout
+                .func_entry(hotpath_ir::FuncId::new(fi as u32))
+                .as_u32();
+            for block in &func.blocks {
+                let inst_start = insts.len() as u32;
+                insts.extend(block.insts.iter().cloned());
+                flat.push(FlatBlock {
+                    inst_start,
+                    inst_end: insts.len() as u32,
+                    size: block.size() as u32,
+                    func: fi as u32,
+                    func_base,
+                });
+                terms.push(block.terminator.clone());
+            }
+        }
+        let num_regs = program.functions.iter().map(|f| f.num_regs as u32).collect();
+        let mut memory = vec![0i64; program.memory_words];
+        for &(addr, val) in &program.data {
+            memory[addr] = val;
+        }
+        Vm {
+            program,
+            layout,
+            flat,
+            insts,
+            terms,
+            num_regs,
+            memory,
+            globals: [0; GlobalReg::COUNT],
+            config: RunConfig::default(),
+        }
+    }
+
+    /// Replaces the run limits.
+    pub fn with_config(mut self, config: RunConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// The address layout computed for the program.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Data memory (word-addressed).
+    pub fn memory(&self) -> &[i64] {
+        &self.memory
+    }
+
+    /// Mutable data memory, e.g. for writing workload inputs before a run.
+    pub fn memory_mut(&mut self) -> &mut [i64] {
+        &mut self.memory
+    }
+
+    /// Reads a machine-global register.
+    pub fn global(&self, g: GlobalReg) -> i64 {
+        self.globals[g.index()]
+    }
+
+    /// Writes a machine-global register.
+    pub fn set_global(&mut self, g: GlobalReg, value: i64) {
+        self.globals[g.index()] = value;
+    }
+
+    /// Executes the program from its entry, streaming events to `observer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] on division by zero, out-of-bounds memory
+    /// access, return without caller, call-stack overflow, or fuel
+    /// exhaustion.
+    pub fn run<O: ExecutionObserver>(&mut self, observer: &mut O) -> Result<RunStats, VmError> {
+        let mut stats = RunStats::default();
+        let mut regs: Vec<i64> = Vec::with_capacity(1024);
+        let mut frames: Vec<CallFrame> = Vec::with_capacity(64);
+        let mut frame_base = 0usize;
+
+        let entry_func = self.program.entry;
+        let mut cur = self.layout.func_entry(entry_func).as_u32();
+        regs.resize(self.num_regs[entry_func.index()] as usize, 0);
+
+        let mut pending = BlockEvent {
+            from: None,
+            block: BlockId::new(cur),
+            kind: TransferKind::Start,
+            backward: false,
+            block_size: self.flat[cur as usize].size,
+        };
+
+        loop {
+            if stats.blocks_executed >= self.config.max_blocks {
+                return Err(VmError::OutOfFuel {
+                    budget: self.config.max_blocks,
+                });
+            }
+            stats.blocks_executed += 1;
+            if pending.backward {
+                stats.backward_transfers += 1;
+            }
+            observer.on_block(&pending);
+
+            let fb = &self.flat[cur as usize];
+            let func = fb.func as usize;
+            let func_base = fb.func_base;
+            stats.insts_executed += fb.size as u64;
+            let block_id = BlockId::new(cur);
+
+            // Straight-line instructions.
+            for inst in &self.insts[fb.inst_start as usize..fb.inst_end as usize] {
+                exec_inst(
+                    inst,
+                    &mut regs[frame_base..],
+                    &mut self.memory,
+                    &mut self.globals,
+                    block_id,
+                )?;
+            }
+
+            // Terminator.
+            let (next, kind) = match &self.terms[cur as usize] {
+                Terminator::Jump(t) => (func_base + t.index() as u32, TransferKind::Jump),
+                Terminator::Branch {
+                    cond,
+                    taken,
+                    fallthrough,
+                } => {
+                    stats.cond_branches += 1;
+                    if regs[frame_base + cond.index()] != 0 {
+                        (func_base + taken.index() as u32, TransferKind::BranchTaken)
+                    } else {
+                        (
+                            func_base + fallthrough.index() as u32,
+                            TransferKind::BranchNotTaken,
+                        )
+                    }
+                }
+                Terminator::Switch {
+                    index,
+                    targets,
+                    default,
+                } => {
+                    stats.indirect_branches += 1;
+                    let v = regs[frame_base + index.index()];
+                    let t = usize::try_from(v)
+                        .ok()
+                        .and_then(|i| targets.get(i).copied())
+                        .unwrap_or(*default);
+                    (func_base + t.index() as u32, TransferKind::Indirect)
+                }
+                Terminator::Call { callee, ret_to } => {
+                    stats.calls += 1;
+                    if frames.len() >= self.config.max_call_depth {
+                        return Err(VmError::StackOverflow {
+                            limit: self.config.max_call_depth,
+                        });
+                    }
+                    frames.push(CallFrame {
+                        ret_global: func_base + ret_to.index() as u32,
+                        frame_base,
+                        func: func as u32,
+                    });
+                    stats.max_call_depth = stats.max_call_depth.max(frames.len());
+                    frame_base = regs.len();
+                    regs.resize(frame_base + self.num_regs[callee.index()] as usize, 0);
+                    (
+                        self.layout.func_entry(*callee).as_u32(),
+                        TransferKind::Call,
+                    )
+                }
+                Terminator::Return => match frames.pop() {
+                    Some(frame) => {
+                        regs.truncate(frame_base);
+                        frame_base = frame.frame_base;
+                        let _ = frame.func;
+                        (frame.ret_global, TransferKind::Return)
+                    }
+                    None => {
+                        return Err(VmError::ReturnWithoutCaller { block: block_id });
+                    }
+                },
+                Terminator::Halt => {
+                    observer.on_halt();
+                    stats.halted = true;
+                    return Ok(stats);
+                }
+            };
+
+            let backward = self.layout.is_backward(block_id, BlockId::new(next));
+            pending = BlockEvent {
+                from: Some(block_id),
+                block: BlockId::new(next),
+                kind,
+                backward,
+                block_size: self.flat[next as usize].size,
+            };
+            cur = next;
+        }
+    }
+}
+
+#[inline]
+fn exec_inst(
+    inst: &Inst,
+    regs: &mut [i64],
+    memory: &mut [i64],
+    globals: &mut [i64; GlobalReg::COUNT],
+    block: BlockId,
+) -> Result<(), VmError> {
+    #[inline]
+    fn get(regs: &[i64], r: Reg) -> i64 {
+        regs[r.index()]
+    }
+    match *inst {
+        Inst::Const { dst, value } => regs[dst.index()] = value,
+        Inst::Mov { dst, src } => regs[dst.index()] = get(regs, src),
+        Inst::Un { op, dst, src } => {
+            let v = get(regs, src);
+            regs[dst.index()] = match op {
+                UnOp::Neg => v.wrapping_neg(),
+                UnOp::Not => !v,
+            };
+        }
+        Inst::Bin { op, dst, lhs, rhs } => {
+            let a = get(regs, lhs);
+            let b = get(regs, rhs);
+            regs[dst.index()] = eval_bin(op, a, b, block)?;
+        }
+        Inst::BinImm { op, dst, lhs, imm } => {
+            let a = get(regs, lhs);
+            regs[dst.index()] = eval_bin(op, a, imm, block)?;
+        }
+        Inst::Cmp { op, dst, lhs, rhs } => {
+            regs[dst.index()] = op.eval(get(regs, lhs), get(regs, rhs)) as i64;
+        }
+        Inst::CmpImm { op, dst, lhs, imm } => {
+            regs[dst.index()] = op.eval(get(regs, lhs), imm) as i64;
+        }
+        Inst::Load { dst, addr, offset } => {
+            let a = get(regs, addr).wrapping_add(offset);
+            let idx = usize::try_from(a)
+                .ok()
+                .filter(|&i| i < memory.len())
+                .ok_or(VmError::MemoryOutOfBounds {
+                    block,
+                    address: a,
+                    memory_words: memory.len(),
+                })?;
+            regs[dst.index()] = memory[idx];
+        }
+        Inst::Store { src, addr, offset } => {
+            let a = get(regs, addr).wrapping_add(offset);
+            let idx = usize::try_from(a)
+                .ok()
+                .filter(|&i| i < memory.len())
+                .ok_or(VmError::MemoryOutOfBounds {
+                    block,
+                    address: a,
+                    memory_words: memory.len(),
+                })?;
+            memory[idx] = get(regs, src);
+        }
+        Inst::GetGlobal { dst, global } => regs[dst.index()] = globals[global.index()],
+        Inst::SetGlobal { src, global } => globals[global.index()] = get(regs, src),
+    }
+    Ok(())
+}
+
+#[inline]
+fn eval_bin(op: BinOp, a: i64, b: i64, block: BlockId) -> Result<i64, VmError> {
+    Ok(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return Err(VmError::DivisionByZero { block });
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return Err(VmError::DivisionByZero { block });
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+        BinOp::Shr => a.wrapping_shr(b as u32 & 63),
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::NullObserver;
+    use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
+    use hotpath_ir::CmpOp;
+
+    fn loop_program(trip: i64) -> Program {
+        let mut fb = FunctionBuilder::new("main");
+        let i = fb.reg();
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.const_(i, 0);
+        fb.jump(header);
+        fb.switch_to(header);
+        let c = fb.cmp_imm(CmpOp::Lt, i, trip);
+        fb.branch(c, body, exit);
+        fb.switch_to(body);
+        fb.add_imm(i, i, 1);
+        fb.jump(header);
+        fb.switch_to(exit);
+        fb.halt();
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(fb).unwrap();
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn counting_loop_halts_with_expected_stats() {
+        let p = loop_program(5);
+        let mut vm = Vm::new(&p);
+        let stats = vm.run(&mut NullObserver).unwrap();
+        assert!(stats.halted);
+        // entry + 6 header visits + 5 bodies + exit = 13 blocks.
+        assert_eq!(stats.blocks_executed, 13);
+        assert_eq!(stats.cond_branches, 6);
+        // 5 backward jumps from the latch.
+        assert_eq!(stats.backward_transfers, 5);
+    }
+
+    #[test]
+    fn fuel_exhaustion_errors() {
+        let p = loop_program(1_000_000);
+        let mut vm = Vm::new(&p).with_config(RunConfig {
+            max_blocks: 100,
+            ..RunConfig::default()
+        });
+        assert_eq!(
+            vm.run(&mut NullObserver).unwrap_err(),
+            VmError::OutOfFuel { budget: 100 }
+        );
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let mut fb = FunctionBuilder::new("main");
+        let a = fb.imm(1);
+        let b = fb.imm(0);
+        fb.bin(BinOp::Div, a, a, b);
+        fb.halt();
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(fb).unwrap();
+        let p = pb.finish().unwrap();
+        let mut vm = Vm::new(&p);
+        assert!(matches!(
+            vm.run(&mut NullObserver).unwrap_err(),
+            VmError::DivisionByZero { .. }
+        ));
+    }
+
+    #[test]
+    fn memory_bounds_checked() {
+        let mut fb = FunctionBuilder::new("main");
+        let addr = fb.imm(99);
+        let v = fb.reg();
+        fb.load(v, addr, 0);
+        fb.halt();
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(fb).unwrap();
+        pb.memory_words(4);
+        let p = pb.finish().unwrap();
+        let mut vm = Vm::new(&p);
+        assert!(matches!(
+            vm.run(&mut NullObserver).unwrap_err(),
+            VmError::MemoryOutOfBounds { address: 99, .. }
+        ));
+    }
+
+    #[test]
+    fn negative_address_is_out_of_bounds() {
+        let mut fb = FunctionBuilder::new("main");
+        let addr = fb.imm(0);
+        let v = fb.reg();
+        fb.load(v, addr, -1);
+        fb.halt();
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(fb).unwrap();
+        pb.memory_words(4);
+        let p = pb.finish().unwrap();
+        let mut vm = Vm::new(&p);
+        assert!(matches!(
+            vm.run(&mut NullObserver).unwrap_err(),
+            VmError::MemoryOutOfBounds { address: -1, .. }
+        ));
+    }
+
+    #[test]
+    fn calls_pass_values_through_globals() {
+        let mut pb = ProgramBuilder::new();
+        let double = pb.declare("double");
+
+        let mut fb = FunctionBuilder::new("double");
+        let x = fb.reg();
+        fb.get_global(x, GlobalReg::new(0));
+        fb.add(x, x, x);
+        fb.set_global(GlobalReg::new(0), x);
+        fb.ret();
+        pb.add_function(fb).unwrap();
+
+        let mut fb = FunctionBuilder::new("main");
+        let v = fb.imm(21);
+        fb.set_global(GlobalReg::new(0), v);
+        let cont = fb.new_block();
+        fb.call(double, cont);
+        fb.switch_to(cont);
+        fb.halt();
+        pb.add_function(fb).unwrap();
+
+        let p = pb.finish().unwrap();
+        let mut vm = Vm::new(&p);
+        let stats = vm.run(&mut NullObserver).unwrap();
+        assert!(stats.halted);
+        assert_eq!(stats.calls, 1);
+        assert_eq!(vm.global(GlobalReg::new(0)), 42);
+    }
+
+    #[test]
+    fn return_without_caller_errors() {
+        let mut fb = FunctionBuilder::new("main");
+        fb.ret();
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(fb).unwrap();
+        let p = pb.finish().unwrap();
+        let mut vm = Vm::new(&p);
+        assert!(matches!(
+            vm.run(&mut NullObserver).unwrap_err(),
+            VmError::ReturnWithoutCaller { .. }
+        ));
+    }
+
+    #[test]
+    fn recursion_hits_stack_limit() {
+        let mut pb = ProgramBuilder::new();
+        let me = pb.declare("main");
+        let mut fb = FunctionBuilder::new("main");
+        let cont = fb.new_block();
+        fb.call(me, cont);
+        fb.switch_to(cont);
+        fb.ret();
+        pb.add_function(fb).unwrap();
+        let p = pb.finish().unwrap();
+        let mut vm = Vm::new(&p).with_config(RunConfig {
+            max_call_depth: 10,
+            ..RunConfig::default()
+        });
+        assert_eq!(
+            vm.run(&mut NullObserver).unwrap_err(),
+            VmError::StackOverflow { limit: 10 }
+        );
+    }
+
+    #[test]
+    fn switch_selects_targets_and_default() {
+        // Memory cell 0 selects the arm; record the arm in global 1.
+        let build = |sel: i64| {
+            let mut fb = FunctionBuilder::new("main");
+            let s = fb.reg();
+            let a0 = fb.new_block();
+            let a1 = fb.new_block();
+            let dflt = fb.new_block();
+            let out = fb.new_block();
+            fb.const_(s, sel);
+            fb.switch(s, vec![a0, a1], dflt);
+            for (b, v) in [(a0, 100i64), (a1, 101), (dflt, 999)] {
+                fb.switch_to(b);
+                let t = fb.imm(v);
+                fb.set_global(GlobalReg::new(1), t);
+                fb.jump(out);
+            }
+            fb.switch_to(out);
+            fb.halt();
+            let mut pb = ProgramBuilder::new();
+            pb.add_function(fb).unwrap();
+            pb.finish().unwrap()
+        };
+        for (sel, expect) in [(0i64, 100i64), (1, 101), (2, 999), (-1, 999)] {
+            let p = build(sel);
+            let mut vm = Vm::new(&p);
+            vm.run(&mut NullObserver).unwrap();
+            assert_eq!(vm.global(GlobalReg::new(1)), expect, "selector {sel}");
+        }
+    }
+
+    #[test]
+    fn initial_data_is_applied() {
+        let mut fb = FunctionBuilder::new("main");
+        let addr = fb.imm(2);
+        let v = fb.reg();
+        fb.load(v, addr, 0);
+        fb.set_global(GlobalReg::new(0), v);
+        fb.halt();
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(fb).unwrap();
+        pb.memory_words(4).datum(2, 77);
+        let p = pb.finish().unwrap();
+        let mut vm = Vm::new(&p);
+        vm.run(&mut NullObserver).unwrap();
+        assert_eq!(vm.global(GlobalReg::new(0)), 77);
+    }
+
+    #[test]
+    fn wrapping_arithmetic_and_shifts() {
+        let mut fb = FunctionBuilder::new("main");
+        let a = fb.imm(i64::MAX);
+        fb.add_imm(a, a, 1);
+        fb.set_global(GlobalReg::new(0), a);
+        let b = fb.imm(1);
+        fb.bin_imm(BinOp::Shl, b, b, 70); // masked to 6
+        fb.set_global(GlobalReg::new(1), b);
+        let c = fb.imm(i64::MIN);
+        let m1 = fb.imm(-1);
+        fb.bin(BinOp::Div, c, c, m1); // wrapping: stays MIN
+        fb.set_global(GlobalReg::new(2), c);
+        fb.halt();
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(fb).unwrap();
+        let p = pb.finish().unwrap();
+        let mut vm = Vm::new(&p);
+        vm.run(&mut NullObserver).unwrap();
+        assert_eq!(vm.global(GlobalReg::new(0)), i64::MIN);
+        assert_eq!(vm.global(GlobalReg::new(1)), 1 << 6);
+        assert_eq!(vm.global(GlobalReg::new(2)), i64::MIN);
+    }
+}

@@ -1,0 +1,150 @@
+//! Shared helpers for authoring workload programs.
+
+use hotpath_ir::builder::FunctionBuilder;
+use hotpath_ir::{CmpOp, LocalBlockId, Reg};
+
+/// Allocates disjoint regions of program data memory.
+///
+/// Workloads lay out their arrays with this before emitting code, then set
+/// `ProgramBuilder::memory_words(layout.total())`.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct DataLayout {
+    next: usize,
+}
+
+impl DataLayout {
+    /// Creates an empty layout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserves an array of `len` words, returning its base word address.
+    pub fn array(&mut self, len: usize) -> usize {
+        let base = self.next;
+        self.next += len;
+        base
+    }
+
+    /// Reserves a single word.
+    pub fn word(&mut self) -> usize {
+        self.array(1)
+    }
+
+    /// Total words reserved so far.
+    pub fn total(&self) -> usize {
+        self.next
+    }
+}
+
+/// Handle for an in-construction counted loop; see [`loop_up_to`].
+#[derive(Clone, Copy, Debug)]
+pub struct Loop {
+    /// Loop header block (the path head a NET counter will sit at).
+    pub header: LocalBlockId,
+    /// First body block.
+    pub body: LocalBlockId,
+    /// Exit block, switched to by [`end_loop`].
+    pub exit: LocalBlockId,
+    /// The induction variable, starting at 0.
+    pub i: Reg,
+}
+
+/// Emits `for i in (0..limit)` scaffolding: allocates the induction
+/// register, creates header/body/exit blocks in layout order, emits the
+/// header test, and leaves the builder in the body block. Emit the body,
+/// then call [`end_loop`].
+///
+/// The latch jump is *backward* (header precedes the body in layout), so
+/// every iteration is one forward path starting at the header.
+pub fn loop_up_to(fb: &mut FunctionBuilder, limit: Reg) -> Loop {
+    let i = fb.reg();
+    fb.const_(i, 0);
+    let header = fb.new_block();
+    let body = fb.new_block();
+    let exit = fb.new_block();
+    fb.jump(header);
+    fb.switch_to(header);
+    let c = fb.cmp(CmpOp::Lt, i, limit);
+    fb.branch(c, body, exit);
+    fb.switch_to(body);
+    Loop {
+        header,
+        body,
+        exit,
+        i,
+    }
+}
+
+/// Closes a loop opened by [`loop_up_to`]: bumps the induction variable by
+/// `step`, jumps back to the header, and switches to the exit block.
+///
+/// # Panics
+///
+/// Panics (via the builder) if no block is open.
+pub fn end_loop(fb: &mut FunctionBuilder, l: &Loop, step: i64) {
+    fb.add_imm(l.i, l.i, step);
+    fb.jump(l.header);
+    fb.switch_to(l.exit);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotpath_ir::builder::ProgramBuilder;
+    use hotpath_ir::GlobalReg;
+    use hotpath_vm::{CountingObserver, Vm};
+
+    #[test]
+    fn data_layout_is_disjoint() {
+        let mut dl = DataLayout::new();
+        let a = dl.array(10);
+        let b = dl.array(5);
+        let w = dl.word();
+        assert_eq!(a, 0);
+        assert_eq!(b, 10);
+        assert_eq!(w, 15);
+        assert_eq!(dl.total(), 16);
+    }
+
+    #[test]
+    fn loop_helper_builds_a_working_loop() {
+        let mut fb = FunctionBuilder::new("main");
+        let limit = fb.imm(7);
+        let sum = fb.imm(0);
+        let l = loop_up_to(&mut fb, limit);
+        fb.add(sum, sum, l.i);
+        end_loop(&mut fb, &l, 1);
+        fb.set_global(GlobalReg::new(0), sum);
+        fb.halt();
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(fb).unwrap();
+        let p = pb.finish().unwrap();
+        let mut vm = Vm::new(&p);
+        let mut counter = CountingObserver::default();
+        let stats = vm.run(&mut counter).unwrap();
+        assert!(stats.halted);
+        assert_eq!(vm.global(GlobalReg::new(0)), 21); // 0+1+..+6
+        // The latch is backward: one backward transfer per iteration.
+        assert_eq!(counter.backward, 7);
+    }
+
+    #[test]
+    fn nested_loops_via_helper() {
+        let mut fb = FunctionBuilder::new("main");
+        let limit = fb.imm(4);
+        let total = fb.imm(0);
+        let outer = loop_up_to(&mut fb, limit);
+        let inner = loop_up_to(&mut fb, limit);
+        fb.add_imm(total, total, 1);
+        end_loop(&mut fb, &inner, 1);
+        end_loop(&mut fb, &outer, 1);
+        fb.set_global(GlobalReg::new(0), total);
+        fb.halt();
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(fb).unwrap();
+        let p = pb.finish().unwrap();
+        let mut vm = Vm::new(&p);
+        vm.run(&mut CountingObserver::default()).unwrap();
+        assert_eq!(vm.global(GlobalReg::new(0)), 16);
+    }
+}

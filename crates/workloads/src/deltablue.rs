@@ -1,0 +1,266 @@
+//! `deltablue` — an incremental one-way constraint solver.
+//!
+//! The paper's ninth benchmark is DeltaBlue, the incremental constraint
+//! solver of Sannella et al. (Table 1: 505 paths, 93.9% hot flow). This
+//! workload keeps a graph of unary `dst = src + offset` constraints with
+//! strengths; each round perturbs one constraint's strength and re-plans:
+//! it walks the affected chain, comparing walkabout strengths and
+//! propagating values downstream — the same scan/compare/propagate loops
+//! that dominate the real DeltaBlue.
+
+use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
+use hotpath_ir::{CmpOp, GlobalReg, Program};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::build_util::{end_loop, loop_up_to, DataLayout};
+use crate::scale::Scale;
+
+const VARS: usize = 96;
+const CONS: usize = 160;
+
+/// Builds the `deltablue` workload at `scale`.
+pub fn build(scale: Scale) -> Program {
+    let rounds = scale.pick(60, 1_300, 20_000);
+    let (cons, perturb) = generate_graph(rounds, 0xDE17AB);
+
+    // Variable arrays: value, walk strength, determined-by constraint + 1.
+    let mut dl = DataLayout::new();
+    let val_base = dl.array(VARS);
+    let walk_base = dl.array(VARS);
+    let det_base = dl.array(VARS);
+    // Constraint arrays: src, dst, strength, offset, enabled.
+    let csrc_base = dl.array(CONS);
+    let cdst_base = dl.array(CONS);
+    let cstr_base = dl.array(CONS);
+    let coff_base = dl.array(CONS);
+    let cen_base = dl.array(CONS);
+    let pert_base = dl.array(rounds);
+
+    let mut fb = FunctionBuilder::new("main");
+    let nrounds = fb.imm(rounds as i64);
+    let ncons = fb.imm(CONS as i64);
+    let val_b = fb.imm(val_base as i64);
+    let walk_b = fb.imm(walk_base as i64);
+    let det_b = fb.imm(det_base as i64);
+    let csrc_b = fb.imm(csrc_base as i64);
+    let cdst_b = fb.imm(cdst_base as i64);
+    let cstr_b = fb.imm(cstr_base as i64);
+    let coff_b = fb.imm(coff_base as i64);
+    let cen_b = fb.imm(cen_base as i64);
+    let pert_b = fb.imm(pert_base as i64);
+    let applied = fb.imm(0);
+    let addr = fb.reg();
+    let c = fb.reg();
+    let src = fb.reg();
+    let dst = fb.reg();
+    let stren = fb.reg();
+    let off = fb.reg();
+    let en = fb.reg();
+    let tmp = fb.reg();
+    let sval = fb.reg();
+    let dwalk = fb.reg();
+
+    let round_loop = loop_up_to(&mut fb, nrounds);
+    // Perturb: constraint p gets a new strength derived from the round.
+    fb.add(addr, pert_b, round_loop.i);
+    fb.load(c, addr, 0);
+    fb.rem_imm(tmp, round_loop.i, 7);
+    fb.add_imm(tmp, tmp, 1);
+    fb.add(addr, cstr_b, c);
+    fb.store(tmp, addr, 0);
+
+    // Planner sweep: try to (re)apply every enabled constraint in index
+    // order; apply when its strength beats the destination's walkabout
+    // strength.
+    let sweep = loop_up_to(&mut fb, ncons);
+    let enabled_b = fb.new_block();
+    let try_b = fb.new_block();
+    let apply_b = fb.new_block();
+    let skip_b = fb.new_block();
+    // `skip_b_real` is created inside the apply emission (after apply's
+    // sub-blocks) so every jump into it is forward; `skip_b` trampolines.
+    fb.add(addr, cen_b, sweep.i);
+    fb.load(en, addr, 0);
+    fb.branch(en, enabled_b, skip_b);
+
+    fb.switch_to(enabled_b);
+    fb.add(addr, csrc_b, sweep.i);
+    fb.load(src, addr, 0);
+    fb.add(addr, cdst_b, sweep.i);
+    fb.load(dst, addr, 0);
+    fb.add(addr, cstr_b, sweep.i);
+    fb.load(stren, addr, 0);
+    fb.add(addr, walk_b, dst);
+    fb.load(dwalk, addr, 0);
+    let beats = fb.cmp(CmpOp::Gt, stren, dwalk);
+    fb.branch(beats, try_b, skip_b);
+
+    fb.switch_to(try_b);
+    // Respect determination: do not steal a variable determined by a
+    // stronger constraint this sweep (dwalk check covered that); avoid
+    // self-loops src == dst.
+    let selfy = fb.cmp(CmpOp::Eq, src, dst);
+    fb.branch(selfy, skip_b, apply_b);
+
+    fb.switch_to(apply_b);
+    // Strength-class dispatch (required/strong/.../weakest), like the real
+    // DeltaBlue's strength lattice comparisons.
+    let s_classes: Vec<_> = (0..8).map(|_| fb.new_block()).collect();
+    let s_join = fb.new_block();
+    let val_up = fb.new_block();
+    let val_down = fb.new_block();
+    let val_join = fb.new_block();
+    let skip_b2 = fb.new_block();
+    let skip_b_real = fb.new_block();
+    fb.and_imm(tmp, stren, 7);
+    fb.switch(tmp, s_classes.clone(), s_join);
+    for (k, cb) in s_classes.iter().enumerate() {
+        fb.switch_to(*cb);
+        fb.add_imm(applied, applied, (k % 2) as i64);
+        fb.jump(s_join);
+    }
+    fb.switch_to(s_join);
+    fb.add(addr, coff_b, sweep.i);
+    fb.load(off, addr, 0);
+    fb.add(addr, val_b, src);
+    fb.load(sval, addr, 0);
+    fb.add(sval, sval, off);
+    // Did the propagated value move the destination up or down?
+    fb.add(addr, val_b, dst);
+    fb.load(tmp, addr, 0);
+    let grew = fb.cmp(CmpOp::Gt, sval, tmp);
+    fb.branch(grew, val_up, val_down);
+    fb.switch_to(val_up);
+    fb.store(sval, addr, 0);
+    fb.jump(val_join);
+    fb.switch_to(val_down);
+    fb.store(sval, addr, 0);
+    fb.jump(val_join);
+    fb.switch_to(val_join);
+    fb.add(addr, walk_b, dst);
+    fb.store(stren, addr, 0);
+    fb.add_imm(tmp, sweep.i, 1);
+    fb.add(addr, det_b, dst);
+    fb.store(tmp, addr, 0);
+    fb.add_imm(applied, applied, 1);
+    fb.jump(skip_b2);
+
+    fb.switch_to(skip_b2);
+    fb.jump(skip_b_real);
+    // Earlier skip branches land on the trampoline.
+    fb.switch_to(skip_b);
+    fb.jump(skip_b_real);
+    fb.switch_to(skip_b_real);
+    end_loop(&mut fb, &sweep, 1);
+
+    // Decay walkabout strengths so later rounds re-plan (phase-like churn).
+    let nvars = fb.imm(VARS as i64);
+    let decay = loop_up_to(&mut fb, nvars);
+    fb.add(addr, walk_b, decay.i);
+    fb.load(tmp, addr, 0);
+    fb.shr_imm(tmp, tmp, 1);
+    fb.store(tmp, addr, 0);
+    end_loop(&mut fb, &decay, 1);
+
+    end_loop(&mut fb, &round_loop, 1);
+    fb.set_global(GlobalReg::new(0), applied);
+    fb.halt();
+
+    let mut pb = ProgramBuilder::new();
+    pb.add_function(fb).expect("deltablue builds");
+    pb.memory_words(dl.total());
+    for (k, con) in cons.iter().enumerate() {
+        if con.src != 0 {
+            pb.datum(csrc_base + k, con.src);
+        }
+        if con.dst != 0 {
+            pb.datum(cdst_base + k, con.dst);
+        }
+        pb.datum(cstr_base + k, con.strength);
+        if con.offset != 0 {
+            pb.datum(coff_base + k, con.offset);
+        }
+        pb.datum(cen_base + k, 1);
+    }
+    for (k, &p) in perturb.iter().enumerate() {
+        if p != 0 {
+            pb.datum(pert_base + k, p);
+        }
+    }
+    pb.finish().expect("deltablue validates")
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Constraint {
+    src: i64,
+    dst: i64,
+    strength: i64,
+    offset: i64,
+}
+
+/// Mostly-chain constraint graph (variable k feeds k+1) with some random
+/// cross edges, plus the perturbation schedule.
+fn generate_graph(rounds: usize, seed: u64) -> (Vec<Constraint>, Vec<i64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cons = Vec::with_capacity(CONS);
+    for k in 0..CONS {
+        let (src, dst) = if k < VARS - 1 {
+            (k as i64, (k + 1) as i64)
+        } else {
+            let s = rng.gen_range(0..VARS as i64);
+            let mut d = rng.gen_range(0..VARS as i64);
+            if d == s {
+                d = (d + 1) % VARS as i64;
+            }
+            (s, d)
+        };
+        cons.push(Constraint {
+            src,
+            dst,
+            strength: rng.gen_range(1..8),
+            offset: rng.gen_range(-5..6),
+        });
+    }
+    let perturb = (0..rounds)
+        .map(|_| {
+            // Perturbations favor the head of the chain, whose effects
+            // cascade furthest.
+            if rng.gen_bool(0.6) {
+                rng.gen_range(0..16i64)
+            } else {
+                rng.gen_range(0..CONS as i64)
+            }
+        })
+        .collect();
+    (cons, perturb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotpath_vm::{CountingObserver, Vm};
+
+    #[test]
+    fn deltablue_applies_constraints() {
+        let p = build(Scale::Smoke);
+        let mut vm = Vm::new(&p);
+        let stats = vm.run(&mut CountingObserver::default()).unwrap();
+        assert!(stats.halted);
+        assert!(vm.global(GlobalReg::new(0)) > 100, "constraints applied");
+    }
+
+    #[test]
+    fn graph_has_chain_backbone() {
+        let (cons, _) = generate_graph(10, 1);
+        for k in 0..VARS - 1 {
+            assert_eq!(cons[k].src, k as i64);
+            assert_eq!(cons[k].dst, (k + 1) as i64);
+        }
+    }
+
+    #[test]
+    fn deterministic_build() {
+        assert_eq!(build(Scale::Smoke), build(Scale::Smoke));
+    }
+}

@@ -1,0 +1,218 @@
+//! `go` — a board-position evaluator over a mutating 19×19 board.
+//!
+//! SPECint95 `go` plays Go: tens of thousands of paths with moderate
+//! dominance (Table 1: 29,629 paths, 55.5% hot flow). This workload
+//! evaluates a stream of candidate moves against a board whose cells it
+//! also mutates, so each move's path depends on four neighbor states, edge
+//! conditions, and a liberty-scan loop — high combinatorial variety with a
+//! mild empty-cell bias supplying the warm half of the flow.
+
+use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
+use hotpath_ir::{CmpOp, GlobalReg, Program};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::build_util::{end_loop, loop_up_to, DataLayout};
+use crate::scale::Scale;
+
+const SIZE: i64 = 19;
+const CELLS: usize = (SIZE * SIZE) as usize;
+
+/// Builds the `go` workload at `scale`.
+pub fn build(scale: Scale) -> Program {
+    let moves = scale.pick(2_500, 90_000, 1_400_000);
+    let (board, move_stream) = generate_inputs(moves, 0x60);
+
+    let mut dl = DataLayout::new();
+    let board_base = dl.array(CELLS);
+    let moves_base = dl.array(moves);
+
+    let mut fb = FunctionBuilder::new("main");
+    let nn = fb.imm(moves as i64);
+    let board_b = fb.imm(board_base as i64);
+    let moves_b = fb.imm(moves_base as i64);
+    let score = fb.imm(0);
+    let pos = fb.reg();
+    let row = fb.reg();
+    let col = fb.reg();
+    let addr = fb.reg();
+    let cell = fb.reg();
+    let libs = fb.reg();
+    let tmp = fb.reg();
+    let color = fb.imm(1);
+
+    let main_loop = loop_up_to(&mut fb, nn);
+    fb.add(addr, moves_b, main_loop.i);
+    fb.load(pos, addr, 0);
+    // row = pos / 19, col = pos % 19
+    fb.bin_imm(hotpath_ir::BinOp::Div, row, pos, SIZE);
+    fb.rem_imm(col, pos, SIZE);
+    fb.const_(libs, 0);
+
+    // Examine all eight neighbors; each contributes edge + state branches,
+    // giving each move a path drawn from a ~4^8 combinatorial space.
+    // Offsets: N, S, W, E, NW, NE, SW, SE.
+    for (k, off) in [
+        (0, -SIZE),
+        (1, SIZE),
+        (2, -1i64),
+        (3, 1i64),
+        (4, -SIZE - 1),
+        (5, -SIZE + 1),
+        (6, SIZE - 1),
+        (7, SIZE + 1),
+    ] {
+        // Edge test blocks, created in layout order.
+        let in_bounds = fb.new_block();
+        let empty_b = fb.new_block();
+        let stone_b = fb.new_block();
+        let mine_b = fb.new_block();
+        let theirs_b = fb.new_block();
+        let join = fb.new_block();
+        // Bounds check: vertical neighbors test the row, horizontal the
+        // column, diagonals both.
+        let cond = match k {
+            0 => fb.cmp_imm(CmpOp::Gt, row, 0),
+            1 => fb.cmp_imm(CmpOp::Lt, row, SIZE - 1),
+            2 => fb.cmp_imm(CmpOp::Gt, col, 0),
+            3 => fb.cmp_imm(CmpOp::Lt, col, SIZE - 1),
+            _ => {
+                let r = match k {
+                    4 | 5 => fb.cmp_imm(CmpOp::Gt, row, 0),
+                    _ => fb.cmp_imm(CmpOp::Lt, row, SIZE - 1),
+                };
+                let c2 = match k {
+                    4 | 6 => fb.cmp_imm(CmpOp::Gt, col, 0),
+                    _ => fb.cmp_imm(CmpOp::Lt, col, SIZE - 1),
+                };
+                fb.bin(hotpath_ir::BinOp::And, r, r, c2);
+                r
+            }
+        };
+        fb.branch(cond, in_bounds, join);
+        fb.switch_to(in_bounds);
+        fb.add_imm(tmp, pos, off);
+        fb.add(addr, board_b, tmp);
+        fb.load(cell, addr, 0);
+        let is_empty = fb.cmp_imm(CmpOp::Eq, cell, 0);
+        fb.branch(is_empty, empty_b, stone_b);
+        fb.switch_to(empty_b);
+        fb.add_imm(libs, libs, 1);
+        fb.jump(join);
+        fb.switch_to(stone_b);
+        let same = fb.cmp(CmpOp::Eq, cell, color);
+        fb.branch(same, mine_b, theirs_b);
+        fb.switch_to(mine_b);
+        fb.add_imm(score, score, 2);
+        fb.jump(join);
+        fb.switch_to(theirs_b);
+        fb.add_imm(score, score, -1);
+        fb.jump(join);
+        fb.switch_to(join);
+    }
+
+    // Liberty-scan loop: walk `libs` pseudo-liberties, reading along the
+    // row (data-dependent trip count 0..4).
+    let scan = loop_up_to(&mut fb, libs);
+    fb.add(tmp, pos, scan.i);
+    fb.rem_imm(tmp, tmp, CELLS as i64);
+    fb.add(addr, board_b, tmp);
+    fb.load(cell, addr, 0);
+    fb.add(score, score, cell);
+    end_loop(&mut fb, &scan, 1);
+
+    // Play the move if the target cell is empty and it has liberties:
+    // mutates the board, shifting the branch distribution over time.
+    let play_check = fb.new_block();
+    let play = fb.new_block();
+    let flip = fb.new_block();
+    let done = fb.new_block();
+    fb.jump(play_check);
+    fb.switch_to(play_check);
+    fb.add(addr, board_b, pos);
+    fb.load(cell, addr, 0);
+    let vacant = fb.cmp_imm(CmpOp::Eq, cell, 0);
+    let has_libs = fb.cmp_imm(CmpOp::Gt, libs, 0);
+    fb.bin(hotpath_ir::BinOp::And, vacant, vacant, has_libs);
+    fb.branch(vacant, play, done);
+    fb.switch_to(play);
+    fb.store(color, addr, 0);
+    fb.jump(flip);
+    fb.switch_to(flip);
+    // Alternate colors: color = 3 - color.
+    fb.const_(tmp, 3);
+    fb.sub(color, tmp, color);
+    fb.jump(done);
+    fb.switch_to(done);
+
+    end_loop(&mut fb, &main_loop, 1);
+    fb.set_global(GlobalReg::new(0), score);
+    fb.halt();
+
+    let mut pb = ProgramBuilder::new();
+    pb.add_function(fb).expect("go builds");
+    pb.memory_words(dl.total());
+    for (k, &c) in board.iter().enumerate() {
+        if c != 0 {
+            pb.datum(board_base + k, c);
+        }
+    }
+    for (k, &m) in move_stream.iter().enumerate() {
+        if m != 0 {
+            pb.datum(moves_base + k, m);
+        }
+    }
+    pb.finish().expect("go validates")
+}
+
+fn generate_inputs(moves: usize, seed: u64) -> (Vec<i64>, Vec<i64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Half-empty starting board: the empty-cell bias gives the flow its
+    // warm core.
+    let board: Vec<i64> = (0..CELLS)
+        .map(|_| {
+            if rng.gen_bool(0.4) {
+                0
+            } else if rng.gen_bool(0.5) {
+                1
+            } else {
+                2
+            }
+        })
+        .collect();
+    // Moves concentrate around a handful of battle regions (Zipf-ish).
+    let centers: Vec<i64> = (0..6).map(|_| rng.gen_range(0..CELLS as i64)).collect();
+    let stream = (0..moves)
+        .map(|_| {
+            if rng.gen_bool(0.45) {
+                let c = centers[rng.gen_range(0..centers.len())];
+                let jitter = rng.gen_range(-12..=12i64);
+                (c + jitter).rem_euclid(CELLS as i64)
+            } else {
+                rng.gen_range(0..CELLS as i64)
+            }
+        })
+        .collect();
+    (board, stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotpath_vm::{CountingObserver, Vm};
+
+    #[test]
+    fn go_runs_and_halts() {
+        let p = build(Scale::Smoke);
+        let mut vm = Vm::new(&p);
+        let stats = vm.run(&mut CountingObserver::default()).unwrap();
+        assert!(stats.halted);
+        // 4 neighbor checks per move at minimum.
+        assert!(stats.cond_branches > 10_000);
+    }
+
+    #[test]
+    fn deterministic_build() {
+        assert_eq!(build(Scale::Smoke), build(Scale::Smoke));
+    }
+}

@@ -1,0 +1,219 @@
+//! `ijpeg` — blocked image transform, quantization, and run-length
+//! entropy coding.
+//!
+//! SPECint95 `ijpeg` compresses images: its hot flow is extremely regular
+//! (row transforms, mostly-zero quantized coefficients) yet its path count
+//! is the largest of the suite (Table 1: 62,125 paths, 93.3% hot flow) —
+//! the long tail comes from rare coefficient-magnitude/run-length
+//! combinations in the entropy coder. This workload mirrors that: a
+//! butterfly row transform per 8×8 block (one dominant path shape), then a
+//! coefficient loop whose zero/nonzero branch is heavily biased and whose
+//! magnitude-class switch spreads the rare nonzero cases across many
+//! paths.
+
+use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
+use hotpath_ir::{BinOp, CmpOp, GlobalReg, Program};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::build_util::{end_loop, loop_up_to, DataLayout};
+use crate::scale::Scale;
+
+const BLOCK: usize = 64;
+
+/// Builds the `ijpeg` workload at `scale`.
+pub fn build(scale: Scale) -> Program {
+    let blocks = scale.pick(120, 4_000, 60_000);
+    let image = generate_image(blocks, 0x17E6);
+
+    let mut dl = DataLayout::new();
+    let img_base = dl.array(blocks * BLOCK);
+    let coef_base = dl.array(BLOCK);
+    let out_base = dl.array(blocks * 2 + BLOCK);
+
+    let mut fb = FunctionBuilder::new("main");
+    let nblocks = fb.imm(blocks as i64);
+    let img_b = fb.imm(img_base as i64);
+    let coef_b = fb.imm(coef_base as i64);
+    let out_b = fb.imm(out_base as i64);
+    let bits_out = fb.imm(0);
+    let base = fb.reg();
+    let addr = fb.reg();
+    let a = fb.reg();
+    let b = fb.reg();
+    let c = fb.reg();
+    let d = fb.reg();
+    let tmp = fb.reg();
+    let coef = fb.reg();
+    let run = fb.reg();
+    let class = fb.reg();
+
+    let blk_loop = loop_up_to(&mut fb, nblocks);
+    fb.mul_imm(base, blk_loop.i, BLOCK as i64);
+    fb.add(base, base, img_b);
+
+    // Row transform: 8 rows of a 4-point butterfly pair (branch-free body,
+    // so every row iteration is the same dominant path).
+    let rows = fb.imm(8);
+    let row_loop = loop_up_to(&mut fb, rows);
+    fb.mul_imm(addr, row_loop.i, 8);
+    fb.add(addr, addr, base);
+    fb.load(a, addr, 0);
+    fb.load(b, addr, 1);
+    fb.load(c, addr, 2);
+    fb.load(d, addr, 3);
+    // butterflies: (a+d, b+c, b-c, a-d) scaled
+    fb.add(tmp, a, d);
+    fb.store(tmp, addr, 0);
+    fb.add(tmp, b, c);
+    fb.store(tmp, addr, 1);
+    fb.sub(tmp, b, c);
+    fb.store(tmp, addr, 2);
+    fb.sub(tmp, a, d);
+    fb.store(tmp, addr, 3);
+    fb.load(a, addr, 4);
+    fb.load(b, addr, 5);
+    fb.add(tmp, a, b);
+    fb.shr_imm(tmp, tmp, 1);
+    fb.store(tmp, addr, 4);
+    fb.sub(tmp, a, b);
+    fb.store(tmp, addr, 5);
+    end_loop(&mut fb, &row_loop, 1);
+
+    // Quantize into the coefficient buffer: coef = v >> (3 + k/16).
+    let quant = fb.imm(BLOCK as i64);
+    let q_loop = loop_up_to(&mut fb, quant);
+    fb.add(addr, base, q_loop.i);
+    fb.load(tmp, addr, 0);
+    fb.bin_imm(BinOp::Div, a, q_loop.i, 16);
+    fb.add_imm(a, a, 3);
+    fb.bin(BinOp::Shr, tmp, tmp, a);
+    fb.add(addr, coef_b, q_loop.i);
+    fb.store(tmp, addr, 0);
+    end_loop(&mut fb, &q_loop, 1);
+
+    // Entropy coding: run-length of zeros + magnitude-class switch for
+    // nonzero coefficients. The loop is unrolled 8x so each iteration's
+    // path combines EIGHT coefficient outcomes — the combinatorial path
+    // space (~9^8 shapes, mostly-zero dominant) that gives ijpeg the
+    // largest path count of the suite on a mostly-hot flow.
+    fb.const_(run, 0);
+    let ncoef = fb.imm((BLOCK / 8) as i64);
+    let e_loop = loop_up_to(&mut fb, ncoef);
+    for u in 0..8i64 {
+        fb.mul_imm(addr, e_loop.i, 8);
+        fb.add(addr, addr, coef_b);
+        fb.load(coef, addr, u);
+        // Block creation order = layout order: every forward jump below
+        // stays forward so the unrolled group remains one path.
+        let zero_b = fb.new_block();
+        let long_run = fb.new_block();
+        let nonzero_b = fb.new_block();
+        let mag_blocks: Vec<(hotpath_ir::LocalBlockId, hotpath_ir::LocalBlockId)> =
+            (0..7).map(|_| (fb.new_block(), fb.new_block())).collect();
+        let classes: Vec<_> = (0..8).map(|_| fb.new_block()).collect();
+        let emit = fb.new_block();
+        let joined = fb.new_block();
+        let is_zero = fb.cmp_imm(CmpOp::Eq, coef, 0);
+        fb.branch(is_zero, zero_b, nonzero_b);
+
+        fb.switch_to(zero_b);
+        fb.add_imm(run, run, 1);
+        // Runs longer than 15 force an escape code (rare path).
+        let over = fb.cmp_imm(CmpOp::Gt, run, 15);
+        fb.branch(over, long_run, joined);
+        fb.switch_to(long_run);
+        fb.const_(run, 0);
+        fb.add_imm(bits_out, bits_out, 11);
+        fb.jump(joined);
+
+        fb.switch_to(nonzero_b);
+        // magnitude class = bit length of |coef| clamped to 0..7
+        let mag = fb.reg();
+        fb.const_(class, 0);
+        fb.bin_imm(BinOp::Max, mag, coef, 0);
+        fb.un(hotpath_ir::UnOp::Neg, tmp, coef);
+        fb.bin(BinOp::Max, mag, mag, tmp);
+        for (k, &(bump, next)) in mag_blocks.iter().enumerate() {
+            let big = fb.cmp_imm(CmpOp::Ge, mag, 1 << k);
+            fb.branch(big, bump, next);
+            fb.switch_to(bump);
+            fb.const_(class, (k + 1) as i64);
+            fb.jump(next);
+            fb.switch_to(next);
+        }
+        fb.switch(class, classes.clone(), emit);
+        for (k, cb) in classes.iter().enumerate() {
+            fb.switch_to(*cb);
+            fb.add_imm(bits_out, bits_out, (4 + k) as i64);
+            fb.jump(emit);
+        }
+        fb.switch_to(emit);
+        fb.add(bits_out, bits_out, run);
+        fb.const_(run, 0);
+        fb.jump(joined);
+
+        fb.switch_to(joined);
+    }
+    end_loop(&mut fb, &e_loop, 1);
+
+    // Per-block summary out.
+    fb.bin_imm(BinOp::And, tmp, blk_loop.i, (BLOCK - 1) as i64);
+    fb.add(addr, out_b, tmp);
+    fb.store(bits_out, addr, 0);
+    end_loop(&mut fb, &blk_loop, 1);
+
+    fb.set_global(GlobalReg::new(0), bits_out);
+    fb.halt();
+
+    let mut pb = ProgramBuilder::new();
+    pb.add_function(fb).expect("ijpeg builds");
+    pb.memory_words(dl.total());
+    for (k, &v) in image.iter().enumerate() {
+        if v != 0 {
+            pb.datum(img_base + k, v);
+        }
+    }
+    pb.finish().expect("ijpeg validates")
+}
+
+/// Smooth-ish image data: block DC levels wander, pixels add small noise,
+/// occasional "edge" blocks have high contrast (the rare-path fuel).
+fn generate_image(blocks: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(blocks * BLOCK);
+    let mut dc: i64 = 128;
+    for _ in 0..blocks {
+        dc = (dc + rng.gen_range(-9..=9)).clamp(16, 240);
+        let edgy = rng.gen_bool(0.06);
+        for _ in 0..BLOCK {
+            let noise = if edgy {
+                rng.gen_range(-120..=120)
+            } else {
+                rng.gen_range(-6..=6)
+            };
+            out.push(dc + noise);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotpath_vm::{CountingObserver, Vm};
+
+    #[test]
+    fn ijpeg_runs_and_halts() {
+        let p = build(Scale::Smoke);
+        let mut vm = Vm::new(&p);
+        let stats = vm.run(&mut CountingObserver::default()).unwrap();
+        assert!(stats.halted);
+        assert!(vm.global(GlobalReg::new(0)) > 0, "bits were emitted");
+    }
+
+    #[test]
+    fn deterministic_build() {
+        assert_eq!(build(Scale::Smoke), build(Scale::Smoke));
+    }
+}

@@ -1,0 +1,367 @@
+//! `li` — a recursive tree-walking expression interpreter.
+//!
+//! SPECint95 `li` is a Lisp interpreter: its hot flow is the recursive
+//! `eval` over cons cells (Table 1: 1,391 paths, 93.8% hot). Here a forest
+//! of expression trees lives in memory as `(tag, a, b)` triples and a
+//! recursive `eval` function walks them; the evaluation environment is
+//! re-seeded every outer iteration so `If` nodes flip occasionally, giving
+//! the path profile its realistic warm spread.
+
+use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
+use hotpath_ir::{BinOp, CmpOp, GlobalReg, Program};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::build_util::{end_loop, loop_up_to, DataLayout};
+use crate::scale::Scale;
+
+// Node tags.
+const T_CONST: i64 = 0;
+const T_VAR: i64 = 1;
+const T_ADD: i64 = 2;
+const T_SUB: i64 = 3;
+const T_MUL: i64 = 4;
+const T_IF: i64 = 5;
+const T_MAX2: i64 = 6;
+
+const ENV_SIZE: usize = 32;
+
+/// One expression node.
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    tag: i64,
+    a: i64,
+    b: i64,
+}
+
+/// Builds the `li` workload at `scale`.
+pub fn build(scale: Scale) -> Program {
+    let iterations = scale.pick(60, 1_200, 12_000) as i64;
+    let (nodes, roots) = generate_forest(0x11_57, 24, 7);
+
+    let mut dl = DataLayout::new();
+    let nodes_base = dl.array(nodes.len() * 3);
+    let roots_base = dl.array(roots.len());
+    let env_base = dl.array(ENV_SIZE);
+
+    let mut pb = ProgramBuilder::new();
+    let eval = pb.declare("eval");
+
+    // ---- eval(node_addr in g0) -> value in g1 -------------------------
+    // Layout the callee FIRST so calls to it are backward (they do not end
+    // paths under the default rule; recursion closes paths at returns).
+    let mut eb = FunctionBuilder::new("eval");
+    let node = eb.reg();
+    eb.get_global(node, GlobalReg::new(0));
+    let tag = eb.reg();
+    let a = eb.reg();
+    let b = eb.reg();
+    let tmp = eb.reg();
+    let left = eb.reg();
+    eb.load(tag, node, 0);
+    eb.load(a, node, 1);
+    eb.load(b, node, 2);
+
+    let h_const = eb.new_block();
+    let h_var = eb.new_block();
+    let h_add = eb.new_block();
+    let h_add2 = eb.new_block();
+    let h_add3 = eb.new_block();
+    let h_sub = eb.new_block();
+    let h_sub2 = eb.new_block();
+    let h_sub3 = eb.new_block();
+    let h_mul = eb.new_block();
+    let h_mul2 = eb.new_block();
+    let h_mul3 = eb.new_block();
+    let h_if = eb.new_block();
+    let h_if_then = eb.new_block();
+    let h_if_else = eb.new_block();
+    let h_if_done = eb.new_block();
+    let h_max = eb.new_block();
+    let h_max2 = eb.new_block();
+    let h_max_pick = eb.new_block();
+    let h_max_a = eb.new_block();
+    let h_max_b = eb.new_block();
+    let bad = eb.new_block();
+    eb.switch(
+        tag,
+        vec![h_const, h_var, h_add, h_sub, h_mul, h_if, h_max],
+        bad,
+    );
+
+    eb.switch_to(h_const);
+    eb.set_global(GlobalReg::new(1), a);
+    eb.ret();
+
+    eb.switch_to(h_var);
+    let env_b = eb.imm(env_base as i64);
+    eb.add(tmp, env_b, a);
+    eb.load(tmp, tmp, 0);
+    eb.set_global(GlobalReg::new(1), tmp);
+    eb.ret();
+
+    // Binary operators: eval(a); save; eval(b); combine.
+    let emit_binop = |eb: &mut FunctionBuilder,
+                      entry: hotpath_ir::LocalBlockId,
+                      cont1: hotpath_ir::LocalBlockId,
+                      cont2: hotpath_ir::LocalBlockId,
+                      op: BinOp| {
+        eb.switch_to(entry);
+        eb.set_global(GlobalReg::new(0), a);
+        eb.call(eval, cont1);
+        eb.switch_to(cont1);
+        eb.get_global(left, GlobalReg::new(1));
+        // Stash left on the shadow stack in g2-free style: keep in a local
+        // register (frames are per-call, so recursion is safe).
+        eb.set_global(GlobalReg::new(0), b);
+        eb.call(eval, cont2);
+        eb.switch_to(cont2);
+        eb.get_global(tmp, GlobalReg::new(1));
+        eb.bin(op, tmp, left, tmp);
+        eb.set_global(GlobalReg::new(1), tmp);
+        eb.ret();
+    };
+    emit_binop(&mut eb, h_add, h_add2, h_add3, BinOp::Add);
+    emit_binop(&mut eb, h_sub, h_sub2, h_sub3, BinOp::Sub);
+    emit_binop(&mut eb, h_mul, h_mul2, h_mul3, BinOp::Mul);
+
+    // If: eval(a); pick b (then-addr) or node[2] ... encode: a = cond
+    // node, b packs then/else as then*2^20+else? Keep three loads: tag, a,
+    // b with b = then node and the else node stored at b+? Use convention:
+    // IF: a = cond node addr, b = then node addr, and else node addr is
+    // b + 3 (the generator allocates then/else adjacently).
+    eb.switch_to(h_if);
+    eb.set_global(GlobalReg::new(0), a);
+    eb.call(eval, h_if_done);
+    eb.switch_to(h_if_done);
+    eb.get_global(tmp, GlobalReg::new(1));
+    let nonzero = eb.cmp_imm(CmpOp::Ne, tmp, 0);
+    eb.branch(nonzero, h_if_then, h_if_else);
+    eb.switch_to(h_if_then);
+    eb.set_global(GlobalReg::new(0), b);
+    eb.call(eval, h_max_pick); // tail-continue: reuse a shared ret block
+    eb.switch_to(h_if_else);
+    eb.add_imm(tmp, b, 3);
+    eb.set_global(GlobalReg::new(0), tmp);
+    eb.call(eval, h_max_pick);
+
+    // Max2: eval both, return the larger (two result-dependent paths).
+    eb.switch_to(h_max);
+    eb.set_global(GlobalReg::new(0), a);
+    eb.call(eval, h_max2);
+    eb.switch_to(h_max2);
+    eb.get_global(left, GlobalReg::new(1));
+    eb.set_global(GlobalReg::new(0), b);
+    eb.call(eval, h_max_a);
+    eb.switch_to(h_max_a);
+    eb.get_global(tmp, GlobalReg::new(1));
+    let bigger = eb.cmp(CmpOp::Gt, left, tmp);
+    eb.branch(bigger, h_max_b, h_max_pick);
+    eb.switch_to(h_max_b);
+    eb.set_global(GlobalReg::new(1), left);
+    eb.ret();
+    // Shared return: g1 already holds the result.
+    eb.switch_to(h_max_pick);
+    eb.ret();
+
+    eb.switch_to(bad);
+    eb.set_global(GlobalReg::new(1), tmp);
+    eb.ret();
+
+    pb.add_function(eb).expect("eval builds");
+
+    // ---- main ----------------------------------------------------------
+    let mut fb = FunctionBuilder::new("main");
+    let iters = fb.imm(iterations);
+    let acc = fb.imm(0);
+    let roots_n = fb.imm(roots.len() as i64);
+    let roots_b = fb.imm(roots_base as i64);
+    let env_b = fb.imm(env_base as i64);
+    let addr = fb.reg();
+    let tmp = fb.reg();
+
+    let outer = loop_up_to(&mut fb, iters);
+    {
+        // Refresh the environment: env[k] = (iter * k) % 7 - 3 keeps If
+        // conditions flipping between iterations.
+        let envn = fb.imm(ENV_SIZE as i64);
+        let fill = loop_up_to(&mut fb, envn);
+        fb.mul(tmp, outer.i, fill.i);
+        fb.add_imm(tmp, tmp, 1);
+        fb.rem_imm(tmp, tmp, 7);
+        fb.add_imm(tmp, tmp, -3);
+        fb.add(addr, env_b, fill.i);
+        fb.store(tmp, addr, 0);
+        end_loop(&mut fb, &fill, 1);
+
+        // Evaluate every root.
+        let scan = loop_up_to(&mut fb, roots_n);
+        fb.add(addr, roots_b, scan.i);
+        fb.load(tmp, addr, 0);
+        fb.set_global(GlobalReg::new(0), tmp);
+        let cont = fb.new_block();
+        fb.call(eval, cont);
+        fb.switch_to(cont);
+        fb.get_global(tmp, GlobalReg::new(1));
+        fb.add(acc, acc, tmp);
+        end_loop(&mut fb, &scan, 1);
+    }
+    end_loop(&mut fb, &outer, 1);
+    fb.set_global(GlobalReg::new(0), acc);
+    fb.halt();
+    pb.add_function(fb).expect("main builds");
+    pb.set_entry(hotpath_ir::FuncId::new(1));
+
+    pb.memory_words(dl.total());
+    // Interior nodes store child *indices*; the evaluator wants child
+    // *addresses*, so convert while writing the data segment.
+    let node_addr = |idx: i64| (nodes_base + (idx as usize) * 3) as i64;
+    for (k, n) in nodes.iter().enumerate() {
+        let base = nodes_base + k * 3;
+        let interior = matches!(n.tag, T_ADD | T_SUB | T_MUL | T_IF | T_MAX2);
+        let a = if interior { node_addr(n.a) } else { n.a };
+        let b = if interior { node_addr(n.b) } else { n.b };
+        for (off, v) in [(0, n.tag), (1, a), (2, b)] {
+            if v != 0 {
+                pb.datum(base + off, v);
+            }
+        }
+    }
+    for (k, &r) in roots.iter().enumerate() {
+        pb.datum(roots_base + k, (nodes_base + (r as usize) * 3) as i64);
+    }
+    pb.finish().expect("li validates")
+}
+
+/// Generates `root_count` random expression trees of bounded depth over a
+/// shared node pool. Returns the pool and root indices. `If` then/else
+/// subtrees are allocated adjacently (the evaluator relies on it).
+fn generate_forest(seed: u64, root_count: usize, max_depth: u32) -> (Vec<Node>, Vec<i64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut roots = Vec::with_capacity(root_count);
+    for _ in 0..root_count {
+        let r = gen_tree(&mut rng, &mut nodes, max_depth);
+        roots.push(r);
+    }
+    (nodes, roots)
+}
+
+fn gen_tree(rng: &mut StdRng, nodes: &mut Vec<Node>, depth: u32) -> i64 {
+    // Reserve this node's slot first so parents precede children, then
+    // fill it in.
+    let slot = nodes.len();
+    nodes.push(Node {
+        tag: T_CONST,
+        a: 0,
+        b: 0,
+    });
+    if depth == 0 || rng.gen_bool(0.25) {
+        if rng.gen_bool(0.5) {
+            nodes[slot] = Node {
+                tag: T_CONST,
+                a: rng.gen_range(-9..10),
+                b: 0,
+            };
+        } else {
+            nodes[slot] = Node {
+                tag: T_VAR,
+                a: rng.gen_range(0..ENV_SIZE as i64),
+                b: 0,
+            };
+        }
+        return slot as i64;
+    }
+    match rng.gen_range(0..5) {
+        0..=2 => {
+            let tag = match rng.gen_range(0..3) {
+                0 => T_ADD,
+                1 => T_SUB,
+                _ => T_MUL,
+            };
+            let a = gen_tree(rng, nodes, depth - 1);
+            let b = gen_tree(rng, nodes, depth - 1);
+            nodes[slot] = Node {
+                tag,
+                a: a,
+                b: b,
+            };
+        }
+        3 => {
+            let cond = gen_tree(rng, nodes, depth - 1);
+            // then/else must be adjacent triples.
+            let then_slot = nodes.len() as i64;
+            let then_leaf = leaf(rng);
+            nodes.push(then_leaf);
+            let else_leaf = leaf(rng);
+            nodes.push(else_leaf);
+            nodes[slot] = Node {
+                tag: T_IF,
+                a: cond,
+                b: then_slot,
+            };
+        }
+        _ => {
+            let a = gen_tree(rng, nodes, depth - 1);
+            let b = gen_tree(rng, nodes, depth - 1);
+            nodes[slot] = Node {
+                tag: T_MAX2,
+                a: a,
+                b: b,
+            };
+        }
+    }
+    slot as i64
+}
+
+fn leaf(rng: &mut StdRng) -> Node {
+    if rng.gen_bool(0.5) {
+        Node {
+            tag: T_CONST,
+            a: rng.gen_range(-9..10),
+            b: 0,
+        }
+    } else {
+        Node {
+            tag: T_VAR,
+            a: rng.gen_range(0..ENV_SIZE as i64),
+            b: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotpath_vm::{CountingObserver, Vm};
+
+    #[test]
+    fn li_runs_and_recurses() {
+        let p = build(Scale::Smoke);
+        let mut vm = Vm::new(&p);
+        let stats = vm.run(&mut CountingObserver::default()).unwrap();
+        assert!(stats.halted);
+        assert!(stats.calls > 1_000, "recursive eval must call a lot");
+        assert!(stats.max_call_depth >= 3);
+    }
+
+    #[test]
+    fn forest_if_nodes_have_adjacent_arms() {
+        let (nodes, _) = generate_forest(1, 10, 6);
+        for n in &nodes {
+            if n.tag == T_IF {
+                let then_i = n.b as usize;
+                assert!(then_i + 1 < nodes.len());
+                let t = nodes[then_i].tag;
+                let e = nodes[then_i + 1].tag;
+                assert!(t == T_CONST || t == T_VAR);
+                assert!(e == T_CONST || e == T_VAR);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_build() {
+        assert_eq!(build(Scale::Smoke), build(Scale::Smoke));
+    }
+}

@@ -1,0 +1,45 @@
+//! SPECint95-inspired benchmark programs for the hot-path prediction
+//! reproduction.
+//!
+//! The paper evaluates on SPECint95 binaries plus `deltablue`. Those
+//! binaries (and PA-RISC) are unavailable, so this crate provides nine
+//! programs written in the `hotpath-ir` virtual ISA whose *algorithms* echo
+//! their namesakes and whose dynamic path statistics reproduce the paper's
+//! spectrum (Table 1): from `compress` — few paths, a hot set capturing
+//! ~99% of the flow — to `gcc`/`go` — tens of thousands of paths with weak
+//! dominance.
+//!
+//! Each workload embeds its (seeded, deterministic) input in the program's
+//! data segment, so `Vm::new(&workload.program)` is all a consumer needs.
+//!
+//! ```
+//! use hotpath_workloads::{build, Scale, WorkloadName};
+//! use hotpath_vm::{CountingObserver, Vm};
+//!
+//! let w = build(WorkloadName::Compress, Scale::Smoke);
+//! let mut vm = Vm::new(&w.program);
+//! let stats = vm.run(&mut CountingObserver::default())?;
+//! assert!(stats.halted);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod build_util;
+mod compress;
+mod deltablue;
+mod gcc;
+mod go;
+mod ijpeg;
+mod li;
+mod m88ksim;
+mod perl;
+mod scale;
+mod suite;
+pub mod synthetic;
+mod vortex;
+
+pub use build_util::{end_loop, loop_up_to, DataLayout, Loop};
+pub use scale::Scale;
+pub use suite::{build, suite, Workload, WorkloadName, ALL_WORKLOADS};

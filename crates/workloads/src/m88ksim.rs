@@ -1,0 +1,425 @@
+//! `m88ksim` — a fetch/decode/dispatch CPU simulator running a generated
+//! guest program.
+//!
+//! SPECint95 `m88ksim` simulates a Motorola 88100; its profile is a
+//! dispatch loop whose per-opcode handler paths dominate (Table 1: 1,426
+//! paths, 92.5% hot flow). Here a 14-opcode guest ISA is interpreted by a
+//! dispatch loop; each retired guest instruction is one interprocedural
+//! forward path whose identity combines the indirect handler target, an
+//! instruction-cache hit/miss bit, the handler's condition-code outcome
+//! (negative/zero/positive writeback, as the 88100's status logic would
+//! compute), and — for guest branches — a 2-bit branch-predictor
+//! consultation. That is the bookkeeping that gives the real simulator its
+//! mid-sized path population over a strongly dominant hot core.
+
+use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
+use hotpath_ir::{BinOp, CmpOp, GlobalReg, LocalBlockId, Program, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::build_util::DataLayout;
+use crate::scale::Scale;
+
+// Guest opcodes.
+const OP_HALT: i64 = 0;
+const OP_ADDI: i64 = 1;
+const OP_ADD: i64 = 2;
+const OP_SUB: i64 = 3;
+const OP_MUL: i64 = 4;
+const OP_AND: i64 = 5;
+const OP_XOR: i64 = 6;
+const OP_SHR: i64 = 7;
+const OP_LOAD: i64 = 8;
+const OP_STORE: i64 = 9;
+const OP_BNZ: i64 = 10;
+const OP_JMP: i64 = 11;
+const OP_CMPLT: i64 = 12;
+const OP_MOV: i64 = 13;
+
+const GUEST_REGS: usize = 16;
+const GUEST_MEM: usize = 1 << 12;
+const PRED_SIZE: usize = 64;
+/// Handlers that write a guest register through the condition-code path.
+const CC_SITES: usize = 10;
+
+fn enc(op: i64, a: i64, b: i64, c: i64, imm: i64) -> i64 {
+    debug_assert!((0..16).contains(&op));
+    debug_assert!((0..16).contains(&a));
+    debug_assert!((0..16).contains(&b));
+    debug_assert!((0..16).contains(&c));
+    op | (a << 4) | (b << 8) | (c << 12) | (imm << 16)
+}
+
+/// Per-writeback-site blocks for the condition-code update.
+#[derive(Clone, Copy, Debug)]
+struct CcSite {
+    b_neg: LocalBlockId,
+    b_nn: LocalBlockId,
+    b_zero: LocalBlockId,
+    b_pos: LocalBlockId,
+}
+
+/// Builds the `m88ksim` workload at `scale`.
+pub fn build(scale: Scale) -> Program {
+    let outer_trips = scale.pick(30, 900, 14_000) as i64;
+    let guest = generate_guest_program(0x88_100, outer_trips);
+
+    let mut dl = DataLayout::new();
+    let code_base = dl.array(guest.len() + 1);
+    let regs_base = dl.array(GUEST_REGS);
+    let gmem_base = dl.array(GUEST_MEM);
+    let pred_base = dl.array(PRED_SIZE);
+
+    let mut fb = FunctionBuilder::new("main");
+    let pc = fb.imm(0);
+    let code_b = fb.imm(code_base as i64);
+    let regs_b = fb.imm(regs_base as i64);
+    let gmem_b = fb.imm(gmem_base as i64);
+    let pred_b = fb.imm(pred_base as i64);
+    let retired = fb.imm(0);
+    let ictag = fb.imm(-1);
+    let icmisses = fb.imm(0);
+    let cc = fb.imm(0);
+    let w = fb.reg();
+    let op = fb.reg();
+    let ra = fb.reg();
+    let rb = fb.reg();
+    let rc = fb.reg();
+    let imm = fb.reg();
+    let va = fb.reg();
+    let vb = fb.reg();
+    let vc = fb.reg();
+    let addr = fb.reg();
+    let tmp = fb.reg();
+
+    // Block layout order is creation order: the dispatch header first, so
+    // every end-of-handler jump to it is the backward latch; all joins are
+    // created after their predecessors so in-path jumps stay forward.
+    let header = fb.new_block();
+    let ic_chk = fb.new_block();
+    let ic_sets: Vec<LocalBlockId> = (0..4).map(|_| fb.new_block()).collect();
+    let ic_miss = fb.new_block();
+    let decode = fb.new_block();
+    let h_addi = fb.new_block();
+    let h_add = fb.new_block();
+    let h_add_ovf = fb.new_block();
+    let h_add_done = fb.new_block();
+    let h_sub = fb.new_block();
+    let h_mul = fb.new_block();
+    let h_and = fb.new_block();
+    let h_xor = fb.new_block();
+    let h_shr = fb.new_block();
+    let h_load = fb.new_block();
+    let h_store = fb.new_block();
+    let h_bnz = fb.new_block();
+    let h_bnz_pred_taken = fb.new_block();
+    let h_bnz_pred_not = fb.new_block();
+    let h_bnz_resolve = fb.new_block();
+    let h_bnz_taken = fb.new_block();
+    let h_bnz_not = fb.new_block();
+    let h_bnz_update = fb.new_block();
+    let h_jmp = fb.new_block();
+    let h_cmplt = fb.new_block();
+    let h_mov = fb.new_block();
+    let cc_sites: Vec<CcSite> = (0..CC_SITES)
+        .map(|_| CcSite {
+            b_neg: fb.new_block(),
+            b_nn: fb.new_block(),
+            b_zero: fb.new_block(),
+            b_pos: fb.new_block(),
+        })
+        .collect();
+    let next_pc = fb.new_block();
+    let exit = fb.new_block();
+    let mut sites = cc_sites.into_iter();
+
+    fb.jump(header);
+
+    // Fetch + halt test.
+    fb.switch_to(header);
+    fb.add(addr, code_b, pc);
+    fb.load(w, addr, 0);
+    fb.and_imm(op, w, 15);
+    let halted = fb.cmp_imm(CmpOp::Eq, op, OP_HALT);
+    fb.branch(halted, exit, ic_chk);
+
+    // Instruction-cache lookup: 8-word lines, 4-way set dispatch (the set
+    // index adds an indirect target correlated with the guest PC).
+    fb.switch_to(ic_chk);
+    fb.shr_imm(tmp, pc, 3);
+    let set = fb.reg();
+    fb.and_imm(set, tmp, 3);
+    fb.switch(set, ic_sets.clone(), ic_miss);
+    for sb in &ic_sets {
+        fb.switch_to(*sb);
+        let hit = fb.cmp(CmpOp::Eq, tmp, ictag);
+        fb.branch(hit, decode, ic_miss);
+    }
+    fb.switch_to(ic_miss);
+    fb.mov(ictag, tmp);
+    fb.add_imm(icmisses, icmisses, 1);
+    fb.jump(decode);
+
+    // Decode fields and read register operands.
+    fb.switch_to(decode);
+    fb.shr_imm(ra, w, 4);
+    fb.and_imm(ra, ra, 15);
+    fb.shr_imm(rb, w, 8);
+    fb.and_imm(rb, rb, 15);
+    fb.shr_imm(rc, w, 12);
+    fb.and_imm(rc, rc, 15);
+    fb.shr_imm(imm, w, 16);
+    fb.add(addr, regs_b, rb);
+    fb.load(vb, addr, 0);
+    fb.add(addr, regs_b, rc);
+    fb.load(vc, addr, 0);
+    fb.add(addr, regs_b, ra);
+    fb.load(va, addr, 0);
+    fb.switch(
+        op,
+        vec![
+            exit, // OP_HALT (already handled, defensive)
+            h_addi, h_add, h_sub, h_mul, h_and, h_xor, h_shr, h_load, h_store, h_bnz, h_jmp,
+            h_cmplt, h_mov,
+        ],
+        exit,
+    );
+
+    // Writes `val` to guest register `ra` and branches three ways on its
+    // sign to update the simulated condition codes, consuming one
+    // pre-created [`CcSite`].
+    let write_a_cc = |fb: &mut FunctionBuilder, val: Reg, site: CcSite| {
+        fb.add(addr, regs_b, ra);
+        fb.store(val, addr, 0);
+        let neg = fb.cmp_imm(CmpOp::Lt, val, 0);
+        fb.branch(neg, site.b_neg, site.b_nn);
+        fb.switch_to(site.b_neg);
+        fb.const_(cc, 2);
+        fb.jump(next_pc);
+        fb.switch_to(site.b_nn);
+        let zero = fb.cmp_imm(CmpOp::Eq, val, 0);
+        fb.branch(zero, site.b_zero, site.b_pos);
+        fb.switch_to(site.b_zero);
+        fb.const_(cc, 1);
+        fb.jump(next_pc);
+        fb.switch_to(site.b_pos);
+        fb.const_(cc, 0);
+        fb.jump(next_pc);
+    };
+
+    fb.switch_to(h_addi);
+    fb.add(tmp, vb, imm);
+    write_a_cc(&mut fb, tmp, sites.next().expect("site"));
+
+    // ADD with an extra overflow-suspicion branch before the CC update.
+    fb.switch_to(h_add);
+    fb.add(tmp, vb, vc);
+    let susp = fb.cmp_imm(CmpOp::Lt, tmp, 0);
+    fb.branch(susp, h_add_ovf, h_add_done);
+    fb.switch_to(h_add_ovf);
+    fb.add_imm(icmisses, icmisses, 0); // status-flag bookkeeping
+    fb.jump(h_add_done);
+    fb.switch_to(h_add_done);
+    write_a_cc(&mut fb, tmp, sites.next().expect("site"));
+
+    fb.switch_to(h_sub);
+    fb.sub(tmp, vb, vc);
+    write_a_cc(&mut fb, tmp, sites.next().expect("site"));
+
+    fb.switch_to(h_mul);
+    fb.mul(tmp, vb, vc);
+    write_a_cc(&mut fb, tmp, sites.next().expect("site"));
+
+    fb.switch_to(h_and);
+    fb.bin(BinOp::And, tmp, vb, vc);
+    write_a_cc(&mut fb, tmp, sites.next().expect("site"));
+
+    fb.switch_to(h_xor);
+    fb.xor(tmp, vb, vc);
+    write_a_cc(&mut fb, tmp, sites.next().expect("site"));
+
+    fb.switch_to(h_shr);
+    fb.bin(BinOp::Shr, tmp, vb, vc);
+    write_a_cc(&mut fb, tmp, sites.next().expect("site"));
+
+    // LOAD/STORE wrap guest addresses into guest memory (address masking,
+    // as simulators do).
+    fb.switch_to(h_load);
+    fb.add(tmp, vb, imm);
+    fb.and_imm(tmp, tmp, (GUEST_MEM - 1) as i64);
+    fb.add(addr, gmem_b, tmp);
+    fb.load(tmp, addr, 0);
+    write_a_cc(&mut fb, tmp, sites.next().expect("site"));
+
+    fb.switch_to(h_store);
+    fb.add(tmp, vb, imm);
+    fb.and_imm(tmp, tmp, (GUEST_MEM - 1) as i64);
+    fb.add(addr, gmem_b, tmp);
+    fb.store(va, addr, 0);
+    fb.jump(next_pc);
+
+    // BNZ: consult the 2-bit predictor (indexed by guest PC), branch on
+    // the prediction, resolve, and update — four dynamic shapes.
+    fb.switch_to(h_bnz);
+    fb.and_imm(tmp, pc, (PRED_SIZE - 1) as i64);
+    fb.add(addr, pred_b, tmp);
+    let pred = fb.reg();
+    fb.load(pred, addr, 0);
+    let pred_hot = fb.cmp_imm(CmpOp::Ge, pred, 2);
+    fb.branch(pred_hot, h_bnz_pred_taken, h_bnz_pred_not);
+    fb.switch_to(h_bnz_pred_taken);
+    fb.jump(h_bnz_resolve);
+    fb.switch_to(h_bnz_pred_not);
+    fb.jump(h_bnz_resolve);
+    fb.switch_to(h_bnz_resolve);
+    let cond = fb.cmp_imm(CmpOp::Ne, va, 0);
+    fb.branch(cond, h_bnz_taken, h_bnz_not);
+    fb.switch_to(h_bnz_taken);
+    fb.add(pc, pc, imm);
+    fb.bin_imm(BinOp::Min, pred, pred, 2);
+    fb.add_imm(pred, pred, 1);
+    fb.jump(h_bnz_update);
+    fb.switch_to(h_bnz_not);
+    fb.add_imm(pc, pc, 1);
+    fb.bin_imm(BinOp::Max, pred, pred, 1);
+    fb.add_imm(pred, pred, -1);
+    fb.jump(h_bnz_update);
+    fb.switch_to(h_bnz_update);
+    fb.store(pred, addr, 0);
+    fb.add_imm(retired, retired, 1);
+    fb.jump(header); // backward latch (PC already advanced)
+
+    fb.switch_to(h_jmp);
+    fb.add(pc, pc, imm);
+    fb.add_imm(retired, retired, 1);
+    fb.jump(header); // backward latch
+
+    fb.switch_to(h_cmplt);
+    let lt = fb.cmp(CmpOp::Lt, vb, vc);
+    write_a_cc(&mut fb, lt, sites.next().expect("site"));
+
+    fb.switch_to(h_mov);
+    write_a_cc(&mut fb, vb, sites.next().expect("site"));
+
+    fb.switch_to(next_pc);
+    fb.add_imm(pc, pc, 1);
+    fb.add_imm(retired, retired, 1);
+    fb.jump(header); // backward latch
+
+    fb.switch_to(exit);
+    fb.set_global(GlobalReg::new(0), retired);
+    fb.set_global(GlobalReg::new(1), icmisses);
+    fb.halt();
+
+    assert!(sites.next().is_none(), "all CC sites consumed");
+
+    let mut pb = ProgramBuilder::new();
+    pb.add_function(fb).expect("m88ksim builds");
+    pb.memory_words(dl.total());
+    for (k, &word) in guest.iter().enumerate() {
+        if word != 0 {
+            pb.datum(code_base + k, word);
+        }
+    }
+    pb.finish().expect("m88ksim validates")
+}
+
+/// Generates a terminating guest program: an outer counted loop whose body
+/// mixes ALU ops, memory traffic, an unconditional hop, a data-dependent
+/// skip, and an inner counted loop.
+fn generate_guest_program(seed: u64, outer_trips: i64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut code: Vec<i64> = Vec::new();
+    // Three sequential loop nests ("phases") with large straight-line
+    // bodies: each distinct guest instruction slot yields its own
+    // dispatch-path shape (handler target + icache set/line bits + CC
+    // outcome), which is where the real simulator's path population lives.
+    for phase in 0..3 {
+        let trips = (outer_trips / 3).max(1) + phase;
+        code.push(enc(OP_ADDI, 15, 0, 0, trips));
+        let outer_top = code.len() as i64;
+
+        let body_len = rng.gen_range(30..55);
+        for _ in 0..body_len {
+            let a = rng.gen_range(1..13);
+            let b = rng.gen_range(1..13);
+            let c = rng.gen_range(1..13);
+            match rng.gen_range(0..11) {
+                0 => code.push(enc(OP_ADDI, a, b, 0, rng.gen_range(-30..30))),
+                1 => code.push(enc(OP_ADD, a, b, c, 0)),
+                2 => code.push(enc(OP_SUB, a, b, c, 0)),
+                3 => code.push(enc(OP_MUL, a, b, c, 0)),
+                4 => code.push(enc(OP_AND, a, b, c, 0)),
+                5 => code.push(enc(OP_XOR, a, b, c, 0)),
+                6 => code.push(enc(OP_CMPLT, a, b, c, 0)),
+                7 => code.push(enc(OP_SHR, a, b, c, 0)),
+                8 => code.push(enc(OP_LOAD, a, b, 0, rng.gen_range(0..64))),
+                9 => code.push(enc(OP_STORE, a, b, 0, rng.gen_range(0..64))),
+                _ => code.push(enc(OP_MOV, a, b, 0, 0)),
+            }
+        }
+
+        // Unconditional hop over a dead instruction.
+        code.push(enc(OP_JMP, 0, 0, 0, 2));
+        code.push(enc(OP_XOR, 9, 9, 9, 0)); // skipped
+
+        // Data-dependent skip: r12 = r1; BNZ r12 -> skip two instructions.
+        code.push(enc(OP_ADDI, 12, 1, 0, 0));
+        code.push(enc(OP_AND, 12, 12, 12, 0));
+        code.push(enc(OP_BNZ, 12, 0, 0, 3));
+        code.push(enc(OP_XOR, 2, 2, 3, 0));
+        code.push(enc(OP_ADD, 3, 3, 4, 0));
+
+        // Inner loop: load-modify-store over guest memory.
+        code.push(enc(OP_ADDI, 14, 0, 0, 4 + phase as i64));
+        let inner_top = code.len() as i64;
+        code.push(enc(OP_ADDI, 13, 13, 0, 7)); // advance index
+        code.push(enc(OP_LOAD, 5, 13, 0, 0));
+        code.push(enc(OP_ADD, 5, 5, 1, 0));
+        code.push(enc(OP_STORE, 5, 13, 0, 0));
+        code.push(enc(OP_ADDI, 14, 14, 0, -1));
+        let back = inner_top - (code.len() as i64);
+        code.push(enc(OP_BNZ, 14, 0, 0, back));
+
+        // Outer latch.
+        code.push(enc(OP_ADDI, 15, 15, 0, -1));
+        let back = outer_top - (code.len() as i64);
+        code.push(enc(OP_BNZ, 15, 0, 0, back));
+    }
+    code.push(enc(OP_HALT, 0, 0, 0, 0));
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotpath_vm::{CountingObserver, Vm};
+
+    #[test]
+    fn simulator_retires_expected_instruction_count() {
+        let p = build(Scale::Smoke);
+        let mut vm = Vm::new(&p);
+        let stats = vm.run(&mut CountingObserver::default()).unwrap();
+        assert!(stats.halted);
+        let retired = vm.global(GlobalReg::new(0));
+        assert!(retired > 1_000, "retired {retired}");
+        assert!(stats.indirect_branches as i64 >= retired);
+        // The icache model actually misses sometimes (line crossings).
+        assert!(vm.global(GlobalReg::new(1)) > 0);
+    }
+
+    #[test]
+    fn encoding_round_trips() {
+        let w = enc(OP_BNZ, 14, 3, 7, -12);
+        assert_eq!(w & 15, OP_BNZ);
+        assert_eq!((w >> 4) & 15, 14);
+        assert_eq!((w >> 8) & 15, 3);
+        assert_eq!((w >> 12) & 15, 7);
+        assert_eq!(w >> 16, -12);
+    }
+
+    #[test]
+    fn deterministic_build() {
+        assert_eq!(build(Scale::Smoke), build(Scale::Smoke));
+    }
+}

@@ -1,0 +1,57 @@
+//! Workload sizing.
+
+use std::fmt;
+
+/// How big a workload's input (and therefore its flow) should be.
+///
+/// The paper's runs have flows of billions of path executions; laptop-scale
+/// reproduction uses millions. All rates in the experiments are relative to
+/// each run's own flow, so the shapes survive the rescaling.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Scale {
+    /// Tiny inputs for unit/integration tests (≈10⁴ block events).
+    Smoke,
+    /// Medium inputs for quick experiments (≈10⁶ block events).
+    Small,
+    /// Full experiment inputs (≈10⁷–10⁸ block events).
+    Full,
+}
+
+impl Scale {
+    /// A multiplier workloads use to size their inputs: 1 for `Smoke`,
+    /// `small` for `Small`, `full` for `Full`.
+    pub fn pick(self, smoke: usize, small: usize, full: usize) -> usize {
+        match self {
+            Scale::Smoke => smoke,
+            Scale::Small => small,
+            Scale::Full => full,
+        }
+    }
+}
+
+impl fmt::Display for Scale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Scale::Smoke => "smoke",
+            Scale::Small => "small",
+            Scale::Full => "full",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_selects_by_scale() {
+        assert_eq!(Scale::Smoke.pick(1, 2, 3), 1);
+        assert_eq!(Scale::Small.pick(1, 2, 3), 2);
+        assert_eq!(Scale::Full.pick(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Scale::Full.to_string(), "full");
+    }
+}

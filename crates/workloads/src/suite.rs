@@ -1,0 +1,178 @@
+//! The nine-benchmark suite of Table 1.
+
+use std::fmt;
+use std::str::FromStr;
+
+use hotpath_ir::Program;
+
+use crate::scale::Scale;
+
+/// The benchmarks of the paper's Table 1.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum WorkloadName {
+    Compress,
+    Gcc,
+    Go,
+    Ijpeg,
+    Li,
+    M88ksim,
+    Perl,
+    Vortex,
+    Deltablue,
+}
+
+/// All nine workloads, in the paper's Table 1 order.
+pub const ALL_WORKLOADS: [WorkloadName; 9] = [
+    WorkloadName::Compress,
+    WorkloadName::Gcc,
+    WorkloadName::Go,
+    WorkloadName::Ijpeg,
+    WorkloadName::Li,
+    WorkloadName::M88ksim,
+    WorkloadName::Perl,
+    WorkloadName::Vortex,
+    WorkloadName::Deltablue,
+];
+
+impl WorkloadName {
+    /// The lowercase name used in the paper's tables and our reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WorkloadName::Compress => "compress",
+            WorkloadName::Gcc => "gcc",
+            WorkloadName::Go => "go",
+            WorkloadName::Ijpeg => "ijpeg",
+            WorkloadName::Li => "li",
+            WorkloadName::M88ksim => "m88ksim",
+            WorkloadName::Perl => "perl",
+            WorkloadName::Vortex => "vortex",
+            WorkloadName::Deltablue => "deltablue",
+        }
+    }
+
+    /// True for the benchmarks Dynamo processes without bailing out
+    /// (Figure 5 runs these; gcc/go/ijpeg/vortex are excluded as in the
+    /// paper's Figure 5).
+    pub fn in_dynamo_figure(self) -> bool {
+        matches!(
+            self,
+            WorkloadName::Compress
+                | WorkloadName::M88ksim
+                | WorkloadName::Perl
+                | WorkloadName::Li
+                | WorkloadName::Deltablue
+        )
+    }
+}
+
+impl fmt::Display for WorkloadName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error from parsing a workload name.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseWorkloadError {
+    /// The unrecognized input.
+    pub input: String,
+}
+
+impl fmt::Display for ParseWorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown workload `{}`", self.input)
+    }
+}
+
+impl std::error::Error for ParseWorkloadError {}
+
+impl FromStr for WorkloadName {
+    type Err = ParseWorkloadError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ALL_WORKLOADS
+            .iter()
+            .copied()
+            .find(|w| w.as_str() == s)
+            .ok_or_else(|| ParseWorkloadError { input: s.into() })
+    }
+}
+
+/// A built benchmark: a name and a ready-to-run program (inputs embedded
+/// in the data segment).
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Which benchmark this is.
+    pub name: WorkloadName,
+    /// The scale it was built at.
+    pub scale: Scale,
+    /// The executable program.
+    pub program: Program,
+}
+
+/// Builds one workload at `scale`.
+pub fn build(name: WorkloadName, scale: Scale) -> Workload {
+    let program = match name {
+        WorkloadName::Compress => crate::compress::build(scale),
+        WorkloadName::Gcc => crate::gcc::build(scale),
+        WorkloadName::Go => crate::go::build(scale),
+        WorkloadName::Ijpeg => crate::ijpeg::build(scale),
+        WorkloadName::Li => crate::li::build(scale),
+        WorkloadName::M88ksim => crate::m88ksim::build(scale),
+        WorkloadName::Perl => crate::perl::build(scale),
+        WorkloadName::Vortex => crate::vortex::build(scale),
+        WorkloadName::Deltablue => crate::deltablue::build(scale),
+    };
+    Workload {
+        name,
+        scale,
+        program,
+    }
+}
+
+/// Builds the full nine-benchmark suite at `scale`.
+pub fn suite(scale: Scale) -> Vec<Workload> {
+    ALL_WORKLOADS.iter().map(|&n| build(n, scale)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotpath_vm::{CountingObserver, Vm};
+
+    #[test]
+    fn names_roundtrip() {
+        for w in ALL_WORKLOADS {
+            assert_eq!(w.as_str().parse::<WorkloadName>().unwrap(), w);
+        }
+        assert!("nope".parse::<WorkloadName>().is_err());
+    }
+
+    #[test]
+    fn dynamo_figure_set_matches_paper() {
+        let in_fig: Vec<_> = ALL_WORKLOADS
+            .iter()
+            .filter(|w| w.in_dynamo_figure())
+            .map(|w| w.as_str())
+            .collect();
+        assert_eq!(in_fig, ["compress", "li", "m88ksim", "perl", "deltablue"]);
+    }
+
+    #[test]
+    fn whole_suite_runs_at_smoke_scale() {
+        for w in suite(Scale::Smoke) {
+            let mut vm = Vm::new(&w.program);
+            let stats = vm
+                .run(&mut CountingObserver::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert!(stats.halted, "{} halted", w.name);
+            assert!(
+                stats.blocks_executed > 5_000,
+                "{} executed only {} blocks",
+                w.name,
+                stats.blocks_executed
+            );
+        }
+    }
+}

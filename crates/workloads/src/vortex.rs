@@ -1,0 +1,296 @@
+//! `vortex` — an object store: hash index with collision chains under a
+//! transaction mix.
+//!
+//! SPECint95 `vortex` is an object-oriented database (Table 1: 5,825
+//! paths, 85.8% hot flow). This workload runs lookup/insert/delete
+//! transactions against a chained hash index with a free list; Zipf-skewed
+//! keys make short-chain lookups the hot core while long chains, misses,
+//! and structural updates spread the rest of the flow across thousands of
+//! paths.
+
+use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
+use hotpath_ir::{CmpOp, GlobalReg, Program};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::build_util::{end_loop, loop_up_to, DataLayout};
+use crate::scale::Scale;
+
+const BUCKETS: usize = 512;
+const POOL: usize = 8192; // nodes: (key, val, next+1) triples
+
+/// Builds the `vortex` workload at `scale`.
+pub fn build(scale: Scale) -> Program {
+    let txns = scale.pick(2_000, 70_000, 1_000_000);
+    let stream = generate_transactions(txns, 0x0B6E);
+
+    let mut dl = DataLayout::new();
+    let txn_base = dl.array(txns);
+    let bucket_base = dl.array(BUCKETS);
+    let pool_base = dl.array(POOL * 3);
+    let free_head = dl.word(); // next free node index + 1
+
+    let mut fb = FunctionBuilder::new("main");
+    let nn = fb.imm(txns as i64);
+    let txn_b = fb.imm(txn_base as i64);
+    let bucket_b = fb.imm(bucket_base as i64);
+    let pool_b = fb.imm(pool_base as i64);
+    let free_w = fb.imm(free_head as i64);
+    let hits = fb.imm(0);
+    let misses = fb.imm(0);
+    let w = fb.reg();
+    let op = fb.reg();
+    let key = fb.reg();
+    let h = fb.reg();
+    let addr = fb.reg();
+    let node = fb.reg(); // node index + 1, 0 = nil
+    let prev = fb.reg();
+    let tmp = fb.reg();
+    let nkey = fb.reg();
+
+    let main_loop = loop_up_to(&mut fb, nn);
+    fb.add(addr, txn_b, main_loop.i);
+    fb.load(w, addr, 0);
+    fb.and_imm(op, w, 3);
+    fb.shr_imm(key, w, 2);
+
+    // Key validation, as the real store's schema checks: three unrolled
+    // bit tests contribute independent path bits per transaction.
+    let vchecks: Vec<(hotpath_ir::LocalBlockId, hotpath_ir::LocalBlockId)> =
+        (0..3).map(|_| (fb.new_block(), fb.new_block())).collect();
+    for (k, &(set_b, join_b)) in vchecks.iter().enumerate() {
+        fb.and_imm(tmp, key, 1 << (4 + 2 * k));
+        fb.branch(tmp, set_b, join_b);
+        fb.switch_to(set_b);
+        fb.add_imm(hits, hits, 0); // schema bookkeeping
+        fb.jump(join_b);
+        fb.switch_to(join_b);
+    }
+
+    // h = key * 2654435761 mod 2^31, masked to buckets.
+    fb.mul_imm(h, key, 2_654_435_761);
+    fb.shr_imm(h, h, 16);
+    fb.and_imm(h, h, (BUCKETS - 1) as i64);
+
+    // Chain walk shared by all operations: find key, tracking predecessor.
+    // The walk is unrolled two nodes per iteration, and each probe tests
+    // the key's low nibble before the full key (a hash-prefilter, as the
+    // real index code does) — so one walk iteration carries several
+    // data-dependent bits, the source of vortex's path spread.
+    let walk_hdr = fb.new_block();
+    let probes: Vec<[hotpath_ir::LocalBlockId; 4]> = (0..2)
+        .map(|_| [fb.new_block(), fb.new_block(), fb.new_block(), fb.new_block()])
+        .collect();
+    let walk_latch = fb.new_block();
+    let walk_done = fb.new_block();
+    fb.add(addr, bucket_b, h);
+    fb.load(node, addr, 0);
+    fb.const_(prev, 0);
+    let klow = fb.reg();
+    fb.and_imm(klow, key, 15);
+    fb.jump(walk_hdr);
+    fb.switch_to(walk_hdr);
+    for u in 0..2 {
+        let [test, full, advance, next_probe] = probes[u];
+        let nil = fb.cmp_imm(CmpOp::Eq, node, 0);
+        fb.branch(nil, walk_done, test);
+        fb.switch_to(test);
+        fb.add_imm(tmp, node, -1);
+        fb.mul_imm(tmp, tmp, 3);
+        fb.add(tmp, tmp, pool_b);
+        fb.load(nkey, tmp, 0);
+        let nk_low = fb.reg();
+        fb.and_imm(nk_low, nkey, 15);
+        let low_eq = fb.cmp(CmpOp::Eq, nk_low, klow);
+        fb.branch(low_eq, full, advance);
+        fb.switch_to(full);
+        let found = fb.cmp(CmpOp::Eq, nkey, key);
+        fb.branch(found, walk_done, advance);
+        fb.switch_to(advance);
+        fb.mov(prev, node);
+        fb.load(node, tmp, 2); // next
+        fb.jump(next_probe);
+        fb.switch_to(next_probe);
+    }
+    fb.jump(walk_latch);
+    fb.switch_to(walk_latch);
+    fb.jump(walk_hdr); // backward: chain-walk latch
+    fb.switch_to(walk_done);
+
+    // Dispatch on operation.
+    let do_lookup = fb.new_block();
+    let lk_hit = fb.new_block();
+    let type_blocks: Vec<hotpath_ir::LocalBlockId> = (0..8).map(|_| fb.new_block()).collect();
+    let lk_miss = fb.new_block();
+    let do_insert = fb.new_block();
+    let ins_update = fb.new_block();
+    let ins_fresh = fb.new_block();
+    let ins_nopool = fb.new_block();
+    let do_delete = fb.new_block();
+    let del_hit = fb.new_block();
+    let del_head = fb.new_block();
+    let del_mid = fb.new_block();
+    let del_free = fb.new_block();
+    let del_miss = fb.new_block();
+    let txn_done = fb.new_block();
+    fb.switch(op, vec![do_lookup, do_lookup, do_insert, do_delete], txn_done);
+
+    // Lookup.
+    fb.switch_to(do_lookup);
+    let have = fb.cmp_imm(CmpOp::Ne, node, 0);
+    fb.branch(have, lk_hit, lk_miss);
+    fb.switch_to(lk_hit);
+    fb.add_imm(tmp, node, -1);
+    fb.mul_imm(tmp, tmp, 3);
+    fb.add(tmp, tmp, pool_b);
+    fb.load(w, tmp, 1);
+    fb.add_imm(w, w, 1);
+    fb.store(w, tmp, 1); // touch the object
+    fb.add_imm(hits, hits, 1);
+    // Object-type dispatch: the store's classes handle a hit differently.
+    let otype = fb.reg();
+    fb.and_imm(otype, key, 7);
+    fb.switch(otype, type_blocks.clone(), txn_done);
+    for (k, tb) in type_blocks.iter().enumerate() {
+        fb.switch_to(*tb);
+        fb.add_imm(hits, hits, (k % 2) as i64);
+        fb.jump(txn_done);
+    }
+    fb.switch_to(lk_miss);
+    fb.add_imm(misses, misses, 1);
+    fb.jump(txn_done);
+
+    // Insert: update in place on hit, else take a node from the free list
+    // and push it at the bucket head.
+    fb.switch_to(do_insert);
+    let present = fb.cmp_imm(CmpOp::Ne, node, 0);
+    fb.branch(present, ins_update, ins_fresh);
+    fb.switch_to(ins_update);
+    fb.add_imm(tmp, node, -1);
+    fb.mul_imm(tmp, tmp, 3);
+    fb.add(tmp, tmp, pool_b);
+    fb.store(key, tmp, 1);
+    fb.jump(txn_done);
+    fb.switch_to(ins_fresh);
+    fb.load(node, free_w, 0);
+    let pool_ok = fb.cmp_imm(CmpOp::Ne, node, 0);
+    fb.branch(pool_ok, ins_nopool, txn_done); // inverted label: ok -> work
+    fb.switch_to(ins_nopool);
+    // advance free list: free = node.next
+    fb.add_imm(tmp, node, -1);
+    fb.mul_imm(tmp, tmp, 3);
+    fb.add(tmp, tmp, pool_b);
+    fb.load(w, tmp, 2);
+    fb.store(w, free_w, 0);
+    // fill node and link at head
+    fb.store(key, tmp, 0);
+    fb.store(main_loop.i, tmp, 1);
+    fb.add(addr, bucket_b, h);
+    fb.load(w, addr, 0);
+    fb.store(w, tmp, 2);
+    fb.store(node, addr, 0);
+    fb.jump(txn_done);
+
+    // Delete: unlink (head or middle) and return the node to the free
+    // list.
+    fb.switch_to(do_delete);
+    let gone = fb.cmp_imm(CmpOp::Eq, node, 0);
+    fb.branch(gone, del_miss, del_hit);
+    fb.switch_to(del_hit);
+    fb.add_imm(tmp, node, -1);
+    fb.mul_imm(tmp, tmp, 3);
+    fb.add(tmp, tmp, pool_b);
+    fb.load(w, tmp, 2); // successor
+    let at_head = fb.cmp_imm(CmpOp::Eq, prev, 0);
+    fb.branch(at_head, del_head, del_mid);
+    fb.switch_to(del_head);
+    fb.add(addr, bucket_b, h);
+    fb.store(w, addr, 0);
+    fb.jump(del_free);
+    fb.switch_to(del_mid);
+    fb.add_imm(addr, prev, -1);
+    fb.mul_imm(addr, addr, 3);
+    fb.add(addr, addr, pool_b);
+    fb.store(w, addr, 2);
+    fb.jump(del_free);
+    fb.switch_to(del_free);
+    fb.load(w, free_w, 0);
+    fb.store(w, tmp, 2);
+    fb.store(node, free_w, 0);
+    fb.jump(txn_done);
+    fb.switch_to(del_miss);
+    fb.add_imm(misses, misses, 1);
+    fb.jump(txn_done);
+
+    fb.switch_to(txn_done);
+    end_loop(&mut fb, &main_loop, 1);
+    fb.set_global(GlobalReg::new(0), hits);
+    fb.set_global(GlobalReg::new(1), misses);
+    fb.halt();
+
+    let mut pb = ProgramBuilder::new();
+    pb.add_function(fb).expect("vortex builds");
+    pb.memory_words(dl.total());
+    for (k, &t) in stream.iter().enumerate() {
+        if t != 0 {
+            pb.datum(txn_base + k, t);
+        }
+    }
+    // Free list: node k -> k+1, last -> nil; head = 1.
+    for k in 0..POOL {
+        let next = if k + 1 < POOL { (k + 2) as i64 } else { 0 };
+        if next != 0 {
+            pb.datum(pool_base + k * 3 + 2, next);
+        }
+    }
+    pb.datum(free_head, 1);
+    pb.finish().expect("vortex validates")
+}
+
+/// Transaction stream: 55% lookups (ops 0/1), 30% inserts, 15% deletes;
+/// keys are Zipf-skewed over a 4k space.
+fn generate_transactions(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let r = rng.gen_range(0..100);
+            let op = if r < 55 {
+                rng.gen_range(0..2)
+            } else if r < 85 {
+                2
+            } else {
+                3
+            };
+            // Zipf-ish: 70% of traffic on 64 hot keys.
+            let key = if rng.gen_bool(0.7) {
+                rng.gen_range(0..64i64)
+            } else {
+                rng.gen_range(0..4096i64)
+            };
+            op | (key << 2)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotpath_vm::{CountingObserver, Vm};
+
+    #[test]
+    fn vortex_runs_with_hits_and_misses() {
+        let p = build(Scale::Smoke);
+        let mut vm = Vm::new(&p);
+        let stats = vm.run(&mut CountingObserver::default()).unwrap();
+        assert!(stats.halted);
+        let hits = vm.global(GlobalReg::new(0));
+        let misses = vm.global(GlobalReg::new(1));
+        assert!(hits > 0, "hot keys get re-looked-up");
+        assert!(misses > 0, "cold keys miss");
+    }
+
+    #[test]
+    fn deterministic_build() {
+        assert_eq!(build(Scale::Smoke), build(Scale::Smoke));
+    }
+}

@@ -1,0 +1,79 @@
+//! Assemble, run, and profile a `.hpasm` program from the command line.
+//!
+//! ```text
+//! cargo run --release --example asm_runner -- path/to/program.hpasm
+//! ```
+//!
+//! With no argument, runs a built-in demo program and prints its path
+//! profile — useful as a template for writing your own.
+
+use hotpath::ir::parse_program;
+use hotpath::ir::pretty::program_to_string;
+use hotpath::prelude::*;
+
+const DEMO: &str = r"
+// A loop with a rare arm every 8th iteration.
+fn0 main (entry):
+  b0:
+    r0 = const 0
+    jump b1
+  b1:
+    r1 = cmp.lt r0, #50000
+    br r1 ? b2 : b6
+  b2:
+    r2 = and r0, #7
+    r3 = cmp.eq r2, #7
+    br r3 ? b3 : b4
+  b3:
+    g0 = r0
+    jump b5
+  b4:
+    jump b5
+  b5:
+    r0 = add r0, #1
+    jump b1
+  b6:
+    halt
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (source, label) = match std::env::args().nth(1) {
+        Some(path) => (std::fs::read_to_string(&path)?, path),
+        None => (DEMO.to_string(), "<built-in demo>".to_string()),
+    };
+    let program = parse_program(&source)?;
+    println!("assembled {label}:");
+    print!("{}", program_to_string(&program, None));
+
+    let mut extractor = PathExtractor::new(StreamingSink::new());
+    let stats = Vm::new(&program).run(&mut extractor)?;
+    let (sink, table) = extractor.into_parts();
+    let stream = sink.into_stream();
+    let profile = stream.to_profile();
+
+    println!(
+        "ran: {} blocks, {} instructions, {} paths ({} distinct, {} heads)",
+        stats.blocks_executed,
+        stats.insts_executed,
+        stream.len(),
+        table.len(),
+        table.unique_heads()
+    );
+    println!("top 5 paths:");
+    for (id, freq) in profile.top_n(5) {
+        let info = table.info(id);
+        println!(
+            "  {id}: freq={freq} head={} blocks={} insts={}",
+            info.head, info.blocks, info.insts
+        );
+    }
+    let hot = profile.hot_set(0.001);
+    let outcome = evaluate(&stream, &table, &hot, &mut NetPredictor::new(50));
+    println!(
+        "NET tau=50: hit {:.2}%, noise {:.2}%, {} head counters",
+        outcome.hit_rate(),
+        outcome.noise_rate(),
+        outcome.counter_space
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Run a benchmark under the Dynamo simulation and compare prediction
+//! schemes, reproducing one row of the paper's Figure 5.
+//!
+//! ```text
+//! cargo run --release --example dynamo_speedup -- deltablue small
+//! ```
+
+use hotpath::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name: WorkloadName = args
+        .next()
+        .unwrap_or_else(|| "deltablue".into())
+        .parse()?;
+    let scale = match args.next().as_deref() {
+        None | Some("small") => Scale::Small,
+        Some("smoke") => Scale::Smoke,
+        Some("full") => Scale::Full,
+        Some(other) => return Err(format!("unknown scale `{other}`").into()),
+    };
+
+    let w = build(name, scale);
+    let native = run_native(&w.program)?;
+    println!("{name} @ {scale}: native = {native:.0} cycles\n");
+    println!(
+        "{:<12} {:>5} {:>9} {:>8} {:>7} {:>8} {:>9}",
+        "scheme", "tau", "speedup", "cached", "frags", "flushes", "bail-out"
+    );
+    for scheme in [Scheme::Net, Scheme::PathProfile] {
+        for delay in [10u64, 50, 100] {
+            let out = run_dynamo(&w.program, &DynamoConfig::new(scheme, delay))?;
+            println!(
+                "{:<12} {:>5} {:>+8.1}% {:>7.1}% {:>7} {:>8} {:>9}",
+                scheme.to_string(),
+                delay,
+                out.speedup_percent(native),
+                out.cached_block_fraction * 100.0,
+                out.fragments_installed,
+                out.flushes,
+                out.bailed_out
+            );
+        }
+    }
+    println!(
+        "\ncycle breakdown at NET tau=50 (interp/trace/profiling/build/transitions):"
+    );
+    let out = run_dynamo(&w.program, &DynamoConfig::new(Scheme::Net, 50))?;
+    let c = out.cycles;
+    println!(
+        "  {:.0} / {:.0} / {:.0} / {:.0} / {:.0}  (total {:.0})",
+        c.interp,
+        c.trace,
+        c.profiling,
+        c.build,
+        c.transitions,
+        c.total()
+    );
+    Ok(())
+}

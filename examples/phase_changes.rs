@@ -1,0 +1,104 @@
+//! Phase changes and the cache-flush heuristic (paper §6.1).
+//!
+//! Builds a program with three sharply different phases — each a loop with
+//! eight path shapes over code the other phases never touch — and runs
+//! Dynamo with and without the prediction-rate-spike flush. Entering a
+//! new phase fires a burst of predictions; the detector flushes, evicting
+//! the previous phase's now-cold fragments.
+//!
+//! ```text
+//! cargo run --release --example phase_changes
+//! ```
+
+use hotpath::prelude::*;
+
+fn phased_program(phase_len: i64) -> Result<Program, Box<dyn std::error::Error>> {
+    let mut fb = FunctionBuilder::new("main");
+    let acc = fb.imm(0);
+
+    // Three phases; each is a loop whose body evaluates three independent
+    // data-dependent branches (eight path shapes per phase). Entering a
+    // new phase makes ~8 predictions fire in a burst — the §6.1 spike
+    // signature.
+    for phase in 0..3i64 {
+        let i = fb.reg();
+        let m = fb.reg();
+        let header = fb.new_block();
+        let body = fb.new_block();
+        // Pre-create arm/join blocks in layout order.
+        let arms: Vec<(hotpath::ir::LocalBlockId, hotpath::ir::LocalBlockId, hotpath::ir::LocalBlockId)> =
+            (0..3).map(|_| (fb.new_block(), fb.new_block(), fb.new_block())).collect();
+        let latch = fb.new_block();
+        let exit = fb.new_block();
+
+        fb.const_(i, 0);
+        fb.jump(header);
+        fb.switch_to(header);
+        let c = fb.cmp_imm(CmpOp::Lt, i, phase_len);
+        fb.branch(c, body, exit);
+        fb.switch_to(body);
+        for (k, &(t, f, join)) in arms.iter().enumerate() {
+            // Each phase keys its branches off different bits, so the
+            // shapes differ across phases.
+            fb.and_imm(m, i, 1 << ((k as i64 + phase) % 5));
+            fb.branch(m, t, f);
+            fb.switch_to(t);
+            fb.add_imm(acc, acc, phase + 1);
+            fb.jump(join);
+            fb.switch_to(f);
+            fb.add_imm(acc, acc, 1);
+            fb.jump(join);
+            fb.switch_to(join);
+        }
+        fb.jump(latch);
+        fb.switch_to(latch);
+        fb.add_imm(i, i, 1);
+        fb.jump(header);
+        fb.switch_to(exit);
+    }
+    fb.set_global(GlobalReg::new(0), acc);
+    fb.halt();
+
+    let mut pb = ProgramBuilder::new();
+    pb.add_function(fb)?;
+    Ok(pb.finish()?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = phased_program(300_000)?;
+    let native = run_native(&program)?;
+
+    let mut plain = DynamoConfig::new(Scheme::Net, 50);
+    plain.flush = FlushPolicy::Never;
+    let without = run_dynamo(&program, &plain)?;
+
+    let mut spiky = DynamoConfig::new(Scheme::Net, 50);
+    spiky.flush = FlushPolicy::OnSpike {
+        window: 5_000,
+        factor: 5.0,
+        min_predictions: 4,
+    };
+    let with = run_dynamo(&program, &spiky)?;
+
+    println!("three-phase program, native = {native:.0} cycles");
+    println!(
+        "no flush   : speedup {:+.1}%, {} fragments live at end, {} flushes",
+        without.speedup_percent(native),
+        without.fragments_live,
+        without.flushes
+    );
+    println!(
+        "spike flush: speedup {:+.1}%, {} fragments live at end, {} flushes ({} by spike)",
+        with.speedup_percent(native),
+        with.fragments_live,
+        with.flushes,
+        with.spike_flushes
+    );
+    println!(
+        "\nwithout flushing, fragments from all three phases pile up; with the\n\
+         spike heuristic the cache is emptied at each phase boundary, so the\n\
+         live set at program end reflects only the final phase's working set\n\
+         (phase-induced noise evicted) at essentially no speedup cost."
+    );
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Explore a benchmark's path profile: flow, hot set, top paths, heads.
+//!
+//! ```text
+//! cargo run --release --example profile_explorer -- m88ksim small
+//! ```
+
+use hotpath::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name: WorkloadName = args
+        .next()
+        .unwrap_or_else(|| "compress".into())
+        .parse()?;
+    let scale = match args.next().as_deref() {
+        None | Some("smoke") => Scale::Smoke,
+        Some("small") => Scale::Small,
+        Some("full") => Scale::Full,
+        Some(other) => return Err(format!("unknown scale `{other}`").into()),
+    };
+
+    let w = build(name, scale);
+    println!(
+        "{name} @ {scale}: {} functions, {} blocks, {} memory words",
+        w.program.functions.len(),
+        w.program.total_blocks(),
+        w.program.memory_words
+    );
+
+    let mut extractor = PathExtractor::new(StreamingSink::new());
+    let stats = Vm::new(&w.program).run(&mut extractor)?;
+    let (sink, table) = extractor.into_parts();
+    let stream = sink.into_stream();
+    let profile = stream.to_profile();
+    let hot = profile.hot_set(0.001);
+
+    println!(
+        "flow {} | {} paths | {} heads | {} blocks executed | {} instructions",
+        stream.len(),
+        table.len(),
+        table.unique_heads(),
+        stats.blocks_executed,
+        stats.insts_executed
+    );
+    println!(
+        "0.1% hot set: {} paths capturing {:.1}% of the flow",
+        hot.len(),
+        hot.flow_percentage()
+    );
+
+    println!("\ntop 10 paths by frequency:");
+    println!(
+        "{:>4} {:>10} {:>8} {:>7} {:>7}  {}",
+        "#", "freq", "freq%", "blocks", "insts", "head"
+    );
+    for (rank, (id, freq)) in profile.top_n(10).into_iter().enumerate() {
+        let info = table.info(id);
+        println!(
+            "{:>4} {:>10} {:>7.2}% {:>7} {:>7}  {}",
+            rank + 1,
+            freq,
+            freq as f64 / stream.len() as f64 * 100.0,
+            info.blocks,
+            info.insts,
+            info.head
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,203 @@
+//! Property-based tests over randomly generated programs.
+
+use std::collections::HashMap;
+
+use hotpath::ir::ball_larus::BallLarus;
+use hotpath::ir::gen::{generate, GenConfig};
+use hotpath::prelude::*;
+use hotpath::profiles::{PathExecution, PathId, PathSink};
+use hotpath::vm::{BlockEvent, ExecutionObserver};
+use proptest::prelude::*;
+
+/// Observer that records each completed path's exact block sequence and
+/// checks that one [`PathId`] always maps to one sequence.
+#[derive(Default)]
+struct IdentityChecker {
+    extractor: Option<PathExtractor<LastId>>,
+    cur: Vec<u32>,
+    by_id: HashMap<PathId, Vec<u32>>,
+    violations: usize,
+}
+
+#[derive(Default)]
+struct LastId(Option<PathExecution>);
+
+impl PathSink for LastId {
+    fn on_path(&mut self, exec: &PathExecution) {
+        self.0 = Some(*exec);
+    }
+}
+
+impl IdentityChecker {
+    fn new() -> Self {
+        IdentityChecker {
+            extractor: Some(PathExtractor::new(LastId::default())),
+            ..Default::default()
+        }
+    }
+
+    fn check_completed(&mut self) {
+        let ex = self.extractor.as_mut().expect("present");
+        if let Some(exec) = ex.sink_mut().0.take() {
+            let blocks = std::mem::take(&mut self.cur);
+            match self.by_id.entry(exec.path) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if e.get() != &blocks {
+                        self.violations += 1;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(blocks);
+                }
+            }
+        }
+    }
+}
+
+impl ExecutionObserver for IdentityChecker {
+    fn on_block(&mut self, event: &BlockEvent) {
+        self.extractor.as_mut().expect("present").on_block(event);
+        self.check_completed();
+        self.cur.push(event.block.as_u32());
+    }
+
+    fn on_halt(&mut self) {
+        self.extractor.as_mut().expect("present").on_halt();
+        self.check_completed();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Ball–Larus numbering is a bijection: decode is injective over
+    /// `0..num_paths` and encode inverts it, for every function of a
+    /// random structured program.
+    #[test]
+    fn ball_larus_numbering_is_a_bijection(seed in 0u64..10_000) {
+        let program = generate(seed, &GenConfig::default());
+        for func in &program.functions {
+            let bl = BallLarus::new(func).expect("generated CFGs are reducible");
+            let n = bl.num_paths();
+            prop_assume!(n <= 512); // keep enumeration cheap
+            let mut seen = std::collections::HashSet::new();
+            for id in 0..n {
+                let blocks = bl.decode(id).expect("id in range decodes");
+                prop_assert!(seen.insert(blocks.clone()), "duplicate path for {id}");
+                prop_assert_eq!(bl.encode(&blocks), Some(id));
+            }
+        }
+    }
+
+    /// Path extraction partitions the dynamic block stream exactly, and
+    /// every non-initial path starts where the previous one ended.
+    #[test]
+    fn extraction_partitions_random_runs(seed in 0u64..10_000) {
+        let program = generate(seed, &GenConfig::default());
+        let mut ex = PathExtractor::new(StreamingSink::new());
+        let stats = Vm::new(&program)
+            .with_config(RunConfig { max_blocks: 2_000_000, ..RunConfig::default() })
+            .run(&mut ex)
+            .expect("generated programs halt");
+        let (sink, table) = ex.into_parts();
+        let stream = sink.into_stream();
+        let total: u64 = (0..stream.len())
+            .map(|i| table.info(stream.path(i)).blocks as u64)
+            .sum();
+        prop_assert_eq!(total, stats.blocks_executed);
+        prop_assert!(stream.ended());
+    }
+
+    /// Same seed, same everything: builds, streams, and tables.
+    #[test]
+    fn random_runs_are_deterministic(seed in 0u64..10_000) {
+        let run = || {
+            let program = generate(seed, &GenConfig::default());
+            let mut ex = PathExtractor::new(StreamingSink::new());
+            Vm::new(&program).run(&mut ex).expect("halts");
+            let (sink, table) = ex.into_parts();
+            (sink.into_stream(), table)
+        };
+        let (s1, t1) = run();
+        let (s2, t2) = run();
+        prop_assert_eq!(s1.len(), s2.len());
+        prop_assert_eq!(t1.len(), t2.len());
+        for i in 0..s1.len() {
+            prop_assert_eq!(s1.path(i), s2.path(i));
+        }
+    }
+
+    /// The evaluator's flow identity holds for arbitrary programs and
+    /// delays, for both schemes.
+    #[test]
+    fn metric_flow_identity(seed in 0u64..5_000, delay in 1u64..500) {
+        let program = generate(seed, &GenConfig::default());
+        let mut ex = PathExtractor::new(StreamingSink::new());
+        Vm::new(&program).run(&mut ex).expect("halts");
+        let (sink, table) = ex.into_parts();
+        let stream = sink.into_stream();
+        let hot = stream.to_profile().hot_set(0.001);
+        for outcome in [
+            evaluate(&stream, &table, &hot, &mut NetPredictor::new(delay)),
+            evaluate(&stream, &table, &hot, &mut PathProfilePredictor::new(delay)),
+        ] {
+            prop_assert_eq!(
+                outcome.profiled_flow + outcome.hits + outcome.noise,
+                outcome.total_flow
+            );
+            prop_assert!(outcome.hit_rate() <= 100.0 + 1e-9);
+            prop_assert!(outcome.hit_rate() >= 0.0);
+            prop_assert!(outcome.profiled_flow_pct() <= 100.0 + 1e-9);
+        }
+    }
+
+    /// One PathId, one block sequence: the bit-tracing signature is a
+    /// faithful identity over arbitrary programs (same id never maps to
+    /// two different sequences).
+    #[test]
+    fn path_ids_identify_block_sequences(seed in 0u64..10_000) {
+        let program = generate(seed, &GenConfig::default());
+        let mut checker = IdentityChecker::new();
+        Vm::new(&program).run(&mut checker).expect("halts");
+        prop_assert_eq!(checker.violations, 0);
+    }
+
+    /// Hot sets are monotone in the threshold fraction: a stricter
+    /// threshold selects a subset with no more flow.
+    #[test]
+    fn hot_sets_are_monotone(seed in 0u64..10_000) {
+        let program = generate(seed, &GenConfig::default());
+        let mut ex = PathExtractor::new(StreamingSink::new());
+        Vm::new(&program).run(&mut ex).expect("halts");
+        let (sink, _) = ex.into_parts();
+        let profile = sink.into_stream().to_profile();
+        let loose = profile.hot_set(0.001);
+        let strict = profile.hot_set(0.05);
+        prop_assert!(strict.len() <= loose.len());
+        prop_assert!(strict.hot_flow() <= loose.hot_flow());
+        for p in strict.paths() {
+            prop_assert!(loose.contains(*p), "strict ⊆ loose");
+        }
+    }
+
+    /// Dynamo cycle accounting: total cycles are positive and the
+    /// breakdown sums to the total; bail-out implies native cycles.
+    #[test]
+    fn dynamo_accounting_is_consistent(seed in 0u64..2_000) {
+        let program = generate(seed, &GenConfig {
+            max_depth: 4,
+            max_trip: 12,
+            ..GenConfig::default()
+        });
+        let out = run_dynamo(&program, &DynamoConfig::new(Scheme::Net, 5))
+            .expect("generated programs halt");
+        let c = out.cycles;
+        let sum = c.interp + c.trace + c.native + c.profiling + c.build + c.transitions;
+        prop_assert!((sum - c.total()).abs() < 1e-6);
+        prop_assert!(c.total() > 0.0);
+        if !out.bailed_out {
+            prop_assert_eq!(c.native, 0.0);
+        }
+        prop_assert!(out.cached_block_fraction >= 0.0 && out.cached_block_fraction <= 1.0);
+    }
+}
