@@ -1,0 +1,254 @@
+//! `perf_baseline` — end-to-end throughput of the profiling pipeline.
+//!
+//! Measures blocks interpreted per second over the workload suite for four
+//! configurations, without any external benchmark framework:
+//!
+//! * `native` — the bare VM with a [`CountingObserver`] (the floor all
+//!   profiling overhead is measured against),
+//! * `net` — VM + path extraction feeding a [`NetPredictor`] at Dynamo's
+//!   shipped delay τ=50 (the paper's "less is more" configuration),
+//! * `ball_larus` — VM + runtime Ball–Larus path profiling (the "more"
+//!   being compared against),
+//! * `dynamo` — the full fragment-cache engine under the NET scheme.
+//!
+//! Each (workload, mode) pair runs `--reps` times and keeps the fastest
+//! repetition; per-mode totals are summed over the suite. Results append to
+//! a JSON file (default `BENCH_perf.json`) as one labelled run, so a
+//! before/after pair of invocations (`--label hashmap-baseline`, then
+//! `--label dense-tables`) accumulates into a single comparable document,
+//! and any earlier labelled runs found in the file are printed as speedup
+//! ratios.
+//!
+//! Usage: `perf_baseline [--scale smoke|small|full] [--label NAME]
+//! [--reps N] [--json PATH]`
+
+use std::fmt::Write as _;
+use std::fs;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use hotpath_core::{HotPathPredictor, NetPredictor};
+use hotpath_dynamo::{run_dynamo, DynamoConfig, Scheme};
+use hotpath_profiles::{BallLarusProfiler, PathExecution, PathExtractor, PathSink};
+use hotpath_vm::{CountingObserver, Vm};
+use hotpath_workloads::{build, Scale, ALL_WORKLOADS};
+
+/// Dynamo's shipped NET prediction delay (paper §5).
+const NET_DELAY: u64 = 50;
+
+/// The measured modes, in report order.
+const MODES: [&str; 4] = ["native", "net", "ball_larus", "dynamo"];
+
+/// Feeds completed paths straight into a NET predictor, discarding the
+/// predictions — this measures profiling cost, not prediction quality.
+struct NetSink(NetPredictor);
+
+impl PathSink for NetSink {
+    fn on_path(&mut self, exec: &PathExecution) {
+        black_box(self.0.observe(exec));
+    }
+}
+
+struct Args {
+    scale: Scale,
+    label: String,
+    reps: u32,
+    json: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: Scale::Small,
+        label: "current".to_string(),
+        reps: 3,
+        json: PathBuf::from("BENCH_perf.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match a.as_str() {
+            "--scale" => {
+                args.scale = match value("--scale").as_str() {
+                    "smoke" => Scale::Smoke,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => panic!("unknown scale `{other}` (smoke|small|full)"),
+                }
+            }
+            "--label" => args.label = value("--label"),
+            "--reps" => {
+                args.reps = value("--reps").parse().expect("--reps takes a number");
+                assert!(args.reps > 0, "--reps must be positive");
+            }
+            "--json" => args.json = PathBuf::from(value("--json")),
+            other => panic!(
+                "unknown argument `{other}` (usage: [--scale smoke|small|full] \
+                 [--label NAME] [--reps N] [--json PATH])"
+            ),
+        }
+    }
+    args
+}
+
+/// Fastest-of-`reps` wall time for one closure.
+fn best_secs(reps: u32, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Smoke => "smoke",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "[perf] scale={} reps={} label={}",
+        scale_name(args.scale),
+        args.reps,
+        args.label
+    );
+
+    // blocks and per-mode best times, summed over the suite.
+    let mut total_blocks: u64 = 0;
+    let mut mode_secs = [0.0f64; 4];
+
+    for name in ALL_WORKLOADS {
+        let w = build(name, args.scale);
+        let p = &w.program;
+
+        // Native VM run also establishes the dynamic block count every
+        // other mode interprets (the workloads are deterministic).
+        let stats = Vm::new(p)
+            .run(&mut CountingObserver::default())
+            .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        let blocks = stats.blocks_executed;
+        total_blocks += blocks;
+
+        let native = best_secs(args.reps, || {
+            let mut obs = CountingObserver::default();
+            black_box(Vm::new(p).run(&mut obs).expect("native run"));
+            black_box(obs);
+        });
+        let net = best_secs(args.reps, || {
+            let mut ex = PathExtractor::new(NetSink(NetPredictor::new(NET_DELAY)));
+            black_box(Vm::new(p).run(&mut ex).expect("net run"));
+            black_box(ex.into_parts());
+        });
+        let bl = best_secs(args.reps, || {
+            let mut profiler = BallLarusProfiler::new(p).expect("reducible CFGs");
+            black_box(Vm::new(p).run(&mut profiler).expect("ball-larus run"));
+            black_box(profiler.distinct_paths());
+        });
+        let dynamo = best_secs(args.reps, || {
+            let out = run_dynamo(p, &DynamoConfig::new(Scheme::Net, NET_DELAY))
+                .expect("dynamo run");
+            black_box(out);
+        });
+
+        for (slot, secs) in mode_secs.iter_mut().zip([native, net, bl, dynamo]) {
+            *slot += secs;
+        }
+        eprintln!(
+            "[perf] {:<10} blocks={:>11} native={:.3}s net={:.3}s bl={:.3}s dynamo={:.3}s",
+            name.to_string(),
+            blocks,
+            native,
+            net,
+            bl,
+            dynamo
+        );
+    }
+
+    println!(
+        "\n=== perf_baseline: {} (scale {}, best of {} reps) ===",
+        args.label,
+        scale_name(args.scale),
+        args.reps
+    );
+    println!("{:<12} {:>10} {:>16}", "mode", "secs", "blocks/sec");
+    let mut run_json = String::new();
+    let _ = writeln!(run_json, "    {{");
+    let _ = writeln!(run_json, "      \"label\": \"{}\",", args.label);
+    let _ = writeln!(run_json, "      \"scale\": \"{}\",", scale_name(args.scale));
+    let _ = writeln!(run_json, "      \"reps\": {},", args.reps);
+    let _ = writeln!(run_json, "      \"total_blocks\": {},", total_blocks);
+    let _ = writeln!(run_json, "      \"modes\": {{");
+    for (i, (mode, secs)) in MODES.iter().zip(mode_secs).enumerate() {
+        let rate = total_blocks as f64 / secs;
+        println!("{mode:<12} {secs:>10.3} {rate:>16.0}");
+        let comma = if i + 1 < MODES.len() { "," } else { "" };
+        let _ = writeln!(
+            run_json,
+            "        \"{mode}\": {{\"secs\": {secs:.6}, \"blocks_per_sec\": {rate:.0}}}{comma}"
+        );
+    }
+    let _ = writeln!(run_json, "      }}");
+    let _ = write!(run_json, "    }}");
+
+    // Append this run to the JSON document (creating it if needed), and
+    // report speedups against any earlier labelled runs it already holds.
+    let existing = fs::read_to_string(&args.json).ok();
+    if let Some(prev) = &existing {
+        report_speedups(prev, &mode_secs, total_blocks);
+    }
+    let doc = match existing {
+        Some(prev) => {
+            let trimmed = prev.trim_end();
+            let body = trimmed
+                .strip_suffix("\n  ]\n}")
+                .or_else(|| trimmed.strip_suffix("]\n}"))
+                .unwrap_or_else(|| {
+                    panic!("{} exists but is not a perf_baseline document", args.json.display())
+                })
+                .trim_end();
+            format!("{body},\n{run_json}\n  ]\n}}\n")
+        }
+        None => format!("{{\n  \"runs\": [\n{run_json}\n  ]\n}}\n"),
+    };
+    fs::write(&args.json, doc).expect("write json");
+    eprintln!("[perf] appended run `{}` to {}", args.label, args.json.display());
+}
+
+/// Prints blocks/sec ratios of this run against each labelled run already
+/// in the document. The document is our own controlled format, so a simple
+/// line scan suffices instead of a JSON parser.
+fn report_speedups(prev: &str, mode_secs: &[f64; 4], total_blocks: u64) {
+    let mut label: Option<String> = None;
+    let mut prev_rates: Vec<f64> = Vec::new();
+    let flush = |label: &Option<String>, rates: &Vec<f64>| {
+        if let (Some(l), true) = (label, rates.len() == MODES.len()) {
+            println!("\n--- speedup vs `{l}` (blocks/sec ratio) ---");
+            for ((mode, &prev_rate), &secs) in MODES.iter().zip(rates).zip(mode_secs) {
+                let now = total_blocks as f64 / secs;
+                println!("{mode:<12} {:>7.2}x", now / prev_rate);
+            }
+        }
+    };
+    for line in prev.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("\"label\": \"") {
+            flush(&label, &prev_rates);
+            label = rest.strip_suffix("\",").map(str::to_string);
+            prev_rates.clear();
+        } else if let Some(idx) = t.find("\"blocks_per_sec\": ") {
+            let num = t[idx + "\"blocks_per_sec\": ".len()..]
+                .trim_end_matches(['}', ','])
+                .trim();
+            if let Ok(r) = num.parse::<f64>() {
+                prev_rates.push(r);
+            }
+        }
+    }
+    flush(&label, &prev_rates);
+}

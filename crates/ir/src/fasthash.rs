@@ -1,0 +1,134 @@
+//! A tiny dependency-free FxHash-style hasher for hot-loop hash tables.
+//!
+//! The default `std::collections::HashMap` hasher is SipHash-1-3: strong
+//! against collision flooding, but several times slower than needed for the
+//! profiling hot loops, whose keys (path signatures, branch-target windows,
+//! Ball–Larus `(func, path)` pairs) are program-controlled, not
+//! attacker-controlled. [`FxHasher`] reproduces the multiply-xor scheme
+//! rustc itself uses (`rustc-hash`): fold each 8-byte word into the state
+//! with one xor, one rotate, and one multiply by a 64-bit constant.
+//!
+//! Downstream crates use it through the [`FxHashMap`] / [`FxHashSet`]
+//! aliases; `hotpath-core` re-exports this module as
+//! `hotpath_core::fasthash`.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx multiply constant (π-derived, as in `rustc-hash`).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash state: one `u64`, folded word by word.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash + ?Sized>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_ne!(hash_of(&42u64), hash_of(&43u64));
+        assert_ne!(hash_of(&(1u32, 2u128)), hash_of(&(2u32, 1u128)));
+        assert_ne!(hash_of(&[1u32, 2, 3][..]), hash_of(&[1u32, 2][..]));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<(u32, u128), u64> = FxHashMap::default();
+        for i in 0..1_000u32 {
+            *m.entry((i % 37, i as u128)).or_insert(0) += 1;
+        }
+        assert_eq!(m.len(), 1_000);
+        assert_eq!(m[&(0, 0u128)], 1);
+
+        let mut s: FxHashSet<Vec<u32>> = FxHashSet::default();
+        assert!(s.insert(vec![1, 2, 3]));
+        assert!(!s.insert(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn byte_stream_tail_is_hashed() {
+        // Sub-word tails must affect the hash.
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 10]);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

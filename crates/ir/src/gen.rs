@@ -7,8 +7,7 @@
 //! validates, every CFG is reducible (Ball–Larus numbering succeeds), and
 //! every run halts within a predictable block budget.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng64;
 
 use crate::builder::{FunctionBuilder, ProgramBuilder};
 use crate::ids::{FuncId, GlobalReg, Reg};
@@ -50,7 +49,7 @@ impl Default for GenConfig {
 /// The same `(seed, config)` pair always yields the same program, so
 /// property tests can shrink on the seed.
 pub fn generate(seed: u64, config: &GenConfig) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut pb = ProgramBuilder::new();
 
     // Declare helpers so main can call them; helpers never call (depth-1
@@ -85,7 +84,7 @@ pub fn generate(seed: u64, config: &GenConfig) -> Program {
 }
 
 struct GenCtx<'a> {
-    rng: &'a mut StdRng,
+    rng: &'a mut Rng64,
     config: &'a GenConfig,
     callees: &'a [FuncId],
 }

@@ -65,6 +65,7 @@ pub mod ball_larus;
 pub mod builder;
 pub mod cfg;
 mod error;
+pub mod fasthash;
 pub mod gen;
 mod ids;
 mod inst;
@@ -73,6 +74,7 @@ pub mod loops;
 pub mod parse;
 pub mod pretty;
 mod program;
+pub mod rng;
 mod validate;
 
 pub use error::IrError;

@@ -9,8 +9,7 @@
 
 use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
 use hotpath_ir::{BinOp, CmpOp, GlobalReg, Program};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hotpath_ir::rng::Rng64;
 
 use crate::build_util::DataLayout;
 use crate::scale::Scale;
@@ -173,7 +172,7 @@ pub fn build(scale: Scale) -> Program {
 /// Highly redundant symbol stream: runs of repeated symbols with
 /// occasional noise, like text fed to `compress`.
 fn generate_input(n: usize, seed: u64) -> Vec<i64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
         let sym = rng.gen_range(1..24i64);

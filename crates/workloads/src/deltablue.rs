@@ -10,8 +10,7 @@
 
 use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
 use hotpath_ir::{CmpOp, GlobalReg, Program};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hotpath_ir::rng::Rng64;
 
 use crate::build_util::{end_loop, loop_up_to, DataLayout};
 use crate::scale::Scale;
@@ -202,7 +201,7 @@ struct Constraint {
 /// Mostly-chain constraint graph (variable k feeds k+1) with some random
 /// cross edges, plus the perturbation schedule.
 fn generate_graph(rounds: usize, seed: u64) -> (Vec<Constraint>, Vec<i64>) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut cons = Vec::with_capacity(CONS);
     for k in 0..CONS {
         let (src, dst) = if k < VARS - 1 {

@@ -9,8 +9,7 @@
 
 use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
 use hotpath_ir::{BinOp, GlobalReg, Program};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hotpath_ir::rng::Rng64;
 
 use crate::build_util::{end_loop, loop_up_to, DataLayout};
 use crate::scale::Scale;
@@ -152,7 +151,7 @@ pub fn build(scale: Scale) -> Program {
 /// Statements with near-uniform opcodes and flag bits — the flat branch
 /// distribution behind gcc's weak path dominance.
 fn generate_statements(n: usize, seed: u64) -> Vec<i64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     (0..n)
         .map(|_| {
             let op = rng.gen_range(0..NUM_OPS as i64);

@@ -9,8 +9,7 @@
 
 use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
 use hotpath_ir::{CmpOp, GlobalReg, Program};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hotpath_ir::rng::Rng64;
 
 use crate::build_util::{end_loop, loop_up_to, DataLayout};
 use crate::scale::Scale;
@@ -166,7 +165,7 @@ pub fn build(scale: Scale) -> Program {
 }
 
 fn generate_inputs(moves: usize, seed: u64) -> (Vec<i64>, Vec<i64>) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     // Half-empty starting board: the empty-cell bias gives the flow its
     // warm core.
     let board: Vec<i64> = (0..CELLS)

@@ -13,8 +13,7 @@
 
 use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
 use hotpath_ir::{BinOp, CmpOp, GlobalReg, Program};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hotpath_ir::rng::Rng64;
 
 use crate::build_util::{end_loop, loop_up_to, DataLayout};
 use crate::scale::Scale;
@@ -180,17 +179,17 @@ pub fn build(scale: Scale) -> Program {
 /// Smooth-ish image data: block DC levels wander, pixels add small noise,
 /// occasional "edge" blocks have high contrast (the rare-path fuel).
 fn generate_image(blocks: usize, seed: u64) -> Vec<i64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut out = Vec::with_capacity(blocks * BLOCK);
     let mut dc: i64 = 128;
     for _ in 0..blocks {
-        dc = (dc + rng.gen_range(-9..=9)).clamp(16, 240);
+        dc = (dc + rng.gen_range(-9i64..=9)).clamp(16, 240);
         let edgy = rng.gen_bool(0.06);
         for _ in 0..BLOCK {
             let noise = if edgy {
-                rng.gen_range(-120..=120)
+                rng.gen_range(-120i64..=120)
             } else {
-                rng.gen_range(-6..=6)
+                rng.gen_range(-6i64..=6)
             };
             out.push(dc + noise);
         }

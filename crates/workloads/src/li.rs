@@ -9,8 +9,7 @@
 
 use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
 use hotpath_ir::{BinOp, CmpOp, GlobalReg, Program};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hotpath_ir::rng::Rng64;
 
 use crate::build_util::{end_loop, loop_up_to, DataLayout};
 use crate::scale::Scale;
@@ -237,7 +236,7 @@ pub fn build(scale: Scale) -> Program {
 /// shared node pool. Returns the pool and root indices. `If` then/else
 /// subtrees are allocated adjacently (the evaluator relies on it).
 fn generate_forest(seed: u64, root_count: usize, max_depth: u32) -> (Vec<Node>, Vec<i64>) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut nodes: Vec<Node> = Vec::new();
     let mut roots = Vec::with_capacity(root_count);
     for _ in 0..root_count {
@@ -247,7 +246,7 @@ fn generate_forest(seed: u64, root_count: usize, max_depth: u32) -> (Vec<Node>, 
     (nodes, roots)
 }
 
-fn gen_tree(rng: &mut StdRng, nodes: &mut Vec<Node>, depth: u32) -> i64 {
+fn gen_tree(rng: &mut Rng64, nodes: &mut Vec<Node>, depth: u32) -> i64 {
     // Reserve this node's slot first so parents precede children, then
     // fill it in.
     let slot = nodes.len();
@@ -314,7 +313,7 @@ fn gen_tree(rng: &mut StdRng, nodes: &mut Vec<Node>, depth: u32) -> i64 {
     slot as i64
 }
 
-fn leaf(rng: &mut StdRng) -> Node {
+fn leaf(rng: &mut Rng64) -> Node {
     if rng.gen_bool(0.5) {
         Node {
             tag: T_CONST,

@@ -14,8 +14,7 @@
 
 use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
 use hotpath_ir::{BinOp, CmpOp, GlobalReg, LocalBlockId, Program, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hotpath_ir::rng::Rng64;
 
 use crate::build_util::DataLayout;
 use crate::scale::Scale;
@@ -328,7 +327,7 @@ pub fn build(scale: Scale) -> Program {
 /// mixes ALU ops, memory traffic, an unconditional hop, a data-dependent
 /// skip, and an inner counted loop.
 fn generate_guest_program(seed: u64, outer_trips: i64) -> Vec<i64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut code: Vec<i64> = Vec::new();
     // Three sequential loop nests ("phases") with large straight-line
     // bodies: each distinct guest instruction slot yields its own

@@ -12,8 +12,7 @@
 
 use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
 use hotpath_ir::{BinOp, CmpOp, GlobalReg, LocalBlockId, Program};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hotpath_ir::rng::Rng64;
 
 use crate::build_util::DataLayout;
 use crate::scale::Scale;
@@ -330,15 +329,15 @@ fn pattern_set() -> Vec<Vec<POp>> {
 /// Corpus biased so most strings match pattern prefixes (hot flow) while
 /// failures spread across positions.
 fn generate_text(strings: usize, seed: u64) -> Vec<i64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut text = Vec::with_capacity(strings * STR_LEN);
     for _ in 0..strings {
         let friendly = rng.gen_bool(0.7);
         for k in 0..STR_LEN {
             let ch = if friendly && k == 0 {
-                [5i64, 1, 2, 7][rng.gen_range(0..4)]
+                [5i64, 1, 2, 7][rng.gen_range(0..4usize)]
             } else if friendly && k < 24 {
-                [1i64, 2, 4, 5, 7, 3][rng.gen_range(0..6)]
+                [1i64, 2, 4, 5, 7, 3][rng.gen_range(0..6usize)]
             } else {
                 rng.gen_range(0..ALPHABET)
             };

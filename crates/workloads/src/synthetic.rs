@@ -13,8 +13,7 @@
 
 use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
 use hotpath_ir::{GlobalReg, Program};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hotpath_ir::rng::Rng64;
 
 use crate::build_util::{end_loop, loop_up_to, DataLayout};
 
@@ -60,12 +59,12 @@ pub fn build(spec: &SyntheticSpec) -> Program {
     );
 
     // Decision words: bit k of DATA[i] decides branch k of iteration i.
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = Rng64::seed_from_u64(spec.seed);
     let data: Vec<i64> = (0..spec.trips)
         .map(|_| {
             let mut w = 0i64;
             for k in 0..spec.branches {
-                if rng.gen_range(0..100) < spec.bias_percent {
+                if rng.gen_range(0u32..100) < spec.bias_percent {
                     w |= 1 << k;
                 }
             }

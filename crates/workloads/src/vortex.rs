@@ -10,8 +10,7 @@
 
 use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
 use hotpath_ir::{CmpOp, GlobalReg, Program};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hotpath_ir::rng::Rng64;
 
 use crate::build_util::{end_loop, loop_up_to, DataLayout};
 use crate::scale::Scale;
@@ -250,7 +249,7 @@ pub fn build(scale: Scale) -> Program {
 /// Transaction stream: 55% lookups (ops 0/1), 30% inserts, 15% deletes;
 /// keys are Zipf-skewed over a 4k space.
 fn generate_transactions(n: usize, seed: u64) -> Vec<i64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     (0..n)
         .map(|_| {
             let r = rng.gen_range(0..100);

@@ -1,0 +1,217 @@
+//! Counter-table equivalence: the dense Vec-indexed profiling tables must
+//! behave *exactly* like the original `HashMap` implementations.
+//!
+//! Two guards, over a real workload (`perl`/Small: 11 NET heads, 198
+//! edges) and a generated multi-function program (30 heads, 134 edges):
+//!
+//! 1. **Golden values.** Counter spaces, prediction counts, profiling
+//!    costs, and order-independent FNV checksums of the final counter
+//!    contents, captured from the `HashMap`-backed implementations before
+//!    the dense rewrite. Any behavioral drift — a lost counter, a changed
+//!    reset, a different trace tie-break — moves at least one number.
+//! 2. **Reference recomputation.** The edge profile is recomputed from a
+//!    recorded trace with a plain `HashMap` right here in the test and
+//!    compared entry by entry, so the dense representation is checked
+//!    against an independent implementation, not just against history.
+
+use std::collections::HashMap;
+
+use hotpath::ir::gen::{generate, GenConfig};
+use hotpath::ir::{BlockId, Layout, Program};
+use hotpath::prelude::*;
+use hotpath::profiles::{PathExecution, PathSink};
+use hotpath::vm::{BlockEvent, ExecutionObserver, TraceRecorder};
+
+/// Order-independent accumulation is deliberately NOT used: every checksum
+/// below folds counters in ascending block-id order, which both the dense
+/// and the hash-backed representations can produce via their getters.
+fn mix(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x0000_0100_0000_01B3)
+}
+
+const FNV: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// Golden numbers captured from the `HashMap` implementations.
+struct Golden {
+    net_counter_space: usize,
+    net_predictions: usize,
+    net_increments: u64,
+    net_checksum: u64,
+    boa_counter_space: usize,
+    boa_traces: usize,
+    boa_increments: u64,
+    boa_trace_checksum: u64,
+    edge_count: usize,
+    edge_transfers: u64,
+    edge_block_checksum: u64,
+    blocks_executed: u64,
+}
+
+const PERL_SMALL: Golden = Golden {
+    net_counter_space: 11,
+    net_predictions: 454,
+    net_increments: 22_951,
+    net_checksum: 0x72DD_029F_A6EB_53DC,
+    boa_counter_space: 198,
+    boa_traces: 17,
+    boa_increments: 171_873,
+    boa_trace_checksum: 0xEFB1_E779_D9D4_D2E7,
+    edge_count: 198,
+    edge_transfers: 171_873,
+    edge_block_checksum: 0xD865_3659_A572_8015,
+    blocks_executed: 171_874,
+};
+
+const GENERATED_A5: Golden = Golden {
+    net_counter_space: 30,
+    net_predictions: 59,
+    net_increments: 346,
+    net_checksum: 0x0F16_7CD1_BDFB_8DF5,
+    boa_counter_space: 134,
+    boa_traces: 21,
+    boa_increments: 1_060,
+    boa_trace_checksum: 0x713E_ECAE_5C7D_CC58,
+    edge_count: 134,
+    edge_transfers: 1_060,
+    edge_block_checksum: 0x3A21_EE37_2FCC_C40C,
+    blocks_executed: 1_061,
+};
+
+struct Feed(NetPredictor);
+
+impl PathSink for Feed {
+    fn on_path(&mut self, e: &PathExecution) {
+        let _ = self.0.observe(e);
+    }
+}
+
+fn check_against_golden(p: &Program, tau: u64, g: &Golden, tag: &str) {
+    let nblocks = Layout::new(p).block_count();
+
+    // NET head counters, fed by live path extraction.
+    let mut ex = PathExtractor::new(Feed(NetPredictor::new(tau)));
+    Vm::new(p).run(&mut ex).unwrap();
+    let (Feed(net), _) = ex.into_parts();
+    assert_eq!(net.counter_space(), g.net_counter_space, "{tag}: NET counter space");
+    assert_eq!(net.predictions(), g.net_predictions, "{tag}: NET predictions");
+    assert_eq!(
+        net.cost().counter_increments,
+        g.net_increments,
+        "{tag}: NET increments"
+    );
+    let mut h = FNV;
+    for b in 0..nblocks {
+        let c = net.head_count(BlockId::new(b as u32));
+        if c > 0 {
+            h = mix(mix(h, b as u64), c);
+        }
+    }
+    assert_eq!(h, g.net_checksum, "{tag}: NET head-counter contents");
+
+    // Boa per-edge counters and argmax trace construction. The trace
+    // checksum pins the tie-break order (last max wins) and the
+    // first-seen successor ordering the HashMap version produced.
+    let mut boa = BoaSelector::new(tau);
+    Vm::new(p).run(&mut boa).unwrap();
+    assert_eq!(boa.counter_space(), g.boa_counter_space, "{tag}: Boa counter space");
+    assert_eq!(boa.traces().len(), g.boa_traces, "{tag}: Boa trace count");
+    assert_eq!(
+        boa.cost().counter_increments,
+        g.boa_increments,
+        "{tag}: Boa increments"
+    );
+    let mut h = FNV;
+    for t in boa.traces() {
+        h = mix(h, t.len() as u64);
+        for &b in t {
+            h = mix(h, b as u64);
+        }
+    }
+    assert_eq!(h, g.boa_trace_checksum, "{tag}: Boa constructed traces");
+
+    // Edge profile totals and per-block counts.
+    let mut edges = EdgeProfiler::new();
+    let stats = Vm::new(p).run(&mut edges).unwrap();
+    assert_eq!(stats.blocks_executed, g.blocks_executed, "{tag}: dynamic blocks");
+    assert_eq!(edges.edge_count(), g.edge_count, "{tag}: edge counter space");
+    assert_eq!(edges.transfers(), g.edge_transfers, "{tag}: transfers");
+    let mut h = FNV;
+    for b in 0..nblocks {
+        let c = edges.block(b as u32);
+        if c > 0 {
+            h = mix(mix(h, b as u64), c);
+        }
+    }
+    assert_eq!(h, g.edge_block_checksum, "{tag}: block-counter contents");
+}
+
+#[test]
+fn perl_small_matches_hashmap_goldens() {
+    let w = hotpath::workloads::build(WorkloadName::Perl, Scale::Small);
+    check_against_golden(&w.program, 50, &PERL_SMALL, "perl/Small tau=50");
+}
+
+#[test]
+fn generated_program_matches_hashmap_goldens() {
+    let p = generate(0xA5, &GenConfig::default());
+    check_against_golden(&p, 5, &GENERATED_A5, "gen(0xA5) tau=5");
+}
+
+/// Recomputes the whole edge profile with a plain `HashMap` from a
+/// recorded trace and compares every entry against [`EdgeProfiler`].
+#[derive(Default)]
+struct ReferenceEdges {
+    edges: HashMap<(u32, u32), u64>,
+    blocks: HashMap<u32, u64>,
+    transfers: u64,
+}
+
+impl ExecutionObserver for ReferenceEdges {
+    fn on_block(&mut self, event: &BlockEvent) {
+        *self.blocks.entry(event.block.as_u32()).or_insert(0) += 1;
+        if let Some(from) = event.from {
+            *self
+                .edges
+                .entry((from.as_u32(), event.block.as_u32()))
+                .or_insert(0) += 1;
+            self.transfers += 1;
+        }
+    }
+}
+
+#[test]
+fn edge_profile_matches_reference_recomputation() {
+    for (program, tag) in [
+        (
+            hotpath::workloads::build(WorkloadName::Perl, Scale::Small).program,
+            "perl",
+        ),
+        (generate(0xA5, &GenConfig::default()), "gen"),
+    ] {
+        let mut rec = TraceRecorder::new();
+        Vm::new(&program).run(&mut rec).unwrap();
+        let trace = rec.into_trace();
+
+        let mut reference = ReferenceEdges::default();
+        trace.replay(&mut reference);
+        let mut edges = EdgeProfiler::new();
+        trace.replay(&mut edges);
+
+        assert_eq!(edges.transfers(), reference.transfers, "{tag}: transfers");
+        assert_eq!(edges.edge_count(), reference.edges.len(), "{tag}: edge count");
+        for (&(from, to), &count) in &reference.edges {
+            assert_eq!(edges.edge(from, to), count, "{tag}: edge {from}->{to}");
+        }
+        for (&b, &count) in &reference.blocks {
+            assert_eq!(edges.block(b), count, "{tag}: block {b}");
+        }
+        // Probabilities normalize against the same block totals.
+        for (&(from, to), &count) in &reference.edges {
+            let expect = count as f64 / reference.blocks[&from] as f64;
+            assert!(
+                (edges.transition_probability(from, to) - expect).abs() < 1e-12,
+                "{tag}: P({from}->{to})"
+            );
+        }
+    }
+}

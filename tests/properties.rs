@@ -1,4 +1,9 @@
 //! Property-based tests over randomly generated programs.
+//!
+//! Instead of an external property-testing framework these run each
+//! property over a deterministic seed sweep (the generator is already
+//! seed-driven, so "shrinking" is just re-running one seed). A failure
+//! message always names the seed that broke.
 
 use std::collections::HashMap;
 
@@ -7,7 +12,10 @@ use hotpath::ir::gen::{generate, GenConfig};
 use hotpath::prelude::*;
 use hotpath::profiles::{PathExecution, PathId, PathSink};
 use hotpath::vm::{BlockEvent, ExecutionObserver};
-use proptest::prelude::*;
+
+/// Seeds swept by each property; capped to keep `cargo test` quick while
+/// still covering dozens of distinct program shapes.
+const CASES: u64 = 48;
 
 /// Observer that records each completed path's exact block sequence and
 /// checks that one [`PathId`] always maps to one sequence.
@@ -67,36 +75,40 @@ impl ExecutionObserver for IdentityChecker {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Ball–Larus numbering is a bijection: decode is injective over
-    /// `0..num_paths` and encode inverts it, for every function of a
-    /// random structured program.
-    #[test]
-    fn ball_larus_numbering_is_a_bijection(seed in 0u64..10_000) {
-        let program = generate(seed, &GenConfig::default());
+/// Ball–Larus numbering is a bijection: decode is injective over
+/// `0..num_paths` and encode inverts it, for every function of a random
+/// structured program.
+#[test]
+fn ball_larus_numbering_is_a_bijection() {
+    for seed in 0..CASES {
+        let program = generate(seed * 199, &GenConfig::default());
         for func in &program.functions {
             let bl = BallLarus::new(func).expect("generated CFGs are reducible");
             let n = bl.num_paths();
-            prop_assume!(n <= 512); // keep enumeration cheap
+            if n > 512 {
+                continue; // keep enumeration cheap
+            }
             let mut seen = std::collections::HashSet::new();
             for id in 0..n {
                 let blocks = bl.decode(id).expect("id in range decodes");
-                prop_assert!(seen.insert(blocks.clone()), "duplicate path for {id}");
-                prop_assert_eq!(bl.encode(&blocks), Some(id));
+                assert!(seen.insert(blocks.clone()), "seed {seed}: duplicate path for {id}");
+                assert_eq!(bl.encode(&blocks), Some(id), "seed {seed}");
             }
         }
     }
+}
 
-    /// Path extraction partitions the dynamic block stream exactly, and
-    /// every non-initial path starts where the previous one ended.
-    #[test]
-    fn extraction_partitions_random_runs(seed in 0u64..10_000) {
-        let program = generate(seed, &GenConfig::default());
+/// Path extraction partitions the dynamic block stream exactly.
+#[test]
+fn extraction_partitions_random_runs() {
+    for seed in 0..CASES {
+        let program = generate(seed * 211, &GenConfig::default());
         let mut ex = PathExtractor::new(StreamingSink::new());
         let stats = Vm::new(&program)
-            .with_config(RunConfig { max_blocks: 2_000_000, ..RunConfig::default() })
+            .with_config(RunConfig {
+                max_blocks: 2_000_000,
+                ..RunConfig::default()
+            })
             .run(&mut ex)
             .expect("generated programs halt");
         let (sink, table) = ex.into_parts();
@@ -104,15 +116,17 @@ proptest! {
         let total: u64 = (0..stream.len())
             .map(|i| table.info(stream.path(i)).blocks as u64)
             .sum();
-        prop_assert_eq!(total, stats.blocks_executed);
-        prop_assert!(stream.ended());
+        assert_eq!(total, stats.blocks_executed, "seed {seed}");
+        assert!(stream.ended(), "seed {seed}");
     }
+}
 
-    /// Same seed, same everything: builds, streams, and tables.
-    #[test]
-    fn random_runs_are_deterministic(seed in 0u64..10_000) {
+/// Same seed, same everything: builds, streams, and tables.
+#[test]
+fn random_runs_are_deterministic() {
+    for seed in 0..CASES {
         let run = || {
-            let program = generate(seed, &GenConfig::default());
+            let program = generate(seed * 223, &GenConfig::default());
             let mut ex = PathExtractor::new(StreamingSink::new());
             Vm::new(&program).run(&mut ex).expect("halts");
             let (sink, table) = ex.into_parts();
@@ -120,18 +134,22 @@ proptest! {
         };
         let (s1, t1) = run();
         let (s2, t2) = run();
-        prop_assert_eq!(s1.len(), s2.len());
-        prop_assert_eq!(t1.len(), t2.len());
+        assert_eq!(s1.len(), s2.len(), "seed {seed}");
+        assert_eq!(t1.len(), t2.len(), "seed {seed}");
         for i in 0..s1.len() {
-            prop_assert_eq!(s1.path(i), s2.path(i));
+            assert_eq!(s1.path(i), s2.path(i), "seed {seed} at {i}");
         }
     }
+}
 
-    /// The evaluator's flow identity holds for arbitrary programs and
-    /// delays, for both schemes.
-    #[test]
-    fn metric_flow_identity(seed in 0u64..5_000, delay in 1u64..500) {
-        let program = generate(seed, &GenConfig::default());
+/// The evaluator's flow identity holds for arbitrary programs and delays,
+/// for both schemes.
+#[test]
+fn metric_flow_identity() {
+    for seed in 0..CASES {
+        let program = generate(seed * 227, &GenConfig::default());
+        // Sweep delays pseudo-randomly too, derived from the seed.
+        let delay = 1 + (seed * 97) % 499;
         let mut ex = PathExtractor::new(StreamingSink::new());
         Vm::new(&program).run(&mut ex).expect("halts");
         let (sink, table) = ex.into_parts();
@@ -141,63 +159,75 @@ proptest! {
             evaluate(&stream, &table, &hot, &mut NetPredictor::new(delay)),
             evaluate(&stream, &table, &hot, &mut PathProfilePredictor::new(delay)),
         ] {
-            prop_assert_eq!(
+            assert_eq!(
                 outcome.profiled_flow + outcome.hits + outcome.noise,
-                outcome.total_flow
+                outcome.total_flow,
+                "seed {seed} delay {delay}"
             );
-            prop_assert!(outcome.hit_rate() <= 100.0 + 1e-9);
-            prop_assert!(outcome.hit_rate() >= 0.0);
-            prop_assert!(outcome.profiled_flow_pct() <= 100.0 + 1e-9);
+            assert!(outcome.hit_rate() <= 100.0 + 1e-9, "seed {seed}");
+            assert!(outcome.hit_rate() >= 0.0, "seed {seed}");
+            assert!(outcome.profiled_flow_pct() <= 100.0 + 1e-9, "seed {seed}");
         }
     }
+}
 
-    /// One PathId, one block sequence: the bit-tracing signature is a
-    /// faithful identity over arbitrary programs (same id never maps to
-    /// two different sequences).
-    #[test]
-    fn path_ids_identify_block_sequences(seed in 0u64..10_000) {
-        let program = generate(seed, &GenConfig::default());
+/// One PathId, one block sequence: the bit-tracing signature is a faithful
+/// identity over arbitrary programs.
+#[test]
+fn path_ids_identify_block_sequences() {
+    for seed in 0..CASES {
+        let program = generate(seed * 229, &GenConfig::default());
         let mut checker = IdentityChecker::new();
         Vm::new(&program).run(&mut checker).expect("halts");
-        prop_assert_eq!(checker.violations, 0);
+        assert_eq!(checker.violations, 0, "seed {seed}");
     }
+}
 
-    /// Hot sets are monotone in the threshold fraction: a stricter
-    /// threshold selects a subset with no more flow.
-    #[test]
-    fn hot_sets_are_monotone(seed in 0u64..10_000) {
-        let program = generate(seed, &GenConfig::default());
+/// Hot sets are monotone in the threshold fraction: a stricter threshold
+/// selects a subset with no more flow.
+#[test]
+fn hot_sets_are_monotone() {
+    for seed in 0..CASES {
+        let program = generate(seed * 233, &GenConfig::default());
         let mut ex = PathExtractor::new(StreamingSink::new());
         Vm::new(&program).run(&mut ex).expect("halts");
         let (sink, _) = ex.into_parts();
         let profile = sink.into_stream().to_profile();
         let loose = profile.hot_set(0.001);
         let strict = profile.hot_set(0.05);
-        prop_assert!(strict.len() <= loose.len());
-        prop_assert!(strict.hot_flow() <= loose.hot_flow());
+        assert!(strict.len() <= loose.len(), "seed {seed}");
+        assert!(strict.hot_flow() <= loose.hot_flow(), "seed {seed}");
         for p in strict.paths() {
-            prop_assert!(loose.contains(*p), "strict ⊆ loose");
+            assert!(loose.contains(*p), "seed {seed}: strict ⊆ loose");
         }
     }
+}
 
-    /// Dynamo cycle accounting: total cycles are positive and the
-    /// breakdown sums to the total; bail-out implies native cycles.
-    #[test]
-    fn dynamo_accounting_is_consistent(seed in 0u64..2_000) {
-        let program = generate(seed, &GenConfig {
-            max_depth: 4,
-            max_trip: 12,
-            ..GenConfig::default()
-        });
+/// Dynamo cycle accounting: the breakdown sums to the total; bail-out
+/// implies native cycles.
+#[test]
+fn dynamo_accounting_is_consistent() {
+    for seed in 0..CASES {
+        let program = generate(
+            seed * 239,
+            &GenConfig {
+                max_depth: 4,
+                max_trip: 12,
+                ..GenConfig::default()
+            },
+        );
         let out = run_dynamo(&program, &DynamoConfig::new(Scheme::Net, 5))
             .expect("generated programs halt");
         let c = out.cycles;
         let sum = c.interp + c.trace + c.native + c.profiling + c.build + c.transitions;
-        prop_assert!((sum - c.total()).abs() < 1e-6);
-        prop_assert!(c.total() > 0.0);
+        assert!((sum - c.total()).abs() < 1e-6, "seed {seed}");
+        assert!(c.total() > 0.0, "seed {seed}");
         if !out.bailed_out {
-            prop_assert_eq!(c.native, 0.0);
+            assert_eq!(c.native, 0.0, "seed {seed}");
         }
-        prop_assert!(out.cached_block_fraction >= 0.0 && out.cached_block_fraction <= 1.0);
+        assert!(
+            (0.0..=1.0).contains(&out.cached_block_fraction),
+            "seed {seed}"
+        );
     }
 }
