@@ -7,7 +7,7 @@
 //! ```
 
 use hotpath_bench::{
-    average_series, record_suite, sweep_suite, write_csv, Options,
+    average_series, record_suite_parallel, sweep_suite, write_csv, Options,
 };
 use hotpath_core::SchemeKind;
 use hotpath_dynamo::{run_dynamo, run_native, DynamoConfig, Scheme};
@@ -15,7 +15,21 @@ use hotpath_workloads::{build, ALL_WORKLOADS};
 
 fn main() {
     let opts = Options::from_env();
-    let runs = record_suite(opts.scale);
+    let wall = std::time::Instant::now();
+    let runs = record_suite_parallel(opts.scale);
+    let wall = wall.elapsed().as_secs_f64();
+
+    // Per-workload record times: the parallel recorder's wall clock is the
+    // slowest workload, the serial sum is what it replaced.
+    println!("== Recording times ==");
+    for run in &runs {
+        println!("{:<10} {:>6.2}s", run.name.to_string(), run.record_secs);
+    }
+    let serial_sum: f64 = runs.iter().map(|r| r.record_secs).sum();
+    println!(
+        "suite wall {wall:.2}s (serial sum {serial_sum:.2}s, {:.1}x)",
+        serial_sum / wall.max(1e-9)
+    );
 
     // ---- Table 1 -------------------------------------------------------
     println!("\n== Table 1: benchmark set ==");

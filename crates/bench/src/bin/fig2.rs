@@ -10,12 +10,12 @@
 //! cargo run -p hotpath-bench --release --bin fig2 -- --scale full
 //! ```
 
-use hotpath_bench::{ascii_chart, average_series, record_suite, sweep_suite, write_csv, Options};
+use hotpath_bench::{ascii_chart, average_series, record_suite_parallel, sweep_suite, write_csv, Options};
 use hotpath_core::SchemeKind;
 
 fn main() {
     let opts = Options::from_env();
-    let runs = record_suite(opts.scale);
+    let runs = record_suite_parallel(opts.scale);
     let swept = sweep_suite(&runs);
 
     let mut rows = Vec::new();

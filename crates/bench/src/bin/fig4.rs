@@ -6,11 +6,11 @@
 //! cargo run -p hotpath-bench --release --bin fig4 -- --scale full
 //! ```
 
-use hotpath_bench::{record_suite, write_csv, Options};
+use hotpath_bench::{record_suite_parallel, write_csv, Options};
 
 fn main() {
     let opts = Options::from_env();
-    let runs = record_suite(opts.scale);
+    let runs = record_suite_parallel(opts.scale);
 
     println!("\nFigure 4. NET counter space normalized to path-profile counter space");
     println!("{:<10} {:>9} {:>9} {:>10}", "Benchmark", "heads", "paths", "ratio");

@@ -22,7 +22,9 @@ fn main() {
         .collect();
 
     // One thread per benchmark; each runs native + 6 Dynamo configs.
-    let results: Vec<(WorkloadName, Vec<(Scheme, u64, f64, bool)>)> =
+    // Rows are (scheme, delay, speedup %, bailed out).
+    type SpeedupRows = Vec<(Scheme, u64, f64, bool)>;
+    let results: Vec<(WorkloadName, SpeedupRows)> =
         std::thread::scope(|s| {
             let handles: Vec<_> = names
                 .iter()

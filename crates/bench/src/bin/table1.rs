@@ -5,11 +5,11 @@
 //! cargo run -p hotpath-bench --release --bin table1 -- --scale full
 //! ```
 
-use hotpath_bench::{record_suite, write_csv, Options};
+use hotpath_bench::{record_suite_parallel, write_csv, Options};
 
 fn main() {
     let opts = Options::from_env();
-    let runs = record_suite(opts.scale);
+    let runs = record_suite_parallel(opts.scale);
 
     println!("\nTable 1. Benchmark set (hot threshold 0.1% of flow)");
     println!(

@@ -6,11 +6,11 @@
 //! cargo run -p hotpath-bench --release --bin table2 -- --scale full
 //! ```
 
-use hotpath_bench::{record_suite, write_csv, Options};
+use hotpath_bench::{record_suite_parallel, write_csv, Options};
 
 fn main() {
     let opts = Options::from_env();
-    let runs = record_suite(opts.scale);
+    let runs = record_suite_parallel(opts.scale);
 
     println!("\nTable 2. Number of paths and unique path heads");
     println!("{:<10} {:>9} {:>20}", "Benchmark", "#Paths", "#Unique Path Heads");

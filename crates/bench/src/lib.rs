@@ -37,6 +37,8 @@ pub struct RecordedRun {
     pub hot: HotPathSet,
     /// VM run statistics.
     pub stats: RunStats,
+    /// Wall-clock seconds spent building and recording this workload.
+    pub record_secs: f64,
 }
 
 impl RecordedRun {
@@ -77,11 +79,31 @@ pub fn record_workload(workload: &Workload) -> RecordedRun {
         table,
         hot,
         stats,
+        record_secs: started.elapsed().as_secs_f64(),
     }
 }
 
-/// Records the whole suite in parallel (one thread per workload).
-pub fn record_suite(scale: Scale) -> Vec<RecordedRun> {
+/// Records the whole suite serially, in [`ALL_WORKLOADS`] order — the
+/// reference recorder; total wall clock is the sum over workloads.
+///
+/// [`ALL_WORKLOADS`]: hotpath_workloads::ALL_WORKLOADS
+pub fn record_suite_serial(scale: Scale) -> Vec<RecordedRun> {
+    hotpath_workloads::ALL_WORKLOADS
+        .iter()
+        .map(|&name| {
+            let w = hotpath_workloads::build(name, scale);
+            record_workload(&w)
+        })
+        .collect()
+}
+
+/// Records the whole suite with one scoped thread per workload; wall clock
+/// is roughly the slowest workload instead of the sum. Results come back
+/// in [`ALL_WORKLOADS`] order regardless of which worker finishes first,
+/// so downstream tables are deterministic.
+///
+/// [`ALL_WORKLOADS`]: hotpath_workloads::ALL_WORKLOADS
+pub fn record_suite_parallel(scale: Scale) -> Vec<RecordedRun> {
     std::thread::scope(|s| {
         let handles: Vec<_> = hotpath_workloads::ALL_WORKLOADS
             .iter()
@@ -97,6 +119,11 @@ pub fn record_suite(scale: Scale) -> Vec<RecordedRun> {
             .map(|h| h.join().expect("no panics"))
             .collect()
     })
+}
+
+/// Records the whole suite; alias for [`record_suite_parallel`].
+pub fn record_suite(scale: Scale) -> Vec<RecordedRun> {
+    record_suite_parallel(scale)
 }
 
 /// Command-line options shared by all experiment binaries.

@@ -18,8 +18,8 @@
 //! never executed as a real path — which is the branch-correlation failure
 //! in the flesh.
 
-use std::collections::{HashMap, HashSet};
-
+use hotpath_ir::dense::{AdjCounters, CounterTable};
+use hotpath_ir::fasthash::FxHashSet;
 use hotpath_profiles::ProfilingCost;
 use hotpath_vm::{BlockEvent, ExecutionObserver, TransferKind};
 
@@ -30,15 +30,15 @@ pub const BOA_TRACE_CAP: usize = 64;
 #[derive(Clone, Debug)]
 pub struct BoaSelector {
     delay: u64,
-    /// Edge frequencies, keyed by `(from << 32) | to`.
-    edges: HashMap<u64, u64>,
-    /// Observed successor lists per block (small, deduplicated).
-    succs: HashMap<u32, Vec<u32>>,
-    /// Arrival counters at backward-transfer targets.
-    heads: HashMap<u32, u64>,
+    /// Edge frequencies as dense per-source adjacency rows; the rows also
+    /// carry each block's observed successors in first-seen order, so the
+    /// old separate successor-list map is gone.
+    edges: AdjCounters,
+    /// Arrival counters at backward-transfer targets, dense by block id.
+    heads: CounterTable,
     /// Constructed traces, deduplicated.
     traces: Vec<Vec<u32>>,
-    seen_traces: HashSet<Vec<u32>>,
+    seen_traces: FxHashSet<Vec<u32>>,
     cost: ProfilingCost,
 }
 
@@ -52,11 +52,10 @@ impl BoaSelector {
         assert!(delay > 0, "prediction delay must be positive");
         BoaSelector {
             delay,
-            edges: HashMap::new(),
-            succs: HashMap::new(),
-            heads: HashMap::new(),
+            edges: AdjCounters::new(),
+            heads: CounterTable::new(),
             traces: Vec::new(),
-            seen_traces: HashSet::new(),
+            seen_traces: FxHashSet::default(),
             cost: ProfilingCost::new(),
         }
     }
@@ -69,7 +68,7 @@ impl BoaSelector {
     /// Number of distinct branch-edge counters allocated — Boa's counter
     /// space, to contrast with NET's per-head counters.
     pub fn counter_space(&self) -> usize {
-        self.edges.len()
+        self.edges.edge_count()
     }
 
     /// Profiling operations performed (one per control transfer).
@@ -84,11 +83,14 @@ impl BoaSelector {
         let mut trace = vec![head];
         let mut cur = head;
         while trace.len() < BOA_TRACE_CAP {
-            let Some(succs) = self.succs.get(&cur) else { break };
-            let next = succs
+            // Rows keep first-seen order and `max_by_key` keeps the last
+            // maximum, reproducing the original successor tie-break.
+            let next = self
+                .edges
+                .row(cur)
                 .iter()
-                .copied()
-                .max_by_key(|&s| self.edges.get(&(((cur as u64) << 32) | s as u64)).copied());
+                .max_by_key(|&&(_, count)| count)
+                .map(|&(s, _)| s);
             let Some(next) = next else { break };
             // A backward edge ends the trace (it would close the loop).
             if next <= cur && trace.len() > 1 || next == head {
@@ -110,15 +112,12 @@ impl ExecutionObserver for BoaSelector {
         // Every branch is profiled: bump the edge counter.
         let from = from.as_u32();
         let to = event.block.as_u32();
-        let key = ((from as u64) << 32) | to as u64;
-        if self.edges.insert(key, self.edges.get(&key).copied().unwrap_or(0) + 1) == None {
-            self.succs.entry(from).or_default().push(to);
-        }
+        self.edges.bump(from, to);
         self.cost.counter_increments += 1;
 
         // Hot-group entries: arrivals via backward transfers, like NET.
         if event.backward && event.kind != TransferKind::Start {
-            let c = self.heads.entry(to).or_insert(0);
+            let c = self.heads.slot(to);
             *c += 1;
             if *c >= self.delay {
                 *c = 0;

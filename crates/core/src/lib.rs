@@ -78,6 +78,7 @@ mod predictor;
 mod sweep;
 
 pub use boa::{BoaSelector, BOA_TRACE_CAP};
+pub use hotpath_ir::fasthash;
 pub use metrics::{evaluate, PredictionOutcome};
 pub use phased::{evaluate_phased, PhasedOutcome, RetirePolicy};
 pub use net::NetPredictor;

@@ -23,17 +23,10 @@
 //! operation is one counter increment per backward-taken-branch target, and
 //! the only state is one counter per head (Table 2 / Figure 4).
 
-use std::collections::HashMap;
-
+use hotpath_ir::dense::CounterTable;
 use hotpath_profiles::{PathExecution, PathId, ProfilingCost};
 
 use crate::predictor::{HotPathPredictor, SchemeKind};
-
-/// State of one path-head counter.
-#[derive(Clone, Copy, Debug)]
-struct HeadCounter {
-    count: u64,
-}
 
 /// The NET predictor.
 ///
@@ -48,7 +41,10 @@ struct HeadCounter {
 #[derive(Clone, Debug)]
 pub struct NetPredictor {
     delay: u64,
-    heads: HashMap<u32, HeadCounter>,
+    /// Head counters, dense by block id: every executed block's head is a
+    /// small integer, so this is the per-arrival hot loop the paper wants
+    /// down to "one counter increment" — no hashing.
+    heads: CounterTable,
     cost: ProfilingCost,
     predictions: usize,
 }
@@ -66,7 +62,7 @@ impl NetPredictor {
         assert!(delay > 0, "prediction delay must be positive");
         NetPredictor {
             delay,
-            heads: HashMap::new(),
+            heads: CounterTable::new(),
             cost: ProfilingCost::new(),
             predictions: 0,
         }
@@ -79,7 +75,7 @@ impl NetPredictor {
 
     /// The execution count of a head's counter (testing and diagnostics).
     pub fn head_count(&self, head: hotpath_ir::BlockId) -> u64 {
-        self.heads.get(&head.as_u32()).map_or(0, |h| h.count)
+        self.heads.get(head.as_u32())
     }
 }
 
@@ -89,16 +85,13 @@ impl HotPathPredictor for NetPredictor {
         if !exec.start.is_net_countable() {
             return None;
         }
-        let entry = self
-            .heads
-            .entry(exec.head.as_u32())
-            .or_insert(HeadCounter { count: 0 });
-        entry.count += 1;
+        let counter = self.heads.slot(exec.head.as_u32());
+        *counter += 1;
         self.cost.counter_increments += 1;
-        if entry.count >= self.delay {
+        if *counter >= self.delay {
             // Reset and keep counting uncovered arrivals (the counter
             // moves to the installed trace's exit stubs in Dynamo terms).
-            entry.count = 0;
+            *counter = 0;
             self.predictions += 1;
             // The next executing tail is the path executing right now.
             Some(exec.path)
@@ -116,7 +109,7 @@ impl HotPathPredictor for NetPredictor {
     }
 
     fn counter_space(&self) -> usize {
-        self.heads.len()
+        self.heads.live()
     }
 
     fn cost(&self) -> ProfilingCost {

@@ -11,8 +11,7 @@
 //! path end, and one counter per dynamic path — potentially exponential in
 //! program size (§4, §5.2).
 
-use std::collections::HashMap;
-
+use hotpath_ir::dense::CounterTable;
 use hotpath_profiles::{PathExecution, PathId, ProfilingCost};
 
 use crate::predictor::{HotPathPredictor, SchemeKind};
@@ -29,7 +28,9 @@ use crate::predictor::{HotPathPredictor, SchemeKind};
 #[derive(Clone, Debug)]
 pub struct PathProfilePredictor {
     delay: u64,
-    counts: HashMap<u32, u64>,
+    /// Per-path counters, dense by path index: the extractor interns path
+    /// ids contiguously, so the table-update hot loop is one indexed load.
+    counts: CounterTable,
     cost: ProfilingCost,
     predictions: usize,
 }
@@ -46,7 +47,7 @@ impl PathProfilePredictor {
         assert!(delay > 0, "prediction delay must be positive");
         PathProfilePredictor {
             delay,
-            counts: HashMap::new(),
+            counts: CounterTable::new(),
             cost: ProfilingCost::new(),
             predictions: 0,
         }
@@ -59,7 +60,7 @@ impl PathProfilePredictor {
 
     /// Profiled frequency of a path so far.
     pub fn path_count(&self, path: PathId) -> u64 {
-        self.counts.get(&(path.index() as u32)).copied().unwrap_or(0)
+        self.counts.get(path.index() as u32)
     }
 }
 
@@ -71,7 +72,7 @@ impl HotPathPredictor for PathProfilePredictor {
         // "every branch execution requires the shifting of a bit")
         // ...and a table update when the path completes.
         self.cost.table_updates += 1;
-        let count = self.counts.entry(exec.path.index() as u32).or_insert(0);
+        let count = self.counts.slot(exec.path.index() as u32);
         *count += 1;
         if *count >= self.delay {
             // A path is fed to `observe` only until predicted, so reaching
@@ -92,7 +93,7 @@ impl HotPathPredictor for PathProfilePredictor {
     }
 
     fn counter_space(&self) -> usize {
-        self.counts.len()
+        self.counts.live()
     }
 
     fn cost(&self) -> ProfilingCost {

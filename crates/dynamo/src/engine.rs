@@ -1,9 +1,8 @@
 //! The Dynamo engine: interpret, profile, predict, record, cache, link,
 //! flush, bail out.
 
-use std::collections::HashMap;
-
 use hotpath_core::{HotPathPredictor, NetPredictor, PathProfilePredictor};
+use hotpath_ir::dense::CounterTable;
 use hotpath_ir::Program;
 use hotpath_profiles::{PathExecution, PathExtractor, PathSink, DEFAULT_PATH_CAP};
 use hotpath_vm::{BlockEvent, ExecutionObserver, Vm, VmError};
@@ -11,6 +10,10 @@ use hotpath_vm::{BlockEvent, ExecutionObserver, Vm, VmError};
 use crate::cost::{CostModel, CycleBreakdown};
 use crate::fragment::{FragmentCache, FragmentId};
 use crate::phases::{FlushPolicy, SpikeDetector};
+
+/// A completed path's carry-over state: `(blocks, insts, touched_cache,
+/// diverged, diverged_at)`.
+type FinishedPath = (Vec<u32>, u32, bool, bool, Option<usize>);
 
 /// Which prediction scheme drives the engine (the two bars of Figure 5).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -185,7 +188,7 @@ pub struct Engine {
     /// Exit-stub counters: per exit-target block, arrivals through an
     /// unlinked stub. At τ the tail from that block becomes a fragment —
     /// Dynamo's "exits from existing traces are potential trace heads".
-    exit_counts: HashMap<u32, u64>,
+    exit_counts: CounterTable,
     /// Paths that already have a fragment (indexed by PathId).
     cached_paths: Vec<bool>,
     bailed: bool,
@@ -228,7 +231,7 @@ impl Engine {
             cur_touched_cache: false,
             cur_diverged: false,
             cur_diverged_at: None,
-            exit_counts: HashMap::new(),
+            exit_counts: CounterTable::new(),
             cached_paths: Vec::new(),
             bailed: false,
             spike_flushes: 0,
@@ -350,7 +353,7 @@ impl ExecutionObserver for Engine {
         self.extractor.on_block(event);
         let completed = self.extractor.sink_mut().0.take();
         let path_started = completed.is_some() || first;
-        let mut finished: Option<(Vec<u32>, u32, bool, bool, Option<usize>)> = None;
+        let mut finished: Option<FinishedPath> = None;
         if completed.is_some() {
             finished = Some((
                 std::mem::take(&mut self.cur_blocks),
@@ -389,7 +392,7 @@ impl ExecutionObserver for Engine {
                     if *at < blocks.len() {
                         let target = blocks[*at];
                         self.cycles.profiling += cost.counter_op;
-                        let c = self.exit_counts.entry(target).or_insert(0);
+                        let c = self.exit_counts.slot(target);
                         *c += 1;
                         if *c >= self.config.delay {
                             *c = 0;

@@ -7,8 +7,6 @@
 //! divergence can transfer between same-head fragments along their common
 //! prefix, modeling linked exit stubs.
 
-use std::collections::HashMap;
-
 use hotpath_ir::BlockId;
 
 /// Identifies a fragment in its [`FragmentCache`].
@@ -72,7 +70,9 @@ impl Fragment {
 #[derive(Clone, Default, Debug)]
 pub struct FragmentCache {
     fragments: Vec<Fragment>,
-    by_head: HashMap<u32, Vec<FragmentId>>,
+    /// Fragment ids per head block, indexed densely by block id; an empty
+    /// row means no fragment starts there.
+    by_head: Vec<Vec<FragmentId>>,
     installs: u64,
     flushes: u64,
 }
@@ -112,14 +112,15 @@ impl FragmentCache {
     /// Panics if `blocks` is empty.
     pub fn install(&mut self, blocks: &[u32], insts: u32) -> Option<FragmentId> {
         assert!(!blocks.is_empty(), "a fragment covers at least one block");
-        let head = blocks[0];
-        if let Some(ids) = self.by_head.get(&head) {
-            if ids
-                .iter()
-                .any(|&id| self.fragments[id.index()].blocks == blocks)
-            {
-                return None;
-            }
+        let head = blocks[0] as usize;
+        if head >= self.by_head.len() {
+            self.by_head.resize_with(head + 1, Vec::new);
+        }
+        if self.by_head[head]
+            .iter()
+            .any(|&id| self.fragments[id.index()].blocks == blocks)
+        {
+            return None;
         }
         let id = FragmentId(self.fragments.len() as u32);
         self.fragments.push(Fragment {
@@ -128,22 +129,24 @@ impl FragmentCache {
             entries: 0,
             completions: 0,
         });
-        self.by_head.entry(head).or_default().push(id);
+        self.by_head[head].push(id);
         self.installs += 1;
         Some(id)
     }
 
+    /// The fragments starting at a head block, in install order.
+    fn head_row(&self, head: u32) -> &[FragmentId] {
+        self.by_head.get(head as usize).map_or(&[], Vec::as_slice)
+    }
+
     /// The primary (first-installed) fragment for a head, if any.
     pub fn entry_for(&self, head: BlockId) -> Option<FragmentId> {
-        self.by_head
-            .get(&head.as_u32())
-            .and_then(|v| v.first())
-            .copied()
+        self.head_row(head.as_u32()).first().copied()
     }
 
     /// True if any fragment starts at `head`.
     pub fn has_head(&self, head: BlockId) -> bool {
-        self.by_head.contains_key(&head.as_u32())
+        !self.head_row(head.as_u32()).is_empty()
     }
 
     /// Fragment accessor.
@@ -171,8 +174,8 @@ impl FragmentCache {
     pub fn divert(&self, id: FragmentId, prefix_len: usize, next: u32) -> Option<FragmentId> {
         let cur = &self.fragments[id.index()];
         let head = cur.blocks[0];
-        let ids = self.by_head.get(&head)?;
-        ids.iter()
+        self.head_row(head)
+            .iter()
             .copied()
             .filter(|&cand| cand != id)
             .find(|&cand| {
@@ -187,7 +190,9 @@ impl FragmentCache {
     /// fragments are discarded; `installs`/`flushes` counters survive.
     pub fn flush(&mut self) {
         self.fragments.clear();
-        self.by_head.clear();
+        for row in &mut self.by_head {
+            row.clear();
+        }
         self.flushes += 1;
     }
 

@@ -499,7 +499,7 @@ mod tests {
     }
 
     fn round_trip_all(bl: &BallLarus) {
-        let n = u128::try_from(bl.num_paths()).unwrap();
+        let n = bl.num_paths();
         let mut seen = std::collections::HashSet::new();
         for id in 0..n {
             let blocks = bl.decode(id).expect("decodable");

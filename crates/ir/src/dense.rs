@@ -1,0 +1,227 @@
+//! Dense, grow-on-demand counter tables for the profiling hot loops.
+//!
+//! The profiling structures that fire on every executed block (NET head
+//! counters, Boa edge counters, edge/block profiles, Dynamo exit-stub
+//! counters) were originally `HashMap`s keyed by block id. Block ids are
+//! small dense integers — the VM numbers them contiguously per program —
+//! so a flat `Vec` indexed by id replaces hash-and-probe with one indexed
+//! load, while growing on demand keeps constructors free of any `Layout`
+//! dependency.
+//!
+//! [`CounterTable`] is the scalar case: one `u64` counter per id, with a
+//! sentinel distinguishing *never touched* from *counted back down to
+//! zero* so `counter_space()`-style accounting stays exact even for
+//! counters that reset (NET heads reset at τ). [`AdjCounters`] is the edge
+//! case: per-source adjacency rows of `(target, count)` pairs in
+//! first-seen order, replacing maps keyed by packed `(from << 32) | to`
+//! words. Out-degrees are small (a handful of successors; tens for switch
+//! blocks), so a linear row scan beats hashing the packed key.
+
+/// Reserved value marking a slot that has never been touched. Counters
+/// would need 2⁶⁴ increments to reach it legitimately.
+const EMPTY: u64 = u64::MAX;
+
+/// A dense `u64` counter per small-integer id, growing on demand.
+///
+/// # Example
+///
+/// ```
+/// use hotpath_ir::dense::CounterTable;
+/// let mut t = CounterTable::new();
+/// *t.slot(7) += 1;
+/// assert_eq!(t.get(7), 1);
+/// assert_eq!(t.get(8), 0);
+/// assert_eq!(t.live(), 1);
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct CounterTable {
+    slots: Vec<u64>,
+    live: usize,
+}
+
+impl CounterTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter for `id`, zero if never touched.
+    #[inline]
+    pub fn get(&self, id: u32) -> u64 {
+        match self.slots.get(id as usize) {
+            Some(&EMPTY) | None => 0,
+            Some(&v) => v,
+        }
+    }
+
+    /// Mutable access to the counter for `id`, allocating it (at zero) on
+    /// first touch.
+    #[inline]
+    pub fn slot(&mut self, id: u32) -> &mut u64 {
+        let idx = id as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, EMPTY);
+        }
+        let s = &mut self.slots[idx];
+        if *s == EMPTY {
+            *s = 0;
+            self.live += 1;
+        }
+        s
+    }
+
+    /// Number of ids ever touched — the scheme's counter space. A counter
+    /// that was reset to zero still occupies its slot.
+    #[inline]
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Forgets every counter, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.slots.fill(EMPTY);
+        self.live = 0;
+    }
+
+    /// Iterates `(id, count)` over touched slots in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v != EMPTY)
+            .map(|(i, &v)| (i as u32, v))
+    }
+}
+
+/// Dense per-source edge counters: one adjacency row per `from` id, each
+/// row holding `(to, count)` pairs in first-seen order.
+#[derive(Clone, Default, Debug)]
+pub struct AdjCounters {
+    rows: Vec<Vec<(u32, u64)>>,
+    edges: usize,
+}
+
+impl AdjCounters {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments the `from -> to` counter (allocating it on first sight)
+    /// and returns the new count.
+    #[inline]
+    pub fn bump(&mut self, from: u32, to: u32) -> u64 {
+        let idx = from as usize;
+        if idx >= self.rows.len() {
+            self.rows.resize_with(idx + 1, Vec::new);
+        }
+        let row = &mut self.rows[idx];
+        for entry in row.iter_mut() {
+            if entry.0 == to {
+                entry.1 += 1;
+                return entry.1;
+            }
+        }
+        row.push((to, 1));
+        self.edges += 1;
+        1
+    }
+
+    /// The count of `from -> to`, zero if never seen.
+    #[inline]
+    pub fn get(&self, from: u32, to: u32) -> u64 {
+        self.row(from)
+            .iter()
+            .find(|&&(t, _)| t == to)
+            .map_or(0, |&(_, c)| c)
+    }
+
+    /// The successors of `from` with their counts, in first-seen order.
+    #[inline]
+    pub fn row(&self, from: u32) -> &[(u32, u64)] {
+        self.rows.get(from as usize).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct `(from, to)` pairs seen — the scheme's counter
+    /// space.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Forgets every edge, keeping the outer allocation.
+    pub fn clear(&mut self) {
+        for row in &mut self.rows {
+            row.clear();
+        }
+        self.edges = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_table_distinguishes_reset_from_untouched() {
+        let mut t = CounterTable::new();
+        assert_eq!(t.get(3), 0);
+        assert_eq!(t.live(), 0);
+        *t.slot(3) += 5;
+        assert_eq!(t.get(3), 5);
+        // Reset to zero: still live (it occupies counter space).
+        *t.slot(3) = 0;
+        assert_eq!(t.get(3), 0);
+        assert_eq!(t.live(), 1);
+        *t.slot(0) += 1;
+        assert_eq!(t.live(), 2);
+    }
+
+    #[test]
+    fn counter_table_clear_forgets_everything() {
+        let mut t = CounterTable::new();
+        *t.slot(9) += 2;
+        t.clear();
+        assert_eq!(t.live(), 0);
+        assert_eq!(t.get(9), 0);
+        *t.slot(9) += 1;
+        assert_eq!(t.get(9), 1);
+        assert_eq!(t.live(), 1);
+    }
+
+    #[test]
+    fn counter_table_iterates_in_id_order() {
+        let mut t = CounterTable::new();
+        *t.slot(5) += 7;
+        *t.slot(1) += 3;
+        *t.slot(8) = 0;
+        let all: Vec<_> = t.iter().collect();
+        assert_eq!(all, vec![(1, 3), (5, 7), (8, 0)]);
+    }
+
+    #[test]
+    fn adj_counts_and_preserves_first_seen_order() {
+        let mut a = AdjCounters::new();
+        assert_eq!(a.bump(2, 9), 1);
+        assert_eq!(a.bump(2, 4), 1);
+        assert_eq!(a.bump(2, 9), 2);
+        assert_eq!(a.get(2, 9), 2);
+        assert_eq!(a.get(2, 4), 1);
+        assert_eq!(a.get(2, 5), 0);
+        assert_eq!(a.get(7, 0), 0);
+        assert_eq!(a.row(2), &[(9, 2), (4, 1)]);
+        assert_eq!(a.edge_count(), 2);
+    }
+
+    #[test]
+    fn adj_clear_resets_edges() {
+        let mut a = AdjCounters::new();
+        a.bump(0, 1);
+        a.bump(1, 0);
+        assert_eq!(a.edge_count(), 2);
+        a.clear();
+        assert_eq!(a.edge_count(), 0);
+        assert_eq!(a.get(0, 1), 0);
+        assert!(a.row(1).is_empty());
+    }
+}

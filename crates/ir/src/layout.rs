@@ -115,8 +115,6 @@ mod tests {
     use crate::program::{BasicBlock, Function, Terminator};
 
     fn two_func_program() -> Program {
-        let blk = |n: usize| BasicBlock::new(vec![], Terminator::Halt);
-        let _ = blk; // sizes are all 1 here
         let f0 = Function {
             name: "f0".into(),
             blocks: vec![

@@ -64,6 +64,7 @@
 pub mod ball_larus;
 pub mod builder;
 pub mod cfg;
+pub mod dense;
 mod error;
 pub mod fasthash;
 pub mod gen;

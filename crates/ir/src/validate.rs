@@ -77,14 +77,12 @@ pub fn validate(program: &Program) -> Result<(), IrError> {
             match &block.terminator {
                 Terminator::Branch { cond, .. } => check_reg(*cond, bi)?,
                 Terminator::Switch { index, .. } => check_reg(*index, bi)?,
-                Terminator::Call { callee, .. } => {
-                    if callee.index() >= program.functions.len() {
-                        return Err(IrError::BadCallTarget {
-                            function: func.name.clone(),
-                            block: bi,
-                            callee: callee.index(),
-                        });
-                    }
+                Terminator::Call { callee, .. } if callee.index() >= program.functions.len() => {
+                    return Err(IrError::BadCallTarget {
+                        function: func.name.clone(),
+                        block: bi,
+                        callee: callee.index(),
+                    });
                 }
                 _ => {}
             }

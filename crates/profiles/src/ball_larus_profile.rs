@@ -6,9 +6,8 @@
 //! table at every path end. Paths are intraprocedural (they pause across
 //! calls and resume after the matching return), exactly as in Ball & Larus.
 
-use std::collections::HashMap;
-
 use hotpath_ir::ball_larus::{BallLarus, BallLarusError, Transfer};
+use hotpath_ir::fasthash::FxHashMap;
 use hotpath_ir::{Layout, LocalBlockId, Program};
 use hotpath_vm::{BlockEvent, ExecutionObserver, TransferKind};
 
@@ -29,7 +28,7 @@ struct SavedFrame {
 pub struct BallLarusProfiler {
     layout: Layout,
     numberings: Vec<BallLarus>,
-    counts: HashMap<(u32, u128), u64>,
+    counts: FxHashMap<(u32, u128), u64>,
     stack: Vec<SavedFrame>,
     cur_func: u32,
     reg: i128,
@@ -53,7 +52,7 @@ impl BallLarusProfiler {
         Ok(BallLarusProfiler {
             layout: Layout::new(program),
             numberings,
-            counts: HashMap::new(),
+            counts: FxHashMap::default(),
             stack: Vec::new(),
             cur_func: 0,
             reg: 0,

@@ -16,8 +16,7 @@
 //! behind the paper's closing remark that even offline, sophisticated path
 //! profiling buys little over cheaper schemes.
 
-use std::collections::HashMap;
-
+use hotpath_ir::dense::{AdjCounters, CounterTable};
 use hotpath_vm::{BlockEvent, ExecutionObserver};
 
 use crate::profile::{HotPathSet, PathProfile};
@@ -26,8 +25,8 @@ use crate::signature::{PathId, PathTable};
 /// Collects edge and block execution frequencies.
 #[derive(Clone, Default, Debug)]
 pub struct EdgeProfiler {
-    edges: HashMap<u64, u64>,
-    blocks: HashMap<u32, u64>,
+    edges: AdjCounters,
+    blocks: CounterTable,
     transfers: u64,
 }
 
@@ -39,20 +38,17 @@ impl EdgeProfiler {
 
     /// Frequency of the edge `from -> to`.
     pub fn edge(&self, from: u32, to: u32) -> u64 {
-        self.edges
-            .get(&(((from as u64) << 32) | to as u64))
-            .copied()
-            .unwrap_or(0)
+        self.edges.get(from, to)
     }
 
     /// Execution count of a block.
     pub fn block(&self, block: u32) -> u64 {
-        self.blocks.get(&block).copied().unwrap_or(0)
+        self.blocks.get(block)
     }
 
     /// Number of distinct edges seen (the scheme's counter space).
     pub fn edge_count(&self) -> usize {
-        self.edges.len()
+        self.edges.edge_count()
     }
 
     /// Total control transfers observed.
@@ -74,10 +70,9 @@ impl EdgeProfiler {
 
 impl ExecutionObserver for EdgeProfiler {
     fn on_block(&mut self, event: &BlockEvent) {
-        *self.blocks.entry(event.block.as_u32()).or_insert(0) += 1;
+        *self.blocks.slot(event.block.as_u32()) += 1;
         if let Some(from) = event.from {
-            let key = ((from.as_u32() as u64) << 32) | event.block.as_u32() as u64;
-            *self.edges.entry(key).or_insert(0) += 1;
+            self.edges.bump(from.as_u32(), event.block.as_u32());
             self.transfers += 1;
         }
     }

@@ -8,8 +8,7 @@
 //! lazy update; we charge one table update per branch, its cost
 //! upper bound).
 
-use std::collections::HashMap;
-
+use hotpath_ir::fasthash::FxHashMap;
 use hotpath_vm::{BlockEvent, ExecutionObserver, TransferKind};
 
 use crate::cost::ProfilingCost;
@@ -23,7 +22,7 @@ use crate::cost::ProfilingCost;
 pub struct KBoundedProfiler {
     k: usize,
     window: Vec<u32>,
-    counts: HashMap<Box<[u32]>, u64>,
+    counts: FxHashMap<Box<[u32]>, u64>,
     cost: ProfilingCost,
     branches: u64,
 }
@@ -39,7 +38,7 @@ impl KBoundedProfiler {
         KBoundedProfiler {
             k,
             window: Vec::with_capacity(k),
-            counts: HashMap::new(),
+            counts: FxHashMap::default(),
             cost: ProfilingCost::new(),
             branches: 0,
         }

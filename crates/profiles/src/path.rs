@@ -400,16 +400,6 @@ mod tests {
         ex.into_parts()
     }
 
-    fn extract_branches_only(p: &Program) -> (CollectSink, PathTable) {
-        let mut ex = PathExtractor::with_options(
-            CollectSink::default(),
-            DEFAULT_PATH_CAP,
-            BackwardRule::BranchesOnly,
-        );
-        Vm::new(p).run(&mut ex).unwrap();
-        ex.into_parts()
-    }
-
     #[test]
     fn loop_paths_partition_the_run() {
         let p = loop_program(10);

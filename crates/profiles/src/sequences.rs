@@ -131,7 +131,7 @@ mod tests {
         let mut rec = SequenceRecorder::new();
         Vm::new(&p).run(&mut rec).unwrap();
         let (stream, table, seqs) = rec.into_parts();
-        assert!(stream.len() > 0);
+        assert!(!stream.is_empty());
         for (id, info) in table.iter() {
             let seq = &seqs[id.index()];
             assert_eq!(seq.len(), info.blocks as usize, "{id}");

@@ -8,9 +8,9 @@
 //! Dynamo used this scheme, and why we use it as the canonical path
 //! identity.
 
-use std::collections::HashMap;
 use std::fmt;
 
+use hotpath_ir::fasthash::FxHashMap;
 use hotpath_ir::BlockId;
 
 /// Dense identifier for an interned path.
@@ -166,7 +166,7 @@ pub struct PathInfo {
 /// path's counter. Here the table also records [`PathInfo`] for metrics.
 #[derive(Clone, Default, Debug)]
 pub struct PathTable {
-    map: HashMap<PathSignature, PathId>,
+    map: FxHashMap<PathSignature, PathId>,
     infos: Vec<PathInfo>,
     sigs: Vec<PathSignature>,
 }

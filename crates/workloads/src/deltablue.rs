@@ -252,9 +252,9 @@ mod tests {
     #[test]
     fn graph_has_chain_backbone() {
         let (cons, _) = generate_graph(10, 1);
-        for k in 0..VARS - 1 {
-            assert_eq!(cons[k].src, k as i64);
-            assert_eq!(cons[k].dst, (k + 1) as i64);
+        for (k, c) in cons.iter().take(VARS - 1).enumerate() {
+            assert_eq!(c.src, k as i64);
+            assert_eq!(c.dst, (k + 1) as i64);
         }
     }
 

@@ -280,11 +280,7 @@ fn gen_tree(rng: &mut Rng64, nodes: &mut Vec<Node>, depth: u32) -> i64 {
             };
             let a = gen_tree(rng, nodes, depth - 1);
             let b = gen_tree(rng, nodes, depth - 1);
-            nodes[slot] = Node {
-                tag,
-                a: a,
-                b: b,
-            };
+            nodes[slot] = Node { tag, a, b };
         }
         3 => {
             let cond = gen_tree(rng, nodes, depth - 1);
@@ -303,11 +299,7 @@ fn gen_tree(rng: &mut Rng64, nodes: &mut Vec<Node>, depth: u32) -> i64 {
         _ => {
             let a = gen_tree(rng, nodes, depth - 1);
             let b = gen_tree(rng, nodes, depth - 1);
-            nodes[slot] = Node {
-                tag: T_MAX2,
-                a: a,
-                b: b,
-            };
+            nodes[slot] = Node { tag: T_MAX2, a, b };
         }
     }
     slot as i64

@@ -370,7 +370,7 @@ fn generate_guest_program(seed: u64, outer_trips: i64) -> Vec<i64> {
         code.push(enc(OP_ADD, 3, 3, 4, 0));
 
         // Inner loop: load-modify-store over guest memory.
-        code.push(enc(OP_ADDI, 14, 0, 0, 4 + phase as i64));
+        code.push(enc(OP_ADDI, 14, 0, 0, 4 + phase));
         let inner_top = code.len() as i64;
         code.push(enc(OP_ADDI, 13, 13, 0, 7)); // advance index
         code.push(enc(OP_LOAD, 5, 13, 0, 0));

@@ -128,7 +128,7 @@ pub fn build(scale: Scale) -> Program {
         for (k, (op, blk)) in ops.iter().zip(blocks).enumerate() {
             let next = blocks
                 .get(k + 1)
-                .map(|b| first_block(b))
+                .map(first_block)
                 .unwrap_or(match_proc);
             match (op, blk) {
                 (POp::Char(c), OpBlocks::Consume { entry, test }) => {

@@ -89,8 +89,8 @@ pub fn build(scale: Scale) -> Program {
     fb.and_imm(klow, key, 15);
     fb.jump(walk_hdr);
     fb.switch_to(walk_hdr);
-    for u in 0..2 {
-        let [test, full, advance, next_probe] = probes[u];
+    for &probe in &probes {
+        let [test, full, advance, next_probe] = probe;
         let nil = fb.cmp_imm(CmpOp::Eq, node, 0);
         fb.branch(nil, walk_done, test);
         fb.switch_to(test);

@@ -50,8 +50,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\ntop 10 paths by frequency:");
     println!(
-        "{:>4} {:>10} {:>8} {:>7} {:>7}  {}",
-        "#", "freq", "freq%", "blocks", "insts", "head"
+        "{:>4} {:>10} {:>8} {:>7} {:>7}  head",
+        "#", "freq", "freq%", "blocks", "insts"
     );
     for (rank, (id, freq)) in profile.top_n(10).into_iter().enumerate() {
         let info = table.info(id);

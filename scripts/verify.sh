@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Offline-safe verification: build, test, lint, and a perf smoke run.
+# Everything here must pass with no network access (the workspace has no
+# external dependencies).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --workspace --release =="
+cargo build --workspace --release
+
+echo "== cargo test --workspace =="
+cargo test --workspace --quiet
+
+echo "== cargo clippy --workspace --all-targets (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== perf_baseline smoke (scale smoke, throwaway JSON) =="
+# perf_baseline refuses to append to a file it did not write, so hand it a
+# fresh path rather than a pre-created mktemp file.
+./target/release/perf_baseline --scale smoke --reps 1 --label verify-smoke \
+    --json "$(mktemp -d -t bench_verify_XXXXXX)/bench.json"
+
+echo "verify.sh: all checks passed"
