@@ -77,18 +77,19 @@ fn main() {
         "policy", "speedup", "live", "flushes", "spikes"
     );
     let mut rows = Vec::new();
-    let policies: Vec<(String, FlushPolicy)> = std::iter::once(("never".to_string(), FlushPolicy::Never))
-        .chain([2_000u64, 10_000, 50_000].into_iter().map(|window| {
-            (
-                format!("spike_w{window}"),
-                FlushPolicy::OnSpike {
-                    window,
-                    factor: 6.0,
-                    min_predictions: 2,
-                },
-            )
-        }))
-        .collect();
+    let policies: Vec<(String, FlushPolicy)> =
+        std::iter::once(("never".to_string(), FlushPolicy::Never))
+            .chain([2_000u64, 10_000, 50_000].into_iter().map(|window| {
+                (
+                    format!("spike_w{window}"),
+                    FlushPolicy::OnSpike {
+                        window,
+                        factor: 6.0,
+                        min_predictions: 2,
+                    },
+                )
+            }))
+            .collect();
     for (label, policy) in policies {
         let mut cfg = DynamoConfig::new(Scheme::Net, 50);
         cfg.flush = policy;

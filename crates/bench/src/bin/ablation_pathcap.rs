@@ -21,14 +21,15 @@ fn main() {
         "benchmark", "cap", "paths", "flow", "hit@50"
     );
     let mut rows = Vec::new();
-    for name in [WorkloadName::Li, WorkloadName::Ijpeg, WorkloadName::Compress] {
+    for name in [
+        WorkloadName::Li,
+        WorkloadName::Ijpeg,
+        WorkloadName::Compress,
+    ] {
         let w = build(name, opts.scale);
         for cap in [8u32, 32, 128, 1024] {
-            let mut ex = PathExtractor::with_options(
-                StreamingSink::new(),
-                cap,
-                BackwardRule::default(),
-            );
+            let mut ex =
+                PathExtractor::with_options(StreamingSink::new(), cap, BackwardRule::default());
             Vm::new(&w.program).run(&mut ex).expect("runs");
             let (sink, table) = ex.into_parts();
             let stream = sink.into_stream();

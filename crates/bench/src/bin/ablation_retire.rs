@@ -16,7 +16,13 @@ fn main() {
     let opts = Options::from_env();
     println!(
         "{:<10} {:>12} {:>9} {:>10} {:>9} {:>13} {:>10}",
-        "benchmark", "idle_window", "covered%", "precision%", "retired", "noise_avoided", "hits_lost"
+        "benchmark",
+        "idle_window",
+        "covered%",
+        "precision%",
+        "retired",
+        "noise_avoided",
+        "hits_lost"
     );
     let mut rows = Vec::new();
     for name in [

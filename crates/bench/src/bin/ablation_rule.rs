@@ -27,8 +27,7 @@ fn main() {
             ("all-transfers", BackwardRule::AllTransfers),
             ("branches-only", BackwardRule::BranchesOnly),
         ] {
-            let mut ex =
-                PathExtractor::with_options(StreamingSink::new(), DEFAULT_PATH_CAP, rule);
+            let mut ex = PathExtractor::with_options(StreamingSink::new(), DEFAULT_PATH_CAP, rule);
             Vm::new(&w.program).run(&mut ex).expect("runs");
             let (sink, table) = ex.into_parts();
             let stream = sink.into_stream();

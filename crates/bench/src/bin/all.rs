@@ -7,23 +7,55 @@
 //! ```
 
 use hotpath_bench::{
-    average_series, record_suite_parallel, sweep_suite, write_csv, Options,
+    average_series, record_suite_parallel, sweep_suite, write_csv, write_telemetry, Options,
 };
 use hotpath_core::SchemeKind;
 use hotpath_dynamo::{run_dynamo, run_native, DynamoConfig, Scheme};
+use hotpath_telemetry as telemetry;
 use hotpath_workloads::{build, ALL_WORKLOADS};
 
 fn main() {
     let opts = Options::from_env();
+    // All run telemetry funnels into one summary, written alongside the
+    // CSVs as telemetry.json. Recording runs on worker threads (where no
+    // recorder is installed), so the measured times are re-emitted as
+    // Timing events below; the Figure 5 Dynamo runs execute on this thread
+    // and stream their engine events straight into the summary.
+    let (recorder, summary) = telemetry::SummaryRecorder::new();
+    let _guard = telemetry::install(Box::new(recorder));
+
     let wall = std::time::Instant::now();
     let runs = record_suite_parallel(opts.scale);
     let wall = wall.elapsed().as_secs_f64();
 
+    for run in &runs {
+        telemetry::emit!(telemetry::Event::Timing {
+            label: &format!("record/{}", run.name),
+            secs: run.record_secs,
+        });
+    }
+    telemetry::emit!(telemetry::Event::Timing {
+        label: "record/suite_wall",
+        secs: wall,
+    });
+
     // Per-workload record times: the parallel recorder's wall clock is the
     // slowest workload, the serial sum is what it replaced.
     println!("== Recording times ==");
-    for run in &runs {
-        println!("{:<10} {:>6.2}s", run.name.to_string(), run.record_secs);
+    let timed = summary.snapshot();
+    if timed.timings().is_empty() {
+        // Telemetry compiled out (--no-default-features): report directly.
+        for run in &runs {
+            println!(
+                "record/{:<17} {:>6.2}s",
+                run.name.to_string(),
+                run.record_secs
+            );
+        }
+    } else {
+        for (label, secs) in timed.timings() {
+            println!("{label:<24} {secs:>6.2}s");
+        }
     }
     let serial_sum: f64 = runs.iter().map(|r| r.record_secs).sum();
     println!(
@@ -141,8 +173,11 @@ fn main() {
         let native = run_native(&w.program).expect("native");
         for scheme in [Scheme::Net, Scheme::PathProfile] {
             for delay in [10u64, 50, 100] {
+                let label = format!("fig5/{name}/{scheme}/tau{delay}");
+                telemetry::emit!(telemetry::Event::RunStart { label: &label });
                 let out =
                     run_dynamo(&w.program, &DynamoConfig::new(scheme, delay)).expect("dynamo");
+                telemetry::emit!(telemetry::Event::RunEnd { label: &label });
                 println!(
                     "{:<10} {:<12} tau={:<4} speedup={:+.1}%{}",
                     name.to_string(),
@@ -165,5 +200,9 @@ fn main() {
         "benchmark,scheme,delay,speedup_pct,bailed_out",
         &f5,
     );
-    println!("\nAll tables and figures regenerated into {}", opts.out_dir.display());
+    write_telemetry(&opts.out_dir, "all", &summary.snapshot());
+    println!(
+        "\nAll tables and figures regenerated into {}",
+        opts.out_dir.display()
+    );
 }

@@ -1,0 +1,141 @@
+//! `bench_compare` — the CI regression gate over pipeline snapshots.
+//!
+//! Diffs two snapshot files and exits nonzero when the second regresses:
+//!
+//! * two `BENCH_perf.json` documents (or the same document twice with
+//!   different `--baseline-label`/`--current-label`): any mode whose
+//!   blocks/sec drops more than the tolerance fails the gate;
+//! * two `telemetry.json` summaries: any differing event count fails
+//!   (events are deterministic by construction; `timings` are excluded).
+//!
+//! ```text
+//! bench_compare BASELINE.json CURRENT.json [--tolerance 0.10] [--relative]
+//!               [--baseline-label L] [--current-label L]
+//! ```
+//!
+//! `--relative` normalizes each perf run by its own `native` rate before
+//! gating, cancelling machine speed — that is what CI uses, because its
+//! baseline numbers were recorded on a different host. The tolerance
+//! defaults to the `PERF_GATE_TOLERANCE` environment variable, then 0.10.
+//!
+//! Exit codes: 0 pass, 1 regression found, 2 usage or parse error.
+
+use std::fs;
+use std::process::ExitCode;
+
+use hotpath_bench::compare::{
+    compare_perf, compare_telemetry, detect_kind, parse_perf_runs, select_run, CompareOptions,
+    DocKind, DEFAULT_TOLERANCE,
+};
+
+struct Args {
+    baseline: String,
+    current: String,
+    options: CompareOptions,
+    baseline_label: Option<String>,
+    current_label: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut tolerance = match std::env::var("PERF_GATE_TOLERANCE") {
+        Ok(v) => v
+            .parse::<f64>()
+            .map_err(|_| format!("PERF_GATE_TOLERANCE=`{v}` is not a number"))?,
+        Err(_) => DEFAULT_TOLERANCE,
+    };
+    let mut relative = false;
+    let mut baseline_label = None;
+    let mut current_label = None;
+    let mut files = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match a.as_str() {
+            "--tolerance" => {
+                let v = value("--tolerance")?;
+                tolerance = v
+                    .parse()
+                    .map_err(|_| format!("--tolerance `{v}` is not a number"))?;
+            }
+            "--relative" => relative = true,
+            "--baseline-label" => baseline_label = Some(value("--baseline-label")?),
+            "--current-label" => current_label = Some(value("--current-label")?),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            file => files.push(file.to_string()),
+        }
+    }
+    if !(0.0..1.0).contains(&tolerance) {
+        return Err(format!("tolerance {tolerance} must be in [0, 1)"));
+    }
+    let [baseline, current]: [String; 2] = files
+        .try_into()
+        .map_err(|_| "expected exactly two snapshot files".to_string())?;
+    Ok(Args {
+        baseline,
+        current,
+        options: CompareOptions {
+            tolerance,
+            relative,
+        },
+        baseline_label,
+        current_label,
+    })
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let read =
+        |path: &str| fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let base_text = read(&args.baseline)?;
+    let cur_text = read(&args.current)?;
+    let kind = detect_kind(&base_text).map_err(|e| format!("{}: {e}", args.baseline))?;
+    let cur_kind = detect_kind(&cur_text).map_err(|e| format!("{}: {e}", args.current))?;
+    if kind != cur_kind {
+        return Err(format!(
+            "cannot compare a {kind:?} document against a {cur_kind:?} document"
+        ));
+    }
+    match kind {
+        DocKind::Perf => {
+            let base_runs =
+                parse_perf_runs(&base_text).map_err(|e| format!("{}: {e}", args.baseline))?;
+            let cur_runs =
+                parse_perf_runs(&cur_text).map_err(|e| format!("{}: {e}", args.current))?;
+            let base = select_run(&base_runs, args.baseline_label.as_deref())
+                .map_err(|e| format!("{}: {e}", args.baseline))?;
+            let cur = select_run(&cur_runs, args.current_label.as_deref())
+                .map_err(|e| format!("{}: {e}", args.current))?;
+            let report = compare_perf(base, cur, args.options)?;
+            print!("{}", report.render());
+            Ok(report.passed())
+        }
+        DocKind::Telemetry => {
+            let diff = compare_telemetry(&base_text, &cur_text)?;
+            print!("{}", diff.render());
+            Ok(diff.passed())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!(
+                "bench_compare: {e}\nusage: bench_compare BASELINE.json CURRENT.json \
+                 [--tolerance F] [--relative] [--baseline-label L] [--current-label L]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("bench_compare: regression gate FAILED");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_compare: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -10,7 +10,9 @@
 //! cargo run -p hotpath-bench --release --bin fig2 -- --scale full
 //! ```
 
-use hotpath_bench::{ascii_chart, average_series, record_suite_parallel, sweep_suite, write_csv, Options};
+use hotpath_bench::{
+    ascii_chart, average_series, record_suite_parallel, sweep_suite, write_csv, Options,
+};
 use hotpath_core::SchemeKind;
 
 fn main() {
@@ -43,7 +45,10 @@ fn main() {
 
     for scheme in [SchemeKind::PathProfile, SchemeKind::Net] {
         println!("\nFigure 2 ({scheme}): hit rate in the practical range (profiled flow <= 10%)");
-        println!("{:<10} {:>8} {:>14} {:>10}", "Benchmark", "delay", "profiled%", "hit%");
+        println!(
+            "{:<10} {:>8} {:>14} {:>10}",
+            "Benchmark", "delay", "profiled%", "hit%"
+        );
         for sr in swept.iter().filter(|s| s.scheme == scheme) {
             for pt in &sr.points {
                 if pt.outcome.profiled_flow_pct() <= 10.0 {

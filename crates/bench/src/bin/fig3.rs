@@ -5,7 +5,9 @@
 //! cargo run -p hotpath-bench --release --bin fig3 -- --scale full
 //! ```
 
-use hotpath_bench::{ascii_chart, average_series, record_suite_parallel, sweep_suite, write_csv, Options};
+use hotpath_bench::{
+    ascii_chart, average_series, record_suite_parallel, sweep_suite, write_csv, Options,
+};
 use hotpath_core::SchemeKind;
 
 fn main() {

@@ -13,7 +13,10 @@ fn main() {
     let runs = record_suite_parallel(opts.scale);
 
     println!("\nFigure 4. NET counter space normalized to path-profile counter space");
-    println!("{:<10} {:>9} {:>9} {:>10}", "Benchmark", "heads", "paths", "ratio");
+    println!(
+        "{:<10} {:>9} {:>9} {:>10}",
+        "Benchmark", "heads", "paths", "ratio"
+    );
     let mut rows = Vec::new();
     let mut ratios = Vec::new();
     for run in &runs {

@@ -24,45 +24,39 @@ fn main() {
     // One thread per benchmark; each runs native + 6 Dynamo configs.
     // Rows are (scheme, delay, speedup %, bailed out).
     type SpeedupRows = Vec<(Scheme, u64, f64, bool)>;
-    let results: Vec<(WorkloadName, SpeedupRows)> =
-        std::thread::scope(|s| {
-            let handles: Vec<_> = names
-                .iter()
-                .map(|&name| {
-                    let scale = opts.scale;
-                    s.spawn(move || {
-                        let w = build(name, scale);
-                        let native = run_native(&w.program).expect("native run");
-                        let mut rows = Vec::new();
-                        for scheme in [Scheme::Net, Scheme::PathProfile] {
-                            for delay in DELAYS {
-                                let out = run_dynamo(&w.program, &DynamoConfig::new(scheme, delay))
-                                    .expect("dynamo run");
-                                rows.push((
-                                    scheme,
-                                    delay,
-                                    out.speedup_percent(native),
-                                    out.bailed_out,
-                                ));
-                                eprintln!(
-                                    "[fig5] {:<10} {:<12} tau={:<4} speedup={:+.1}%{}",
-                                    name.to_string(),
-                                    scheme.to_string(),
-                                    delay,
-                                    out.speedup_percent(native),
-                                    if out.bailed_out { " (bail-out)" } else { "" }
-                                );
-                            }
+    let results: Vec<(WorkloadName, SpeedupRows)> = std::thread::scope(|s| {
+        let handles: Vec<_> = names
+            .iter()
+            .map(|&name| {
+                let scale = opts.scale;
+                s.spawn(move || {
+                    let w = build(name, scale);
+                    let native = run_native(&w.program).expect("native run");
+                    let mut rows = Vec::new();
+                    for scheme in [Scheme::Net, Scheme::PathProfile] {
+                        for delay in DELAYS {
+                            let out = run_dynamo(&w.program, &DynamoConfig::new(scheme, delay))
+                                .expect("dynamo run");
+                            rows.push((scheme, delay, out.speedup_percent(native), out.bailed_out));
+                            eprintln!(
+                                "[fig5] {:<10} {:<12} tau={:<4} speedup={:+.1}%{}",
+                                name.to_string(),
+                                scheme.to_string(),
+                                delay,
+                                out.speedup_percent(native),
+                                if out.bailed_out { " (bail-out)" } else { "" }
+                            );
                         }
-                        (name, rows)
-                    })
+                    }
+                    (name, rows)
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("no panics"))
-                .collect()
-        });
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panics"))
+            .collect()
+    });
 
     println!("\nFigure 5. Dynamo speedup over native execution (percent)");
     println!(
@@ -110,9 +104,16 @@ fn main() {
         sums[4] / n,
         sums[5] / n
     );
-    for (i, label) in ["NET,10", "NET,50", "NET,100", "PathProfile,10", "PathProfile,50", "PathProfile,100"]
-        .iter()
-        .enumerate()
+    for (i, label) in [
+        "NET,10",
+        "NET,50",
+        "NET,100",
+        "PathProfile,10",
+        "PathProfile,50",
+        "PathProfile,100",
+    ]
+    .iter()
+    .enumerate()
     {
         csv.push(format!("average,{label},{:.3},false", sums[i] / n));
     }

@@ -20,7 +20,13 @@
 //! ratios.
 //!
 //! Usage: `perf_baseline [--scale smoke|small|full] [--label NAME]
-//! [--reps N] [--json PATH]`
+//! [--reps N] [--json PATH] [--telemetry PATH]`
+//!
+//! `--telemetry PATH` installs a summary recorder for the whole run and
+//! writes a `telemetry.json` snapshot to PATH. The recorder observes the
+//! measured loops themselves, so the reported throughput then includes
+//! recording overhead — gate CI on runs made *without* this flag and use
+//! it only when the event counts are the artifact of interest.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -31,6 +37,7 @@ use std::time::Instant;
 use hotpath_core::{HotPathPredictor, NetPredictor};
 use hotpath_dynamo::{run_dynamo, DynamoConfig, Scheme};
 use hotpath_profiles::{BallLarusProfiler, PathExecution, PathExtractor, PathSink};
+use hotpath_telemetry as telemetry;
 use hotpath_vm::{CountingObserver, Vm};
 use hotpath_workloads::{build, Scale, ALL_WORKLOADS};
 
@@ -55,6 +62,7 @@ struct Args {
     label: String,
     reps: u32,
     json: PathBuf,
+    telemetry: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -63,6 +71,7 @@ fn parse_args() -> Args {
         label: "current".to_string(),
         reps: 3,
         json: PathBuf::from("BENCH_perf.json"),
+        telemetry: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -82,9 +91,10 @@ fn parse_args() -> Args {
                 assert!(args.reps > 0, "--reps must be positive");
             }
             "--json" => args.json = PathBuf::from(value("--json")),
+            "--telemetry" => args.telemetry = Some(PathBuf::from(value("--telemetry"))),
             other => panic!(
                 "unknown argument `{other}` (usage: [--scale smoke|small|full] \
-                 [--label NAME] [--reps N] [--json PATH])"
+                 [--label NAME] [--reps N] [--json PATH] [--telemetry PATH])"
             ),
         }
     }
@@ -119,6 +129,13 @@ fn main() {
         args.label
     );
 
+    // With --telemetry, every measured loop below streams its pipeline
+    // events into this summary (and pays for doing so; see module docs).
+    let recording = args.telemetry.as_ref().map(|_| {
+        let (recorder, handle) = telemetry::SummaryRecorder::new();
+        (telemetry::install(Box::new(recorder)), handle)
+    });
+
     // blocks and per-mode best times, summed over the suite.
     let mut total_blocks: u64 = 0;
     let mut mode_secs = [0.0f64; 4];
@@ -126,6 +143,10 @@ fn main() {
     for name in ALL_WORKLOADS {
         let w = build(name, args.scale);
         let p = &w.program;
+        let workload_label = name.to_string();
+        telemetry::emit!(telemetry::Event::RunStart {
+            label: &workload_label,
+        });
 
         // Native VM run also establishes the dynamic block count every
         // other mode interprets (the workloads are deterministic).
@@ -151,14 +172,25 @@ fn main() {
             black_box(profiler.distinct_paths());
         });
         let dynamo = best_secs(args.reps, || {
-            let out = run_dynamo(p, &DynamoConfig::new(Scheme::Net, NET_DELAY))
-                .expect("dynamo run");
+            let out =
+                run_dynamo(p, &DynamoConfig::new(Scheme::Net, NET_DELAY)).expect("dynamo run");
             black_box(out);
         });
 
-        for (slot, secs) in mode_secs.iter_mut().zip([native, net, bl, dynamo]) {
+        for ((slot, secs), mode) in mode_secs
+            .iter_mut()
+            .zip([native, net, bl, dynamo])
+            .zip(MODES)
+        {
             *slot += secs;
+            telemetry::emit!(telemetry::Event::Timing {
+                label: &format!("{workload_label}/{mode}"),
+                secs,
+            });
         }
+        telemetry::emit!(telemetry::Event::RunEnd {
+            label: &workload_label,
+        });
         eprintln!(
             "[perf] {:<10} blocks={:>11} native={:.3}s net={:.3}s bl={:.3}s dynamo={:.3}s",
             name.to_string(),
@@ -209,7 +241,10 @@ fn main() {
                 .strip_suffix("\n  ]\n}")
                 .or_else(|| trimmed.strip_suffix("]\n}"))
                 .unwrap_or_else(|| {
-                    panic!("{} exists but is not a perf_baseline document", args.json.display())
+                    panic!(
+                        "{} exists but is not a perf_baseline document",
+                        args.json.display()
+                    )
                 })
                 .trim_end();
             format!("{body},\n{run_json}\n  ]\n}}\n")
@@ -217,7 +252,17 @@ fn main() {
         None => format!("{{\n  \"runs\": [\n{run_json}\n  ]\n}}\n"),
     };
     fs::write(&args.json, doc).expect("write json");
-    eprintln!("[perf] appended run `{}` to {}", args.label, args.json.display());
+    eprintln!(
+        "[perf] appended run `{}` to {}",
+        args.label,
+        args.json.display()
+    );
+
+    if let (Some(path), Some((guard, handle))) = (&args.telemetry, recording) {
+        drop(guard);
+        fs::write(path, handle.snapshot().to_json(&args.label)).expect("write telemetry json");
+        eprintln!("[perf] wrote telemetry summary to {}", path.display());
+    }
 }
 
 /// Prints blocks/sec ratios of this run against each labelled run already

@@ -13,7 +13,10 @@ fn main() {
     let runs = record_suite_parallel(opts.scale);
 
     println!("\nTable 2. Number of paths and unique path heads");
-    println!("{:<10} {:>9} {:>20}", "Benchmark", "#Paths", "#Unique Path Heads");
+    println!(
+        "{:<10} {:>9} {:>20}",
+        "Benchmark", "#Paths", "#Unique Path Heads"
+    );
     let mut rows = Vec::new();
     for run in &runs {
         println!(

@@ -1,0 +1,580 @@
+//! Snapshot comparison for the regression gate.
+//!
+//! [`bench_compare`] (the binary built from this module's API) diffs two
+//! pipeline snapshots and decides whether the second one regressed:
+//!
+//! * **Perf documents** (`BENCH_perf.json`, written by `perf_baseline`):
+//!   per-mode `blocks_per_sec` is compared and any mode slower than
+//!   `baseline * (1 - tolerance)` is a regression. With
+//!   [`CompareOptions::relative`] each mode is first normalized by the
+//!   run's own `native` rate, which cancels machine speed and makes the
+//!   gate portable across CI hosts — only the profiling *overhead ratio*
+//!   is gated, which is the quantity the paper argues about.
+//! * **Telemetry documents** (`telemetry.json`, written by `all` or
+//!   `perf_baseline --telemetry`): event counts are diffed exactly. Events
+//!   carry logical clocks only, so identical builds must produce identical
+//!   counts; any difference is reported as a behavioral change. Wall-clock
+//!   `timings` are documented nondeterministic and excluded.
+//!
+//! The documents are parsed with the dependency-free
+//! [`hotpath_telemetry::json`] value parser.
+//!
+//! [`bench_compare`]: index.html
+
+use hotpath_telemetry::json::JsonValue;
+
+/// Default regression tolerance: 10% blocks/sec loss.
+pub const DEFAULT_TOLERANCE: f64 = 0.10;
+
+/// One mode's measurements inside a perf run.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ModePerf {
+    /// Best wall seconds over the suite.
+    pub secs: f64,
+    /// Suite blocks divided by `secs`.
+    pub blocks_per_sec: f64,
+}
+
+/// One labelled `perf_baseline` invocation.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PerfRun {
+    /// The `--label` the run was recorded under.
+    pub label: String,
+    /// Workload scale (`smoke`/`small`/`full`).
+    pub scale: String,
+    /// Dynamic blocks interpreted per mode over the whole suite.
+    pub total_blocks: f64,
+    /// Per-mode measurements in document order.
+    pub modes: Vec<(String, ModePerf)>,
+}
+
+impl PerfRun {
+    /// The measurement for `mode`, if the run recorded it.
+    pub fn mode(&self, mode: &str) -> Option<ModePerf> {
+        self.modes
+            .iter()
+            .find(|(name, _)| name == mode)
+            .map(|&(_, perf)| perf)
+    }
+}
+
+/// Which kind of snapshot a file holds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DocKind {
+    /// A `BENCH_perf.json` throughput document (`{"runs": [...]}`).
+    Perf,
+    /// A `telemetry.json` summary (`{"events": {...}, ...}`).
+    Telemetry,
+}
+
+/// Sniffs the document kind from its top-level keys.
+///
+/// # Errors
+///
+/// Returns a message when the text is not JSON or matches neither format.
+pub fn detect_kind(text: &str) -> Result<DocKind, String> {
+    let value = JsonValue::parse(text)?;
+    if value.get("runs").is_some() {
+        Ok(DocKind::Perf)
+    } else if value.get("events").is_some() {
+        Ok(DocKind::Telemetry)
+    } else {
+        Err("document has neither a \"runs\" nor an \"events\" key".into())
+    }
+}
+
+/// Parses every labelled run out of a `BENCH_perf.json` document.
+///
+/// # Errors
+///
+/// Returns a message naming the missing or mistyped field.
+pub fn parse_perf_runs(text: &str) -> Result<Vec<PerfRun>, String> {
+    let value = JsonValue::parse(text)?;
+    let runs = value
+        .get("runs")
+        .and_then(|r| r.as_arr())
+        .ok_or("missing top-level \"runs\" array")?;
+    runs.iter()
+        .enumerate()
+        .map(|(i, run)| {
+            let str_field = |key: &str| {
+                run.get(key)
+                    .and_then(|v| v.as_str())
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("run #{i}: missing string \"{key}\""))
+            };
+            let modes = run
+                .get("modes")
+                .and_then(|m| m.as_obj())
+                .ok_or_else(|| format!("run #{i}: missing \"modes\" object"))?;
+            let modes = modes
+                .iter()
+                .map(|(name, mode)| {
+                    let num = |key: &str| {
+                        mode.get(key).and_then(|v| v.as_f64()).ok_or_else(|| {
+                            format!("run #{i} mode {name}: missing number \"{key}\"")
+                        })
+                    };
+                    Ok((
+                        name.clone(),
+                        ModePerf {
+                            secs: num("secs")?,
+                            blocks_per_sec: num("blocks_per_sec")?,
+                        },
+                    ))
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(PerfRun {
+                label: str_field("label")?,
+                scale: str_field("scale")?,
+                total_blocks: run
+                    .get("total_blocks")
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| format!("run #{i}: missing number \"total_blocks\""))?,
+                modes,
+            })
+        })
+        .collect()
+}
+
+/// Picks a run by label, or the last one when `label` is `None` (the most
+/// recent append).
+///
+/// # Errors
+///
+/// Returns a message listing the available labels.
+pub fn select_run<'a>(runs: &'a [PerfRun], label: Option<&str>) -> Result<&'a PerfRun, String> {
+    match label {
+        Some(want) => runs.iter().rev().find(|r| r.label == want).ok_or_else(|| {
+            let labels: Vec<&str> = runs.iter().map(|r| r.label.as_str()).collect();
+            format!("no run labelled `{want}` (have: {})", labels.join(", "))
+        }),
+        None => runs.last().ok_or_else(|| "document holds no runs".into()),
+    }
+}
+
+/// Knobs for a perf comparison.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CompareOptions {
+    /// Allowed fractional blocks/sec loss before a mode counts as
+    /// regressed (0.10 = 10%).
+    pub tolerance: f64,
+    /// Gate on rates normalized by each run's own `native` mode instead of
+    /// raw blocks/sec, cancelling machine speed (for cross-host CI).
+    pub relative: bool,
+}
+
+impl Default for CompareOptions {
+    fn default() -> Self {
+        CompareOptions {
+            tolerance: DEFAULT_TOLERANCE,
+            relative: false,
+        }
+    }
+}
+
+/// One mode's verdict.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ModeDelta {
+    /// Mode name (`native`, `net`, …).
+    pub mode: String,
+    /// Baseline metric (blocks/sec, or native-relative fraction).
+    pub baseline: f64,
+    /// Current metric.
+    pub current: f64,
+    /// `current / baseline`; below `1 - tolerance` means regressed.
+    pub ratio: f64,
+    /// Whether this mode regressed beyond the tolerance.
+    pub regressed: bool,
+}
+
+/// Outcome of comparing two perf runs.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CompareReport {
+    /// Label of the baseline run.
+    pub baseline_label: String,
+    /// Label of the current run.
+    pub current_label: String,
+    /// The options the comparison ran under.
+    pub options: CompareOptions,
+    /// Per-mode verdicts, in baseline mode order.
+    pub deltas: Vec<ModeDelta>,
+}
+
+impl CompareReport {
+    /// The modes that regressed beyond the tolerance.
+    pub fn regressions(&self) -> impl Iterator<Item = &ModeDelta> {
+        self.deltas.iter().filter(|d| d.regressed)
+    }
+
+    /// True when no mode regressed.
+    pub fn passed(&self) -> bool {
+        self.regressions().next().is_none()
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let metric = if self.options.relative {
+            "rate/native"
+        } else {
+            "blocks/sec"
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "perf gate: `{}` -> `{}` ({metric}, tolerance {:.0}%)",
+            self.baseline_label,
+            self.current_label,
+            self.options.tolerance * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "{:<12} {:>14} {:>14} {:>8}  verdict",
+            "mode", "baseline", "current", "ratio"
+        );
+        for d in &self.deltas {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>14.3} {:>14.3} {:>7.3}x  {}",
+                d.mode,
+                d.baseline,
+                d.current,
+                d.ratio,
+                if d.regressed { "REGRESSED" } else { "ok" }
+            );
+        }
+        out
+    }
+}
+
+/// Compares two perf runs mode-by-mode.
+///
+/// Modes present in only one run are skipped — the gate judges the shared
+/// surface. In relative mode the `native` row is reported (it is the
+/// normalizer, always 1.0) but never gated.
+///
+/// # Errors
+///
+/// Returns a message when relative mode is requested and either run lacks
+/// a `native` measurement, or when the runs share no modes.
+pub fn compare_perf(
+    baseline: &PerfRun,
+    current: &PerfRun,
+    options: CompareOptions,
+) -> Result<CompareReport, String> {
+    let normalizer = |run: &PerfRun| -> Result<f64, String> {
+        if !options.relative {
+            return Ok(1.0);
+        }
+        run.mode("native")
+            .map(|m| m.blocks_per_sec)
+            .filter(|&r| r > 0.0)
+            .ok_or_else(|| format!("run `{}` has no native rate to normalize by", run.label))
+    };
+    let base_norm = normalizer(baseline)?;
+    let cur_norm = normalizer(current)?;
+    let mut deltas = Vec::new();
+    for (mode, base) in &baseline.modes {
+        let Some(cur) = current.mode(mode) else {
+            continue;
+        };
+        let base_metric = base.blocks_per_sec / base_norm;
+        let cur_metric = cur.blocks_per_sec / cur_norm;
+        let ratio = cur_metric / base_metric;
+        let gated = !(options.relative && mode == "native");
+        deltas.push(ModeDelta {
+            mode: mode.clone(),
+            baseline: base_metric,
+            current: cur_metric,
+            ratio,
+            regressed: gated && ratio < 1.0 - options.tolerance,
+        });
+    }
+    if deltas.is_empty() {
+        return Err(format!(
+            "runs `{}` and `{}` share no modes",
+            baseline.label, current.label
+        ));
+    }
+    Ok(CompareReport {
+        baseline_label: baseline.label.clone(),
+        current_label: current.label.clone(),
+        options,
+        deltas,
+    })
+}
+
+/// One event kind whose count differs between two telemetry summaries.
+#[derive(Clone, PartialEq, Debug)]
+pub struct EventDelta {
+    /// The event kind tag.
+    pub kind: String,
+    /// Count in the baseline summary (0 when absent).
+    pub baseline: u64,
+    /// Count in the current summary (0 when absent).
+    pub current: u64,
+}
+
+/// Outcome of diffing two `telemetry.json` summaries.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct TelemetryDiff {
+    /// Event kinds whose counts differ, in tag order.
+    pub changed: Vec<EventDelta>,
+}
+
+impl TelemetryDiff {
+    /// True when every event count matches.
+    pub fn passed(&self) -> bool {
+        self.changed.is_empty()
+    }
+
+    /// Renders the diff as text.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.passed() {
+            out.push_str("telemetry gate: event counts identical\n");
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "telemetry gate: {} event kind(s) differ",
+            self.changed.len()
+        );
+        let _ = writeln!(out, "{:<24} {:>12} {:>12}", "event", "baseline", "current");
+        for d in &self.changed {
+            let _ = writeln!(out, "{:<24} {:>12} {:>12}", d.kind, d.baseline, d.current);
+        }
+        out
+    }
+}
+
+/// Diffs the `events` sections of two `telemetry.json` documents. Wall
+/// clock (`timings`) is nondeterministic by contract and not compared.
+///
+/// # Errors
+///
+/// Returns a message when either document fails to parse or lacks an
+/// `events` object.
+pub fn compare_telemetry(baseline: &str, current: &str) -> Result<TelemetryDiff, String> {
+    let counts = |text: &str, which: &str| -> Result<Vec<(String, u64)>, String> {
+        let value = JsonValue::parse(text).map_err(|e| format!("{which}: {e}"))?;
+        let events = value
+            .get("events")
+            .and_then(|e| e.as_obj())
+            .ok_or_else(|| format!("{which}: missing \"events\" object"))?;
+        Ok(events
+            .iter()
+            .map(|(k, v)| (k.clone(), v.as_f64().unwrap_or(0.0) as u64))
+            .collect())
+    };
+    let base = counts(baseline, "baseline")?;
+    let cur = counts(current, "current")?;
+    let mut kinds: Vec<&str> = base
+        .iter()
+        .chain(cur.iter())
+        .map(|(k, _)| k.as_str())
+        .collect();
+    kinds.sort_unstable();
+    kinds.dedup();
+    let lookup = |set: &[(String, u64)], kind: &str| {
+        set.iter().find(|(k, _)| k == kind).map_or(0, |&(_, n)| n)
+    };
+    let changed = kinds
+        .into_iter()
+        .filter_map(|kind| {
+            let (b, c) = (lookup(&base, kind), lookup(&cur, kind));
+            (b != c).then(|| EventDelta {
+                kind: kind.to_string(),
+                baseline: b,
+                current: c,
+            })
+        })
+        .collect();
+    Ok(TelemetryDiff { changed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perf_doc(label: &str, net_rate: f64) -> String {
+        format!(
+            r#"{{
+  "runs": [
+    {{
+      "label": "{label}",
+      "scale": "small",
+      "reps": 3,
+      "total_blocks": 1000000,
+      "modes": {{
+        "native": {{"secs": 1.0, "blocks_per_sec": 1000000}},
+        "net": {{"secs": 2.0, "blocks_per_sec": {net_rate}}},
+        "dynamo": {{"secs": 4.0, "blocks_per_sec": 250000}}
+      }}
+    }}
+  ]
+}}"#
+        )
+    }
+
+    #[test]
+    fn detects_document_kinds() {
+        assert_eq!(detect_kind(&perf_doc("a", 1.0)), Ok(DocKind::Perf));
+        assert_eq!(
+            detect_kind(r#"{"label": "x", "events": {"vm_halt": 1}}"#),
+            Ok(DocKind::Telemetry)
+        );
+        assert!(detect_kind(r#"{"something": 1}"#).is_err());
+        assert!(detect_kind("not json").is_err());
+    }
+
+    #[test]
+    fn parses_perf_runs() {
+        let runs = parse_perf_runs(&perf_doc("base", 500000.0)).unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].label, "base");
+        assert_eq!(runs[0].total_blocks, 1000000.0);
+        assert_eq!(runs[0].mode("net").unwrap().blocks_per_sec, 500000.0);
+        assert!(runs[0].mode("bogus").is_none());
+    }
+
+    #[test]
+    fn select_run_by_label_and_default_last() {
+        let text = perf_doc("only", 1.0);
+        let runs = parse_perf_runs(&text).unwrap();
+        assert_eq!(select_run(&runs, None).unwrap().label, "only");
+        assert_eq!(select_run(&runs, Some("only")).unwrap().label, "only");
+        let err = select_run(&runs, Some("missing")).unwrap_err();
+        assert!(err.contains("only"), "{err}");
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let runs = parse_perf_runs(&perf_doc("a", 500000.0)).unwrap();
+        let report = compare_perf(&runs[0], &runs[0], CompareOptions::default()).unwrap();
+        assert!(report.passed());
+        assert!(report.deltas.iter().all(|d| (d.ratio - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn fifteen_percent_regression_fails_the_default_gate() {
+        // The acceptance scenario: a synthetic 15% net-mode throughput loss
+        // must trip the default 10% tolerance.
+        let base = &parse_perf_runs(&perf_doc("base", 500000.0)).unwrap()[0];
+        let cur = &parse_perf_runs(&perf_doc("cur", 425000.0)).unwrap()[0];
+        let report = compare_perf(base, cur, CompareOptions::default()).unwrap();
+        assert!(!report.passed());
+        let regressed: Vec<&str> = report.regressions().map(|d| d.mode.as_str()).collect();
+        assert_eq!(regressed, ["net"]);
+        // A 20% tolerance absorbs it.
+        let loose = compare_perf(
+            base,
+            cur,
+            CompareOptions {
+                tolerance: 0.20,
+                relative: false,
+            },
+        )
+        .unwrap();
+        assert!(loose.passed());
+    }
+
+    #[test]
+    fn relative_mode_cancels_machine_speed() {
+        // The "current" machine is uniformly 2x slower: every absolute rate
+        // halves, which the raw gate flags but the relative gate forgives.
+        let base = &parse_perf_runs(&perf_doc("base", 500000.0)).unwrap()[0];
+        let mut cur = base.clone();
+        cur.label = "cur".into();
+        for (_, m) in &mut cur.modes {
+            m.blocks_per_sec /= 2.0;
+            m.secs *= 2.0;
+        }
+        let raw = compare_perf(base, &cur, CompareOptions::default()).unwrap();
+        assert!(!raw.passed());
+        let rel = compare_perf(
+            base,
+            &cur,
+            CompareOptions {
+                tolerance: DEFAULT_TOLERANCE,
+                relative: true,
+            },
+        )
+        .unwrap();
+        assert!(rel.passed(), "{}", rel.render());
+        // But a genuine 15% net-only loss still trips it.
+        let mut slow_net = cur.clone();
+        slow_net.modes[1].1.blocks_per_sec *= 0.85;
+        let rel = compare_perf(
+            base,
+            &slow_net,
+            CompareOptions {
+                tolerance: DEFAULT_TOLERANCE,
+                relative: true,
+            },
+        )
+        .unwrap();
+        assert!(!rel.passed());
+        assert_eq!(
+            rel.regressions()
+                .map(|d| d.mode.as_str())
+                .collect::<Vec<_>>(),
+            ["net"]
+        );
+    }
+
+    #[test]
+    fn relative_mode_never_gates_native() {
+        // Native is the normalizer — always exactly 1.0 on both sides.
+        let base = &parse_perf_runs(&perf_doc("base", 500000.0)).unwrap()[0];
+        let report = compare_perf(
+            base,
+            base,
+            CompareOptions {
+                tolerance: 0.0,
+                relative: true,
+            },
+        )
+        .unwrap();
+        let native = report.deltas.iter().find(|d| d.mode == "native").unwrap();
+        assert_eq!(native.baseline, 1.0);
+        assert!(!native.regressed);
+    }
+
+    #[test]
+    fn telemetry_diff_reports_changed_counts() {
+        let base = r#"{"label": "a", "events": {"vm_halt": 8, "path_completed": 100}}"#;
+        let same = compare_telemetry(base, base).unwrap();
+        assert!(same.passed());
+        let cur =
+            r#"{"label": "b", "events": {"vm_halt": 8, "path_completed": 101, "bailout": 1}}"#;
+        let diff = compare_telemetry(base, cur).unwrap();
+        assert!(!diff.passed());
+        let kinds: Vec<&str> = diff.changed.iter().map(|d| d.kind.as_str()).collect();
+        assert_eq!(kinds, ["bailout", "path_completed"]);
+        assert_eq!(diff.changed[0].baseline, 0);
+        assert_eq!(diff.changed[0].current, 1);
+    }
+
+    #[test]
+    fn committed_bench_doc_parses_and_self_compares_clean() {
+        // The repo's own BENCH_perf.json must stay loadable and must pass
+        // the gate against itself — this is what CI's perf-gate step does.
+        let text = include_str!("../../../BENCH_perf.json");
+        let runs = parse_perf_runs(text).expect("committed BENCH_perf.json parses");
+        assert!(!runs.is_empty());
+        let last = select_run(&runs, None).unwrap();
+        let report = compare_perf(
+            last,
+            last,
+            CompareOptions {
+                tolerance: DEFAULT_TOLERANCE,
+                relative: true,
+            },
+        )
+        .unwrap();
+        assert!(report.passed(), "{}", report.render());
+    }
+}

@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 mod chart;
+pub mod compare;
 
 pub use chart::ascii_chart;
 
@@ -219,8 +220,9 @@ pub fn average_series(swept: &[SweptRun], scheme: SchemeKind) -> Vec<(u64, f64, 
         .map(|i| {
             let n = of_scheme.len() as f64;
             let delay = of_scheme[0].points[i].delay;
-            let avg =
-                |f: &dyn Fn(&SweepPoint) -> f64| of_scheme.iter().map(|r| f(&r.points[i])).sum::<f64>() / n;
+            let avg = |f: &dyn Fn(&SweepPoint) -> f64| {
+                of_scheme.iter().map(|r| f(&r.points[i])).sum::<f64>() / n
+            };
             (
                 delay,
                 avg(&|p| p.outcome.profiled_flow_pct()),
@@ -229,6 +231,26 @@ pub fn average_series(swept: &[SweptRun], scheme: SchemeKind) -> Vec<(u64, f64, 
             )
         })
         .collect()
+}
+
+/// Writes a [`TelemetrySummary`] as `telemetry.json` under the output
+/// directory and returns the path.
+///
+/// [`TelemetrySummary`]: hotpath_telemetry::TelemetrySummary
+///
+/// # Panics
+///
+/// Panics on I/O errors — experiment outputs must not be silently lost.
+pub fn write_telemetry(
+    dir: &Path,
+    label: &str,
+    summary: &hotpath_telemetry::TelemetrySummary,
+) -> PathBuf {
+    fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join("telemetry.json");
+    fs::write(&path, summary.to_json(label)).expect("write telemetry.json");
+    eprintln!("[telemetry] wrote {}", path.display());
+    path
 }
 
 /// Writes CSV rows (with header) under the output directory.

@@ -80,8 +80,8 @@ mod sweep;
 pub use boa::{BoaSelector, BOA_TRACE_CAP};
 pub use hotpath_ir::fasthash;
 pub use metrics::{evaluate, PredictionOutcome};
-pub use phased::{evaluate_phased, PhasedOutcome, RetirePolicy};
 pub use net::NetPredictor;
 pub use path_profile::PathProfilePredictor;
+pub use phased::{evaluate_phased, PhasedOutcome, RetirePolicy};
 pub use predictor::{FirstExecutionPredictor, HotPathPredictor, SchemeKind};
 pub use sweep::{sweep, SweepPoint, DEFAULT_DELAYS};

@@ -255,12 +255,7 @@ mod tests {
         let p = skewed_program(500, 490);
         let (stream, table) = record(&p);
         let hot = stream.to_profile().hot_set(0.001);
-        let o = evaluate(
-            &stream,
-            &table,
-            &hot,
-            &mut NetPredictor::new(u64::MAX),
-        );
+        let o = evaluate(&stream, &table, &hot, &mut NetPredictor::new(u64::MAX));
         assert_eq!(o.profiled_flow, o.total_flow);
         assert_eq!(o.hits, 0);
         assert_eq!(o.noise, 0);

@@ -93,6 +93,12 @@ impl HotPathPredictor for NetPredictor {
             // moves to the installed trace's exit stubs in Dynamo terms).
             *counter = 0;
             self.predictions += 1;
+            hotpath_telemetry::emit!(hotpath_telemetry::Event::TauTrigger {
+                scheme: "net",
+                head: exec.head.as_u32(),
+                tau: self.delay,
+                observed: self.cost.counter_increments,
+            });
             // The next executing tail is the path executing right now.
             Some(exec.path)
         } else {

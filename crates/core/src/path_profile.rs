@@ -78,6 +78,12 @@ impl HotPathPredictor for PathProfilePredictor {
             // A path is fed to `observe` only until predicted, so reaching
             // the threshold predicts exactly once.
             self.predictions += 1;
+            hotpath_telemetry::emit!(hotpath_telemetry::Event::TauTrigger {
+                scheme: "path_profile",
+                head: exec.head.as_u32(),
+                tau: self.delay,
+                observed: self.cost.table_updates,
+            });
             Some(exec.path)
         } else {
             None

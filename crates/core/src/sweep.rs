@@ -41,9 +41,7 @@ pub fn sweep(
         .iter()
         .map(|&delay| {
             let outcome = match scheme {
-                SchemeKind::Net => {
-                    evaluate(stream, table, hot, &mut NetPredictor::new(delay))
-                }
+                SchemeKind::Net => evaluate(stream, table, hot, &mut NetPredictor::new(delay)),
                 SchemeKind::PathProfile => {
                     evaluate(stream, table, hot, &mut PathProfilePredictor::new(delay))
                 }

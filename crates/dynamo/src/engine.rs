@@ -5,6 +5,7 @@ use hotpath_core::{HotPathPredictor, NetPredictor, PathProfilePredictor};
 use hotpath_ir::dense::CounterTable;
 use hotpath_ir::Program;
 use hotpath_profiles::{PathExecution, PathExtractor, PathSink, DEFAULT_PATH_CAP};
+use hotpath_telemetry as telemetry;
 use hotpath_vm::{BlockEvent, ExecutionObserver, Vm, VmError};
 
 use crate::cost::{CostModel, CycleBreakdown};
@@ -205,9 +206,7 @@ impl Engine {
     pub fn new(config: DynamoConfig) -> Self {
         let predictor = match config.scheme {
             Scheme::Net => Predictor::Net(NetPredictor::new(config.delay)),
-            Scheme::PathProfile => {
-                Predictor::PathProfile(PathProfilePredictor::new(config.delay))
-            }
+            Scheme::PathProfile => Predictor::PathProfile(PathProfilePredictor::new(config.delay)),
         };
         let detector = match config.flush {
             FlushPolicy::Never => None,
@@ -255,6 +254,13 @@ impl Engine {
 
     /// Finalizes the run into an outcome.
     pub fn finish(self) -> DynamoOutcome {
+        if telemetry::enabled() {
+            for (target, count) in self.exit_counts.iter() {
+                if count > 0 {
+                    telemetry::emit!(telemetry::Event::ExitStubHotness { target, count });
+                }
+            }
+        }
         DynamoOutcome {
             cycles: self.cycles,
             fragments_installed: self.cache.installs(),
@@ -291,10 +297,22 @@ impl Engine {
         if self.cache.install(blocks, insts).is_some() {
             self.cycles.build +=
                 self.config.cost.build_fixed + self.config.cost.build_per_inst * insts as f64;
+            telemetry::emit!(telemetry::Event::FragmentInstall {
+                head: blocks[0],
+                blocks: blocks.len() as u32,
+                insts,
+                installs: self.cache.installs(),
+                at_path: self.paths_completed,
+            });
         }
     }
 
-    fn flush(&mut self) {
+    fn flush(&mut self, kind: &'static str) {
+        telemetry::emit!(telemetry::Event::CacheFlush {
+            kind,
+            evicted: self.cache.len() as u64,
+            at_path: self.paths_completed,
+        });
         self.cache.flush();
         match &mut self.predictor {
             Predictor::Net(p) => p.reset(),
@@ -307,12 +325,7 @@ impl Engine {
 
     /// Handles a completed, fully-interpreted path: profile, predict,
     /// install.
-    fn on_interpreted_path(
-        &mut self,
-        exec: &PathExecution,
-        blocks: &[u32],
-        insts: u32,
-    ) -> bool {
+    fn on_interpreted_path(&mut self, exec: &PathExecution, blocks: &[u32], insts: u32) -> bool {
         let cost = self.config.cost;
         let predicted = match &mut self.predictor {
             Predictor::Net(p) => {
@@ -412,17 +425,21 @@ impl ExecutionObserver for Engine {
             if let Some(det) = &mut self.detector {
                 if det.observe(was_prediction) {
                     self.spike_flushes += 1;
-                    self.flush();
+                    self.flush("spike");
                 }
             }
             if self.cache.len() > self.config.max_fragments {
-                self.flush();
+                self.flush("capacity");
             }
             if let Some(bp) = self.config.bailout {
                 if self.paths_completed % bp.check_every_paths == 0
                     && self.cache.installs() > bp.max_installs
                 {
                     self.bailed = true;
+                    telemetry::emit!(telemetry::Event::Bailout {
+                        at_path: self.paths_completed,
+                        installs: self.cache.installs(),
+                    });
                     self.cycles.native += size * cost.native_per_inst;
                     return;
                 }
@@ -443,21 +460,19 @@ impl ExecutionObserver for Engine {
                     let done = pos + 1 == self.cache.fragment(frag).len();
                     if done {
                         self.cache.note_completion(frag);
-                        self.mode = Mode::FragmentEnd {
-                            frag,
-                            pos: pos + 1,
-                        };
+                        self.mode = Mode::FragmentEnd { frag, pos: pos + 1 };
                     } else {
-                        self.mode = Mode::Cached {
-                            frag,
-                            pos: pos + 1,
-                        };
+                        self.mode = Mode::Cached { frag, pos: pos + 1 };
                     }
                     return;
                 }
                 // Divergence: try a linked sibling fragment first.
                 if let Some(sib) = self.cache.divert(frag, pos, event.block.as_u32()) {
                     self.cycles.transitions += cost.link_transfer;
+                    telemetry::emit!(telemetry::Event::Transition {
+                        kind: "link_sibling",
+                        at_block: self.blocks_total,
+                    });
                     self.cache.note_entry(sib);
                     self.cycles.trace += size * cost.trace_per_inst;
                     self.blocks_cached += 1;
@@ -481,6 +496,10 @@ impl ExecutionObserver for Engine {
                 // starting at the off-trace block.
                 if let Some(tf) = self.cache.entry_for(event.block) {
                     self.cycles.transitions += cost.link_transfer;
+                    telemetry::emit!(telemetry::Event::Transition {
+                        kind: "link_stub",
+                        at_block: self.blocks_total,
+                    });
                     self.cache.note_entry(tf);
                     self.cycles.trace += size * cost.trace_per_inst;
                     self.blocks_cached += 1;
@@ -498,6 +517,10 @@ impl ExecutionObserver for Engine {
                 // off-trace block is the one just pushed onto the current
                 // path.
                 self.cycles.transitions += cost.early_exit;
+                telemetry::emit!(telemetry::Event::Transition {
+                    kind: "early_exit",
+                    at_block: self.blocks_total,
+                });
                 self.cur_diverged = true;
                 self.cur_diverged_at = Some(self.cur_blocks.len() - 1);
                 self.mode = Mode::Interp;
@@ -510,6 +533,10 @@ impl ExecutionObserver for Engine {
                         // trace's own backward branch and costs nothing.
                         if next != frag {
                             self.cycles.transitions += cost.link_transfer;
+                            telemetry::emit!(telemetry::Event::Transition {
+                                kind: "link_next",
+                                at_block: self.blocks_total,
+                            });
                         }
                         self.cache.note_entry(next);
                         self.cycles.trace += size * cost.trace_per_inst;
@@ -527,6 +554,10 @@ impl ExecutionObserver for Engine {
                     // The current path extends past this fragment's end; a
                     // longer sibling continues with the next block.
                     self.cycles.transitions += cost.link_transfer;
+                    telemetry::emit!(telemetry::Event::Transition {
+                        kind: "link_extend",
+                        at_block: self.blocks_total,
+                    });
                     self.cache.note_entry(ext);
                     self.cycles.trace += size * cost.trace_per_inst;
                     self.blocks_cached += 1;
@@ -552,6 +583,10 @@ impl ExecutionObserver for Engine {
                     self.cur_diverged_at = Some(self.cur_blocks.len() - 1);
                 }
                 self.cycles.transitions += cost.cache_exit;
+                telemetry::emit!(telemetry::Event::Transition {
+                    kind: "cache_exit",
+                    at_block: self.blocks_total,
+                });
                 self.mode = Mode::Interp;
             }
             Mode::Interp => {}
@@ -561,6 +596,10 @@ impl ExecutionObserver for Engine {
         if path_started {
             if let Some(fid) = self.cache.entry_for(event.block) {
                 self.cycles.transitions += cost.cache_entry;
+                telemetry::emit!(telemetry::Event::Transition {
+                    kind: "cache_enter",
+                    at_block: self.blocks_total,
+                });
                 self.cache.note_entry(fid);
                 self.cycles.trace += size * cost.trace_per_inst;
                 self.blocks_cached += 1;

@@ -12,6 +12,7 @@
 //! | Prediction | [`core`] | NET and path-profile predictors, hit/noise/MOC metrics, τ-sweeps |
 //! | Workloads | [`workloads`] | the nine SPECint95-inspired benchmarks |
 //! | Dynamo | [`dynamo`] | fragment-cache optimizer simulation, Figure 5 harness |
+//! | Telemetry | [`telemetry`] | structured pipeline events, recorders, run summaries |
 //!
 //! # Quickstart
 //!
@@ -36,19 +37,19 @@ pub use hotpath_core as core;
 pub use hotpath_dynamo as dynamo;
 pub use hotpath_ir as ir;
 pub use hotpath_profiles as profiles;
+pub use hotpath_telemetry as telemetry;
 pub use hotpath_vm as vm;
 pub use hotpath_workloads as workloads;
 
 /// The most commonly used items, one `use` away.
 pub mod prelude {
     pub use hotpath_core::{
-        evaluate, evaluate_phased, sweep, BoaSelector, FirstExecutionPredictor,
-        HotPathPredictor, NetPredictor, PathProfilePredictor, PhasedOutcome,
-        PredictionOutcome, RetirePolicy, SchemeKind, DEFAULT_DELAYS,
+        evaluate, evaluate_phased, sweep, BoaSelector, FirstExecutionPredictor, HotPathPredictor,
+        NetPredictor, PathProfilePredictor, PhasedOutcome, PredictionOutcome, RetirePolicy,
+        SchemeKind, DEFAULT_DELAYS,
     };
     pub use hotpath_dynamo::{
-        run_dynamo, run_native, CostModel, DynamoConfig, DynamoOutcome, Engine, FlushPolicy,
-        Scheme,
+        run_dynamo, run_native, CostModel, DynamoConfig, DynamoOutcome, Engine, FlushPolicy, Scheme,
     };
     pub use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
     pub use hotpath_ir::{BinOp, BlockId, CmpOp, GlobalReg, Layout, Program};

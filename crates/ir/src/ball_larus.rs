@@ -53,7 +53,10 @@ impl fmt::Display for BallLarusError {
                 write!(f, "function `{function}` has an irreducible CFG")
             }
             BallLarusError::TooManyPaths { function } => {
-                write!(f, "function `{function}` has too many acyclic paths to number")
+                write!(
+                    f,
+                    "function `{function}` has too many acyclic paths to number"
+                )
             }
         }
     }
@@ -460,7 +463,12 @@ mod tests {
     /// The diamond from Figure 1's spirit: 0 -> {1,2} -> 3 -> halt.
     #[test]
     fn diamond_has_two_paths() {
-        let f = func(vec![br(0, 1, 2), Terminator::Jump(l(3)), Terminator::Jump(l(3)), Terminator::Halt]);
+        let f = func(vec![
+            br(0, 1, 2),
+            Terminator::Jump(l(3)),
+            Terminator::Jump(l(3)),
+            Terminator::Halt,
+        ]);
         let bl = BallLarus::new(&f).unwrap();
         assert_eq!(bl.num_paths(), 2);
         let p0 = bl.decode(0).unwrap();
@@ -478,17 +486,17 @@ mod tests {
     #[test]
     fn figure_one_loop_paths() {
         let f = func(vec![
-            br(0, 1, 2),                // A
-            Terminator::Jump(l(3)),     // B
-            br(1, 6, 7),                // C
-            br(2, 4, 5),                // D
-            Terminator::Jump(l(9)),     // G
-            Terminator::Jump(l(9)),     // H
-            Terminator::Jump(l(8)),     // E
-            Terminator::Jump(l(8)),     // F
-            Terminator::Jump(l(9)),     // I
-            br(3, 0, 10),               // J -> A back edge, or exit
-            Terminator::Halt,           // exit
+            br(0, 1, 2),            // A
+            Terminator::Jump(l(3)), // B
+            br(1, 6, 7),            // C
+            br(2, 4, 5),            // D
+            Terminator::Jump(l(9)), // G
+            Terminator::Jump(l(9)), // H
+            Terminator::Jump(l(8)), // E
+            Terminator::Jump(l(8)), // F
+            Terminator::Jump(l(9)), // I
+            br(3, 0, 10),           // J -> A back edge, or exit
+            Terminator::Halt,       // exit
         ]);
         let bl = BallLarus::new(&f).unwrap();
         // Four A->..->J prefixes (ABDGJ, ABDHJ, ACEIJ, ACFIJ); each either

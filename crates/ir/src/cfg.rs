@@ -184,7 +184,10 @@ impl Dominators {
 }
 
 fn intersect(cfg: &Cfg, idom: &[Option<usize>], mut a: usize, mut b: usize) -> usize {
-    let rpo_of = |x: usize| cfg.rpo_index(LocalBlockId::new(x as u32)).expect("reachable");
+    let rpo_of = |x: usize| {
+        cfg.rpo_index(LocalBlockId::new(x as u32))
+            .expect("reachable")
+    };
     while a != b {
         while rpo_of(a) > rpo_of(b) {
             a = idom[a].expect("processed");

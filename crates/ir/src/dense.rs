@@ -17,6 +17,8 @@
 //! words. Out-degrees are small (a handful of successors; tens for switch
 //! blocks), so a linear row scan beats hashing the packed key.
 
+use hotpath_telemetry as telemetry;
+
 /// Reserved value marking a slot that has never been touched. Counters
 /// would need 2⁶⁴ increments to reach it legitimately.
 const EMPTY: u64 = u64::MAX;
@@ -60,6 +62,11 @@ impl CounterTable {
     pub fn slot(&mut self, id: u32) -> &mut u64 {
         let idx = id as usize;
         if idx >= self.slots.len() {
+            telemetry::emit!(telemetry::Event::CounterTableGrow {
+                table: "counter_table",
+                from: self.slots.len() as u64,
+                to: idx as u64 + 1,
+            });
             self.slots.resize(idx + 1, EMPTY);
         }
         let s = &mut self.slots[idx];
@@ -113,6 +120,11 @@ impl AdjCounters {
     pub fn bump(&mut self, from: u32, to: u32) -> u64 {
         let idx = from as usize;
         if idx >= self.rows.len() {
+            telemetry::emit!(telemetry::Event::CounterTableGrow {
+                table: "adj_rows",
+                from: self.rows.len() as u64,
+                to: idx as u64 + 1,
+            });
             self.rows.resize_with(idx + 1, Vec::new);
         }
         let row = &mut self.rows[idx];

@@ -136,10 +136,7 @@ impl GenCtx<'_> {
         fb.set_global(g, a);
         if self.config.memory_words > 0 && self.rng.gen_bool(0.3) {
             let addr = fb.reg();
-            fb.const_(
-                addr,
-                self.rng.gen_range(0..self.config.memory_words as i64),
-            );
+            fb.const_(addr, self.rng.gen_range(0..self.config.memory_words as i64));
             if self.rng.gen_bool(0.5) {
                 fb.store(a, addr, 0);
             } else {

@@ -114,7 +114,10 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
         if let Some(rest) = text.strip_prefix("data ") {
             let mut it = rest.split_whitespace();
             let (a, v) = (it.next(), it.next());
-            match (a.and_then(|a| a.parse().ok()), v.and_then(|v| v.parse().ok())) {
+            match (
+                a.and_then(|a| a.parse().ok()),
+                v.and_then(|v| v.parse().ok()),
+            ) {
                 (Some(a), Some(v)) if it.next().is_none() => data.push((a, v)),
                 _ => return err(line, format!("bad data directive `{rest}`")),
             }
@@ -164,7 +167,10 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
 
         // Body line: instruction or terminator.
         let Some(func) = cur_func.as_mut() else {
-            return err(line, format!("unexpected line outside a function: `{text}`"));
+            return err(
+                line,
+                format!("unexpected line outside a function: `{text}`"),
+            );
         };
         let Some(block) = cur_block.as_mut() else {
             return err(line, format!("unexpected line outside a block: `{text}`"));
@@ -174,7 +180,9 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
             func.1.push(BasicBlock::new(insts, term));
             // Track registers referenced by the terminator.
             match &func.1.last().expect("just pushed").terminator {
-                Terminator::Branch { cond, .. } => max_reg_seen = max_reg_seen.max(cond.index() as u16 + 1),
+                Terminator::Branch { cond, .. } => {
+                    max_reg_seen = max_reg_seen.max(cond.index() as u16 + 1)
+                }
                 Terminator::Switch { index, .. } => {
                     max_reg_seen = max_reg_seen.max(index.index() as u16 + 1)
                 }
@@ -296,10 +304,7 @@ fn cmp_op(name: &str) -> Option<CmpOp> {
 
 /// Parses a terminator line; `Ok(None)` means "not a terminator".
 fn parse_terminator(text: &str, line: usize) -> Result<Option<Terminator>, ParseError> {
-    let toks: Vec<&str> = text
-        .split([' ', ','])
-        .filter(|t| !t.is_empty())
-        .collect();
+    let toks: Vec<&str> = text.split([' ', ',']).filter(|t| !t.is_empty()).collect();
     Ok(Some(match toks.as_slice() {
         ["halt"] => Terminator::Halt,
         ["return"] => Terminator::Return,
@@ -383,9 +388,10 @@ fn parse_inst(text: &str, line: usize) -> Result<Inst, ParseError> {
     }
     // `rD = const N`
     if let Some(rest) = rhs.strip_prefix("const ") {
-        let value = rest.trim().parse().map_err(|_| {
-            ParseError::from((line, format!("bad constant `{rest}`")))
-        })?;
+        let value = rest
+            .trim()
+            .parse()
+            .map_err(|_| ParseError::from((line, format!("bad constant `{rest}`"))))?;
         return Ok(Inst::Const { dst, value });
     }
     // `rD = gN`
@@ -477,9 +483,9 @@ fn parse_mem_operand(tok: &str, line: usize) -> Result<(Reg, i64), ParseError> {
             return err(line, format!("expected `[rN+off]`, found `{tok}`"));
         }
     };
-    let offset: i64 = off_part.parse().map_err(|_| {
-        ParseError::from((line, format!("bad memory offset `{off_part}`")))
-    })?;
+    let offset: i64 = off_part
+        .parse()
+        .map_err(|_| ParseError::from((line, format!("bad memory offset `{off_part}`"))))?;
     Ok((parse_reg(reg_part.trim(), line)?, offset))
 }
 
@@ -525,8 +531,7 @@ fn0 main (entry):
         for seed in 0..25u64 {
             let p = generate_default(seed);
             let text = program_to_string(&p, None);
-            let q = parse_program(&text)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
+            let q = parse_program(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
             let text2 = program_to_string(&q, None);
             assert_eq!(text, text2, "seed {seed}: textual fixpoint");
         }

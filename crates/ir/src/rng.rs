@@ -164,7 +164,9 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a: Vec<u64> = (0..8).map(|_| Rng64::seed_from_u64(42).next_u64()).collect();
+        let a: Vec<u64> = (0..8)
+            .map(|_| Rng64::seed_from_u64(42).next_u64())
+            .collect();
         assert!(a.windows(2).all(|w| w[0] == w[1]));
         let mut x = Rng64::seed_from_u64(1);
         let mut y = Rng64::seed_from_u64(2);

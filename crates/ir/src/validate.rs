@@ -166,7 +166,11 @@ mod tests {
         });
         assert!(matches!(
             validate(&p).unwrap_err(),
-            IrError::BadRegister { reg: 3, num_regs: 1, .. }
+            IrError::BadRegister {
+                reg: 3,
+                num_regs: 1,
+                ..
+            }
         ));
     }
 

@@ -165,9 +165,7 @@ impl ExecutionObserver for BallLarusProfiler {
                 self.cur_func = frame.func;
                 self.reg = frame.reg;
                 // Resume the caller's path across the call edge.
-                match self.numberings[self.cur_func as usize]
-                    .transfer(frame.call_block, to_local)
-                {
+                match self.numberings[self.cur_func as usize].transfer(frame.call_block, to_local) {
                     Some(Transfer::Advance(inc)) => {
                         self.reg += inc;
                         if inc != 0 {
@@ -306,10 +304,7 @@ mod tests {
         let main_flow = profiler.flow() - helper_flow;
         assert_eq!(main_flow, 5);
         // The helper has exactly one path shape.
-        let helper_paths = profiler
-            .iter()
-            .filter(|((f, _), _)| *f == helper)
-            .count();
+        let helper_paths = profiler.iter().filter(|((f, _), _)| *f == helper).count();
         assert_eq!(helper_paths, 1);
     }
 

@@ -67,11 +67,8 @@ impl KBoundedProfiler {
 
     /// The `n` most frequent general paths, most frequent first.
     pub fn top_n(&self, n: usize) -> Vec<(Vec<u32>, u64)> {
-        let mut all: Vec<(Vec<u32>, u64)> = self
-            .counts
-            .iter()
-            .map(|(w, &c)| (w.to_vec(), c))
-            .collect();
+        let mut all: Vec<(Vec<u32>, u64)> =
+            self.counts.iter().map(|(w, &c)| (w.to_vec(), c)).collect();
         all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         all.truncate(n);
         all

@@ -42,8 +42,8 @@ pub use cost::ProfilingCost;
 pub use edge::{estimate_path_freq, showdown, EdgeProfiler, ShowdownReport};
 pub use kbounded::KBoundedProfiler;
 pub use path::{
-    BackwardRule, CollectSink, PathEndKind, PathExecution, PathExtractor, PathSink,
-    PathStartKind, DEFAULT_PATH_CAP,
+    BackwardRule, CollectSink, PathEndKind, PathExecution, PathExtractor, PathSink, PathStartKind,
+    DEFAULT_PATH_CAP,
 };
 pub use persist::{load_run, save_run};
 pub use profile::{HotPathSet, PathProfile};

@@ -91,6 +91,15 @@ impl PathStartKind {
             _ => return None,
         })
     }
+
+    /// Stable snake_case name (telemetry and reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PathStartKind::Entry => "entry",
+            PathStartKind::BackwardTarget => "backward",
+            PathStartKind::Continuation => "continuation",
+        }
+    }
 }
 
 /// Why a path ended.
@@ -104,6 +113,18 @@ pub enum PathEndKind {
     Capped,
     /// The program halted.
     ProgramEnd,
+}
+
+impl PathEndKind {
+    /// Stable snake_case name (telemetry and reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PathEndKind::BackwardBranch => "backward",
+            PathEndKind::CallReturn => "call_return",
+            PathEndKind::Capped => "capped",
+            PathEndKind::ProgramEnd => "program_end",
+        }
+    }
 }
 
 /// One dynamic execution of a path.
@@ -284,6 +305,14 @@ impl<S: PathSink> PathExtractor<S> {
             insts: self.insts,
         };
         self.active = false;
+        hotpath_telemetry::emit!(hotpath_telemetry::Event::PathCompleted {
+            path: id.index() as u32,
+            head: head.as_u32(),
+            blocks: exec.blocks,
+            insts: exec.insts,
+            start: exec.start.as_str(),
+            end: exec.end.as_str(),
+        });
         self.sink.on_path(&exec);
     }
 
@@ -312,8 +341,8 @@ impl<S: PathSink> ExecutionObserver for PathExtractor<S> {
 
         // Decide whether the incoming transfer ends the current path.
         let is_branch = !matches!(event.kind, TransferKind::Call | TransferKind::Return);
-        let backward_ends = event.backward
-            && (is_branch || self.rule == BackwardRule::AllTransfers);
+        let backward_ends =
+            event.backward && (is_branch || self.rule == BackwardRule::AllTransfers);
         let mut end: Option<PathEndKind> = None;
         match event.kind {
             TransferKind::Call => self.pending_calls += 1,

@@ -1,0 +1,366 @@
+//! Structured pipeline events and their deterministic JSON-lines encoding.
+
+use std::fmt::Write as _;
+
+/// One thing the pipeline did.
+///
+/// Every variant carries logical clocks only (paths completed, blocks
+/// executed, observations made); [`Event::Timing`] is the sole wall-clock
+/// exception and is excluded from determinism guarantees.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Event<'a> {
+    /// A labelled phase of a benchmark run began (e.g. one workload/mode
+    /// pair of `perf_baseline`).
+    RunStart {
+        /// Free-form label, e.g. `"compress/net"`.
+        label: &'a str,
+    },
+    /// The matching end of a [`Event::RunStart`].
+    RunEnd {
+        /// The label passed to the matching start.
+        label: &'a str,
+    },
+    /// A VM run reached `Halt`.
+    VmHalt {
+        /// Basic blocks executed over the run.
+        blocks: u64,
+        /// Instruction slots executed over the run.
+        insts: u64,
+    },
+    /// The path extractor completed one interprocedural forward path.
+    PathCompleted {
+        /// Interned path id.
+        path: u32,
+        /// Head block (global id).
+        head: u32,
+        /// Blocks on this execution.
+        blocks: u32,
+        /// Instruction slots on this execution.
+        insts: u32,
+        /// Why the path began (`"entry"`, `"backward"`, `"continuation"`).
+        start: &'static str,
+        /// Why the path ended (`"backward"`, `"call_return"`, `"capped"`,
+        /// `"program_end"`).
+        end: &'static str,
+    },
+    /// A dense counter table grew to cover a new id range.
+    CounterTableGrow {
+        /// Which table family grew (`"counter_table"`, `"adj_rows"`).
+        table: &'static str,
+        /// Slot count before the growth.
+        from: u64,
+        /// Slot count after the growth.
+        to: u64,
+    },
+    /// A predictor's counter reached the prediction delay τ.
+    TauTrigger {
+        /// Scheme that triggered (`"net"`, `"path_profile"`).
+        scheme: &'static str,
+        /// The head (NET) or path id (path-profile) whose counter fired.
+        head: u32,
+        /// The delay τ that was reached.
+        tau: u64,
+        /// Profiling observations the scheme had made when it fired — the
+        /// logical timestamp; deltas between consecutive triggers are the
+        /// τ-trigger latencies.
+        observed: u64,
+    },
+    /// The Dynamo engine installed a fragment.
+    FragmentInstall {
+        /// Head block of the fragment.
+        head: u32,
+        /// Blocks covered.
+        blocks: u32,
+        /// Instruction slots covered.
+        insts: u32,
+        /// Total installs so far (including this one).
+        installs: u64,
+        /// Paths completed when the install happened — deltas between
+        /// consecutive installs are the trace-formation interarrivals.
+        at_path: u64,
+    },
+    /// The Dynamo engine flushed its fragment cache, evicting every live
+    /// fragment.
+    CacheFlush {
+        /// Why (`"capacity"`, `"spike"`).
+        kind: &'static str,
+        /// Fragments evicted.
+        evicted: u64,
+        /// Paths completed at the flush.
+        at_path: u64,
+    },
+    /// The Dynamo engine bailed out to native execution.
+    Bailout {
+        /// Paths completed at the bail-out.
+        at_path: u64,
+        /// Fragments installed up to the bail-out.
+        installs: u64,
+    },
+    /// The Dynamo engine switched execution mode.
+    Transition {
+        /// Which edge of the interpret/trace state machine fired
+        /// (`"cache_enter"`, `"link_sibling"`, `"link_stub"`,
+        /// `"link_next"`, `"link_extend"`, `"early_exit"`, `"cache_exit"`).
+        kind: &'static str,
+        /// Blocks executed when the transition happened.
+        at_block: u64,
+    },
+    /// Final hotness of one exit-stub counter (emitted when a Dynamo
+    /// engine is finalized, once per counted stub target).
+    ExitStubHotness {
+        /// The stub's target block.
+        target: u32,
+        /// Arrivals counted through the stub.
+        count: u64,
+    },
+    /// A measured wall-clock duration. **Nondeterministic** — excluded
+    /// from the byte-identical stream guarantee; summaries keep timings
+    /// separate from event counts for the same reason.
+    Timing {
+        /// What was timed (e.g. a workload name).
+        label: &'a str,
+        /// Measured wall seconds.
+        secs: f64,
+    },
+}
+
+impl Event<'_> {
+    /// Stable snake_case tag identifying the variant, used as the JSON
+    /// `"ev"` field and as the summary count key.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RunStart { .. } => "run_start",
+            Event::RunEnd { .. } => "run_end",
+            Event::VmHalt { .. } => "vm_halt",
+            Event::PathCompleted { .. } => "path_completed",
+            Event::CounterTableGrow { .. } => "counter_table_grow",
+            Event::TauTrigger { .. } => "tau_trigger",
+            Event::FragmentInstall { .. } => "fragment_install",
+            Event::CacheFlush { .. } => "cache_flush",
+            Event::Bailout { .. } => "bailout",
+            Event::Transition { .. } => "transition",
+            Event::ExitStubHotness { .. } => "exit_stub_hotness",
+            Event::Timing { .. } => "timing",
+        }
+    }
+
+    /// Appends the event as one JSON object (no trailing newline) with a
+    /// fixed field order, so identical runs serialize identically.
+    pub fn write_json(&self, out: &mut String) {
+        out.push_str("{\"ev\":\"");
+        out.push_str(self.kind());
+        out.push('"');
+        match *self {
+            Event::RunStart { label } | Event::RunEnd { label } => {
+                push_str_field(out, "label", label);
+            }
+            Event::VmHalt { blocks, insts } => {
+                push_u64_field(out, "blocks", blocks);
+                push_u64_field(out, "insts", insts);
+            }
+            Event::PathCompleted {
+                path,
+                head,
+                blocks,
+                insts,
+                start,
+                end,
+            } => {
+                push_u64_field(out, "path", path as u64);
+                push_u64_field(out, "head", head as u64);
+                push_u64_field(out, "blocks", blocks as u64);
+                push_u64_field(out, "insts", insts as u64);
+                push_str_field(out, "start", start);
+                push_str_field(out, "end", end);
+            }
+            Event::CounterTableGrow { table, from, to } => {
+                push_str_field(out, "table", table);
+                push_u64_field(out, "from", from);
+                push_u64_field(out, "to", to);
+            }
+            Event::TauTrigger {
+                scheme,
+                head,
+                tau,
+                observed,
+            } => {
+                push_str_field(out, "scheme", scheme);
+                push_u64_field(out, "head", head as u64);
+                push_u64_field(out, "tau", tau);
+                push_u64_field(out, "observed", observed);
+            }
+            Event::FragmentInstall {
+                head,
+                blocks,
+                insts,
+                installs,
+                at_path,
+            } => {
+                push_u64_field(out, "head", head as u64);
+                push_u64_field(out, "blocks", blocks as u64);
+                push_u64_field(out, "insts", insts as u64);
+                push_u64_field(out, "installs", installs);
+                push_u64_field(out, "at_path", at_path);
+            }
+            Event::CacheFlush {
+                kind,
+                evicted,
+                at_path,
+            } => {
+                push_str_field(out, "kind", kind);
+                push_u64_field(out, "evicted", evicted);
+                push_u64_field(out, "at_path", at_path);
+            }
+            Event::Bailout { at_path, installs } => {
+                push_u64_field(out, "at_path", at_path);
+                push_u64_field(out, "installs", installs);
+            }
+            Event::Transition { kind, at_block } => {
+                push_str_field(out, "kind", kind);
+                push_u64_field(out, "at_block", at_block);
+            }
+            Event::ExitStubHotness { target, count } => {
+                push_u64_field(out, "target", target as u64);
+                push_u64_field(out, "count", count);
+            }
+            Event::Timing { label, secs } => {
+                push_str_field(out, "label", label);
+                let _ = write!(out, ",\"secs\":{secs:.6}");
+            }
+        }
+        out.push('}');
+    }
+}
+
+fn push_u64_field(out: &mut String, key: &str, value: u64) {
+    let _ = write!(out, ",\"{key}\":{value}");
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    let _ = write!(out, ",\"{key}\":");
+    push_json_string(out, value);
+}
+
+/// Appends `value` as a JSON string literal, escaping as required.
+pub(crate) fn push_json_string(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serialize_with_stable_field_order() {
+        let mut out = String::new();
+        Event::TauTrigger {
+            scheme: "net",
+            head: 7,
+            tau: 50,
+            observed: 1234,
+        }
+        .write_json(&mut out);
+        assert_eq!(
+            out,
+            "{\"ev\":\"tau_trigger\",\"scheme\":\"net\",\"head\":7,\"tau\":50,\"observed\":1234}"
+        );
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut out = String::new();
+        Event::Timing {
+            label: "a\"b\\c\n",
+            secs: 0.5,
+        }
+        .write_json(&mut out);
+        assert_eq!(
+            out,
+            "{\"ev\":\"timing\",\"label\":\"a\\\"b\\\\c\\n\",\"secs\":0.500000}"
+        );
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_the_parser() {
+        let events = [
+            Event::RunStart { label: "w/net" },
+            Event::RunEnd { label: "w/net" },
+            Event::VmHalt {
+                blocks: 10,
+                insts: 20,
+            },
+            Event::PathCompleted {
+                path: 1,
+                head: 2,
+                blocks: 3,
+                insts: 4,
+                start: "backward",
+                end: "backward",
+            },
+            Event::CounterTableGrow {
+                table: "counter_table",
+                from: 0,
+                to: 8,
+            },
+            Event::TauTrigger {
+                scheme: "net",
+                head: 7,
+                tau: 50,
+                observed: 51,
+            },
+            Event::FragmentInstall {
+                head: 7,
+                blocks: 4,
+                insts: 9,
+                installs: 1,
+                at_path: 50,
+            },
+            Event::CacheFlush {
+                kind: "capacity",
+                evicted: 3,
+                at_path: 99,
+            },
+            Event::Bailout {
+                at_path: 100,
+                installs: 1501,
+            },
+            Event::Transition {
+                kind: "cache_enter",
+                at_block: 123,
+            },
+            Event::ExitStubHotness {
+                target: 9,
+                count: 17,
+            },
+            Event::Timing {
+                label: "compress",
+                secs: 1.25,
+            },
+        ];
+        for event in events {
+            let mut line = String::new();
+            event.write_json(&mut line);
+            let value =
+                crate::json::JsonValue::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(
+                value.get("ev").and_then(|v| v.as_str()),
+                Some(event.kind()),
+                "{line}"
+            );
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Fixed-bucket histograms.
+//!
+//! Buckets are fixed at construction (no HDR-style rescaling) so that two
+//! runs of the same build always bucket identically — a moving bucket
+//! layout would make `telemetry.json` diffs meaningless.
+
+use std::fmt::Write as _;
+
+/// Power-of-two upper bounds `1, 2, 4, …, 2^20`; values above the last
+/// bound land in the overflow bucket. Wide enough for path lengths (capped
+/// at 1024 blocks), trace-formation interarrivals, and exit-stub counts.
+pub const POW2_BOUNDS: [u64; 21] = {
+    let mut bounds = [0u64; 21];
+    let mut i = 0;
+    while i < 21 {
+        bounds[i] = 1u64 << i;
+        i += 1;
+    }
+    bounds
+};
+
+/// A histogram with fixed inclusive upper bounds plus an overflow bucket.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    /// `bounds.len() + 1` counts; the last is the overflow bucket.
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// A histogram over the given inclusive upper bounds, which must be
+    /// strictly increasing and non-empty.
+    pub fn new(bounds: &'static [u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// A histogram over [`POW2_BOUNDS`].
+    pub fn pow2() -> Self {
+        Self::new(&POW2_BOUNDS)
+    }
+
+    /// Records one value.
+    pub fn add(&mut self, value: u64) {
+        let idx = self
+            .bounds
+            .partition_point(|&b| b < value)
+            .min(self.bounds.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value, zero if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Count in the bucket covering `value`.
+    pub fn count_for(&self, value: u64) -> u64 {
+        let idx = self
+            .bounds
+            .partition_point(|&b| b < value)
+            .min(self.bounds.len());
+        self.counts[idx]
+    }
+
+    /// Mean of recorded values, zero if empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Folds another histogram with identical bounds into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket layouts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "bucket layouts must match");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Appends the histogram as a JSON object with stable field order.
+    /// Empty buckets are skipped to keep `telemetry.json` readable.
+    pub fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"total\":{},\"sum\":{},\"max\":{},\"mean\":{:.3},\"buckets\":[",
+            self.total,
+            self.sum,
+            self.max,
+            self.mean()
+        );
+        let mut first = true;
+        for (i, &count) in self.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            match self.bounds.get(i) {
+                Some(le) => {
+                    let _ = write!(out, "{{\"le\":{le},\"count\":{count}}}");
+                }
+                None => {
+                    let _ = write!(out, "{{\"le\":\"inf\",\"count\":{count}}}");
+                }
+            }
+        }
+        out.push_str("]}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_inclusive_upper_bound_buckets() {
+        let mut h = Histogram::new(&[1, 2, 4, 8]);
+        for v in [0, 1, 2, 3, 4, 5, 8, 9, 1000] {
+            h.add(v);
+        }
+        // Bucket le=1 gets {0, 1}; le=2 gets {2}; le=4 gets {3, 4};
+        // le=8 gets {5, 8}; overflow gets {9, 1000}.
+        assert_eq!(h.count_for(1), 2);
+        assert_eq!(h.count_for(2), 1);
+        assert_eq!(h.count_for(4), 2);
+        assert_eq!(h.count_for(8), 2);
+        assert_eq!(h.count_for(9), 2);
+        assert_eq!(h.total(), 9);
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn pow2_covers_the_cap_range() {
+        let mut h = Histogram::pow2();
+        h.add(1024);
+        h.add(1 << 20);
+        h.add((1 << 20) + 1);
+        assert_eq!(h.count_for(1024), 1);
+        assert_eq!(h.count_for(1 << 20), 1);
+        assert_eq!(h.count_for(u64::MAX), 1);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::pow2();
+        let mut b = Histogram::pow2();
+        a.add(3);
+        b.add(3);
+        b.add(100);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.count_for(3), 2);
+        assert_eq!(a.max(), 100);
+    }
+
+    #[test]
+    fn json_skips_empty_buckets() {
+        let mut h = Histogram::new(&[1, 2]);
+        h.add(2);
+        let mut out = String::new();
+        h.write_json(&mut out);
+        assert_eq!(
+            out,
+            "{\"total\":1,\"sum\":2,\"max\":2,\"mean\":2.000,\"buckets\":[{\"le\":2,\"count\":1}]}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_panic() {
+        let _ = Histogram::new(&[2, 1]);
+    }
+}

@@ -1,0 +1,267 @@
+//! The [`Recorder`] trait, stock recorders, and the thread-local emit path.
+
+use std::cell::RefCell;
+use std::io::Write as _;
+use std::rc::Rc;
+
+use crate::event::Event;
+
+/// Consumes pipeline [`Event`]s.
+///
+/// Recorders are installed per thread with [`install`]; producers reach
+/// them through the [`emit!`](crate::emit) macro. Implementations must not
+/// emit events themselves — reentrant emissions are silently dropped.
+pub trait Recorder {
+    /// Called once per emitted event.
+    fn record(&mut self, event: &Event<'_>);
+
+    /// Called when the recorder is uninstalled (guard drop); flush
+    /// buffered output here.
+    fn finish(&mut self) {}
+}
+
+/// A recorder that discards every event.
+///
+/// Installing it must be observationally identical to installing nothing:
+/// the pipeline's outputs ([`PredictionOutcome`], Dynamo outcomes, path
+/// tables) stay bit-identical, which the workspace's telemetry tests
+/// assert.
+///
+/// [`PredictionOutcome`]: https://docs.rs/hotpath-core
+#[derive(Clone, Copy, Default, Debug)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    #[inline(always)]
+    fn record(&mut self, _event: &Event<'_>) {}
+}
+
+/// Where a [`JsonlRecorder`] sends its lines.
+enum JsonlTarget {
+    Shared(Rc<RefCell<Vec<u8>>>),
+    Writer(Box<dyn std::io::Write>),
+}
+
+impl std::fmt::Debug for JsonlTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonlTarget::Shared(_) => f.write_str("JsonlTarget::Shared"),
+            JsonlTarget::Writer(_) => f.write_str("JsonlTarget::Writer"),
+        }
+    }
+}
+
+/// Writes one JSON object per event, newline-terminated.
+///
+/// The stream is deterministic: field order is fixed and events carry
+/// logical clocks only (see [`Event`]), so two identical runs produce
+/// byte-identical output.
+#[derive(Debug)]
+pub struct JsonlRecorder {
+    target: JsonlTarget,
+    line: String,
+}
+
+impl JsonlRecorder {
+    /// A recorder writing into a shared in-memory buffer; the returned
+    /// handle reads the bytes back after the recorder is uninstalled.
+    pub fn to_shared_buffer() -> (Self, Rc<RefCell<Vec<u8>>>) {
+        let buffer = Rc::new(RefCell::new(Vec::new()));
+        let recorder = JsonlRecorder {
+            target: JsonlTarget::Shared(buffer.clone()),
+            line: String::new(),
+        };
+        (recorder, buffer)
+    }
+
+    /// A recorder writing to an arbitrary sink (e.g. a file).
+    pub fn to_writer(writer: Box<dyn std::io::Write>) -> Self {
+        JsonlRecorder {
+            target: JsonlTarget::Writer(writer),
+            line: String::new(),
+        }
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn record(&mut self, event: &Event<'_>) {
+        self.line.clear();
+        event.write_json(&mut self.line);
+        self.line.push('\n');
+        match &mut self.target {
+            JsonlTarget::Shared(buffer) => {
+                buffer.borrow_mut().extend_from_slice(self.line.as_bytes());
+            }
+            JsonlTarget::Writer(writer) => {
+                // Event loss on a failing sink must not abort the run the
+                // telemetry is observing.
+                let _ = writer.write_all(self.line.as_bytes());
+            }
+        }
+    }
+
+    fn finish(&mut self) {
+        if let JsonlTarget::Writer(writer) = &mut self.target {
+            let _ = writer.flush();
+        }
+    }
+}
+
+#[cfg(feature = "enabled")]
+thread_local! {
+    static RECORDER: RefCell<Option<Box<dyn Recorder>>> = const { RefCell::new(None) };
+    static ACTIVE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// True while a recorder is installed on the current thread. Constant
+/// `false` when the `enabled` feature is off, so `if enabled() { … }`
+/// compiles out entirely.
+#[inline(always)]
+pub fn enabled() -> bool {
+    #[cfg(feature = "enabled")]
+    {
+        ACTIVE.with(|active| active.get())
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        false
+    }
+}
+
+/// Delivers an event to the installed recorder. Prefer the
+/// [`emit!`](crate::emit) macro, which skips event construction while no
+/// recorder is installed.
+pub fn emit_event(event: &Event<'_>) {
+    #[cfg(feature = "enabled")]
+    RECORDER.with(|cell| {
+        // `try_borrow_mut` drops reentrant emissions (a recorder emitting
+        // while recording) instead of panicking.
+        if let Ok(mut slot) = cell.try_borrow_mut() {
+            if let Some(recorder) = slot.as_mut() {
+                recorder.record(event);
+            }
+        }
+    });
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = event;
+    }
+}
+
+/// Uninstalls the current thread's recorder when dropped, restoring the
+/// previously installed one (installs nest).
+pub struct RecorderGuard {
+    #[cfg(feature = "enabled")]
+    previous: Option<Box<dyn Recorder>>,
+}
+
+impl std::fmt::Debug for RecorderGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RecorderGuard")
+    }
+}
+
+impl Drop for RecorderGuard {
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        {
+            let mut current = RECORDER.with(|cell| cell.replace(self.previous.take()));
+            ACTIVE.with(|active| {
+                active.set(RECORDER.with(|cell| cell.borrow().is_some()));
+            });
+            if let Some(recorder) = current.as_mut() {
+                recorder.finish();
+            }
+        }
+    }
+}
+
+/// Installs a recorder on the current thread until the returned guard
+/// drops. With the `enabled` feature off this is a no-op (the recorder is
+/// dropped immediately and nothing is ever delivered).
+#[must_use = "the recorder is uninstalled when the guard drops"]
+pub fn install(recorder: Box<dyn Recorder>) -> RecorderGuard {
+    #[cfg(feature = "enabled")]
+    {
+        let previous = RECORDER.with(|cell| cell.replace(Some(recorder)));
+        ACTIVE.with(|active| active.set(true));
+        RecorderGuard { previous }
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        drop(recorder);
+        RecorderGuard {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tau(head: u32) -> Event<'static> {
+        Event::TauTrigger {
+            scheme: "net",
+            head,
+            tau: 1,
+            observed: 1,
+        }
+    }
+
+    #[test]
+    fn no_recorder_means_disabled() {
+        assert!(!enabled());
+        // Emitting without a recorder is a quiet no-op.
+        crate::emit!(tau(1));
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn jsonl_recorder_captures_emitted_events() {
+        let (recorder, buffer) = JsonlRecorder::to_shared_buffer();
+        let guard = install(Box::new(recorder));
+        assert!(enabled());
+        crate::emit!(tau(1));
+        crate::emit!(tau(2));
+        drop(guard);
+        assert!(!enabled());
+        let text = String::from_utf8(buffer.borrow().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"head\":1"));
+        assert!(lines[1].contains("\"head\":2"));
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn installs_nest_and_restore() {
+        let (outer, outer_buf) = JsonlRecorder::to_shared_buffer();
+        let outer_guard = install(Box::new(outer));
+        crate::emit!(tau(1));
+        {
+            let (inner, inner_buf) = JsonlRecorder::to_shared_buffer();
+            let inner_guard = install(Box::new(inner));
+            crate::emit!(tau(2));
+            drop(inner_guard);
+            assert_eq!(
+                inner_buf.borrow().iter().filter(|&&b| b == b'\n').count(),
+                1
+            );
+        }
+        crate::emit!(tau(3));
+        drop(outer_guard);
+        let text = String::from_utf8(outer_buf.borrow().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2, "outer missed the inner event");
+        assert!(text.contains("\"head\":1") && text.contains("\"head\":3"));
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_feature_never_records() {
+        let (recorder, buffer) = JsonlRecorder::to_shared_buffer();
+        let guard = install(Box::new(recorder));
+        assert!(!enabled());
+        crate::emit!(tau(1));
+        drop(guard);
+        assert!(buffer.borrow().is_empty());
+    }
+}

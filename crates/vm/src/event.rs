@@ -28,7 +28,10 @@ impl TransferKind {
     /// True for transfers produced by a conditional branch. Bit tracing
     /// shifts one history bit exactly for these.
     pub fn is_conditional(self) -> bool {
-        matches!(self, TransferKind::BranchTaken | TransferKind::BranchNotTaken)
+        matches!(
+            self,
+            TransferKind::BranchTaken | TransferKind::BranchNotTaken
+        )
     }
 
     /// A compact tag used by trace encodings; inverse of [`from_tag`].

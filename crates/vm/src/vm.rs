@@ -1,8 +1,6 @@
 //! The interpreter.
 
-use hotpath_ir::{
-    BinOp, BlockId, GlobalReg, Inst, Layout, Program, Reg, Terminator, UnOp,
-};
+use hotpath_ir::{BinOp, BlockId, GlobalReg, Inst, Layout, Program, Reg, Terminator, UnOp};
 
 use crate::error::VmError;
 use crate::event::{BlockEvent, ExecutionObserver, TransferKind};
@@ -121,7 +119,11 @@ impl<'p> Vm<'p> {
                 terms.push(block.terminator.clone());
             }
         }
-        let num_regs = program.functions.iter().map(|f| f.num_regs as u32).collect();
+        let num_regs = program
+            .functions
+            .iter()
+            .map(|f| f.num_regs as u32)
+            .collect();
         let mut memory = vec![0i64; program.memory_words];
         for &(addr, val) in &program.data {
             memory[addr] = val;
@@ -275,10 +277,7 @@ impl<'p> Vm<'p> {
                     stats.max_call_depth = stats.max_call_depth.max(frames.len());
                     frame_base = regs.len();
                     regs.resize(frame_base + self.num_regs[callee.index()] as usize, 0);
-                    (
-                        self.layout.func_entry(*callee).as_u32(),
-                        TransferKind::Call,
-                    )
+                    (self.layout.func_entry(*callee).as_u32(), TransferKind::Call)
                 }
                 Terminator::Return => match frames.pop() {
                     Some(frame) => {
@@ -294,6 +293,10 @@ impl<'p> Vm<'p> {
                 Terminator::Halt => {
                     observer.on_halt();
                     stats.halted = true;
+                    hotpath_telemetry::emit!(hotpath_telemetry::Event::VmHalt {
+                        blocks: stats.blocks_executed,
+                        insts: stats.insts_executed,
+                    });
                     return Ok(stats);
                 }
             };

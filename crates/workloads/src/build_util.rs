@@ -124,7 +124,7 @@ mod tests {
         let stats = vm.run(&mut counter).unwrap();
         assert!(stats.halted);
         assert_eq!(vm.global(GlobalReg::new(0)), 21); // 0+1+..+6
-        // The latch is backward: one backward transfer per iteration.
+                                                      // The latch is backward: one backward transfer per iteration.
         assert_eq!(counter.backward, 7);
     }
 

@@ -8,8 +8,8 @@
 //! input.
 
 use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
-use hotpath_ir::{BinOp, CmpOp, GlobalReg, Program};
 use hotpath_ir::rng::Rng64;
+use hotpath_ir::{BinOp, CmpOp, GlobalReg, Program};
 
 use crate::build_util::DataLayout;
 use crate::scale::Scale;
@@ -229,7 +229,9 @@ mod tests {
         let bigger = build(Scale::Small);
         let run = |p: &Program| {
             let mut vm = Vm::new(p);
-            vm.run(&mut CountingObserver::default()).unwrap().blocks_executed
+            vm.run(&mut CountingObserver::default())
+                .unwrap()
+                .blocks_executed
         };
         assert!(run(&bigger) > run(&small) * 5);
     }

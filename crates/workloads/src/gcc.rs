@@ -8,8 +8,8 @@
 //! weighted shapes.
 
 use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
-use hotpath_ir::{BinOp, GlobalReg, Program};
 use hotpath_ir::rng::Rng64;
+use hotpath_ir::{BinOp, GlobalReg, Program};
 
 use crate::build_util::{end_loop, loop_up_to, DataLayout};
 use crate::scale::Scale;

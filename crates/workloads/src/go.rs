@@ -8,8 +8,8 @@
 //! mild empty-cell bias supplying the warm half of the flow.
 
 use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
-use hotpath_ir::{CmpOp, GlobalReg, Program};
 use hotpath_ir::rng::Rng64;
+use hotpath_ir::{CmpOp, GlobalReg, Program};
 
 use crate::build_util::{end_loop, loop_up_to, DataLayout};
 use crate::scale::Scale;

@@ -12,8 +12,8 @@
 //! paths.
 
 use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
-use hotpath_ir::{BinOp, CmpOp, GlobalReg, Program};
 use hotpath_ir::rng::Rng64;
+use hotpath_ir::{BinOp, CmpOp, GlobalReg, Program};
 
 use crate::build_util::{end_loop, loop_up_to, DataLayout};
 use crate::scale::Scale;

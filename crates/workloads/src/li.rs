@@ -8,8 +8,8 @@
 //! the path profile its realistic warm spread.
 
 use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
-use hotpath_ir::{BinOp, CmpOp, GlobalReg, Program};
 use hotpath_ir::rng::Rng64;
+use hotpath_ir::{BinOp, CmpOp, GlobalReg, Program};
 
 use crate::build_util::{end_loop, loop_up_to, DataLayout};
 use crate::scale::Scale;

@@ -13,8 +13,8 @@
 //! mid-sized path population over a strongly dominant hot core.
 
 use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
-use hotpath_ir::{BinOp, CmpOp, GlobalReg, LocalBlockId, Program, Reg};
 use hotpath_ir::rng::Rng64;
+use hotpath_ir::{BinOp, CmpOp, GlobalReg, LocalBlockId, Program, Reg};
 
 use crate::build_util::DataLayout;
 use crate::scale::Scale;

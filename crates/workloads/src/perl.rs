@@ -11,8 +11,8 @@
 //! FNV-style hash of matched prefixes contribute tight hot inner loops.
 
 use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
-use hotpath_ir::{BinOp, CmpOp, GlobalReg, LocalBlockId, Program};
 use hotpath_ir::rng::Rng64;
+use hotpath_ir::{BinOp, CmpOp, GlobalReg, LocalBlockId, Program};
 
 use crate::build_util::DataLayout;
 use crate::scale::Scale;
@@ -126,10 +126,7 @@ pub fn build(scale: Scale) -> Program {
         let first = first_block(&blocks[0]);
         fb.jump(first);
         for (k, (op, blk)) in ops.iter().zip(blocks).enumerate() {
-            let next = blocks
-                .get(k + 1)
-                .map(first_block)
-                .unwrap_or(match_proc);
+            let next = blocks.get(k + 1).map(first_block).unwrap_or(match_proc);
             match (op, blk) {
                 (POp::Char(c), OpBlocks::Consume { entry, test }) => {
                     fb.switch_to(*entry);

@@ -12,8 +12,8 @@
 //! (gcc-like). The crossover benches sweep between the two.
 
 use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
-use hotpath_ir::{GlobalReg, Program};
 use hotpath_ir::rng::Rng64;
+use hotpath_ir::{GlobalReg, Program};
 
 use crate::build_util::{end_loop, loop_up_to, DataLayout};
 

@@ -9,8 +9,8 @@
 //! paths.
 
 use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
-use hotpath_ir::{CmpOp, GlobalReg, Program};
 use hotpath_ir::rng::Rng64;
+use hotpath_ir::{CmpOp, GlobalReg, Program};
 
 use crate::build_util::{end_loop, loop_up_to, DataLayout};
 use crate::scale::Scale;
@@ -78,7 +78,14 @@ pub fn build(scale: Scale) -> Program {
     // data-dependent bits, the source of vortex's path spread.
     let walk_hdr = fb.new_block();
     let probes: Vec<[hotpath_ir::LocalBlockId; 4]> = (0..2)
-        .map(|_| [fb.new_block(), fb.new_block(), fb.new_block(), fb.new_block()])
+        .map(|_| {
+            [
+                fb.new_block(),
+                fb.new_block(),
+                fb.new_block(),
+                fb.new_block(),
+            ]
+        })
         .collect();
     let walk_latch = fb.new_block();
     let walk_done = fb.new_block();
@@ -132,7 +139,11 @@ pub fn build(scale: Scale) -> Program {
     let del_free = fb.new_block();
     let del_miss = fb.new_block();
     let txn_done = fb.new_block();
-    fb.switch(op, vec![do_lookup, do_lookup, do_insert, do_delete], txn_done);
+    fb.switch(
+        op,
+        vec![do_lookup, do_lookup, do_insert, do_delete],
+        txn_done,
+    );
 
     // Lookup.
     fb.switch_to(do_lookup);

@@ -9,10 +9,7 @@ use hotpath::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
-    let name: WorkloadName = args
-        .next()
-        .unwrap_or_else(|| "deltablue".into())
-        .parse()?;
+    let name: WorkloadName = args.next().unwrap_or_else(|| "deltablue".into()).parse()?;
     let scale = match args.next().as_deref() {
         None | Some("small") => Scale::Small,
         Some("smoke") => Scale::Smoke,
@@ -42,9 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
-    println!(
-        "\ncycle breakdown at NET tau=50 (interp/trace/profiling/build/transitions):"
-    );
+    println!("\ncycle breakdown at NET tau=50 (interp/trace/profiling/build/transitions):");
     let out = run_dynamo(&w.program, &DynamoConfig::new(Scheme::Net, 50))?;
     let c = out.cycles;
     println!(

@@ -26,8 +26,13 @@ fn phased_program(phase_len: i64) -> Result<Program, Box<dyn std::error::Error>>
         let header = fb.new_block();
         let body = fb.new_block();
         // Pre-create arm/join blocks in layout order.
-        let arms: Vec<(hotpath::ir::LocalBlockId, hotpath::ir::LocalBlockId, hotpath::ir::LocalBlockId)> =
-            (0..3).map(|_| (fb.new_block(), fb.new_block(), fb.new_block())).collect();
+        let arms: Vec<(
+            hotpath::ir::LocalBlockId,
+            hotpath::ir::LocalBlockId,
+            hotpath::ir::LocalBlockId,
+        )> = (0..3)
+            .map(|_| (fb.new_block(), fb.new_block(), fb.new_block()))
+            .collect();
         let latch = fb.new_block();
         let exit = fb.new_block();
 

@@ -8,10 +8,7 @@ use hotpath::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
-    let name: WorkloadName = args
-        .next()
-        .unwrap_or_else(|| "compress".into())
-        .parse()?;
+    let name: WorkloadName = args.next().unwrap_or_else(|| "compress".into()).parse()?;
     let scale = match args.next().as_deref() {
         None | Some("smoke") => Scale::Smoke,
         Some("small") => Scale::Small,

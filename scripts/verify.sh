@@ -1,9 +1,23 @@
 #!/usr/bin/env bash
-# Offline-safe verification: build, test, lint, and a perf smoke run.
-# Everything here must pass with no network access (the workspace has no
-# external dependencies).
+# Offline-safe verification: format, build, test, lint, perf smoke, and the
+# bench_compare self-gate. Everything here must pass with no network access
+# (the workspace has no external dependencies).
+#
+# Environment knobs:
+#   VERIFY_SKIP_LINT=1        skip rustfmt/clippy (for MSRV toolchains whose
+#                             lints differ from stable)
+#   VERIFY_ARTIFACT_DIR=DIR   where bench/telemetry JSON snapshots land
+#                             (default target/verify; CI uploads this dir)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+ART_DIR="${VERIFY_ARTIFACT_DIR:-target/verify}"
+mkdir -p "$ART_DIR"
+
+if [[ -z "${VERIFY_SKIP_LINT:-}" ]]; then
+    echo "== cargo fmt --check =="
+    cargo fmt --all -- --check
+fi
 
 echo "== cargo build --workspace --release =="
 cargo build --workspace --release
@@ -11,13 +25,19 @@ cargo build --workspace --release
 echo "== cargo test --workspace =="
 cargo test --workspace --quiet
 
-echo "== cargo clippy --workspace --all-targets (deny warnings) =="
-cargo clippy --workspace --all-targets -- -D warnings
+if [[ -z "${VERIFY_SKIP_LINT:-}" ]]; then
+    echo "== cargo clippy --workspace --all-targets (deny warnings) =="
+    cargo clippy --workspace --all-targets -- -D warnings
+fi
 
-echo "== perf_baseline smoke (scale smoke, throwaway JSON) =="
-# perf_baseline refuses to append to a file it did not write, so hand it a
-# fresh path rather than a pre-created mktemp file.
+echo "== perf_baseline smoke (scale smoke, snapshots into $ART_DIR) =="
+# perf_baseline appends to an existing document only if it wrote it, so
+# clear any snapshot left by a previous verify run.
+rm -f "$ART_DIR/bench_smoke.json" "$ART_DIR/telemetry_smoke.json"
 ./target/release/perf_baseline --scale smoke --reps 1 --label verify-smoke \
-    --json "$(mktemp -d -t bench_verify_XXXXXX)/bench.json"
+    --json "$ART_DIR/bench_smoke.json" --telemetry "$ART_DIR/telemetry_smoke.json"
+
+echo "== bench_compare self-gate (committed baseline, relative mode) =="
+./target/release/bench_compare BENCH_perf.json BENCH_perf.json --relative
 
 echo "verify.sh: all checks passed"

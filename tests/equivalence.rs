@@ -92,8 +92,16 @@ fn check_against_golden(p: &Program, tau: u64, g: &Golden, tag: &str) {
     let mut ex = PathExtractor::new(Feed(NetPredictor::new(tau)));
     Vm::new(p).run(&mut ex).unwrap();
     let (Feed(net), _) = ex.into_parts();
-    assert_eq!(net.counter_space(), g.net_counter_space, "{tag}: NET counter space");
-    assert_eq!(net.predictions(), g.net_predictions, "{tag}: NET predictions");
+    assert_eq!(
+        net.counter_space(),
+        g.net_counter_space,
+        "{tag}: NET counter space"
+    );
+    assert_eq!(
+        net.predictions(),
+        g.net_predictions,
+        "{tag}: NET predictions"
+    );
     assert_eq!(
         net.cost().counter_increments,
         g.net_increments,
@@ -113,7 +121,11 @@ fn check_against_golden(p: &Program, tau: u64, g: &Golden, tag: &str) {
     // first-seen successor ordering the HashMap version produced.
     let mut boa = BoaSelector::new(tau);
     Vm::new(p).run(&mut boa).unwrap();
-    assert_eq!(boa.counter_space(), g.boa_counter_space, "{tag}: Boa counter space");
+    assert_eq!(
+        boa.counter_space(),
+        g.boa_counter_space,
+        "{tag}: Boa counter space"
+    );
     assert_eq!(boa.traces().len(), g.boa_traces, "{tag}: Boa trace count");
     assert_eq!(
         boa.cost().counter_increments,
@@ -132,8 +144,15 @@ fn check_against_golden(p: &Program, tau: u64, g: &Golden, tag: &str) {
     // Edge profile totals and per-block counts.
     let mut edges = EdgeProfiler::new();
     let stats = Vm::new(p).run(&mut edges).unwrap();
-    assert_eq!(stats.blocks_executed, g.blocks_executed, "{tag}: dynamic blocks");
-    assert_eq!(edges.edge_count(), g.edge_count, "{tag}: edge counter space");
+    assert_eq!(
+        stats.blocks_executed, g.blocks_executed,
+        "{tag}: dynamic blocks"
+    );
+    assert_eq!(
+        edges.edge_count(),
+        g.edge_count,
+        "{tag}: edge counter space"
+    );
     assert_eq!(edges.transfers(), g.edge_transfers, "{tag}: transfers");
     let mut h = FNV;
     for b in 0..nblocks {
@@ -198,7 +217,11 @@ fn edge_profile_matches_reference_recomputation() {
         trace.replay(&mut edges);
 
         assert_eq!(edges.transfers(), reference.transfers, "{tag}: transfers");
-        assert_eq!(edges.edge_count(), reference.edges.len(), "{tag}: edge count");
+        assert_eq!(
+            edges.edge_count(),
+            reference.edges.len(),
+            "{tag}: edge count"
+        );
         for (&(from, to), &count) in &reference.edges {
             assert_eq!(edges.edge(from, to), count, "{tag}: edge {from}->{to}");
         }

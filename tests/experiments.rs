@@ -50,7 +50,10 @@ fn fig4_counter_space_reduction() {
         ratios.push(ratio);
     }
     let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
-    assert!(avg < 0.9, "average counter-space ratio {avg:.2} must be < 1");
+    assert!(
+        avg < 0.9,
+        "average counter-space ratio {avg:.2} must be < 1"
+    );
 }
 
 /// Figure 2's headline: at practically relevant delays, NET's hit rate is
@@ -69,7 +72,11 @@ fn fig2_net_matches_path_profile_at_low_delay() {
             net.hit_rate(),
             pp.hit_rate()
         );
-        assert!(net.hit_rate() > 85.0, "{name}: NET hit {:.1}%", net.hit_rate());
+        assert!(
+            net.hit_rate() > 85.0,
+            "{name}: NET hit {:.1}%",
+            net.hit_rate()
+        );
     }
 }
 

@@ -6,13 +6,7 @@ use hotpath::prelude::*;
 use hotpath::profiles::{BallLarusProfiler, KBoundedProfiler};
 use hotpath_vm::Tee;
 
-fn record(
-    w: &Workload,
-) -> (
-    PathStream,
-    PathTable,
-    hotpath::vm::RunStats,
-) {
+fn record(w: &Workload) -> (PathStream, PathTable, hotpath::vm::RunStats) {
     let mut ex = PathExtractor::new(StreamingSink::new());
     let stats = Vm::new(&w.program).run(&mut ex).expect("workload runs");
     let (sink, table) = ex.into_parts();
@@ -107,13 +101,17 @@ fn net_counter_space_never_exceeds_path_profile() {
 #[test]
 fn ball_larus_and_kbounded_run_on_every_workload() {
     for w in suite(Scale::Smoke) {
-        let mut bl = BallLarusProfiler::new(&w.program)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let mut bl =
+            BallLarusProfiler::new(&w.program).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         let mut kb = KBoundedProfiler::new(4);
         let mut tee = Tee(&mut bl, &mut kb);
         Vm::new(&w.program).run(&mut tee).expect("runs");
         assert!(bl.flow() > 0, "{}: Ball-Larus counted paths", w.name);
-        assert!(kb.observations() > 0, "{}: k-bounded observed branches", w.name);
+        assert!(
+            kb.observations() > 0,
+            "{}: k-bounded observed branches",
+            w.name
+        );
         // The Ball-Larus acyclic path flow can't exceed the dynamic branch
         // count plus path ends; sanity bound: positive and finite.
         assert!(bl.distinct_paths() >= 1);

@@ -91,7 +91,10 @@ fn ball_larus_numbering_is_a_bijection() {
             let mut seen = std::collections::HashSet::new();
             for id in 0..n {
                 let blocks = bl.decode(id).expect("id in range decodes");
-                assert!(seen.insert(blocks.clone()), "seed {seed}: duplicate path for {id}");
+                assert!(
+                    seen.insert(blocks.clone()),
+                    "seed {seed}: duplicate path for {id}"
+                );
                 assert_eq!(bl.encode(&blocks), Some(id), "seed {seed}");
             }
         }
