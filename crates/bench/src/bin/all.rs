@@ -10,7 +10,7 @@ use hotpath_bench::{
     average_series, record_suite_parallel, sweep_suite, write_csv, write_telemetry, Options,
 };
 use hotpath_core::SchemeKind;
-use hotpath_dynamo::{run_dynamo, run_native, DynamoConfig, Scheme};
+use hotpath_dynamo::{run_dynamo, run_dynamo_linked, run_native, DynamoConfig, Scheme};
 use hotpath_telemetry as telemetry;
 use hotpath_workloads::{build, ALL_WORKLOADS};
 
@@ -199,6 +199,52 @@ fn main() {
         "fig5_dynamo_speedup.csv",
         "benchmark,scheme,delay,speedup_pct,bailed_out",
         &f5,
+    );
+
+    // ---- Linked-trace cross-check -----------------------------------------
+    // The same selection policy, but executing predicted paths for real on
+    // the VM's compiled-trace backend. Its cycle model is charged from the
+    // measured link/guard counts, so simulated and executed speedups land
+    // close — and the executed run must reproduce the simulated run's
+    // fragment story.
+    println!("\n== Linked-trace backend: simulated vs. executed (NET tau=50) ==");
+    let mut linked_rows = Vec::new();
+    for name in ALL_WORKLOADS.iter().filter(|w| w.in_dynamo_figure()) {
+        let w = build(*name, opts.scale);
+        let native = run_native(&w.program).expect("native");
+        let config = DynamoConfig::new(Scheme::Net, 50);
+        let sim = run_dynamo(&w.program, &config).expect("dynamo");
+        let label = format!("linked/{name}/NET/tau50");
+        telemetry::emit!(telemetry::Event::RunStart { label: &label });
+        let real = run_dynamo_linked(&w.program, &config).expect("dynamo-linked");
+        telemetry::emit!(telemetry::Event::RunEnd { label: &label });
+        println!(
+            "{:<10} sim={:+.1}% exec={:+.1}% cached={:.1}% fragments={}{}",
+            name.to_string(),
+            sim.speedup_percent(native),
+            real.outcome.speedup_percent(native),
+            real.outcome.cached_block_fraction * 100.0,
+            real.outcome.fragments_installed,
+            if real.outcome.bailed_out {
+                " (bail-out)"
+            } else {
+                ""
+            }
+        );
+        linked_rows.push(format!(
+            "{name},{:.3},{:.3},{:.4},{},{}",
+            sim.speedup_percent(native),
+            real.outcome.speedup_percent(native),
+            real.outcome.cached_block_fraction,
+            real.outcome.fragments_installed,
+            real.outcome.bailed_out
+        ));
+    }
+    write_csv(
+        &opts.out_dir,
+        "linked_crosscheck.csv",
+        "benchmark,sim_speedup_pct,exec_speedup_pct,cached_fraction,fragments,bailed_out",
+        &linked_rows,
     );
     write_telemetry(&opts.out_dir, "all", &summary.snapshot());
     println!(

@@ -1,6 +1,6 @@
 //! `perf_baseline` — end-to-end throughput of the profiling pipeline.
 //!
-//! Measures blocks interpreted per second over the workload suite for four
+//! Measures blocks interpreted per second over the workload suite for five
 //! configurations, without any external benchmark framework:
 //!
 //! * `native` — the bare VM with a [`CountingObserver`] (the floor all
@@ -9,7 +9,13 @@
 //!   shipped delay τ=50 (the paper's "less is more" configuration),
 //! * `ball_larus` — VM + runtime Ball–Larus path profiling (the "more"
 //!   being compared against),
-//! * `dynamo` — the full fragment-cache engine under the NET scheme.
+//! * `dynamo` — the full fragment-cache engine under the NET scheme, with
+//!   cache execution *simulated* (every block still pays per-block
+//!   dispatch and an observer call),
+//! * `dynamo-linked` — the same engine driving the VM's compiled-trace
+//!   backend (`Vm::run_linked`): predicted paths execute as contiguous
+//!   guarded superblocks with patched trace-to-trace links, so hot code
+//!   skips per-block dispatch entirely.
 //!
 //! Each (workload, mode) pair runs `--reps` times and keeps the fastest
 //! repetition; per-mode totals are summed over the suite. Results append to
@@ -35,7 +41,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use hotpath_core::{HotPathPredictor, NetPredictor};
-use hotpath_dynamo::{run_dynamo, DynamoConfig, Scheme};
+use hotpath_dynamo::{run_dynamo, run_dynamo_linked, DynamoConfig, Scheme};
 use hotpath_profiles::{BallLarusProfiler, PathExecution, PathExtractor, PathSink};
 use hotpath_telemetry as telemetry;
 use hotpath_vm::{CountingObserver, Vm};
@@ -45,7 +51,7 @@ use hotpath_workloads::{build, Scale, ALL_WORKLOADS};
 const NET_DELAY: u64 = 50;
 
 /// The measured modes, in report order.
-const MODES: [&str; 4] = ["native", "net", "ball_larus", "dynamo"];
+const MODES: [&str; 5] = ["native", "net", "ball_larus", "dynamo", "dynamo-linked"];
 
 /// Feeds completed paths straight into a NET predictor, discarding the
 /// predictions — this measures profiling cost, not prediction quality.
@@ -138,7 +144,7 @@ fn main() {
 
     // blocks and per-mode best times, summed over the suite.
     let mut total_blocks: u64 = 0;
-    let mut mode_secs = [0.0f64; 4];
+    let mut mode_secs = [0.0f64; 5];
 
     for name in ALL_WORKLOADS {
         let w = build(name, args.scale);
@@ -176,10 +182,15 @@ fn main() {
                 run_dynamo(p, &DynamoConfig::new(Scheme::Net, NET_DELAY)).expect("dynamo run");
             black_box(out);
         });
+        let linked = best_secs(args.reps, || {
+            let out = run_dynamo_linked(p, &DynamoConfig::new(Scheme::Net, NET_DELAY))
+                .expect("dynamo-linked run");
+            black_box(out);
+        });
 
         for ((slot, secs), mode) in mode_secs
             .iter_mut()
-            .zip([native, net, bl, dynamo])
+            .zip([native, net, bl, dynamo, linked])
             .zip(MODES)
         {
             *slot += secs;
@@ -192,13 +203,15 @@ fn main() {
             label: &workload_label,
         });
         eprintln!(
-            "[perf] {:<10} blocks={:>11} native={:.3}s net={:.3}s bl={:.3}s dynamo={:.3}s",
+            "[perf] {:<10} blocks={:>11} native={:.3}s net={:.3}s bl={:.3}s dynamo={:.3}s \
+             linked={:.3}s",
             name.to_string(),
             blocks,
             native,
             net,
             bl,
-            dynamo
+            dynamo,
+            linked
         );
     }
 
@@ -266,18 +279,28 @@ fn main() {
 }
 
 /// Prints blocks/sec ratios of this run against each labelled run already
-/// in the document. The document is our own controlled format, so a simple
-/// line scan suffices instead of a JSON parser.
-fn report_speedups(prev: &str, mode_secs: &[f64; 4], total_blocks: u64) {
+/// in the document, over whichever modes the earlier run recorded (older
+/// documents predate `dynamo-linked`). The document is our own controlled
+/// format, so a simple line scan suffices instead of a JSON parser.
+fn report_speedups(prev: &str, mode_secs: &[f64; 5], total_blocks: u64) {
     let mut label: Option<String> = None;
-    let mut prev_rates: Vec<f64> = Vec::new();
-    let flush = |label: &Option<String>, rates: &Vec<f64>| {
-        if let (Some(l), true) = (label, rates.len() == MODES.len()) {
-            println!("\n--- speedup vs `{l}` (blocks/sec ratio) ---");
-            for ((mode, &prev_rate), &secs) in MODES.iter().zip(rates).zip(mode_secs) {
-                let now = total_blocks as f64 / secs;
-                println!("{mode:<12} {:>7.2}x", now / prev_rate);
+    let mut prev_rates: Vec<(String, f64)> = Vec::new();
+    let flush = |label: &Option<String>, rates: &Vec<(String, f64)>| {
+        let Some(l) = label else { return };
+        let mut printed_header = false;
+        for (mode, &secs) in MODES.iter().zip(mode_secs) {
+            let Some(&(_, prev_rate)) = rates.iter().find(|(m, _)| m == mode) else {
+                continue;
+            };
+            if prev_rate <= 0.0 {
+                continue;
             }
+            if !printed_header {
+                println!("\n--- speedup vs `{l}` (blocks/sec ratio) ---");
+                printed_header = true;
+            }
+            let now = total_blocks as f64 / secs;
+            println!("{mode:<12} {:>7.2}x", now / prev_rate);
         }
     };
     for line in prev.lines() {
@@ -287,11 +310,13 @@ fn report_speedups(prev: &str, mode_secs: &[f64; 4], total_blocks: u64) {
             label = rest.strip_suffix("\",").map(str::to_string);
             prev_rates.clear();
         } else if let Some(idx) = t.find("\"blocks_per_sec\": ") {
+            // Mode lines look like `"net": {"secs": ..., "blocks_per_sec": N}`.
+            let mode = t.trim_start_matches('"').split('"').next().unwrap_or("");
             let num = t[idx + "\"blocks_per_sec\": ".len()..]
                 .trim_end_matches(['}', ','])
                 .trim();
             if let Ok(r) = num.parse::<f64>() {
-                prev_rates.push(r);
+                prev_rates.push((mode.to_string(), r));
             }
         }
     }

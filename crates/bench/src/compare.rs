@@ -257,7 +257,10 @@ impl CompareReport {
 /// # Errors
 ///
 /// Returns a message when relative mode is requested and either run lacks
-/// a `native` measurement, or when the runs share no modes.
+/// a `native` measurement (or carries a zero / non-finite one — nothing
+/// can be normalized by that), when a gated baseline or current metric is
+/// not a finite positive number (a NaN ratio would silently pass any
+/// `<` comparison), or when the runs share no modes.
 pub fn compare_perf(
     baseline: &PerfRun,
     current: &PerfRun,
@@ -267,10 +270,20 @@ pub fn compare_perf(
         if !options.relative {
             return Ok(1.0);
         }
-        run.mode("native")
-            .map(|m| m.blocks_per_sec)
-            .filter(|&r| r > 0.0)
-            .ok_or_else(|| format!("run `{}` has no native rate to normalize by", run.label))
+        let native = run.mode("native").ok_or_else(|| {
+            format!(
+                "run `{}` has no `native` mode; relative mode needs one to normalize by",
+                run.label
+            )
+        })?;
+        let rate = native.blocks_per_sec;
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(format!(
+                "run `{}` has an unusable native rate ({rate}); cannot normalize by it",
+                run.label
+            ));
+        }
+        Ok(rate)
     };
     let base_norm = normalizer(baseline)?;
     let cur_norm = normalizer(current)?;
@@ -281,6 +294,18 @@ pub fn compare_perf(
         };
         let base_metric = base.blocks_per_sec / base_norm;
         let cur_metric = cur.blocks_per_sec / cur_norm;
+        if !(base_metric.is_finite() && base_metric > 0.0) {
+            return Err(format!(
+                "mode `{mode}` in baseline run `{}` has unusable metric {base_metric}",
+                baseline.label
+            ));
+        }
+        if !cur_metric.is_finite() {
+            return Err(format!(
+                "mode `{mode}` in current run `{}` has unusable metric {cur_metric}",
+                current.label
+            ));
+        }
         let ratio = cur_metric / base_metric;
         let gated = !(options.relative && mode == "native");
         deltas.push(ModeDelta {
@@ -544,6 +569,54 @@ mod tests {
     }
 
     #[test]
+    fn relative_mode_rejects_absent_native() {
+        let base = &parse_perf_runs(&perf_doc("base", 500000.0)).unwrap()[0];
+        let mut no_native = base.clone();
+        no_native.label = "headless".into();
+        no_native.modes.retain(|(name, _)| name != "native");
+        let options = CompareOptions {
+            tolerance: DEFAULT_TOLERANCE,
+            relative: true,
+        };
+        let err = compare_perf(base, &no_native, options).unwrap_err();
+        assert!(err.contains("no `native` mode"), "{err}");
+        assert!(err.contains("headless"), "{err}");
+        // Raw mode is unaffected: the shared modes still compare.
+        assert!(compare_perf(base, &no_native, CompareOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn relative_mode_rejects_zero_or_nonfinite_native() {
+        let base = &parse_perf_runs(&perf_doc("base", 500000.0)).unwrap()[0];
+        let options = CompareOptions {
+            tolerance: DEFAULT_TOLERANCE,
+            relative: true,
+        };
+        for bad in [0.0, f64::NAN, f64::INFINITY, -1.0] {
+            let mut cur = base.clone();
+            cur.label = "bad".into();
+            cur.modes[0].1.blocks_per_sec = bad;
+            let err = compare_perf(base, &cur, options).unwrap_err();
+            assert!(err.contains("unusable native rate"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn nonfinite_metrics_error_instead_of_passing_as_nan() {
+        // `NaN < 1 - tolerance` is false: without the explicit check a NaN
+        // ratio would sail through the gate. It must be a hard error.
+        let base = &parse_perf_runs(&perf_doc("base", 500000.0)).unwrap()[0];
+        let mut zero_base = base.clone();
+        zero_base.modes[1].1.blocks_per_sec = 0.0;
+        let err = compare_perf(&zero_base, base, CompareOptions::default()).unwrap_err();
+        assert!(err.contains("baseline"), "{err}");
+        let mut nan_cur = base.clone();
+        nan_cur.modes[1].1.blocks_per_sec = f64::NAN;
+        let err = compare_perf(base, &nan_cur, CompareOptions::default()).unwrap_err();
+        assert!(err.contains("current"), "{err}");
+    }
+
+    #[test]
     fn telemetry_diff_reports_changed_counts() {
         let base = r#"{"label": "a", "events": {"vm_halt": 8, "path_completed": 100}}"#;
         let same = compare_telemetry(base, base).unwrap();
@@ -576,5 +649,25 @@ mod tests {
         )
         .unwrap();
         assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn committed_trace_exec_run_shows_the_linked_speedup() {
+        // The point of the trace-execution backend: executing predicted
+        // paths as compiled superblocks must beat the simulated dynamo
+        // mode by a wide margin. The committed measurement pins it at
+        // >= 1.5x blocks/sec.
+        let text = include_str!("../../../BENCH_perf.json");
+        let runs = parse_perf_runs(text).unwrap();
+        let run = select_run(&runs, Some("trace-exec")).expect("trace-exec run is committed");
+        let dynamo = run.mode("dynamo").expect("dynamo mode recorded");
+        let linked = run
+            .mode("dynamo-linked")
+            .expect("dynamo-linked mode recorded");
+        let ratio = linked.blocks_per_sec / dynamo.blocks_per_sec;
+        assert!(
+            ratio >= 1.5,
+            "dynamo-linked must run >= 1.5x the simulated dynamo mode, got {ratio:.2}x"
+        );
     }
 }

@@ -73,6 +73,27 @@ impl CostModel {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Transition cycles of one batched trace excursion reported by the
+    /// linked backend: one cache entry, one link transfer per
+    /// trace-to-trace hop (including a trace's own patched loop-closing
+    /// branch), and either the early-exit penalty (a guard failed) or a
+    /// regular cache exit.
+    ///
+    /// This is where the abstract model meets real counts: the simulated
+    /// [`Engine`](crate::Engine) charges these classes per *simulated*
+    /// transition, while
+    /// [`LinkedEngine`](crate::LinkedEngine) charges them from the link
+    /// and guard counters the VM's trace backend actually measured.
+    pub fn excursion_transitions(&self, links: u64, guard_failed: bool) -> f64 {
+        self.cache_entry
+            + self.link_transfer * links as f64
+            + if guard_failed {
+                self.early_exit
+            } else {
+                self.cache_exit
+            }
+    }
 }
 
 /// Where the cycles of a Dynamo run went.
@@ -117,6 +138,17 @@ mod tests {
         assert!(c.build_per_inst > c.interp_per_inst);
         assert!(c.link_transfer < c.cache_entry);
         assert!(c.link_transfer >= 0.0);
+    }
+
+    #[test]
+    fn excursion_transitions_match_their_parts() {
+        let c = CostModel::default();
+        // No links, clean exit: entry + exit.
+        assert!((c.excursion_transitions(0, false) - (c.cache_entry + c.cache_exit)).abs() < 1e-12);
+        // Three links, guard failure: entry + 3 transfers + early exit.
+        let got = c.excursion_transitions(3, true);
+        let want = c.cache_entry + 3.0 * c.link_transfer + c.early_exit;
+        assert!((got - want).abs() < 1e-12);
     }
 
     #[test]

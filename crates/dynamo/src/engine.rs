@@ -140,7 +140,7 @@ enum Mode {
 
 /// Sink keeping only the most recent completed path.
 #[derive(Default, Debug)]
-struct LastSink(Option<PathExecution>);
+pub(crate) struct LastSink(pub(crate) Option<PathExecution>);
 
 impl PathSink for LastSink {
     fn on_path(&mut self, exec: &PathExecution) {
@@ -149,9 +149,27 @@ impl PathSink for LastSink {
     }
 }
 
-enum Predictor {
+pub(crate) enum Predictor {
     Net(NetPredictor),
     PathProfile(PathProfilePredictor),
+}
+
+impl Predictor {
+    /// The predictor for `scheme` at delay τ.
+    pub(crate) fn for_scheme(scheme: Scheme, delay: u64) -> Self {
+        match scheme {
+            Scheme::Net => Predictor::Net(NetPredictor::new(delay)),
+            Scheme::PathProfile => Predictor::PathProfile(PathProfilePredictor::new(delay)),
+        }
+    }
+
+    /// Clears all counters (on a cache flush).
+    pub(crate) fn reset(&mut self) {
+        match self {
+            Predictor::Net(p) => p.reset(),
+            Predictor::PathProfile(p) => p.reset(),
+        }
+    }
 }
 
 impl std::fmt::Debug for Predictor {
@@ -204,10 +222,7 @@ pub struct Engine {
 impl Engine {
     /// Creates an engine.
     pub fn new(config: DynamoConfig) -> Self {
-        let predictor = match config.scheme {
-            Scheme::Net => Predictor::Net(NetPredictor::new(config.delay)),
-            Scheme::PathProfile => Predictor::PathProfile(PathProfilePredictor::new(config.delay)),
-        };
+        let predictor = Predictor::for_scheme(config.scheme, config.delay);
         let detector = match config.flush {
             FlushPolicy::Never => None,
             FlushPolicy::OnSpike {
@@ -314,10 +329,7 @@ impl Engine {
             at_path: self.paths_completed,
         });
         self.cache.flush();
-        match &mut self.predictor {
-            Predictor::Net(p) => p.reset(),
-            Predictor::PathProfile(p) => p.reset(),
-        }
+        self.predictor.reset();
         self.cached_paths.clear();
         self.exit_counts.clear();
         self.mode = Mode::Interp;

@@ -134,6 +134,18 @@ impl FragmentCache {
         Some(id)
     }
 
+    /// Installs like [`FragmentCache::install`], additionally reporting
+    /// whether the head had no fragment before this call — i.e. whether
+    /// the install anchored a brand-new trace head. A linked backend
+    /// compiles exactly those fragments for direct execution; siblings
+    /// share the primary's anchor and stay engine-side.
+    pub fn install_anchoring(&mut self, blocks: &[u32], insts: u32) -> (Option<FragmentId>, bool) {
+        let new_head = !blocks
+            .first()
+            .is_some_and(|&h| self.has_head(BlockId::new(h)));
+        (self.install(blocks, insts), new_head)
+    }
+
     /// The fragments starting at a head block, in install order.
     fn head_row(&self, head: u32) -> &[FragmentId] {
         self.by_head.get(head as usize).map_or(&[], Vec::as_slice)
@@ -238,6 +250,22 @@ mod tests {
         // A sibling with the same head but different body installs fine.
         assert!(c.install(&[1, 3], 4).is_some());
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn install_anchoring_reports_new_heads() {
+        let mut c = FragmentCache::new();
+        let (id, new_head) = c.install_anchoring(&[4, 5], 3);
+        assert!(id.is_some());
+        assert!(new_head, "first fragment at a head anchors it");
+        // A sibling at the same head installs but anchors nothing new.
+        let (id, new_head) = c.install_anchoring(&[4, 6], 3);
+        assert!(id.is_some());
+        assert!(!new_head);
+        // A duplicate neither installs nor anchors.
+        let (id, new_head) = c.install_anchoring(&[4, 5], 3);
+        assert!(id.is_none());
+        assert!(!new_head);
     }
 
     #[test]

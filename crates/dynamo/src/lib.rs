@@ -24,7 +24,14 @@
 //!   execution when the cache churns without reuse (as Dynamo does on
 //!   gcc/go);
 //! * [`run_native`] / [`run_dynamo`] — the Figure 5 harness: speedup of
-//!   Dynamo over native execution per scheme and prediction delay.
+//!   Dynamo over native execution per scheme and prediction delay;
+//! * [`LinkedEngine`] / [`run_dynamo_linked`] — the same selection policy
+//!   driving the VM's *real* trace-execution backend
+//!   ([`Vm::run_linked`](hotpath_vm::Vm::run_linked)): predicted paths are
+//!   compiled into contiguous guarded traces, guard exits that reach other
+//!   trace heads are patched into direct links, and whole superblock
+//!   excursions execute with no per-block dispatch — bit-identical results
+//!   at interpreter-beating wall-clock speed.
 //!
 //! # Example
 //!
@@ -47,6 +54,7 @@
 mod cost;
 mod engine;
 mod fragment;
+mod linked;
 mod phases;
 
 pub use cost::{CostModel, CycleBreakdown};
@@ -54,4 +62,5 @@ pub use engine::{
     run_dynamo, run_native, BailoutPolicy, DynamoConfig, DynamoOutcome, Engine, Scheme,
 };
 pub use fragment::{Fragment, FragmentCache, FragmentId};
+pub use linked::{run_dynamo_linked, LinkedEngine, LinkedRun};
 pub use phases::{FlushPolicy, SpikeDetector};

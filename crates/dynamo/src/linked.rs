@@ -1,0 +1,539 @@
+//! The linked-trace Dynamo engine: profiling and policy identical to the
+//! simulated [`Engine`](crate::Engine), execution real.
+//!
+//! [`Engine`](crate::Engine) *simulates* fragment-cache execution with the
+//! cycle cost model: every block still flows through the interpreter's
+//! per-block dispatch and observer call, which is why the `dynamo` bench
+//! mode cannot beat `native` in wall-clock terms. [`LinkedEngine`] drives
+//! [`Vm::run_linked`] instead: when the predictor fires, the engine
+//! commands the VM to compile the predicted path into a contiguous trace,
+//! and subsequent arrivals at the head execute the whole superblock with
+//! no per-block dispatch and no per-block observer call — one batched
+//! [`TraceExcursion`] per entry. Guard exits whose targets head other
+//! traces are patched into direct links, so hot loop nests run
+//! trace→trace (Dynamo's fragment linking); a cache flush severs every
+//! link.
+//!
+//! Trace selection mirrors the simulated engine: NET or path-profile
+//! prediction over interpreted paths installs primary fragments, and
+//! guard-fail exits are counted per target exactly like Dynamo's exit
+//! stubs — at τ arrivals the target is *armed* and the next interpreted
+//! path from it installs as a tail fragment, which linking then stitches
+//! to its parent. The cycle model is charged from the real counts the
+//! trace backend reports ([`CostModel::excursion_transitions`]), so the
+//! simulated and executed backends can be cross-checked.
+//!
+//! [`CostModel::excursion_transitions`]: crate::CostModel::excursion_transitions
+
+use std::collections::VecDeque;
+
+use hotpath_core::HotPathPredictor;
+use hotpath_ir::dense::CounterTable;
+use hotpath_ir::Program;
+use hotpath_profiles::{PathExecution, PathExtractor};
+use hotpath_telemetry as telemetry;
+use hotpath_vm::{
+    BlockEvent, ExecutionObserver, RunStats, TraceCommand, TraceController, TraceExcursion,
+    TraceExitReason, TransferKind, Vm, VmError,
+};
+
+use crate::cost::CycleBreakdown;
+use crate::engine::{DynamoConfig, DynamoOutcome, LastSink, Predictor};
+use crate::fragment::FragmentCache;
+use crate::phases::{FlushPolicy, SpikeDetector};
+
+/// Result of one linked-trace Dynamo run.
+#[derive(Clone, Debug)]
+pub struct LinkedRun {
+    /// Engine-side outcome: cycle breakdown, fragments, flushes, paths.
+    pub outcome: DynamoOutcome,
+    /// The VM's run statistics — bit-identical to a plain interpreted run
+    /// of the same program.
+    pub stats: RunStats,
+}
+
+/// The Dynamo engine for [`Vm::run_linked`]: observes interpreted blocks,
+/// receives batched trace excursions, and feeds install/flush commands
+/// back to the VM's trace backend.
+#[derive(Debug)]
+pub struct LinkedEngine {
+    config: DynamoConfig,
+    predictor: Predictor,
+    extractor: PathExtractor<LastSink>,
+    /// Engine-side mirror of the VM's trace cache: idempotent installs,
+    /// sibling bookkeeping, capacity policy, outcome statistics.
+    mirror: FragmentCache,
+    /// Commands awaiting the VM's next poll.
+    pending: VecDeque<TraceCommand>,
+    cycles: CycleBreakdown,
+    detector: Option<SpikeDetector>,
+    /// Exit-stub counters: arrivals per guard-fail target (Dynamo counts
+    /// arrivals through unlinked exit stubs the same way).
+    exit_counts: CounterTable,
+    /// Guard-fail targets whose stub counter reached τ: the next completed
+    /// interpreted path starting there installs as a tail fragment.
+    armed: Vec<u32>,
+    /// Paths that already have a fragment (indexed by PathId).
+    cached_paths: Vec<bool>,
+    /// Blocks of the interpreted path currently being accumulated.
+    cur_blocks: Vec<u32>,
+    cur_insts: u32,
+    /// Set after every excursion: the next interpreted block restarts path
+    /// extraction (the pre-excursion path tail ran in trace-land,
+    /// unobserved, so it cannot be completed honestly).
+    resume_pending: bool,
+    bailed: bool,
+    spike_flushes: u64,
+    paths_completed: u64,
+    blocks_total: u64,
+    blocks_cached: u64,
+    insts_total: u64,
+}
+
+impl LinkedEngine {
+    /// Creates an engine.
+    pub fn new(config: DynamoConfig) -> Self {
+        let predictor = Predictor::for_scheme(config.scheme, config.delay);
+        let detector = match config.flush {
+            FlushPolicy::Never => None,
+            FlushPolicy::OnSpike {
+                window,
+                factor,
+                min_predictions,
+            } => Some(SpikeDetector::new(window, factor, min_predictions)),
+        };
+        let cap = config.path_cap;
+        LinkedEngine {
+            config,
+            predictor,
+            extractor: PathExtractor::with_cap(LastSink::default(), cap),
+            mirror: FragmentCache::new(),
+            pending: VecDeque::new(),
+            cycles: CycleBreakdown::default(),
+            detector,
+            exit_counts: CounterTable::new(),
+            armed: Vec::new(),
+            cached_paths: Vec::new(),
+            cur_blocks: Vec::with_capacity(64),
+            cur_insts: 0,
+            resume_pending: false,
+            bailed: false,
+            spike_flushes: 0,
+            paths_completed: 0,
+            blocks_total: 0,
+            blocks_cached: 0,
+            insts_total: 0,
+        }
+    }
+
+    /// The engine-side fragment cache (inspection).
+    pub fn cache(&self) -> &FragmentCache {
+        &self.mirror
+    }
+
+    /// True once the engine has bailed out.
+    pub fn bailed_out(&self) -> bool {
+        self.bailed
+    }
+
+    /// Finalizes the run into an outcome.
+    pub fn finish(self) -> DynamoOutcome {
+        if telemetry::enabled() {
+            for (target, count) in self.exit_counts.iter() {
+                if count > 0 {
+                    telemetry::emit!(telemetry::Event::ExitStubHotness { target, count });
+                }
+            }
+        }
+        DynamoOutcome {
+            cycles: self.cycles,
+            fragments_installed: self.mirror.installs(),
+            fragments_live: self.mirror.len(),
+            flushes: self.mirror.flushes(),
+            spike_flushes: self.spike_flushes,
+            bailed_out: self.bailed,
+            paths_completed: self.paths_completed,
+            cached_block_fraction: if self.blocks_total == 0 {
+                0.0
+            } else {
+                self.blocks_cached as f64 / self.blocks_total as f64
+            },
+            insts_executed: self.insts_total,
+        }
+    }
+
+    fn is_cached_path(&self, exec: &PathExecution) -> bool {
+        self.cached_paths
+            .get(exec.path.index())
+            .copied()
+            .unwrap_or(false)
+    }
+
+    fn mark_cached(&mut self, exec: &PathExecution) {
+        let i = exec.path.index();
+        if i >= self.cached_paths.len() {
+            self.cached_paths.resize(i + 1, false);
+        }
+        self.cached_paths[i] = true;
+    }
+
+    /// Installs a fragment in the mirror and, when it anchors a new head,
+    /// commands the VM to compile it into a trace.
+    fn install(&mut self, blocks: &[u32], insts: u32) {
+        let (id, new_head) = self.mirror.install_anchoring(blocks, insts);
+        if id.is_some() {
+            self.cycles.build +=
+                self.config.cost.build_fixed + self.config.cost.build_per_inst * insts as f64;
+            telemetry::emit!(telemetry::Event::FragmentInstall {
+                head: blocks[0],
+                blocks: blocks.len() as u32,
+                insts,
+                installs: self.mirror.installs(),
+                at_path: self.paths_completed,
+            });
+            if new_head {
+                self.pending
+                    .push_back(TraceCommand::Install(blocks.to_vec()));
+            }
+        }
+    }
+
+    fn flush(&mut self, kind: &'static str) {
+        telemetry::emit!(telemetry::Event::CacheFlush {
+            kind,
+            evicted: self.mirror.len() as u64,
+            at_path: self.paths_completed,
+        });
+        self.mirror.flush();
+        self.predictor.reset();
+        self.cached_paths.clear();
+        self.exit_counts.clear();
+        self.armed.clear();
+        self.pending.push_back(TraceCommand::Flush);
+    }
+
+    /// Profiles a completed, fully-interpreted path; installs on
+    /// prediction. Identical charging to the simulated engine.
+    fn observe_path(&mut self, exec: &PathExecution, blocks: &[u32], insts: u32) -> bool {
+        let cost = self.config.cost;
+        let predicted = match &mut self.predictor {
+            Predictor::Net(p) => {
+                if exec.start.is_net_countable() {
+                    self.cycles.profiling += cost.counter_op;
+                }
+                p.observe(exec)
+            }
+            Predictor::PathProfile(p) => {
+                self.cycles.profiling +=
+                    cost.shift_op * exec.blocks.saturating_sub(1) as f64 + cost.table_op;
+                p.observe(exec)
+            }
+        };
+        if predicted.is_some() {
+            self.install(blocks, insts);
+            self.mark_cached(exec);
+            return true;
+        }
+        false
+    }
+
+    fn on_completed_path(&mut self, exec: &PathExecution, blocks: &[u32], insts: u32) {
+        self.paths_completed += 1;
+        let mut was_prediction = false;
+        if !self.is_cached_path(exec) {
+            was_prediction = self.observe_path(exec, blocks, insts);
+        }
+        // Armed exit-stub targets: the first interpreted path from a hot
+        // guard-fail target becomes the tail fragment Dynamo would record
+        // from that exit stub.
+        if !was_prediction {
+            let head = exec.head.as_u32();
+            if let Some(i) = self.armed.iter().position(|&h| h == head) {
+                if blocks.first() == Some(&head) {
+                    self.armed.swap_remove(i);
+                    self.install(blocks, insts.max(1));
+                    self.mark_cached(exec);
+                    was_prediction = true;
+                }
+            }
+        }
+        if let Some(det) = &mut self.detector {
+            if det.observe(was_prediction) {
+                self.spike_flushes += 1;
+                self.flush("spike");
+            }
+        }
+        if self.mirror.len() > self.config.max_fragments {
+            self.flush("capacity");
+        }
+        if let Some(bp) = self.config.bailout {
+            if self.paths_completed % bp.check_every_paths == 0
+                && self.mirror.installs() > bp.max_installs
+            {
+                self.bailed = true;
+                telemetry::emit!(telemetry::Event::Bailout {
+                    at_path: self.paths_completed,
+                    installs: self.mirror.installs(),
+                });
+                // Sever the VM's traces: the rest of the run executes as
+                // plain (native-charged) interpretation.
+                self.pending.push_back(TraceCommand::Flush);
+            }
+        }
+    }
+}
+
+impl ExecutionObserver for LinkedEngine {
+    fn on_block(&mut self, event: &BlockEvent) {
+        let cost = self.config.cost;
+        let size = event.block_size as f64;
+        self.insts_total += event.block_size as u64;
+        if self.bailed {
+            self.cycles.native += size * cost.native_per_inst;
+            return;
+        }
+        self.blocks_total += 1;
+
+        // Path bookkeeping. After an excursion the open interpreted path
+        // is stale (its tail ran in trace-land, unobserved): restart
+        // extraction at the exit target by feeding a synthetic Start,
+        // which the extractor begins without emitting the stale path.
+        if self.resume_pending {
+            self.resume_pending = false;
+            self.cur_blocks.clear();
+            self.cur_insts = 0;
+            self.extractor.on_block(&BlockEvent {
+                from: None,
+                kind: TransferKind::Start,
+                backward: false,
+                ..*event
+            });
+        } else {
+            self.extractor.on_block(event);
+        }
+        let completed = self.extractor.sink_mut().0.take();
+        let mut finished: Option<(Vec<u32>, u32)> = None;
+        if completed.is_some() {
+            finished = Some((std::mem::take(&mut self.cur_blocks), self.cur_insts));
+            self.cur_insts = 0;
+        }
+        self.cur_blocks.push(event.block.as_u32());
+        self.cur_insts += event.block_size;
+
+        if let (Some(exec), Some((blocks, insts))) = (completed, finished) {
+            self.on_completed_path(&exec, &blocks, insts);
+            if self.bailed {
+                self.cycles.native += size * cost.native_per_inst;
+                return;
+            }
+        }
+
+        self.cycles.interp += size * cost.interp_per_inst;
+    }
+
+    fn on_halt(&mut self) {
+        if self.bailed || self.resume_pending {
+            // After a bail-out the run is native; after an excursion there
+            // is no open interpreted path (the program halted in
+            // trace-land).
+            return;
+        }
+        self.extractor.on_halt();
+        if self.extractor.sink_mut().0.take().is_some() {
+            self.paths_completed += 1;
+        }
+    }
+}
+
+impl TraceController for LinkedEngine {
+    fn on_trace_exit(&mut self, exc: &TraceExcursion) {
+        let cost = self.config.cost;
+        // Dynamo's second end-of-trace condition: recording from an armed
+        // exit stub stops when it reaches an existing trace head. The
+        // interpreted blocks accumulated since the last excursion are that
+        // recording — this excursion starting is the trace head being hit —
+        // so install them as the tail fragment; linking then stitches the
+        // parent's guard exit straight into it.
+        if let Some(&head) = self.cur_blocks.first() {
+            if let Some(i) = self.armed.iter().position(|&h| h == head) {
+                self.armed.swap_remove(i);
+                let blocks = std::mem::take(&mut self.cur_blocks);
+                let insts = self.cur_insts;
+                self.install(&blocks, insts.max(1));
+            }
+        }
+        self.blocks_total += exc.blocks;
+        self.blocks_cached += exc.blocks;
+        self.insts_total += exc.insts;
+        self.cycles.trace += exc.insts as f64 * cost.trace_per_inst;
+        let guard_failed = exc.reason == TraceExitReason::GuardFail;
+        self.cycles.transitions += cost.excursion_transitions(exc.links, guard_failed);
+        if guard_failed {
+            // Exit-stub counting on the real exit: arrivals at the
+            // off-trace target; at τ the target is armed and the next
+            // interpreted path from it installs as a tail fragment.
+            self.cycles.profiling += cost.counter_op;
+            let target = exc.target.as_u32();
+            let c = self.exit_counts.slot(target);
+            *c += 1;
+            if *c >= self.config.delay {
+                *c = 0;
+                if !self.armed.contains(&target) {
+                    self.armed.push(target);
+                }
+            }
+        }
+        self.resume_pending = true;
+    }
+
+    fn poll_command(&mut self) -> Option<TraceCommand> {
+        self.pending.pop_front()
+    }
+}
+
+/// Runs `program` under the linked-trace Dynamo engine.
+///
+/// # Errors
+///
+/// Propagates VM failures.
+pub fn run_dynamo_linked(program: &Program, config: &DynamoConfig) -> Result<LinkedRun, VmError> {
+    let mut engine = LinkedEngine::new(config.clone());
+    let stats = Vm::new(program).run_linked(&mut engine)?;
+    Ok(LinkedRun {
+        outcome: engine.finish(),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_dynamo, Scheme};
+    use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
+    use hotpath_ir::CmpOp;
+    use hotpath_vm::NullObserver;
+
+    /// Tight single-path loop: the best case for trace caching.
+    fn hot_loop(trip: i64) -> Program {
+        let mut fb = FunctionBuilder::new("main");
+        let i = fb.reg();
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.const_(i, 0);
+        fb.jump(header);
+        fb.switch_to(header);
+        let c = fb.cmp_imm(CmpOp::Lt, i, trip);
+        fb.branch(c, body, exit);
+        fb.switch_to(body);
+        fb.add_imm(i, i, 1);
+        fb.add_imm(i, i, 0);
+        fb.add_imm(i, i, 0);
+        fb.add_imm(i, i, 0);
+        fb.jump(header);
+        fb.switch_to(exit);
+        fb.halt();
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(fb).unwrap();
+        pb.finish().unwrap()
+    }
+
+    /// Loop alternating between two paths: exercises guard failures,
+    /// exit-stub arming, tail fragments, and linking.
+    fn two_path_loop(trip: i64) -> Program {
+        let mut fb = FunctionBuilder::new("main");
+        let i = fb.reg();
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let odd = fb.new_block();
+        let even = fb.new_block();
+        let latch = fb.new_block();
+        let exit = fb.new_block();
+        fb.const_(i, 0);
+        fb.jump(header);
+        fb.switch_to(header);
+        let c = fb.cmp_imm(CmpOp::Lt, i, trip);
+        fb.branch(c, body, exit);
+        fb.switch_to(body);
+        let par = fb.reg();
+        fb.and_imm(par, i, 1);
+        fb.branch(par, odd, even);
+        fb.switch_to(odd);
+        fb.jump(latch);
+        fb.switch_to(even);
+        fb.jump(latch);
+        fb.switch_to(latch);
+        fb.add_imm(i, i, 1);
+        fb.jump(header);
+        fb.switch_to(exit);
+        fb.halt();
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(fb).unwrap();
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn linked_hot_loop_matches_interpreted_stats() {
+        let p = hot_loop(100_000);
+        let expect = Vm::new(&p).run(&mut NullObserver).unwrap();
+        let run = run_dynamo_linked(&p, &DynamoConfig::new(Scheme::Net, 50)).unwrap();
+        assert_eq!(run.stats, expect);
+        assert!(run.outcome.fragments_installed >= 1);
+        assert!(
+            run.outcome.cached_block_fraction > 0.95,
+            "cached fraction {}",
+            run.outcome.cached_block_fraction
+        );
+    }
+
+    #[test]
+    fn guard_failures_arm_tail_fragments_and_link() {
+        let p = two_path_loop(200_000);
+        let expect = Vm::new(&p).run(&mut NullObserver).unwrap();
+        let run = run_dynamo_linked(&p, &DynamoConfig::new(Scheme::Net, 50)).unwrap();
+        assert_eq!(run.stats, expect);
+        // The primary trace covers one parity; the other parity's guard
+        // failure at the body branch arms its target, installing a tail
+        // fragment that linking stitches back into the loop.
+        assert!(
+            run.outcome.fragments_installed >= 2,
+            "installed {}",
+            run.outcome.fragments_installed
+        );
+        assert!(
+            run.outcome.cached_block_fraction > 0.9,
+            "cached fraction {}",
+            run.outcome.cached_block_fraction
+        );
+    }
+
+    #[test]
+    fn linked_outcome_agrees_with_simulated_engine_shape() {
+        // The two backends share selection logic, so on a single-path
+        // loop their fragment counts match and both spend most cycles in
+        // trace-land.
+        let p = hot_loop(100_000);
+        let sim = run_dynamo(&p, &DynamoConfig::new(Scheme::Net, 50)).unwrap();
+        let real = run_dynamo_linked(&p, &DynamoConfig::new(Scheme::Net, 50)).unwrap();
+        assert_eq!(real.outcome.fragments_installed, sim.fragments_installed);
+        assert!(real.outcome.cycles.trace > real.outcome.cycles.interp);
+        assert!(sim.cycles.trace > sim.cycles.interp);
+    }
+
+    #[test]
+    fn errors_propagate_identically() {
+        // A program that divides by zero fails the same way under both
+        // entry points.
+        let mut fb = FunctionBuilder::new("main");
+        let a = fb.imm(1);
+        let b = fb.imm(0);
+        fb.bin(hotpath_ir::BinOp::Div, a, a, b);
+        fb.halt();
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(fb).unwrap();
+        let p = pb.finish().unwrap();
+        let plain = Vm::new(&p).run(&mut NullObserver).unwrap_err();
+        let linked = run_dynamo_linked(&p, &DynamoConfig::new(Scheme::Net, 50)).unwrap_err();
+        assert_eq!(plain, linked);
+    }
+}

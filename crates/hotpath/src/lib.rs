@@ -49,7 +49,8 @@ pub mod prelude {
         SchemeKind, DEFAULT_DELAYS,
     };
     pub use hotpath_dynamo::{
-        run_dynamo, run_native, CostModel, DynamoConfig, DynamoOutcome, Engine, FlushPolicy, Scheme,
+        run_dynamo, run_dynamo_linked, run_native, CostModel, DynamoConfig, DynamoOutcome, Engine,
+        FlushPolicy, LinkedEngine, LinkedRun, Scheme,
     };
     pub use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
     pub use hotpath_ir::{BinOp, BlockId, CmpOp, GlobalReg, Layout, Program};
@@ -57,6 +58,9 @@ pub mod prelude {
         load_run, save_run, showdown, BackwardRule, EdgeProfiler, HotPathSet, PathExecution,
         PathExtractor, PathProfile, PathStream, PathTable, SequenceRecorder, StreamingSink,
     };
-    pub use hotpath_vm::{BlockEvent, ExecutionObserver, RunConfig, TraceRecorder, Vm};
+    pub use hotpath_vm::{
+        BlockEvent, ExecutionObserver, RunConfig, TraceCommand, TraceController, TraceExcursion,
+        TraceExitReason, TraceRecorder, Vm,
+    };
     pub use hotpath_workloads::{build, suite, Scale, Workload, WorkloadName};
 }

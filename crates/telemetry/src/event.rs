@@ -113,6 +113,54 @@ pub enum Event<'a> {
         /// Arrivals counted through the stub.
         count: u64,
     },
+    /// The VM dispatched into a compiled trace (the start of one batched
+    /// excursion through trace-land).
+    TraceEnter {
+        /// Head block of the entered trace.
+        head: u32,
+        /// Blocks executed when the entry happened.
+        at_block: u64,
+    },
+    /// The VM left trace-land — one batched event per excursion, covering
+    /// every linked trace traversed since the matching
+    /// [`Event::TraceEnter`].
+    TraceExit {
+        /// Why the excursion ended (`"trace_end"`, `"guard_fail"`,
+        /// `"fuel"`, `"halt"`).
+        reason: &'static str,
+        /// Block control transferred to.
+        target: u32,
+        /// Blocks executed inside the excursion.
+        blocks: u64,
+        /// Trace traversals the excursion made (≥ 1).
+        entries: u64,
+        /// Trace-to-trace link transfers taken.
+        links: u64,
+        /// Blocks executed when the exit happened.
+        at_block: u64,
+    },
+    /// A trace guard failed mid-trace, diverting control off the predicted
+    /// path.
+    GuardFail {
+        /// Block whose guard failed.
+        block: u32,
+        /// Block control diverted to.
+        target: u32,
+        /// Blocks executed when the guard failed.
+        at_block: u64,
+    },
+    /// A trace exit stub was patched into a direct trace-to-trace link.
+    LinkPatched {
+        /// Block owning the patched stub.
+        from: u32,
+        /// Head block of the linked trace.
+        to: u32,
+    },
+    /// A trace-cache flush severed every patched link.
+    LinkSevered {
+        /// Links that were patched when the flush hit.
+        links: u64,
+    },
     /// A measured wall-clock duration. **Nondeterministic** — excluded
     /// from the byte-identical stream guarantee; summaries keep timings
     /// separate from event counts for the same reason.
@@ -140,6 +188,11 @@ impl Event<'_> {
             Event::Bailout { .. } => "bailout",
             Event::Transition { .. } => "transition",
             Event::ExitStubHotness { .. } => "exit_stub_hotness",
+            Event::TraceEnter { .. } => "trace_enter",
+            Event::TraceExit { .. } => "trace_exit",
+            Event::GuardFail { .. } => "guard_fail",
+            Event::LinkPatched { .. } => "link_patched",
+            Event::LinkSevered { .. } => "link_severed",
             Event::Timing { .. } => "timing",
         }
     }
@@ -222,6 +275,41 @@ impl Event<'_> {
             Event::ExitStubHotness { target, count } => {
                 push_u64_field(out, "target", target as u64);
                 push_u64_field(out, "count", count);
+            }
+            Event::TraceEnter { head, at_block } => {
+                push_u64_field(out, "head", head as u64);
+                push_u64_field(out, "at_block", at_block);
+            }
+            Event::TraceExit {
+                reason,
+                target,
+                blocks,
+                entries,
+                links,
+                at_block,
+            } => {
+                push_str_field(out, "reason", reason);
+                push_u64_field(out, "target", target as u64);
+                push_u64_field(out, "blocks", blocks);
+                push_u64_field(out, "entries", entries);
+                push_u64_field(out, "links", links);
+                push_u64_field(out, "at_block", at_block);
+            }
+            Event::GuardFail {
+                block,
+                target,
+                at_block,
+            } => {
+                push_u64_field(out, "block", block as u64);
+                push_u64_field(out, "target", target as u64);
+                push_u64_field(out, "at_block", at_block);
+            }
+            Event::LinkPatched { from, to } => {
+                push_u64_field(out, "from", from as u64);
+                push_u64_field(out, "to", to as u64);
+            }
+            Event::LinkSevered { links } => {
+                push_u64_field(out, "links", links);
             }
             Event::Timing { label, secs } => {
                 push_str_field(out, "label", label);
@@ -346,6 +434,25 @@ mod tests {
                 target: 9,
                 count: 17,
             },
+            Event::TraceEnter {
+                head: 7,
+                at_block: 500,
+            },
+            Event::TraceExit {
+                reason: "guard_fail",
+                target: 12,
+                blocks: 640,
+                entries: 80,
+                links: 79,
+                at_block: 1140,
+            },
+            Event::GuardFail {
+                block: 9,
+                target: 12,
+                at_block: 1140,
+            },
+            Event::LinkPatched { from: 9, to: 12 },
+            Event::LinkSevered { links: 4 },
             Event::Timing {
                 label: "compress",
                 secs: 1.25,

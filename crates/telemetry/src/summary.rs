@@ -29,6 +29,9 @@ pub struct TelemetrySummary {
     /// Distribution of profiling observations elapsed between consecutive
     /// τ-triggers (per scheme, merged) — the τ-trigger latencies.
     tau_trigger_gap: Option<Histogram>,
+    /// Distribution of blocks executed per trace entry (one sample per
+    /// trace excursion: its block count divided by its traversal count).
+    blocks_per_trace_entry: Option<Histogram>,
     /// Wall-clock timings, in emission order.
     timings: Vec<(String, f64)>,
     /// Logical timestamp of the previous fragment install.
@@ -75,6 +78,13 @@ impl TelemetrySummary {
                 }
                 self.last_trigger_observed.insert(scheme, observed);
             }
+            Event::TraceExit {
+                blocks, entries, ..
+            } => {
+                self.blocks_per_trace_entry
+                    .get_or_insert_with(Histogram::pow2)
+                    .add(blocks / entries.max(1));
+            }
             Event::Timing { label, secs } => {
                 self.timings.push((label.to_string(), secs));
             }
@@ -118,6 +128,11 @@ impl TelemetrySummary {
         self.tau_trigger_gap.as_ref()
     }
 
+    /// The blocks-per-trace-entry histogram, if any trace excursion ran.
+    pub fn blocks_per_trace_entry(&self) -> Option<&Histogram> {
+        self.blocks_per_trace_entry.as_ref()
+    }
+
     /// Folds another summary in (counts and histograms add; timings
     /// concatenate; the interarrival chains stay per-summary and do not
     /// bridge across the merge).
@@ -130,6 +145,10 @@ impl TelemetrySummary {
             (&mut self.trace_interarrival, &other.trace_interarrival),
             (&mut self.exit_stub_hotness, &other.exit_stub_hotness),
             (&mut self.tau_trigger_gap, &other.tau_trigger_gap),
+            (
+                &mut self.blocks_per_trace_entry,
+                &other.blocks_per_trace_entry,
+            ),
         ] {
             if let Some(theirs) = theirs {
                 mine.get_or_insert_with(Histogram::pow2).merge(theirs);
@@ -159,6 +178,7 @@ impl TelemetrySummary {
             ("trace_interarrival_paths", &self.trace_interarrival),
             ("exit_stub_hotness", &self.exit_stub_hotness),
             ("tau_trigger_gap", &self.tau_trigger_gap),
+            ("blocks_per_trace_entry", &self.blocks_per_trace_entry),
         ] {
             if let Some(hist) = hist {
                 if !first {
@@ -279,6 +299,24 @@ mod tests {
         // net: 150-50=100; path_profile: 100-80=20. No cross-scheme gap.
         assert_eq!(gaps.total(), 2);
         assert_eq!(gaps.max(), 100);
+    }
+
+    #[test]
+    fn trace_exits_feed_blocks_per_entry() {
+        let mut s = TelemetrySummary::new();
+        s.observe(&Event::TraceExit {
+            reason: "trace_end",
+            target: 3,
+            blocks: 640,
+            entries: 80,
+            links: 79,
+            at_block: 1000,
+        });
+        let h = s.blocks_per_trace_entry().unwrap();
+        assert_eq!(h.total(), 1);
+        // 640 blocks over 80 traversals = 8 blocks per entry.
+        assert_eq!(h.max(), 8);
+        assert_eq!(s.count("trace_exit"), 1);
     }
 
     #[test]

@@ -98,6 +98,151 @@ pub struct BlockEvent {
     pub block_size: u32,
 }
 
+/// Why one batched trace excursion ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceExitReason {
+    /// The final step's terminator left the cache normally (no trace at
+    /// the target).
+    TraceEnd,
+    /// A guard failed mid-trace: a conditional or indirect transfer left
+    /// the predicted path.
+    GuardFail,
+    /// The block budget could not cover another traversal; control falls
+    /// back to block-by-block interpretation so fuel exhaustion hits the
+    /// exact same block as plain interpretation.
+    Fuel,
+    /// The program halted on a trace.
+    Halt,
+}
+
+impl TraceExitReason {
+    /// Stable snake_case tag, used in telemetry.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceExitReason::TraceEnd => "trace_end",
+            TraceExitReason::GuardFail => "guard_fail",
+            TraceExitReason::Fuel => "fuel",
+            TraceExitReason::Halt => "halt",
+        }
+    }
+}
+
+/// One batched pass through trace-land: everything that happened between
+/// the VM dispatching into a compiled trace and control returning to the
+/// interpreter (or the program halting).
+///
+/// This is the trace backend's replacement for per-block [`BlockEvent`]s:
+/// the excursion's blocks produce *no* observer calls, only this summary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceExcursion {
+    /// Head block of the first trace entered.
+    pub head: BlockId,
+    /// Block the excursion exited from (`None` only if it never ran, which
+    /// the dispatch loop prevents).
+    pub from: Option<BlockId>,
+    /// Block control transferred to. Meaningless when [`halted`] is set.
+    ///
+    /// [`halted`]: TraceExcursion::halted
+    pub target: BlockId,
+    /// How control reaches `target` (the exiting terminator's kind).
+    pub kind: TransferKind,
+    /// Whether the exit transfer is backward in the layout.
+    pub backward: bool,
+    /// Size of the target block (straight-line instructions plus
+    /// terminator), mirroring [`BlockEvent::block_size`].
+    pub target_size: u32,
+    /// Why the excursion ended.
+    pub reason: TraceExitReason,
+    /// Blocks executed inside the excursion.
+    pub blocks: u64,
+    /// Instruction slots executed inside the excursion.
+    pub insts: u64,
+    /// Trace traversals started (1 without linking; each link transfer
+    /// adds one).
+    pub entries: u64,
+    /// Trace-to-trace link transfers taken (patched or head-lookup).
+    pub links: u64,
+    /// Guards that failed. A failing guard ends the excursion unless its
+    /// target is itself a trace head, in which case control chains there.
+    pub guard_fails: u64,
+    /// The program halted inside the excursion.
+    pub halted: bool,
+}
+
+/// A request from the profiling engine to the VM's trace backend, polled
+/// by [`Vm::run_linked`](crate::Vm::run_linked) after every interpreted
+/// block and every excursion.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TraceCommand {
+    /// Compile the given block sequence (global ids, an executed path) and
+    /// install it keyed by its first block. First install per head wins,
+    /// exactly like the engine-side fragment cache.
+    Install(Vec<u32>),
+    /// Drop every compiled trace and sever all links.
+    Flush,
+}
+
+/// Drives [`Vm::run_linked`](crate::Vm::run_linked): observes interpreted
+/// blocks (as an [`ExecutionObserver`]), receives batched
+/// [`TraceExcursion`]s, and feeds [`TraceCommand`]s back to the VM.
+pub trait TraceController: ExecutionObserver {
+    /// Called once per trace excursion, in place of the per-block events
+    /// the excursion's blocks would have produced.
+    fn on_trace_exit(&mut self, _excursion: &TraceExcursion) {}
+
+    /// Polled repeatedly after each interpreted block and each excursion
+    /// until it returns `None`.
+    fn poll_command(&mut self) -> Option<TraceCommand> {
+        None
+    }
+}
+
+impl TraceController for NullObserver {}
+
+/// A [`TraceController`] that replays a fixed command sequence, one
+/// command per poll; useful for tests that script installs and flushes
+/// without a profiling engine.
+#[derive(Default, Debug)]
+pub struct ScriptedController {
+    commands: std::collections::VecDeque<TraceCommand>,
+    /// Excursions received, in order.
+    pub excursions: Vec<TraceExcursion>,
+    /// Interpreted-block events received (traces produce none).
+    pub interpreted: u64,
+}
+
+impl ScriptedController {
+    /// A controller that will hand out `commands` one poll at a time.
+    pub fn new(commands: Vec<TraceCommand>) -> Self {
+        ScriptedController {
+            commands: commands.into(),
+            excursions: Vec::new(),
+            interpreted: 0,
+        }
+    }
+
+    /// Queues another command for a later poll.
+    pub fn push(&mut self, command: TraceCommand) {
+        self.commands.push_back(command);
+    }
+}
+
+impl ExecutionObserver for ScriptedController {
+    fn on_block(&mut self, _event: &BlockEvent) {
+        self.interpreted += 1;
+    }
+}
+
+impl TraceController for ScriptedController {
+    fn on_trace_exit(&mut self, excursion: &TraceExcursion) {
+        self.excursions.push(*excursion);
+    }
+
+    fn poll_command(&mut self) -> Option<TraceCommand> {
+        self.commands.pop_front()
+    }
+}
+
 /// Receives the dynamic block stream from a [`Vm`](crate::Vm) run.
 ///
 /// Implementations must be cheap: `on_block` runs once per executed basic

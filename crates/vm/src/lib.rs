@@ -54,9 +54,13 @@
 mod error;
 mod event;
 mod trace;
+mod trace_exec;
 mod vm;
 
 pub use error::VmError;
-pub use event::{BlockEvent, ExecutionObserver, NullObserver, Tee, TransferKind};
+pub use event::{
+    BlockEvent, ExecutionObserver, NullObserver, ScriptedController, Tee, TraceCommand,
+    TraceController, TraceExcursion, TraceExitReason, TransferKind,
+};
 pub use trace::{CountingObserver, RecordedTrace, TraceRecorder};
 pub use vm::{RunConfig, RunStats, Vm};

@@ -1,0 +1,951 @@
+//! Compiled superblock traces with guard exits and fragment linking.
+//!
+//! When the Dynamo engine predicts a hot path, the block sequence is
+//! *compiled* into a [`CompiledTrace`]: every block's straight-line
+//! instructions are copied into one contiguous stream, local branch
+//! targets are pre-resolved to global block ids, and each on-trace control
+//! transfer becomes a [`EndOp`] guard that either falls through to the
+//! next step or exits through a stub. Executing a trace touches no
+//! per-block `FlatBlock` entry and makes no per-block observer call — the
+//! whole excursion through trace-land is reported as one batched
+//! [`TraceExcursion`](crate::TraceExcursion).
+//!
+//! Exits model Dynamo's *exit stubs*: a guard whose target turns out to be
+//! another trace head is patched into a direct link (once), so hot loop
+//! nests run trace→trace without ever returning to the dispatch loop.
+//! Flushing the cache drops every trace and thereby severs all links.
+//!
+//! Bit-identity with plain interpretation is load-bearing: `RunStats`,
+//! memory, globals, and error behavior must be indistinguishable from
+//! [`Vm::run`](crate::Vm::run) with a `NullObserver`. Terminator counters
+//! (`cond_branches`, `indirect_branches`, `calls`) increment when the
+//! terminator executes regardless of where it lands; `backward_transfers`
+//! increments when the *entered* block's incoming edge is backward, with
+//! on-trace edge backwardness precomputed at compile time.
+
+use hotpath_ir::{BlockId, GlobalReg, Inst, Layout, Terminator};
+use hotpath_telemetry as telemetry;
+
+use crate::error::VmError;
+use crate::event::{TraceExcursion, TraceExitReason, TransferKind};
+use crate::vm::{exec_inst, CallFrame, FlatBlock, RunConfig, RunStats};
+
+/// Sentinel for "no trace here" / "link not patched".
+const NONE: u32 = u32::MAX;
+
+/// Guard/terminator operation ending one trace step.
+///
+/// `*Next` variants belong to non-final steps: the expected successor is
+/// the next step of the same trace, and a mismatch exits through the
+/// recorded stub. `*Exit` variants belong to the final step, whose
+/// terminator always leaves the trace (possibly straight into another —
+/// that is what linking patches).
+#[derive(Clone, Debug)]
+pub(crate) enum EndOp {
+    /// Unconditional jump whose target is the next step (verified at
+    /// compile time); no runtime guard.
+    Next,
+    /// Conditional branch; the `expect_taken` arm is the next step, the
+    /// other arm exits to the pre-resolved `fail_target`.
+    BranchNext {
+        cond: u16,
+        expect_taken: bool,
+        fail_target: u32,
+        fail_backward: bool,
+    },
+    /// Indirect branch; the computed target must be the next step's block.
+    SwitchNext {
+        index: u16,
+        targets: Box<[u32]>,
+        default: u32,
+    },
+    /// Call whose callee entry is the next step; pushes a frame with the
+    /// pre-resolved return continuation and opens the callee's register
+    /// window.
+    CallNext { ret_global: u32, callee_regs: u32 },
+    /// Return whose continuation must be the next step's block.
+    ReturnNext,
+    /// Final step: unconditional jump out of the trace.
+    JumpExit { target: u32, backward: bool },
+    /// Final step: conditional branch out of the trace (either arm).
+    BranchExit {
+        cond: u16,
+        taken: u32,
+        taken_backward: bool,
+        fallthrough: u32,
+        fallthrough_backward: bool,
+    },
+    /// Final step: indirect branch out of the trace.
+    SwitchExit {
+        index: u16,
+        targets: Box<[u32]>,
+        default: u32,
+    },
+    /// Final step: call out of the trace (the callee entry is the exit
+    /// target).
+    CallExit {
+        ret_global: u32,
+        callee_regs: u32,
+        target: u32,
+        backward: bool,
+    },
+    /// Final step: return out of the trace (dynamic target).
+    ReturnExit,
+    /// Final step: the program halts inside the trace.
+    HaltExit,
+}
+
+/// One block of a compiled trace.
+#[derive(Clone, Debug)]
+pub(crate) struct TraceStep {
+    /// Range of this block's straight-line instructions inside
+    /// [`CompiledTrace::insts`].
+    inst_start: u32,
+    inst_end: u32,
+    /// Global block id (error attribution, exit bookkeeping).
+    block: u32,
+    /// Straight-line instructions plus terminator.
+    size: u32,
+    /// Owning function index (callers' frames record it).
+    func: u32,
+    /// Backwardness of the on-trace edge into the next step; `false` on
+    /// the final step.
+    next_backward: bool,
+    /// The guard/terminator ending this step.
+    end: EndOp,
+    /// Patched links for this step's up-to-two statically-known exit
+    /// targets ([`NONE`] = unpatched): the branch-fail stub or the final
+    /// jump/call/branch-taken target uses `link_a`, the final
+    /// branch-fallthrough target uses `link_b`.
+    link_a: u32,
+    link_b: u32,
+}
+
+/// Which static link slot an exit goes through.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Slot {
+    A,
+    B,
+}
+
+/// A predicted hot path compiled for direct execution.
+#[derive(Clone, Debug)]
+pub(crate) struct CompiledTrace {
+    head: u32,
+    steps: Vec<TraceStep>,
+    /// All steps' straight-line instructions, contiguous.
+    insts: Vec<Inst>,
+}
+
+impl CompiledTrace {
+    pub(crate) fn len(&self) -> usize {
+        self.steps.len()
+    }
+}
+
+/// Read-only view of a [`Vm`](crate::Vm)'s flattened program, enough to
+/// compile traces.
+pub(crate) struct ProgramView<'a> {
+    pub(crate) flat: &'a [FlatBlock],
+    pub(crate) insts: &'a [Inst],
+    pub(crate) terms: &'a [Terminator],
+    pub(crate) layout: &'a Layout,
+    pub(crate) num_regs: &'a [u32],
+}
+
+/// Compiles an executed block sequence into a trace.
+///
+/// Returns `None` when the sequence cannot have been a single executed
+/// path (a terminator cannot reach the recorded successor, or a halt
+/// appears before the end) — installs are driven by observed executions,
+/// so this is defensive, not expected.
+pub(crate) fn compile_trace(view: &ProgramView<'_>, blocks: &[u32]) -> Option<CompiledTrace> {
+    if blocks.is_empty() {
+        return None;
+    }
+    let mut steps = Vec::with_capacity(blocks.len());
+    let mut insts: Vec<Inst> = Vec::new();
+    for (i, &b) in blocks.iter().enumerate() {
+        let fb = view.flat.get(b as usize)?;
+        let inst_start = insts.len() as u32;
+        insts.extend_from_slice(&view.insts[fb.inst_start as usize..fb.inst_end as usize]);
+        let inst_end = insts.len() as u32;
+        let next = blocks.get(i + 1).copied();
+        let from = BlockId::new(b);
+        let is_back = |to: u32| view.layout.is_backward(from, BlockId::new(to));
+        let (end, next_backward) = match (&view.terms[b as usize], next) {
+            (Terminator::Jump(t), next) => {
+                let target = fb.func_base + t.index() as u32;
+                match next {
+                    Some(n) if n == target => (EndOp::Next, is_back(n)),
+                    Some(_) => return None,
+                    None => (
+                        EndOp::JumpExit {
+                            target,
+                            backward: is_back(target),
+                        },
+                        false,
+                    ),
+                }
+            }
+            (
+                Terminator::Branch {
+                    cond,
+                    taken,
+                    fallthrough,
+                },
+                next,
+            ) => {
+                let tk = fb.func_base + taken.index() as u32;
+                let ft = fb.func_base + fallthrough.index() as u32;
+                let cond = cond.index() as u16;
+                match next {
+                    Some(n) => {
+                        let expect_taken = if n == tk {
+                            true
+                        } else if n == ft {
+                            false
+                        } else {
+                            return None;
+                        };
+                        let fail_target = if expect_taken { ft } else { tk };
+                        (
+                            EndOp::BranchNext {
+                                cond,
+                                expect_taken,
+                                fail_target,
+                                fail_backward: is_back(fail_target),
+                            },
+                            is_back(n),
+                        )
+                    }
+                    None => (
+                        EndOp::BranchExit {
+                            cond,
+                            taken: tk,
+                            taken_backward: is_back(tk),
+                            fallthrough: ft,
+                            fallthrough_backward: is_back(ft),
+                        },
+                        false,
+                    ),
+                }
+            }
+            (
+                Terminator::Switch {
+                    index,
+                    targets,
+                    default,
+                },
+                next,
+            ) => {
+                let targets: Box<[u32]> = targets
+                    .iter()
+                    .map(|t| fb.func_base + t.index() as u32)
+                    .collect();
+                let default = fb.func_base + default.index() as u32;
+                let index = index.index() as u16;
+                match next {
+                    Some(n) => {
+                        // The recorded successor must be reachable at all.
+                        if n != default && !targets.contains(&n) {
+                            return None;
+                        }
+                        (
+                            EndOp::SwitchNext {
+                                index,
+                                targets,
+                                default,
+                            },
+                            is_back(n),
+                        )
+                    }
+                    None => (
+                        EndOp::SwitchExit {
+                            index,
+                            targets,
+                            default,
+                        },
+                        false,
+                    ),
+                }
+            }
+            (Terminator::Call { callee, ret_to }, next) => {
+                let target = view.layout.func_entry(*callee).as_u32();
+                let ret_global = fb.func_base + ret_to.index() as u32;
+                let callee_regs = view.num_regs[callee.index()];
+                match next {
+                    Some(n) if n == target => (
+                        EndOp::CallNext {
+                            ret_global,
+                            callee_regs,
+                        },
+                        is_back(n),
+                    ),
+                    Some(_) => return None,
+                    None => (
+                        EndOp::CallExit {
+                            ret_global,
+                            callee_regs,
+                            target,
+                            backward: is_back(target),
+                        },
+                        false,
+                    ),
+                }
+            }
+            (Terminator::Return, next) => match next {
+                // The continuation is only known dynamically; guard it.
+                Some(_) => (EndOp::ReturnNext, false),
+                None => (EndOp::ReturnExit, false),
+            },
+            (Terminator::Halt, Some(_)) => return None,
+            (Terminator::Halt, None) => (EndOp::HaltExit, false),
+        };
+        // A return into the next step: its backwardness depends on the
+        // dynamic continuation; when the guard passes, the continuation IS
+        // the next block, so precompute against it.
+        let next_backward = match (&end, next) {
+            (EndOp::ReturnNext, Some(n)) => is_back(n),
+            _ => next_backward,
+        };
+        steps.push(TraceStep {
+            inst_start,
+            inst_end,
+            block: b,
+            size: fb.size,
+            func: fb.func,
+            next_backward,
+            end,
+            link_a: NONE,
+            link_b: NONE,
+        });
+    }
+    Some(CompiledTrace {
+        head: blocks[0],
+        steps,
+        insts,
+    })
+}
+
+/// The VM-side trace cache: compiled traces indexed densely by head block,
+/// one trace per head (the primary fragment; tail fragments live at their
+/// own heads).
+#[derive(Debug)]
+pub(crate) struct TraceCache {
+    traces: Vec<CompiledTrace>,
+    /// Trace id per head block ([`NONE`] = no trace), indexed by global
+    /// block id.
+    at_head: Vec<u32>,
+    /// Links currently patched (for `LinkSevered` accounting on flush).
+    patched_links: u64,
+}
+
+impl TraceCache {
+    pub(crate) fn new(block_count: usize) -> Self {
+        TraceCache {
+            traces: Vec::new(),
+            at_head: vec![NONE; block_count],
+            patched_links: 0,
+        }
+    }
+
+    /// The trace anchored at `block`, if any.
+    #[inline]
+    pub(crate) fn entry(&self, block: u32) -> Option<u32> {
+        match self.at_head[block as usize] {
+            NONE => None,
+            tid => Some(tid),
+        }
+    }
+
+    pub(crate) fn trace_len(&self, tid: u32) -> usize {
+        self.traces[tid as usize].len()
+    }
+
+    /// Installs a compiled trace; the first trace at a head wins (exactly
+    /// like the engine-side `FragmentCache`'s primary fragment).
+    pub(crate) fn install(&mut self, trace: CompiledTrace) -> bool {
+        let head = trace.head as usize;
+        if self.at_head[head] != NONE {
+            return false;
+        }
+        self.at_head[head] = self.traces.len() as u32;
+        self.traces.push(trace);
+        true
+    }
+
+    /// Drops every trace, severing all patched links; returns how many
+    /// links were severed.
+    pub(crate) fn flush(&mut self) -> u64 {
+        self.traces.clear();
+        self.at_head.fill(NONE);
+        std::mem::take(&mut self.patched_links)
+    }
+
+    /// Patches a static exit stub of `tid`'s step `si` to transfer
+    /// directly into trace `to`.
+    fn patch(&mut self, tid: u32, si: usize, slot: Slot, to: u32) {
+        let to_head = self.traces[to as usize].head;
+        let step = &mut self.traces[tid as usize].steps[si];
+        let cell = match slot {
+            Slot::A => &mut step.link_a,
+            Slot::B => &mut step.link_b,
+        };
+        debug_assert_eq!(*cell, NONE, "patching an already-linked stub");
+        *cell = to;
+        let from = step.block;
+        self.patched_links += 1;
+        telemetry::emit!(telemetry::Event::LinkPatched { from, to: to_head });
+    }
+}
+
+/// Mutable machine state threaded through an excursion, borrowed from the
+/// interpreter loop.
+pub(crate) struct Machine<'a> {
+    pub(crate) memory: &'a mut [i64],
+    pub(crate) globals: &'a mut [i64; GlobalReg::COUNT],
+    pub(crate) regs: &'a mut Vec<i64>,
+    pub(crate) frames: &'a mut Vec<CallFrame>,
+    pub(crate) frame_base: &'a mut usize,
+    pub(crate) layout: &'a Layout,
+}
+
+/// Where one trace traversal handed control.
+enum Out {
+    /// Left trace-land toward `target` (no trace there, or fuel denies the
+    /// next traversal).
+    Exit {
+        from: u32,
+        target: u32,
+        kind: TransferKind,
+        backward: bool,
+        fail: bool,
+    },
+    /// Transferred into trace `tid` (link or head lookup); `patch` names a
+    /// static stub of the *departing* trace to link up.
+    Chain {
+        from: u32,
+        tid: u32,
+        kind: TransferKind,
+        backward: bool,
+        patch: Option<(usize, Slot)>,
+        fail: bool,
+    },
+    /// The program halted on the trace's final step.
+    Halted { from: u32 },
+}
+
+/// Resolves a statically-known trace exit: follow the patched link, look
+/// the target up (requesting a patch on hit), or leave trace-land.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn static_out(
+    cache: &TraceCache,
+    si: usize,
+    slot: Slot,
+    link: u32,
+    from: u32,
+    target: u32,
+    kind: TransferKind,
+    backward: bool,
+    fail: bool,
+) -> Out {
+    if link != NONE {
+        return Out::Chain {
+            from,
+            tid: link,
+            kind,
+            backward,
+            patch: None,
+            fail,
+        };
+    }
+    match cache.entry(target) {
+        Some(tid) => Out::Chain {
+            from,
+            tid,
+            kind,
+            backward,
+            patch: Some((si, slot)),
+            fail,
+        },
+        None => Out::Exit {
+            from,
+            target,
+            kind,
+            backward,
+            fail,
+        },
+    }
+}
+
+/// Resolves a dynamically-targeted trace exit (switch/return): traces can
+/// still be chained by head lookup, but there is no stub to patch — real
+/// Dynamo sends indirect branches through a lookup too.
+#[inline]
+fn dynamic_out(
+    cache: &TraceCache,
+    from: u32,
+    target: u32,
+    kind: TransferKind,
+    backward: bool,
+    fail: bool,
+) -> Out {
+    match cache.entry(target) {
+        Some(tid) => Out::Chain {
+            from,
+            tid,
+            kind,
+            backward,
+            patch: None,
+            fail,
+        },
+        None => Out::Exit {
+            from,
+            target,
+            kind,
+            backward,
+            fail,
+        },
+    }
+}
+
+/// Runs one traversal of trace `tid` (all steps, or until a guard fails),
+/// mirroring the interpreter's semantics exactly.
+#[allow(clippy::too_many_arguments)]
+fn run_traversal(
+    cache: &TraceCache,
+    tid: u32,
+    entry_backward: bool,
+    m: &mut Machine<'_>,
+    stats: &mut RunStats,
+    config: &RunConfig,
+    exc: &mut TraceExcursion,
+) -> Result<Out, VmError> {
+    let tr = &cache.traces[tid as usize];
+    let mut enter_backward = entry_backward;
+    let last = tr.steps.len() - 1;
+    for (si, step) in tr.steps.iter().enumerate() {
+        stats.blocks_executed += 1;
+        if enter_backward {
+            stats.backward_transfers += 1;
+        }
+        stats.insts_executed += step.size as u64;
+        exc.blocks += 1;
+        exc.insts += step.size as u64;
+        let block_id = BlockId::new(step.block);
+        let fb = *m.frame_base;
+        for inst in &tr.insts[step.inst_start as usize..step.inst_end as usize] {
+            exec_inst(inst, &mut m.regs[fb..], m.memory, m.globals, block_id)?;
+        }
+        match step.end {
+            EndOp::Next => {}
+            EndOp::BranchNext {
+                cond,
+                expect_taken,
+                fail_target,
+                fail_backward,
+            } => {
+                stats.cond_branches += 1;
+                let taken = m.regs[fb + cond as usize] != 0;
+                if taken != expect_taken {
+                    let kind = if taken {
+                        TransferKind::BranchTaken
+                    } else {
+                        TransferKind::BranchNotTaken
+                    };
+                    return Ok(static_out(
+                        cache,
+                        si,
+                        Slot::A,
+                        step.link_a,
+                        step.block,
+                        fail_target,
+                        kind,
+                        fail_backward,
+                        true,
+                    ));
+                }
+            }
+            EndOp::SwitchNext {
+                index,
+                ref targets,
+                default,
+            } => {
+                stats.indirect_branches += 1;
+                let v = m.regs[fb + index as usize];
+                let t = usize::try_from(v)
+                    .ok()
+                    .and_then(|i| targets.get(i).copied())
+                    .unwrap_or(default);
+                if t != tr.steps[si + 1].block {
+                    let backward = m.layout.is_backward(block_id, BlockId::new(t));
+                    return Ok(dynamic_out(
+                        cache,
+                        step.block,
+                        t,
+                        TransferKind::Indirect,
+                        backward,
+                        true,
+                    ));
+                }
+            }
+            EndOp::CallNext {
+                ret_global,
+                callee_regs,
+            } => {
+                stats.calls += 1;
+                if m.frames.len() >= config.max_call_depth {
+                    return Err(VmError::StackOverflow {
+                        limit: config.max_call_depth,
+                    });
+                }
+                m.frames.push(CallFrame {
+                    ret_global,
+                    frame_base: fb,
+                    func: step.func,
+                });
+                stats.max_call_depth = stats.max_call_depth.max(m.frames.len());
+                *m.frame_base = m.regs.len();
+                m.regs.resize(*m.frame_base + callee_regs as usize, 0);
+            }
+            EndOp::ReturnNext => match m.frames.pop() {
+                Some(frame) => {
+                    m.regs.truncate(fb);
+                    *m.frame_base = frame.frame_base;
+                    let t = frame.ret_global;
+                    if t != tr.steps[si + 1].block {
+                        let backward = m.layout.is_backward(block_id, BlockId::new(t));
+                        return Ok(dynamic_out(
+                            cache,
+                            step.block,
+                            t,
+                            TransferKind::Return,
+                            backward,
+                            true,
+                        ));
+                    }
+                }
+                None => {
+                    return Err(VmError::ReturnWithoutCaller { block: block_id });
+                }
+            },
+            EndOp::JumpExit { target, backward } => {
+                return Ok(static_out(
+                    cache,
+                    si,
+                    Slot::A,
+                    step.link_a,
+                    step.block,
+                    target,
+                    TransferKind::Jump,
+                    backward,
+                    false,
+                ));
+            }
+            EndOp::BranchExit {
+                cond,
+                taken,
+                taken_backward,
+                fallthrough,
+                fallthrough_backward,
+            } => {
+                stats.cond_branches += 1;
+                return Ok(if m.regs[fb + cond as usize] != 0 {
+                    static_out(
+                        cache,
+                        si,
+                        Slot::A,
+                        step.link_a,
+                        step.block,
+                        taken,
+                        TransferKind::BranchTaken,
+                        taken_backward,
+                        false,
+                    )
+                } else {
+                    static_out(
+                        cache,
+                        si,
+                        Slot::B,
+                        step.link_b,
+                        step.block,
+                        fallthrough,
+                        TransferKind::BranchNotTaken,
+                        fallthrough_backward,
+                        false,
+                    )
+                });
+            }
+            EndOp::SwitchExit {
+                index,
+                ref targets,
+                default,
+            } => {
+                stats.indirect_branches += 1;
+                let v = m.regs[fb + index as usize];
+                let t = usize::try_from(v)
+                    .ok()
+                    .and_then(|i| targets.get(i).copied())
+                    .unwrap_or(default);
+                let backward = m.layout.is_backward(block_id, BlockId::new(t));
+                return Ok(dynamic_out(
+                    cache,
+                    step.block,
+                    t,
+                    TransferKind::Indirect,
+                    backward,
+                    false,
+                ));
+            }
+            EndOp::CallExit {
+                ret_global,
+                callee_regs,
+                target,
+                backward,
+            } => {
+                stats.calls += 1;
+                if m.frames.len() >= config.max_call_depth {
+                    return Err(VmError::StackOverflow {
+                        limit: config.max_call_depth,
+                    });
+                }
+                m.frames.push(CallFrame {
+                    ret_global,
+                    frame_base: fb,
+                    func: step.func,
+                });
+                stats.max_call_depth = stats.max_call_depth.max(m.frames.len());
+                *m.frame_base = m.regs.len();
+                m.regs.resize(*m.frame_base + callee_regs as usize, 0);
+                return Ok(static_out(
+                    cache,
+                    si,
+                    Slot::A,
+                    step.link_a,
+                    step.block,
+                    target,
+                    TransferKind::Call,
+                    backward,
+                    false,
+                ));
+            }
+            EndOp::ReturnExit => match m.frames.pop() {
+                Some(frame) => {
+                    m.regs.truncate(fb);
+                    *m.frame_base = frame.frame_base;
+                    let t = frame.ret_global;
+                    let backward = m.layout.is_backward(block_id, BlockId::new(t));
+                    return Ok(dynamic_out(
+                        cache,
+                        step.block,
+                        t,
+                        TransferKind::Return,
+                        backward,
+                        false,
+                    ));
+                }
+                None => {
+                    return Err(VmError::ReturnWithoutCaller { block: block_id });
+                }
+            },
+            EndOp::HaltExit => {
+                return Ok(Out::Halted { from: step.block });
+            }
+        }
+        debug_assert!(si < last, "non-final step fell through without a successor");
+        enter_backward = step.next_backward;
+    }
+    unreachable!("the final trace step always exits");
+}
+
+/// Executes one whole excursion through trace-land, starting at trace
+/// `start`, chasing links until control leaves the cache (or the program
+/// halts, or fuel denies the next traversal).
+pub(crate) fn run_excursion(
+    cache: &mut TraceCache,
+    start: u32,
+    entry_kind: TransferKind,
+    entry_backward: bool,
+    m: &mut Machine<'_>,
+    stats: &mut RunStats,
+    config: &RunConfig,
+) -> Result<TraceExcursion, VmError> {
+    let head = cache.traces[start as usize].head;
+    let mut exc = TraceExcursion {
+        head: BlockId::new(head),
+        from: None,
+        target: BlockId::new(head),
+        kind: entry_kind,
+        backward: entry_backward,
+        target_size: 0,
+        reason: TraceExitReason::TraceEnd,
+        blocks: 0,
+        insts: 0,
+        entries: 0,
+        links: 0,
+        guard_fails: 0,
+        halted: false,
+    };
+    let mut tid = start;
+    let mut in_kind = entry_kind;
+    let mut in_backward = entry_backward;
+    loop {
+        // Fuel precheck: entering a traversal guarantees all its blocks
+        // fit the budget, so `OutOfFuel` fires at exactly the block a
+        // plain interpretation would have stopped at.
+        if stats.blocks_executed + cache.trace_len(tid) as u64 > config.max_blocks {
+            exc.target = BlockId::new(cache.traces[tid as usize].head);
+            exc.kind = in_kind;
+            exc.backward = in_backward;
+            exc.reason = TraceExitReason::Fuel;
+            return Ok(exc);
+        }
+        exc.entries += 1;
+        match run_traversal(cache, tid, in_backward, m, stats, config, &mut exc)? {
+            Out::Halted { from } => {
+                exc.from = Some(BlockId::new(from));
+                exc.target = BlockId::new(from);
+                exc.reason = TraceExitReason::Halt;
+                exc.halted = true;
+                return Ok(exc);
+            }
+            Out::Exit {
+                from,
+                target,
+                kind,
+                backward,
+                fail,
+            } => {
+                if fail {
+                    exc.guard_fails += 1;
+                    telemetry::emit!(telemetry::Event::GuardFail {
+                        block: from,
+                        target,
+                        at_block: stats.blocks_executed,
+                    });
+                }
+                exc.from = Some(BlockId::new(from));
+                exc.target = BlockId::new(target);
+                exc.kind = kind;
+                exc.backward = backward;
+                exc.reason = if fail {
+                    TraceExitReason::GuardFail
+                } else {
+                    TraceExitReason::TraceEnd
+                };
+                return Ok(exc);
+            }
+            Out::Chain {
+                from,
+                tid: next,
+                kind,
+                backward,
+                patch,
+                fail,
+            } => {
+                if fail {
+                    exc.guard_fails += 1;
+                    telemetry::emit!(telemetry::Event::GuardFail {
+                        block: from,
+                        target: cache.traces[next as usize].head,
+                        at_block: stats.blocks_executed,
+                    });
+                }
+                if let Some((si, slot)) = patch {
+                    cache.patch(tid, si, slot, next);
+                }
+                exc.from = Some(BlockId::new(from));
+                exc.links += 1;
+                in_kind = kind;
+                in_backward = backward;
+                tid = next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::NullObserver;
+    use crate::vm::Vm;
+    use hotpath_ir::builder::{FunctionBuilder, ProgramBuilder};
+    use hotpath_ir::{CmpOp, Program};
+
+    fn loop_program(trip: i64) -> Program {
+        let mut fb = FunctionBuilder::new("main");
+        let i = fb.reg();
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.const_(i, 0);
+        fb.jump(header);
+        fb.switch_to(header);
+        let c = fb.cmp_imm(CmpOp::Lt, i, trip);
+        fb.branch(c, body, exit);
+        fb.switch_to(body);
+        fb.add_imm(i, i, 1);
+        fb.jump(header);
+        fb.switch_to(exit);
+        fb.halt();
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(fb).unwrap();
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn compile_resolves_a_loop_body() {
+        let p = loop_program(4);
+        let vm = Vm::new(&p);
+        // header(1) -> body(2) -> header(1) is the hot path.
+        let tr = compile_trace(&vm.view(), &[1, 2]).expect("compiles");
+        assert_eq!(tr.head, 1);
+        assert_eq!(tr.len(), 2);
+        assert!(matches!(tr.steps[0].end, EndOp::BranchNext { .. }));
+        assert!(matches!(tr.steps[1].end, EndOp::JumpExit { target: 1, .. }));
+        assert!(!tr.steps[1].next_backward);
+    }
+
+    #[test]
+    fn compile_rejects_impossible_sequences() {
+        let p = loop_program(4);
+        let vm = Vm::new(&p);
+        // body(2) jumps to header(1), never to exit(3).
+        assert!(compile_trace(&vm.view(), &[2, 3]).is_none());
+        // Nothing follows a halt.
+        assert!(compile_trace(&vm.view(), &[3, 1]).is_none());
+        assert!(compile_trace(&vm.view(), &[]).is_none());
+    }
+
+    #[test]
+    fn cache_keeps_first_trace_per_head() {
+        let p = loop_program(4);
+        let vm = Vm::new(&p);
+        let mut cache = TraceCache::new(4);
+        assert!(cache.install(compile_trace(&vm.view(), &[1, 2]).unwrap()));
+        assert!(!cache.install(compile_trace(&vm.view(), &[1]).unwrap()));
+        assert_eq!(cache.entry(1), Some(0));
+        assert_eq!(cache.entry(2), None);
+        assert_eq!(cache.flush(), 0);
+        assert_eq!(cache.entry(1), None);
+    }
+
+    #[test]
+    fn linked_loop_runs_bit_identical_to_interpretation() {
+        let p = loop_program(1_000);
+        let expect = Vm::new(&p).run(&mut NullObserver).unwrap();
+        let mut ctl = crate::event::ScriptedController::new(vec![
+            crate::event::TraceCommand::Install(vec![1, 2]),
+        ]);
+        let got = Vm::new(&p).run_linked(&mut ctl).unwrap();
+        assert_eq!(got, expect);
+        // The loop self-links: after the first excursion patches the
+        // latch's jump stub back to its own head, the remaining
+        // iterations run in a single excursion.
+        assert!(!ctl.excursions.is_empty());
+        let total: u64 = ctl.excursions.iter().map(|e| e.blocks).sum();
+        assert!(total > 1_000, "most blocks should run in trace-land");
+    }
+}

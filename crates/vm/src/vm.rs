@@ -3,7 +3,8 @@
 use hotpath_ir::{BinOp, BlockId, GlobalReg, Inst, Layout, Program, Reg, Terminator, UnOp};
 
 use crate::error::VmError;
-use crate::event::{BlockEvent, ExecutionObserver, TransferKind};
+use crate::event::{BlockEvent, ExecutionObserver, TraceCommand, TraceController, TransferKind};
+use crate::trace_exec::{compile_trace, run_excursion, Machine, ProgramView, TraceCache};
 
 /// Limits for one [`Vm::run`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -48,26 +49,26 @@ pub struct RunStats {
 
 /// A frame on the call stack.
 #[derive(Clone, Copy, Debug)]
-struct CallFrame {
+pub(crate) struct CallFrame {
     /// Global block id to continue at after the matching return.
-    ret_global: u32,
+    pub(crate) ret_global: u32,
     /// Saved register-stack base of the caller.
-    frame_base: usize,
+    pub(crate) frame_base: usize,
     /// Function index of the caller.
-    func: u32,
+    pub(crate) func: u32,
 }
 
 /// Flattened per-block execution info, indexed by global block id.
 #[derive(Clone, Debug)]
-struct FlatBlock {
-    inst_start: u32,
-    inst_end: u32,
-    size: u32,
+pub(crate) struct FlatBlock {
+    pub(crate) inst_start: u32,
+    pub(crate) inst_end: u32,
+    pub(crate) size: u32,
     /// Function index owning this block.
-    func: u32,
+    pub(crate) func: u32,
     /// Global id of the owning function's block 0; local targets resolve as
     /// `func_base + local_index`.
-    func_base: u32,
+    pub(crate) func_base: u32,
 }
 
 /// The virtual machine.
@@ -312,10 +313,259 @@ impl<'p> Vm<'p> {
             cur = next;
         }
     }
+
+    /// Read-only view of the flattened program for the trace compiler.
+    pub(crate) fn view(&self) -> ProgramView<'_> {
+        ProgramView {
+            flat: &self.flat,
+            insts: &self.insts,
+            terms: &self.terms,
+            layout: &self.layout,
+            num_regs: &self.num_regs,
+        }
+    }
+
+    /// Executes the program with the compiled-trace backend enabled.
+    ///
+    /// Semantically identical to [`Vm::run`]: same [`RunStats`], same final
+    /// memory and globals, same errors at the same execution points. The
+    /// difference is purely in dispatch and observation. Blocks covered by
+    /// installed traces execute out of contiguous compiled instruction
+    /// streams — no per-block `FlatBlock` lookup, no per-block observer
+    /// call — and each pass through trace-land is reported as one batched
+    /// [`TraceExcursion`](crate::TraceExcursion) via
+    /// [`TraceController::on_trace_exit`]. Guard exits whose targets are
+    /// other trace heads are patched into direct links, so hot loop nests
+    /// run trace→trace without returning here.
+    ///
+    /// The `controller` observes interpreted blocks exactly as an
+    /// [`ExecutionObserver`] would under [`Vm::run`] and supplies
+    /// [`TraceCommand`]s (install / flush), polled after every interpreted
+    /// block and every excursion.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors [`Vm::run`] produces, at the same points.
+    pub fn run_linked<C: TraceController>(
+        &mut self,
+        controller: &mut C,
+    ) -> Result<RunStats, VmError> {
+        let mut cache = TraceCache::new(self.flat.len());
+        let mut stats = RunStats::default();
+        let mut regs: Vec<i64> = Vec::with_capacity(1024);
+        let mut frames: Vec<CallFrame> = Vec::with_capacity(64);
+        let mut frame_base = 0usize;
+
+        let entry_func = self.program.entry;
+        let mut cur = self.layout.func_entry(entry_func).as_u32();
+        regs.resize(self.num_regs[entry_func.index()] as usize, 0);
+
+        let mut pending = BlockEvent {
+            from: None,
+            block: BlockId::new(cur),
+            kind: TransferKind::Start,
+            backward: false,
+            block_size: self.flat[cur as usize].size,
+        };
+
+        loop {
+            // Trace dispatch: a trace anchored at the current block runs a
+            // whole excursion — provided the fuel budget covers its first
+            // traversal. When it does not, fall back to block-by-block
+            // interpretation so `OutOfFuel` fires at exactly the block
+            // plain interpretation would have stopped at.
+            let enter = cache.entry(cur).filter(|&tid| {
+                stats.blocks_executed + cache.trace_len(tid) as u64 <= self.config.max_blocks
+            });
+            if let Some(tid) = enter {
+                hotpath_telemetry::emit!(hotpath_telemetry::Event::TraceEnter {
+                    head: cur,
+                    at_block: stats.blocks_executed,
+                });
+                let mut machine = Machine {
+                    memory: &mut self.memory,
+                    globals: &mut self.globals,
+                    regs: &mut regs,
+                    frames: &mut frames,
+                    frame_base: &mut frame_base,
+                    layout: &self.layout,
+                };
+                let mut exc = run_excursion(
+                    &mut cache,
+                    tid,
+                    pending.kind,
+                    pending.backward,
+                    &mut machine,
+                    &mut stats,
+                    &self.config,
+                )?;
+                if !exc.halted {
+                    exc.target_size = self.flat[exc.target.as_u32() as usize].size;
+                }
+                hotpath_telemetry::emit!(hotpath_telemetry::Event::TraceExit {
+                    reason: exc.reason.as_str(),
+                    target: exc.target.as_u32(),
+                    blocks: exc.blocks,
+                    entries: exc.entries,
+                    links: exc.links,
+                    at_block: stats.blocks_executed,
+                });
+                controller.on_trace_exit(&exc);
+                drain_commands(controller, &mut cache, &self.view());
+                if exc.halted {
+                    controller.on_halt();
+                    stats.halted = true;
+                    hotpath_telemetry::emit!(hotpath_telemetry::Event::VmHalt {
+                        blocks: stats.blocks_executed,
+                        insts: stats.insts_executed,
+                    });
+                    return Ok(stats);
+                }
+                let next = exc.target.as_u32();
+                pending = BlockEvent {
+                    from: exc.from,
+                    block: exc.target,
+                    kind: exc.kind,
+                    backward: exc.backward,
+                    block_size: exc.target_size,
+                };
+                cur = next;
+                continue;
+            }
+
+            // Interpretation: one block, exactly as in `run`.
+            if stats.blocks_executed >= self.config.max_blocks {
+                return Err(VmError::OutOfFuel {
+                    budget: self.config.max_blocks,
+                });
+            }
+            stats.blocks_executed += 1;
+            if pending.backward {
+                stats.backward_transfers += 1;
+            }
+            controller.on_block(&pending);
+
+            let fb = &self.flat[cur as usize];
+            let func = fb.func as usize;
+            let func_base = fb.func_base;
+            stats.insts_executed += fb.size as u64;
+            let block_id = BlockId::new(cur);
+
+            for inst in &self.insts[fb.inst_start as usize..fb.inst_end as usize] {
+                exec_inst(
+                    inst,
+                    &mut regs[frame_base..],
+                    &mut self.memory,
+                    &mut self.globals,
+                    block_id,
+                )?;
+            }
+
+            let (next, kind) = match &self.terms[cur as usize] {
+                Terminator::Jump(t) => (func_base + t.index() as u32, TransferKind::Jump),
+                Terminator::Branch {
+                    cond,
+                    taken,
+                    fallthrough,
+                } => {
+                    stats.cond_branches += 1;
+                    if regs[frame_base + cond.index()] != 0 {
+                        (func_base + taken.index() as u32, TransferKind::BranchTaken)
+                    } else {
+                        (
+                            func_base + fallthrough.index() as u32,
+                            TransferKind::BranchNotTaken,
+                        )
+                    }
+                }
+                Terminator::Switch {
+                    index,
+                    targets,
+                    default,
+                } => {
+                    stats.indirect_branches += 1;
+                    let v = regs[frame_base + index.index()];
+                    let t = usize::try_from(v)
+                        .ok()
+                        .and_then(|i| targets.get(i).copied())
+                        .unwrap_or(*default);
+                    (func_base + t.index() as u32, TransferKind::Indirect)
+                }
+                Terminator::Call { callee, ret_to } => {
+                    stats.calls += 1;
+                    if frames.len() >= self.config.max_call_depth {
+                        return Err(VmError::StackOverflow {
+                            limit: self.config.max_call_depth,
+                        });
+                    }
+                    frames.push(CallFrame {
+                        ret_global: func_base + ret_to.index() as u32,
+                        frame_base,
+                        func: func as u32,
+                    });
+                    stats.max_call_depth = stats.max_call_depth.max(frames.len());
+                    frame_base = regs.len();
+                    regs.resize(frame_base + self.num_regs[callee.index()] as usize, 0);
+                    (self.layout.func_entry(*callee).as_u32(), TransferKind::Call)
+                }
+                Terminator::Return => match frames.pop() {
+                    Some(frame) => {
+                        regs.truncate(frame_base);
+                        frame_base = frame.frame_base;
+                        (frame.ret_global, TransferKind::Return)
+                    }
+                    None => {
+                        return Err(VmError::ReturnWithoutCaller { block: block_id });
+                    }
+                },
+                Terminator::Halt => {
+                    controller.on_halt();
+                    stats.halted = true;
+                    hotpath_telemetry::emit!(hotpath_telemetry::Event::VmHalt {
+                        blocks: stats.blocks_executed,
+                        insts: stats.insts_executed,
+                    });
+                    return Ok(stats);
+                }
+            };
+
+            drain_commands(controller, &mut cache, &self.view());
+            let backward = self.layout.is_backward(block_id, BlockId::new(next));
+            pending = BlockEvent {
+                from: Some(block_id),
+                block: BlockId::new(next),
+                kind,
+                backward,
+                block_size: self.flat[next as usize].size,
+            };
+            cur = next;
+        }
+    }
+}
+
+/// Applies every queued controller command to the trace cache.
+fn drain_commands<C: TraceController>(
+    controller: &mut C,
+    cache: &mut TraceCache,
+    view: &ProgramView<'_>,
+) {
+    while let Some(command) = controller.poll_command() {
+        match command {
+            TraceCommand::Install(blocks) => {
+                if let Some(trace) = compile_trace(view, &blocks) {
+                    cache.install(trace);
+                }
+            }
+            TraceCommand::Flush => {
+                let severed = cache.flush();
+                hotpath_telemetry::emit!(hotpath_telemetry::Event::LinkSevered { links: severed });
+            }
+        }
+    }
 }
 
 #[inline]
-fn exec_inst(
+pub(crate) fn exec_inst(
     inst: &Inst,
     regs: &mut [i64],
     memory: &mut [i64],

@@ -25,6 +25,9 @@ cargo build --workspace --release
 echo "== cargo test --workspace =="
 cargo test --workspace --quiet
 
+echo "== trace-equivalence suite (linked execution is bit-identical) =="
+cargo test -p hotpath --test trace_equivalence --release --quiet
+
 if [[ -z "${VERIFY_SKIP_LINT:-}" ]]; then
     echo "== cargo clippy --workspace --all-targets (deny warnings) =="
     cargo clippy --workspace --all-targets -- -D warnings

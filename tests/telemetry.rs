@@ -75,6 +75,46 @@ fn null_recorder_leaves_outcomes_bit_identical() {
     }
 }
 
+/// The linked-trace backend (real superblock execution, batched trace
+/// events) under the same contract: a recorder — or none — never changes
+/// the run.
+fn run_linked_pipeline(name: WorkloadName) -> LinkedRun {
+    let w = build(name, Scale::Smoke);
+    run_dynamo_linked(&w.program, &DynamoConfig::new(Scheme::Net, 50)).expect("linked dynamo")
+}
+
+#[test]
+fn null_recorder_leaves_linked_runs_bit_identical() {
+    for name in [WorkloadName::Compress, WorkloadName::Li, WorkloadName::Go] {
+        let bare = run_linked_pipeline(name);
+        let guard = telemetry::install(Box::new(NullRecorder));
+        let nulled = run_linked_pipeline(name);
+        drop(guard);
+        assert_eq!(bare.stats, nulled.stats, "{name}: RunStats");
+        let (da, db) = (&bare.outcome, &nulled.outcome);
+        for (label, a, b) in [
+            ("interp", da.cycles.interp, db.cycles.interp),
+            ("trace", da.cycles.trace, db.cycles.trace),
+            ("native", da.cycles.native, db.cycles.native),
+            ("profiling", da.cycles.profiling, db.cycles.profiling),
+            ("build", da.cycles.build, db.cycles.build),
+            ("transitions", da.cycles.transitions, db.cycles.transitions),
+            (
+                "cached_block_fraction",
+                da.cached_block_fraction,
+                db.cached_block_fraction,
+            ),
+        ] {
+            assert_eq!(a.to_bits(), b.to_bits(), "{name}: cycles.{label}");
+        }
+        assert_eq!(da.fragments_installed, db.fragments_installed, "{name}");
+        assert_eq!(da.flushes, db.flushes, "{name}");
+        assert_eq!(da.bailed_out, db.bailed_out, "{name}");
+        assert_eq!(da.paths_completed, db.paths_completed, "{name}");
+        assert_eq!(da.insts_executed, db.insts_executed, "{name}");
+    }
+}
+
 #[cfg(feature = "telemetry")]
 mod recorded {
     use super::*;
@@ -126,6 +166,29 @@ mod recorded {
         ] {
             assert!(kinds.contains(expected), "missing {expected} in {kinds:?}");
         }
+    }
+
+    #[test]
+    fn linked_runs_emit_trace_events_and_feed_the_entry_histogram() {
+        let (recorder, handle) = SummaryRecorder::new();
+        let guard = telemetry::install(Box::new(recorder));
+        let run = run_linked_pipeline(WorkloadName::Compress);
+        drop(guard);
+        let summary = handle.snapshot();
+        assert!(summary.count("trace_enter") > 0, "trace entries observed");
+        assert_eq!(
+            summary.count("trace_enter"),
+            summary.count("trace_exit"),
+            "every excursion enters and exits exactly once"
+        );
+        assert_eq!(
+            summary.count("fragment_install"),
+            run.outcome.fragments_installed
+        );
+        let per_entry = summary
+            .blocks_per_trace_entry()
+            .expect("linked runs feed the blocks-per-trace-entry histogram");
+        assert_eq!(per_entry.total(), summary.count("trace_exit"));
     }
 
     #[test]

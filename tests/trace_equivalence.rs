@@ -1,0 +1,227 @@
+//! Trace-execution equivalence: the compiled-trace backend must be an
+//! *invisible* optimization. `Vm::run_linked` executes whole superblocks
+//! with pre-resolved targets, inline guards, and patched trace-to-trace
+//! links — and none of that may change a single observable bit relative
+//! to plain block-by-block interpretation.
+//!
+//! Three layers of guards:
+//!
+//! 1. **Workload sweep.** All nine benchmarks at Small scale, under both
+//!    prediction schemes: `RunStats`, final data memory, and every global
+//!    register bit-identical between `Vm::run` and `Vm::run_linked`
+//!    driven by the full `LinkedEngine`.
+//! 2. **Scripted corners.** A `ScriptedController` pins the mechanisms:
+//!    guard failure mid-trace, link severing on flush, divergence
+//!    chaining into a tail fragment.
+//! 3. **Error equivalence.** Fuel exhaustion aborts at the exact same
+//!    block with the exact same error, trace cache or not.
+
+use hotpath::dynamo::{DynamoConfig, LinkedEngine, Scheme};
+use hotpath::ir::builder::{FunctionBuilder, ProgramBuilder};
+use hotpath::ir::{CmpOp, GlobalReg, Program};
+use hotpath::vm::{
+    BlockEvent, ExecutionObserver, NullObserver, RunConfig, ScriptedController, TraceCommand,
+    TraceController, TraceExcursion, Vm, VmError,
+};
+use hotpath::workloads::{suite, Scale};
+
+/// Runs `program` plain and linked (under `engine`), asserting stats,
+/// memory, and globals are bit-identical; returns the shared stats.
+fn assert_bit_identical<C: TraceController>(
+    program: &Program,
+    engine: &mut C,
+    tag: &str,
+) -> hotpath::vm::RunStats {
+    let mut plain_vm = Vm::new(program);
+    let plain = plain_vm.run(&mut NullObserver).unwrap();
+
+    let mut linked_vm = Vm::new(program);
+    let linked = linked_vm.run_linked(engine).unwrap();
+
+    assert_eq!(plain, linked, "{tag}: RunStats");
+    assert_eq!(plain_vm.memory(), linked_vm.memory(), "{tag}: final memory");
+    for g in 0..GlobalReg::COUNT {
+        let g = GlobalReg::new(g as u8);
+        assert_eq!(
+            plain_vm.global(g),
+            linked_vm.global(g),
+            "{tag}: global {g:?}"
+        );
+    }
+    linked
+}
+
+#[test]
+fn all_nine_workloads_bit_identical_under_net() {
+    for w in suite(Scale::Small) {
+        let mut engine = LinkedEngine::new(DynamoConfig::new(Scheme::Net, 50));
+        assert_bit_identical(&w.program, &mut engine, &format!("{:?}/net", w.name));
+    }
+}
+
+#[test]
+fn all_nine_workloads_bit_identical_under_path_profile() {
+    for w in suite(Scale::Small) {
+        let mut engine = LinkedEngine::new(DynamoConfig::new(Scheme::PathProfile, 50));
+        assert_bit_identical(&w.program, &mut engine, &format!("{:?}/pp", w.name));
+    }
+}
+
+/// Block ids, in build order: 0 = implicit entry, then `new_block` order.
+/// For [`two_path_loop`]: header=1, body=2, odd=3, even=4, latch=5,
+/// exit=6.
+fn two_path_loop(trip: i64) -> Program {
+    let mut fb = FunctionBuilder::new("main");
+    let i = fb.reg();
+    let header = fb.new_block();
+    let body = fb.new_block();
+    let odd = fb.new_block();
+    let even = fb.new_block();
+    let latch = fb.new_block();
+    let exit = fb.new_block();
+    fb.const_(i, 0);
+    fb.jump(header);
+    fb.switch_to(header);
+    let c = fb.cmp_imm(CmpOp::Lt, i, trip);
+    fb.branch(c, body, exit);
+    fb.switch_to(body);
+    let par = fb.reg();
+    fb.and_imm(par, i, 1);
+    fb.branch(par, odd, even);
+    fb.switch_to(odd);
+    fb.jump(latch);
+    fb.switch_to(even);
+    fb.jump(latch);
+    fb.switch_to(latch);
+    fb.add_imm(i, i, 1);
+    fb.jump(header);
+    fb.switch_to(exit);
+    fb.halt();
+    let mut pb = ProgramBuilder::new();
+    pb.add_function(fb).unwrap();
+    pb.finish().unwrap()
+}
+
+/// A guard failing mid-trace (the uncovered parity at the body branch)
+/// hands control back to the interpreter at the exact off-trace block;
+/// every counter and every state bit stays identical.
+#[test]
+fn guard_failure_mid_trace_is_bit_identical() {
+    let p = two_path_loop(1_000);
+    // Primary trace through the even parity only.
+    let mut ctl = ScriptedController::new(vec![TraceCommand::Install(vec![1, 2, 4, 5])]);
+    assert_bit_identical(&p, &mut ctl, "guard-fail");
+    let fails: u64 = ctl.excursions.iter().map(|e| e.guard_fails).sum();
+    assert!(
+        fails >= 400,
+        "odd iterations must fail the parity guard: {fails}"
+    );
+    // Odd iterations interpret odd→latch and re-enter at header.
+    assert!(ctl.excursions.len() >= 400);
+    assert!(ctl.interpreted >= 800);
+}
+
+/// A controller that installs one trace up front and flushes the cache
+/// after a fixed number of excursions: afterwards every block must come
+/// from the interpreter again.
+struct FlushAfter {
+    after: usize,
+    pending: Vec<TraceCommand>,
+    excursions: Vec<TraceExcursion>,
+    interpreted: u64,
+}
+
+impl ExecutionObserver for FlushAfter {
+    fn on_block(&mut self, _event: &BlockEvent) {
+        self.interpreted += 1;
+    }
+}
+
+impl TraceController for FlushAfter {
+    fn on_trace_exit(&mut self, excursion: &TraceExcursion) {
+        self.excursions.push(*excursion);
+        if self.excursions.len() == self.after {
+            self.pending.push(TraceCommand::Flush);
+        }
+    }
+
+    fn poll_command(&mut self) -> Option<TraceCommand> {
+        self.pending.pop()
+    }
+}
+
+/// Flushing severs links and drops traces mid-run without perturbing
+/// execution: the run completes bit-identically, no excursion happens
+/// after the flush, and the block ledger still balances.
+#[test]
+fn link_invalidation_on_flush_is_bit_identical() {
+    let p = two_path_loop(1_000);
+    let mut ctl = FlushAfter {
+        after: 5,
+        pending: vec![TraceCommand::Install(vec![1, 2, 4, 5])],
+        excursions: Vec::new(),
+        interpreted: 0,
+    };
+    let stats = assert_bit_identical(&p, &mut ctl, "flush");
+    assert_eq!(ctl.excursions.len(), 5, "no excursions after the flush");
+    let trace_blocks: u64 = ctl.excursions.iter().map(|e| e.blocks).sum();
+    assert_eq!(
+        trace_blocks + ctl.interpreted,
+        stats.blocks_executed,
+        "every block is either in an excursion or interpreted"
+    );
+}
+
+/// With a tail fragment installed for the uncovered parity, the primary's
+/// failing guard chains straight into it (a patched exit stub) and the
+/// tail links back to the primary: the whole loop runs in trace-land as
+/// one excursion, still bit-identical.
+#[test]
+fn divergence_chains_into_a_tail_fragment() {
+    let p = two_path_loop(1_000);
+    let mut ctl = ScriptedController::new(vec![
+        TraceCommand::Install(vec![1, 2, 4, 5]),
+        TraceCommand::Install(vec![3, 5]),
+    ]);
+    assert_bit_identical(&p, &mut ctl, "tail-fragment");
+    let links: u64 = ctl.excursions.iter().map(|e| e.links).sum();
+    let fails: u64 = ctl.excursions.iter().map(|e| e.guard_fails).sum();
+    assert!(links >= 900, "loop closing + stub links: {links}");
+    assert!(
+        fails >= 400,
+        "parity guard still fails, but chains: {fails}"
+    );
+    // The two fragments cover both parities: after the two installs the
+    // interpreter only ever sees the entry block and the blocks before
+    // the installs took effect.
+    assert!(
+        ctl.interpreted < 20,
+        "steady state runs entirely in trace-land: {}",
+        ctl.interpreted
+    );
+}
+
+/// Fuel exhaustion is position-exact: the linked VM pre-checks the budget
+/// before entering a traversal and falls back to interpretation, so
+/// `OutOfFuel` fires at the very same block as plain interpretation.
+#[test]
+fn fuel_exhaustion_matches_plain_interpretation() {
+    let p = two_path_loop(1_000);
+    let config = RunConfig {
+        max_blocks: 777,
+        ..RunConfig::default()
+    };
+
+    let plain = Vm::new(&p)
+        .with_config(config)
+        .run(&mut NullObserver)
+        .unwrap_err();
+    let mut ctl = ScriptedController::new(vec![TraceCommand::Install(vec![1, 2, 4, 5])]);
+    let linked = Vm::new(&p)
+        .with_config(config)
+        .run_linked(&mut ctl)
+        .unwrap_err();
+
+    assert_eq!(plain, linked);
+    assert_eq!(plain, VmError::OutOfFuel { budget: 777 });
+}
