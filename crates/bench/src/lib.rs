@@ -9,6 +9,7 @@
 
 mod chart;
 pub mod compare;
+pub mod difffuzz;
 
 pub use chart::ascii_chart;
 

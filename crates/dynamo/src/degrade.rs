@@ -1,0 +1,336 @@
+//! Staged graceful degradation for the linked-trace engine.
+//!
+//! Dynamo bails out *wholesale* when the cache churns (gcc/go). The
+//! ladder here is gentler: a watchdog monitors flush storms, guard-fail
+//! rates, and trace efficiency over fixed-size event windows and steps
+//! the engine down one rung at a time —
+//!
+//! 1. [`LadderMode::FullLinking`] — normal operation: traces installed,
+//!    trace-to-trace links patched;
+//! 2. [`LadderMode::NoLink`] — traces still run, but every traversal
+//!    returns to the dispatch loop (links severed, none re-patched), so
+//!    a mispredicted loop nest cannot ping-pong between fragments;
+//! 3. [`LadderMode::InterpOnly`] — traces flushed and installs gated:
+//!    pure profiled interpretation.
+//!
+//! Unlike a bail-out, every rung keeps profiling, so after
+//! [`DegradeConfig::cooldown_windows`] consecutive healthy windows the
+//! watchdog steps back *up* and the engine re-promotes itself — a phase
+//! change that made the old working set worthless does not condemn the
+//! rest of the run.
+
+/// Execution rung of the degradation ladder, healthiest first.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum LadderMode {
+    /// Traces execute and link trace-to-trace (normal operation).
+    FullLinking,
+    /// Traces execute but never chain; each traversal returns to the
+    /// dispatch loop.
+    NoLink,
+    /// No traces at all: profiled interpretation only.
+    InterpOnly,
+}
+
+impl LadderMode {
+    /// Stable snake_case tag, used in telemetry.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LadderMode::FullLinking => "full_linking",
+            LadderMode::NoLink => "no_link",
+            LadderMode::InterpOnly => "interp_only",
+        }
+    }
+
+    /// The next rung down, if any.
+    fn down(self) -> Option<Self> {
+        match self {
+            LadderMode::FullLinking => Some(LadderMode::NoLink),
+            LadderMode::NoLink => Some(LadderMode::InterpOnly),
+            LadderMode::InterpOnly => None,
+        }
+    }
+
+    /// The next rung up, if any.
+    fn up(self) -> Option<Self> {
+        match self {
+            LadderMode::FullLinking => None,
+            LadderMode::NoLink => Some(LadderMode::FullLinking),
+            LadderMode::InterpOnly => Some(LadderMode::NoLink),
+        }
+    }
+}
+
+/// Tuning for the [`Watchdog`]. Enabled by setting
+/// [`DynamoConfig::degrade`](crate::DynamoConfig::degrade); when enabled
+/// the ladder supersedes the coarse [`BailoutPolicy`](crate::BailoutPolicy).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DegradeConfig {
+    /// Window length in watchdog events (one event per completed path
+    /// plus one per trace entry).
+    pub window_events: u64,
+    /// A window with more cache flushes than this is a flush storm.
+    pub max_flushes_per_window: u64,
+    /// A window whose guard failures exceed this fraction of trace
+    /// entries is churning (traces exit almost immediately).
+    pub max_guard_fail_rate: f64,
+    /// A window averaging fewer trace blocks per entry than this is not
+    /// amortizing dispatch (a healthy trace covers several blocks).
+    pub min_blocks_per_entry: f64,
+    /// Guard-fail and blocks-per-entry checks only apply once a window
+    /// has at least this many trace entries; quiet windows are healthy.
+    pub min_entries: u64,
+    /// Consecutive healthy windows required before stepping back up.
+    pub cooldown_windows: u32,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig {
+            window_events: 50_000,
+            max_flushes_per_window: 4,
+            max_guard_fail_rate: 0.9,
+            min_blocks_per_entry: 1.25,
+            min_entries: 256,
+            cooldown_windows: 2,
+        }
+    }
+}
+
+/// A mode transition decided by the [`Watchdog`]; the engine applies it
+/// (commands, telemetry) — the watchdog only tracks health.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LadderStep {
+    /// Health degraded: step down a rung.
+    Down {
+        /// Rung before the step.
+        from: LadderMode,
+        /// Rung after the step.
+        to: LadderMode,
+    },
+    /// Health recovered through the cooldown: step back up a rung.
+    Up {
+        /// Rung before the step.
+        from: LadderMode,
+        /// Rung after the step.
+        to: LadderMode,
+    },
+}
+
+/// Sliding-window health monitor driving the degradation ladder.
+///
+/// The engine feeds it completed paths, trace excursions, and flushes;
+/// at each window boundary the watchdog scores the window and may return
+/// a [`LadderStep`] for the engine to apply.
+#[derive(Clone, Debug)]
+pub struct Watchdog {
+    config: DegradeConfig,
+    mode: LadderMode,
+    /// Event clock within the current window.
+    events: u64,
+    flushes: u64,
+    entries: u64,
+    guard_fails: u64,
+    blocks: u64,
+    healthy_windows: u32,
+}
+
+impl Watchdog {
+    /// A watchdog starting at [`LadderMode::FullLinking`].
+    pub fn new(config: DegradeConfig) -> Self {
+        Watchdog {
+            config,
+            mode: LadderMode::FullLinking,
+            events: 0,
+            flushes: 0,
+            entries: 0,
+            guard_fails: 0,
+            blocks: 0,
+            healthy_windows: 0,
+        }
+    }
+
+    /// The current rung.
+    pub fn mode(&self) -> LadderMode {
+        self.mode
+    }
+
+    /// Counts a cache flush in the current window (degradation's own
+    /// flush is *not* reported here — it must not poison the next
+    /// window's score).
+    pub fn observe_flush(&mut self) {
+        self.flushes += 1;
+    }
+
+    /// Counts one completed interpreted path; may close a window.
+    pub fn observe_path(&mut self) -> Option<LadderStep> {
+        self.tick(1)
+    }
+
+    /// Counts one trace excursion (`entries` traversals, `guard_fails`
+    /// failed guards, `blocks` blocks executed); may close a window.
+    ///
+    /// The event clock advances by `entries` so trace-heavy phases still
+    /// close windows at a comparable block rate to interpreted phases.
+    pub fn observe_excursion(
+        &mut self,
+        entries: u64,
+        guard_fails: u64,
+        blocks: u64,
+    ) -> Option<LadderStep> {
+        self.entries += entries;
+        self.guard_fails += guard_fails;
+        self.blocks += blocks;
+        self.tick(entries.max(1))
+    }
+
+    fn tick(&mut self, n: u64) -> Option<LadderStep> {
+        self.events += n;
+        if self.events < self.config.window_events {
+            return None;
+        }
+        let storm = self.flushes > self.config.max_flushes_per_window;
+        let churn = self.entries >= self.config.min_entries
+            && (self.guard_fails as f64 > self.config.max_guard_fail_rate * self.entries as f64
+                || (self.blocks as f64) < self.config.min_blocks_per_entry * self.entries as f64);
+        self.events = 0;
+        self.flushes = 0;
+        self.entries = 0;
+        self.guard_fails = 0;
+        self.blocks = 0;
+        if storm || churn {
+            self.healthy_windows = 0;
+            let from = self.mode;
+            let to = from.down()?;
+            self.mode = to;
+            Some(LadderStep::Down { from, to })
+        } else {
+            let from = self.mode;
+            from.up()?;
+            self.healthy_windows += 1;
+            if self.healthy_windows < self.config.cooldown_windows {
+                return None;
+            }
+            self.healthy_windows = 0;
+            let to = from.up()?;
+            self.mode = to;
+            Some(LadderStep::Up { from, to })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DegradeConfig {
+        DegradeConfig {
+            window_events: 10,
+            max_flushes_per_window: 1,
+            max_guard_fail_rate: 0.9,
+            min_blocks_per_entry: 1.25,
+            min_entries: 4,
+            cooldown_windows: 2,
+        }
+    }
+
+    #[test]
+    fn flush_storm_steps_down() {
+        let mut w = Watchdog::new(tiny());
+        w.observe_flush();
+        w.observe_flush();
+        let mut step = None;
+        for _ in 0..10 {
+            step = step.or(w.observe_path());
+        }
+        assert_eq!(
+            step,
+            Some(LadderStep::Down {
+                from: LadderMode::FullLinking,
+                to: LadderMode::NoLink,
+            })
+        );
+        assert_eq!(w.mode(), LadderMode::NoLink);
+    }
+
+    #[test]
+    fn guard_churn_steps_down_twice_then_stops() {
+        let mut w = Watchdog::new(tiny());
+        // Every entry guard-fails after a single block: maximal churn.
+        assert_eq!(
+            w.observe_excursion(10, 10, 10),
+            Some(LadderStep::Down {
+                from: LadderMode::FullLinking,
+                to: LadderMode::NoLink,
+            })
+        );
+        assert_eq!(
+            w.observe_excursion(10, 10, 10),
+            Some(LadderStep::Down {
+                from: LadderMode::NoLink,
+                to: LadderMode::InterpOnly,
+            })
+        );
+        // At the bottom: more churn produces no further step.
+        assert_eq!(w.observe_excursion(10, 10, 10), None);
+        assert_eq!(w.mode(), LadderMode::InterpOnly);
+    }
+
+    #[test]
+    fn healthy_windows_repromote_after_cooldown() {
+        let mut w = Watchdog::new(tiny());
+        w.observe_excursion(10, 10, 10);
+        assert_eq!(w.mode(), LadderMode::NoLink);
+        // Healthy trace windows: long traces, no guard failures.
+        assert_eq!(w.observe_excursion(10, 0, 100), None); // cooldown 1/2
+        assert_eq!(
+            w.observe_excursion(10, 0, 100),
+            Some(LadderStep::Up {
+                from: LadderMode::NoLink,
+                to: LadderMode::FullLinking,
+            })
+        );
+        assert_eq!(w.mode(), LadderMode::FullLinking);
+        // At the top: healthy windows produce no further step.
+        assert_eq!(w.observe_excursion(10, 0, 100), None);
+        assert_eq!(w.observe_excursion(10, 0, 100), None);
+    }
+
+    #[test]
+    fn unhealthy_window_resets_cooldown() {
+        let mut w = Watchdog::new(tiny());
+        w.observe_excursion(10, 10, 10);
+        assert_eq!(w.mode(), LadderMode::NoLink);
+        assert_eq!(w.observe_excursion(10, 0, 100), None); // cooldown 1/2
+        w.observe_excursion(10, 10, 10); // churn again -> InterpOnly
+        assert_eq!(w.mode(), LadderMode::InterpOnly);
+        // The cooldown restarted: two fresh healthy windows required.
+        assert_eq!(w.observe_excursion(0, 0, 0), None);
+        for _ in 0..9 {
+            assert_eq!(w.observe_path(), None);
+        }
+        // Second healthy window (quiet: below min_entries) closes here.
+        let mut step = None;
+        for _ in 0..10 {
+            step = step.or(w.observe_path());
+        }
+        assert_eq!(
+            step,
+            Some(LadderStep::Up {
+                from: LadderMode::InterpOnly,
+                to: LadderMode::NoLink,
+            })
+        );
+    }
+
+    #[test]
+    fn quiet_windows_are_healthy() {
+        let mut w = Watchdog::new(tiny());
+        // Below min_entries: churn checks do not apply.
+        assert_eq!(w.observe_excursion(1, 1, 1), None);
+        assert_eq!(w.observe_excursion(1, 1, 1), None);
+        for _ in 0..8 {
+            w.observe_path();
+        }
+        assert_eq!(w.mode(), LadderMode::FullLinking);
+    }
+}

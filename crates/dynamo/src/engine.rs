@@ -71,6 +71,11 @@ pub struct DynamoConfig {
     pub flush: FlushPolicy,
     /// Bail-out policy; `None` never bails.
     pub bailout: Option<BailoutPolicy>,
+    /// Staged degradation ladder for the linked engine; `None` disables
+    /// it. When set, the ladder supersedes `bailout` in
+    /// [`LinkedEngine`](crate::LinkedEngine) (the simulated [`Engine`]
+    /// ignores it — it has no linking to degrade).
+    pub degrade: Option<crate::degrade::DegradeConfig>,
     /// Path length cap in blocks.
     pub path_cap: u32,
 }
@@ -85,6 +90,7 @@ impl DynamoConfig {
             max_fragments: 8_192,
             flush: FlushPolicy::Never,
             bailout: Some(BailoutPolicy::default()),
+            degrade: None,
             path_cap: DEFAULT_PATH_CAP,
         }
     }
@@ -309,7 +315,7 @@ impl Engine {
     }
 
     fn install_fragment(&mut self, blocks: &[u32], insts: u32) {
-        if self.cache.install(blocks, insts).is_some() {
+        if matches!(self.cache.install(blocks, insts), Ok(Some(_))) {
             self.cycles.build +=
                 self.config.cost.build_fixed + self.config.cost.build_per_inst * insts as f64;
             telemetry::emit!(telemetry::Event::FragmentInstall {
@@ -461,15 +467,18 @@ impl ExecutionObserver for Engine {
         // ---- 3. execution-mode simulation ------------------------------
         match self.mode {
             Mode::Cached { frag, pos } => {
-                let matches = {
-                    let f = self.cache.fragment(frag);
-                    pos < f.len() && f.blocks()[pos] == event.block.as_u32()
+                let matches = match self.cache.fragment(frag) {
+                    Ok(f) => pos < f.len() && f.blocks()[pos] == event.block.as_u32(),
+                    Err(_) => false,
                 };
                 if matches {
                     self.cycles.trace += size * cost.trace_per_inst;
                     self.blocks_cached += 1;
                     self.cur_touched_cache = true;
-                    let done = pos + 1 == self.cache.fragment(frag).len();
+                    let done = self
+                        .cache
+                        .fragment(frag)
+                        .map_or(true, |f| pos + 1 == f.len());
                     if done {
                         self.cache.note_completion(frag);
                         self.mode = Mode::FragmentEnd { frag, pos: pos + 1 };
@@ -489,7 +498,10 @@ impl ExecutionObserver for Engine {
                     self.cycles.trace += size * cost.trace_per_inst;
                     self.blocks_cached += 1;
                     self.cur_touched_cache = true;
-                    let done = pos + 1 == self.cache.fragment(sib).len();
+                    let done = self
+                        .cache
+                        .fragment(sib)
+                        .map_or(true, |f| pos + 1 == f.len());
                     self.mode = if done {
                         self.cache.note_completion(sib);
                         Mode::FragmentEnd {
@@ -516,7 +528,7 @@ impl ExecutionObserver for Engine {
                     self.cycles.trace += size * cost.trace_per_inst;
                     self.blocks_cached += 1;
                     self.cur_touched_cache = true;
-                    self.mode = if self.cache.fragment(tf).len() == 1 {
+                    self.mode = if self.cache.fragment(tf).map_or(true, |f| f.len() == 1) {
                         self.cache.note_completion(tf);
                         Mode::FragmentEnd { frag: tf, pos: 1 }
                     } else {
@@ -554,7 +566,7 @@ impl ExecutionObserver for Engine {
                         self.cycles.trace += size * cost.trace_per_inst;
                         self.blocks_cached += 1;
                         self.cur_touched_cache = true;
-                        self.mode = if self.cache.fragment(next).len() == 1 {
+                        self.mode = if self.cache.fragment(next).map_or(true, |f| f.len() == 1) {
                             self.cache.note_completion(next);
                             Mode::FragmentEnd { frag: next, pos: 1 }
                         } else {
@@ -574,7 +586,11 @@ impl ExecutionObserver for Engine {
                     self.cycles.trace += size * cost.trace_per_inst;
                     self.blocks_cached += 1;
                     self.cur_touched_cache = true;
-                    self.mode = if self.cache.fragment(ext).len() == pos + 1 {
+                    self.mode = if self
+                        .cache
+                        .fragment(ext)
+                        .map_or(true, |f| f.len() == pos + 1)
+                    {
                         self.cache.note_completion(ext);
                         Mode::FragmentEnd {
                             frag: ext,
@@ -616,7 +632,7 @@ impl ExecutionObserver for Engine {
                 self.cycles.trace += size * cost.trace_per_inst;
                 self.blocks_cached += 1;
                 self.cur_touched_cache = true;
-                self.mode = if self.cache.fragment(fid).len() == 1 {
+                self.mode = if self.cache.fragment(fid).map_or(true, |f| f.len() == 1) {
                     self.cache.note_completion(fid);
                     Mode::FragmentEnd { frag: fid, pos: 1 }
                 } else {

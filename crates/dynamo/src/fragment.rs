@@ -7,7 +7,48 @@
 //! divergence can transfer between same-head fragments along their common
 //! prefix, modeling linked exit stubs.
 
+use std::fmt;
+
 use hotpath_ir::BlockId;
+
+/// Why a fragment-cache operation was refused.
+///
+/// The cache used to panic on these; a robust engine treats them as
+/// recoverable — an install that fails simply leaves the path
+/// interpreted, and a stale id (from before a flush) means the fragment
+/// is gone, not that the process is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FragmentError {
+    /// An install was given an empty block sequence; a fragment covers at
+    /// least its head block.
+    EmptyBlocks,
+    /// A [`FragmentId`] from a previous cache generation (before a flush)
+    /// was dereferenced.
+    StaleId {
+        /// The stale id.
+        id: FragmentId,
+        /// Live fragments in the current generation.
+        live: usize,
+    },
+}
+
+impl fmt::Display for FragmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FragmentError::EmptyBlocks => {
+                f.write_str("fragment install with no blocks (a fragment covers at least one)")
+            }
+            FragmentError::StaleId { id, live } => write!(
+                f,
+                "stale fragment id {} (cache generation holds {} fragments)",
+                id.index(),
+                live
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FragmentError {}
 
 /// Identifies a fragment in its [`FragmentCache`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -103,15 +144,21 @@ impl FragmentCache {
         self.flushes
     }
 
-    /// Installs a fragment for a path's block sequence. Returns its id, or
-    /// `None` if an identical fragment is already cached (installation is
-    /// idempotent).
+    /// Installs a fragment for a path's block sequence. Returns its id,
+    /// or `Ok(None)` if an identical fragment is already cached
+    /// (installation is idempotent).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `blocks` is empty.
-    pub fn install(&mut self, blocks: &[u32], insts: u32) -> Option<FragmentId> {
-        assert!(!blocks.is_empty(), "a fragment covers at least one block");
+    /// [`FragmentError::EmptyBlocks`] if `blocks` is empty.
+    pub fn install(
+        &mut self,
+        blocks: &[u32],
+        insts: u32,
+    ) -> Result<Option<FragmentId>, FragmentError> {
+        if blocks.is_empty() {
+            return Err(FragmentError::EmptyBlocks);
+        }
         let head = blocks[0] as usize;
         if head >= self.by_head.len() {
             self.by_head.resize_with(head + 1, Vec::new);
@@ -120,7 +167,7 @@ impl FragmentCache {
             .iter()
             .any(|&id| self.fragments[id.index()].blocks == blocks)
         {
-            return None;
+            return Ok(None);
         }
         let id = FragmentId(self.fragments.len() as u32);
         self.fragments.push(Fragment {
@@ -131,7 +178,7 @@ impl FragmentCache {
         });
         self.by_head[head].push(id);
         self.installs += 1;
-        Some(id)
+        Ok(Some(id))
     }
 
     /// Installs like [`FragmentCache::install`], additionally reporting
@@ -139,11 +186,19 @@ impl FragmentCache {
     /// the install anchored a brand-new trace head. A linked backend
     /// compiles exactly those fragments for direct execution; siblings
     /// share the primary's anchor and stay engine-side.
-    pub fn install_anchoring(&mut self, blocks: &[u32], insts: u32) -> (Option<FragmentId>, bool) {
+    ///
+    /// # Errors
+    ///
+    /// [`FragmentError::EmptyBlocks`] if `blocks` is empty.
+    pub fn install_anchoring(
+        &mut self,
+        blocks: &[u32],
+        insts: u32,
+    ) -> Result<(Option<FragmentId>, bool), FragmentError> {
         let new_head = !blocks
             .first()
             .is_some_and(|&h| self.has_head(BlockId::new(h)));
-        (self.install(blocks, insts), new_head)
+        Ok((self.install(blocks, insts)?, new_head))
     }
 
     /// The fragments starting at a head block, in install order.
@@ -163,28 +218,38 @@ impl FragmentCache {
 
     /// Fragment accessor.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `id` is not from this cache generation.
-    pub fn fragment(&self, id: FragmentId) -> &Fragment {
-        &self.fragments[id.index()]
+    /// [`FragmentError::StaleId`] if `id` is not from this cache
+    /// generation (the cache was flushed since `id` was handed out).
+    pub fn fragment(&self, id: FragmentId) -> Result<&Fragment, FragmentError> {
+        self.fragments
+            .get(id.index())
+            .ok_or(FragmentError::StaleId {
+                id,
+                live: self.fragments.len(),
+            })
     }
 
-    /// Records an entry into `id`.
+    /// Records an entry into `id`; a stale id is ignored.
     pub fn note_entry(&mut self, id: FragmentId) {
-        self.fragments[id.index()].entries += 1;
+        if let Some(f) = self.fragments.get_mut(id.index()) {
+            f.entries += 1;
+        }
     }
 
-    /// Records a full run-through of `id`.
+    /// Records a full run-through of `id`; a stale id is ignored.
     pub fn note_completion(&mut self, id: FragmentId) {
-        self.fragments[id.index()].completions += 1;
+        if let Some(f) = self.fragments.get_mut(id.index()) {
+            f.completions += 1;
+        }
     }
 
     /// Looks for a sibling fragment of `id` (same head) that shares the
     /// executed prefix `prefix_len` and continues with `next` — the linked
-    /// exit-stub transfer.
+    /// exit-stub transfer. A stale `id` diverts nowhere.
     pub fn divert(&self, id: FragmentId, prefix_len: usize, next: u32) -> Option<FragmentId> {
-        let cur = &self.fragments[id.index()];
+        let cur = self.fragments.get(id.index())?;
         let head = cur.blocks[0];
         self.head_row(head)
             .iter()
@@ -229,41 +294,41 @@ mod tests {
     #[test]
     fn install_and_lookup() {
         let mut c = FragmentCache::new();
-        let id = c.install(&[5, 6, 7], 12).unwrap();
+        let id = c.install(&[5, 6, 7], 12).unwrap().unwrap();
         assert_eq!(c.len(), 1);
         assert_eq!(c.entry_for(BlockId::new(5)), Some(id));
         assert!(c.has_head(BlockId::new(5)));
         assert!(!c.has_head(BlockId::new(6)));
-        assert_eq!(c.fragment(id).blocks(), &[5, 6, 7]);
-        assert_eq!(c.fragment(id).insts(), 12);
-        assert_eq!(c.fragment(id).head(), BlockId::new(5));
-        assert_eq!(c.fragment(id).len(), 3);
+        assert_eq!(c.fragment(id).unwrap().blocks(), &[5, 6, 7]);
+        assert_eq!(c.fragment(id).unwrap().insts(), 12);
+        assert_eq!(c.fragment(id).unwrap().head(), BlockId::new(5));
+        assert_eq!(c.fragment(id).unwrap().len(), 3);
     }
 
     #[test]
     fn duplicate_install_is_idempotent() {
         let mut c = FragmentCache::new();
-        c.install(&[1, 2], 4).unwrap();
-        assert_eq!(c.install(&[1, 2], 4), None);
+        c.install(&[1, 2], 4).unwrap().unwrap();
+        assert_eq!(c.install(&[1, 2], 4), Ok(None));
         assert_eq!(c.len(), 1);
         assert_eq!(c.installs(), 1);
         // A sibling with the same head but different body installs fine.
-        assert!(c.install(&[1, 3], 4).is_some());
+        assert!(c.install(&[1, 3], 4).unwrap().is_some());
         assert_eq!(c.len(), 2);
     }
 
     #[test]
     fn install_anchoring_reports_new_heads() {
         let mut c = FragmentCache::new();
-        let (id, new_head) = c.install_anchoring(&[4, 5], 3);
+        let (id, new_head) = c.install_anchoring(&[4, 5], 3).unwrap();
         assert!(id.is_some());
         assert!(new_head, "first fragment at a head anchors it");
         // A sibling at the same head installs but anchors nothing new.
-        let (id, new_head) = c.install_anchoring(&[4, 6], 3);
+        let (id, new_head) = c.install_anchoring(&[4, 6], 3).unwrap();
         assert!(id.is_some());
         assert!(!new_head);
         // A duplicate neither installs nor anchors.
-        let (id, new_head) = c.install_anchoring(&[4, 5], 3);
+        let (id, new_head) = c.install_anchoring(&[4, 5], 3).unwrap();
         assert!(id.is_none());
         assert!(!new_head);
     }
@@ -271,16 +336,16 @@ mod tests {
     #[test]
     fn primary_entry_is_first_installed() {
         let mut c = FragmentCache::new();
-        let a = c.install(&[9, 1], 2).unwrap();
-        let _b = c.install(&[9, 2], 2).unwrap();
+        let a = c.install(&[9, 1], 2).unwrap().unwrap();
+        let _b = c.install(&[9, 2], 2).unwrap().unwrap();
         assert_eq!(c.entry_for(BlockId::new(9)), Some(a));
     }
 
     #[test]
     fn divert_finds_prefix_sharing_sibling() {
         let mut c = FragmentCache::new();
-        let a = c.install(&[1, 2, 3, 4], 8).unwrap();
-        let b = c.install(&[1, 2, 5], 6).unwrap();
+        let a = c.install(&[1, 2, 3, 4], 8).unwrap().unwrap();
+        let b = c.install(&[1, 2, 5], 6).unwrap().unwrap();
         // Executing `a`, diverging at position 2 toward block 5: sibling
         // `b` continues there.
         assert_eq!(c.divert(a, 2, 5), Some(b));
@@ -296,7 +361,7 @@ mod tests {
     #[test]
     fn flush_empties_but_keeps_counters() {
         let mut c = FragmentCache::new();
-        let id = c.install(&[3], 1).unwrap();
+        let id = c.install(&[3], 1).unwrap().unwrap();
         c.note_entry(id);
         c.note_completion(id);
         assert_eq!(c.total_entries(), 1);
@@ -308,9 +373,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one block")]
-    fn empty_fragment_panics() {
+    fn empty_fragment_is_a_typed_error() {
         let mut c = FragmentCache::new();
-        let _ = c.install(&[], 0);
+        assert_eq!(c.install(&[], 0), Err(FragmentError::EmptyBlocks));
+        assert_eq!(c.install_anchoring(&[], 0), Err(FragmentError::EmptyBlocks));
+        assert!(c.is_empty());
+        assert_eq!(c.installs(), 0);
+    }
+
+    #[test]
+    fn stale_ids_surface_instead_of_panicking() {
+        let mut c = FragmentCache::new();
+        let id = c.install(&[3, 4], 2).unwrap().unwrap();
+        c.flush();
+        assert_eq!(
+            c.fragment(id).unwrap_err(),
+            FragmentError::StaleId { id, live: 0 }
+        );
+        // Statistics hooks tolerate stale ids silently...
+        c.note_entry(id);
+        c.note_completion(id);
+        assert_eq!(c.total_entries(), 0);
+        // ...and a stale id diverts nowhere.
+        assert_eq!(c.divert(id, 1, 9), None);
+        // Errors format for operators.
+        let msg = FragmentError::StaleId { id, live: 0 }.to_string();
+        assert!(msg.contains("stale"), "{msg}");
+        assert!(FragmentError::EmptyBlocks.to_string().contains("no blocks"));
     }
 }

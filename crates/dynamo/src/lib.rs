@@ -52,15 +52,17 @@
 #![warn(missing_debug_implementations)]
 
 mod cost;
+mod degrade;
 mod engine;
 mod fragment;
 mod linked;
 mod phases;
 
 pub use cost::{CostModel, CycleBreakdown};
+pub use degrade::{DegradeConfig, LadderMode, LadderStep, Watchdog};
 pub use engine::{
     run_dynamo, run_native, BailoutPolicy, DynamoConfig, DynamoOutcome, Engine, Scheme,
 };
-pub use fragment::{Fragment, FragmentCache, FragmentId};
+pub use fragment::{Fragment, FragmentCache, FragmentError, FragmentId};
 pub use linked::{run_dynamo_linked, LinkedEngine, LinkedRun};
 pub use phases::{FlushPolicy, SpikeDetector};

@@ -38,6 +38,7 @@ use hotpath_vm::{
 };
 
 use crate::cost::CycleBreakdown;
+use crate::degrade::{LadderMode, LadderStep, Watchdog};
 use crate::engine::{DynamoConfig, DynamoOutcome, LastSink, Predictor};
 use crate::fragment::FragmentCache;
 use crate::phases::{FlushPolicy, SpikeDetector};
@@ -75,6 +76,8 @@ pub struct LinkedEngine {
     armed: Vec<u32>,
     /// Paths that already have a fragment (indexed by PathId).
     cached_paths: Vec<bool>,
+    /// Degradation-ladder health monitor; `None` when the ladder is off.
+    watchdog: Option<Watchdog>,
     /// Blocks of the interpreted path currently being accumulated.
     cur_blocks: Vec<u32>,
     cur_insts: u32,
@@ -103,6 +106,7 @@ impl LinkedEngine {
             } => Some(SpikeDetector::new(window, factor, min_predictions)),
         };
         let cap = config.path_cap;
+        let watchdog = config.degrade.map(Watchdog::new);
         LinkedEngine {
             config,
             predictor,
@@ -114,6 +118,7 @@ impl LinkedEngine {
             exit_counts: CounterTable::new(),
             armed: Vec::new(),
             cached_paths: Vec::new(),
+            watchdog,
             cur_blocks: Vec::with_capacity(64),
             cur_insts: 0,
             resume_pending: false,
@@ -136,6 +141,49 @@ impl LinkedEngine {
         self.bailed
     }
 
+    /// The degradation ladder's current rung. [`LadderMode::FullLinking`]
+    /// when the ladder is disabled.
+    pub fn mode(&self) -> LadderMode {
+        self.watchdog
+            .as_ref()
+            .map_or(LadderMode::FullLinking, Watchdog::mode)
+    }
+
+    fn interp_only(&self) -> bool {
+        self.mode() == LadderMode::InterpOnly
+    }
+
+    /// Applies a watchdog decision: telemetry plus the commands that
+    /// realize the new rung in the VM's trace cache.
+    fn apply_step(&mut self, step: LadderStep) {
+        match step {
+            LadderStep::Down { from, to } => {
+                telemetry::emit!(telemetry::Event::ModeDegraded {
+                    from: from.as_str(),
+                    to: to.as_str(),
+                    at_path: self.paths_completed,
+                });
+                match to {
+                    LadderMode::NoLink => {
+                        self.pending.push_back(TraceCommand::SetLinking(false));
+                    }
+                    LadderMode::InterpOnly => self.flush("degrade"),
+                    LadderMode::FullLinking => {}
+                }
+            }
+            LadderStep::Up { from, to } => {
+                telemetry::emit!(telemetry::Event::ModeRepromoted {
+                    from: from.as_str(),
+                    to: to.as_str(),
+                    at_path: self.paths_completed,
+                });
+                if to == LadderMode::FullLinking {
+                    self.pending.push_back(TraceCommand::SetLinking(true));
+                }
+            }
+        }
+    }
+
     /// Finalizes the run into an outcome.
     pub fn finish(self) -> DynamoOutcome {
         if telemetry::enabled() {
@@ -145,13 +193,17 @@ impl LinkedEngine {
                 }
             }
         }
+        // Ending at the ladder's bottom rung is reported as a bail-out:
+        // the run finished without trace execution, the same observable
+        // condition the wholesale bail-out reports.
+        let degraded_out = self.mode() == LadderMode::InterpOnly;
         DynamoOutcome {
             cycles: self.cycles,
             fragments_installed: self.mirror.installs(),
             fragments_live: self.mirror.len(),
             flushes: self.mirror.flushes(),
             spike_flushes: self.spike_flushes,
-            bailed_out: self.bailed,
+            bailed_out: self.bailed || degraded_out,
             paths_completed: self.paths_completed,
             cached_block_fraction: if self.blocks_total == 0 {
                 0.0
@@ -180,7 +232,15 @@ impl LinkedEngine {
     /// Installs a fragment in the mirror and, when it anchors a new head,
     /// commands the VM to compile it into a trace.
     fn install(&mut self, blocks: &[u32], insts: u32) {
-        let (id, new_head) = self.mirror.install_anchoring(blocks, insts);
+        if self.interp_only() {
+            // Bottom rung: no new traces until the watchdog re-promotes.
+            return;
+        }
+        let Ok((id, new_head)) = self.mirror.install_anchoring(blocks, insts) else {
+            // An unrecordable path (defensively: empty) is simply not
+            // cached; the run continues interpreted.
+            return;
+        };
         if id.is_some() {
             self.cycles.build +=
                 self.config.cost.build_fixed + self.config.cost.build_per_inst * insts as f64;
@@ -204,6 +264,13 @@ impl LinkedEngine {
             evicted: self.mirror.len() as u64,
             at_path: self.paths_completed,
         });
+        if kind != "degrade" {
+            // The ladder's own flush must not count against the next
+            // window's flush budget.
+            if let Some(w) = &mut self.watchdog {
+                w.observe_flush();
+            }
+        }
         self.mirror.flush();
         self.predictor.reset();
         self.cached_paths.clear();
@@ -265,6 +332,15 @@ impl LinkedEngine {
         }
         if self.mirror.len() > self.config.max_fragments {
             self.flush("capacity");
+        }
+        if self.watchdog.is_some() {
+            // The ladder supersedes the wholesale bail-out: step down and
+            // recover instead of abandoning the run.
+            let step = self.watchdog.as_mut().and_then(Watchdog::observe_path);
+            if let Some(s) = step {
+                self.apply_step(s);
+            }
+            return;
         }
         if let Some(bp) = self.config.bailout {
             if self.paths_completed % bp.check_every_paths == 0
@@ -360,6 +436,14 @@ impl TraceController for LinkedEngine {
                 let blocks = std::mem::take(&mut self.cur_blocks);
                 let insts = self.cur_insts;
                 self.install(&blocks, insts.max(1));
+                // Capacity is enforced here as well as on completed paths:
+                // once tails link the working set into a closed complex,
+                // excursion exits may be the only safe points left — a
+                // flush decided only at the next interpreted path would
+                // never drain.
+                if self.mirror.len() > self.config.max_fragments {
+                    self.flush("capacity");
+                }
             }
         }
         self.blocks_total += exc.blocks;
@@ -382,6 +466,13 @@ impl TraceController for LinkedEngine {
                     self.armed.push(target);
                 }
             }
+        }
+        let step = self
+            .watchdog
+            .as_mut()
+            .and_then(|w| w.observe_excursion(exc.entries, exc.guard_fails, exc.blocks));
+        if let Some(s) = step {
+            self.apply_step(s);
         }
         self.resume_pending = true;
     }

@@ -1,0 +1,383 @@
+//! Deterministic, seeded fault injection for the trace-execution engine.
+//!
+//! The trace backend's whole value proposition is that it is an *invisible*
+//! optimization: `Vm::run_linked` must produce bit-identical results to
+//! plain interpretation no matter how trace selection misbehaves. This
+//! crate supplies the adversary. A [`FaultPlan`] assigns a probability to
+//! each enumerated [`FaultPoint`]; a [`FaultInjector`] built from the plan
+//! is threaded through the VM dispatch loop and fires faults from
+//! per-point deterministic PRNG streams, so a failing run is exactly
+//! reproducible from its seed.
+//!
+//! The injector is designed to be **zero-cost when disabled**: a
+//! disabled injector is a `None` discriminant, and every hook site guards
+//! its draw with [`FaultInjector::armed`] — one predictable branch on the
+//! hot path, no RNG state touched.
+//!
+//! Recorder I/O faults are realized by [`FaultWriter`], an `io::Write`
+//! adapter that injects write errors in front of any sink (used to test
+//! the telemetry recorder's counted-drop degradation).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use hotpath_ir::rng::Rng64;
+
+/// The enumerated places the engine can be made to fail.
+///
+/// Each point has its own independent PRNG stream inside a
+/// [`FaultInjector`], so changing one point's probability never perturbs
+/// the draw sequence of another.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FaultPoint {
+    /// A trace guard that actually passed is treated as failed: the trace
+    /// exits early toward the block it would have continued at.
+    GuardFail,
+    /// The whole trace cache is flushed (links severed, traces dropped)
+    /// at the top of a dispatch iteration.
+    Flush,
+    /// A trace dispatch is denied as if the fuel precheck had failed,
+    /// forcing the block to be interpreted instead.
+    FuelStarve,
+    /// A `TraceCommand::Install` from the engine is dropped before
+    /// compilation, as if the trace had failed to compile.
+    InstallReject,
+    /// A recorder sink write fails ([`FaultWriter`] returns an I/O
+    /// error), exercising the telemetry counted-drop path.
+    RecorderIo,
+    /// Trace execution panics at excursion entry, before any program
+    /// state is mutated; the VM must catch it, poison the fragment, and
+    /// resume interpreting with state intact.
+    TracePanic,
+}
+
+/// All fault points, in declaration order.
+pub const FAULT_POINTS: [FaultPoint; 6] = [
+    FaultPoint::GuardFail,
+    FaultPoint::Flush,
+    FaultPoint::FuelStarve,
+    FaultPoint::InstallReject,
+    FaultPoint::RecorderIo,
+    FaultPoint::TracePanic,
+];
+
+impl FaultPoint {
+    /// Stable snake_case name, used in telemetry events and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultPoint::GuardFail => "guard_fail",
+            FaultPoint::Flush => "flush",
+            FaultPoint::FuelStarve => "fuel_starve",
+            FaultPoint::InstallReject => "install_reject",
+            FaultPoint::RecorderIo => "recorder_io",
+            FaultPoint::TracePanic => "trace_panic",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultPoint::GuardFail => 0,
+            FaultPoint::Flush => 1,
+            FaultPoint::FuelStarve => 2,
+            FaultPoint::InstallReject => 3,
+            FaultPoint::RecorderIo => 4,
+            FaultPoint::TracePanic => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+const POINTS: usize = FAULT_POINTS.len();
+
+/// A seeded assignment of firing probabilities to fault points.
+///
+/// The same plan always produces the same fault sequence at each hook
+/// site, because each point draws from its own stream derived from
+/// `seed`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rates: [f64; POINTS],
+}
+
+impl FaultPlan {
+    /// A plan with every probability zero (injects nothing).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rates: [0.0; POINTS],
+        }
+    }
+
+    /// Sets the firing probability of one point (clamped to `[0, 1]`).
+    pub fn with(mut self, point: FaultPoint, rate: f64) -> Self {
+        self.rates[point.index()] = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// A plan firing the four recoverable engine faults — guard failures,
+    /// flushes, fuel starvation, install rejection — at a common rate.
+    ///
+    /// Recorder I/O and trace panics are left at zero: the former lives
+    /// outside the VM dispatch loop and the latter is deliberately noisy
+    /// (it unwinds), so both are opted into explicitly.
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        FaultPlan::new(seed)
+            .with(FaultPoint::GuardFail, rate)
+            .with(FaultPoint::Flush, rate)
+            .with(FaultPoint::FuelStarve, rate)
+            .with(FaultPoint::InstallReject, rate)
+    }
+
+    /// The seed the per-point streams derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The firing probability of `point`.
+    pub fn rate(&self, point: FaultPoint) -> f64 {
+        self.rates[point.index()]
+    }
+
+    /// True when every probability is zero (the plan can never fire).
+    pub fn is_empty(&self) -> bool {
+        self.rates.iter().all(|&r| r == 0.0)
+    }
+}
+
+/// Per-point PRNG streams plus injection counters; boxed behind the
+/// `Option` in [`FaultInjector`] so a disabled injector is one word.
+#[derive(Clone, Debug)]
+struct Armed {
+    plan: FaultPlan,
+    streams: [Rng64; POINTS],
+    injected: [u64; POINTS],
+}
+
+/// The runtime half of a [`FaultPlan`]: owns the per-point streams and
+/// counts what actually fired.
+///
+/// A disabled injector (from [`FaultInjector::disabled`] or an empty
+/// plan) stores nothing and answers [`armed`](FaultInjector::armed) with
+/// a constant `false` — the zero-cost-when-disabled contract every hook
+/// site relies on.
+#[derive(Clone, Debug, Default)]
+pub struct FaultInjector {
+    inner: Option<Box<Armed>>,
+}
+
+impl FaultInjector {
+    /// An injector that never fires and costs one branch per hook site.
+    pub fn disabled() -> Self {
+        FaultInjector { inner: None }
+    }
+
+    /// Builds an injector from a plan; an all-zero plan yields a disabled
+    /// injector.
+    pub fn new(plan: FaultPlan) -> Self {
+        if plan.is_empty() {
+            return FaultInjector::disabled();
+        }
+        // Distinct per-point streams: golden-ratio stride over the seed.
+        let mut i = 0u64;
+        let streams = [(); POINTS].map(|()| {
+            i += 1;
+            Rng64::seed_from_u64(
+                plan.seed
+                    .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            )
+        });
+        FaultInjector {
+            inner: Some(Box::new(Armed {
+                plan,
+                streams,
+                injected: [0; POINTS],
+            })),
+        }
+    }
+
+    /// True when the injector can fire at all. Hook sites check this
+    /// first so a disabled injector costs a single predictable branch.
+    #[inline(always)]
+    pub fn armed(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Draws from `point`'s stream: true means "inject the fault here".
+    /// Always false (and draws nothing) when disabled.
+    #[inline]
+    pub fn fire(&mut self, point: FaultPoint) -> bool {
+        let Some(armed) = self.inner.as_deref_mut() else {
+            return false;
+        };
+        let i = point.index();
+        let rate = armed.plan.rates[i];
+        if rate == 0.0 {
+            return false;
+        }
+        let hit = armed.streams[i].gen_bool(rate);
+        if hit {
+            armed.injected[i] += 1;
+        }
+        hit
+    }
+
+    /// How many times `point` has fired.
+    pub fn injected(&self, point: FaultPoint) -> u64 {
+        self.inner
+            .as_deref()
+            .map_or(0, |a| a.injected[point.index()])
+    }
+
+    /// Total faults fired across all points.
+    pub fn total_injected(&self) -> u64 {
+        self.inner.as_deref().map_or(0, |a| a.injected.iter().sum())
+    }
+
+    /// The plan this injector was built from, if armed.
+    pub fn plan(&self) -> Option<&FaultPlan> {
+        self.inner.as_deref().map(|a| &a.plan)
+    }
+}
+
+/// An `io::Write` adapter that injects write failures in front of `inner`
+/// according to the plan's [`FaultPoint::RecorderIo`] probability.
+///
+/// Used to prove the telemetry `JsonlRecorder` degrades to counted drops
+/// instead of panicking or corrupting the run when its sink dies.
+#[derive(Debug)]
+pub struct FaultWriter<W> {
+    inner: W,
+    injector: FaultInjector,
+}
+
+impl<W> FaultWriter<W> {
+    /// Wraps `inner`, failing writes per `plan`'s recorder-I/O rate.
+    pub fn new(inner: W, plan: FaultPlan) -> Self {
+        FaultWriter {
+            inner,
+            injector: FaultInjector::new(plan),
+        }
+    }
+
+    /// How many writes have been failed so far.
+    pub fn injected(&self) -> u64 {
+        self.injector.injected(FaultPoint::RecorderIo)
+    }
+
+    /// Unwraps the underlying sink.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: std::io::Write> std::io::Write for FaultWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.injector.fire(FaultPoint::RecorderIo) {
+            return Err(std::io::Error::other("injected recorder I/O fault"));
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_injector_never_fires_and_is_unarmed() {
+        let mut inj = FaultInjector::disabled();
+        assert!(!inj.armed());
+        for point in FAULT_POINTS {
+            assert!(!inj.fire(point));
+            assert_eq!(inj.injected(point), 0);
+        }
+        assert_eq!(inj.total_injected(), 0);
+        // An all-zero plan collapses to the same thing.
+        assert!(!FaultInjector::new(FaultPlan::new(1)).armed());
+        assert!(FaultInjector::default().inner.is_none());
+    }
+
+    #[test]
+    fn same_plan_fires_the_same_sequence() {
+        let plan = FaultPlan::uniform(42, 0.25).with(FaultPoint::TracePanic, 0.1);
+        let mut a = FaultInjector::new(plan);
+        let mut b = FaultInjector::new(plan);
+        for i in 0..2_000u64 {
+            let point = FAULT_POINTS[(i % 6) as usize];
+            assert_eq!(a.fire(point), b.fire(point), "draw {i} at {point}");
+        }
+        assert_eq!(a.total_injected(), b.total_injected());
+        assert!(a.total_injected() > 0, "a 25% plan fires within 2k draws");
+    }
+
+    #[test]
+    fn per_point_streams_are_independent() {
+        // Drawing GuardFail must not perturb Flush's sequence.
+        let plan = FaultPlan::uniform(7, 0.5);
+        let mut lone = FaultInjector::new(plan);
+        let lone_seq: Vec<bool> = (0..64).map(|_| lone.fire(FaultPoint::Flush)).collect();
+
+        let mut mixed = FaultInjector::new(plan);
+        let mixed_seq: Vec<bool> = (0..64)
+            .map(|_| {
+                let _ = mixed.fire(FaultPoint::GuardFail);
+                mixed.fire(FaultPoint::Flush)
+            })
+            .collect();
+        assert_eq!(lone_seq, mixed_seq);
+    }
+
+    #[test]
+    fn rates_one_and_zero_are_exact() {
+        let plan = FaultPlan::new(3)
+            .with(FaultPoint::GuardFail, 1.0)
+            .with(FaultPoint::Flush, 0.0);
+        let mut inj = FaultInjector::new(plan);
+        for _ in 0..100 {
+            assert!(inj.fire(FaultPoint::GuardFail));
+            assert!(!inj.fire(FaultPoint::Flush));
+        }
+        assert_eq!(inj.injected(FaultPoint::GuardFail), 100);
+        assert_eq!(inj.injected(FaultPoint::Flush), 0);
+        assert_eq!(inj.total_injected(), 100);
+    }
+
+    #[test]
+    fn plan_accessors_round_trip() {
+        let plan = FaultPlan::new(9).with(FaultPoint::InstallReject, 2.0);
+        assert_eq!(plan.seed(), 9);
+        assert_eq!(plan.rate(FaultPoint::InstallReject), 1.0, "clamped");
+        assert_eq!(plan.rate(FaultPoint::GuardFail), 0.0);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new(9).is_empty());
+        let inj = FaultInjector::new(plan);
+        assert_eq!(inj.plan(), Some(&plan));
+    }
+
+    #[test]
+    fn fault_writer_injects_errors_and_counts_them() {
+        use std::io::Write;
+        let plan = FaultPlan::new(11).with(FaultPoint::RecorderIo, 1.0);
+        let mut w = FaultWriter::new(Vec::new(), plan);
+        assert!(w.write_all(b"line\n").is_err());
+        assert!(w.write_all(b"line\n").is_err());
+        assert_eq!(w.injected(), 2);
+        assert!(w.into_inner().is_empty(), "nothing reached the sink");
+
+        let mut clean = FaultWriter::new(Vec::new(), FaultPlan::new(11));
+        clean.write_all(b"ok").unwrap();
+        clean.flush().unwrap();
+        assert_eq!(clean.injected(), 0);
+        assert_eq!(clean.into_inner(), b"ok");
+    }
+}

@@ -13,6 +13,7 @@
 //! | Workloads | [`workloads`] | the nine SPECint95-inspired benchmarks |
 //! | Dynamo | [`dynamo`] | fragment-cache optimizer simulation, Figure 5 harness |
 //! | Telemetry | [`telemetry`] | structured pipeline events, recorders, run summaries |
+//! | Faults | [`faultinject`] | deterministic seeded fault plans for robustness testing |
 //!
 //! # Quickstart
 //!
@@ -35,6 +36,7 @@
 
 pub use hotpath_core as core;
 pub use hotpath_dynamo as dynamo;
+pub use hotpath_faultinject as faultinject;
 pub use hotpath_ir as ir;
 pub use hotpath_profiles as profiles;
 pub use hotpath_telemetry as telemetry;

@@ -161,6 +161,42 @@ pub enum Event<'a> {
         /// Links that were patched when the flush hit.
         links: u64,
     },
+    /// The degradation ladder stepped the linked engine down one rung
+    /// (full linking → no-link → interpreter-only).
+    ModeDegraded {
+        /// Mode before the step (`"full_linking"`, `"no_link"`).
+        from: &'static str,
+        /// Mode after the step (`"no_link"`, `"interp_only"`).
+        to: &'static str,
+        /// Paths completed when the ladder stepped.
+        at_path: u64,
+    },
+    /// The degradation ladder re-promoted the linked engine one rung
+    /// after a cooldown of healthy windows.
+    ModeRepromoted {
+        /// Mode before the step (`"no_link"`, `"interp_only"`).
+        from: &'static str,
+        /// Mode after the step (`"full_linking"`, `"no_link"`).
+        to: &'static str,
+        /// Paths completed when the ladder stepped.
+        at_path: u64,
+    },
+    /// A trace panicked during execution; its head was blacklisted and
+    /// the VM recovered to the interpreter.
+    FragmentPoisoned {
+        /// Head block of the poisoned trace.
+        head: u32,
+        /// Blocks executed when the poisoning happened.
+        at_block: u64,
+    },
+    /// The fault injector fired at one of its enumerated points.
+    FaultInjected {
+        /// Which fault point fired (`"guard_fail"`, `"flush"`,
+        /// `"fuel_starve"`, `"install_reject"`, `"trace_panic"`).
+        point: &'static str,
+        /// Blocks executed when the fault was injected.
+        at_block: u64,
+    },
     /// A measured wall-clock duration. **Nondeterministic** — excluded
     /// from the byte-identical stream guarantee; summaries keep timings
     /// separate from event counts for the same reason.
@@ -193,6 +229,10 @@ impl Event<'_> {
             Event::GuardFail { .. } => "guard_fail",
             Event::LinkPatched { .. } => "link_patched",
             Event::LinkSevered { .. } => "link_severed",
+            Event::ModeDegraded { .. } => "mode_degraded",
+            Event::ModeRepromoted { .. } => "mode_repromoted",
+            Event::FragmentPoisoned { .. } => "fragment_poisoned",
+            Event::FaultInjected { .. } => "fault_injected",
             Event::Timing { .. } => "timing",
         }
     }
@@ -310,6 +350,20 @@ impl Event<'_> {
             }
             Event::LinkSevered { links } => {
                 push_u64_field(out, "links", links);
+            }
+            Event::ModeDegraded { from, to, at_path }
+            | Event::ModeRepromoted { from, to, at_path } => {
+                push_str_field(out, "from", from);
+                push_str_field(out, "to", to);
+                push_u64_field(out, "at_path", at_path);
+            }
+            Event::FragmentPoisoned { head, at_block } => {
+                push_u64_field(out, "head", head as u64);
+                push_u64_field(out, "at_block", at_block);
+            }
+            Event::FaultInjected { point, at_block } => {
+                push_str_field(out, "point", point);
+                push_u64_field(out, "at_block", at_block);
             }
             Event::Timing { label, secs } => {
                 push_str_field(out, "label", label);
@@ -453,6 +507,24 @@ mod tests {
             },
             Event::LinkPatched { from: 9, to: 12 },
             Event::LinkSevered { links: 4 },
+            Event::ModeDegraded {
+                from: "full_linking",
+                to: "no_link",
+                at_path: 4_000,
+            },
+            Event::ModeRepromoted {
+                from: "no_link",
+                to: "full_linking",
+                at_path: 9_000,
+            },
+            Event::FragmentPoisoned {
+                head: 7,
+                at_block: 640,
+            },
+            Event::FaultInjected {
+                point: "install_reject",
+                at_block: 640,
+            },
             Event::Timing {
                 label: "compress",
                 secs: 1.25,

@@ -1,6 +1,6 @@
 //! The [`Recorder`] trait, stock recorders, and the thread-local emit path.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::io::Write as _;
 use std::rc::Rc;
 
@@ -56,35 +56,65 @@ impl std::fmt::Debug for JsonlTarget {
 /// The stream is deterministic: field order is fixed and events carry
 /// logical clocks only (see [`Event`]), so two identical runs produce
 /// byte-identical output.
+///
+/// A failing sink (disk full, closed pipe) must not abort or perturb the
+/// run being observed: the first write error switches the recorder into a
+/// **counted-drop mode** — subsequent events are counted, not written —
+/// and the drop total is readable through the handle returned by
+/// [`JsonlRecorder::to_writer_counting`].
 #[derive(Debug)]
 pub struct JsonlRecorder {
     target: JsonlTarget,
     line: String,
+    dropped: Rc<Cell<u64>>,
+    sink_failed: bool,
 }
 
 impl JsonlRecorder {
+    fn with_target(target: JsonlTarget) -> (Self, Rc<Cell<u64>>) {
+        let dropped = Rc::new(Cell::new(0));
+        let recorder = JsonlRecorder {
+            target,
+            line: String::new(),
+            dropped: dropped.clone(),
+            sink_failed: false,
+        };
+        (recorder, dropped)
+    }
+
     /// A recorder writing into a shared in-memory buffer; the returned
     /// handle reads the bytes back after the recorder is uninstalled.
     pub fn to_shared_buffer() -> (Self, Rc<RefCell<Vec<u8>>>) {
         let buffer = Rc::new(RefCell::new(Vec::new()));
-        let recorder = JsonlRecorder {
-            target: JsonlTarget::Shared(buffer.clone()),
-            line: String::new(),
-        };
+        let (recorder, _) = Self::with_target(JsonlTarget::Shared(buffer.clone()));
         (recorder, buffer)
     }
 
     /// A recorder writing to an arbitrary sink (e.g. a file).
     pub fn to_writer(writer: Box<dyn std::io::Write>) -> Self {
-        JsonlRecorder {
-            target: JsonlTarget::Writer(writer),
-            line: String::new(),
-        }
+        Self::with_target(JsonlTarget::Writer(writer)).0
+    }
+
+    /// Like [`to_writer`](Self::to_writer), additionally returning a
+    /// shared handle that counts events dropped after the sink failed.
+    pub fn to_writer_counting(writer: Box<dyn std::io::Write>) -> (Self, Rc<Cell<u64>>) {
+        Self::with_target(JsonlTarget::Writer(writer))
+    }
+
+    /// Events dropped because the sink failed.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
     }
 }
 
 impl Recorder for JsonlRecorder {
     fn record(&mut self, event: &Event<'_>) {
+        if self.sink_failed {
+            // Counted-drop mode: the sink already failed once; don't keep
+            // hammering it (or formatting lines nobody will see).
+            self.dropped.set(self.dropped.get() + 1);
+            return;
+        }
         self.line.clear();
         event.write_json(&mut self.line);
         self.line.push('\n');
@@ -94,13 +124,19 @@ impl Recorder for JsonlRecorder {
             }
             JsonlTarget::Writer(writer) => {
                 // Event loss on a failing sink must not abort the run the
-                // telemetry is observing.
-                let _ = writer.write_all(self.line.as_bytes());
+                // telemetry is observing: degrade to counting drops.
+                if writer.write_all(self.line.as_bytes()).is_err() {
+                    self.sink_failed = true;
+                    self.dropped.set(self.dropped.get() + 1);
+                }
             }
         }
     }
 
     fn finish(&mut self) {
+        if self.sink_failed {
+            return;
+        }
         if let JsonlTarget::Writer(writer) = &mut self.target {
             let _ = writer.flush();
         }
@@ -252,6 +288,39 @@ mod tests {
         let text = String::from_utf8(outer_buf.borrow().clone()).unwrap();
         assert_eq!(text.lines().count(), 2, "outer missed the inner event");
         assert!(text.contains("\"head\":1") && text.contains("\"head\":3"));
+    }
+
+    /// Succeeds for `ok` writes, then fails forever.
+    struct DyingSink {
+        ok: u32,
+    }
+
+    impl std::io::Write for DyingSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.ok == 0 {
+                return Err(std::io::Error::other("sink died"));
+            }
+            self.ok -= 1;
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn failing_sink_degrades_to_counted_drops() {
+        let (mut recorder, dropped) =
+            JsonlRecorder::to_writer_counting(Box::new(DyingSink { ok: 2 }));
+        for head in 0..10 {
+            recorder.record(&tau(head));
+        }
+        // Two lines landed; the third write failed and every event since
+        // (including the failed one) is counted, not written.
+        assert_eq!(recorder.dropped(), 8);
+        assert_eq!(dropped.get(), 8);
+        recorder.finish(); // must not touch the dead sink
     }
 
     #[cfg(not(feature = "enabled"))]

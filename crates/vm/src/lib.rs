@@ -64,3 +64,5 @@ pub use event::{
 };
 pub use trace::{CountingObserver, RecordedTrace, TraceRecorder};
 pub use vm::{RunConfig, RunStats, Vm};
+
+pub use hotpath_faultinject::{FaultInjector, FaultPlan, FaultPoint};

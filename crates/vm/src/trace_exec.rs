@@ -23,6 +23,7 @@
 //! increments when the *entered* block's incoming edge is backward, with
 //! on-trace edge backwardness precomputed at compile time.
 
+use hotpath_faultinject::{FaultInjector, FaultPoint};
 use hotpath_ir::{BlockId, GlobalReg, Inst, Layout, Terminator};
 use hotpath_telemetry as telemetry;
 
@@ -339,6 +340,13 @@ pub(crate) struct TraceCache {
     at_head: Vec<u32>,
     /// Links currently patched (for `LinkSevered` accounting on flush).
     patched_links: u64,
+    /// Whether trace-to-trace linking is enabled (the degradation ladder's
+    /// no-link rung turns it off).
+    linking: bool,
+    /// Heads blacklisted after a trace panicked there; installs at a
+    /// poisoned head are refused for the rest of the run (flushes do not
+    /// forgive).
+    poisoned: Vec<bool>,
 }
 
 impl TraceCache {
@@ -347,6 +355,8 @@ impl TraceCache {
             traces: Vec::new(),
             at_head: vec![NONE; block_count],
             patched_links: 0,
+            linking: true,
+            poisoned: vec![false; block_count],
         }
     }
 
@@ -364,10 +374,11 @@ impl TraceCache {
     }
 
     /// Installs a compiled trace; the first trace at a head wins (exactly
-    /// like the engine-side `FragmentCache`'s primary fragment).
+    /// like the engine-side `FragmentCache`'s primary fragment). Installs
+    /// at a poisoned head are refused.
     pub(crate) fn install(&mut self, trace: CompiledTrace) -> bool {
         let head = trace.head as usize;
-        if self.at_head[head] != NONE {
+        if self.at_head[head] != NONE || self.poisoned[head] {
             return false;
         }
         self.at_head[head] = self.traces.len() as u32;
@@ -376,10 +387,36 @@ impl TraceCache {
     }
 
     /// Drops every trace, severing all patched links; returns how many
-    /// links were severed.
+    /// links were severed. Poisoned heads stay poisoned.
     pub(crate) fn flush(&mut self) -> u64 {
         self.traces.clear();
         self.at_head.fill(NONE);
+        std::mem::take(&mut self.patched_links)
+    }
+
+    /// Blacklists `head` after a trace panicked there, then flushes: the
+    /// panicking trace must never run again, and any trace that may have
+    /// linked into it must not reach it either. Returns severed links.
+    pub(crate) fn poison(&mut self, head: u32) -> u64 {
+        self.poisoned[head as usize] = true;
+        self.flush()
+    }
+
+    /// Turns trace-to-trace linking on or off. Turning it off severs
+    /// every patched link (returned for `LinkSevered` accounting) and
+    /// [`static_out`]/[`dynamic_out`] stop chaining, so each traversal
+    /// returns to the dispatch loop.
+    pub(crate) fn set_linking(&mut self, on: bool) -> u64 {
+        self.linking = on;
+        if on {
+            return 0;
+        }
+        for tr in &mut self.traces {
+            for step in &mut tr.steps {
+                step.link_a = NONE;
+                step.link_b = NONE;
+            }
+        }
         std::mem::take(&mut self.patched_links)
     }
 
@@ -451,6 +488,17 @@ fn static_out(
     backward: bool,
     fail: bool,
 ) -> Out {
+    if !cache.linking {
+        // No-link mode: links were severed when linking was disabled, and
+        // no new chains form — every traversal returns to the dispatcher.
+        return Out::Exit {
+            from,
+            target,
+            kind,
+            backward,
+            fail,
+        };
+    }
     if link != NONE {
         return Out::Chain {
             from,
@@ -492,7 +540,11 @@ fn dynamic_out(
     backward: bool,
     fail: bool,
 ) -> Out {
-    match cache.entry(target) {
+    match if cache.linking {
+        cache.entry(target)
+    } else {
+        None
+    } {
         Some(tid) => Out::Chain {
             from,
             tid,
@@ -511,8 +563,36 @@ fn dynamic_out(
     }
 }
 
+/// Panic payload for an injected [`FaultPoint::TracePanic`]; carries the
+/// head so a catcher could attribute it (the dispatch loop recovers on
+/// *any* payload and does not inspect it).
+pub(crate) struct InjectedTracePanic {
+    #[allow(dead_code)]
+    pub(crate) head: u32,
+}
+
+/// Draws the spurious-guard-failure fault: true means "pretend this
+/// passing guard failed". Emits the injection event before returning.
+#[inline]
+fn spurious_guard(faults: &mut FaultInjector, stats: &RunStats) -> bool {
+    if faults.armed() && faults.fire(FaultPoint::GuardFail) {
+        telemetry::emit!(telemetry::Event::FaultInjected {
+            point: "guard_fail",
+            at_block: stats.blocks_executed,
+        });
+        return true;
+    }
+    false
+}
+
 /// Runs one traversal of trace `tid` (all steps, or until a guard fails),
 /// mirroring the interpreter's semantics exactly.
+///
+/// Fault injection: after a guard *passes*, [`FaultPoint::GuardFail`] may
+/// fire; the traversal then exits toward the block the trace would have
+/// continued at (the correct next step), with the passing transfer kind —
+/// so the interpreter resumes at exactly the right block and bit-identity
+/// is preserved while the exit machinery takes the adversarial path.
 #[allow(clippy::too_many_arguments)]
 fn run_traversal(
     cache: &TraceCache,
@@ -521,6 +601,7 @@ fn run_traversal(
     m: &mut Machine<'_>,
     stats: &mut RunStats,
     config: &RunConfig,
+    faults: &mut FaultInjector,
     exc: &mut TraceExcursion,
 ) -> Result<Out, VmError> {
     let tr = &cache.traces[tid as usize];
@@ -567,6 +648,21 @@ fn run_traversal(
                         true,
                     ));
                 }
+                if spurious_guard(faults, stats) {
+                    let kind = if expect_taken {
+                        TransferKind::BranchTaken
+                    } else {
+                        TransferKind::BranchNotTaken
+                    };
+                    return Ok(dynamic_out(
+                        cache,
+                        step.block,
+                        tr.steps[si + 1].block,
+                        kind,
+                        step.next_backward,
+                        true,
+                    ));
+                }
             }
             EndOp::SwitchNext {
                 index,
@@ -587,6 +683,16 @@ fn run_traversal(
                         t,
                         TransferKind::Indirect,
                         backward,
+                        true,
+                    ));
+                }
+                if spurious_guard(faults, stats) {
+                    return Ok(dynamic_out(
+                        cache,
+                        step.block,
+                        t,
+                        TransferKind::Indirect,
+                        step.next_backward,
                         true,
                     ));
                 }
@@ -623,6 +729,16 @@ fn run_traversal(
                             t,
                             TransferKind::Return,
                             backward,
+                            true,
+                        ));
+                    }
+                    if spurious_guard(faults, stats) {
+                        return Ok(dynamic_out(
+                            cache,
+                            step.block,
+                            t,
+                            TransferKind::Return,
+                            step.next_backward,
                             true,
                         ));
                     }
@@ -763,6 +879,14 @@ fn run_traversal(
 /// Executes one whole excursion through trace-land, starting at trace
 /// `start`, chasing links until control leaves the cache (or the program
 /// halts, or fuel denies the next traversal).
+///
+/// # Panics
+///
+/// Panics (via `panic_any`) when the injector's
+/// [`FaultPoint::TracePanic`] fires — deliberately *before* any step
+/// executes, so the dispatch loop's `catch_unwind` recovers with program
+/// state exactly as it was at dispatch.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_excursion(
     cache: &mut TraceCache,
     start: u32,
@@ -771,8 +895,16 @@ pub(crate) fn run_excursion(
     m: &mut Machine<'_>,
     stats: &mut RunStats,
     config: &RunConfig,
+    faults: &mut FaultInjector,
 ) -> Result<TraceExcursion, VmError> {
     let head = cache.traces[start as usize].head;
+    if faults.armed() && faults.fire(FaultPoint::TracePanic) {
+        telemetry::emit!(telemetry::Event::FaultInjected {
+            point: "trace_panic",
+            at_block: stats.blocks_executed,
+        });
+        std::panic::panic_any(InjectedTracePanic { head });
+    }
     let mut exc = TraceExcursion {
         head: BlockId::new(head),
         from: None,
@@ -803,7 +935,7 @@ pub(crate) fn run_excursion(
             return Ok(exc);
         }
         exc.entries += 1;
-        match run_traversal(cache, tid, in_backward, m, stats, config, &mut exc)? {
+        match run_traversal(cache, tid, in_backward, m, stats, config, faults, &mut exc)? {
             Out::Halted { from } => {
                 exc.from = Some(BlockId::new(from));
                 exc.target = BlockId::new(from);

@@ -1,5 +1,6 @@
 //! The interpreter.
 
+use hotpath_faultinject::{FaultInjector, FaultPoint};
 use hotpath_ir::{BinOp, BlockId, GlobalReg, Inst, Layout, Program, Reg, Terminator, UnOp};
 
 use crate::error::VmError;
@@ -90,6 +91,9 @@ pub struct Vm<'p> {
     memory: Vec<i64>,
     globals: [i64; GlobalReg::COUNT],
     config: RunConfig,
+    /// Fault injector consulted by [`Vm::run_linked`]'s hook sites;
+    /// disabled by default (one predictable branch per site).
+    faults: FaultInjector,
 }
 
 impl<'p> Vm<'p> {
@@ -139,6 +143,7 @@ impl<'p> Vm<'p> {
             memory,
             globals: [0; GlobalReg::COUNT],
             config: RunConfig::default(),
+            faults: FaultInjector::disabled(),
         }
     }
 
@@ -146,6 +151,20 @@ impl<'p> Vm<'p> {
     pub fn with_config(mut self, config: RunConfig) -> Self {
         self.config = config;
         self
+    }
+
+    /// Arms fault injection for [`Vm::run_linked`] (see
+    /// [`hotpath_faultinject`]). Plain [`Vm::run`] has no fault points —
+    /// it *is* the reference semantics the faulted backend is checked
+    /// against.
+    pub fn with_faults(mut self, faults: FaultInjector) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The fault injector (its counters tell tests what actually fired).
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
     }
 
     /// The program being executed.
@@ -171,6 +190,11 @@ impl<'p> Vm<'p> {
     /// Reads a machine-global register.
     pub fn global(&self, g: GlobalReg) -> i64 {
         self.globals[g.index()]
+    }
+
+    /// All machine-global registers, e.g. for whole-state comparison.
+    pub fn globals(&self) -> &[i64] {
+        &self.globals
     }
 
     /// Writes a machine-global register.
@@ -315,6 +339,7 @@ impl<'p> Vm<'p> {
     }
 
     /// Read-only view of the flattened program for the trace compiler.
+    #[cfg(test)]
     pub(crate) fn view(&self) -> ProgramView<'_> {
         ProgramView {
             flat: &self.flat,
@@ -369,36 +394,86 @@ impl<'p> Vm<'p> {
         };
 
         loop {
+            // Fault point: a forced cache flush at the top of a dispatch
+            // iteration (models asynchronous invalidation).
+            if self.faults.armed() && self.faults.fire(FaultPoint::Flush) {
+                hotpath_telemetry::emit!(hotpath_telemetry::Event::FaultInjected {
+                    point: "flush",
+                    at_block: stats.blocks_executed,
+                });
+                let severed = cache.flush();
+                hotpath_telemetry::emit!(hotpath_telemetry::Event::LinkSevered { links: severed });
+            }
+
             // Trace dispatch: a trace anchored at the current block runs a
             // whole excursion — provided the fuel budget covers its first
             // traversal. When it does not, fall back to block-by-block
             // interpretation so `OutOfFuel` fires at exactly the block
             // plain interpretation would have stopped at.
-            let enter = cache.entry(cur).filter(|&tid| {
+            let mut enter = cache.entry(cur).filter(|&tid| {
                 stats.blocks_executed + cache.trace_len(tid) as u64 <= self.config.max_blocks
             });
+            // Fault point: fuel starvation — deny this dispatch as if the
+            // precheck had failed; the block interprets instead (exactly
+            // the fallback the real precheck takes, hence bit-identical).
+            if enter.is_some() && self.faults.armed() && self.faults.fire(FaultPoint::FuelStarve) {
+                hotpath_telemetry::emit!(hotpath_telemetry::Event::FaultInjected {
+                    point: "fuel_starve",
+                    at_block: stats.blocks_executed,
+                });
+                enter = None;
+            }
             if let Some(tid) = enter {
                 hotpath_telemetry::emit!(hotpath_telemetry::Event::TraceEnter {
                     head: cur,
                     at_block: stats.blocks_executed,
                 });
-                let mut machine = Machine {
-                    memory: &mut self.memory,
-                    globals: &mut self.globals,
-                    regs: &mut regs,
-                    frames: &mut frames,
-                    frame_base: &mut frame_base,
-                    layout: &self.layout,
+                // `catch_unwind` isolates a panicking trace: execution
+                // recovers to the interpreter instead of taking the
+                // process down. An injected TracePanic fires at excursion
+                // entry, before any step runs, so recovery resumes at
+                // `cur` with state untouched; for a genuine mid-trace
+                // panic (a trace-compiler bug) this is best-effort — the
+                // committed prefix matches what interpretation would have
+                // done, but counters may sit mid-excursion.
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut machine = Machine {
+                        memory: &mut self.memory,
+                        globals: &mut self.globals,
+                        regs: &mut regs,
+                        frames: &mut frames,
+                        frame_base: &mut frame_base,
+                        layout: &self.layout,
+                    };
+                    run_excursion(
+                        &mut cache,
+                        tid,
+                        pending.kind,
+                        pending.backward,
+                        &mut machine,
+                        &mut stats,
+                        &self.config,
+                        &mut self.faults,
+                    )
+                }));
+                let mut exc = match caught {
+                    Ok(result) => result?,
+                    Err(_payload) => {
+                        // Poison the head (installs there are refused for
+                        // the rest of the run) and drop the whole cache:
+                        // a trace that may link into the poisoned one
+                        // must not reach it.
+                        let severed = cache.poison(cur);
+                        hotpath_telemetry::emit!(hotpath_telemetry::Event::FragmentPoisoned {
+                            head: cur,
+                            at_block: stats.blocks_executed,
+                        });
+                        hotpath_telemetry::emit!(hotpath_telemetry::Event::LinkSevered {
+                            links: severed,
+                        });
+                        continue;
+                    }
                 };
-                let mut exc = run_excursion(
-                    &mut cache,
-                    tid,
-                    pending.kind,
-                    pending.backward,
-                    &mut machine,
-                    &mut stats,
-                    &self.config,
-                )?;
                 if !exc.halted {
                     exc.target_size = self.flat[exc.target.as_u32() as usize].size;
                 }
@@ -411,7 +486,20 @@ impl<'p> Vm<'p> {
                     at_block: stats.blocks_executed,
                 });
                 controller.on_trace_exit(&exc);
-                drain_commands(controller, &mut cache, &self.view());
+                let view = ProgramView {
+                    flat: &self.flat,
+                    insts: &self.insts,
+                    terms: &self.terms,
+                    layout: &self.layout,
+                    num_regs: &self.num_regs,
+                };
+                drain_commands(
+                    controller,
+                    &mut cache,
+                    &view,
+                    &mut self.faults,
+                    stats.blocks_executed,
+                );
                 if exc.halted {
                     controller.on_halt();
                     stats.halted = true;
@@ -529,7 +617,20 @@ impl<'p> Vm<'p> {
                 }
             };
 
-            drain_commands(controller, &mut cache, &self.view());
+            let view = ProgramView {
+                flat: &self.flat,
+                insts: &self.insts,
+                terms: &self.terms,
+                layout: &self.layout,
+                num_regs: &self.num_regs,
+            };
+            drain_commands(
+                controller,
+                &mut cache,
+                &view,
+                &mut self.faults,
+                stats.blocks_executed,
+            );
             let backward = self.layout.is_backward(block_id, BlockId::new(next));
             pending = BlockEvent {
                 from: Some(block_id),
@@ -544,14 +645,27 @@ impl<'p> Vm<'p> {
 }
 
 /// Applies every queued controller command to the trace cache.
+///
+/// Fault point: [`FaultPoint::InstallReject`] drops an `Install` command
+/// before compilation — indistinguishable from `compile_trace` declining
+/// the sequence, so the run proceeds (bit-identically) without the trace.
 fn drain_commands<C: TraceController>(
     controller: &mut C,
     cache: &mut TraceCache,
     view: &ProgramView<'_>,
+    faults: &mut FaultInjector,
+    at_block: u64,
 ) {
     while let Some(command) = controller.poll_command() {
         match command {
             TraceCommand::Install(blocks) => {
+                if faults.armed() && faults.fire(FaultPoint::InstallReject) {
+                    hotpath_telemetry::emit!(hotpath_telemetry::Event::FaultInjected {
+                        point: "install_reject",
+                        at_block,
+                    });
+                    continue;
+                }
                 if let Some(trace) = compile_trace(view, &blocks) {
                     cache.install(trace);
                 }
@@ -559,6 +673,14 @@ fn drain_commands<C: TraceController>(
             TraceCommand::Flush => {
                 let severed = cache.flush();
                 hotpath_telemetry::emit!(hotpath_telemetry::Event::LinkSevered { links: severed });
+            }
+            TraceCommand::SetLinking(on) => {
+                let severed = cache.set_linking(on);
+                if severed > 0 {
+                    hotpath_telemetry::emit!(hotpath_telemetry::Event::LinkSevered {
+                        links: severed
+                    });
+                }
             }
         }
     }

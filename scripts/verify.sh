@@ -28,6 +28,9 @@ cargo test --workspace --quiet
 echo "== trace-equivalence suite (linked execution is bit-identical) =="
 cargo test -p hotpath --test trace_equivalence --release --quiet
 
+echo "== difffuzz smoke (interpreter vs engines, faults on, 40 seeds) =="
+./target/release/difffuzz --seeds 40
+
 if [[ -z "${VERIFY_SKIP_LINT:-}" ]]; then
     echo "== cargo clippy --workspace --all-targets (deny warnings) =="
     cargo clippy --workspace --all-targets -- -D warnings

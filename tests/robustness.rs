@@ -1,0 +1,385 @@
+//! Robustness: every injectable fault must be *absorbed* — the run
+//! recovers and finishes with bit-identical observable state (RunStats,
+//! data memory, globals) to plain interpretation, because every fault
+//! models a legal degradation (a trace missing, a cache flushed, a
+//! compiled excursion denied), never a semantic change.
+//!
+//! Guards here:
+//!
+//! 1. **Per-fault-point recovery.** Each [`FaultPoint`] the VM hooks is
+//!    driven by a seeded plan and proven to (a) actually fire and (b)
+//!    leave the final state bit-identical.
+//! 2. **Panic isolation.** An injected trace panic poisons the fragment
+//!    (blacklisted across flushes) and the run continues interpreted.
+//! 3. **Bail-out and ladder sweeps.** All nine workloads stay
+//!    bit-identical under a hair-trigger bail-out and under the staged
+//!    degradation ladder.
+//! 4. **Re-promotion.** A phase-shift workload demonstrably walks the
+//!    ladder down during cache churn and back up after the phase change
+//!    (telemetry-gated).
+
+use hotpath::dynamo::{
+    BailoutPolicy, DegradeConfig, DynamoConfig, LadderMode, LinkedEngine, Scheme,
+};
+use hotpath::ir::builder::{FunctionBuilder, ProgramBuilder};
+use hotpath::ir::{CmpOp, Program};
+use hotpath::vm::{
+    FaultInjector, FaultPlan, FaultPoint, NullObserver, RunStats, ScriptedController, TraceCommand,
+    TraceController, Vm,
+};
+use hotpath::workloads::{suite, Scale};
+
+/// Block ids, in build order: 0 = implicit entry, then `new_block` order:
+/// header=1, body=2, odd=3, even=4, latch=5, exit=6.
+fn two_path_loop(trip: i64) -> Program {
+    let mut fb = FunctionBuilder::new("main");
+    let i = fb.reg();
+    let header = fb.new_block();
+    let body = fb.new_block();
+    let odd = fb.new_block();
+    let even = fb.new_block();
+    let latch = fb.new_block();
+    let exit = fb.new_block();
+    fb.const_(i, 0);
+    fb.jump(header);
+    fb.switch_to(header);
+    let c = fb.cmp_imm(CmpOp::Lt, i, trip);
+    fb.branch(c, body, exit);
+    fb.switch_to(body);
+    let par = fb.reg();
+    fb.and_imm(par, i, 1);
+    fb.branch(par, odd, even);
+    fb.switch_to(odd);
+    fb.jump(latch);
+    fb.switch_to(even);
+    fb.jump(latch);
+    fb.switch_to(latch);
+    fb.add_imm(i, i, 1);
+    fb.jump(header);
+    fb.switch_to(exit);
+    fb.halt();
+    let mut pb = ProgramBuilder::new();
+    pb.add_function(fb).unwrap();
+    pb.finish().unwrap()
+}
+
+/// Runs `program` plain, then linked under `engine` with `plan` armed;
+/// asserts bit-identical final state and returns the faulted VM (its
+/// injector counters tell the caller what fired) plus the shared stats.
+fn assert_faulted_identical<'p, C: TraceController>(
+    program: &'p Program,
+    plan: FaultPlan,
+    engine: &mut C,
+    tag: &str,
+) -> (Vm<'p>, RunStats) {
+    let mut plain_vm = Vm::new(program);
+    let plain = plain_vm.run(&mut NullObserver).unwrap();
+
+    let mut linked_vm = Vm::new(program).with_faults(FaultInjector::new(plan));
+    let linked = linked_vm.run_linked(engine).unwrap();
+
+    assert_eq!(plain, linked, "{tag}: RunStats");
+    assert_eq!(plain_vm.memory(), linked_vm.memory(), "{tag}: final memory");
+    assert_eq!(plain_vm.globals(), linked_vm.globals(), "{tag}: globals");
+    (linked_vm, linked)
+}
+
+#[test]
+fn spurious_guard_failures_recover_bit_identically() {
+    let p = two_path_loop(5_000);
+    let plan = FaultPlan::new(11).with(FaultPoint::GuardFail, 0.05);
+    let mut ctl = ScriptedController::new(vec![TraceCommand::Install(vec![1, 2, 4, 5])]);
+    let (vm, _) = assert_faulted_identical(&p, plan, &mut ctl, "guard_fail");
+    assert!(
+        vm.faults().injected(FaultPoint::GuardFail) > 0,
+        "the plan must actually fire"
+    );
+    // Spurious failures end excursions early but never corrupt them:
+    // every excursion still accounted its blocks.
+    assert!(!ctl.excursions.is_empty());
+}
+
+#[test]
+fn forced_cache_flushes_recover_bit_identically() {
+    let p = two_path_loop(5_000);
+    let plan = FaultPlan::new(12).with(FaultPoint::Flush, 0.005);
+    // A scripted single trace: after the injected flush evicts it the
+    // rest of the run stays interpreted, so the dispatch loop (where the
+    // fault point lives) keeps iterating and the plan keeps drawing.
+    let mut ctl = ScriptedController::new(vec![TraceCommand::Install(vec![1, 2, 4, 5])]);
+    let (vm, _) = assert_faulted_identical(&p, plan, &mut ctl, "flush");
+    assert!(vm.faults().injected(FaultPoint::Flush) > 0);
+}
+
+#[test]
+fn fuel_starvation_denials_recover_bit_identically() {
+    let p = two_path_loop(5_000);
+    let plan = FaultPlan::new(13).with(FaultPoint::FuelStarve, 0.2);
+    let mut ctl = ScriptedController::new(vec![TraceCommand::Install(vec![1, 2, 4, 5])]);
+    let (vm, stats) = assert_faulted_identical(&p, plan, &mut ctl, "fuel_starve");
+    let denied = vm.faults().injected(FaultPoint::FuelStarve);
+    assert!(denied > 0, "starvation must actually deny dispatches");
+    // Denied entries fall back to interpretation: the block ledger still
+    // balances between excursions and interpreted blocks.
+    let trace_blocks: u64 = ctl.excursions.iter().map(|e| e.blocks).sum();
+    assert_eq!(trace_blocks + ctl.interpreted, stats.blocks_executed);
+}
+
+#[test]
+fn fragment_install_rejections_recover_bit_identically() {
+    let p = two_path_loop(5_000);
+    let plan = FaultPlan::new(14).with(FaultPoint::InstallReject, 0.9);
+    let mut engine = LinkedEngine::new(DynamoConfig::new(Scheme::Net, 5));
+    let (vm, _) = assert_faulted_identical(&p, plan, &mut engine, "install_reject");
+    assert!(
+        vm.faults().injected(FaultPoint::InstallReject) > 0,
+        "rejections must actually drop installs"
+    );
+}
+
+#[test]
+fn injected_trace_panic_poisons_the_fragment_and_recovers() {
+    let p = two_path_loop(2_000);
+    let plan = FaultPlan::new(15).with(FaultPoint::TracePanic, 1.0);
+    let mut ctl = ScriptedController::new(vec![
+        TraceCommand::Install(vec![1, 2, 4, 5]),
+        TraceCommand::Install(vec![3, 5]),
+    ]);
+    // The unwind is caught by the VM; silence the default hook's stderr
+    // backtrace for the injected panic.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        assert_faulted_identical(&p, plan, &mut ctl, "trace_panic")
+    }));
+    std::panic::set_hook(prev);
+    let (vm, _) = result.expect("the VM absorbs the injected panic");
+    assert!(vm.faults().injected(FaultPoint::TracePanic) >= 1);
+    // The panicking excursion never completes: no excursion events, and
+    // the poisoned head is blacklisted so execution stays interpreted.
+    assert!(
+        ctl.excursions.is_empty(),
+        "panicked excursions must not surface: {:?}",
+        ctl.excursions.len()
+    );
+}
+
+#[test]
+fn all_faults_together_recover_across_both_schemes() {
+    let p = two_path_loop(4_000);
+    for (seed, scheme) in [(21, Scheme::Net), (22, Scheme::PathProfile)] {
+        let plan = FaultPlan::uniform(seed, 0.02);
+        let mut engine = LinkedEngine::new(DynamoConfig::new(scheme, 5));
+        let (vm, _) = assert_faulted_identical(&p, plan, &mut engine, &format!("uniform/{scheme}"));
+        assert!(vm.faults().total_injected() > 0);
+    }
+}
+
+#[test]
+fn hair_trigger_bailout_is_bit_identical_across_the_suite() {
+    for w in suite(Scale::Small) {
+        let mut cfg = DynamoConfig::new(Scheme::Net, 10);
+        cfg.bailout = Some(BailoutPolicy {
+            check_every_paths: 1,
+            max_installs: 0,
+        });
+        let mut engine = LinkedEngine::new(cfg);
+        let tag = format!("{:?}/bailout", w.name);
+
+        let mut plain_vm = Vm::new(&w.program);
+        let plain = plain_vm.run(&mut NullObserver).unwrap();
+        let mut linked_vm = Vm::new(&w.program);
+        let linked = linked_vm.run_linked(&mut engine).unwrap();
+
+        assert_eq!(plain, linked, "{tag}: RunStats");
+        assert_eq!(plain_vm.memory(), linked_vm.memory(), "{tag}: memory");
+        assert_eq!(plain_vm.globals(), linked_vm.globals(), "{tag}: globals");
+        assert!(
+            engine.bailed_out(),
+            "{tag}: the first install must trip the hair trigger"
+        );
+    }
+}
+
+#[test]
+fn degradation_ladder_is_bit_identical_across_the_suite() {
+    for w in suite(Scale::Small) {
+        let mut cfg = DynamoConfig::new(Scheme::Net, 10);
+        // Aggressive ladder: a single flush in a window degrades.
+        cfg.max_fragments = 4;
+        cfg.degrade = Some(DegradeConfig {
+            window_events: 2_000,
+            max_flushes_per_window: 0,
+            ..DegradeConfig::default()
+        });
+        let mut engine = LinkedEngine::new(cfg);
+        let tag = format!("{:?}/ladder", w.name);
+
+        let mut plain_vm = Vm::new(&w.program);
+        let plain = plain_vm.run(&mut NullObserver).unwrap();
+        let mut linked_vm = Vm::new(&w.program);
+        let linked = linked_vm.run_linked(&mut engine).unwrap();
+
+        assert_eq!(plain, linked, "{tag}: RunStats");
+        assert_eq!(plain_vm.memory(), linked_vm.memory(), "{tag}: memory");
+        assert_eq!(plain_vm.globals(), linked_vm.globals(), "{tag}: globals");
+    }
+}
+
+/// Two phases. The storm phase rotates a 3-way switch (`i % 3`), so any
+/// single trace — even with a linked tail — always has an uncovered
+/// successor that exits back to the dispatch loop; against a 1-fragment
+/// cache that keeps the install/capacity-flush storm (and the watchdog's
+/// event clock) running. The hot phase is a straight 2-block loop that
+/// caches as one healthy fragment. Block ids: entry=0, then h1=1,
+/// body=2, c0=3, c1=4, c2=5, latch=6, h2=7, b2a=8, b2b=9, exit=10.
+fn phase_shift_program(storm_trips: i64, hot_trips: i64) -> Program {
+    let mut fb = FunctionBuilder::new("main");
+    let i = fb.reg();
+    let acc = fb.reg();
+    let h1 = fb.new_block();
+    let body = fb.new_block();
+    let c0 = fb.new_block();
+    let c1 = fb.new_block();
+    let c2 = fb.new_block();
+    let latch = fb.new_block();
+    let h2 = fb.new_block();
+    let b2a = fb.new_block();
+    let b2b = fb.new_block();
+    let exit = fb.new_block();
+    fb.const_(i, 0);
+    fb.const_(acc, 0);
+    fb.jump(h1);
+    fb.switch_to(h1);
+    let c = fb.cmp_imm(CmpOp::Lt, i, storm_trips);
+    fb.branch(c, body, h2);
+    fb.switch_to(body);
+    let m = fb.reg();
+    fb.rem_imm(m, i, 3);
+    fb.switch(m, vec![c0, c1], c2);
+    fb.switch_to(c0);
+    fb.add_imm(acc, acc, 1);
+    fb.jump(latch);
+    fb.switch_to(c1);
+    fb.add_imm(acc, acc, 2);
+    fb.jump(latch);
+    fb.switch_to(c2);
+    fb.add_imm(acc, acc, 3);
+    fb.jump(latch);
+    fb.switch_to(latch);
+    fb.add_imm(i, i, 1);
+    fb.jump(h1);
+    fb.switch_to(h2);
+    fb.const_(i, 0);
+    fb.jump(b2a);
+    fb.switch_to(b2a);
+    let c2b = fb.cmp_imm(CmpOp::Lt, i, hot_trips);
+    fb.branch(c2b, b2b, exit);
+    fb.switch_to(b2b);
+    fb.add_imm(i, i, 1);
+    fb.add_imm(acc, acc, 1);
+    fb.jump(b2a);
+    fb.switch_to(exit);
+    fb.halt();
+    let mut pb = ProgramBuilder::new();
+    pb.add_function(fb).unwrap();
+    pb.finish().unwrap()
+}
+
+/// The ladder configuration the phase-shift tests run: tiny cache so the
+/// alternating phase storms it with capacity flushes, small windows so
+/// the ladder reacts within the run.
+fn phase_shift_config() -> DynamoConfig {
+    let mut cfg = DynamoConfig::new(Scheme::Net, 5);
+    cfg.max_fragments = 1;
+    cfg.degrade = Some(DegradeConfig {
+        window_events: 400,
+        max_flushes_per_window: 1,
+        cooldown_windows: 2,
+        ..DegradeConfig::default()
+    });
+    cfg
+}
+
+#[test]
+fn phase_shift_walks_the_ladder_and_stays_bit_identical() {
+    let p = phase_shift_program(8_000, 8_000);
+    let mut engine = LinkedEngine::new(phase_shift_config());
+
+    let mut plain_vm = Vm::new(&p);
+    let plain = plain_vm.run(&mut NullObserver).unwrap();
+    let mut linked_vm = Vm::new(&p);
+    let linked = linked_vm.run_linked(&mut engine).unwrap();
+
+    assert_eq!(plain, linked, "phase-shift: RunStats");
+    assert_eq!(plain_vm.memory(), linked_vm.memory(), "phase-shift: memory");
+    assert_eq!(
+        plain_vm.globals(),
+        linked_vm.globals(),
+        "phase-shift: globals"
+    );
+    // The hot phase ends the run healthy: the engine climbed back off
+    // the ladder's bottom rung.
+    assert_ne!(
+        engine.mode(),
+        LadderMode::InterpOnly,
+        "the clean second phase must re-promote the engine"
+    );
+}
+
+#[cfg(feature = "telemetry")]
+mod recorded {
+    use super::*;
+    use hotpath::telemetry::{self, SummaryRecorder};
+
+    #[test]
+    fn phase_shift_emits_degrade_then_repromote() {
+        let p = phase_shift_program(8_000, 8_000);
+        let (recorder, handle) = SummaryRecorder::new();
+        let guard = telemetry::install(Box::new(recorder));
+        let mut engine = LinkedEngine::new(phase_shift_config());
+        let stats = Vm::new(&p).run_linked(&mut engine).unwrap();
+        drop(guard);
+        let expect = Vm::new(&p).run(&mut NullObserver).unwrap();
+        assert_eq!(stats, expect);
+
+        let summary = handle.snapshot();
+        let detail = format!(
+            "degraded={} repromoted={} flushes={} installs={} enters={} mode={:?}",
+            summary.count("mode_degraded"),
+            summary.count("mode_repromoted"),
+            summary.count("cache_flush"),
+            summary.count("fragment_install"),
+            summary.count("trace_enter"),
+            engine.mode(),
+        );
+        assert!(
+            summary.count("mode_degraded") >= 1,
+            "the storm phase must step the ladder down ({detail})"
+        );
+        assert!(
+            summary.count("mode_repromoted") >= 1,
+            "the hot phase must step the ladder back up ({detail})"
+        );
+    }
+
+    #[test]
+    fn injected_panic_emits_poison_telemetry() {
+        let p = two_path_loop(2_000);
+        let plan = FaultPlan::new(15).with(FaultPoint::TracePanic, 1.0);
+        let (recorder, handle) = SummaryRecorder::new();
+        let guard = telemetry::install(Box::new(recorder));
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut ctl = ScriptedController::new(vec![TraceCommand::Install(vec![1, 2, 4, 5])]);
+        let result = Vm::new(&p)
+            .with_faults(FaultInjector::new(plan))
+            .run_linked(&mut ctl);
+        std::panic::set_hook(prev);
+        drop(guard);
+        assert!(result.is_ok());
+        let summary = handle.snapshot();
+        assert!(summary.count("fragment_poisoned") >= 1);
+        assert!(summary.count("fault_injected") >= 1);
+    }
+}

@@ -209,6 +209,56 @@ mod recorded {
         assert!(lengths.total() >= dynamo.paths_completed);
     }
 
+    /// An `io::Write` that appends into a shared buffer, so the bytes
+    /// survive the recorder being moved into `telemetry::install`.
+    #[derive(Clone)]
+    struct SharedSink(std::rc::Rc<std::cell::RefCell<Vec<u8>>>);
+
+    impl std::io::Write for SharedSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.borrow_mut().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn recorder_io_faults_drop_whole_events_and_never_perturb_the_run() {
+        use hotpath::faultinject::{FaultPlan, FaultPoint, FaultWriter};
+
+        let clean = run_pipeline(WorkloadName::Compress);
+
+        // The same pipeline, recorded through a sink that fails a fixed
+        // fraction of writes (deterministic seeded plan).
+        let bytes = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let sink = FaultWriter::new(
+            SharedSink(bytes.clone()),
+            FaultPlan::new(9).with(FaultPoint::RecorderIo, 0.03),
+        );
+        let (recorder, dropped) = JsonlRecorder::to_writer_counting(Box::new(sink));
+        let guard = telemetry::install(Box::new(recorder));
+        let faulted = run_pipeline(WorkloadName::Compress);
+        drop(guard);
+
+        // Telemetry loss is counted, never silent — and never corrupts
+        // the stream: every surviving line still parses, because a failed
+        // write drops the whole event.
+        assert!(dropped.get() > 0, "the I/O plan must actually fire");
+        let text = String::from_utf8(bytes.borrow().clone()).expect("utf-8 stream");
+        let mut survived = 0u64;
+        for line in text.lines() {
+            hotpath::telemetry::json::JsonValue::parse(line)
+                .unwrap_or_else(|e| panic!("torn line `{line}`: {e}"));
+            survived += 1;
+        }
+        assert!(survived > 0, "some events must still get through");
+
+        // Observational neutrality holds even with a failing sink.
+        assert_outcomes_bit_identical(WorkloadName::Compress, &clean, &faulted);
+    }
+
     #[test]
     fn emit_is_lazy_without_a_recorder() {
         // The event expression must not be evaluated when nothing is
