@@ -1,0 +1,387 @@
+//! `loadgen` — deterministic load generation for the serving layer.
+//!
+//! Drives N concurrent sessions (workloads drawn deterministically from
+//! the nine-benchmark suite by a seeded shuffle) against a
+//! `hotpath-serve` pool and measures aggregate blocks/sec for three
+//! modes:
+//!
+//! * `native` — the same workload instances run sequentially on the bare
+//!   VM (the floor, and the normalizer `bench_compare --relative` needs),
+//! * `serve-single` — the same instances run sequentially through a
+//!   1-shard session pool (per-session serving overhead),
+//! * `serve-aggregate` — all N sessions concurrently across `--shards`
+//!   shards, one driver thread per session (the multiplexed throughput
+//!   the serving layer exists for).
+//!
+//! All three modes execute the identical block total, so their
+//! blocks/sec are directly comparable and append to the same
+//! `BENCH_perf.json` document `perf_baseline` writes, under one
+//! labelled run.
+//!
+//! With `--addr HOST:PORT` the serve modes go over TCP to an already
+//! running `serve` process (one connection per session) instead of an
+//! in-process pool; `--shutdown` then stops that server afterwards.
+//! `--snapshot-check` additionally proves the snapshot contract for
+//! every session before measuring: save at the midpoint, restore into a
+//! fresh session, finish, and require statistics bit-identical to the
+//! uninterrupted plain run.
+//!
+//! Usage: `loadgen [--sessions N] [--shards N] [--scale smoke|small|full]
+//! [--seed S] [--fuel N] [--label NAME] [--json PATH] [--addr HOST:PORT]
+//! [--snapshot-check] [--shutdown]`
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use hotpath_core::rng::Rng64;
+use hotpath_serve::{
+    Client, Request, Response, ServeConfig, SessionConfig, SessionManager, SessionSnapshot,
+};
+use hotpath_vm::{NullObserver, RunStats, Vm};
+use hotpath_workloads::{build, Scale, WorkloadName, ALL_WORKLOADS};
+
+/// The measured modes, in report order.
+const MODES: [&str; 3] = ["native", "serve-single", "serve-aggregate"];
+
+struct Args {
+    sessions: u32,
+    shards: u32,
+    scale: Scale,
+    seed: u64,
+    fuel: Option<u64>,
+    label: String,
+    json: PathBuf,
+    addr: Option<String>,
+    snapshot_check: bool,
+    shutdown: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        sessions: 4,
+        shards: 4,
+        scale: Scale::Small,
+        seed: 42,
+        fuel: None,
+        label: "serve".to_string(),
+        json: PathBuf::from("BENCH_perf.json"),
+        addr: None,
+        snapshot_check: false,
+        shutdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match a.as_str() {
+            "--sessions" => {
+                args.sessions = value("--sessions").parse().expect("--sessions: number");
+                assert!(args.sessions > 0, "--sessions must be positive");
+            }
+            "--shards" => {
+                args.shards = value("--shards").parse().expect("--shards: number");
+                assert!(args.shards > 0, "--shards must be positive");
+            }
+            "--scale" => {
+                args.scale = match value("--scale").as_str() {
+                    "smoke" => Scale::Smoke,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => panic!("unknown scale `{other}` (smoke|small|full)"),
+                }
+            }
+            "--seed" => args.seed = value("--seed").parse().expect("--seed: number"),
+            "--fuel" => args.fuel = Some(value("--fuel").parse().expect("--fuel: number")),
+            "--label" => args.label = value("--label"),
+            "--json" => args.json = PathBuf::from(value("--json")),
+            "--addr" => args.addr = Some(value("--addr")),
+            "--snapshot-check" => args.snapshot_check = true,
+            "--shutdown" => args.shutdown = true,
+            other => panic!(
+                "unknown argument `{other}` (usage: [--sessions N] [--shards N] \
+                 [--scale smoke|small|full] [--seed S] [--fuel N] [--label NAME] \
+                 [--json PATH] [--addr HOST:PORT] [--snapshot-check] [--shutdown])"
+            ),
+        }
+    }
+    args
+}
+
+/// The deterministic session plan: session i runs `plan[i]`, a seeded
+/// shuffle of the suite repeated as often as needed.
+fn session_plan(sessions: u32, seed: u64) -> Vec<WorkloadName> {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut plan = Vec::with_capacity(sessions as usize);
+    let mut deck: Vec<WorkloadName> = Vec::new();
+    for _ in 0..sessions {
+        if deck.is_empty() {
+            deck = ALL_WORKLOADS.to_vec();
+            // Fisher–Yates, driven by the seeded generator.
+            for i in (1..deck.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                deck.swap(i, j);
+            }
+        }
+        plan.push(deck.pop().expect("deck refilled above"));
+    }
+    plan
+}
+
+/// One serving endpoint: either the in-process pool or a TCP connection.
+/// Each driver thread gets its own (threads never share a connection).
+enum Endpoint {
+    Local(Arc<SessionManager>),
+    Remote(Client),
+}
+
+impl Endpoint {
+    fn call(&mut self, request: Request) -> Response {
+        match self {
+            Endpoint::Local(manager) => manager.request(request),
+            Endpoint::Remote(client) => client.request(&request).expect("server I/O"),
+        }
+    }
+
+    /// Retries `Busy` — loadgen measures throughput under admission
+    /// control, so waiting out backpressure is the workload's job.
+    fn call_patient(&mut self, request: Request) -> Response {
+        loop {
+            match self.call(request.clone()) {
+                Response::Busy => std::thread::sleep(std::time::Duration::from_millis(1)),
+                response => return response,
+            }
+        }
+    }
+}
+
+fn open(endpoint: &mut Endpoint, name: WorkloadName, scale: Scale) -> u64 {
+    match endpoint.call_patient(Request::Open {
+        config: SessionConfig::exec(name, scale),
+    }) {
+        Response::Opened { session, .. } => session,
+        other => panic!("open {name} failed: {other:?}"),
+    }
+}
+
+/// Runs a session to completion in `fuel` slices; returns final stats.
+fn finish(endpoint: &mut Endpoint, session: u64, fuel: Option<u64>) -> RunStats {
+    loop {
+        match endpoint.call_patient(Request::Run { session, fuel }) {
+            Response::Ran { done: true, stats } => return stats,
+            Response::Ran { done: false, .. } => {}
+            other => panic!("run failed: {other:?}"),
+        }
+    }
+}
+
+/// Opens, completes, and closes one session; returns its block count.
+fn drive(endpoint: &mut Endpoint, name: WorkloadName, scale: Scale, fuel: Option<u64>) -> u64 {
+    let session = open(endpoint, name, scale);
+    let stats = finish(endpoint, session, fuel);
+    endpoint.call_patient(Request::Close { session });
+    stats.blocks_executed
+}
+
+/// The snapshot contract, proven end to end for one workload: run to the
+/// midpoint, snapshot, restore into a fresh session, finish — final
+/// statistics must be bit-identical to the uninterrupted plain run.
+fn snapshot_check(endpoint: &mut Endpoint, name: WorkloadName, scale: Scale, reference: &RunStats) {
+    let session = open(endpoint, name, scale);
+    match endpoint.call_patient(Request::Run {
+        session,
+        fuel: Some(reference.blocks_executed / 2),
+    }) {
+        Response::Ran { done, .. } => assert!(!done, "{name}: midpoint completed the run"),
+        other => panic!("{name}: midpoint run failed: {other:?}"),
+    }
+    let Response::SnapshotBlob { blob } = endpoint.call_patient(Request::Snapshot { session })
+    else {
+        panic!("{name}: snapshot failed")
+    };
+    SessionSnapshot::decode(&blob).unwrap_or_else(|e| panic!("{name}: bad blob: {e}"));
+    let restored = match endpoint.call_patient(Request::Restore { blob }) {
+        Response::Opened { session, .. } => session,
+        other => panic!("{name}: restore failed: {other:?}"),
+    };
+    let stats = finish(endpoint, restored, None);
+    assert_eq!(
+        &stats, reference,
+        "{name}: restored run diverged from the uninterrupted run"
+    );
+    endpoint.call_patient(Request::Close { session });
+    endpoint.call_patient(Request::Close { session: restored });
+}
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Smoke => "smoke",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let plan = session_plan(args.sessions, args.seed);
+    eprintln!(
+        "[loadgen] sessions={} shards={} scale={} seed={} fuel={:?} plan={:?}",
+        args.sessions,
+        args.shards,
+        scale_name(args.scale),
+        args.seed,
+        args.fuel,
+        plan.iter().map(|n| n.as_str()).collect::<Vec<_>>()
+    );
+
+    // Endpoint factories. Local mode builds one pool per measured mode so
+    // every mode starts cold; remote mode opens one connection per thread
+    // against the long-lived server.
+    let make_local = |shards: u32| {
+        Arc::new(SessionManager::new(ServeConfig {
+            shards,
+            ..ServeConfig::default()
+        }))
+    };
+    let connect = |addr: &str| Endpoint::Remote(Client::connect(addr).expect("connect"));
+
+    // native: the same instances, bare VM, and the per-workload reference
+    // stats the snapshot check needs.
+    let mut reference: Vec<RunStats> = Vec::with_capacity(plan.len());
+    let native_start = Instant::now();
+    for &name in &plan {
+        let program = build(name, args.scale).program;
+        let stats = Vm::new(&program)
+            .run(&mut NullObserver)
+            .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        reference.push(stats);
+    }
+    let native_secs = native_start.elapsed().as_secs_f64();
+    let total_blocks: u64 = reference.iter().map(|s| s.blocks_executed).sum();
+
+    if args.snapshot_check {
+        let mut endpoint = match &args.addr {
+            Some(addr) => connect(addr),
+            None => Endpoint::Local(make_local(args.shards)),
+        };
+        for (&name, stats) in plan.iter().zip(&reference) {
+            snapshot_check(&mut endpoint, name, args.scale, stats);
+        }
+        eprintln!(
+            "[loadgen] snapshot-check: {} session(s) round-tripped bit-identical",
+            plan.len()
+        );
+    }
+
+    // serve-single: sequential sessions through one shard.
+    let single_pool = args.addr.is_none().then(|| make_local(1));
+    let single_start = Instant::now();
+    {
+        let mut endpoint = match (&args.addr, &single_pool) {
+            (Some(addr), _) => connect(addr),
+            (None, Some(pool)) => Endpoint::Local(Arc::clone(pool)),
+            (None, None) => unreachable!(),
+        };
+        for &name in &plan {
+            drive(&mut endpoint, name, args.scale, args.fuel);
+        }
+    }
+    let single_secs = single_start.elapsed().as_secs_f64();
+
+    // serve-aggregate: all sessions concurrently, one driver thread each.
+    let aggregate_pool = args.addr.is_none().then(|| make_local(args.shards));
+    let aggregate_start = Instant::now();
+    let drivers: Vec<_> = plan
+        .iter()
+        .map(|&name| {
+            let endpoint = match (&args.addr, &aggregate_pool) {
+                (Some(addr), _) => connect(addr),
+                (None, Some(pool)) => Endpoint::Local(Arc::clone(pool)),
+                (None, None) => unreachable!(),
+            };
+            let (scale, fuel) = (args.scale, args.fuel);
+            std::thread::spawn(move || {
+                let mut endpoint = endpoint;
+                drive(&mut endpoint, name, scale, fuel)
+            })
+        })
+        .collect();
+    let aggregate_blocks: u64 = drivers
+        .into_iter()
+        .map(|d| d.join().expect("driver thread"))
+        .sum();
+    let aggregate_secs = aggregate_start.elapsed().as_secs_f64();
+    assert_eq!(
+        aggregate_blocks, total_blocks,
+        "concurrent sessions diverged from the native block total"
+    );
+
+    if args.shutdown {
+        let addr = args.addr.as_deref().expect("--shutdown needs --addr");
+        let Endpoint::Remote(mut client) = connect(addr) else {
+            unreachable!()
+        };
+        client.shutdown_server().expect("shutdown");
+        eprintln!("[loadgen] server at {addr} shut down");
+    }
+
+    println!(
+        "\n=== loadgen: {} ({} sessions, {} shards, scale {}) ===",
+        args.label,
+        args.sessions,
+        args.shards,
+        scale_name(args.scale)
+    );
+    println!("{:<16} {:>10} {:>16}", "mode", "secs", "blocks/sec");
+    let mut run_json = String::new();
+    let _ = writeln!(run_json, "    {{");
+    let _ = writeln!(run_json, "      \"label\": \"{}\",", args.label);
+    let _ = writeln!(run_json, "      \"scale\": \"{}\",", scale_name(args.scale));
+    let _ = writeln!(run_json, "      \"sessions\": {},", args.sessions);
+    let _ = writeln!(run_json, "      \"shards\": {},", args.shards);
+    let _ = writeln!(run_json, "      \"seed\": {},", args.seed);
+    let _ = writeln!(run_json, "      \"total_blocks\": {},", total_blocks);
+    let _ = writeln!(run_json, "      \"modes\": {{");
+    for (i, (mode, secs)) in MODES
+        .iter()
+        .zip([native_secs, single_secs, aggregate_secs])
+        .enumerate()
+    {
+        let rate = total_blocks as f64 / secs;
+        println!("{mode:<16} {secs:>10.3} {rate:>16.0}");
+        let comma = if i + 1 < MODES.len() { "," } else { "" };
+        let _ = writeln!(
+            run_json,
+            "        \"{mode}\": {{\"secs\": {secs:.6}, \"blocks_per_sec\": {rate:.0}}}{comma}"
+        );
+    }
+    let _ = writeln!(run_json, "      }}");
+    let _ = write!(run_json, "    }}");
+
+    // Append to the shared perf document, same format as perf_baseline.
+    let existing = fs::read_to_string(&args.json).ok();
+    let doc = match existing {
+        Some(prev) => {
+            let trimmed = prev.trim_end();
+            let body = trimmed
+                .strip_suffix("\n  ]\n}")
+                .or_else(|| trimmed.strip_suffix("]\n}"))
+                .unwrap_or_else(|| {
+                    panic!(
+                        "{} exists but is not a perf_baseline document",
+                        args.json.display()
+                    )
+                })
+                .trim_end();
+            format!("{body},\n{run_json}\n  ]\n}}\n")
+        }
+        None => format!("{{\n  \"runs\": [\n{run_json}\n  ]\n}}\n"),
+    };
+    fs::write(&args.json, doc).expect("write json");
+    eprintln!(
+        "[loadgen] appended run `{}` to {}",
+        args.label,
+        args.json.display()
+    );
+}

@@ -670,4 +670,96 @@ mod tests {
             "dynamo-linked must run >= 1.5x the simulated dynamo mode, got {ratio:.2}x"
         );
     }
+
+    fn serve_doc(label: &str, aggregate_rate: f64) -> String {
+        format!(
+            r#"{{
+  "runs": [
+    {{
+      "label": "{label}",
+      "scale": "small",
+      "sessions": 4,
+      "shards": 4,
+      "seed": 42,
+      "total_blocks": 8000000,
+      "modes": {{
+        "native": {{"secs": 0.25, "blocks_per_sec": 32000000}},
+        "serve-single": {{"secs": 0.5, "blocks_per_sec": 16000000}},
+        "serve-aggregate": {{"secs": 0.2, "blocks_per_sec": {aggregate_rate}}}
+      }}
+    }}
+  ]
+}}"#
+        )
+    }
+
+    #[test]
+    fn serve_aggregate_regressions_trip_the_gate() {
+        // loadgen documents gate exactly like perf_baseline ones: a 15%
+        // aggregate-throughput loss fails the default 10% tolerance while
+        // the untouched modes stay green.
+        let base = &parse_perf_runs(&serve_doc("base", 40000000.0)).unwrap()[0];
+        let cur = &parse_perf_runs(&serve_doc("cur", 34000000.0)).unwrap()[0];
+        let report = compare_perf(base, cur, CompareOptions::default()).unwrap();
+        assert!(!report.passed());
+        let regressed: Vec<&str> = report.regressions().map(|d| d.mode.as_str()).collect();
+        assert_eq!(regressed, ["serve-aggregate"]);
+        // Relative mode works too — loadgen always records `native`.
+        let rel = compare_perf(
+            base,
+            cur,
+            CompareOptions {
+                tolerance: DEFAULT_TOLERANCE,
+                relative: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            rel.regressions()
+                .map(|d| d.mode.as_str())
+                .collect::<Vec<_>>(),
+            ["serve-aggregate"]
+        );
+    }
+
+    #[test]
+    fn serve_and_baseline_runs_compare_over_their_shared_surface() {
+        // A loadgen run and a perf_baseline run share only `native`; the
+        // gate judges that shared mode instead of erroring out.
+        let baseline = &parse_perf_runs(&perf_doc("pipeline", 500000.0)).unwrap()[0];
+        let serve = &parse_perf_runs(&serve_doc("serve", 40000000.0)).unwrap()[0];
+        let report = compare_perf(baseline, serve, CompareOptions::default()).unwrap();
+        let modes: Vec<&str> = report.deltas.iter().map(|d| d.mode.as_str()).collect();
+        assert_eq!(modes, ["native"]);
+    }
+
+    #[test]
+    fn committed_serve_run_records_aggregate_throughput() {
+        // The repo's own BENCH_perf.json carries a loadgen run labelled
+        // `serve` with all three serving modes, usable as a gate baseline
+        // (relative mode included — it has the `native` normalizer).
+        let text = include_str!("../../../BENCH_perf.json");
+        let runs = parse_perf_runs(text).unwrap();
+        let run = select_run(&runs, Some("serve")).expect("serve run is committed");
+        for mode in ["native", "serve-single", "serve-aggregate"] {
+            let perf = run
+                .mode(mode)
+                .unwrap_or_else(|| panic!("{mode} mode recorded"));
+            assert!(
+                perf.blocks_per_sec.is_finite() && perf.blocks_per_sec > 0.0,
+                "{mode}: unusable rate {}",
+                perf.blocks_per_sec
+            );
+        }
+        let report = compare_perf(
+            run,
+            run,
+            CompareOptions {
+                tolerance: DEFAULT_TOLERANCE,
+                relative: true,
+            },
+        )
+        .unwrap();
+        assert!(report.passed(), "{}", report.render());
+    }
 }

@@ -110,7 +110,7 @@ pub struct FinalState {
 }
 
 impl FinalState {
-    fn capture(vm: &Vm<'_>, result: Result<RunStats, VmError>) -> Self {
+    fn capture(vm: &Vm, result: Result<RunStats, VmError>) -> Self {
         FinalState {
             result,
             memory: vm.memory().to_vec(),

@@ -79,6 +79,11 @@ mod sweep;
 
 pub use boa::{BoaSelector, BOA_TRACE_CAP};
 pub use hotpath_ir::fasthash;
+/// The workspace's single deterministic PRNG (splitmix64-seeded
+/// xoshiro256++), re-exported so every consumer — fault plans, the
+/// differential fuzzer's program generator, the serving load generator —
+/// draws from one implementation instead of growing private copies.
+pub use hotpath_ir::rng;
 pub use metrics::{evaluate, PredictionOutcome};
 pub use net::NetPredictor;
 pub use path_profile::PathProfilePredictor;

@@ -73,6 +73,20 @@ impl NetPredictor {
         self.predictions
     }
 
+    /// Snapshot of the live per-head counters (non-zero only), for
+    /// persisting a warmed predictor across a restart.
+    pub fn export_counters(&self) -> Vec<(u32, u64)> {
+        self.heads.iter().filter(|&(_, count)| count > 0).collect()
+    }
+
+    /// Restores counters saved by [`NetPredictor::export_counters`],
+    /// overwriting any current count for the same head.
+    pub fn import_counters(&mut self, counters: &[(u32, u64)]) {
+        for &(head, count) in counters {
+            *self.heads.slot(head) = count;
+        }
+    }
+
     /// The execution count of a head's counter (testing and diagnostics).
     pub fn head_count(&self, head: hotpath_ir::BlockId) -> u64 {
         self.heads.get(head.as_u32())

@@ -64,5 +64,5 @@ pub use engine::{
     run_dynamo, run_native, BailoutPolicy, DynamoConfig, DynamoOutcome, Engine, Scheme,
 };
 pub use fragment::{Fragment, FragmentCache, FragmentError, FragmentId};
-pub use linked::{run_dynamo_linked, LinkedEngine, LinkedRun};
+pub use linked::{run_dynamo_linked, EngineWarmState, FragmentRecord, LinkedEngine, LinkedRun};
 pub use phases::{FlushPolicy, SpikeDetector};

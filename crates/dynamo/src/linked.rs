@@ -53,6 +53,37 @@ pub struct LinkedRun {
     pub stats: RunStats,
 }
 
+/// One installed fragment in exportable form: its block sequence and
+/// instruction count — everything needed to re-install it after a restart.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FragmentRecord {
+    /// Global block ids, head first.
+    pub blocks: Vec<u32>,
+    /// Straight-line instructions covered by the fragment.
+    pub insts: u32,
+}
+
+/// Engine-side warm state extracted for persistence: what a restarted
+/// engine needs to skip the τ-warm-up phase.
+///
+/// This is policy state, not execution state — restoring it (or not)
+/// never changes a run's `RunStats`, memory, or globals, only how soon
+/// traces execute again. Arrival statistics (fragment entry/completion
+/// counts, cycle charges, path totals) restart at zero: they describe the
+/// process that ran, not the knowledge worth carrying across a restart.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct EngineWarmState {
+    /// Installed fragments, in install order.
+    pub fragments: Vec<FragmentRecord>,
+    /// Exit-stub arrival counters: (guard-fail target, arrivals).
+    pub exit_counts: Vec<(u32, u64)>,
+    /// Targets whose stub counter already reached τ.
+    pub armed: Vec<u32>,
+    /// NET per-head counters (empty for the path-profile scheme, whose
+    /// table-based state is rebuilt by observation instead).
+    pub net_counters: Vec<(u32, u64)>,
+}
+
 /// The Dynamo engine for [`Vm::run_linked`]: observes interpreted blocks,
 /// receives batched trace excursions, and feeds install/flush commands
 /// back to the VM's trace backend.
@@ -147,6 +178,76 @@ impl LinkedEngine {
         self.watchdog
             .as_ref()
             .map_or(LadderMode::FullLinking, Watchdog::mode)
+    }
+
+    /// Completed interpreted paths observed so far.
+    pub fn paths_completed(&self) -> u64 {
+        self.paths_completed
+    }
+
+    /// The configuration the engine was built with.
+    pub fn config(&self) -> &DynamoConfig {
+        &self.config
+    }
+
+    /// Requests a full cache flush (engine mirror and, via the command
+    /// queue, the VM's trace cache). A serving front-end uses this to
+    /// evict a session's traces on demand; like any flush it affects
+    /// speed only, never results.
+    pub fn request_flush(&mut self) {
+        self.flush("external");
+    }
+
+    /// Extracts the warm state worth persisting across a restart:
+    /// installed fragments, exit-stub counters, armed targets, and NET
+    /// head counters.
+    pub fn export_warm_state(&self) -> EngineWarmState {
+        let net_counters = match &self.predictor {
+            Predictor::Net(p) => p.export_counters(),
+            Predictor::PathProfile(_) => Vec::new(),
+        };
+        EngineWarmState {
+            fragments: self
+                .mirror
+                .iter()
+                .map(|(_, f)| FragmentRecord {
+                    blocks: f.blocks().to_vec(),
+                    insts: f.insts(),
+                })
+                .collect(),
+            exit_counts: self
+                .exit_counts
+                .iter()
+                .filter(|&(_, count)| count > 0)
+                .collect(),
+            armed: self.armed.clone(),
+            net_counters,
+        }
+    }
+
+    /// Re-installs warm state exported by
+    /// [`LinkedEngine::export_warm_state`] into a fresh engine. Fragments
+    /// re-enter through the normal install path, so the VM's trace cache
+    /// is rebuilt by the queued [`TraceCommand::Install`]s the next time
+    /// it polls. Path extraction restarts at the next observed block (as
+    /// after an excursion), because the interrupted path's prefix was not
+    /// carried across the restart.
+    pub fn import_warm_state(&mut self, warm: &EngineWarmState) {
+        for fragment in &warm.fragments {
+            self.install(&fragment.blocks, fragment.insts.max(1));
+        }
+        for &(target, count) in &warm.exit_counts {
+            *self.exit_counts.slot(target) = count;
+        }
+        for &target in &warm.armed {
+            if !self.armed.contains(&target) {
+                self.armed.push(target);
+            }
+        }
+        if let Predictor::Net(p) = &mut self.predictor {
+            p.import_counters(&warm.net_counters);
+        }
+        self.resume_pending = true;
     }
 
     fn interp_only(&self) -> bool {

@@ -12,6 +12,7 @@
 //! | Prediction | [`core`] | NET and path-profile predictors, hit/noise/MOC metrics, τ-sweeps |
 //! | Workloads | [`workloads`] | the nine SPECint95-inspired benchmarks |
 //! | Dynamo | [`dynamo`] | fragment-cache optimizer simulation, Figure 5 harness |
+//! | Serving | [`serve`] | sharded session service, TCP protocol, cache snapshots |
 //! | Telemetry | [`telemetry`] | structured pipeline events, recorders, run summaries |
 //! | Faults | [`faultinject`] | deterministic seeded fault plans for robustness testing |
 //!
@@ -39,6 +40,7 @@ pub use hotpath_dynamo as dynamo;
 pub use hotpath_faultinject as faultinject;
 pub use hotpath_ir as ir;
 pub use hotpath_profiles as profiles;
+pub use hotpath_serve as serve;
 pub use hotpath_telemetry as telemetry;
 pub use hotpath_vm as vm;
 pub use hotpath_workloads as workloads;

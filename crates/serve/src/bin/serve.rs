@@ -1,0 +1,64 @@
+//! The `serve` binary: bind a TCP address and serve sessions until a
+//! client sends Shutdown.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--shards N] [--queue-depth N] [--max-sessions N]
+//! ```
+//!
+//! Prints `listening on HOST:PORT` on stdout once bound (port 0 resolves
+//! to the OS-assigned port), so scripts can scrape the address.
+
+use hotpath_serve::{serve, ServeConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: serve [--addr HOST:PORT] [--shards N] [--queue-depth N] [--max-sessions N]");
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(value) = value else {
+        eprintln!("{flag} needs a value");
+        usage();
+    };
+    match value.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("bad value for {flag}: {value}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut config = ServeConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = parse(&arg, args.next()),
+            "--shards" => config.shards = parse(&arg, args.next()),
+            "--queue-depth" => config.queue_depth = parse(&arg, args.next()),
+            "--max-sessions" => config.max_sessions_per_shard = parse(&arg, args.next()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    if config.shards == 0 || config.queue_depth == 0 {
+        eprintln!("--shards and --queue-depth must be positive");
+        usage();
+    }
+    let handle = match serve(&addr, config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.wait();
+}

@@ -1,0 +1,191 @@
+//! A blocking TCP client for the serving protocol: one connection, one
+//! request/response in flight at a time.
+//!
+//! [`Client::request`] is the raw call — it surfaces every response,
+//! including [`Response::Busy`]. The typed wrappers ([`Client::open`],
+//! [`Client::run`], …) retry `Busy` with a short sleep, because for a
+//! client the right reaction to backpressure is almost always "wait and
+//! resubmit"; use `request` directly to observe backpressure instead.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use hotpath_vm::{BlockEvent, RunStats};
+
+use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::session::{SessionConfig, SessionStatus};
+
+/// Pause between retries when the server answers `Busy`.
+const BUSY_BACKOFF: Duration = Duration::from_millis(1);
+
+/// A connected client.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+fn unexpected(what: &str, response: &Response) -> io::Error {
+    io::Error::other(format!("expected {what}, server sent {response:?}"))
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and reads the response. No retries: `Busy`
+    /// comes back as-is.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a malformed/truncated response stream.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        write_frame(&mut self.writer, &request.encode())?;
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        Response::decode(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Like [`Client::request`], but waits out `Busy` responses.
+    fn request_patient(&mut self, request: &Request) -> io::Result<Response> {
+        loop {
+            match self.request(request)? {
+                Response::Busy => std::thread::sleep(BUSY_BACKOFF),
+                response => return Ok(response),
+            }
+        }
+    }
+
+    /// Opens a session; returns `(session id, shard)`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a server-side error.
+    pub fn open(&mut self, config: SessionConfig) -> io::Result<(u64, u32)> {
+        match self.request_patient(&Request::Open { config })? {
+            Response::Opened { session, shard } => Ok((session, shard)),
+            response => Err(unexpected("Opened", &response)),
+        }
+    }
+
+    /// Advances an exec session by at most `fuel` blocks; returns
+    /// `(done, stats so far)`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a server-side error (e.g. an exhausted budget).
+    pub fn run(&mut self, session: u64, fuel: Option<u64>) -> io::Result<(bool, RunStats)> {
+        match self.request_patient(&Request::Run { session, fuel })? {
+            Response::Ran { done, stats } => Ok((done, stats)),
+            response => Err(unexpected("Ran", &response)),
+        }
+    }
+
+    /// Streams an event batch into an ingest session; returns lifetime
+    /// totals `(events, paths, fragments)`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a server-side error.
+    pub fn ingest(&mut self, session: u64, events: &[BlockEvent]) -> io::Result<(u64, u64, u64)> {
+        let request = Request::Ingest {
+            session,
+            events: events.to_vec(),
+        };
+        match self.request_patient(&request)? {
+            Response::Ingested {
+                events,
+                paths,
+                fragments,
+            } => Ok((events, paths, fragments)),
+            response => Err(unexpected("Ingested", &response)),
+        }
+    }
+
+    /// Queries a session's status.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a server-side error.
+    pub fn query(&mut self, session: u64) -> io::Result<SessionStatus> {
+        match self.request_patient(&Request::Query { session })? {
+            Response::Status(status) => Ok(status),
+            response => Err(unexpected("Status", &response)),
+        }
+    }
+
+    /// Captures a session into a sealed snapshot blob.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a server-side error.
+    pub fn snapshot(&mut self, session: u64) -> io::Result<Vec<u8>> {
+        match self.request_patient(&Request::Snapshot { session })? {
+            Response::SnapshotBlob { blob } => Ok(blob),
+            response => Err(unexpected("SnapshotBlob", &response)),
+        }
+    }
+
+    /// Opens a new session restored from a snapshot blob; returns
+    /// `(session id, shard)`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a server-side error (bad checksum, version, …).
+    pub fn restore(&mut self, blob: Vec<u8>) -> io::Result<(u64, u32)> {
+        match self.request_patient(&Request::Restore { blob })? {
+            Response::Opened { session, shard } => Ok((session, shard)),
+            response => Err(unexpected("Opened", &response)),
+        }
+    }
+
+    /// Flushes a session's fragment cache; returns the status after.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a server-side error.
+    pub fn flush(&mut self, session: u64) -> io::Result<SessionStatus> {
+        match self.request_patient(&Request::Flush { session })? {
+            Response::Status(status) => Ok(status),
+            response => Err(unexpected("Status", &response)),
+        }
+    }
+
+    /// Closes a session; returns the blocks it executed.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a server-side error.
+    pub fn close(&mut self, session: u64) -> io::Result<u64> {
+        match self.request_patient(&Request::Close { session })? {
+            Response::Closed { blocks } => Ok(blocks),
+            response => Err(unexpected("Closed", &response)),
+        }
+    }
+
+    /// Asks the server to shut down; returns once acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or an unexpected response.
+    pub fn shutdown_server(&mut self) -> io::Result<()> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            response => Err(unexpected("ShuttingDown", &response)),
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! `hotpath-serve`: a sharded, session-multiplexed serving layer for the
+//! hot-path prediction engines.
+//!
+//! The paper's pipeline — profile, predict (NET), compile, link — runs
+//! per process. This crate turns it into a service: a
+//! [`SessionManager`] owns a pool of worker shards, each a thread with a
+//! private table of [`Session`]s, and multiplexes many concurrent
+//! sessions over them. Two front-ends share one request enum:
+//!
+//! * **in-process** — call [`SessionManager::request`] directly;
+//! * **TCP** — [`serve`] binds a listener and speaks the same
+//!   [`Request`]/[`Response`] pairs as length-prefixed binary frames
+//!   ([`protocol`]); [`Client`] is the matching blocking client.
+//!
+//! Admission control is explicit rather than elastic: bounded shard
+//! queues and session tables answer [`Response::Busy`] instead of
+//! buffering without limit, and per-session fuel budgets
+//! ([`SessionConfig::fuel_budget`]) bound how much execution a session
+//! may consume.
+//!
+//! Sessions can be captured into persistent snapshots
+//! ([`SessionSnapshot`]) — a versioned, checksummed binary image of the
+//! engine's warm state (fragments, exit counters, NET counters) plus,
+//! for workload-executing sessions, the exact machine state. Restoring
+//! one resumes with a warm fragment cache, and the run's final
+//! statistics, memory, and globals are bit-identical to a run that was
+//! never interrupted: the same invariant the trace backend already
+//! guarantees for flushes and slicing, extended across process
+//! boundaries.
+
+#![warn(missing_docs)]
+
+mod client;
+mod manager;
+pub mod protocol;
+mod server;
+mod session;
+mod shard;
+pub mod snapshot;
+mod wire;
+
+pub use client::Client;
+pub use manager::{ServeConfig, SessionManager};
+pub use protocol::{read_frame, write_frame, ProtocolError, Request, Response, MAX_FRAME_BYTES};
+pub use server::{serve, ServerHandle};
+pub use session::{Session, SessionConfig, SessionStatus};
+pub use snapshot::{SessionSnapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

@@ -1,0 +1,253 @@
+//! The [`SessionManager`]: routes requests to a sharded pool of worker
+//! threads and is itself the in-process serving API.
+//!
+//! Sessions are assigned round-robin-by-id (`shard = id % shards`), so
+//! routing is a pure function of the session id and every request for a
+//! session lands on the thread that owns it. Admission control is
+//! layered:
+//!
+//! * **queue bound** — each shard's queue holds at most
+//!   [`ServeConfig::queue_depth`] jobs; a full queue returns
+//!   [`Response::Busy`] immediately (`try_send`, never blocking the
+//!   caller);
+//! * **session table bound** — a shard at
+//!   [`ServeConfig::max_sessions_per_shard`] refuses new opens with
+//!   `Busy`;
+//! * **fuel budgets** — per-session block budgets fail `run` requests
+//!   once exhausted (see [`SessionConfig::fuel_budget`]).
+//!
+//! [`SessionConfig::fuel_budget`]: crate::SessionConfig::fuel_budget
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, TrySendError};
+use std::sync::Mutex;
+
+use hotpath_telemetry as telemetry;
+
+use crate::protocol::{Request, Response};
+use crate::session::SessionConfig;
+use crate::shard::{spawn, Job, ShardRequest};
+use crate::snapshot::SessionSnapshot;
+
+/// Pool shape and admission-control bounds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ServeConfig {
+    /// Worker threads; sessions are partitioned across them by id.
+    pub shards: u32,
+    /// Jobs a shard queues before refusing with `Busy`.
+    pub queue_depth: usize,
+    /// Live sessions a shard holds before refusing opens with `Busy`.
+    pub max_sessions_per_shard: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 4,
+            queue_depth: 32,
+            max_sessions_per_shard: 64,
+        }
+    }
+}
+
+/// The sharded session pool. Cheap to share (`Arc`) across connection
+/// threads; every method takes `&self`.
+#[derive(Debug)]
+pub struct SessionManager {
+    config: ServeConfig,
+    shards: Vec<std::sync::mpsc::SyncSender<Job>>,
+    next_id: AtomicU64,
+    down: AtomicBool,
+    /// Join handles drained at shutdown (kept apart from the senders so
+    /// `request` never takes a lock).
+    joins: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl SessionManager {
+    /// Spawns the shard pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards` is zero or a queue depth of zero is
+    /// requested (a rendezvous queue would make every request `Busy`).
+    pub fn new(config: ServeConfig) -> SessionManager {
+        assert!(config.shards > 0, "need at least one shard");
+        assert!(config.queue_depth > 0, "queue depth must be positive");
+        let mut shards = Vec::with_capacity(config.shards as usize);
+        let mut joins = Vec::with_capacity(config.shards as usize);
+        for shard_id in 0..config.shards {
+            let (sender, thread) =
+                spawn(shard_id, config.queue_depth, config.max_sessions_per_shard);
+            shards.push(sender);
+            joins.push(thread);
+        }
+        SessionManager {
+            config,
+            shards,
+            next_id: AtomicU64::new(1),
+            down: AtomicBool::new(false),
+            joins: Mutex::new(joins),
+        }
+    }
+
+    /// Number of shards in the pool.
+    pub fn shards(&self) -> u32 {
+        self.config.shards
+    }
+
+    /// The pool configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Serves one request — the in-process API and the TCP front-end's
+    /// single entry point. Never blocks on a full queue: backpressure
+    /// surfaces as [`Response::Busy`].
+    pub fn request(&self, request: Request) -> Response {
+        if self.down.load(Ordering::Acquire) {
+            return Response::ShuttingDown;
+        }
+        match request {
+            Request::Open { config } => self.open(config),
+            Request::Restore { blob } => match SessionSnapshot::decode(&blob) {
+                Ok(snapshot) => {
+                    let bytes = blob.len() as u64;
+                    let fragments = snapshot.warm.fragments.len() as u64;
+                    let label = snapshot.config.label();
+                    let response = self.open_routed(|id| ShardRequest::Restore {
+                        id,
+                        snapshot: Box::new(snapshot.clone()),
+                    });
+                    if let Response::Opened { session, shard } = response {
+                        telemetry::emit!(telemetry::Event::SessionOpened {
+                            session,
+                            shard,
+                            workload: label,
+                        });
+                        telemetry::emit!(telemetry::Event::SnapshotRestored {
+                            session,
+                            bytes,
+                            fragments,
+                        });
+                    }
+                    response
+                }
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            },
+            Request::Run { session, fuel } => {
+                self.routed(session, ShardRequest::Run { id: session, fuel })
+            }
+            Request::Ingest { session, events } => self.routed(
+                session,
+                ShardRequest::Ingest {
+                    id: session,
+                    events,
+                },
+            ),
+            Request::Query { session } => self.routed(session, ShardRequest::Query { id: session }),
+            Request::Snapshot { session } => {
+                let response = self.routed(session, ShardRequest::Snapshot { id: session });
+                if let Response::SnapshotBlob { blob } = &response {
+                    if let Ok(snapshot) = SessionSnapshot::decode(blob) {
+                        telemetry::emit!(telemetry::Event::SnapshotSaved {
+                            session,
+                            bytes: blob.len() as u64,
+                            fragments: snapshot.warm.fragments.len() as u64,
+                        });
+                    }
+                }
+                response
+            }
+            Request::Flush { session } => self.routed(session, ShardRequest::Flush { id: session }),
+            Request::Close { session } => {
+                let response = self.routed(session, ShardRequest::Close { id: session });
+                if let Response::Closed { blocks } = response {
+                    telemetry::emit!(telemetry::Event::SessionClosed {
+                        session,
+                        shard: self.shard_of(session),
+                        blocks,
+                    });
+                }
+                response
+            }
+            // Process lifecycle belongs to the host (TCP server or the
+            // owner of this manager), not to a shard.
+            Request::Shutdown => Response::ShuttingDown,
+        }
+    }
+
+    /// Opens a session with a fresh id.
+    fn open(&self, config: SessionConfig) -> Response {
+        let label = config.label();
+        let response = self.open_routed(|id| ShardRequest::Open { id, config });
+        if let Response::Opened { session, shard } = response {
+            telemetry::emit!(telemetry::Event::SessionOpened {
+                session,
+                shard,
+                workload: label,
+            });
+        }
+        response
+    }
+
+    fn open_routed(&self, make: impl FnOnce(u64) -> ShardRequest) -> Response {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.routed(id, make(id))
+    }
+
+    fn shard_of(&self, session: u64) -> u32 {
+        (session % u64::from(self.config.shards)) as u32
+    }
+
+    /// Sends a routed request to its shard and waits for the reply.
+    fn routed(&self, session: u64, request: ShardRequest) -> Response {
+        let shard = self.shard_of(session);
+        let (reply_tx, reply_rx) = sync_channel(1);
+        let job = Job::Request {
+            request,
+            reply: reply_tx,
+        };
+        match self.shards[shard as usize].try_send(job) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                telemetry::emit!(telemetry::Event::ShardBusy { shard });
+                return Response::Busy;
+            }
+            Err(TrySendError::Disconnected(_)) => return Response::ShuttingDown,
+        }
+        match reply_rx.recv() {
+            Ok(response) => {
+                if matches!(response, Response::Busy) {
+                    telemetry::emit!(telemetry::Event::ShardBusy { shard });
+                }
+                response
+            }
+            Err(_) => Response::ShuttingDown,
+        }
+    }
+
+    /// Stops every shard and joins its thread. Idempotent; requests
+    /// arriving afterwards get [`Response::ShuttingDown`].
+    pub fn shutdown(&self) {
+        if self.down.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for sender in &self.shards {
+            // Blocking send: shutdown must not be droppable by a full
+            // queue; the shard drains ahead of it and then exits.
+            let _ = sender.send(Job::Shutdown);
+        }
+        let joins = std::mem::take(&mut *self.joins.lock().expect("join set poisoned"));
+        for handle in joins {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SessionManager {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

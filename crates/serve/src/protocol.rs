@@ -1,0 +1,663 @@
+//! The serving protocol: length-prefixed frames carrying a fixed binary
+//! encoding of requests and responses.
+//!
+//! # Frame layout
+//!
+//! Every message — both directions — is one frame:
+//!
+//! ```text
+//! length:  u32 LE    payload byte count (opcode included)
+//! opcode:  u8        message discriminator (see below)
+//! body:    ...       opcode-specific fields, little-endian
+//! ```
+//!
+//! Requests use opcodes `0x01..=0x09`, responses `0x80..=0x88`; the high
+//! bit tells the two apart on the wire. Variable-length fields (strings,
+//! event batches, snapshot blobs) are `u32`-length-prefixed; batched
+//! control-flow events use the VM's 14-byte
+//! [`encode_events`](hotpath_vm::encode_events) wire form. Frames are
+//! capped at [`MAX_FRAME_BYTES`] so a corrupt length prefix cannot make
+//! the server allocate unboundedly.
+//!
+//! The same [`Request`]/[`Response`] enums are the in-process API: the
+//! TCP front-end is a byte-faithful transport for them, nothing more.
+
+use std::io::{self, Read, Write};
+
+use hotpath_vm::{decode_events, encode_events, BlockEvent, RunStats};
+use hotpath_workloads::Scale;
+
+use crate::session::{SessionConfig, SessionStatus};
+use crate::wire::{put_bytes, put_stats, put_str, put_u32, put_u64, ReadError, Reader};
+
+/// Largest accepted frame payload (64 MiB) — far above any legitimate
+/// message, small enough to bound a malicious length prefix.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// A client-to-server message.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Request {
+    /// Open a session (opcode `0x01`).
+    Open {
+        /// Session configuration.
+        config: SessionConfig,
+    },
+    /// Advance an exec session by at most `fuel` blocks (`0x02`);
+    /// `fuel: None` runs to completion.
+    Run {
+        /// Target session.
+        session: u64,
+        /// Block budget for this slice; `None` is unbounded.
+        fuel: Option<u64>,
+    },
+    /// Stream a batch of control-flow events into an ingest session
+    /// (`0x03`).
+    Ingest {
+        /// Target session.
+        session: u64,
+        /// The batched events.
+        events: Vec<BlockEvent>,
+    },
+    /// Query a session's status (`0x04`).
+    Query {
+        /// Target session.
+        session: u64,
+    },
+    /// Capture a session into a snapshot blob (`0x05`).
+    Snapshot {
+        /// Target session.
+        session: u64,
+    },
+    /// Open a new session restored from a snapshot blob (`0x06`).
+    Restore {
+        /// A blob produced by a prior `Snapshot`.
+        blob: Vec<u8>,
+    },
+    /// Close a session, releasing its shard slot (`0x07`).
+    Close {
+        /// Target session.
+        session: u64,
+    },
+    /// Stop the server after replying (`0x08`). TCP only; the in-process
+    /// API shuts down by dropping the manager.
+    Shutdown,
+    /// Flush a session's fragment cache (`0x09`).
+    Flush {
+        /// Target session.
+        session: u64,
+    },
+}
+
+/// A server-to-client message.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Response {
+    /// Session opened (`0x80`).
+    Opened {
+        /// Assigned session id.
+        session: u64,
+        /// Shard the session landed on.
+        shard: u32,
+    },
+    /// A run slice finished (`0x81`).
+    Ran {
+        /// True once the program halted.
+        done: bool,
+        /// Statistics so far (final when `done`).
+        stats: RunStats,
+    },
+    /// An event batch was ingested (`0x82`); totals after the batch.
+    Ingested {
+        /// Events ingested over the session's lifetime.
+        events: u64,
+        /// Completed profiled paths.
+        paths: u64,
+        /// Live fragments in the engine cache.
+        fragments: u64,
+    },
+    /// Session status (`0x83`).
+    Status(SessionStatus),
+    /// A snapshot blob (`0x84`).
+    SnapshotBlob {
+        /// The sealed snapshot bytes.
+        blob: Vec<u8>,
+    },
+    /// Session closed (`0x85`).
+    Closed {
+        /// Blocks the session executed over its lifetime.
+        blocks: u64,
+    },
+    /// The shard's queue or session table is full; retry later (`0x86`).
+    Busy,
+    /// The request failed (`0x87`).
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+    /// The server acknowledged a shutdown request (`0x88`).
+    ShuttingDown,
+}
+
+/// Why a payload failed to decode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProtocolError {
+    /// The payload was empty or the opcode is not assigned.
+    BadOpcode(u8),
+    /// A field was truncated or failed validation; names the field.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            ProtocolError::Malformed(field) => write!(f, "malformed field `{field}`"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<ReadError> for ProtocolError {
+    fn from(e: ReadError) -> Self {
+        ProtocolError::Malformed(e.0)
+    }
+}
+
+/// `fuel: None` on the wire.
+const NO_FUEL: u64 = u64::MAX;
+
+fn put_config(out: &mut Vec<u8>, config: &SessionConfig) {
+    out.push(config.workload.map_or(0xFF, |w| {
+        hotpath_workloads::ALL_WORKLOADS
+            .iter()
+            .position(|&x| x == w)
+            .unwrap() as u8
+    }));
+    out.push(match config.scale {
+        Scale::Smoke => 0,
+        Scale::Small => 1,
+        Scale::Full => 2,
+    });
+    out.push(match config.scheme {
+        hotpath_dynamo::Scheme::Net => 0,
+        hotpath_dynamo::Scheme::PathProfile => 1,
+    });
+    put_u64(out, config.delay);
+    put_u64(out, config.fuel_budget.unwrap_or(NO_FUEL));
+}
+
+fn read_config(r: &mut Reader<'_>) -> Result<SessionConfig, ProtocolError> {
+    let workload = match r.u8("workload")? {
+        0xFF => None,
+        idx => Some(
+            hotpath_workloads::ALL_WORKLOADS
+                .get(idx as usize)
+                .copied()
+                .ok_or(ProtocolError::Malformed("workload"))?,
+        ),
+    };
+    let scale = match r.u8("scale")? {
+        0 => Scale::Smoke,
+        1 => Scale::Small,
+        2 => Scale::Full,
+        _ => return Err(ProtocolError::Malformed("scale")),
+    };
+    let scheme = match r.u8("scheme")? {
+        0 => hotpath_dynamo::Scheme::Net,
+        1 => hotpath_dynamo::Scheme::PathProfile,
+        _ => return Err(ProtocolError::Malformed("scheme")),
+    };
+    let delay = r.u64("delay")?;
+    if delay == 0 {
+        return Err(ProtocolError::Malformed("delay"));
+    }
+    let fuel_budget = match r.u64("fuel_budget")? {
+        NO_FUEL => None,
+        budget => Some(budget),
+    };
+    Ok(SessionConfig {
+        workload,
+        scale,
+        scheme,
+        delay,
+        fuel_budget,
+    })
+}
+
+impl Request {
+    /// Encodes the request as a frame payload (opcode + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Open { config } => {
+                out.push(0x01);
+                put_config(&mut out, config);
+            }
+            Request::Run { session, fuel } => {
+                out.push(0x02);
+                put_u64(&mut out, *session);
+                put_u64(&mut out, fuel.unwrap_or(NO_FUEL));
+            }
+            Request::Ingest { session, events } => {
+                out.push(0x03);
+                put_u64(&mut out, *session);
+                let mut wire = Vec::new();
+                encode_events(events, &mut wire);
+                put_bytes(&mut out, &wire);
+            }
+            Request::Query { session } => {
+                out.push(0x04);
+                put_u64(&mut out, *session);
+            }
+            Request::Snapshot { session } => {
+                out.push(0x05);
+                put_u64(&mut out, *session);
+            }
+            Request::Restore { blob } => {
+                out.push(0x06);
+                put_bytes(&mut out, blob);
+            }
+            Request::Close { session } => {
+                out.push(0x07);
+                put_u64(&mut out, *session);
+            }
+            Request::Shutdown => out.push(0x08),
+            Request::Flush { session } => {
+                out.push(0x09);
+                put_u64(&mut out, *session);
+            }
+        }
+        out
+    }
+
+    /// Decodes a frame payload into a request.
+    ///
+    /// # Errors
+    ///
+    /// See [`ProtocolError`]; trailing bytes are rejected.
+    pub fn decode(payload: &[u8]) -> Result<Request, ProtocolError> {
+        let (&opcode, body) = payload.split_first().ok_or(ProtocolError::BadOpcode(0))?;
+        let mut r = Reader::new(body);
+        let request = match opcode {
+            0x01 => Request::Open {
+                config: read_config(&mut r)?,
+            },
+            0x02 => Request::Run {
+                session: r.u64("session")?,
+                fuel: match r.u64("fuel")? {
+                    NO_FUEL => None,
+                    f => Some(f),
+                },
+            },
+            0x03 => {
+                let session = r.u64("session")?;
+                let wire = r.bytes("events")?;
+                let events = decode_events(wire).map_err(|_| ProtocolError::Malformed("events"))?;
+                Request::Ingest { session, events }
+            }
+            0x04 => Request::Query {
+                session: r.u64("session")?,
+            },
+            0x05 => Request::Snapshot {
+                session: r.u64("session")?,
+            },
+            0x06 => Request::Restore {
+                blob: r.bytes("blob")?.to_vec(),
+            },
+            0x07 => Request::Close {
+                session: r.u64("session")?,
+            },
+            0x08 => Request::Shutdown,
+            0x09 => Request::Flush {
+                session: r.u64("session")?,
+            },
+            op => return Err(ProtocolError::BadOpcode(op)),
+        };
+        if r.remaining() != 0 {
+            return Err(ProtocolError::Malformed("trailing bytes"));
+        }
+        Ok(request)
+    }
+}
+
+impl Response {
+    /// Encodes the response as a frame payload (opcode + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Opened { session, shard } => {
+                out.push(0x80);
+                put_u64(&mut out, *session);
+                put_u32(&mut out, *shard);
+            }
+            Response::Ran { done, stats } => {
+                out.push(0x81);
+                out.push(u8::from(*done));
+                put_stats(&mut out, stats);
+            }
+            Response::Ingested {
+                events,
+                paths,
+                fragments,
+            } => {
+                out.push(0x82);
+                put_u64(&mut out, *events);
+                put_u64(&mut out, *paths);
+                put_u64(&mut out, *fragments);
+            }
+            Response::Status(status) => {
+                out.push(0x83);
+                put_u64(&mut out, status.session);
+                put_u32(&mut out, status.shard);
+                put_str(&mut out, &status.workload);
+                out.push(u8::from(status.done));
+                put_stats(&mut out, &status.stats);
+                put_u64(&mut out, status.fragments);
+                put_u64(&mut out, status.installs);
+                put_u64(&mut out, status.flushes);
+                put_u64(&mut out, status.paths);
+                put_str(&mut out, &status.mode);
+            }
+            Response::SnapshotBlob { blob } => {
+                out.push(0x84);
+                put_bytes(&mut out, blob);
+            }
+            Response::Closed { blocks } => {
+                out.push(0x85);
+                put_u64(&mut out, *blocks);
+            }
+            Response::Busy => out.push(0x86),
+            Response::Error { message } => {
+                out.push(0x87);
+                put_str(&mut out, message);
+            }
+            Response::ShuttingDown => out.push(0x88),
+        }
+        out
+    }
+
+    /// Decodes a frame payload into a response.
+    ///
+    /// # Errors
+    ///
+    /// See [`ProtocolError`]; trailing bytes are rejected.
+    pub fn decode(payload: &[u8]) -> Result<Response, ProtocolError> {
+        let (&opcode, body) = payload.split_first().ok_or(ProtocolError::BadOpcode(0))?;
+        let mut r = Reader::new(body);
+        let flag = |r: &mut Reader<'_>, field| match r.u8(field)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(ProtocolError::Malformed(field)),
+        };
+        let response = match opcode {
+            0x80 => Response::Opened {
+                session: r.u64("session")?,
+                shard: r.u32("shard")?,
+            },
+            0x81 => Response::Ran {
+                done: flag(&mut r, "done")?,
+                stats: r.stats("stats")?,
+            },
+            0x82 => Response::Ingested {
+                events: r.u64("events")?,
+                paths: r.u64("paths")?,
+                fragments: r.u64("fragments")?,
+            },
+            0x83 => Response::Status(SessionStatus {
+                session: r.u64("session")?,
+                shard: r.u32("shard")?,
+                workload: r.str("workload")?.to_string(),
+                done: flag(&mut r, "done")?,
+                stats: r.stats("stats")?,
+                fragments: r.u64("fragments")?,
+                installs: r.u64("installs")?,
+                flushes: r.u64("flushes")?,
+                paths: r.u64("paths")?,
+                mode: r.str("mode")?.to_string(),
+            }),
+            0x84 => Response::SnapshotBlob {
+                blob: r.bytes("blob")?.to_vec(),
+            },
+            0x85 => Response::Closed {
+                blocks: r.u64("blocks")?,
+            },
+            0x86 => Response::Busy,
+            0x87 => Response::Error {
+                message: r.str("message")?.to_string(),
+            },
+            0x88 => Response::ShuttingDown,
+            op => return Err(ProtocolError::BadOpcode(op)),
+        };
+        if r.remaining() != 0 {
+            return Err(ProtocolError::Malformed("trailing bytes"));
+        }
+        Ok(response)
+    }
+}
+
+/// Writes one frame (length prefix + payload) to `w`.
+///
+/// # Errors
+///
+/// Propagates I/O failures; rejects payloads over [`MAX_FRAME_BYTES`].
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+                payload.len()
+            ),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame from `r`. Returns `None` on a clean end-of-stream
+/// (the peer closed between frames).
+///
+/// # Errors
+///
+/// Propagates I/O failures; rejects length prefixes over
+/// [`MAX_FRAME_BYTES`] and streams that end mid-frame.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame length prefix",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotpath_ir::BlockId;
+    use hotpath_vm::TransferKind;
+    use hotpath_workloads::WorkloadName;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Open {
+                config: SessionConfig::exec(WorkloadName::Compress, Scale::Smoke),
+            },
+            Request::Open {
+                config: SessionConfig {
+                    fuel_budget: Some(123_456),
+                    ..SessionConfig::ingest()
+                },
+            },
+            Request::Run {
+                session: 7,
+                fuel: Some(10_000),
+            },
+            Request::Run {
+                session: 7,
+                fuel: None,
+            },
+            Request::Ingest {
+                session: 9,
+                events: vec![
+                    BlockEvent {
+                        from: None,
+                        block: BlockId::new(0),
+                        kind: TransferKind::Start,
+                        backward: false,
+                        block_size: 3,
+                    },
+                    BlockEvent {
+                        from: Some(BlockId::new(0)),
+                        block: BlockId::new(1),
+                        kind: TransferKind::BranchTaken,
+                        backward: true,
+                        block_size: 5,
+                    },
+                ],
+            },
+            Request::Query { session: 1 },
+            Request::Snapshot { session: 2 },
+            Request::Restore {
+                blob: vec![1, 2, 3, 4],
+            },
+            Request::Close { session: 3 },
+            Request::Shutdown,
+            Request::Flush { session: 4 },
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Opened {
+                session: 11,
+                shard: 2,
+            },
+            Response::Ran {
+                done: true,
+                stats: RunStats {
+                    blocks_executed: 100,
+                    insts_executed: 400,
+                    cond_branches: 50,
+                    indirect_branches: 2,
+                    calls: 7,
+                    backward_transfers: 49,
+                    max_call_depth: 3,
+                    halted: true,
+                },
+            },
+            Response::Ingested {
+                events: 280,
+                paths: 40,
+                fragments: 3,
+            },
+            Response::Status(SessionStatus {
+                session: 11,
+                shard: 2,
+                workload: "compress".to_string(),
+                done: false,
+                stats: RunStats::default(),
+                fragments: 4,
+                installs: 6,
+                flushes: 1,
+                paths: 123,
+                mode: "full_linking".to_string(),
+            }),
+            Response::SnapshotBlob {
+                blob: vec![0xAB; 37],
+            },
+            Response::Closed { blocks: 999 },
+            Response::Busy,
+            Response::Error {
+                message: "no such session".to_string(),
+            },
+            Response::ShuttingDown,
+        ]
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        for request in sample_requests() {
+            let payload = request.encode();
+            assert_eq!(
+                Request::decode(&payload),
+                Ok(request.clone()),
+                "{request:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        for response in sample_responses() {
+            let payload = response.encode();
+            assert_eq!(
+                Response::decode(&payload),
+                Ok(response.clone()),
+                "{response:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_opcodes_and_trailing_bytes() {
+        assert_eq!(Request::decode(&[]), Err(ProtocolError::BadOpcode(0)));
+        assert_eq!(
+            Request::decode(&[0x7E]),
+            Err(ProtocolError::BadOpcode(0x7E))
+        );
+        assert_eq!(
+            Response::decode(&[0x01]),
+            Err(ProtocolError::BadOpcode(0x01))
+        );
+        let mut payload = Request::Shutdown.encode();
+        payload.push(0);
+        assert_eq!(
+            Request::decode(&payload),
+            Err(ProtocolError::Malformed("trailing bytes"))
+        );
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_byte_stream() {
+        let mut stream = Vec::new();
+        for request in sample_requests() {
+            write_frame(&mut stream, &request.encode()).unwrap();
+        }
+        let mut cursor = io::Cursor::new(stream);
+        for expected in sample_requests() {
+            let payload = read_frame(&mut cursor).unwrap().expect("frame present");
+            assert_eq!(Request::decode(&payload), Ok(expected));
+        }
+        assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn read_frame_rejects_oversized_and_truncated() {
+        let huge = ((MAX_FRAME_BYTES + 1) as u32).to_le_bytes();
+        let err = read_frame(&mut io::Cursor::new(huge.to_vec())).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // A frame whose payload never arrives is an error, not a None.
+        let mut truncated = 10u32.to_le_bytes().to_vec();
+        truncated.extend_from_slice(&[1, 2, 3]);
+        assert!(read_frame(&mut io::Cursor::new(truncated)).is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! The TCP front-end: an accept loop plus one thread per connection,
+//! each speaking the framed protocol against a shared
+//! [`SessionManager`].
+//!
+//! The transport adds nothing to the in-process API: every frame decodes
+//! to a [`Request`], goes through [`SessionManager::request`], and the
+//! [`Response`] is framed straight back. The only request the transport
+//! itself interprets is [`Request::Shutdown`], which stops the accept
+//! loop, joins every connection, and tears down the shard pool.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::manager::{ServeConfig, SessionManager};
+use crate::protocol::{read_frame, write_frame, Request, Response};
+
+/// A running server: the bound address, the shared manager, and the
+/// accept thread. Dropping the handle stops the server and joins every
+/// thread it spawned.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    manager: Arc<SessionManager>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+/// Binds `addr` (use port 0 for an OS-assigned port) and starts serving
+/// a fresh session pool shaped by `config`.
+///
+/// # Errors
+///
+/// Propagates bind failures.
+pub fn serve<A: ToSocketAddrs>(addr: A, config: ServeConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let manager = Arc::new(SessionManager::new(config));
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept = {
+        let manager = Arc::clone(&manager);
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("hotpath-accept".to_string())
+            .spawn(move || accept_loop(&listener, addr, &manager, &stop))
+            .expect("spawn accept thread")
+    };
+    Ok(ServerHandle {
+        addr,
+        manager,
+        stop,
+        accept: Some(accept),
+    })
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared session pool, for in-process use alongside TCP clients.
+    pub fn manager(&self) -> &SessionManager {
+        &self.manager
+    }
+
+    /// Blocks until the server stops (a client sent
+    /// [`Request::Shutdown`], or [`ServerHandle::stop`] was called from
+    /// another thread via a clone of the handle's internals).
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+
+    /// Stops the server: no new connections, existing connections join,
+    /// the shard pool shuts down. Idempotent.
+    pub fn stop(&mut self) {
+        request_stop(&self.stop, self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Flags the accept loop to exit and wakes it with a throwaway
+/// connection (accept has no timeout; a self-connect is the portable way
+/// to unblock it).
+fn request_stop(stop: &AtomicBool, addr: SocketAddr) {
+    if stop.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    let _ = TcpStream::connect(addr);
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    addr: SocketAddr,
+    manager: &Arc<SessionManager>,
+    stop: &Arc<AtomicBool>,
+) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let manager = Arc::clone(manager);
+        let stop = Arc::clone(stop);
+        let handle = std::thread::Builder::new()
+            .name("hotpath-conn".to_string())
+            .spawn(move || {
+                let _ = connection(stream, addr, &manager, &stop);
+            })
+            .expect("spawn connection thread");
+        connections.push(handle);
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+    manager.shutdown();
+}
+
+/// Serves one connection until the peer disconnects or asks the whole
+/// server to shut down.
+fn connection(
+    stream: TcpStream,
+    addr: SocketAddr,
+    manager: &SessionManager,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    let mut reader = io::BufReader::new(stream.try_clone()?);
+    let mut writer = io::BufWriter::new(stream);
+    while let Some(payload) = read_frame(&mut reader)? {
+        let response = match Request::decode(&payload) {
+            Ok(Request::Shutdown) => {
+                write_frame(&mut writer, &Response::ShuttingDown.encode())?;
+                request_stop(stop, addr);
+                return Ok(());
+            }
+            Ok(request) => manager.request(request),
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        };
+        write_frame(&mut writer, &response.encode())?;
+    }
+    Ok(())
+}

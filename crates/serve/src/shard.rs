@@ -1,0 +1,169 @@
+//! One shard: a worker thread owning a private session table, fed
+//! through a bounded queue.
+//!
+//! Sessions are partitioned across shards by id, so a session's entire
+//! lifetime runs on one thread — no locks around engine or VM state, and
+//! isolation between sessions is structural (each [`Session`] owns its
+//! state outright). Backpressure is the queue bound itself: the manager
+//! uses `try_send`, and a full queue surfaces as an explicit
+//! [`Response::Busy`] instead of unbounded buffering.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+use hotpath_vm::BlockEvent;
+
+use crate::protocol::Response;
+use crate::session::{Session, SessionConfig};
+use crate::snapshot::SessionSnapshot;
+
+/// A request already routed to a shard (session ids resolved by the
+/// manager).
+#[derive(Debug)]
+pub(crate) enum ShardRequest {
+    Open {
+        id: u64,
+        config: SessionConfig,
+    },
+    Restore {
+        id: u64,
+        snapshot: Box<SessionSnapshot>,
+    },
+    Run {
+        id: u64,
+        fuel: Option<u64>,
+    },
+    Ingest {
+        id: u64,
+        events: Vec<BlockEvent>,
+    },
+    Query {
+        id: u64,
+    },
+    Snapshot {
+        id: u64,
+    },
+    Flush {
+        id: u64,
+    },
+    Close {
+        id: u64,
+    },
+}
+
+/// One queued unit of work: a routed request plus the reply slot.
+#[derive(Debug)]
+pub(crate) enum Job {
+    Request {
+        request: ShardRequest,
+        reply: SyncSender<Response>,
+    },
+    /// Drain and exit; sent once by the manager at shutdown.
+    Shutdown,
+}
+
+/// Spawns a shard worker; returns its queue sender and join handle.
+pub(crate) fn spawn(
+    shard_id: u32,
+    queue_depth: usize,
+    max_sessions: usize,
+) -> (SyncSender<Job>, JoinHandle<()>) {
+    let (sender, receiver) = sync_channel(queue_depth);
+    let thread = std::thread::Builder::new()
+        .name(format!("hotpath-shard-{shard_id}"))
+        .spawn(move || worker(shard_id, &receiver, max_sessions))
+        .expect("spawn shard thread");
+    (sender, thread)
+}
+
+fn worker(shard_id: u32, receiver: &Receiver<Job>, max_sessions: usize) {
+    let mut sessions: HashMap<u64, Session> = HashMap::new();
+    while let Ok(job) = receiver.recv() {
+        let Job::Request { request, reply } = job else {
+            break;
+        };
+        let response = handle(shard_id, &mut sessions, max_sessions, request);
+        // A dead reply slot means the requester gave up; nothing to do.
+        let _ = reply.send(response);
+    }
+}
+
+fn handle(
+    shard_id: u32,
+    sessions: &mut HashMap<u64, Session>,
+    max_sessions: usize,
+    request: ShardRequest,
+) -> Response {
+    let missing = |id: u64| Response::Error {
+        message: format!("no session {id} on shard {shard_id}"),
+    };
+    match request {
+        ShardRequest::Open { id, config } => {
+            if sessions.len() >= max_sessions {
+                return Response::Busy;
+            }
+            sessions.insert(id, Session::open(id, shard_id, config));
+            Response::Opened {
+                session: id,
+                shard: shard_id,
+            }
+        }
+        ShardRequest::Restore { id, snapshot } => {
+            if sessions.len() >= max_sessions {
+                return Response::Busy;
+            }
+            match Session::restore(id, shard_id, &snapshot) {
+                Ok(session) => {
+                    sessions.insert(id, session);
+                    Response::Opened {
+                        session: id,
+                        shard: shard_id,
+                    }
+                }
+                Err(message) => Response::Error { message },
+            }
+        }
+        ShardRequest::Run { id, fuel } => match sessions.get_mut(&id) {
+            Some(session) => match session.run(fuel) {
+                Ok((done, stats)) => Response::Ran { done, stats },
+                Err(message) => Response::Error { message },
+            },
+            None => missing(id),
+        },
+        ShardRequest::Ingest { id, events } => match sessions.get_mut(&id) {
+            Some(session) => match session.ingest(&events) {
+                Ok((events, paths, fragments)) => Response::Ingested {
+                    events,
+                    paths,
+                    fragments,
+                },
+                Err(message) => Response::Error { message },
+            },
+            None => missing(id),
+        },
+        ShardRequest::Query { id } => match sessions.get(&id) {
+            Some(session) => Response::Status(session.status()),
+            None => missing(id),
+        },
+        ShardRequest::Snapshot { id } => match sessions.get(&id) {
+            Some(session) => Response::SnapshotBlob {
+                blob: session.snapshot().encode(),
+            },
+            None => missing(id),
+        },
+        ShardRequest::Flush { id } => match sessions.get_mut(&id) {
+            Some(session) => {
+                session.force_flush();
+                Response::Status(session.status())
+            }
+            None => missing(id),
+        },
+        ShardRequest::Close { id } => match sessions.remove(&id) {
+            Some(session) => Response::Closed {
+                blocks: session.stats().blocks_executed,
+            },
+            None => missing(id),
+        },
+    }
+}

@@ -1,0 +1,180 @@
+//! Little-endian byte codec helpers shared by the protocol and snapshot
+//! formats, plus the FNV-1a checksum the snapshot format seals itself
+//! with. Everything is explicit-width and little-endian; there is no
+//! varint cleverness to get wrong.
+
+use hotpath_vm::RunStats;
+
+/// Appends a `u32` (little-endian).
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` (little-endian).
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `i64` (little-endian).
+pub(crate) fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a length-prefixed (`u32`) byte string.
+pub(crate) fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+/// Appends a [`RunStats`] in fixed field order.
+pub(crate) fn put_stats(out: &mut Vec<u8>, stats: &RunStats) {
+    put_u64(out, stats.blocks_executed);
+    put_u64(out, stats.insts_executed);
+    put_u64(out, stats.cond_branches);
+    put_u64(out, stats.indirect_branches);
+    put_u64(out, stats.calls);
+    put_u64(out, stats.backward_transfers);
+    put_u64(out, stats.max_call_depth as u64);
+    out.push(u8::from(stats.halted));
+}
+
+/// A bounds-checked little-endian reader over a byte slice. Every read
+/// names the field it was after, so a malformed buffer produces a
+/// diagnosable error instead of a panic or a silent misparse.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+/// A read ran off the end of the buffer (or a field failed validation);
+/// carries the field name being read.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct ReadError(pub &'static str);
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub(crate) fn take(&mut self, n: usize, field: &'static str) -> Result<&'a [u8], ReadError> {
+        if self.remaining() < n {
+            return Err(ReadError(field));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self, field: &'static str) -> Result<u8, ReadError> {
+        Ok(self.take(1, field)?[0])
+    }
+
+    pub(crate) fn u32(&mut self, field: &'static str) -> Result<u32, ReadError> {
+        Ok(u32::from_le_bytes(self.take(4, field)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self, field: &'static str) -> Result<u64, ReadError> {
+        Ok(u64::from_le_bytes(self.take(8, field)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn i64(&mut self, field: &'static str) -> Result<i64, ReadError> {
+        Ok(i64::from_le_bytes(self.take(8, field)?.try_into().unwrap()))
+    }
+
+    /// A length-prefixed byte string written by [`put_bytes`].
+    pub(crate) fn bytes(&mut self, field: &'static str) -> Result<&'a [u8], ReadError> {
+        let len = self.u32(field)? as usize;
+        self.take(len, field)
+    }
+
+    /// A length-prefixed UTF-8 string written by [`put_str`].
+    pub(crate) fn str(&mut self, field: &'static str) -> Result<&'a str, ReadError> {
+        std::str::from_utf8(self.bytes(field)?).map_err(|_| ReadError(field))
+    }
+
+    /// A [`RunStats`] written by [`put_stats`].
+    pub(crate) fn stats(&mut self, field: &'static str) -> Result<RunStats, ReadError> {
+        Ok(RunStats {
+            blocks_executed: self.u64(field)?,
+            insts_executed: self.u64(field)?,
+            cond_branches: self.u64(field)?,
+            indirect_branches: self.u64(field)?,
+            calls: self.u64(field)?,
+            backward_transfers: self.u64(field)?,
+            max_call_depth: self.u64(field)? as usize,
+            halted: match self.u8(field)? {
+                0 => false,
+                1 => true,
+                _ => return Err(ReadError(field)),
+            },
+        })
+    }
+}
+
+/// FNV-1a 64-bit over `bytes` — the snapshot format's integrity seal.
+/// Not cryptographic; it guards against truncation and bit rot, which is
+/// all a local warm-start cache needs.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_round_trips_primitives() {
+        let mut out = Vec::new();
+        put_u32(&mut out, 7);
+        put_u64(&mut out, u64::MAX - 1);
+        put_i64(&mut out, -42);
+        put_str(&mut out, "compress");
+        let mut r = Reader::new(&out);
+        assert_eq!(r.u32("a").unwrap(), 7);
+        assert_eq!(r.u64("b").unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64("c").unwrap(), -42);
+        assert_eq!(r.str("d").unwrap(), "compress");
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.u8("past-end"), Err(ReadError("past-end")));
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let stats = RunStats {
+            blocks_executed: 1,
+            insts_executed: 2,
+            cond_branches: 3,
+            indirect_branches: 4,
+            calls: 5,
+            backward_transfers: 6,
+            max_call_depth: 7,
+            halted: true,
+        };
+        let mut out = Vec::new();
+        put_stats(&mut out, &stats);
+        assert_eq!(Reader::new(&out).stats("s").unwrap(), stats);
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -197,6 +197,49 @@ pub enum Event<'a> {
         /// Blocks executed when the fault was injected.
         at_block: u64,
     },
+    /// A serving session was opened on a shard.
+    SessionOpened {
+        /// Session id assigned by the manager.
+        session: u64,
+        /// Shard the session was placed on.
+        shard: u32,
+        /// Workload the session executes (`"ingest"` for event-stream
+        /// sessions with no server-side program).
+        workload: &'a str,
+    },
+    /// A serving session was closed (explicitly or by completing).
+    SessionClosed {
+        /// Session id.
+        session: u64,
+        /// Shard the session lived on.
+        shard: u32,
+        /// Blocks the session executed over its lifetime.
+        blocks: u64,
+    },
+    /// A shard refused work because its queue was full or its session
+    /// table was at capacity (the admission-control `Busy` reply).
+    ShardBusy {
+        /// The refusing shard.
+        shard: u32,
+    },
+    /// A session's state was serialized into a snapshot blob.
+    SnapshotSaved {
+        /// Session id.
+        session: u64,
+        /// Encoded size in bytes.
+        bytes: u64,
+        /// Fragments captured in the snapshot.
+        fragments: u64,
+    },
+    /// A session was rebuilt from a snapshot blob.
+    SnapshotRestored {
+        /// The restored session's (new) id.
+        session: u64,
+        /// Decoded blob size in bytes.
+        bytes: u64,
+        /// Fragments re-installed from the snapshot.
+        fragments: u64,
+    },
     /// A measured wall-clock duration. **Nondeterministic** — excluded
     /// from the byte-identical stream guarantee; summaries keep timings
     /// separate from event counts for the same reason.
@@ -233,6 +276,11 @@ impl Event<'_> {
             Event::ModeRepromoted { .. } => "mode_repromoted",
             Event::FragmentPoisoned { .. } => "fragment_poisoned",
             Event::FaultInjected { .. } => "fault_injected",
+            Event::SessionOpened { .. } => "session_opened",
+            Event::SessionClosed { .. } => "session_closed",
+            Event::ShardBusy { .. } => "shard_busy",
+            Event::SnapshotSaved { .. } => "snapshot_saved",
+            Event::SnapshotRestored { .. } => "snapshot_restored",
             Event::Timing { .. } => "timing",
         }
     }
@@ -364,6 +412,41 @@ impl Event<'_> {
             Event::FaultInjected { point, at_block } => {
                 push_str_field(out, "point", point);
                 push_u64_field(out, "at_block", at_block);
+            }
+            Event::SessionOpened {
+                session,
+                shard,
+                workload,
+            } => {
+                push_u64_field(out, "session", session);
+                push_u64_field(out, "shard", shard as u64);
+                push_str_field(out, "workload", workload);
+            }
+            Event::SessionClosed {
+                session,
+                shard,
+                blocks,
+            } => {
+                push_u64_field(out, "session", session);
+                push_u64_field(out, "shard", shard as u64);
+                push_u64_field(out, "blocks", blocks);
+            }
+            Event::ShardBusy { shard } => {
+                push_u64_field(out, "shard", shard as u64);
+            }
+            Event::SnapshotSaved {
+                session,
+                bytes,
+                fragments,
+            }
+            | Event::SnapshotRestored {
+                session,
+                bytes,
+                fragments,
+            } => {
+                push_u64_field(out, "session", session);
+                push_u64_field(out, "bytes", bytes);
+                push_u64_field(out, "fragments", fragments);
             }
             Event::Timing { label, secs } => {
                 push_str_field(out, "label", label);
@@ -524,6 +607,27 @@ mod tests {
             Event::FaultInjected {
                 point: "install_reject",
                 at_block: 640,
+            },
+            Event::SessionOpened {
+                session: 3,
+                shard: 1,
+                workload: "compress",
+            },
+            Event::SessionClosed {
+                session: 3,
+                shard: 1,
+                blocks: 250_000,
+            },
+            Event::ShardBusy { shard: 1 },
+            Event::SnapshotSaved {
+                session: 3,
+                bytes: 4096,
+                fragments: 12,
+            },
+            Event::SnapshotRestored {
+                session: 4,
+                bytes: 4096,
+                fragments: 12,
             },
             Event::Timing {
                 label: "compress",

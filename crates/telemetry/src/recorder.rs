@@ -143,6 +143,16 @@ impl Recorder for JsonlRecorder {
     }
 }
 
+impl Drop for JsonlRecorder {
+    /// A recorder used standalone (never installed, so no
+    /// [`RecorderGuard`] ever calls [`Recorder::finish`]) must still flush
+    /// a buffering sink on drop, or its tail of events is silently lost.
+    /// Flushing is idempotent, so the guard path flushing first is fine.
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
 #[cfg(feature = "enabled")]
 thread_local! {
     static RECORDER: RefCell<Option<Box<dyn Recorder>>> = const { RefCell::new(None) };
@@ -321,6 +331,44 @@ mod tests {
         assert_eq!(recorder.dropped(), 8);
         assert_eq!(dropped.get(), 8);
         recorder.finish(); // must not touch the dead sink
+    }
+
+    /// Holds written bytes internally; publishes them to the shared
+    /// buffer only when flushed — a stand-in for `BufWriter` + file.
+    struct BufferingSink {
+        pending: Vec<u8>,
+        published: Rc<RefCell<Vec<u8>>>,
+    }
+
+    impl std::io::Write for BufferingSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.pending.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.published.borrow_mut().append(&mut self.pending);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn dropping_an_uninstalled_recorder_flushes_its_sink() {
+        let published = Rc::new(RefCell::new(Vec::new()));
+        let mut recorder = JsonlRecorder::to_writer(Box::new(BufferingSink {
+            pending: Vec::new(),
+            published: published.clone(),
+        }));
+        recorder.record(&tau(1));
+        recorder.record(&tau(2));
+        assert!(
+            published.borrow().is_empty(),
+            "sink buffers until flushed; nothing published yet"
+        );
+        drop(recorder);
+        let text = String::from_utf8(published.borrow().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2, "drop must flush buffered lines");
+        assert!(text.contains("\"head\":1") && text.contains("\"head\":2"));
     }
 
     #[cfg(not(feature = "enabled"))]

@@ -1,0 +1,194 @@
+//! Wire codec for batched [`BlockEvent`]s.
+//!
+//! A serving front-end streams control-flow events from a remote runtime
+//! into an engine in batches; this module defines the fixed-width binary
+//! encoding both ends share. Every event is [`EVENT_WIRE_BYTES`] bytes,
+//! little-endian, with no padding:
+//!
+//! | bytes | field |
+//! |---|---|
+//! | 0..4  | `from` block id (`u32::MAX` encodes `None`) |
+//! | 4..8  | `block` id |
+//! | 8..12 | `block_size` |
+//! | 12    | [`TransferKind`] tag (see [`TransferKind::tag`]) |
+//! | 13    | `backward` flag (0 or 1) |
+//!
+//! The encoding is exact: decode(encode(events)) reproduces the input
+//! events bit-for-bit, and any truncated or out-of-range input is
+//! rejected with a [`BatchDecodeError`] rather than guessed at.
+
+use hotpath_ir::BlockId;
+
+use crate::event::{BlockEvent, TransferKind};
+
+/// Encoded size of one event on the wire.
+pub const EVENT_WIRE_BYTES: usize = 14;
+
+/// `from: None` on the wire (real block ids never reach `u32::MAX`).
+const NO_FROM: u32 = u32::MAX;
+
+/// Why a batch failed to decode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BatchDecodeError {
+    /// The buffer length is not a multiple of [`EVENT_WIRE_BYTES`].
+    Truncated {
+        /// Total bytes supplied.
+        len: usize,
+    },
+    /// An event carried an unknown [`TransferKind`] tag.
+    BadKind {
+        /// Index of the offending event in the batch.
+        index: usize,
+        /// The unrecognized tag byte.
+        tag: u8,
+    },
+    /// An event's `backward` flag was neither 0 nor 1.
+    BadFlag {
+        /// Index of the offending event in the batch.
+        index: usize,
+        /// The offending flag byte.
+        flag: u8,
+    },
+}
+
+impl std::fmt::Display for BatchDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchDecodeError::Truncated { len } => write!(
+                f,
+                "batch of {len} bytes is not a whole number of {EVENT_WIRE_BYTES}-byte events"
+            ),
+            BatchDecodeError::BadKind { index, tag } => {
+                write!(f, "event {index}: unknown transfer-kind tag {tag}")
+            }
+            BatchDecodeError::BadFlag { index, flag } => {
+                write!(f, "event {index}: backward flag must be 0 or 1, got {flag}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchDecodeError {}
+
+/// Appends one event's wire encoding to `out`.
+pub fn encode_event(event: &BlockEvent, out: &mut Vec<u8>) {
+    let from = event.from.map_or(NO_FROM, |b| b.as_u32());
+    out.extend_from_slice(&from.to_le_bytes());
+    out.extend_from_slice(&event.block.as_u32().to_le_bytes());
+    out.extend_from_slice(&event.block_size.to_le_bytes());
+    out.push(event.kind.tag());
+    out.push(u8::from(event.backward));
+}
+
+/// Appends a batch of events to `out` (just the events, no count prefix —
+/// framing belongs to the transport).
+pub fn encode_events(events: &[BlockEvent], out: &mut Vec<u8>) {
+    out.reserve(events.len() * EVENT_WIRE_BYTES);
+    for event in events {
+        encode_event(event, out);
+    }
+}
+
+/// Decodes a whole batch previously produced by [`encode_events`].
+///
+/// # Errors
+///
+/// Rejects truncated buffers and out-of-range tag/flag bytes; a valid
+/// prefix is never silently accepted.
+pub fn decode_events(buf: &[u8]) -> Result<Vec<BlockEvent>, BatchDecodeError> {
+    if buf.len() % EVENT_WIRE_BYTES != 0 {
+        return Err(BatchDecodeError::Truncated { len: buf.len() });
+    }
+    let mut events = Vec::with_capacity(buf.len() / EVENT_WIRE_BYTES);
+    for (index, chunk) in buf.chunks_exact(EVENT_WIRE_BYTES).enumerate() {
+        let from = u32::from_le_bytes(chunk[0..4].try_into().unwrap());
+        let block = u32::from_le_bytes(chunk[4..8].try_into().unwrap());
+        let block_size = u32::from_le_bytes(chunk[8..12].try_into().unwrap());
+        let kind = TransferKind::from_tag(chunk[12]).ok_or(BatchDecodeError::BadKind {
+            index,
+            tag: chunk[12],
+        })?;
+        let backward = match chunk[13] {
+            0 => false,
+            1 => true,
+            flag => return Err(BatchDecodeError::BadFlag { index, flag }),
+        };
+        events.push(BlockEvent {
+            from: (from != NO_FROM).then(|| BlockId::new(from)),
+            block: BlockId::new(block),
+            kind,
+            backward,
+            block_size,
+        });
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<BlockEvent> {
+        let kinds = [
+            TransferKind::Start,
+            TransferKind::Jump,
+            TransferKind::BranchTaken,
+            TransferKind::BranchNotTaken,
+            TransferKind::Indirect,
+            TransferKind::Call,
+            TransferKind::Return,
+        ];
+        kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| BlockEvent {
+                from: (i > 0).then(|| BlockId::new(i as u32 - 1)),
+                block: BlockId::new(i as u32 * 7),
+                kind,
+                backward: i % 2 == 1,
+                block_size: i as u32 + 1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_every_kind_bit_exactly() {
+        let events = sample();
+        let mut wire = Vec::new();
+        encode_events(&events, &mut wire);
+        assert_eq!(wire.len(), events.len() * EVENT_WIRE_BYTES);
+        assert_eq!(decode_events(&wire).unwrap(), events);
+    }
+
+    #[test]
+    fn rejects_truncation_and_junk() {
+        let mut wire = Vec::new();
+        encode_events(&sample(), &mut wire);
+        assert_eq!(
+            decode_events(&wire[..wire.len() - 1]),
+            Err(BatchDecodeError::Truncated {
+                len: wire.len() - 1
+            })
+        );
+        let mut bad_kind = wire.clone();
+        bad_kind[12] = 0xEE;
+        assert_eq!(
+            decode_events(&bad_kind),
+            Err(BatchDecodeError::BadKind {
+                index: 0,
+                tag: 0xEE
+            })
+        );
+        let mut bad_flag = wire;
+        bad_flag[13] = 7;
+        assert_eq!(
+            decode_events(&bad_flag),
+            Err(BatchDecodeError::BadFlag { index: 0, flag: 7 })
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_valid() {
+        assert_eq!(decode_events(&[]).unwrap(), Vec::new());
+    }
+}

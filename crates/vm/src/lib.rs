@@ -51,18 +51,20 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod batch;
 mod error;
 mod event;
 mod trace;
 mod trace_exec;
 mod vm;
 
+pub use batch::{decode_events, encode_event, encode_events, BatchDecodeError, EVENT_WIRE_BYTES};
 pub use error::VmError;
 pub use event::{
     BlockEvent, ExecutionObserver, NullObserver, ScriptedController, Tee, TraceCommand,
     TraceController, TraceExcursion, TraceExitReason, TransferKind,
 };
 pub use trace::{CountingObserver, RecordedTrace, TraceRecorder};
-pub use vm::{RunConfig, RunStats, Vm};
+pub use vm::{LinkedState, RunConfig, RunStats, SavedFrame, SavedLinkedState, StepOutcome, Vm};
 
 pub use hotpath_faultinject::{FaultInjector, FaultPlan, FaultPoint};

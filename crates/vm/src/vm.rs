@@ -59,6 +59,86 @@ pub(crate) struct CallFrame {
     pub(crate) func: u32,
 }
 
+/// Resumable machine state for a linked run: everything
+/// [`Vm::run_linked`] used to keep on its stack, lifted into a value so a
+/// run can be advanced in bounded fuel slices ([`Vm::step_linked`]),
+/// paused, exported ([`Vm::export_linked`]) and resumed later — possibly
+/// in a different process ([`Vm::import_linked`]).
+///
+/// The trace cache lives here too: pausing never loses installed traces.
+#[derive(Debug)]
+pub struct LinkedState {
+    pub(crate) cache: TraceCache,
+    pub(crate) stats: RunStats,
+    pub(crate) regs: Vec<i64>,
+    pub(crate) frames: Vec<CallFrame>,
+    pub(crate) frame_base: usize,
+    pub(crate) pending: BlockEvent,
+    pub(crate) cur: u32,
+    pub(crate) done: bool,
+}
+
+impl LinkedState {
+    /// Statistics accumulated so far (final once [`LinkedState::done`]).
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// True once the program halted; further steps are no-ops.
+    pub fn done(&self) -> bool {
+        self.done
+    }
+}
+
+/// What a bounded [`Vm::step_linked`] call ended with.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepOutcome {
+    /// The fuel slice was exhausted; call again to continue.
+    Yielded,
+    /// The program halted; the stats are final.
+    Halted(RunStats),
+}
+
+/// A call frame in exportable form (see [`SavedLinkedState`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SavedFrame {
+    /// Global block id to continue at after the matching return.
+    pub ret_global: u32,
+    /// Saved register-stack base of the caller.
+    pub frame_base: u64,
+    /// Function index of the caller.
+    pub func: u32,
+}
+
+/// Plain-data image of a paused linked run, fit for external persistence.
+///
+/// Captures exactly the execution state that determines the remainder of
+/// the run — registers, call stack, pending event, memory, globals, stats
+/// — and deliberately **not** the trace cache: trace availability never
+/// changes observable results (the backend's bit-identity contract), so a
+/// restored run re-warms its cache from engine-side commands instead.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SavedLinkedState {
+    /// Statistics at the pause point.
+    pub stats: RunStats,
+    /// Live registers of every frame, current frame last.
+    pub regs: Vec<i64>,
+    /// The call stack, outermost first.
+    pub frames: Vec<SavedFrame>,
+    /// Register-stack base of the current frame.
+    pub frame_base: u64,
+    /// The block event about to be executed/observed next.
+    pub pending: BlockEvent,
+    /// Global id of the block about to execute.
+    pub cur: u32,
+    /// Data memory at the pause point.
+    pub memory: Vec<i64>,
+    /// Machine-global registers at the pause point.
+    pub globals: Vec<i64>,
+    /// True if the run had already halted.
+    pub done: bool,
+}
+
 /// Flattened per-block execution info, indexed by global block id.
 #[derive(Clone, Debug)]
 pub(crate) struct FlatBlock {
@@ -78,9 +158,14 @@ pub(crate) struct FlatBlock {
 /// initialized from the program's data segment and can be adjusted through
 /// [`Vm::memory_mut`] / [`Vm::set_global`] before [`Vm::run`]. A run mutates
 /// machine state; build a fresh `Vm` for a fresh run.
+///
+/// The VM owns everything it executes (the program is flattened at
+/// construction and not borrowed afterwards), so long-lived holders — e.g.
+/// a serving session that owns both the workload and its VM — need no
+/// lifetime plumbing.
 #[derive(Debug)]
-pub struct Vm<'p> {
-    program: &'p Program,
+pub struct Vm {
+    entry: hotpath_ir::FuncId,
     layout: Layout,
     flat: Vec<FlatBlock>,
     insts: Vec<Inst>,
@@ -96,12 +181,12 @@ pub struct Vm<'p> {
     faults: FaultInjector,
 }
 
-impl<'p> Vm<'p> {
+impl Vm {
     /// Creates a VM for `program` with the default [`RunConfig`].
     ///
     /// The program must be valid (see [`hotpath_ir::validate`]); builders
     /// validate automatically.
-    pub fn new(program: &'p Program) -> Self {
+    pub fn new(program: &Program) -> Self {
         let layout = Layout::new(program);
         let total = layout.block_count();
         let mut flat = Vec::with_capacity(total);
@@ -134,7 +219,7 @@ impl<'p> Vm<'p> {
             memory[addr] = val;
         }
         Vm {
-            program,
+            entry: program.entry,
             layout,
             flat,
             insts,
@@ -167,9 +252,9 @@ impl<'p> Vm<'p> {
         &self.faults
     }
 
-    /// The program being executed.
-    pub fn program(&self) -> &'p Program {
-        self.program
+    /// The run limits currently in force.
+    pub fn config(&self) -> &RunConfig {
+        &self.config
     }
 
     /// The address layout computed for the program.
@@ -215,7 +300,7 @@ impl<'p> Vm<'p> {
         let mut frames: Vec<CallFrame> = Vec::with_capacity(64);
         let mut frame_base = 0usize;
 
-        let entry_func = self.program.entry;
+        let entry_func = self.entry;
         let mut cur = self.layout.func_entry(entry_func).as_u32();
         regs.resize(self.num_regs[entry_func.index()] as usize, 0);
 
@@ -375,25 +460,96 @@ impl<'p> Vm<'p> {
         &mut self,
         controller: &mut C,
     ) -> Result<RunStats, VmError> {
-        let mut cache = TraceCache::new(self.flat.len());
-        let mut stats = RunStats::default();
+        let mut state = self.start_linked();
+        match self.step_linked(&mut state, controller, None)? {
+            StepOutcome::Halted(stats) => Ok(stats),
+            StepOutcome::Yielded => unreachable!("an unbounded step cannot yield"),
+        }
+    }
+
+    /// Initial [`LinkedState`] for this VM: positioned at the program
+    /// entry with an empty trace cache.
+    pub fn start_linked(&self) -> LinkedState {
+        let entry_func = self.entry;
+        let cur = self.layout.func_entry(entry_func).as_u32();
         let mut regs: Vec<i64> = Vec::with_capacity(1024);
-        let mut frames: Vec<CallFrame> = Vec::with_capacity(64);
-        let mut frame_base = 0usize;
-
-        let entry_func = self.program.entry;
-        let mut cur = self.layout.func_entry(entry_func).as_u32();
         regs.resize(self.num_regs[entry_func.index()] as usize, 0);
+        LinkedState {
+            cache: TraceCache::new(self.flat.len()),
+            stats: RunStats::default(),
+            regs,
+            frames: Vec::with_capacity(64),
+            frame_base: 0,
+            pending: BlockEvent {
+                from: None,
+                block: BlockId::new(cur),
+                kind: TransferKind::Start,
+                backward: false,
+                block_size: self.flat[cur as usize].size,
+            },
+            cur,
+            done: false,
+        }
+    }
 
-        let mut pending = BlockEvent {
-            from: None,
-            block: BlockId::new(cur),
-            kind: TransferKind::Start,
-            backward: false,
-            block_size: self.flat[cur as usize].size,
+    /// Advances a linked run by at most `fuel` blocks (`None` = until
+    /// halt or error), exactly as [`Vm::run_linked`] would execute them.
+    ///
+    /// Slicing is invisible to the program: the slice boundary reuses the
+    /// trace backend's fuel precheck (a trace whose first traversal would
+    /// overshoot falls back to block-by-block interpretation), so the
+    /// sequence of executed blocks — and therefore [`RunStats`], memory
+    /// and globals — is bit-identical to one unbounded call. Only the
+    /// overall `RunConfig::max_blocks` budget produces
+    /// [`VmError::OutOfFuel`]; exhausting a slice yields instead.
+    ///
+    /// Once the program halts the state is final and further calls return
+    /// [`StepOutcome::Halted`] immediately.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors [`Vm::run`] produces, at the same points. After
+    /// an error the state must not be stepped again.
+    pub fn step_linked<C: TraceController>(
+        &mut self,
+        state: &mut LinkedState,
+        controller: &mut C,
+        fuel: Option<u64>,
+    ) -> Result<StepOutcome, VmError> {
+        if state.done {
+            return Ok(StepOutcome::Halted(state.stats));
+        }
+        let limit = match fuel {
+            None => self.config.max_blocks,
+            Some(f) => state
+                .stats
+                .blocks_executed
+                .saturating_add(f)
+                .min(self.config.max_blocks),
         };
+        let slice_config = RunConfig {
+            max_blocks: limit,
+            ..self.config
+        };
+        let LinkedState {
+            cache,
+            stats,
+            regs,
+            frames,
+            frame_base,
+            pending,
+            cur,
+            done,
+        } = state;
 
         loop {
+            // Slice boundary: yield (resumable) rather than error. When
+            // the slice cap coincides with the real budget, fall through
+            // so `OutOfFuel` fires at exactly the block an unbounded run
+            // would have stopped at.
+            if stats.blocks_executed >= limit && limit < self.config.max_blocks {
+                return Ok(StepOutcome::Yielded);
+            }
             // Fault point: a forced cache flush at the top of a dispatch
             // iteration (models asynchronous invalidation).
             if self.faults.armed() && self.faults.fire(FaultPoint::Flush) {
@@ -406,13 +562,13 @@ impl<'p> Vm<'p> {
             }
 
             // Trace dispatch: a trace anchored at the current block runs a
-            // whole excursion — provided the fuel budget covers its first
-            // traversal. When it does not, fall back to block-by-block
-            // interpretation so `OutOfFuel` fires at exactly the block
-            // plain interpretation would have stopped at.
-            let mut enter = cache.entry(cur).filter(|&tid| {
-                stats.blocks_executed + cache.trace_len(tid) as u64 <= self.config.max_blocks
-            });
+            // whole excursion — provided the remaining budget (slice or
+            // fuel) covers its first traversal. When it does not, fall
+            // back to block-by-block interpretation so the run stops at
+            // exactly the block plain interpretation would have.
+            let mut enter = cache
+                .entry(*cur)
+                .filter(|&tid| stats.blocks_executed + cache.trace_len(tid) as u64 <= limit);
             // Fault point: fuel starvation — deny this dispatch as if the
             // precheck had failed; the block interprets instead (exactly
             // the fallback the real precheck takes, hence bit-identical).
@@ -425,7 +581,7 @@ impl<'p> Vm<'p> {
             }
             if let Some(tid) = enter {
                 hotpath_telemetry::emit!(hotpath_telemetry::Event::TraceEnter {
-                    head: cur,
+                    head: *cur,
                     at_block: stats.blocks_executed,
                 });
                 // `catch_unwind` isolates a panicking trace: execution
@@ -440,19 +596,19 @@ impl<'p> Vm<'p> {
                     let mut machine = Machine {
                         memory: &mut self.memory,
                         globals: &mut self.globals,
-                        regs: &mut regs,
-                        frames: &mut frames,
-                        frame_base: &mut frame_base,
+                        regs: &mut *regs,
+                        frames: &mut *frames,
+                        frame_base: &mut *frame_base,
                         layout: &self.layout,
                     };
                     run_excursion(
-                        &mut cache,
+                        &mut *cache,
                         tid,
                         pending.kind,
                         pending.backward,
                         &mut machine,
-                        &mut stats,
-                        &self.config,
+                        &mut *stats,
+                        &slice_config,
                         &mut self.faults,
                     )
                 }));
@@ -463,9 +619,9 @@ impl<'p> Vm<'p> {
                         // the rest of the run) and drop the whole cache:
                         // a trace that may link into the poisoned one
                         // must not reach it.
-                        let severed = cache.poison(cur);
+                        let severed = cache.poison(*cur);
                         hotpath_telemetry::emit!(hotpath_telemetry::Event::FragmentPoisoned {
-                            head: cur,
+                            head: *cur,
                             at_block: stats.blocks_executed,
                         });
                         hotpath_telemetry::emit!(hotpath_telemetry::Event::LinkSevered {
@@ -495,7 +651,7 @@ impl<'p> Vm<'p> {
                 };
                 drain_commands(
                     controller,
-                    &mut cache,
+                    &mut *cache,
                     &view,
                     &mut self.faults,
                     stats.blocks_executed,
@@ -503,21 +659,22 @@ impl<'p> Vm<'p> {
                 if exc.halted {
                     controller.on_halt();
                     stats.halted = true;
+                    *done = true;
                     hotpath_telemetry::emit!(hotpath_telemetry::Event::VmHalt {
                         blocks: stats.blocks_executed,
                         insts: stats.insts_executed,
                     });
-                    return Ok(stats);
+                    return Ok(StepOutcome::Halted(*stats));
                 }
                 let next = exc.target.as_u32();
-                pending = BlockEvent {
+                *pending = BlockEvent {
                     from: exc.from,
                     block: exc.target,
                     kind: exc.kind,
                     backward: exc.backward,
                     block_size: exc.target_size,
                 };
-                cur = next;
+                *cur = next;
                 continue;
             }
 
@@ -531,25 +688,25 @@ impl<'p> Vm<'p> {
             if pending.backward {
                 stats.backward_transfers += 1;
             }
-            controller.on_block(&pending);
+            controller.on_block(pending);
 
-            let fb = &self.flat[cur as usize];
+            let fb = &self.flat[*cur as usize];
             let func = fb.func as usize;
             let func_base = fb.func_base;
             stats.insts_executed += fb.size as u64;
-            let block_id = BlockId::new(cur);
+            let block_id = BlockId::new(*cur);
 
             for inst in &self.insts[fb.inst_start as usize..fb.inst_end as usize] {
                 exec_inst(
                     inst,
-                    &mut regs[frame_base..],
+                    &mut regs[*frame_base..],
                     &mut self.memory,
                     &mut self.globals,
                     block_id,
                 )?;
             }
 
-            let (next, kind) = match &self.terms[cur as usize] {
+            let (next, kind) = match &self.terms[*cur as usize] {
                 Terminator::Jump(t) => (func_base + t.index() as u32, TransferKind::Jump),
                 Terminator::Branch {
                     cond,
@@ -557,7 +714,7 @@ impl<'p> Vm<'p> {
                     fallthrough,
                 } => {
                     stats.cond_branches += 1;
-                    if regs[frame_base + cond.index()] != 0 {
+                    if regs[*frame_base + cond.index()] != 0 {
                         (func_base + taken.index() as u32, TransferKind::BranchTaken)
                     } else {
                         (
@@ -572,7 +729,7 @@ impl<'p> Vm<'p> {
                     default,
                 } => {
                     stats.indirect_branches += 1;
-                    let v = regs[frame_base + index.index()];
+                    let v = regs[*frame_base + index.index()];
                     let t = usize::try_from(v)
                         .ok()
                         .and_then(|i| targets.get(i).copied())
@@ -588,18 +745,18 @@ impl<'p> Vm<'p> {
                     }
                     frames.push(CallFrame {
                         ret_global: func_base + ret_to.index() as u32,
-                        frame_base,
+                        frame_base: *frame_base,
                         func: func as u32,
                     });
                     stats.max_call_depth = stats.max_call_depth.max(frames.len());
-                    frame_base = regs.len();
-                    regs.resize(frame_base + self.num_regs[callee.index()] as usize, 0);
+                    *frame_base = regs.len();
+                    regs.resize(*frame_base + self.num_regs[callee.index()] as usize, 0);
                     (self.layout.func_entry(*callee).as_u32(), TransferKind::Call)
                 }
                 Terminator::Return => match frames.pop() {
                     Some(frame) => {
-                        regs.truncate(frame_base);
-                        frame_base = frame.frame_base;
+                        regs.truncate(*frame_base);
+                        *frame_base = frame.frame_base;
                         (frame.ret_global, TransferKind::Return)
                     }
                     None => {
@@ -609,11 +766,12 @@ impl<'p> Vm<'p> {
                 Terminator::Halt => {
                     controller.on_halt();
                     stats.halted = true;
+                    *done = true;
                     hotpath_telemetry::emit!(hotpath_telemetry::Event::VmHalt {
                         blocks: stats.blocks_executed,
                         insts: stats.insts_executed,
                     });
-                    return Ok(stats);
+                    return Ok(StepOutcome::Halted(*stats));
                 }
             };
 
@@ -626,21 +784,118 @@ impl<'p> Vm<'p> {
             };
             drain_commands(
                 controller,
-                &mut cache,
+                &mut *cache,
                 &view,
                 &mut self.faults,
                 stats.blocks_executed,
             );
             let backward = self.layout.is_backward(block_id, BlockId::new(next));
-            pending = BlockEvent {
+            *pending = BlockEvent {
                 from: Some(block_id),
                 block: BlockId::new(next),
                 kind,
                 backward,
                 block_size: self.flat[next as usize].size,
             };
-            cur = next;
+            *cur = next;
         }
+    }
+
+    /// Extracts a paused linked run's execution state for persistence.
+    ///
+    /// Pair with [`Vm::import_linked`] on a VM built from the same
+    /// program to continue the run — the continuation executes the same
+    /// block sequence and finishes with bit-identical [`RunStats`],
+    /// memory, and globals as the uninterrupted run would have.
+    pub fn export_linked(&self, state: &LinkedState) -> SavedLinkedState {
+        SavedLinkedState {
+            stats: state.stats,
+            regs: state.regs.clone(),
+            frames: state
+                .frames
+                .iter()
+                .map(|f| SavedFrame {
+                    ret_global: f.ret_global,
+                    frame_base: f.frame_base as u64,
+                    func: f.func,
+                })
+                .collect(),
+            frame_base: state.frame_base as u64,
+            pending: state.pending,
+            cur: state.cur,
+            memory: self.memory.clone(),
+            globals: self.globals.to_vec(),
+            done: state.done,
+        }
+    }
+
+    /// Rebuilds a paused linked run on this VM from an exported image,
+    /// overwriting memory and globals. The trace cache starts empty — a
+    /// restored engine re-installs its fragments via [`TraceCommand`]s,
+    /// which only affects speed, never results.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency when the image
+    /// does not fit this VM's program (wrong memory size, out-of-range
+    /// block ids or frame bases).
+    pub fn import_linked(&mut self, saved: &SavedLinkedState) -> Result<LinkedState, String> {
+        if saved.memory.len() != self.memory.len() {
+            return Err(format!(
+                "memory size mismatch: image {} words, program {}",
+                saved.memory.len(),
+                self.memory.len()
+            ));
+        }
+        if saved.globals.len() != GlobalReg::COUNT {
+            return Err(format!(
+                "global register count mismatch: image {}, machine {}",
+                saved.globals.len(),
+                GlobalReg::COUNT
+            ));
+        }
+        if saved.cur as usize >= self.flat.len() {
+            return Err(format!("current block {} out of range", saved.cur));
+        }
+        let frame_base =
+            usize::try_from(saved.frame_base).map_err(|_| "frame base does not fit".to_string())?;
+        if frame_base > saved.regs.len() {
+            return Err(format!(
+                "frame base {frame_base} past the register stack ({})",
+                saved.regs.len()
+            ));
+        }
+        let mut frames = Vec::with_capacity(saved.frames.len());
+        for f in &saved.frames {
+            if f.ret_global as usize >= self.flat.len() {
+                return Err(format!("frame return block {} out of range", f.ret_global));
+            }
+            if f.frame_base > saved.frame_base {
+                return Err("frame bases must not exceed the current base".to_string());
+            }
+            frames.push(CallFrame {
+                ret_global: f.ret_global,
+                frame_base: f.frame_base as usize,
+                func: f.func,
+            });
+        }
+        self.memory.copy_from_slice(&saved.memory);
+        self.globals.copy_from_slice(&saved.globals);
+        let mut pending = saved.pending;
+        // The pending event must describe the block we resume at; its
+        // size is program-derived, so recompute rather than trust it.
+        pending.block = BlockId::new(saved.cur);
+        pending.block_size = self.flat[saved.cur as usize].size;
+        Ok(LinkedState {
+            cache: TraceCache::new(self.flat.len()),
+            stats: saved.stats,
+            regs: saved.regs.clone(),
+            frames,
+            frame_base,
+            pending,
+            cur: saved.cur,
+            done: saved.done,
+        })
     }
 }
 

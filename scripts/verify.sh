@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Offline-safe verification: format, build, test, lint, perf smoke, and the
-# bench_compare self-gate. Everything here must pass with no network access
-# (the workspace has no external dependencies).
+# Offline-safe verification: format, build, test, lint, perf smoke, the
+# bench_compare self-gate, and a loopback TCP serve smoke. Everything here
+# must pass with no network access (the workspace has no external
+# dependencies; the serve smoke binds 127.0.0.1 only).
 #
 # Environment knobs:
 #   VERIFY_SKIP_LINT=1        skip rustfmt/clippy (for MSRV toolchains whose
@@ -45,5 +46,25 @@ rm -f "$ART_DIR/bench_smoke.json" "$ART_DIR/telemetry_smoke.json"
 
 echo "== bench_compare self-gate (committed baseline, relative mode) =="
 ./target/release/bench_compare BENCH_perf.json BENCH_perf.json --relative
+
+echo "== serve TCP smoke (spawn server, drive sessions, snapshot check) =="
+rm -f "$ART_DIR/serve_out.txt" "$ART_DIR/serve_smoke.json"
+./target/release/serve --addr 127.0.0.1:0 >"$ART_DIR/serve_out.txt" &
+SERVE_PID=$!
+SERVE_ADDR=""
+for _ in $(seq 1 100); do
+    SERVE_ADDR=$(sed -n 's/^listening on //p' "$ART_DIR/serve_out.txt")
+    [[ -n "$SERVE_ADDR" ]] && break
+    sleep 0.1
+done
+if [[ -z "$SERVE_ADDR" ]]; then
+    echo "serve never reported a listening address" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+./target/release/loadgen --addr "$SERVE_ADDR" --sessions 3 --scale smoke \
+    --snapshot-check --shutdown --label verify-serve \
+    --json "$ART_DIR/serve_smoke.json"
+wait "$SERVE_PID"   # --shutdown must stop the server cleanly (exit 0)
 
 echo "verify.sh: all checks passed"

@@ -66,12 +66,12 @@ fn two_path_loop(trip: i64) -> Program {
 /// Runs `program` plain, then linked under `engine` with `plan` armed;
 /// asserts bit-identical final state and returns the faulted VM (its
 /// injector counters tell the caller what fired) plus the shared stats.
-fn assert_faulted_identical<'p, C: TraceController>(
-    program: &'p Program,
+fn assert_faulted_identical<C: TraceController>(
+    program: &Program,
     plan: FaultPlan,
     engine: &mut C,
     tag: &str,
-) -> (Vm<'p>, RunStats) {
+) -> (Vm, RunStats) {
     let mut plain_vm = Vm::new(program);
     let plain = plain_vm.run(&mut NullObserver).unwrap();
 
