@@ -15,7 +15,15 @@
 //! * `dynamo-linked` — the same engine driving the VM's compiled-trace
 //!   backend (`Vm::run_linked`): predicted paths execute as contiguous
 //!   guarded superblocks with patched trace-to-trace links, so hot code
-//!   skips per-block dispatch entirely.
+//!   skips per-block dispatch entirely,
+//! * `dynamo-linked-opt` — `dynamo-linked` with the trace optimizer at
+//!   `OptLevel::Full`: redundant guards elided, loop-invariant guards
+//!   hoisted, constants folded and sunk into exit stubs, and the trace
+//!   body direct-threaded. Bit-identical results, fewer guard checks.
+//!
+//! The two linked modes also record `guard_execs` — the deterministic
+//! count of guard checks executed in trace-land over the suite — so the
+//! regression gate can catch an optimizer that silently stops optimizing.
 //!
 //! Each (workload, mode) pair runs `--reps` times and keeps the fastest
 //! repetition; per-mode totals are summed over the suite. Results append to
@@ -44,14 +52,22 @@ use hotpath_core::{HotPathPredictor, NetPredictor};
 use hotpath_dynamo::{run_dynamo, run_dynamo_linked, DynamoConfig, Scheme};
 use hotpath_profiles::{BallLarusProfiler, PathExecution, PathExtractor, PathSink};
 use hotpath_telemetry as telemetry;
-use hotpath_vm::{CountingObserver, Vm};
+use hotpath_vm::{CountingObserver, OptLevel, Vm};
 use hotpath_workloads::{build, Scale, ALL_WORKLOADS};
 
 /// Dynamo's shipped NET prediction delay (paper §5).
 const NET_DELAY: u64 = 50;
 
 /// The measured modes, in report order.
-const MODES: [&str; 5] = ["native", "net", "ball_larus", "dynamo", "dynamo-linked"];
+const MODES: [&str; 6] = [
+    "native",
+    "net",
+    "ball_larus",
+    "dynamo",
+    "dynamo-linked",
+    "dynamo-linked-opt",
+];
+const NUM_MODES: usize = MODES.len();
 
 /// Feeds completed paths straight into a NET predictor, discarding the
 /// predictions — this measures profiling cost, not prediction quality.
@@ -142,9 +158,12 @@ fn main() {
         (telemetry::install(Box::new(recorder)), handle)
     });
 
-    // blocks and per-mode best times, summed over the suite.
+    // blocks, per-mode best times, and per-mode guard-check counts
+    // (deterministic, so measured once per workload), summed over the
+    // suite.
     let mut total_blocks: u64 = 0;
-    let mut mode_secs = [0.0f64; 5];
+    let mut mode_secs = [0.0f64; NUM_MODES];
+    let mut mode_guards = [0u64; NUM_MODES];
 
     for name in ALL_WORKLOADS {
         let w = build(name, args.scale);
@@ -187,10 +206,25 @@ fn main() {
                 .expect("dynamo-linked run");
             black_box(out);
         });
+        let opt_config = DynamoConfig::new(Scheme::Net, NET_DELAY).with_opt_level(OptLevel::Full);
+        let linked_opt = best_secs(args.reps, || {
+            let out = run_dynamo_linked(p, &opt_config).expect("dynamo-linked-opt run");
+            black_box(out);
+        });
+        // Guard-check counts are deterministic per (workload, opt level):
+        // one unmeasured run each suffices.
+        mode_guards[4] += run_dynamo_linked(p, &DynamoConfig::new(Scheme::Net, NET_DELAY))
+            .expect("dynamo-linked run")
+            .outcome
+            .guard_execs;
+        mode_guards[5] += run_dynamo_linked(p, &opt_config)
+            .expect("dynamo-linked-opt run")
+            .outcome
+            .guard_execs;
 
         for ((slot, secs), mode) in mode_secs
             .iter_mut()
-            .zip([native, net, bl, dynamo, linked])
+            .zip([native, net, bl, dynamo, linked, linked_opt])
             .zip(MODES)
         {
             *slot += secs;
@@ -204,14 +238,15 @@ fn main() {
         });
         eprintln!(
             "[perf] {:<10} blocks={:>11} native={:.3}s net={:.3}s bl={:.3}s dynamo={:.3}s \
-             linked={:.3}s",
+             linked={:.3}s linked-opt={:.3}s",
             name.to_string(),
             blocks,
             native,
             net,
             bl,
             dynamo,
-            linked
+            linked,
+            linked_opt
         );
     }
 
@@ -221,7 +256,10 @@ fn main() {
         scale_name(args.scale),
         args.reps
     );
-    println!("{:<12} {:>10} {:>16}", "mode", "secs", "blocks/sec");
+    println!(
+        "{:<18} {:>10} {:>16} {:>14}",
+        "mode", "secs", "blocks/sec", "guard_execs"
+    );
     let mut run_json = String::new();
     let _ = writeln!(run_json, "    {{");
     let _ = writeln!(run_json, "      \"label\": \"{}\",", args.label);
@@ -229,13 +267,14 @@ fn main() {
     let _ = writeln!(run_json, "      \"reps\": {},", args.reps);
     let _ = writeln!(run_json, "      \"total_blocks\": {},", total_blocks);
     let _ = writeln!(run_json, "      \"modes\": {{");
-    for (i, (mode, secs)) in MODES.iter().zip(mode_secs).enumerate() {
+    for (i, ((mode, secs), guards)) in MODES.iter().zip(mode_secs).zip(mode_guards).enumerate() {
         let rate = total_blocks as f64 / secs;
-        println!("{mode:<12} {secs:>10.3} {rate:>16.0}");
+        println!("{mode:<18} {secs:>10.3} {rate:>16.0} {guards:>14}");
         let comma = if i + 1 < MODES.len() { "," } else { "" };
         let _ = writeln!(
             run_json,
-            "        \"{mode}\": {{\"secs\": {secs:.6}, \"blocks_per_sec\": {rate:.0}}}{comma}"
+            "        \"{mode}\": {{\"secs\": {secs:.6}, \"blocks_per_sec\": {rate:.0}, \
+             \"guard_execs\": {guards}}}{comma}"
         );
     }
     let _ = writeln!(run_json, "      }}");
@@ -282,7 +321,7 @@ fn main() {
 /// in the document, over whichever modes the earlier run recorded (older
 /// documents predate `dynamo-linked`). The document is our own controlled
 /// format, so a simple line scan suffices instead of a JSON parser.
-fn report_speedups(prev: &str, mode_secs: &[f64; 5], total_blocks: u64) {
+fn report_speedups(prev: &str, mode_secs: &[f64; NUM_MODES], total_blocks: u64) {
     let mut label: Option<String> = None;
     let mut prev_rates: Vec<(String, f64)> = Vec::new();
     let flush = |label: &Option<String>, rates: &Vec<(String, f64)>| {

@@ -33,6 +33,10 @@ pub struct ModePerf {
     pub secs: f64,
     /// Suite blocks divided by `secs`.
     pub blocks_per_sec: f64,
+    /// Guard checks executed in trace-land over the suite (`None` for
+    /// modes that run no traces and for documents predating the field).
+    /// Deterministic, so the gate treats any increase as a regression.
+    pub guard_execs: Option<f64>,
 }
 
 /// One labelled `perf_baseline` invocation.
@@ -120,6 +124,7 @@ pub fn parse_perf_runs(text: &str) -> Result<Vec<PerfRun>, String> {
                         ModePerf {
                             secs: num("secs")?,
                             blocks_per_sec: num("blocks_per_sec")?,
+                            guard_execs: mode.get("guard_execs").and_then(|v| v.as_f64()),
                         },
                     ))
                 })
@@ -184,7 +189,15 @@ pub struct ModeDelta {
     pub current: f64,
     /// `current / baseline`; below `1 - tolerance` means regressed.
     pub ratio: f64,
-    /// Whether this mode regressed beyond the tolerance.
+    /// Guard-exec counts, `(baseline, current)`, when both runs record
+    /// them for this mode.
+    pub guards: Option<(f64, f64)>,
+    /// Guard checks increased — a hard failure regardless of tolerance:
+    /// the counts are deterministic, so any increase means the optimizer
+    /// lost ground.
+    pub guards_regressed: bool,
+    /// Whether this mode regressed (throughput beyond the tolerance, or
+    /// a guard-count increase).
     pub regressed: bool,
 }
 
@@ -230,19 +243,29 @@ impl CompareReport {
         );
         let _ = writeln!(
             out,
-            "{:<12} {:>14} {:>14} {:>8}  verdict",
+            "{:<18} {:>14} {:>14} {:>8}  verdict",
             "mode", "baseline", "current", "ratio"
         );
         for d in &self.deltas {
+            let verdict = if d.guards_regressed {
+                "REGRESSED (guard execs increased)"
+            } else if d.regressed {
+                "REGRESSED"
+            } else {
+                "ok"
+            };
             let _ = writeln!(
                 out,
-                "{:<12} {:>14.3} {:>14.3} {:>7.3}x  {}",
-                d.mode,
-                d.baseline,
-                d.current,
-                d.ratio,
-                if d.regressed { "REGRESSED" } else { "ok" }
+                "{:<18} {:>14.3} {:>14.3} {:>7.3}x  {}",
+                d.mode, d.baseline, d.current, d.ratio, verdict
             );
+            if let Some((b, c)) = d.guards {
+                let _ = writeln!(
+                    out,
+                    "{:<18} {:>14.0} {:>14.0}           guard execs",
+                    "", b, c
+                );
+            }
         }
         out
     }
@@ -252,7 +275,9 @@ impl CompareReport {
 ///
 /// Modes present in only one run are skipped — the gate judges the shared
 /// surface. In relative mode the `native` row is reported (it is the
-/// normalizer, always 1.0) but never gated.
+/// normalizer, always 1.0) but never gated. When both runs record
+/// `guard_execs` for a mode, any increase is a regression outright —
+/// the counts are deterministic, so tolerance does not apply.
 ///
 /// # Errors
 ///
@@ -308,12 +333,19 @@ pub fn compare_perf(
         }
         let ratio = cur_metric / base_metric;
         let gated = !(options.relative && mode == "native");
+        let guards = match (base.guard_execs, cur.guard_execs) {
+            (Some(b), Some(c)) => Some((b, c)),
+            _ => None,
+        };
+        let guards_regressed = guards.is_some_and(|(b, c)| c > b);
         deltas.push(ModeDelta {
             mode: mode.clone(),
             baseline: base_metric,
             current: cur_metric,
             ratio,
-            regressed: gated && ratio < 1.0 - options.tolerance,
+            guards,
+            guards_regressed,
+            regressed: (gated && ratio < 1.0 - options.tolerance) || guards_regressed,
         });
     }
     if deltas.is_empty() {
@@ -669,6 +701,102 @@ mod tests {
             ratio >= 1.5,
             "dynamo-linked must run >= 1.5x the simulated dynamo mode, got {ratio:.2}x"
         );
+    }
+
+    #[test]
+    fn committed_trace_opt_run_closes_the_native_gap() {
+        // The point of the trace optimizer: fully-optimized linked
+        // execution must land within 10% of native block throughput,
+        // beat unoptimized linked execution, and never execute more
+        // guards than it.
+        let text = include_str!("../../../BENCH_perf.json");
+        let runs = parse_perf_runs(text).unwrap();
+        let run = select_run(&runs, Some("trace-opt")).expect("trace-opt run is committed");
+        let native = run.mode("native").expect("native mode recorded");
+        let linked = run
+            .mode("dynamo-linked")
+            .expect("dynamo-linked mode recorded");
+        let opt = run
+            .mode("dynamo-linked-opt")
+            .expect("dynamo-linked-opt mode recorded");
+        let vs_native = opt.blocks_per_sec / native.blocks_per_sec;
+        assert!(
+            vs_native >= 0.9,
+            "dynamo-linked-opt must be within 10% of native, got {vs_native:.3}"
+        );
+        assert!(
+            opt.blocks_per_sec > linked.blocks_per_sec,
+            "the optimizer must beat unoptimized linked execution"
+        );
+        let (linked_guards, opt_guards) = (
+            linked.guard_execs.expect("linked guard_execs recorded"),
+            opt.guard_execs.expect("opt guard_execs recorded"),
+        );
+        assert!(
+            opt_guards <= linked_guards,
+            "optimization must not add guard executions: {opt_guards} vs {linked_guards}"
+        );
+    }
+
+    fn guard_doc(label: &str, opt_guards: u64) -> String {
+        format!(
+            r#"{{
+  "runs": [
+    {{
+      "label": "{label}",
+      "scale": "small",
+      "reps": 3,
+      "total_blocks": 1000000,
+      "modes": {{
+        "native": {{"secs": 1.0, "blocks_per_sec": 1000000, "guard_execs": 0}},
+        "dynamo-linked": {{"secs": 2.0, "blocks_per_sec": 500000, "guard_execs": 90000}},
+        "dynamo-linked-opt": {{"secs": 1.8, "blocks_per_sec": 555555, "guard_execs": {opt_guards}}}
+      }}
+    }}
+  ]
+}}"#
+        )
+    }
+
+    #[test]
+    fn guard_exec_counts_parse_and_are_optional() {
+        let with = &parse_perf_runs(&guard_doc("g", 30000)).unwrap()[0];
+        assert_eq!(
+            with.mode("dynamo-linked-opt").unwrap().guard_execs,
+            Some(30000.0)
+        );
+        // Documents predating the field still parse, with no guard gate.
+        let without = &parse_perf_runs(&perf_doc("old", 500000.0)).unwrap()[0];
+        assert_eq!(without.mode("net").unwrap().guard_execs, None);
+        let report = compare_perf(without, with, CompareOptions::default()).unwrap();
+        assert!(report.deltas.iter().all(|d| d.guards.is_none()));
+    }
+
+    #[test]
+    fn guard_exec_increases_trip_the_gate_regardless_of_tolerance() {
+        let base = &parse_perf_runs(&guard_doc("base", 30000)).unwrap()[0];
+        let same = compare_perf(base, base, CompareOptions::default()).unwrap();
+        assert!(same.passed(), "{}", same.render());
+        // Throughput identical, guard count up: still a regression, even
+        // under an absurdly loose tolerance.
+        let worse = &parse_perf_runs(&guard_doc("cur", 30001)).unwrap()[0];
+        let report = compare_perf(
+            base,
+            worse,
+            CompareOptions {
+                tolerance: 0.99,
+                relative: false,
+            },
+        )
+        .unwrap();
+        assert!(!report.passed());
+        let regressed: Vec<&str> = report.regressions().map(|d| d.mode.as_str()).collect();
+        assert_eq!(regressed, ["dynamo-linked-opt"]);
+        assert!(report.render().contains("guard execs increased"));
+        // Decreases are improvements, never regressions.
+        let better = &parse_perf_runs(&guard_doc("cur", 20000)).unwrap()[0];
+        let report = compare_perf(base, better, CompareOptions::default()).unwrap();
+        assert!(report.passed(), "{}", report.render());
     }
 
     fn serve_doc(label: &str, aggregate_rate: f64) -> String {

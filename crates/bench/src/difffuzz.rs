@@ -7,11 +7,13 @@
 //! 1. **reference** — plain interpretation ([`Vm::run`], null observer);
 //! 2. **observed** — plain interpretation with the simulated Dynamo
 //!    [`Engine`] attached (an observer must not perturb execution);
-//! 3. **linked** — the real trace backend ([`Vm::run_linked`]) driven by
-//!    a [`LinkedEngine`];
-//! 4. **faulted** — the linked backend again, with a seeded
-//!    [`FaultPlan`] injecting spurious guard failures, forced flushes,
-//!    fuel starvation, and install rejections.
+//! 3. **linked / linked-guards / linked-full** — the real trace backend
+//!    ([`Vm::run_linked`]) driven by a [`LinkedEngine`], once per
+//!    [`OptLevel`]: the trace optimizer must be invisible in results;
+//! 4. **faulted / faulted-guards / faulted-full** — the linked backend
+//!    again at each [`OptLevel`], with a seeded [`FaultPlan`] injecting
+//!    spurious guard failures, forced flushes, fuel starvation, and
+//!    install rejections.
 //!
 //! Agreement means identical `Result<RunStats, VmError>`, data memory,
 //! and global registers. Any mismatch is a [`Divergence`]; the harness
@@ -22,7 +24,17 @@
 use hotpath_dynamo::{DegradeConfig, DynamoConfig, Engine, LinkedEngine, Scheme};
 use hotpath_ir::gen::{generate, GenConfig};
 use hotpath_ir::Program;
-use hotpath_vm::{FaultInjector, FaultPlan, FaultPoint, NullObserver, RunStats, Vm, VmError};
+use hotpath_vm::{
+    FaultInjector, FaultPlan, FaultPoint, NullObserver, OptLevel, RunStats, Vm, VmError,
+};
+
+/// The optimization levels every seed is cross-checked at, with the stage
+/// names the clean and faulted runs report under.
+pub const OPT_STAGES: [(OptLevel, &str, &str); 3] = [
+    (OptLevel::None, "linked", "faulted"),
+    (OptLevel::Guards, "linked-guards", "faulted-guards"),
+    (OptLevel::Full, "linked-full", "faulted-full"),
+];
 
 /// The fault points difffuzz injects, with per-event probabilities tuned
 /// so a typical program sees a handful of each without drowning in
@@ -139,7 +151,8 @@ impl FinalState {
 pub struct Divergence {
     /// The failing seed.
     pub seed: u64,
-    /// Which stage disagreed (`"observed"`, `"linked"`, `"faulted"`).
+    /// Which stage disagreed (`"observed"`, `"linked"`, `"faulted"`, or
+    /// an opt-level variant like `"linked-full"`; see [`OPT_STAGES`]).
     pub stage: &'static str,
     /// First differing component, reference vs stage.
     pub detail: String,
@@ -160,7 +173,8 @@ impl std::fmt::Display for Divergence {
 pub struct SeedReport {
     /// Blocks the reference run executed.
     pub blocks: u64,
-    /// Faults injected in the faulted stage, per [`FAULT_RATES`] entry.
+    /// Faults injected across the faulted stages (summed over opt
+    /// levels), per [`FAULT_RATES`] entry.
     pub injected: [u64; FAULT_RATES.len()],
     /// Whether the seed ran with the degradation ladder enabled.
     pub degraded_config: bool,
@@ -238,29 +252,37 @@ pub fn check_program(
         }
     }
 
-    // Stage 3: the real trace backend, clean.
-    {
-        let mut vm = Vm::new(program);
-        let mut engine = LinkedEngine::new(config.clone());
+    // Stage 3: the real trace backend, clean, at every optimization
+    // level — the optimizer must be invisible in results.
+    for (level, stage, _) in OPT_STAGES {
+        let mut vm = Vm::new(program).with_opt_level(level);
+        let mut engine = LinkedEngine::new(config.clone().with_opt_level(level));
         let result = vm.run_linked(&mut engine);
         let got = FinalState::capture(&vm, result);
         if got != expect {
-            return Err(diverged("linked", &got));
+            return Err(diverged(stage, &got));
         }
     }
 
-    // Stage 4: the real trace backend under fault injection.
+    // Stage 4: the real trace backend under fault injection, again at
+    // every level. Fault *draw sites* differ across levels (optimized
+    // traces reach fewer guards), so each level sees its own schedule;
+    // every injected fault is semantics-preserving, so each run must
+    // still match the reference independently.
     if options.faults {
-        let mut vm =
-            Vm::new(program).with_faults(FaultInjector::new(fault_plan(seed, options.fault_seed)));
-        let mut engine = LinkedEngine::new(config);
-        let result = vm.run_linked(&mut engine);
-        let got = FinalState::capture(&vm, result);
-        for (i, (point, _)) in FAULT_RATES.iter().enumerate() {
-            report.injected[i] = vm.faults().injected(*point);
-        }
-        if got != expect {
-            return Err(diverged("faulted", &got));
+        for (level, _, stage) in OPT_STAGES {
+            let mut vm = Vm::new(program)
+                .with_opt_level(level)
+                .with_faults(FaultInjector::new(fault_plan(seed, options.fault_seed)));
+            let mut engine = LinkedEngine::new(config.clone().with_opt_level(level));
+            let result = vm.run_linked(&mut engine);
+            let got = FinalState::capture(&vm, result);
+            for (i, (point, _)) in FAULT_RATES.iter().enumerate() {
+                report.injected[i] += vm.faults().injected(*point);
+            }
+            if got != expect {
+                return Err(diverged(stage, &got));
+            }
         }
     }
 

@@ -78,6 +78,10 @@ pub struct DynamoConfig {
     pub degrade: Option<crate::degrade::DegradeConfig>,
     /// Path length cap in blocks.
     pub path_cap: u32,
+    /// Optimization level applied to traces at install time by the linked
+    /// engine (the simulated [`Engine`] executes no traces and ignores
+    /// it). Every level is bit-identical in observable results.
+    pub opt_level: hotpath_vm::OptLevel,
 }
 
 impl DynamoConfig {
@@ -92,7 +96,14 @@ impl DynamoConfig {
             bailout: Some(BailoutPolicy::default()),
             degrade: None,
             path_cap: DEFAULT_PATH_CAP,
+            opt_level: hotpath_vm::OptLevel::None,
         }
+    }
+
+    /// Returns the configuration with `opt_level` set.
+    pub fn with_opt_level(mut self, level: hotpath_vm::OptLevel) -> Self {
+        self.opt_level = level;
+        self
     }
 }
 
@@ -117,6 +128,12 @@ pub struct DynamoOutcome {
     pub cached_block_fraction: f64,
     /// Total instruction slots executed.
     pub insts_executed: u64,
+    /// Guard checks executed in trace-land (zero for the simulated
+    /// engine, which runs no traces). The trace optimizer's target: fewer
+    /// guards per cached block at higher [`OptLevel`]s.
+    ///
+    /// [`OptLevel`]: hotpath_vm::OptLevel
+    pub guard_execs: u64,
 }
 
 impl DynamoOutcome {
@@ -296,6 +313,7 @@ impl Engine {
                 self.blocks_cached as f64 / self.blocks_total as f64
             },
             insts_executed: self.insts_total,
+            guard_execs: 0,
         }
     }
 

@@ -122,6 +122,7 @@ pub struct LinkedEngine {
     blocks_total: u64,
     blocks_cached: u64,
     insts_total: u64,
+    guard_execs: u64,
 }
 
 impl LinkedEngine {
@@ -159,6 +160,7 @@ impl LinkedEngine {
             blocks_total: 0,
             blocks_cached: 0,
             insts_total: 0,
+            guard_execs: 0,
         }
     }
 
@@ -312,6 +314,7 @@ impl LinkedEngine {
                 self.blocks_cached as f64 / self.blocks_total as f64
             },
             insts_executed: self.insts_total,
+            guard_execs: self.guard_execs,
         }
     }
 
@@ -550,6 +553,7 @@ impl TraceController for LinkedEngine {
         self.blocks_total += exc.blocks;
         self.blocks_cached += exc.blocks;
         self.insts_total += exc.insts;
+        self.guard_execs += exc.guard_execs;
         self.cycles.trace += exc.insts as f64 * cost.trace_per_inst;
         let guard_failed = exc.reason == TraceExitReason::GuardFail;
         self.cycles.transitions += cost.excursion_transitions(exc.links, guard_failed);
@@ -590,7 +594,9 @@ impl TraceController for LinkedEngine {
 /// Propagates VM failures.
 pub fn run_dynamo_linked(program: &Program, config: &DynamoConfig) -> Result<LinkedRun, VmError> {
     let mut engine = LinkedEngine::new(config.clone());
-    let stats = Vm::new(program).run_linked(&mut engine)?;
+    let stats = Vm::new(program)
+        .with_opt_level(config.opt_level)
+        .run_linked(&mut engine)?;
     Ok(LinkedRun {
         outcome: engine.finish(),
         stats,

@@ -184,6 +184,11 @@ fn put_config(out: &mut Vec<u8>, config: &SessionConfig) {
     });
     put_u64(out, config.delay);
     put_u64(out, config.fuel_budget.unwrap_or(NO_FUEL));
+    out.push(match config.opt_level {
+        hotpath_vm::OptLevel::None => 0,
+        hotpath_vm::OptLevel::Guards => 1,
+        hotpath_vm::OptLevel::Full => 2,
+    });
 }
 
 fn read_config(r: &mut Reader<'_>) -> Result<SessionConfig, ProtocolError> {
@@ -215,12 +220,19 @@ fn read_config(r: &mut Reader<'_>) -> Result<SessionConfig, ProtocolError> {
         NO_FUEL => None,
         budget => Some(budget),
     };
+    let opt_level = match r.u8("opt_level")? {
+        0 => hotpath_vm::OptLevel::None,
+        1 => hotpath_vm::OptLevel::Guards,
+        2 => hotpath_vm::OptLevel::Full,
+        _ => return Err(ProtocolError::Malformed("opt_level")),
+    };
     Ok(SessionConfig {
         workload,
         scale,
         scheme,
         delay,
         fuel_budget,
+        opt_level,
     })
 }
 

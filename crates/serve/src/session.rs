@@ -39,6 +39,9 @@ pub struct SessionConfig {
     /// calls; `None` is unlimited. Exhausting the budget fails further
     /// `run` requests — the per-session half of admission control.
     pub fuel_budget: Option<u64>,
+    /// Trace optimization level for exec sessions (ignored for ingest,
+    /// which executes nothing). Affects speed only, never results.
+    pub opt_level: hotpath_vm::OptLevel,
 }
 
 impl SessionConfig {
@@ -50,6 +53,7 @@ impl SessionConfig {
             scheme: Scheme::Net,
             delay: 50,
             fuel_budget: None,
+            opt_level: hotpath_vm::OptLevel::None,
         }
     }
 
@@ -61,7 +65,14 @@ impl SessionConfig {
             scheme: Scheme::Net,
             delay: 50,
             fuel_budget: None,
+            opt_level: hotpath_vm::OptLevel::None,
         }
+    }
+
+    /// Returns the configuration with the trace optimization level set.
+    pub fn with_opt_level(mut self, level: hotpath_vm::OptLevel) -> Self {
+        self.opt_level = level;
+        self
     }
 
     /// The label used for telemetry and status reports: the workload name,
@@ -71,7 +82,7 @@ impl SessionConfig {
     }
 
     fn dynamo(&self) -> DynamoConfig {
-        DynamoConfig::new(self.scheme, self.delay)
+        DynamoConfig::new(self.scheme, self.delay).with_opt_level(self.opt_level)
     }
 }
 
@@ -127,7 +138,7 @@ impl Session {
         let engine = LinkedEngine::new(config.dynamo());
         let exec = config.workload.map(|name| {
             let program = build(name, config.scale).program;
-            let vm = Vm::new(&program);
+            let vm = Vm::new(&program).with_opt_level(config.opt_level);
             let state = vm.start_linked();
             Exec { vm, state }
         });

@@ -54,7 +54,8 @@ use crate::wire::{fnv1a64, put_i64, put_stats, put_u32, put_u64, ReadError, Read
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"HPSS";
 
 /// The format version this build writes and the only one it reads.
-pub const SNAPSHOT_VERSION: u16 = 1;
+/// Version 2 added the config's trace optimization level.
+pub const SNAPSHOT_VERSION: u16 = 2;
 
 /// Flag bit: the machine-state section is present.
 const FLAG_MACHINE: u16 = 1;
@@ -151,6 +152,11 @@ impl SessionSnapshot {
         });
         put_u64(&mut out, self.config.delay);
         put_u64(&mut out, self.config.fuel_budget.unwrap_or(u64::MAX));
+        out.push(match self.config.opt_level {
+            hotpath_vm::OptLevel::None => 0,
+            hotpath_vm::OptLevel::Guards => 1,
+            hotpath_vm::OptLevel::Full => 2,
+        });
 
         // Warm section.
         put_u32(&mut out, self.warm.fragments.len() as u32);
@@ -262,12 +268,19 @@ impl SessionSnapshot {
             u64::MAX => None,
             budget => Some(budget),
         };
+        let opt_level = match r.u8("opt_level")? {
+            0 => hotpath_vm::OptLevel::None,
+            1 => hotpath_vm::OptLevel::Guards,
+            2 => hotpath_vm::OptLevel::Full,
+            _ => return Err(SnapshotError::Malformed("opt_level")),
+        };
         let config = SessionConfig {
             workload,
             scale,
             scheme,
             delay,
             fuel_budget,
+            opt_level,
         };
 
         let mut fragments = Vec::new();
@@ -367,6 +380,7 @@ mod tests {
                 scheme: hotpath_dynamo::Scheme::Net,
                 delay: 50,
                 fuel_budget: Some(1_000_000),
+                opt_level: hotpath_vm::OptLevel::Full,
             },
             warm: EngineWarmState {
                 fragments: vec![

@@ -136,6 +136,9 @@ pub enum Event<'a> {
         entries: u64,
         /// Trace-to-trace link transfers taken.
         links: u64,
+        /// Guard checks executed inside the excursion (entry guards
+        /// included); the optimizer exists to shrink this.
+        guards: u64,
         /// Blocks executed when the exit happened.
         at_block: u64,
     },
@@ -148,6 +151,44 @@ pub enum Event<'a> {
         target: u32,
         /// Blocks executed when the guard failed.
         at_block: u64,
+    },
+    /// The trace optimizer dropped a guard whose predicate is implied by
+    /// facts established earlier on the same superblock.
+    GuardElided {
+        /// Head block of the optimized trace.
+        head: u32,
+        /// Block whose guard was elided.
+        block: u32,
+    },
+    /// The trace optimizer hoisted a loop-invariant guard to the trace
+    /// head, where it is checked once per traversal entry instead of once
+    /// per pass over the guarded block.
+    GuardHoisted {
+        /// Head block of the optimized trace.
+        head: u32,
+        /// Block whose guard was hoisted.
+        block: u32,
+        /// Frame-relative register the hoisted guard tests.
+        reg: u32,
+    },
+    /// The constant-folding pass rewrote or sank instructions on one
+    /// trace (emitted once per optimized trace that changed).
+    ConstFolded {
+        /// Head block of the optimized trace.
+        head: u32,
+        /// Instructions rewritten to cheaper forms.
+        folded: u32,
+        /// Dead constants sunk into exit stubs.
+        sunk: u32,
+    },
+    /// Wall-clock duration of one optimizer pass over one trace.
+    /// Nondeterministic, like [`Event::Timing`].
+    OptPass {
+        /// Pass name (`"hoist"`, `"constfold"`, `"guard_elim"`, `"sink"`,
+        /// `"thread"`).
+        pass: &'static str,
+        /// Elapsed nanoseconds.
+        ns: u64,
     },
     /// A trace exit stub was patched into a direct trace-to-trace link.
     LinkPatched {
@@ -270,6 +311,10 @@ impl Event<'_> {
             Event::TraceEnter { .. } => "trace_enter",
             Event::TraceExit { .. } => "trace_exit",
             Event::GuardFail { .. } => "guard_fail",
+            Event::GuardElided { .. } => "guard_elided",
+            Event::GuardHoisted { .. } => "guard_hoisted",
+            Event::ConstFolded { .. } => "const_folded",
+            Event::OptPass { .. } => "opt_pass_ns",
             Event::LinkPatched { .. } => "link_patched",
             Event::LinkSevered { .. } => "link_severed",
             Event::ModeDegraded { .. } => "mode_degraded",
@@ -374,6 +419,7 @@ impl Event<'_> {
                 blocks,
                 entries,
                 links,
+                guards,
                 at_block,
             } => {
                 push_str_field(out, "reason", reason);
@@ -381,6 +427,7 @@ impl Event<'_> {
                 push_u64_field(out, "blocks", blocks);
                 push_u64_field(out, "entries", entries);
                 push_u64_field(out, "links", links);
+                push_u64_field(out, "guards", guards);
                 push_u64_field(out, "at_block", at_block);
             }
             Event::GuardFail {
@@ -391,6 +438,24 @@ impl Event<'_> {
                 push_u64_field(out, "block", block as u64);
                 push_u64_field(out, "target", target as u64);
                 push_u64_field(out, "at_block", at_block);
+            }
+            Event::GuardElided { head, block } => {
+                push_u64_field(out, "head", head as u64);
+                push_u64_field(out, "block", block as u64);
+            }
+            Event::GuardHoisted { head, block, reg } => {
+                push_u64_field(out, "head", head as u64);
+                push_u64_field(out, "block", block as u64);
+                push_u64_field(out, "reg", reg as u64);
+            }
+            Event::ConstFolded { head, folded, sunk } => {
+                push_u64_field(out, "head", head as u64);
+                push_u64_field(out, "folded", folded as u64);
+                push_u64_field(out, "sunk", sunk as u64);
+            }
+            Event::OptPass { pass, ns } => {
+                push_str_field(out, "pass", pass);
+                push_u64_field(out, "ns", ns);
             }
             Event::LinkPatched { from, to } => {
                 push_u64_field(out, "from", from as u64);
@@ -581,12 +646,28 @@ mod tests {
                 blocks: 640,
                 entries: 80,
                 links: 79,
+                guards: 160,
                 at_block: 1140,
             },
             Event::GuardFail {
                 block: 9,
                 target: 12,
                 at_block: 1140,
+            },
+            Event::GuardElided { head: 7, block: 9 },
+            Event::GuardHoisted {
+                head: 7,
+                block: 9,
+                reg: 3,
+            },
+            Event::ConstFolded {
+                head: 7,
+                folded: 5,
+                sunk: 2,
+            },
+            Event::OptPass {
+                pass: "guard_elim",
+                ns: 1200,
             },
             Event::LinkPatched { from: 9, to: 12 },
             Event::LinkSevered { links: 4 },

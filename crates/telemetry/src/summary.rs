@@ -32,6 +32,9 @@ pub struct TelemetrySummary {
     /// Distribution of blocks executed per trace entry (one sample per
     /// trace excursion: its block count divided by its traversal count).
     blocks_per_trace_entry: Option<Histogram>,
+    /// Distribution of guard checks executed per trace entry (one sample
+    /// per trace excursion) — the trace optimizer's target metric.
+    guards_per_trace_entry: Option<Histogram>,
     /// Wall-clock timings, in emission order.
     timings: Vec<(String, f64)>,
     /// Logical timestamp of the previous fragment install.
@@ -79,11 +82,17 @@ impl TelemetrySummary {
                 self.last_trigger_observed.insert(scheme, observed);
             }
             Event::TraceExit {
-                blocks, entries, ..
+                blocks,
+                entries,
+                guards,
+                ..
             } => {
                 self.blocks_per_trace_entry
                     .get_or_insert_with(Histogram::pow2)
                     .add(blocks / entries.max(1));
+                self.guards_per_trace_entry
+                    .get_or_insert_with(Histogram::pow2)
+                    .add(guards / entries.max(1));
             }
             Event::Timing { label, secs } => {
                 self.timings.push((label.to_string(), secs));
@@ -133,6 +142,11 @@ impl TelemetrySummary {
         self.blocks_per_trace_entry.as_ref()
     }
 
+    /// The guards-per-trace-entry histogram, if any trace excursion ran.
+    pub fn guards_per_trace_entry(&self) -> Option<&Histogram> {
+        self.guards_per_trace_entry.as_ref()
+    }
+
     /// Folds another summary in (counts and histograms add; timings
     /// concatenate; the interarrival chains stay per-summary and do not
     /// bridge across the merge).
@@ -148,6 +162,10 @@ impl TelemetrySummary {
             (
                 &mut self.blocks_per_trace_entry,
                 &other.blocks_per_trace_entry,
+            ),
+            (
+                &mut self.guards_per_trace_entry,
+                &other.guards_per_trace_entry,
             ),
         ] {
             if let Some(theirs) = theirs {
@@ -179,6 +197,7 @@ impl TelemetrySummary {
             ("exit_stub_hotness", &self.exit_stub_hotness),
             ("tau_trigger_gap", &self.tau_trigger_gap),
             ("blocks_per_trace_entry", &self.blocks_per_trace_entry),
+            ("guards_per_trace_entry", &self.guards_per_trace_entry),
         ] {
             if let Some(hist) = hist {
                 if !first {
@@ -310,12 +329,17 @@ mod tests {
             blocks: 640,
             entries: 80,
             links: 79,
+            guards: 160,
             at_block: 1000,
         });
         let h = s.blocks_per_trace_entry().unwrap();
         assert_eq!(h.total(), 1);
         // 640 blocks over 80 traversals = 8 blocks per entry.
         assert_eq!(h.max(), 8);
+        // 160 guard checks over 80 traversals = 2 guards per entry.
+        let g = s.guards_per_trace_entry().unwrap();
+        assert_eq!(g.total(), 1);
+        assert_eq!(g.max(), 2);
         assert_eq!(s.count("trace_exit"), 1);
     }
 

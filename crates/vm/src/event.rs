@@ -165,6 +165,11 @@ pub struct TraceExcursion {
     /// Guards that failed. A failing guard ends the excursion unless its
     /// target is itself a trace head, in which case control chains there.
     pub guard_fails: u64,
+    /// Guard checks *executed* inside the excursion: one per inline guard
+    /// reached (branch, switch, or return guard) plus one per entry guard
+    /// evaluated at trace entry or on a cross-trace chain. The trace
+    /// optimizer exists to shrink this number.
+    pub guard_execs: u64,
     /// The program halted inside the excursion.
     pub halted: bool,
 }

@@ -54,6 +54,7 @@
 mod batch;
 mod error;
 mod event;
+mod opt;
 mod trace;
 mod trace_exec;
 mod vm;
@@ -64,6 +65,7 @@ pub use event::{
     BlockEvent, ExecutionObserver, NullObserver, ScriptedController, Tee, TraceCommand,
     TraceController, TraceExcursion, TraceExitReason, TransferKind,
 };
+pub use opt::OptLevel;
 pub use trace::{CountingObserver, RecordedTrace, TraceRecorder};
 pub use vm::{LinkedState, RunConfig, RunStats, SavedFrame, SavedLinkedState, StepOutcome, Vm};
 

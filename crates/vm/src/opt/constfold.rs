@@ -1,0 +1,135 @@
+//! Constant folding and copy propagation over the pre-resolved stream.
+//!
+//! One forward scan with [`Facts`]: instructions whose operands are all
+//! known fold to [`Inst::Const`] with the exact value the VM would have
+//! computed (via the VM's own `eval_bin`, so wrapping and masking
+//! semantics match bit-for-bit); instructions with one known operand
+//! reduce to their immediate forms (`Bin`→`BinImm`, `Cmp`→`CmpImm`,
+//! mirroring the comparison when the known operand is on the left).
+//! Copies from registers with known values become constants, and facts
+//! flow *through* copies, so a chain `mov b,a; cmp c,b,…` folds as if it
+//! had used `a` directly.
+//!
+//! Operations that could be runtime errors (division or remainder whose
+//! divisor is zero or unknown) are never folded away — the instruction
+//! stays and errors at exactly the block plain interpretation would.
+//! Rewrites never add, remove, or reorder instructions, so stats and
+//! stub/step geometry are untouched.
+
+use hotpath_ir::{BinOp, CmpOp, Inst};
+
+use super::analysis::{self, fold_bin, fold_un, Facts};
+use crate::trace_exec::{CompiledTrace, EndOp};
+
+/// True when swapping the operands leaves the result unchanged.
+fn commutative(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Min | BinOp::Max
+    )
+}
+
+/// The comparison with operands swapped: `a op b == b mirror(op) a`.
+fn mirror(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+    }
+}
+
+/// The cheaper equivalent of `inst` under `facts`, if one exists.
+fn rewrite(inst: &Inst, facts: &Facts) -> Option<Inst> {
+    let k = |r: hotpath_ir::Reg| facts.konst(r.index() as u16);
+    match *inst {
+        Inst::Mov { dst, src } => k(src).map(|value| Inst::Const { dst, value }),
+        Inst::Un { op, dst, src } => k(src).map(|v| Inst::Const {
+            dst,
+            value: fold_un(op, v),
+        }),
+        Inst::Bin { op, dst, lhs, rhs } => match (k(lhs), k(rhs)) {
+            (Some(a), Some(b)) => fold_bin(op, a, b).map(|value| Inst::Const { dst, value }),
+            (None, Some(b)) => Some(Inst::BinImm {
+                op,
+                dst,
+                lhs,
+                imm: b,
+            }),
+            (Some(a), None) if commutative(op) => Some(Inst::BinImm {
+                op,
+                dst,
+                lhs: rhs,
+                imm: a,
+            }),
+            _ => None,
+        },
+        Inst::BinImm { op, dst, lhs, imm } => k(lhs)
+            .and_then(|a| fold_bin(op, a, imm))
+            .map(|value| Inst::Const { dst, value }),
+        Inst::Cmp { op, dst, lhs, rhs } => match (k(lhs), k(rhs)) {
+            (Some(a), Some(b)) => Some(Inst::Const {
+                dst,
+                value: op.eval(a, b) as i64,
+            }),
+            (None, Some(b)) => Some(Inst::CmpImm {
+                op,
+                dst,
+                lhs,
+                imm: b,
+            }),
+            (Some(a), None) => Some(Inst::CmpImm {
+                op: mirror(op),
+                dst,
+                lhs: rhs,
+                imm: a,
+            }),
+            _ => None,
+        },
+        Inst::CmpImm { op, dst, lhs, imm } => k(lhs).map(|a| Inst::Const {
+            dst,
+            value: op.eval(a, imm) as i64,
+        }),
+        Inst::Const { .. }
+        | Inst::Load { .. }
+        | Inst::Store { .. }
+        | Inst::GetGlobal { .. }
+        | Inst::SetGlobal { .. } => None,
+    }
+}
+
+/// Folds and reduces instructions in place; returns how many were
+/// rewritten. The caller has verified the trace is call-free.
+pub(super) fn run(tr: &mut CompiledTrace) -> u32 {
+    let mut facts = Facts::new(analysis::reg_bound(tr));
+    for g in &tr.entry_guards {
+        facts.observe_truth(g.reg, g.expect);
+    }
+    let mut folded = 0;
+    let last = tr.steps.len() - 1;
+    let (steps, insts) = (&tr.steps, &mut tr.insts);
+    for (si, step) in steps.iter().enumerate() {
+        for inst in &mut insts[step.inst_start as usize..step.inst_end as usize] {
+            if let Some(new) = rewrite(inst, &facts) {
+                *inst = new;
+                folded += 1;
+            }
+            facts.apply(inst);
+        }
+        // Past a surviving guard, its outcome is a fact for the rest of
+        // the traversal.
+        if si < last {
+            if let EndOp::BranchNext {
+                cond, expect_taken, ..
+            } = step.end
+            {
+                if facts.truth(cond).is_none() {
+                    facts.observe_truth(cond, expect_taken);
+                }
+            }
+        }
+    }
+    folded
+}

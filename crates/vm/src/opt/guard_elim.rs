@@ -1,0 +1,64 @@
+//! Redundant-guard elimination.
+//!
+//! A branch guard is redundant when the facts accumulated along the
+//! superblock already decide it: the condition register holds a known
+//! constant, or an earlier guard on the same register (or on a live copy
+//! of it) already established its truthiness in the expected direction.
+//! Such a guard can never fail, so it is rewritten to [`EndOp::Next`];
+//! the step's `d_cond` delta keeps `cond_branches` accounting exact.
+//!
+//! Guards that *can* fail are left untouched, with their `link_a` slot
+//! and pre-resolved fail target intact — the exit-stub identity
+//! invariant fragment linking relies on. A guard known to always fail is
+//! also left in place: the trace simply exits there every traversal.
+
+use hotpath_telemetry as telemetry;
+
+use super::analysis::{self, Facts};
+use crate::trace_exec::{CompiledTrace, EndOp};
+
+/// Elides guards implied by dominating facts; returns how many guards
+/// were elided. The caller has verified the trace is call-free.
+pub(super) fn run(tr: &mut CompiledTrace) -> u32 {
+    let mut facts = Facts::new(analysis::reg_bound(tr));
+    // Entry guards hold at entry and their registers are invariant, so
+    // their facts are valid for the entire traversal.
+    for g in &tr.entry_guards {
+        facts.observe_truth(g.reg, g.expect);
+    }
+    let head = tr.head;
+    let mut elided = 0;
+    let last = tr.steps.len() - 1;
+    for si in 0..tr.steps.len() {
+        let (lo, hi) = (
+            tr.steps[si].inst_start as usize,
+            tr.steps[si].inst_end as usize,
+        );
+        for inst in &tr.insts[lo..hi] {
+            facts.apply(inst);
+        }
+        if si == last {
+            break;
+        }
+        let step = &mut tr.steps[si];
+        if let EndOp::BranchNext {
+            cond, expect_taken, ..
+        } = step.end
+        {
+            match facts.truth(cond) {
+                Some(t) if t == expect_taken => {
+                    step.end = EndOp::Next;
+                    step.d_cond += 1;
+                    elided += 1;
+                    telemetry::emit!(telemetry::Event::GuardElided {
+                        head,
+                        block: step.block,
+                    });
+                }
+                Some(_) => {}
+                None => facts.observe_truth(cond, expect_taken),
+            }
+        }
+    }
+    elided
+}

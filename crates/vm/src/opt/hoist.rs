@@ -1,0 +1,66 @@
+//! Loop-invariant guard hoisting.
+//!
+//! A branch guard whose condition register is never written by any trace
+//! instruction tests a value that cannot change during a traversal — so
+//! for a *cyclic* trace the same check repeats every pass around the
+//! loop with the same outcome. This pass moves such guards to the trace
+//! entry: the dispatcher (and cross-trace chaining) checks the
+//! [`EntryGuard`]s once per entry, and refuses entry when one fails —
+//! exactly as if no trace were installed, which the interpreter handles
+//! bit-identically.
+//!
+//! The hoisted step's end becomes [`EndOp::Next`] and its `d_cond` delta
+//! keeps `cond_branches` accounting exact. Self-chains skip re-checking:
+//! invariance across one traversal implies invariance across the
+//! self-link.
+
+use hotpath_telemetry as telemetry;
+
+use super::analysis;
+use crate::trace_exec::{CompiledTrace, EndOp, EntryGuard};
+
+/// Hoists loop-invariant branch guards to the trace entry; returns how
+/// many guards were hoisted. The caller has verified the trace is
+/// call-free.
+pub(super) fn run(tr: &mut CompiledTrace) -> u32 {
+    if !analysis::cyclic(tr) {
+        return 0;
+    }
+    let mut defined = vec![false; analysis::reg_bound(tr)];
+    for inst in &tr.insts {
+        if let Some(d) = analysis::def(inst) {
+            defined[d as usize] = true;
+        }
+    }
+    let head = tr.head;
+    let steps = &mut tr.steps;
+    let entry_guards = &mut tr.entry_guards;
+    let mut hoisted = 0;
+    for step in steps.iter_mut() {
+        if let EndOp::BranchNext {
+            cond, expect_taken, ..
+        } = step.end
+        {
+            if !defined[cond as usize] {
+                if !entry_guards
+                    .iter()
+                    .any(|g| g.reg == cond && g.expect == expect_taken)
+                {
+                    entry_guards.push(EntryGuard {
+                        reg: cond,
+                        expect: expect_taken,
+                    });
+                }
+                step.end = EndOp::Next;
+                step.d_cond += 1;
+                hoisted += 1;
+                telemetry::emit!(telemetry::Event::GuardHoisted {
+                    head,
+                    block: step.block,
+                    reg: cond as u32,
+                });
+            }
+        }
+    }
+    hoisted
+}

@@ -1,0 +1,95 @@
+//! Dead-constant sinking into exit stubs.
+//!
+//! After constant folding, many `Const` instructions write registers the
+//! trace itself never reads — their values only matter if control leaves
+//! the trace and the interpreter (or another trace) resumes. This pass
+//! removes such constants from the executed stream and records them in
+//! per-step *exit stubs*: for each step, a snapshot of every removed
+//! constant still pending at that point. Whatever path leaves the trace
+//! at step *k* — guard failure, spurious injected failure, the final
+//! exit, a halt, or a chain into another trace — first applies step
+//! *k*'s stub, materializing exactly the register state block-by-block
+//! interpretation would have produced.
+//!
+//! Two hazards shape the snapshot rule:
+//!
+//! * **Clobbering.** A kept instruction that redefines a sunk register
+//!   (e.g. a `Load` into the same slot) removes it from the pending set,
+//!   so later stubs do not overwrite the newer value.
+//! * **Loop carry.** The final step's stub runs on self-chains too, so
+//!   each completed traversal materializes its constants before the next
+//!   begins; an early exit in traversal *n+1* then only needs the stubs
+//!   of its own prefix.
+//!
+//! Error paths skip stubs: registers are unobservable after a `VmError`.
+//! `size` (and therefore `insts_executed`) counts original instructions,
+//! so stats are untouched.
+
+use std::collections::BTreeMap;
+
+use hotpath_ir::Inst;
+
+use super::analysis;
+use crate::trace_exec::CompiledTrace;
+
+/// Sinks never-read constants into per-step exit stubs; returns how many
+/// constant instructions were removed from the executed stream. The
+/// caller has verified the trace is call-free.
+pub(super) fn run(tr: &mut CompiledTrace) -> u32 {
+    let mut read = vec![false; analysis::reg_bound(tr)];
+    for inst in &tr.insts {
+        analysis::for_each_read(inst, |r| read[r as usize] = true);
+    }
+    for step in &tr.steps {
+        use crate::trace_exec::EndOp;
+        match step.end {
+            EndOp::BranchNext { cond, .. } | EndOp::BranchExit { cond, .. } => {
+                read[cond as usize] = true
+            }
+            EndOp::SwitchNext { index, .. } | EndOp::SwitchExit { index, .. } => {
+                read[index as usize] = true
+            }
+            _ => {}
+        }
+    }
+    for g in &tr.entry_guards {
+        read[g.reg as usize] = true;
+    }
+    let sinkable = tr
+        .insts
+        .iter()
+        .any(|i| matches!(i, Inst::Const { dst, .. } if !read[dst.index()]));
+    if !sinkable {
+        return 0;
+    }
+
+    let (steps, insts) = (&mut tr.steps, &tr.insts);
+    let mut new_insts: Vec<Inst> = Vec::with_capacity(insts.len());
+    let mut stubs: Vec<(u16, i64)> = Vec::new();
+    let mut pending: BTreeMap<u16, i64> = BTreeMap::new();
+    let mut sunk = 0;
+    for step in steps.iter_mut() {
+        let start = new_insts.len() as u32;
+        for inst in &insts[step.inst_start as usize..step.inst_end as usize] {
+            if let Inst::Const { dst, value } = *inst {
+                if !read[dst.index()] {
+                    pending.insert(dst.index() as u16, value);
+                    sunk += 1;
+                    continue;
+                }
+            }
+            if let Some(d) = analysis::def(inst) {
+                pending.remove(&d);
+            }
+            new_insts.push(inst.clone());
+        }
+        step.inst_start = start;
+        step.inst_end = new_insts.len() as u32;
+        step.stub_start = stubs.len() as u32;
+        stubs.extend(pending.iter().map(|(&r, &v)| (r, v)));
+        step.stub_end = stubs.len() as u32;
+    }
+    tr.insts = new_insts;
+    tr.stubs = stubs;
+    sunk
+}

@@ -29,6 +29,7 @@ use hotpath_telemetry as telemetry;
 
 use crate::error::VmError;
 use crate::event::{TraceExcursion, TraceExitReason, TransferKind};
+use crate::opt::{exec_op, MicroOp};
 use crate::vm::{exec_inst, CallFrame, FlatBlock, RunConfig, RunStats};
 
 /// Sentinel for "no trace here" / "link not patched".
@@ -96,30 +97,52 @@ pub(crate) enum EndOp {
     HaltExit,
 }
 
-/// One block of a compiled trace.
+/// One step of a compiled trace: originally one block; after the
+/// optimizer's merge pass, possibly a whole straight-line group of
+/// blocks executed under a single accounting prologue.
 #[derive(Clone, Debug)]
 pub(crate) struct TraceStep {
-    /// Range of this block's straight-line instructions inside
-    /// [`CompiledTrace::insts`].
-    inst_start: u32,
-    inst_end: u32,
-    /// Global block id (error attribution, exit bookkeeping).
-    block: u32,
-    /// Straight-line instructions plus terminator.
-    size: u32,
+    /// Range of this step's straight-line instructions inside
+    /// [`CompiledTrace::insts`] (and, once predecoded, the identical
+    /// range inside [`CompiledTrace::ops`]).
+    pub(crate) inst_start: u32,
+    pub(crate) inst_end: u32,
+    /// Global id of the step's *last* block — the one whose terminator
+    /// is `end` (error attribution, exit bookkeeping).
+    pub(crate) block: u32,
+    /// Global id of the step's *first* block — what a preceding guard
+    /// compares a dynamic target against. Equals `block` until merging.
+    pub(crate) entry: u32,
+    /// Original straight-line instructions plus terminators of every
+    /// block in the step (drives `insts_executed`; the optimizer may
+    /// execute fewer).
+    pub(crate) size: u32,
     /// Owning function index (callers' frames record it).
-    func: u32,
+    pub(crate) func: u32,
     /// Backwardness of the on-trace edge into the next step; `false` on
     /// the final step.
-    next_backward: bool,
+    pub(crate) next_backward: bool,
     /// The guard/terminator ending this step.
-    end: EndOp,
+    pub(crate) end: EndOp,
     /// Patched links for this step's up-to-two statically-known exit
     /// targets ([`NONE`] = unpatched): the branch-fail stub or the final
     /// jump/call/branch-taken target uses `link_a`, the final
     /// branch-fallthrough target uses `link_b`.
-    link_a: u32,
-    link_b: u32,
+    pub(crate) link_a: u32,
+    pub(crate) link_b: u32,
+    /// Blocks this step accounts for (1 until merging).
+    pub(crate) d_blocks: u32,
+    /// Conditional branches executed by the step *besides* its own end
+    /// op — guards the optimizer elided or hoisted, whose `cond_branches`
+    /// accounting must survive.
+    pub(crate) d_cond: u32,
+    /// Backward transfers on intra-step edges (merged-away `Next` edges
+    /// that were backward).
+    pub(crate) d_backward: u32,
+    /// Exit stub: range into [`CompiledTrace::stubs`] of the constants
+    /// to materialize when a traversal leaves the trace at this step.
+    pub(crate) stub_start: u32,
+    pub(crate) stub_end: u32,
 }
 
 /// Which static link slot an exit goes through.
@@ -129,18 +152,43 @@ enum Slot {
     B,
 }
 
+/// A loop-invariant guard hoisted to the trace entry: entry (from the
+/// dispatcher or a cross-trace chain) requires
+/// `(regs[frame_base + reg] != 0) == expect`; a failing check refuses
+/// entry exactly as if no trace were installed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct EntryGuard {
+    /// Frame-relative register the guard tests.
+    pub(crate) reg: u16,
+    /// Required truthiness.
+    pub(crate) expect: bool,
+}
+
 /// A predicted hot path compiled for direct execution.
 #[derive(Clone, Debug)]
 pub(crate) struct CompiledTrace {
-    head: u32,
-    steps: Vec<TraceStep>,
+    pub(crate) head: u32,
+    /// Original block count (fuel prechecks must count blocks, not
+    /// post-merge steps).
+    pub(crate) blocks: u32,
+    pub(crate) steps: Vec<TraceStep>,
     /// All steps' straight-line instructions, contiguous.
-    insts: Vec<Inst>,
+    pub(crate) insts: Vec<Inst>,
+    /// Predecoded direct-threaded stream, 1:1 with `insts`; empty until
+    /// the optimizer's thread pass runs, in which case it is executed
+    /// instead of `insts`.
+    pub(crate) ops: Vec<MicroOp>,
+    /// Sunk-constant pool for per-step exit stubs (`(reg, value)`
+    /// pairs); see [`TraceStep::stub_start`].
+    pub(crate) stubs: Vec<(u16, i64)>,
+    /// Hoisted loop-invariant guards, checked at entry.
+    pub(crate) entry_guards: Vec<EntryGuard>,
 }
 
 impl CompiledTrace {
+    /// Number of original blocks the trace covers.
     pub(crate) fn len(&self) -> usize {
-        self.steps.len()
+        self.blocks as usize
     }
 }
 
@@ -314,18 +362,28 @@ pub(crate) fn compile_trace(view: &ProgramView<'_>, blocks: &[u32]) -> Option<Co
             inst_start,
             inst_end,
             block: b,
+            entry: b,
             size: fb.size,
             func: fb.func,
             next_backward,
             end,
             link_a: NONE,
             link_b: NONE,
+            d_blocks: 1,
+            d_cond: 0,
+            d_backward: 0,
+            stub_start: 0,
+            stub_end: 0,
         });
     }
     Some(CompiledTrace {
         head: blocks[0],
+        blocks: blocks.len() as u32,
         steps,
         insts,
+        ops: Vec::new(),
+        stubs: Vec::new(),
+        entry_guards: Vec::new(),
     })
 }
 
@@ -371,6 +429,19 @@ impl TraceCache {
 
     pub(crate) fn trace_len(&self, tid: u32) -> usize {
         self.traces[tid as usize].len()
+    }
+
+    /// Whether `tid`'s hoisted entry guards all pass in the current
+    /// register frame. A failing guard means the trace would divert
+    /// off-path mid-traversal, so entering is pointless — the dispatcher
+    /// treats the head as uncached and interprets instead (re-checking at
+    /// the next dispatch, since the registers may have changed by then).
+    #[inline]
+    pub(crate) fn entry_ok(&self, tid: u32, regs: &[i64], frame_base: usize) -> bool {
+        self.traces[tid as usize]
+            .entry_guards
+            .iter()
+            .all(|g| (regs[frame_base + g.reg as usize] != 0) == g.expect)
     }
 
     /// Installs a compiled trace; the first trace at a head wins (exactly
@@ -605,23 +676,34 @@ fn run_traversal(
     exc: &mut TraceExcursion,
 ) -> Result<Out, VmError> {
     let tr = &cache.traces[tid as usize];
+    let threaded = !tr.ops.is_empty();
     let mut enter_backward = entry_backward;
     let last = tr.steps.len() - 1;
     for (si, step) in tr.steps.iter().enumerate() {
-        stats.blocks_executed += 1;
-        if enter_backward {
-            stats.backward_transfers += 1;
-        }
+        // Whole-step accounting up front. `d_*` deltas restore what the
+        // optimizer folded away (merged blocks, elided guards, merged
+        // backward edges); intermediate states are unobservable because
+        // stats are only returned on `Ok` and errors discard them.
+        stats.blocks_executed += step.d_blocks as u64;
+        stats.backward_transfers += step.d_backward as u64 + enter_backward as u64;
         stats.insts_executed += step.size as u64;
-        exc.blocks += 1;
-        exc.insts += step.size as u64;
-        let block_id = BlockId::new(step.block);
+        stats.cond_branches += step.d_cond as u64;
         let fb = *m.frame_base;
-        for inst in &tr.insts[step.inst_start as usize..step.inst_end as usize] {
-            exec_inst(inst, &mut m.regs[fb..], m.memory, m.globals, block_id)?;
+        if threaded {
+            let regs = &mut m.regs[fb..];
+            for op in &tr.ops[step.inst_start as usize..step.inst_end as usize] {
+                exec_op(op, regs, m.memory, m.globals)?;
+            }
+        } else {
+            let block_id = BlockId::new(step.block);
+            let regs = &mut m.regs[fb..];
+            for inst in &tr.insts[step.inst_start as usize..step.inst_end as usize] {
+                exec_inst(inst, regs, m.memory, m.globals, block_id)?;
+            }
         }
-        match step.end {
-            EndOp::Next => {}
+        let block_id = BlockId::new(step.block);
+        let out: Option<Out> = match step.end {
+            EndOp::Next => None,
             EndOp::BranchNext {
                 cond,
                 expect_taken,
@@ -629,6 +711,7 @@ fn run_traversal(
                 fail_backward,
             } => {
                 stats.cond_branches += 1;
+                exc.guard_execs += 1;
                 let taken = m.regs[fb + cond as usize] != 0;
                 if taken != expect_taken {
                     let kind = if taken {
@@ -636,7 +719,7 @@ fn run_traversal(
                     } else {
                         TransferKind::BranchNotTaken
                     };
-                    return Ok(static_out(
+                    Some(static_out(
                         cache,
                         si,
                         Slot::A,
@@ -646,22 +729,23 @@ fn run_traversal(
                         kind,
                         fail_backward,
                         true,
-                    ));
-                }
-                if spurious_guard(faults, stats) {
+                    ))
+                } else if spurious_guard(faults, stats) {
                     let kind = if expect_taken {
                         TransferKind::BranchTaken
                     } else {
                         TransferKind::BranchNotTaken
                     };
-                    return Ok(dynamic_out(
+                    Some(dynamic_out(
                         cache,
                         step.block,
-                        tr.steps[si + 1].block,
+                        tr.steps[si + 1].entry,
                         kind,
                         step.next_backward,
                         true,
-                    ));
+                    ))
+                } else {
+                    None
                 }
             }
             EndOp::SwitchNext {
@@ -670,31 +754,33 @@ fn run_traversal(
                 default,
             } => {
                 stats.indirect_branches += 1;
+                exc.guard_execs += 1;
                 let v = m.regs[fb + index as usize];
                 let t = usize::try_from(v)
                     .ok()
                     .and_then(|i| targets.get(i).copied())
                     .unwrap_or(default);
-                if t != tr.steps[si + 1].block {
+                if t != tr.steps[si + 1].entry {
                     let backward = m.layout.is_backward(block_id, BlockId::new(t));
-                    return Ok(dynamic_out(
+                    Some(dynamic_out(
                         cache,
                         step.block,
                         t,
                         TransferKind::Indirect,
                         backward,
                         true,
-                    ));
-                }
-                if spurious_guard(faults, stats) {
-                    return Ok(dynamic_out(
+                    ))
+                } else if spurious_guard(faults, stats) {
+                    Some(dynamic_out(
                         cache,
                         step.block,
                         t,
                         TransferKind::Indirect,
                         step.next_backward,
                         true,
-                    ));
+                    ))
+                } else {
+                    None
                 }
             }
             EndOp::CallNext {
@@ -715,51 +801,52 @@ fn run_traversal(
                 stats.max_call_depth = stats.max_call_depth.max(m.frames.len());
                 *m.frame_base = m.regs.len();
                 m.regs.resize(*m.frame_base + callee_regs as usize, 0);
+                None
             }
             EndOp::ReturnNext => match m.frames.pop() {
                 Some(frame) => {
                     m.regs.truncate(fb);
                     *m.frame_base = frame.frame_base;
+                    exc.guard_execs += 1;
                     let t = frame.ret_global;
-                    if t != tr.steps[si + 1].block {
+                    if t != tr.steps[si + 1].entry {
                         let backward = m.layout.is_backward(block_id, BlockId::new(t));
-                        return Ok(dynamic_out(
+                        Some(dynamic_out(
                             cache,
                             step.block,
                             t,
                             TransferKind::Return,
                             backward,
                             true,
-                        ));
-                    }
-                    if spurious_guard(faults, stats) {
-                        return Ok(dynamic_out(
+                        ))
+                    } else if spurious_guard(faults, stats) {
+                        Some(dynamic_out(
                             cache,
                             step.block,
                             t,
                             TransferKind::Return,
                             step.next_backward,
                             true,
-                        ));
+                        ))
+                    } else {
+                        None
                     }
                 }
                 None => {
                     return Err(VmError::ReturnWithoutCaller { block: block_id });
                 }
             },
-            EndOp::JumpExit { target, backward } => {
-                return Ok(static_out(
-                    cache,
-                    si,
-                    Slot::A,
-                    step.link_a,
-                    step.block,
-                    target,
-                    TransferKind::Jump,
-                    backward,
-                    false,
-                ));
-            }
+            EndOp::JumpExit { target, backward } => Some(static_out(
+                cache,
+                si,
+                Slot::A,
+                step.link_a,
+                step.block,
+                target,
+                TransferKind::Jump,
+                backward,
+                false,
+            )),
             EndOp::BranchExit {
                 cond,
                 taken,
@@ -768,7 +855,7 @@ fn run_traversal(
                 fallthrough_backward,
             } => {
                 stats.cond_branches += 1;
-                return Ok(if m.regs[fb + cond as usize] != 0 {
+                Some(if m.regs[fb + cond as usize] != 0 {
                     static_out(
                         cache,
                         si,
@@ -792,7 +879,7 @@ fn run_traversal(
                         fallthrough_backward,
                         false,
                     )
-                });
+                })
             }
             EndOp::SwitchExit {
                 index,
@@ -806,14 +893,14 @@ fn run_traversal(
                     .and_then(|i| targets.get(i).copied())
                     .unwrap_or(default);
                 let backward = m.layout.is_backward(block_id, BlockId::new(t));
-                return Ok(dynamic_out(
+                Some(dynamic_out(
                     cache,
                     step.block,
                     t,
                     TransferKind::Indirect,
                     backward,
                     false,
-                ));
+                ))
             }
             EndOp::CallExit {
                 ret_global,
@@ -835,7 +922,7 @@ fn run_traversal(
                 stats.max_call_depth = stats.max_call_depth.max(m.frames.len());
                 *m.frame_base = m.regs.len();
                 m.regs.resize(*m.frame_base + callee_regs as usize, 0);
-                return Ok(static_out(
+                Some(static_out(
                     cache,
                     si,
                     Slot::A,
@@ -845,7 +932,7 @@ fn run_traversal(
                     TransferKind::Call,
                     backward,
                     false,
-                ));
+                ))
             }
             EndOp::ReturnExit => match m.frames.pop() {
                 Some(frame) => {
@@ -853,22 +940,32 @@ fn run_traversal(
                     *m.frame_base = frame.frame_base;
                     let t = frame.ret_global;
                     let backward = m.layout.is_backward(block_id, BlockId::new(t));
-                    return Ok(dynamic_out(
+                    Some(dynamic_out(
                         cache,
                         step.block,
                         t,
                         TransferKind::Return,
                         backward,
                         false,
-                    ));
+                    ))
                 }
                 None => {
                     return Err(VmError::ReturnWithoutCaller { block: block_id });
                 }
             },
-            EndOp::HaltExit => {
-                return Ok(Out::Halted { from: step.block });
+            EndOp::HaltExit => Some(Out::Halted { from: step.block }),
+        };
+        if let Some(out) = out {
+            // Leaving the trace at this step (including a chain into
+            // another trace or back into this one): materialize the
+            // constants sunk out of the executed prefix, so the register
+            // frame is exactly what block-by-block interpretation would
+            // have produced. Error paths skip this — registers are
+            // unobservable after a `VmError`.
+            for &(r, v) in &tr.stubs[step.stub_start as usize..step.stub_end as usize] {
+                m.regs[fb + r as usize] = v;
             }
+            return Ok(out);
         }
         debug_assert!(si < last, "non-final step fell through without a successor");
         enter_backward = step.next_backward;
@@ -918,8 +1015,15 @@ pub(crate) fn run_excursion(
         entries: 0,
         links: 0,
         guard_fails: 0,
+        guard_execs: 0,
         halted: false,
     };
+    // Excursion-local block/inst totals fall out of stats deltas, so the
+    // optimizer's whole-step accounting feeds both without double entry.
+    let base_blocks = stats.blocks_executed;
+    let base_insts = stats.insts_executed;
+    // The dispatcher already checked `start`'s entry guards; count them.
+    exc.guard_execs += cache.traces[start as usize].entry_guards.len() as u64;
     let mut tid = start;
     let mut in_kind = entry_kind;
     let mut in_backward = entry_backward;
@@ -932,6 +1036,8 @@ pub(crate) fn run_excursion(
             exc.kind = in_kind;
             exc.backward = in_backward;
             exc.reason = TraceExitReason::Fuel;
+            exc.blocks = stats.blocks_executed - base_blocks;
+            exc.insts = stats.insts_executed - base_insts;
             return Ok(exc);
         }
         exc.entries += 1;
@@ -941,6 +1047,8 @@ pub(crate) fn run_excursion(
                 exc.target = BlockId::new(from);
                 exc.reason = TraceExitReason::Halt;
                 exc.halted = true;
+                exc.blocks = stats.blocks_executed - base_blocks;
+                exc.insts = stats.insts_executed - base_insts;
                 return Ok(exc);
             }
             Out::Exit {
@@ -967,6 +1075,8 @@ pub(crate) fn run_excursion(
                 } else {
                     TraceExitReason::TraceEnd
                 };
+                exc.blocks = stats.blocks_executed - base_blocks;
+                exc.insts = stats.insts_executed - base_insts;
                 return Ok(exc);
             }
             Out::Chain {
@@ -984,6 +1094,35 @@ pub(crate) fn run_excursion(
                         target: cache.traces[next as usize].head,
                         at_block: stats.blocks_executed,
                     });
+                }
+                // Chaining into a *different* trace must re-establish that
+                // trace's hoisted entry guards; the register frame here is
+                // whatever this traversal left behind, not what the
+                // dispatcher checked at excursion start. Self-chains skip
+                // the check: the traversal just proved every hoisted guard
+                // on the invariant registers it never writes. On failure,
+                // fall back to the interpreter at the target's head,
+                // leaving the link unpatched — a link that did not transfer
+                // control was never taken.
+                if next != tid {
+                    let target = &cache.traces[next as usize];
+                    if !target.entry_guards.is_empty() {
+                        exc.guard_execs += target.entry_guards.len() as u64;
+                        if !cache.entry_ok(next, m.regs, *m.frame_base) {
+                            exc.from = Some(BlockId::new(from));
+                            exc.target = BlockId::new(cache.traces[next as usize].head);
+                            exc.kind = kind;
+                            exc.backward = backward;
+                            exc.reason = if fail {
+                                TraceExitReason::GuardFail
+                            } else {
+                                TraceExitReason::TraceEnd
+                            };
+                            exc.blocks = stats.blocks_executed - base_blocks;
+                            exc.insts = stats.insts_executed - base_insts;
+                            return Ok(exc);
+                        }
+                    }
                 }
                 if let Some((si, slot)) = patch {
                     cache.patch(tid, si, slot, next);

@@ -179,6 +179,9 @@ pub struct Vm {
     /// Fault injector consulted by [`Vm::run_linked`]'s hook sites;
     /// disabled by default (one predictable branch per site).
     faults: FaultInjector,
+    /// Optimization applied to traces at install time (see
+    /// [`crate::OptLevel`]); [`OptLevel::None`] by default.
+    opt_level: crate::opt::OptLevel,
 }
 
 impl Vm {
@@ -229,6 +232,7 @@ impl Vm {
             globals: [0; GlobalReg::COUNT],
             config: RunConfig::default(),
             faults: FaultInjector::disabled(),
+            opt_level: crate::opt::OptLevel::None,
         }
     }
 
@@ -244,6 +248,17 @@ impl Vm {
     /// against.
     pub fn with_faults(mut self, faults: FaultInjector) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Sets the optimization level applied to traces when they are
+    /// installed. Every level is bit-identical to [`OptLevel::None`] in
+    /// observable results; higher levels execute fewer guards and
+    /// instructions to get there.
+    ///
+    /// [`OptLevel::None`]: crate::OptLevel::None
+    pub fn with_opt_level(mut self, level: crate::opt::OptLevel) -> Self {
+        self.opt_level = level;
         self
     }
 
@@ -566,9 +581,15 @@ impl Vm {
             // fuel) covers its first traversal. When it does not, fall
             // back to block-by-block interpretation so the run stops at
             // exactly the block plain interpretation would have.
+            // Hoisted entry guards must hold before dispatching into an
+            // optimized trace; when one fails, fall through and interpret
+            // this block (the trace would have bailed on its first guard
+            // anyway, and interpreting makes progress so dispatch cannot
+            // spin on the same head).
             let mut enter = cache
                 .entry(*cur)
-                .filter(|&tid| stats.blocks_executed + cache.trace_len(tid) as u64 <= limit);
+                .filter(|&tid| stats.blocks_executed + cache.trace_len(tid) as u64 <= limit)
+                .filter(|&tid| cache.entry_ok(tid, regs, *frame_base));
             // Fault point: fuel starvation — deny this dispatch as if the
             // precheck had failed; the block interprets instead (exactly
             // the fallback the real precheck takes, hence bit-identical).
@@ -639,6 +660,7 @@ impl Vm {
                     blocks: exc.blocks,
                     entries: exc.entries,
                     links: exc.links,
+                    guards: exc.guard_execs,
                     at_block: stats.blocks_executed,
                 });
                 controller.on_trace_exit(&exc);
@@ -654,6 +676,7 @@ impl Vm {
                     &mut *cache,
                     &view,
                     &mut self.faults,
+                    self.opt_level,
                     stats.blocks_executed,
                 );
                 if exc.halted {
@@ -787,6 +810,7 @@ impl Vm {
                 &mut *cache,
                 &view,
                 &mut self.faults,
+                self.opt_level,
                 stats.blocks_executed,
             );
             let backward = self.layout.is_backward(block_id, BlockId::new(next));
@@ -909,6 +933,7 @@ fn drain_commands<C: TraceController>(
     cache: &mut TraceCache,
     view: &ProgramView<'_>,
     faults: &mut FaultInjector,
+    level: crate::opt::OptLevel,
     at_block: u64,
 ) {
     while let Some(command) = controller.poll_command() {
@@ -921,7 +946,8 @@ fn drain_commands<C: TraceController>(
                     });
                     continue;
                 }
-                if let Some(trace) = compile_trace(view, &blocks) {
+                if let Some(mut trace) = compile_trace(view, &blocks) {
+                    crate::opt::optimize(&mut trace, level);
                     cache.install(trace);
                 }
             }
@@ -1009,7 +1035,7 @@ pub(crate) fn exec_inst(
 }
 
 #[inline]
-fn eval_bin(op: BinOp, a: i64, b: i64, block: BlockId) -> Result<i64, VmError> {
+pub(crate) fn eval_bin(op: BinOp, a: i64, b: i64, block: BlockId) -> Result<i64, VmError> {
     Ok(match op {
         BinOp::Add => a.wrapping_add(b),
         BinOp::Sub => a.wrapping_sub(b),

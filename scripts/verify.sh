@@ -29,8 +29,11 @@ cargo test --workspace --quiet
 echo "== trace-equivalence suite (linked execution is bit-identical) =="
 cargo test -p hotpath --test trace_equivalence --release --quiet
 
-echo "== difffuzz smoke (interpreter vs engines, faults on, 40 seeds) =="
+echo "== difffuzz smoke (all opt levels, faults on, 40 seeds) =="
 ./target/release/difffuzz --seeds 40
+
+echo "== trace-opt suite (optimizer is bit-identical at every level) =="
+cargo test -p hotpath --test trace_opt --release --quiet
 
 if [[ -z "${VERIFY_SKIP_LINT:-}" ]]; then
     echo "== cargo clippy --workspace --all-targets (deny warnings) =="
