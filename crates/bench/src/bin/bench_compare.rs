@@ -1,16 +1,24 @@
 //! `bench_compare` — the CI regression gate over pipeline snapshots.
 //!
-//! Diffs two snapshot files and exits nonzero when the second regresses:
+//! Three modes:
 //!
-//! * two `BENCH_perf.json` documents (or the same document twice with
-//!   different `--baseline-label`/`--current-label`): any mode whose
-//!   blocks/sec drops more than the tolerance fails the gate;
-//! * two `telemetry.json` summaries: any differing event count fails
-//!   (events are deterministic by construction; `timings` are excluded).
+//! * **Pairwise diff** (two files): any perf mode whose blocks/sec drops
+//!   more than the tolerance, or any differing telemetry event count,
+//!   fails the gate;
+//! * **`--trend FILE`**: scans every committed run in one perf document
+//!   in order and reports each mode's cumulative native-relative drift
+//!   (first run vs last). Advisory — slow bleed the pairwise gate cannot
+//!   see draws a WARN but exits 0;
+//! * **`--curve PREFIX FILE`**: gates a committed `loadgen --sweep`
+//!   curve: the `serve-aggregate` rate of `PREFIX-nN` at the largest N
+//!   must hold at least `--curve-floor` (default 0.5) of the smallest-N
+//!   rate.
 //!
 //! ```text
 //! bench_compare BASELINE.json CURRENT.json [--tolerance 0.10] [--relative]
 //!               [--baseline-label L] [--current-label L]
+//! bench_compare --trend FILE [--tolerance 0.10]
+//! bench_compare --curve PREFIX FILE [--curve-floor 0.5]
 //! ```
 //!
 //! `--relative` normalizes each perf run by its own `native` rate before
@@ -18,25 +26,57 @@
 //! baseline numbers were recorded on a different host. The tolerance
 //! defaults to the `PERF_GATE_TOLERANCE` environment variable, then 0.10.
 //!
-//! Exit codes: 0 pass, 1 regression found, 2 usage or parse error.
+//! Exit codes: 0 pass (trend warnings included — they are advisory),
+//! 1 regression found (pairwise) or curve below floor, 2 usage or parse
+//! error.
 
 use std::fs;
 use std::process::ExitCode;
 
 use hotpath_bench::compare::{
-    compare_perf, compare_telemetry, detect_kind, parse_perf_runs, select_run, CompareOptions,
-    DocKind, DEFAULT_TOLERANCE,
+    compare_perf, compare_telemetry, detect_kind, parse_perf_runs, perf_trend, select_run,
+    sweep_curve, CompareOptions, DocKind, DEFAULT_CURVE_FLOOR, DEFAULT_TOLERANCE,
 };
 
-struct Args {
-    baseline: String,
-    current: String,
-    options: CompareOptions,
-    baseline_label: Option<String>,
-    current_label: Option<String>,
+const USAGE: &str = "usage: bench_compare BASELINE.json CURRENT.json [--tolerance F] [--relative]
+                     [--baseline-label L] [--current-label L]
+       bench_compare --trend FILE [--tolerance F]
+       bench_compare --curve PREFIX FILE [--curve-floor F]
+
+modes:
+  two files        pairwise gate: perf modes beyond the tolerance or any
+                   differing telemetry event count fail
+  --trend FILE     cumulative native-relative drift across every run in
+                   one perf document; WARNs are advisory (exit 0)
+  --curve PREFIX   sweep-curve gate over runs labelled PREFIX-nN: the
+                   serve-aggregate rate at the largest N must hold
+                   --curve-floor (default 0.5) of the smallest-N rate
+
+exit codes:
+  0  gate passed (including --trend runs that only warn)
+  1  regression found / curve below floor
+  2  usage or parse error";
+
+enum Mode {
+    Diff {
+        baseline: String,
+        current: String,
+        baseline_label: Option<String>,
+        current_label: Option<String>,
+        options: CompareOptions,
+    },
+    Trend {
+        file: String,
+        tolerance: f64,
+    },
+    Curve {
+        file: String,
+        prefix: String,
+        floor: f64,
+    },
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args() -> Result<Mode, String> {
     let mut tolerance = match std::env::var("PERF_GATE_TOLERANCE") {
         Ok(v) => v
             .parse::<f64>()
@@ -46,6 +86,9 @@ fn parse_args() -> Result<Args, String> {
     let mut relative = false;
     let mut baseline_label = None;
     let mut current_label = None;
+    let mut trend = false;
+    let mut curve: Option<String> = None;
+    let mut floor = DEFAULT_CURVE_FLOOR;
     let mut files = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -60,6 +103,18 @@ fn parse_args() -> Result<Args, String> {
             "--relative" => relative = true,
             "--baseline-label" => baseline_label = Some(value("--baseline-label")?),
             "--current-label" => current_label = Some(value("--current-label")?),
+            "--trend" => trend = true,
+            "--curve" => curve = Some(value("--curve")?),
+            "--curve-floor" => {
+                let v = value("--curve-floor")?;
+                floor = v
+                    .parse()
+                    .map_err(|_| format!("--curve-floor `{v}` is not a number"))?;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             file => files.push(file.to_string()),
         }
@@ -67,67 +122,120 @@ fn parse_args() -> Result<Args, String> {
     if !(0.0..1.0).contains(&tolerance) {
         return Err(format!("tolerance {tolerance} must be in [0, 1)"));
     }
+    if trend && curve.is_some() {
+        return Err("--trend and --curve are mutually exclusive".into());
+    }
+    if trend {
+        let [file]: [String; 1] = files
+            .try_into()
+            .map_err(|_| "--trend takes exactly one snapshot file".to_string())?;
+        return Ok(Mode::Trend { file, tolerance });
+    }
+    if let Some(prefix) = curve {
+        let [file]: [String; 1] = files
+            .try_into()
+            .map_err(|_| "--curve takes exactly one snapshot file".to_string())?;
+        return Ok(Mode::Curve {
+            file,
+            prefix,
+            floor,
+        });
+    }
     let [baseline, current]: [String; 2] = files
         .try_into()
         .map_err(|_| "expected exactly two snapshot files".to_string())?;
-    Ok(Args {
+    Ok(Mode::Diff {
         baseline,
         current,
+        baseline_label,
+        current_label,
         options: CompareOptions {
             tolerance,
             relative,
         },
-        baseline_label,
-        current_label,
     })
 }
 
-fn run(args: &Args) -> Result<bool, String> {
-    let read =
-        |path: &str| fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
-    let base_text = read(&args.baseline)?;
-    let cur_text = read(&args.current)?;
-    let kind = detect_kind(&base_text).map_err(|e| format!("{}: {e}", args.baseline))?;
-    let cur_kind = detect_kind(&cur_text).map_err(|e| format!("{}: {e}", args.current))?;
-    if kind != cur_kind {
-        return Err(format!(
-            "cannot compare a {kind:?} document against a {cur_kind:?} document"
-        ));
-    }
-    match kind {
-        DocKind::Perf => {
-            let base_runs =
-                parse_perf_runs(&base_text).map_err(|e| format!("{}: {e}", args.baseline))?;
-            let cur_runs =
-                parse_perf_runs(&cur_text).map_err(|e| format!("{}: {e}", args.current))?;
-            let base = select_run(&base_runs, args.baseline_label.as_deref())
-                .map_err(|e| format!("{}: {e}", args.baseline))?;
-            let cur = select_run(&cur_runs, args.current_label.as_deref())
-                .map_err(|e| format!("{}: {e}", args.current))?;
-            let report = compare_perf(base, cur, args.options)?;
+fn read(path: &str) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn read_perf_runs(path: &str) -> Result<Vec<hotpath_bench::compare::PerfRun>, String> {
+    let text = read(path)?;
+    parse_perf_runs(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(mode: &Mode) -> Result<bool, String> {
+    match mode {
+        Mode::Trend { file, tolerance } => {
+            let runs = read_perf_runs(file)?;
+            let report = perf_trend(&runs, *tolerance)?;
             print!("{}", report.render());
-            Ok(report.passed())
+            let warnings = report.warnings().count();
+            if warnings > 0 {
+                eprintln!("bench_compare: {warnings} mode(s) drifting (advisory — not failing)");
+            }
+            Ok(true)
         }
-        DocKind::Telemetry => {
-            let diff = compare_telemetry(&base_text, &cur_text)?;
-            print!("{}", diff.render());
-            Ok(diff.passed())
+        Mode::Curve {
+            file,
+            prefix,
+            floor,
+        } => {
+            let runs = read_perf_runs(file)?;
+            let report = sweep_curve(&runs, prefix, *floor)?;
+            print!("{}", report.render());
+            Ok(report.passed)
+        }
+        Mode::Diff {
+            baseline,
+            current,
+            baseline_label,
+            current_label,
+            options,
+        } => {
+            let base_text = read(baseline)?;
+            let cur_text = read(current)?;
+            let kind = detect_kind(&base_text).map_err(|e| format!("{baseline}: {e}"))?;
+            let cur_kind = detect_kind(&cur_text).map_err(|e| format!("{current}: {e}"))?;
+            if kind != cur_kind {
+                return Err(format!(
+                    "cannot compare a {kind:?} document against a {cur_kind:?} document"
+                ));
+            }
+            match kind {
+                DocKind::Perf => {
+                    let base_runs =
+                        parse_perf_runs(&base_text).map_err(|e| format!("{baseline}: {e}"))?;
+                    let cur_runs =
+                        parse_perf_runs(&cur_text).map_err(|e| format!("{current}: {e}"))?;
+                    let base = select_run(&base_runs, baseline_label.as_deref())
+                        .map_err(|e| format!("{baseline}: {e}"))?;
+                    let cur = select_run(&cur_runs, current_label.as_deref())
+                        .map_err(|e| format!("{current}: {e}"))?;
+                    let report = compare_perf(base, cur, *options)?;
+                    print!("{}", report.render());
+                    Ok(report.passed())
+                }
+                DocKind::Telemetry => {
+                    let diff = compare_telemetry(&base_text, &cur_text)?;
+                    print!("{}", diff.render());
+                    Ok(diff.passed())
+                }
+            }
         }
     }
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(args) => args,
+    let mode = match parse_args() {
+        Ok(mode) => mode,
         Err(e) => {
-            eprintln!(
-                "bench_compare: {e}\nusage: bench_compare BASELINE.json CURRENT.json \
-                 [--tolerance F] [--relative] [--baseline-label L] [--current-label L]"
-            );
+            eprintln!("bench_compare: {e}\n{USAGE}");
             return ExitCode::from(2);
         }
     };
-    match run(&args) {
+    match run(&mode) {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => {
             eprintln!("bench_compare: regression gate FAILED");

@@ -26,19 +26,30 @@
 //! fresh session, finish, and require statistics bit-identical to the
 //! uninterrupted plain run.
 //!
+//! `--sweep N1,N2,...` switches to scale-sweep mode: for each point N,
+//! `--connections C` driver threads each multiplex ~N/C concurrent
+//! sessions over a single connection (all sessions open before any
+//! runs, `Run` fuel slices round-robin across them), and the point is
+//! appended as its own run labelled `LABEL-nN` with `native` and
+//! `serve-aggregate` modes plus `rss_max_bytes` from the server's
+//! `Stats` reply. Every point asserts a zero session-table leak: the
+//! server's live-session count must return to its pre-point value after
+//! the closes.
+//!
 //! Usage: `loadgen [--sessions N] [--shards N] [--scale smoke|small|full]
 //! [--seed S] [--fuel N] [--label NAME] [--json PATH] [--addr HOST:PORT]
-//! [--snapshot-check] [--shutdown]`
+//! [--snapshot-check] [--shutdown] [--sweep N1,N2,...] [--connections C]`
 
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use hotpath_core::rng::Rng64;
 use hotpath_serve::{
-    Client, Request, Response, ServeConfig, SessionConfig, SessionManager, SessionSnapshot,
+    Client, Request, Response, ServeConfig, ServerStats, SessionConfig, SessionManager,
+    SessionSnapshot,
 };
 use hotpath_vm::{NullObserver, RunStats, Vm};
 use hotpath_workloads::{build, Scale, WorkloadName, ALL_WORKLOADS};
@@ -57,6 +68,8 @@ struct Args {
     addr: Option<String>,
     snapshot_check: bool,
     shutdown: bool,
+    sweep: Option<Vec<u32>>,
+    connections: u32,
 }
 
 fn parse_args() -> Args {
@@ -71,6 +84,8 @@ fn parse_args() -> Args {
         addr: None,
         snapshot_check: false,
         shutdown: false,
+        sweep: None,
+        connections: 16,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -99,10 +114,29 @@ fn parse_args() -> Args {
             "--addr" => args.addr = Some(value("--addr")),
             "--snapshot-check" => args.snapshot_check = true,
             "--shutdown" => args.shutdown = true,
+            "--sweep" => {
+                let points: Vec<u32> = value("--sweep")
+                    .split(',')
+                    .map(|p| p.trim().parse().expect("--sweep: comma-separated numbers"))
+                    .collect();
+                assert!(!points.is_empty(), "--sweep needs at least one point");
+                assert!(
+                    points.iter().all(|&n| n > 0),
+                    "--sweep points must be positive"
+                );
+                args.sweep = Some(points);
+            }
+            "--connections" => {
+                args.connections = value("--connections")
+                    .parse()
+                    .expect("--connections: number");
+                assert!(args.connections > 0, "--connections must be positive");
+            }
             other => panic!(
                 "unknown argument `{other}` (usage: [--sessions N] [--shards N] \
                  [--scale smoke|small|full] [--seed S] [--fuel N] [--label NAME] \
-                 [--json PATH] [--addr HOST:PORT] [--snapshot-check] [--shutdown])"
+                 [--json PATH] [--addr HOST:PORT] [--snapshot-check] [--shutdown] \
+                 [--sweep N1,N2,...] [--connections C])"
             ),
         }
     }
@@ -222,8 +256,286 @@ fn scale_name(scale: Scale) -> &'static str {
     }
 }
 
+/// Appends one rendered run object to the shared perf document, same
+/// format as `perf_baseline` (creates the document when absent).
+fn append_run(json: &PathBuf, run_json: &str, label: &str) {
+    let existing = fs::read_to_string(json).ok();
+    let doc = match existing {
+        Some(prev) => {
+            let trimmed = prev.trim_end();
+            let body = trimmed
+                .strip_suffix("\n  ]\n}")
+                .or_else(|| trimmed.strip_suffix("]\n}"))
+                .unwrap_or_else(|| {
+                    panic!(
+                        "{} exists but is not a perf_baseline document",
+                        json.display()
+                    )
+                })
+                .trim_end();
+            format!("{body},\n{run_json}\n  ]\n}}\n")
+        }
+        None => format!("{{\n  \"runs\": [\n{run_json}\n  ]\n}}\n"),
+    };
+    fs::write(json, doc).expect("write json");
+    eprintln!("[loadgen] appended run `{label}` to {}", json.display());
+}
+
+fn shutdown_remote(addr: &str) {
+    let mut client = Client::connect(addr).expect("connect");
+    client.shutdown_server().expect("shutdown");
+    eprintln!("[loadgen] server at {addr} shut down");
+}
+
+/// The server's whole-pool counters (used for the sweep's leak check and
+/// peak-RSS reading).
+fn server_stats(endpoint: &mut Endpoint) -> ServerStats {
+    match endpoint.call_patient(Request::Stats) {
+        Response::ServerStats(stats) => stats,
+        other => panic!("stats failed: {other:?}"),
+    }
+}
+
+/// The sequential bare-VM reference for sweep mode, measured once per
+/// invocation: per-workload block counts and the aggregate blocks/sec.
+/// Sweep points reuse it instead of re-running N native executions —
+/// the native rate is scale-invariant, only the block total grows.
+struct NativeRef {
+    blocks: Vec<u64>,
+    rate: f64,
+}
+
+fn measure_native(scale: Scale) -> NativeRef {
+    let programs: Vec<_> = ALL_WORKLOADS
+        .iter()
+        .map(|&name| build(name, scale).program)
+        .collect();
+    let start = Instant::now();
+    let mut blocks = Vec::with_capacity(programs.len());
+    for (program, name) in programs.iter().zip(ALL_WORKLOADS) {
+        let stats = Vm::new(program)
+            .run(&mut NullObserver)
+            .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        blocks.push(stats.blocks_executed);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let total: u64 = blocks.iter().sum();
+    NativeRef {
+        blocks,
+        rate: total as f64 / secs,
+    }
+}
+
+impl NativeRef {
+    /// Total dynamic blocks a plan of workloads will execute.
+    fn plan_blocks(&self, plan: &[WorkloadName]) -> u64 {
+        plan.iter()
+            .map(|&name| {
+                let i = ALL_WORKLOADS
+                    .iter()
+                    .position(|&n| n == name)
+                    .expect("workload in suite");
+                self.blocks[i]
+            })
+            .sum()
+    }
+}
+
+/// One sweep driver: its share of the point's sessions, multiplexed
+/// over a single connection. Opens everything up front, waits at the
+/// barrier so all N sessions across all drivers are concurrently open
+/// before any runs, then round-robins `Run` fuel slices and closes each
+/// session as it finishes. Returns the blocks its sessions executed.
+fn sweep_driver(
+    endpoint: &mut Endpoint,
+    names: &[WorkloadName],
+    scale: Scale,
+    fuel: Option<u64>,
+    all_open: &Barrier,
+) -> u64 {
+    let mut live: Vec<u64> = names
+        .iter()
+        .map(|&name| open(endpoint, name, scale))
+        .collect();
+    all_open.wait();
+    let mut blocks = 0u64;
+    while !live.is_empty() {
+        let mut still = Vec::with_capacity(live.len());
+        for &session in &live {
+            match endpoint.call_patient(Request::Run { session, fuel }) {
+                Response::Ran { done: true, stats } => {
+                    blocks += stats.blocks_executed;
+                    endpoint.call_patient(Request::Close { session });
+                }
+                Response::Ran { done: false, .. } => still.push(session),
+                other => panic!("run failed: {other:?}"),
+            }
+        }
+        live = still;
+    }
+    blocks
+}
+
+struct SweepPoint {
+    secs: f64,
+    total_blocks: u64,
+    rss_max_bytes: u64,
+    connections: u32,
+}
+
+/// Runs one sweep point: N concurrent sessions over C connections.
+/// Asserts the block total matches the native reference and that the
+/// server's live-session count returns to its pre-point value (zero
+/// session-table leak).
+fn sweep_point(args: &Args, pool: &Option<Arc<SessionManager>>, n: u32) -> SweepPoint {
+    let plan = session_plan(n, args.seed);
+    let chunk = plan.len().div_ceil(args.connections.min(n) as usize);
+    // The last chunk may absorb several drivers' worth of rounding, so
+    // the real driver count is however many chunks fall out — sizing
+    // the barrier off the request would deadlock it.
+    let chunks: Vec<Vec<WorkloadName>> = plan.chunks(chunk).map(<[_]>::to_vec).collect();
+    let drivers = chunks.len();
+    let make_endpoint = || match (&args.addr, pool) {
+        (Some(addr), _) => Endpoint::Remote(Client::connect(addr).expect("connect")),
+        (None, Some(pool)) => Endpoint::Local(Arc::clone(pool)),
+        (None, None) => unreachable!(),
+    };
+
+    let mut control = make_endpoint();
+    let before = server_stats(&mut control);
+
+    // All drivers (plus this thread, which starts the clock) rendezvous
+    // once every session is open — the point measures N *concurrent*
+    // sessions, not a staggered trickle.
+    let all_open = Arc::new(Barrier::new(drivers + 1));
+    let threads: Vec<_> = chunks
+        .into_iter()
+        .map(|names| {
+            let (scale, fuel) = (args.scale, args.fuel);
+            let barrier = Arc::clone(&all_open);
+            let mut endpoint = make_endpoint();
+            std::thread::spawn(move || sweep_driver(&mut endpoint, &names, scale, fuel, &barrier))
+        })
+        .collect();
+    all_open.wait();
+    let start = Instant::now();
+    let total_blocks: u64 = threads
+        .into_iter()
+        .map(|t| t.join().expect("sweep driver"))
+        .sum();
+    let secs = start.elapsed().as_secs_f64();
+
+    let after = server_stats(&mut control);
+    assert_eq!(
+        after.live_sessions, before.live_sessions,
+        "session-table leak at n={n}: {} live before, {} after",
+        before.live_sessions, after.live_sessions
+    );
+    assert_eq!(
+        after.sessions_opened - before.sessions_opened,
+        u64::from(n),
+        "open count drifted at n={n}"
+    );
+    SweepPoint {
+        secs,
+        total_blocks,
+        rss_max_bytes: after.rss_max_bytes,
+        connections: drivers as u32,
+    }
+}
+
+/// Sweep mode: one labelled run per point, `native` + `serve-aggregate`
+/// modes, `LABEL-nN` labels — the curve `bench_compare --curve` gates.
+fn run_sweep(args: &Args, points: &[u32]) {
+    let native = measure_native(args.scale);
+    eprintln!(
+        "[loadgen] sweep {:?} connections={} scale={}: native reference {:.0} blocks/sec",
+        points,
+        args.connections,
+        scale_name(args.scale),
+        native.rate
+    );
+    // Local mode sizes one shared pool for the largest point; remote
+    // mode trusts the server's own --max-sessions.
+    let pool = args.addr.is_none().then(|| {
+        let largest = *points.iter().max().expect("nonempty sweep") as usize;
+        let per_shard = (largest / args.shards as usize + 1).max(64);
+        Arc::new(SessionManager::new(ServeConfig {
+            shards: args.shards,
+            max_sessions_per_shard: per_shard,
+            ..ServeConfig::default()
+        }))
+    });
+
+    println!(
+        "\n=== loadgen sweep: {} ({} connections, {} shards, scale {}) ===",
+        args.label,
+        args.connections,
+        args.shards,
+        scale_name(args.scale)
+    );
+    println!(
+        "{:>9} {:>10} {:>16} {:>12}",
+        "sessions", "secs", "blocks/sec", "peak rss"
+    );
+    for &n in points {
+        let point = sweep_point(args, &pool, n);
+        let expected = native.plan_blocks(&session_plan(n, args.seed));
+        assert_eq!(
+            point.total_blocks, expected,
+            "n={n}: concurrent sessions diverged from the native block total"
+        );
+        let rate = point.total_blocks as f64 / point.secs;
+        let native_secs = point.total_blocks as f64 / native.rate;
+        println!(
+            "{:>9} {:>10.3} {:>16.0} {:>9} MiB",
+            n,
+            point.secs,
+            rate,
+            point.rss_max_bytes >> 20
+        );
+
+        let label = format!("{}-n{}", args.label, n);
+        let mut run_json = String::new();
+        let _ = writeln!(run_json, "    {{");
+        let _ = writeln!(run_json, "      \"label\": \"{label}\",");
+        let _ = writeln!(run_json, "      \"scale\": \"{}\",", scale_name(args.scale));
+        let _ = writeln!(run_json, "      \"sessions\": {n},");
+        let _ = writeln!(run_json, "      \"shards\": {},", args.shards);
+        let _ = writeln!(run_json, "      \"connections\": {},", point.connections);
+        let _ = writeln!(run_json, "      \"seed\": {},", args.seed);
+        let _ = writeln!(
+            run_json,
+            "      \"rss_max_bytes\": {},",
+            point.rss_max_bytes
+        );
+        let _ = writeln!(run_json, "      \"total_blocks\": {},", point.total_blocks);
+        let _ = writeln!(run_json, "      \"modes\": {{");
+        let _ = writeln!(
+            run_json,
+            "        \"native\": {{\"secs\": {native_secs:.6}, \"blocks_per_sec\": {:.0}}},",
+            native.rate
+        );
+        let _ = writeln!(
+            run_json,
+            "        \"serve-aggregate\": {{\"secs\": {:.6}, \"blocks_per_sec\": {rate:.0}}}",
+            point.secs
+        );
+        let _ = writeln!(run_json, "      }}");
+        let _ = write!(run_json, "    }}");
+        append_run(&args.json, &run_json, &label);
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if let Some(points) = args.sweep.clone() {
+        run_sweep(&args, &points);
+        if args.shutdown {
+            shutdown_remote(args.addr.as_deref().expect("--shutdown needs --addr"));
+        }
+        return;
+    }
     let plan = session_plan(args.sessions, args.seed);
     eprintln!(
         "[loadgen] sessions={} shards={} scale={} seed={} fuel={:?} plan={:?}",
@@ -318,12 +630,7 @@ fn main() {
     );
 
     if args.shutdown {
-        let addr = args.addr.as_deref().expect("--shutdown needs --addr");
-        let Endpoint::Remote(mut client) = connect(addr) else {
-            unreachable!()
-        };
-        client.shutdown_server().expect("shutdown");
-        eprintln!("[loadgen] server at {addr} shut down");
+        shutdown_remote(args.addr.as_deref().expect("--shutdown needs --addr"));
     }
 
     println!(
@@ -360,28 +667,5 @@ fn main() {
     let _ = write!(run_json, "    }}");
 
     // Append to the shared perf document, same format as perf_baseline.
-    let existing = fs::read_to_string(&args.json).ok();
-    let doc = match existing {
-        Some(prev) => {
-            let trimmed = prev.trim_end();
-            let body = trimmed
-                .strip_suffix("\n  ]\n}")
-                .or_else(|| trimmed.strip_suffix("]\n}"))
-                .unwrap_or_else(|| {
-                    panic!(
-                        "{} exists but is not a perf_baseline document",
-                        args.json.display()
-                    )
-                })
-                .trim_end();
-            format!("{body},\n{run_json}\n  ]\n}}\n")
-        }
-        None => format!("{{\n  \"runs\": [\n{run_json}\n  ]\n}}\n"),
-    };
-    fs::write(&args.json, doc).expect("write json");
-    eprintln!(
-        "[loadgen] appended run `{}` to {}",
-        args.label,
-        args.json.display()
-    );
+    append_run(&args.json, &run_json, &args.label);
 }

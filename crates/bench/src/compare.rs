@@ -48,6 +48,9 @@ pub struct PerfRun {
     pub scale: String,
     /// Dynamic blocks interpreted per mode over the whole suite.
     pub total_blocks: f64,
+    /// Concurrent sessions driven (`loadgen` runs; `None` for
+    /// `perf_baseline` documents, which have no session concept).
+    pub sessions: Option<f64>,
     /// Per-mode measurements in document order.
     pub modes: Vec<(String, ModePerf)>,
 }
@@ -136,6 +139,7 @@ pub fn parse_perf_runs(text: &str) -> Result<Vec<PerfRun>, String> {
                     .get("total_blocks")
                     .and_then(|v| v.as_f64())
                     .ok_or_else(|| format!("run #{i}: missing number \"total_blocks\""))?,
+                sessions: run.get("sessions").and_then(|v| v.as_f64()),
                 modes,
             })
         })
@@ -359,6 +363,280 @@ pub fn compare_perf(
         current_label: current.label.clone(),
         options,
         deltas,
+    })
+}
+
+/// One mode's cumulative drift across a document's committed runs.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TrendDrift {
+    /// Mode name.
+    pub mode: String,
+    /// Label of the earliest run recording this mode.
+    pub first_label: String,
+    /// Label of the latest run recording this mode.
+    pub last_label: String,
+    /// Native-relative rate in the earliest run.
+    pub first: f64,
+    /// Native-relative rate in the latest run.
+    pub last: f64,
+    /// `last / first`; below `1 - tolerance` draws a warning.
+    pub ratio: f64,
+    /// How many committed runs record this mode.
+    pub samples: usize,
+    /// Whether the cumulative drift exceeds the tolerance.
+    pub warned: bool,
+}
+
+/// Outcome of a cumulative-trend scan over a whole perf document.
+///
+/// The trend is *advisory*: the pairwise gate already fails hard on a
+/// single-step regression, so the trend's job is to catch slow bleed —
+/// each step inside tolerance, the sum well outside it — and it warns
+/// instead of failing.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TrendReport {
+    /// Per-mode drift, in first-appearance order.
+    pub drifts: Vec<TrendDrift>,
+    /// The warning threshold the scan ran under.
+    pub tolerance: f64,
+}
+
+impl TrendReport {
+    /// The modes whose cumulative drift exceeds the tolerance.
+    pub fn warnings(&self) -> impl Iterator<Item = &TrendDrift> {
+        self.drifts.iter().filter(|d| d.warned)
+    }
+
+    /// Renders the scan as an aligned text table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "perf trend: cumulative drift across committed runs \
+             (native-relative, warn below {:.0}%)",
+            (1.0 - self.tolerance) * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "{:<20} {:>10} {:>10} {:>8} {:>8}  span",
+            "mode", "first", "last", "ratio", "runs"
+        );
+        for d in &self.drifts {
+            let _ = writeln!(
+                out,
+                "{:<20} {:>10.3} {:>10.3} {:>7.3}x {:>8}  {} -> {}{}",
+                d.mode,
+                d.first,
+                d.last,
+                d.ratio,
+                d.samples,
+                d.first_label,
+                d.last_label,
+                if d.warned {
+                    "  WARN: drifting down"
+                } else {
+                    ""
+                }
+            );
+        }
+        out
+    }
+}
+
+/// Scans every run in document order and reports each mode's cumulative
+/// drift: its native-relative rate in the earliest run that records it
+/// versus the latest. Normalizing by each run's own `native` rate makes
+/// runs recorded on different hosts comparable; runs without a usable
+/// `native` mode are skipped, and `native` itself (identically 1.0) is
+/// not reported.
+///
+/// # Errors
+///
+/// Returns a message when fewer than two runs carry a usable `native`
+/// normalizer — there is no trend in a single sample.
+pub fn perf_trend(runs: &[PerfRun], tolerance: f64) -> Result<TrendReport, String> {
+    /// Accumulator: mode, first and last `(label, rate)` seen, samples.
+    type Series = (String, (String, f64), (String, f64), usize);
+    let mut series: Vec<Series> = Vec::new();
+    let mut usable_runs = 0usize;
+    for run in runs {
+        let Some(native) = run.mode("native") else {
+            continue;
+        };
+        let norm = native.blocks_per_sec;
+        if !(norm.is_finite() && norm > 0.0) {
+            continue;
+        }
+        usable_runs += 1;
+        for (mode, perf) in &run.modes {
+            if mode == "native" {
+                continue;
+            }
+            let rate = perf.blocks_per_sec / norm;
+            if !rate.is_finite() {
+                continue;
+            }
+            match series.iter_mut().find(|(name, ..)| name == mode) {
+                Some((_, _, last, samples)) => {
+                    *last = (run.label.clone(), rate);
+                    *samples += 1;
+                }
+                None => series.push((
+                    mode.clone(),
+                    (run.label.clone(), rate),
+                    (run.label.clone(), rate),
+                    1,
+                )),
+            }
+        }
+    }
+    if usable_runs < 2 {
+        return Err(format!(
+            "need at least two runs with a usable `native` mode to trend, have {usable_runs}"
+        ));
+    }
+    let drifts = series
+        .into_iter()
+        .map(
+            |(mode, (first_label, first), (last_label, last), samples)| {
+                let ratio = last / first;
+                TrendDrift {
+                    mode,
+                    first_label,
+                    last_label,
+                    first,
+                    last,
+                    ratio,
+                    samples,
+                    warned: samples >= 2 && first > 0.0 && ratio < 1.0 - tolerance,
+                }
+            },
+        )
+        .collect();
+    Ok(TrendReport { drifts, tolerance })
+}
+
+/// Default sweep-curve floor: aggregate throughput at the largest scale
+/// must hold at least half the smallest-scale rate.
+pub const DEFAULT_CURVE_FLOOR: f64 = 0.5;
+
+/// One point on a committed scale-sweep curve.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CurvePoint {
+    /// Concurrent sessions at this point.
+    pub sessions: f64,
+    /// The run's label (`PREFIX-nN`).
+    pub label: String,
+    /// Aggregate serving throughput, blocks/sec.
+    pub rate: f64,
+}
+
+/// Outcome of gating a scale-sweep curve.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CurveReport {
+    /// The label prefix the points were collected under.
+    pub prefix: String,
+    /// Required `largest rate / smallest rate` fraction.
+    pub floor: f64,
+    /// The curve, sorted by session count (latest run per count wins).
+    pub points: Vec<CurvePoint>,
+    /// `rate(largest) / rate(smallest)`.
+    pub retention: f64,
+    /// Whether the retention clears the floor.
+    pub passed: bool,
+}
+
+impl CurveReport {
+    /// Renders the curve and verdict as text.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "sweep curve `{}-nN`: throughput retention floor {:.0}%",
+            self.prefix,
+            self.floor * 100.0
+        );
+        let _ = writeln!(out, "{:>10} {:>16}  label", "sessions", "blocks/sec");
+        for p in &self.points {
+            let _ = writeln!(out, "{:>10.0} {:>16.0}  {}", p.sessions, p.rate, p.label);
+        }
+        let _ = writeln!(
+            out,
+            "retention at scale: {:.3} ({})",
+            self.retention,
+            if self.passed { "ok" } else { "BELOW FLOOR" }
+        );
+        out
+    }
+}
+
+/// Gates a committed scale-sweep curve: collects every run labelled
+/// `PREFIX-nN` (session count from the run's `sessions` field, falling
+/// back to parsing the label suffix), keeps the latest run per count,
+/// and requires the `serve-aggregate` rate at the largest N to hold at
+/// least `floor` times the rate at the smallest N — throughput must
+/// degrade gracefully with concurrency, not collapse.
+///
+/// # Errors
+///
+/// Returns a message when fewer than two distinct session counts match,
+/// a matching run lacks a `serve-aggregate` mode or carries a
+/// non-finite/non-positive rate, or `floor` is not in `(0, 1]`.
+pub fn sweep_curve(runs: &[PerfRun], prefix: &str, floor: f64) -> Result<CurveReport, String> {
+    if !(floor > 0.0 && floor <= 1.0) {
+        return Err(format!("curve floor {floor} must be in (0, 1]"));
+    }
+    let mut points: Vec<CurvePoint> = Vec::new();
+    for run in runs {
+        let Some(suffix) = run
+            .label
+            .strip_prefix(prefix)
+            .and_then(|s| s.strip_prefix("-n"))
+        else {
+            continue;
+        };
+        let sessions = match run.sessions {
+            Some(n) => n,
+            None => suffix
+                .parse::<f64>()
+                .map_err(|_| format!("run `{}`: unparsable session count", run.label))?,
+        };
+        let aggregate = run
+            .mode("serve-aggregate")
+            .ok_or_else(|| format!("run `{}` has no `serve-aggregate` mode", run.label))?;
+        let rate = aggregate.blocks_per_sec;
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(format!("run `{}` has unusable rate {rate}", run.label));
+        }
+        let point = CurvePoint {
+            sessions,
+            label: run.label.clone(),
+            rate,
+        };
+        // Latest append per session count wins — documents accumulate
+        // re-measurements under the same labels.
+        match points.iter_mut().find(|p| p.sessions == sessions) {
+            Some(existing) => *existing = point,
+            None => points.push(point),
+        }
+    }
+    if points.len() < 2 {
+        return Err(format!(
+            "need at least two `{prefix}-nN` session counts to gate a curve, have {}",
+            points.len()
+        ));
+    }
+    points.sort_by(|a, b| a.sessions.total_cmp(&b.sessions));
+    let (smallest, largest) = (&points[0], &points[points.len() - 1]);
+    let retention = largest.rate / smallest.rate;
+    Ok(CurveReport {
+        prefix: prefix.to_string(),
+        floor,
+        retention,
+        passed: retention >= floor,
+        points,
     })
 }
 
@@ -861,6 +1139,159 @@ mod tests {
         assert_eq!(modes, ["native"]);
     }
 
+    /// A one-run document with a native normalizer, one extra mode, and
+    /// an optional sessions count — building block for trend/curve docs.
+    fn run_obj(label: &str, mode: &str, rate: f64, sessions: Option<u32>) -> String {
+        let sessions = sessions
+            .map(|n| format!("      \"sessions\": {n},\n"))
+            .unwrap_or_default();
+        format!(
+            "    {{\n      \"label\": \"{label}\",\n      \"scale\": \"smoke\",\n\
+             {sessions}      \"total_blocks\": 1000000,\n      \"modes\": {{\n        \
+             \"native\": {{\"secs\": 1.0, \"blocks_per_sec\": 1000000}},\n        \
+             \"{mode}\": {{\"secs\": 2.0, \"blocks_per_sec\": {rate}}}\n      }}\n    }}"
+        )
+    }
+
+    fn multi_doc(runs: &[String]) -> String {
+        format!("{{\n  \"runs\": [\n{}\n  ]\n}}", runs.join(",\n"))
+    }
+
+    #[test]
+    fn trend_warns_on_cumulative_drift_that_each_step_hides() {
+        // Three steps each losing ~7% — every pairwise gate at 10%
+        // passes, but first-to-last is a 20% loss the trend must flag.
+        let doc = multi_doc(&[
+            run_obj("a", "net", 500000.0, None),
+            run_obj("b", "net", 465000.0, None),
+            run_obj("c", "net", 432000.0, None),
+            run_obj("d", "net", 400000.0, None),
+        ]);
+        let runs = parse_perf_runs(&doc).unwrap();
+        for pair in runs.windows(2) {
+            let step = compare_perf(&pair[0], &pair[1], CompareOptions::default()).unwrap();
+            assert!(step.passed(), "{}", step.render());
+        }
+        let trend = perf_trend(&runs, DEFAULT_TOLERANCE).unwrap();
+        let warned: Vec<&str> = trend.warnings().map(|d| d.mode.as_str()).collect();
+        assert_eq!(warned, ["net"]);
+        let drift = &trend.drifts[0];
+        assert_eq!(drift.samples, 4);
+        assert_eq!(
+            (drift.first_label.as_str(), drift.last_label.as_str()),
+            ("a", "d")
+        );
+        assert!((drift.ratio - 0.8).abs() < 1e-9, "{}", drift.ratio);
+        assert!(trend.render().contains("WARN"), "{}", trend.render());
+        // A flat document draws no warnings.
+        let flat = parse_perf_runs(&multi_doc(&[
+            run_obj("a", "net", 500000.0, None),
+            run_obj("b", "net", 500000.0, None),
+        ]))
+        .unwrap();
+        let trend = perf_trend(&flat, DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(trend.warnings().count(), 0);
+    }
+
+    #[test]
+    fn trend_is_native_relative_and_needs_two_runs() {
+        // A uniformly 2x-slower second host halves every raw rate; the
+        // native-relative trend sees no drift.
+        let doc = multi_doc(&[
+            run_obj("fast-host", "net", 500000.0, None),
+            run_obj("slow-host", "net", 250000.0, None),
+        ]);
+        let mut runs = parse_perf_runs(&doc).unwrap();
+        // Halve the second run's native rate too — the whole host is
+        // uniformly 2x slower, so the relative rate is unchanged at 0.5.
+        runs[1].modes[0].1.blocks_per_sec = 500000.0;
+        let trend = perf_trend(&runs, DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(trend.warnings().count(), 0, "{}", trend.render());
+        let err = perf_trend(&runs[..1], DEFAULT_TOLERANCE).unwrap_err();
+        assert!(err.contains("at least two"), "{err}");
+    }
+
+    #[test]
+    fn curve_gates_retention_between_smallest_and_largest_scale() {
+        let doc = multi_doc(&[
+            run_obj("sweep-n100", "serve-aggregate", 1000000.0, Some(100)),
+            run_obj("sweep-n1000", "serve-aggregate", 800000.0, Some(1000)),
+            run_obj("sweep-n10000", "serve-aggregate", 600000.0, Some(10000)),
+            run_obj("other", "serve-aggregate", 1.0, None),
+        ]);
+        let runs = parse_perf_runs(&doc).unwrap();
+        let report = sweep_curve(&runs, "sweep", DEFAULT_CURVE_FLOOR).unwrap();
+        assert!(report.passed, "{}", report.render());
+        assert_eq!(report.points.len(), 3);
+        assert!((report.retention - 0.6).abs() < 1e-9);
+        // A tighter floor fails the same curve.
+        let strict = sweep_curve(&runs, "sweep", 0.7).unwrap();
+        assert!(!strict.passed);
+        assert!(strict.render().contains("BELOW FLOOR"));
+    }
+
+    #[test]
+    fn curve_keeps_the_latest_run_per_session_count() {
+        // Documents accumulate: a re-measured point under the same label
+        // must supersede the stale one.
+        let doc = multi_doc(&[
+            run_obj("sweep-n100", "serve-aggregate", 1000000.0, Some(100)),
+            run_obj("sweep-n10000", "serve-aggregate", 100000.0, Some(10000)),
+            run_obj("sweep-n10000", "serve-aggregate", 900000.0, Some(10000)),
+        ]);
+        let runs = parse_perf_runs(&doc).unwrap();
+        let report = sweep_curve(&runs, "sweep", DEFAULT_CURVE_FLOOR).unwrap();
+        assert!(report.passed, "{}", report.render());
+        assert_eq!(report.points[1].rate, 900000.0);
+    }
+
+    #[test]
+    fn curve_rejects_thin_or_malformed_input() {
+        let one = parse_perf_runs(&multi_doc(&[run_obj(
+            "sweep-n100",
+            "serve-aggregate",
+            1000000.0,
+            Some(100),
+        )]))
+        .unwrap();
+        assert!(sweep_curve(&one, "sweep", 0.5)
+            .unwrap_err()
+            .contains("at least two"));
+        assert!(sweep_curve(&one, "sweep", 0.0)
+            .unwrap_err()
+            .contains("floor"));
+        assert!(sweep_curve(&one, "sweep", 1.5)
+            .unwrap_err()
+            .contains("floor"));
+        // A matching label without serve-aggregate is an error, not a skip.
+        let wrong = parse_perf_runs(&multi_doc(&[
+            run_obj("sweep-n100", "net", 1.0, Some(100)),
+            run_obj("sweep-n1000", "serve-aggregate", 1.0, Some(1000)),
+        ]))
+        .unwrap();
+        assert!(sweep_curve(&wrong, "sweep", 0.5)
+            .unwrap_err()
+            .contains("serve-aggregate"));
+    }
+
+    #[test]
+    fn committed_document_trends_clean() {
+        // The repo's own history must not show cumulative native-relative
+        // drift — this is what `bench_compare --trend` gates in CI.
+        let text = include_str!("../../../BENCH_perf.json");
+        let runs = parse_perf_runs(text).unwrap();
+        let trend = perf_trend(&runs, DEFAULT_TOLERANCE).unwrap();
+        for warn in trend.warnings() {
+            // Aggregate serving throughput legitimately varies with the
+            // recording host's core count; everything else must hold.
+            assert!(
+                warn.mode.starts_with("serve"),
+                "unexpected drift: {}",
+                trend.render()
+            );
+        }
+    }
+
     #[test]
     fn committed_serve_run_records_aggregate_throughput() {
         // The repo's own BENCH_perf.json carries a loadgen run labelled
@@ -889,5 +1320,26 @@ mod tests {
         )
         .unwrap();
         assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn committed_scale_sweep_curve_holds_the_floor() {
+        // The repo's own BENCH_perf.json carries the reactor scale curve
+        // (runs `scale-n100` / `scale-n1000` / `scale-n10000`): every
+        // point parses with a session count and a peak-RSS record, and
+        // throughput retention from the smallest to the largest point
+        // clears the default floor — this is what the nightly sweep and
+        // `bench_compare --curve` gate against fresh measurements.
+        let text = include_str!("../../../BENCH_perf.json");
+        let runs = parse_perf_runs(text).unwrap();
+        let report =
+            sweep_curve(&runs, "scale", DEFAULT_CURVE_FLOOR).expect("committed scale sweep parses");
+        assert!(report.passed, "{}", report.render());
+        assert!(report.points.len() >= 3, "curve spans at least 3 scales");
+        assert_eq!(
+            report.points.last().map(|p| p.sessions),
+            Some(10_000.0),
+            "curve reaches 10K concurrent sessions"
+        );
     }
 }

@@ -1,17 +1,27 @@
 //! The `serve` binary: bind a TCP address and serve sessions until a
-//! client sends Shutdown.
+//! client sends Shutdown or the process receives SIGINT/SIGTERM.
 //!
 //! ```text
 //! serve [--addr HOST:PORT] [--shards N] [--queue-depth N] [--max-sessions N]
+//!       [--reactors N] [--write-buf BYTES] [--snapshot-dir DIR] [--blocking]
 //! ```
 //!
 //! Prints `listening on HOST:PORT` on stdout once bound (port 0 resolves
 //! to the OS-assigned port), so scripts can scrape the address.
+//!
+//! On SIGINT/SIGTERM the server drains instead of dying: it stops
+//! accepting, answers queued requests with `ShuttingDown`, finishes
+//! in-flight work, flushes replies, closes connections — and, when
+//! `--snapshot-dir` is set, writes every still-open session's warm state
+//! to `DIR/session-<id>.hpss` before exiting 0.
 
-use hotpath_serve::{serve, ServeConfig};
+use hotpath_serve::{serve, serve_blocking, ServeConfig, ServerHandle};
 
 fn usage() -> ! {
-    eprintln!("usage: serve [--addr HOST:PORT] [--shards N] [--queue-depth N] [--max-sessions N]");
+    eprintln!(
+        "usage: serve [--addr HOST:PORT] [--shards N] [--queue-depth N] [--max-sessions N]\n\
+         \x20            [--reactors N] [--write-buf BYTES] [--snapshot-dir DIR] [--blocking]"
+    );
     std::process::exit(2);
 }
 
@@ -32,6 +42,8 @@ fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
 fn main() {
     let mut addr = "127.0.0.1:0".to_string();
     let mut config = ServeConfig::default();
+    let mut snapshot_dir: Option<String> = None;
+    let mut blocking = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -39,6 +51,10 @@ fn main() {
             "--shards" => config.shards = parse(&arg, args.next()),
             "--queue-depth" => config.queue_depth = parse(&arg, args.next()),
             "--max-sessions" => config.max_sessions_per_shard = parse(&arg, args.next()),
+            "--reactors" => config.reactors = parse(&arg, args.next()),
+            "--write-buf" => config.write_buf_limit = parse(&arg, args.next()),
+            "--snapshot-dir" => snapshot_dir = Some(parse(&arg, args.next())),
+            "--blocking" => blocking = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -46,11 +62,16 @@ fn main() {
             }
         }
     }
-    if config.shards == 0 || config.queue_depth == 0 {
-        eprintln!("--shards and --queue-depth must be positive");
+    if config.shards == 0 || config.queue_depth == 0 || config.reactors == 0 {
+        eprintln!("--shards, --queue-depth, and --reactors must be positive");
         usage();
     }
-    let handle = match serve(&addr, config) {
+    let bound = if blocking {
+        serve_blocking(&addr, config)
+    } else {
+        serve(&addr, config)
+    };
+    let mut handle = match bound {
         Ok(handle) => handle,
         Err(e) => {
             eprintln!("bind {addr}: {e}");
@@ -60,5 +81,59 @@ fn main() {
     println!("listening on {}", handle.addr());
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
-    handle.wait();
+
+    spawn_signal_watcher(&handle);
+
+    // Block until the front-end exits (client Shutdown, signal drain, or
+    // a stop); the shard pool stays up so warm sessions can be saved.
+    handle.join_front();
+    if let Some(dir) = snapshot_dir {
+        save_snapshots(&handle, &dir);
+    }
+    drop(handle); // shuts the shard pool down
+}
+
+/// Installs SIGINT/SIGTERM handlers and a watcher thread that fires a
+/// graceful drain when either arrives. No-op where the platform has no
+/// signals to watch.
+#[cfg(unix)]
+fn spawn_signal_watcher(handle: &ServerHandle) {
+    let trigger = handle.drain_trigger();
+    match hotpath_serve::install_drain_signals() {
+        Ok(fd) => {
+            std::thread::Builder::new()
+                .name("hotpath-signals".to_string())
+                .spawn(move || {
+                    hotpath_serve::block_until_signal(fd);
+                    eprintln!("drain signal received, draining");
+                    trigger.fire();
+                })
+                .expect("spawn signal watcher");
+        }
+        Err(e) => eprintln!("signal handlers unavailable ({e}); drain via Shutdown only"),
+    }
+}
+
+#[cfg(not(unix))]
+fn spawn_signal_watcher(_handle: &ServerHandle) {}
+
+/// Writes every still-open session to `dir/session-<id>.hpss`.
+fn save_snapshots(handle: &ServerHandle, dir: &str) {
+    let blobs = handle.manager().snapshot_all();
+    if blobs.is_empty() {
+        return;
+    }
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("snapshot dir {dir}: {e}");
+        return;
+    }
+    let mut saved = 0usize;
+    for (id, blob) in &blobs {
+        let path = format!("{dir}/session-{id}.hpss");
+        match std::fs::write(&path, blob) {
+            Ok(()) => saved += 1,
+            Err(e) => eprintln!("write {path}: {e}"),
+        }
+    }
+    eprintln!("saved {saved} warm session snapshot(s) to {dir}");
 }

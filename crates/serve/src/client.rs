@@ -13,7 +13,7 @@ use std::time::Duration;
 
 use hotpath_vm::{BlockEvent, RunStats};
 
-use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::protocol::{read_frame, write_frame, Request, Response, ServerStats};
 use crate::session::{SessionConfig, SessionStatus};
 
 /// Pause between retries when the server answers `Busy`.
@@ -174,6 +174,19 @@ impl Client {
         match self.request_patient(&Request::Close { session })? {
             Response::Closed { blocks } => Ok(blocks),
             response => Err(unexpected("Closed", &response)),
+        }
+    }
+
+    /// Fetches whole-server counters (live sessions, lifetime totals,
+    /// connection counts, peak RSS).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a server-side error.
+    pub fn stats(&mut self) -> io::Result<ServerStats> {
+        match self.request_patient(&Request::Stats)? {
+            Response::ServerStats(stats) => Ok(stats),
+            response => Err(unexpected("ServerStats", &response)),
         }
     }
 

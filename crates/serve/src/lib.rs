@@ -33,15 +33,25 @@
 mod client;
 mod manager;
 pub mod protocol;
+#[cfg(unix)]
+mod reactor;
 mod server;
 mod session;
 mod shard;
 pub mod snapshot;
+#[cfg(unix)]
+mod sys;
 mod wire;
 
 pub use client::Client;
 pub use manager::{ServeConfig, SessionManager};
-pub use protocol::{read_frame, write_frame, ProtocolError, Request, Response, MAX_FRAME_BYTES};
-pub use server::{serve, ServerHandle};
+pub use protocol::{
+    read_frame, write_frame, ProtocolError, Request, Response, ServerStats, MAX_FRAME_BYTES,
+};
+#[cfg(unix)]
+pub use reactor::{ConnError, ConnLimits, ConnState};
+pub use server::{serve, serve_blocking, DrainTrigger, ServerHandle};
 pub use session::{Session, SessionConfig, SessionStatus};
 pub use snapshot::{SessionSnapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+#[cfg(unix)]
+pub use sys::{block_until_signal, install_drain_signals, max_rss_bytes};

@@ -16,17 +16,27 @@
 //! * **fuel budgets** — per-session block budgets fail `run` requests
 //!   once exhausted (see [`SessionConfig::fuel_budget`]).
 //!
+//! Request handling is split into three phases so both front-ends share
+//! one code path: [`prepare`](SessionManager::prepare) resolves routing
+//! and pre-dispatch work on the caller's thread,
+//! [`submit`](SessionManager::submit) enqueues without ever blocking,
+//! and [`finish`](SessionManager::finish) emits the response-dependent
+//! telemetry. The blocking in-process API ([`request`]) strings the
+//! three together around a rendezvous channel; the reactor front-end
+//! runs `prepare`/`submit` at dispatch and `finish` when the completion
+//! comes back, never parking its event loop.
+//!
+//! [`request`]: SessionManager::request
 //! [`SessionConfig::fuel_budget`]: crate::SessionConfig::fuel_budget
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, TrySendError};
-use std::sync::Mutex;
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
 
 use hotpath_telemetry as telemetry;
 
-use crate::protocol::{Request, Response};
-use crate::session::SessionConfig;
-use crate::shard::{spawn, Job, ShardRequest};
+use crate::protocol::{Request, Response, ServerStats};
+use crate::shard::{spawn, Job, ReplyTo, ShardCounters, ShardRequest};
 use crate::snapshot::SessionSnapshot;
 
 /// Pool shape and admission-control bounds.
@@ -38,6 +48,14 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Live sessions a shard holds before refusing opens with `Busy`.
     pub max_sessions_per_shard: usize,
+    /// Reactor event-loop threads for the TCP front-end (ignored by the
+    /// in-process API and the blocking fallback front-end).
+    pub reactors: u32,
+    /// Soft per-connection write-buffer bound: a connection holding more
+    /// than this many unflushed response bytes answers new requests with
+    /// [`Response::Busy`] until the peer drains it. The hard bound (4x)
+    /// stops reading from the socket entirely.
+    pub write_buf_limit: usize,
 }
 
 impl Default for ServeConfig {
@@ -46,8 +64,47 @@ impl Default for ServeConfig {
             shards: 4,
             queue_depth: 32,
             max_sessions_per_shard: 64,
+            reactors: 1,
+            write_buf_limit: 256 << 10,
         }
     }
+}
+
+/// Pre-dispatch outcome: either the response is already known, or the
+/// request routes to a shard.
+#[derive(Debug)]
+pub(crate) enum Prepared {
+    /// No shard involved — answer immediately.
+    Immediate(Response),
+    /// Routed: submit `shard_request` for `session`, then pass `note`
+    /// to [`SessionManager::finish`] with the eventual response.
+    Route {
+        session: u64,
+        shard_request: ShardRequest,
+        note: RequestNote,
+    },
+}
+
+/// What [`SessionManager::finish`] needs to emit response-dependent
+/// telemetry once a routed request completes. Carried by the caller
+/// (blocking API: on the stack; reactor: in the connection's in-flight
+/// slot) so completion handling stays thread-agnostic.
+#[derive(Debug)]
+pub(crate) enum RequestNote {
+    /// Nothing to emit beyond the generic busy accounting.
+    Plain,
+    /// A fresh open: emit `SessionOpened` on success.
+    Open { workload: &'static str },
+    /// A restore: emit `SessionOpened` + `SnapshotRestored` on success.
+    Restore {
+        workload: &'static str,
+        bytes: u64,
+        fragments: u64,
+    },
+    /// A snapshot capture: emit `SnapshotSaved` with the blob's size.
+    Snapshot { session: u64 },
+    /// A close: emit `SessionClosed` on success.
+    Close { session: u64 },
 }
 
 /// The sharded session pool. Cheap to share (`Arc`) across connection
@@ -55,7 +112,8 @@ impl Default for ServeConfig {
 #[derive(Debug)]
 pub struct SessionManager {
     config: ServeConfig,
-    shards: Vec<std::sync::mpsc::SyncSender<Job>>,
+    shards: Vec<SyncSender<Job>>,
+    counters: Vec<Arc<ShardCounters>>,
     next_id: AtomicU64,
     down: AtomicBool,
     /// Join handles drained at shutdown (kept apart from the senders so
@@ -74,16 +132,19 @@ impl SessionManager {
         assert!(config.shards > 0, "need at least one shard");
         assert!(config.queue_depth > 0, "queue depth must be positive");
         let mut shards = Vec::with_capacity(config.shards as usize);
+        let mut counters = Vec::with_capacity(config.shards as usize);
         let mut joins = Vec::with_capacity(config.shards as usize);
         for shard_id in 0..config.shards {
-            let (sender, thread) =
+            let (sender, shard_counters, thread) =
                 spawn(shard_id, config.queue_depth, config.max_sessions_per_shard);
             shards.push(sender);
+            counters.push(shard_counters);
             joins.push(thread);
         }
         SessionManager {
             config,
             shards,
+            counters,
             next_id: AtomicU64::new(1),
             down: AtomicBool::new(false),
             joins: Mutex::new(joins),
@@ -100,132 +161,241 @@ impl SessionManager {
         &self.config
     }
 
-    /// Serves one request — the in-process API and the TCP front-end's
-    /// single entry point. Never blocks on a full queue: backpressure
-    /// surfaces as [`Response::Busy`].
+    /// Serves one request — the in-process API and the blocking
+    /// front-end's single entry point. Never blocks on a full queue:
+    /// backpressure surfaces as [`Response::Busy`].
     pub fn request(&self, request: Request) -> Response {
+        match self.prepare(request) {
+            Prepared::Immediate(response) => response,
+            Prepared::Route {
+                session,
+                shard_request,
+                note,
+            } => {
+                let shard = self.shard_of(session);
+                let (reply_tx, reply_rx) = sync_channel(1);
+                let response = match self.submit(session, shard_request, ReplyTo::Sync(reply_tx)) {
+                    Ok(()) => reply_rx.recv().unwrap_or(Response::ShuttingDown),
+                    Err(refused) => refused,
+                };
+                self.finish(shard, &note, &response);
+                response
+            }
+        }
+    }
+
+    /// Phase one: resolve routing and pre-dispatch work (id assignment,
+    /// snapshot decoding) on the caller's thread.
+    pub(crate) fn prepare(&self, request: Request) -> Prepared {
         if self.down.load(Ordering::Acquire) {
-            return Response::ShuttingDown;
+            return Prepared::Immediate(Response::ShuttingDown);
         }
         match request {
-            Request::Open { config } => self.open(config),
+            Request::Open { config } => {
+                let workload = config.label();
+                self.route_open(
+                    |id| ShardRequest::Open { id, config },
+                    RequestNote::Open { workload },
+                )
+            }
             Request::Restore { blob } => match SessionSnapshot::decode(&blob) {
                 Ok(snapshot) => {
-                    let bytes = blob.len() as u64;
-                    let fragments = snapshot.warm.fragments.len() as u64;
-                    let label = snapshot.config.label();
-                    let response = self.open_routed(|id| ShardRequest::Restore {
-                        id,
-                        snapshot: Box::new(snapshot.clone()),
-                    });
-                    if let Response::Opened { session, shard } = response {
-                        telemetry::emit!(telemetry::Event::SessionOpened {
-                            session,
-                            shard,
-                            workload: label,
-                        });
-                        telemetry::emit!(telemetry::Event::SnapshotRestored {
-                            session,
-                            bytes,
-                            fragments,
-                        });
-                    }
-                    response
+                    let note = RequestNote::Restore {
+                        workload: snapshot.config.label(),
+                        bytes: blob.len() as u64,
+                        fragments: snapshot.warm.fragments.len() as u64,
+                    };
+                    self.route_open(
+                        |id| ShardRequest::Restore {
+                            id,
+                            snapshot: Box::new(snapshot),
+                        },
+                        note,
+                    )
                 }
-                Err(e) => Response::Error {
+                Err(e) => Prepared::Immediate(Response::Error {
                     message: e.to_string(),
-                },
+                }),
             },
-            Request::Run { session, fuel } => {
-                self.routed(session, ShardRequest::Run { id: session, fuel })
-            }
-            Request::Ingest { session, events } => self.routed(
+            Request::Run { session, fuel } => Prepared::Route {
                 session,
-                ShardRequest::Ingest {
+                shard_request: ShardRequest::Run { id: session, fuel },
+                note: RequestNote::Plain,
+            },
+            Request::Ingest { session, events } => Prepared::Route {
+                session,
+                shard_request: ShardRequest::Ingest {
                     id: session,
                     events,
                 },
-            ),
-            Request::Query { session } => self.routed(session, ShardRequest::Query { id: session }),
-            Request::Snapshot { session } => {
-                let response = self.routed(session, ShardRequest::Snapshot { id: session });
-                if let Response::SnapshotBlob { blob } = &response {
+                note: RequestNote::Plain,
+            },
+            Request::Query { session } => Prepared::Route {
+                session,
+                shard_request: ShardRequest::Query { id: session },
+                note: RequestNote::Plain,
+            },
+            Request::Snapshot { session } => Prepared::Route {
+                session,
+                shard_request: ShardRequest::Snapshot { id: session },
+                note: RequestNote::Snapshot { session },
+            },
+            Request::Flush { session } => Prepared::Route {
+                session,
+                shard_request: ShardRequest::Flush { id: session },
+                note: RequestNote::Plain,
+            },
+            Request::Close { session } => Prepared::Route {
+                session,
+                shard_request: ShardRequest::Close { id: session },
+                note: RequestNote::Close { session },
+            },
+            Request::Stats => Prepared::Immediate(Response::ServerStats(self.server_stats())),
+            // Process lifecycle belongs to the host (TCP server or the
+            // owner of this manager), not to a shard.
+            Request::Shutdown => Prepared::Immediate(Response::ShuttingDown),
+        }
+    }
+
+    fn route_open(&self, make: impl FnOnce(u64) -> ShardRequest, note: RequestNote) -> Prepared {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        Prepared::Route {
+            session: id,
+            shard_request: make(id),
+            note,
+        }
+    }
+
+    pub(crate) fn shard_of(&self, session: u64) -> u32 {
+        (session % u64::from(self.config.shards)) as u32
+    }
+
+    /// Phase two: enqueue a routed request without blocking. `Err` is
+    /// the refusal to hand straight back (`Busy` on a full queue,
+    /// `ShuttingDown` on a dead shard); `Ok` means `reply` will
+    /// eventually receive the response.
+    // The `Err` is a ready-to-send refusal `Response`; boxing it would
+    // push an allocation onto the backpressure path, which must stay
+    // allocation-free.
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn submit(
+        &self,
+        session: u64,
+        shard_request: ShardRequest,
+        reply: ReplyTo,
+    ) -> Result<(), Response> {
+        let shard = self.shard_of(session);
+        let job = Job::Request {
+            request: shard_request,
+            reply,
+        };
+        match self.shards[shard as usize].try_send(job) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => {
+                telemetry::emit!(telemetry::Event::ShardBusy { shard });
+                Err(Response::Busy)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(Response::ShuttingDown),
+        }
+    }
+
+    /// Phase three: response-dependent accounting, on whichever thread
+    /// observed the completion.
+    pub(crate) fn finish(&self, shard: u32, note: &RequestNote, response: &Response) {
+        if matches!(response, Response::Busy) {
+            telemetry::emit!(telemetry::Event::ShardBusy { shard });
+        }
+        match note {
+            RequestNote::Plain => {}
+            RequestNote::Open { workload } => {
+                if let Response::Opened { session, shard } = response {
+                    telemetry::emit!(telemetry::Event::SessionOpened {
+                        session: *session,
+                        shard: *shard,
+                        workload,
+                    });
+                }
+            }
+            RequestNote::Restore {
+                workload,
+                bytes,
+                fragments,
+            } => {
+                if let Response::Opened { session, shard } = response {
+                    telemetry::emit!(telemetry::Event::SessionOpened {
+                        session: *session,
+                        shard: *shard,
+                        workload,
+                    });
+                    telemetry::emit!(telemetry::Event::SnapshotRestored {
+                        session: *session,
+                        bytes: *bytes,
+                        fragments: *fragments,
+                    });
+                }
+            }
+            RequestNote::Snapshot { session } => {
+                if let Response::SnapshotBlob { blob } = response {
                     if let Ok(snapshot) = SessionSnapshot::decode(blob) {
                         telemetry::emit!(telemetry::Event::SnapshotSaved {
-                            session,
+                            session: *session,
                             bytes: blob.len() as u64,
                             fragments: snapshot.warm.fragments.len() as u64,
                         });
                     }
                 }
-                response
             }
-            Request::Flush { session } => self.routed(session, ShardRequest::Flush { id: session }),
-            Request::Close { session } => {
-                let response = self.routed(session, ShardRequest::Close { id: session });
+            RequestNote::Close { session } => {
                 if let Response::Closed { blocks } = response {
                     telemetry::emit!(telemetry::Event::SessionClosed {
-                        session,
-                        shard: self.shard_of(session),
-                        blocks,
+                        session: *session,
+                        shard,
+                        blocks: *blocks,
                     });
                 }
-                response
             }
-            // Process lifecycle belongs to the host (TCP server or the
-            // owner of this manager), not to a shard.
-            Request::Shutdown => Response::ShuttingDown,
         }
     }
 
-    /// Opens a session with a fresh id.
-    fn open(&self, config: SessionConfig) -> Response {
-        let label = config.label();
-        let response = self.open_routed(|id| ShardRequest::Open { id, config });
-        if let Response::Opened { session, shard } = response {
-            telemetry::emit!(telemetry::Event::SessionOpened {
-                session,
-                shard,
-                workload: label,
-            });
-        }
-        response
-    }
-
-    fn open_routed(&self, make: impl FnOnce(u64) -> ShardRequest) -> Response {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.routed(id, make(id))
-    }
-
-    fn shard_of(&self, session: u64) -> u32 {
-        (session % u64::from(self.config.shards)) as u32
-    }
-
-    /// Sends a routed request to its shard and waits for the reply.
-    fn routed(&self, session: u64, request: ShardRequest) -> Response {
-        let shard = self.shard_of(session);
-        let (reply_tx, reply_rx) = sync_channel(1);
-        let job = Job::Request {
-            request,
-            reply: reply_tx,
+    /// Whole-server counters, summed across shards. The connection
+    /// fields are zero here; the reactor front-end overlays its own
+    /// counts before answering [`Request::Stats`] over TCP.
+    pub fn server_stats(&self) -> ServerStats {
+        let mut stats = ServerStats {
+            rss_max_bytes: max_rss(),
+            ..ServerStats::default()
         };
-        match self.shards[shard as usize].try_send(job) {
-            Ok(()) => {}
-            Err(TrySendError::Full(_)) => {
-                telemetry::emit!(telemetry::Event::ShardBusy { shard });
-                return Response::Busy;
-            }
-            Err(TrySendError::Disconnected(_)) => return Response::ShuttingDown,
+        for counters in &self.counters {
+            stats.live_sessions += counters.live.load(Ordering::Relaxed);
+            stats.sessions_opened += counters.opened.load(Ordering::Relaxed);
+            stats.sessions_closed += counters.closed.load(Ordering::Relaxed);
         }
-        match reply_rx.recv() {
-            Ok(response) => {
-                if matches!(response, Response::Busy) {
-                    telemetry::emit!(telemetry::Event::ShardBusy { shard });
-                }
-                response
-            }
-            Err(_) => Response::ShuttingDown,
+        stats
+    }
+
+    /// Snapshots every resident session across every shard, sorted by
+    /// session id. Used by the drain path to park warm state on disk;
+    /// returns empty once the pool is shut down.
+    pub fn snapshot_all(&self) -> Vec<(u64, Vec<u8>)> {
+        if self.down.load(Ordering::Acquire) {
+            return Vec::new();
         }
+        let mut replies = Vec::with_capacity(self.shards.len());
+        for sender in &self.shards {
+            let (reply_tx, reply_rx) = sync_channel(1);
+            // Blocking send: drain must not be droppable by a full
+            // queue; the shard processes queued work ahead of it.
+            if sender.send(Job::SnapshotAll { reply: reply_tx }).is_ok() {
+                replies.push(reply_rx);
+            }
+        }
+        let mut blobs: Vec<(u64, Vec<u8>)> = replies
+            .into_iter()
+            .filter_map(|rx| rx.recv().ok())
+            .flatten()
+            .collect();
+        blobs.sort_by_key(|&(id, _)| id);
+        blobs
     }
 
     /// Stops every shard and joins its thread. Idempotent; requests
@@ -249,5 +419,18 @@ impl SessionManager {
 impl Drop for SessionManager {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Peak RSS of this process; zero where the platform offers no cheap
+/// readout (non-unix, where the `sys` module is compiled out).
+fn max_rss() -> u64 {
+    #[cfg(unix)]
+    {
+        crate::sys::max_rss_bytes()
+    }
+    #[cfg(not(unix))]
+    {
+        0
     }
 }

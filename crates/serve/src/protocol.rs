@@ -11,7 +11,7 @@
 //! body:    ...       opcode-specific fields, little-endian
 //! ```
 //!
-//! Requests use opcodes `0x01..=0x09`, responses `0x80..=0x88`; the high
+//! Requests use opcodes `0x01..=0x0A`, responses `0x80..=0x89`; the high
 //! bit tells the two apart on the wire. Variable-length fields (strings,
 //! event batches, snapshot blobs) are `u32`-length-prefixed; batched
 //! control-flow events use the VM's 14-byte
@@ -86,6 +86,30 @@ pub enum Request {
         /// Target session.
         session: u64,
     },
+    /// Query whole-server counters (`0x0A`) — live sessions, lifetime
+    /// open/close totals, connection counts, and peak RSS. The scale
+    /// sweep and the CI leak check read these to prove the session table
+    /// drains to zero and memory stays bounded.
+    Stats,
+}
+
+/// Whole-server counters carried by [`Response::ServerStats`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ServerStats {
+    /// Sessions currently resident across every shard.
+    pub live_sessions: u64,
+    /// Sessions opened (including restores) over the server's lifetime.
+    pub sessions_opened: u64,
+    /// Sessions closed over the server's lifetime.
+    pub sessions_closed: u64,
+    /// Connections currently open on the reactor front-end (0 for the
+    /// in-process or blocking front-ends).
+    pub connections: u64,
+    /// Connections accepted over the server's lifetime.
+    pub conns_accepted: u64,
+    /// Peak resident set size of the serving process in bytes (0 where
+    /// the platform offers no cheap readout).
+    pub rss_max_bytes: u64,
 }
 
 /// A server-to-client message.
@@ -135,6 +159,8 @@ pub enum Response {
     },
     /// The server acknowledged a shutdown request (`0x88`).
     ShuttingDown,
+    /// Whole-server counters (`0x89`), answering [`Request::Stats`].
+    ServerStats(ServerStats),
 }
 
 /// Why a payload failed to decode.
@@ -278,6 +304,7 @@ impl Request {
                 out.push(0x09);
                 put_u64(&mut out, *session);
             }
+            Request::Stats => out.push(0x0A),
         }
         out
     }
@@ -323,6 +350,7 @@ impl Request {
             0x09 => Request::Flush {
                 session: r.u64("session")?,
             },
+            0x0A => Request::Stats,
             op => return Err(ProtocolError::BadOpcode(op)),
         };
         if r.remaining() != 0 {
@@ -384,6 +412,15 @@ impl Response {
                 put_str(&mut out, message);
             }
             Response::ShuttingDown => out.push(0x88),
+            Response::ServerStats(stats) => {
+                out.push(0x89);
+                put_u64(&mut out, stats.live_sessions);
+                put_u64(&mut out, stats.sessions_opened);
+                put_u64(&mut out, stats.sessions_closed);
+                put_u64(&mut out, stats.connections);
+                put_u64(&mut out, stats.conns_accepted);
+                put_u64(&mut out, stats.rss_max_bytes);
+            }
         }
         out
     }
@@ -438,6 +475,14 @@ impl Response {
                 message: r.str("message")?.to_string(),
             },
             0x88 => Response::ShuttingDown,
+            0x89 => Response::ServerStats(ServerStats {
+                live_sessions: r.u64("live_sessions")?,
+                sessions_opened: r.u64("sessions_opened")?,
+                sessions_closed: r.u64("sessions_closed")?,
+                connections: r.u64("connections")?,
+                conns_accepted: r.u64("conns_accepted")?,
+                rss_max_bytes: r.u64("rss_max_bytes")?,
+            }),
             op => return Err(ProtocolError::BadOpcode(op)),
         };
         if r.remaining() != 0 {
@@ -554,6 +599,7 @@ mod tests {
             Request::Close { session: 3 },
             Request::Shutdown,
             Request::Flush { session: 4 },
+            Request::Stats,
         ]
     }
 
@@ -602,6 +648,14 @@ mod tests {
                 message: "no such session".to_string(),
             },
             Response::ShuttingDown,
+            Response::ServerStats(ServerStats {
+                live_sessions: 10_000,
+                sessions_opened: 20_000,
+                sessions_closed: 10_000,
+                connections: 64,
+                conns_accepted: 128,
+                rss_max_bytes: 1 << 30,
+            }),
         ]
     }
 

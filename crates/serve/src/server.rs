@@ -1,12 +1,20 @@
-//! The TCP front-end: an accept loop plus one thread per connection,
-//! each speaking the framed protocol against a shared
-//! [`SessionManager`].
+//! The TCP front-ends: a nonblocking reactor (default on unix) and the
+//! original blocking thread-per-connection loop (fallback elsewhere,
+//! and available everywhere as [`serve_blocking`] for parity testing).
 //!
-//! The transport adds nothing to the in-process API: every frame decodes
-//! to a [`Request`], goes through [`SessionManager::request`], and the
-//! [`Response`] is framed straight back. The only request the transport
-//! itself interprets is [`Request::Shutdown`], which stops the accept
-//! loop, joins every connection, and tears down the shard pool.
+//! Both transports add nothing to the in-process API: every frame
+//! decodes to a [`Request`], goes through the [`SessionManager`], and
+//! the [`Response`] is framed straight back. The only requests the
+//! transport itself interprets are [`Request::Shutdown`] (stop the
+//! server) and, on the reactor, [`Request::Stats`] (overlay connection
+//! counts on the manager's counters).
+//!
+//! The reactor front-end ([`crate::reactor`]) holds every connection in
+//! one readiness loop per reactor thread — the shape that carries 10K
+//! concurrent sessions — and supports graceful drain: stop accepting,
+//! answer queued requests with `ShuttingDown`, finish in-flight shard
+//! work, flush, close. [`ServerHandle::drain_trigger`] hands out a
+//! [`DrainTrigger`] that a signal watcher can fire from any thread.
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -18,23 +26,117 @@ use crate::manager::{ServeConfig, SessionManager};
 use crate::protocol::{read_frame, write_frame, Request, Response};
 
 /// A running server: the bound address, the shared manager, and the
-/// accept thread. Dropping the handle stops the server and joins every
-/// thread it spawned.
+/// front-end threads. Dropping the handle stops the server and joins
+/// every thread it spawned.
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
     manager: Arc<SessionManager>,
-    stop: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
+    front: Front,
+}
+
+#[derive(Debug)]
+enum Front {
+    Blocking {
+        stop: Arc<AtomicBool>,
+        accept: Option<JoinHandle<()>>,
+    },
+    #[cfg(unix)]
+    Reactor {
+        fanout: crate::reactor::DrainFanout,
+        joins: Vec<JoinHandle<()>>,
+    },
+}
+
+/// Fires a graceful drain of a running server from any thread: stop
+/// accepting, flush in-flight replies, close connections, exit the
+/// front-end threads. Cloneable and `Send`, so a signal watcher can own
+/// one. Firing twice is harmless.
+#[derive(Clone, Debug)]
+pub struct DrainTrigger {
+    inner: TriggerInner,
+}
+
+#[derive(Clone, Debug)]
+enum TriggerInner {
+    Blocking {
+        stop: Arc<AtomicBool>,
+        addr: SocketAddr,
+    },
+    #[cfg(unix)]
+    Reactor(crate::reactor::DrainFanout),
+}
+
+impl DrainTrigger {
+    /// Starts the drain. Idempotent.
+    pub fn fire(&self) {
+        match &self.inner {
+            TriggerInner::Blocking { stop, addr } => request_stop(stop, *addr),
+            #[cfg(unix)]
+            TriggerInner::Reactor(fanout) => fanout.fire(),
+        }
+    }
 }
 
 /// Binds `addr` (use port 0 for an OS-assigned port) and starts serving
-/// a fresh session pool shaped by `config`.
+/// a fresh session pool shaped by `config`. On unix this is the
+/// nonblocking reactor front-end with `config.reactors` event-loop
+/// threads; elsewhere it falls back to [`serve_blocking`].
 ///
 /// # Errors
 ///
 /// Propagates bind failures.
 pub fn serve<A: ToSocketAddrs>(addr: A, config: ServeConfig) -> io::Result<ServerHandle> {
+    #[cfg(unix)]
+    {
+        serve_reactor(addr, config)
+    }
+    #[cfg(not(unix))]
+    {
+        serve_blocking(addr, config)
+    }
+}
+
+#[cfg(unix)]
+fn serve_reactor<A: ToSocketAddrs>(addr: A, config: ServeConfig) -> io::Result<ServerHandle> {
+    use crate::reactor::{spawn_reactor, ConnTotals, DrainFanout};
+    use crate::ConnLimits;
+
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let manager = Arc::new(SessionManager::new(config));
+    let totals = Arc::new(ConnTotals::default());
+    let fanout = DrainFanout::default();
+    let limits = ConnLimits::with_write_soft(config.write_buf_limit);
+    let reactors = config.reactors.max(1);
+    let mut joins = Vec::with_capacity(reactors as usize);
+    for index in 0..reactors {
+        let handle = spawn_reactor(
+            index,
+            listener.try_clone()?,
+            Arc::clone(&manager),
+            Arc::clone(&totals),
+            &fanout,
+            limits,
+        )?;
+        joins.push(handle.join);
+    }
+    drop(listener);
+    Ok(ServerHandle {
+        addr,
+        manager,
+        front: Front::Reactor { fanout, joins },
+    })
+}
+
+/// Binds `addr` and serves with the original blocking
+/// thread-per-connection front-end. Kept for non-unix platforms and for
+/// differential testing against the reactor.
+///
+/// # Errors
+///
+/// Propagates bind failures.
+pub fn serve_blocking<A: ToSocketAddrs>(addr: A, config: ServeConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let manager = Arc::new(SessionManager::new(config));
@@ -50,8 +152,10 @@ pub fn serve<A: ToSocketAddrs>(addr: A, config: ServeConfig) -> io::Result<Serve
     Ok(ServerHandle {
         addr,
         manager,
-        stop,
-        accept: Some(accept),
+        front: Front::Blocking {
+            stop,
+            accept: Some(accept),
+        },
     })
 }
 
@@ -66,22 +170,61 @@ impl ServerHandle {
         &self.manager
     }
 
-    /// Blocks until the server stops (a client sent
-    /// [`Request::Shutdown`], or [`ServerHandle::stop`] was called from
-    /// another thread via a clone of the handle's internals).
-    pub fn wait(mut self) {
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+    /// A handle that starts a graceful drain from any thread.
+    pub fn drain_trigger(&self) -> DrainTrigger {
+        let inner = match &self.front {
+            Front::Blocking { stop, .. } => TriggerInner::Blocking {
+                stop: Arc::clone(stop),
+                addr: self.addr,
+            },
+            #[cfg(unix)]
+            Front::Reactor { fanout, .. } => TriggerInner::Reactor(fanout.clone()),
+        };
+        DrainTrigger { inner }
+    }
+
+    /// Starts a graceful drain without blocking (use
+    /// [`join_front`](ServerHandle::join_front) or
+    /// [`wait`](ServerHandle::wait) to observe completion).
+    pub fn drain(&self) {
+        self.drain_trigger().fire();
+    }
+
+    /// Joins the front-end threads once they exit (after a drain, a
+    /// client `Shutdown`, or a stop). The shard pool stays up, so warm
+    /// sessions can still be snapshotted via
+    /// [`manager`](ServerHandle::manager) before teardown.
+    pub fn join_front(&mut self) {
+        match &mut self.front {
+            Front::Blocking { accept, .. } => {
+                if let Some(accept) = accept.take() {
+                    let _ = accept.join();
+                }
+            }
+            #[cfg(unix)]
+            Front::Reactor { joins, .. } => {
+                for join in joins.drain(..) {
+                    let _ = join.join();
+                }
+            }
         }
     }
 
-    /// Stops the server: no new connections, existing connections join,
-    /// the shard pool shuts down. Idempotent.
+    /// Blocks until the server stops (a client sent
+    /// [`Request::Shutdown`], a [`DrainTrigger`] fired, or
+    /// [`ServerHandle::stop`] was called from another thread), then
+    /// tears down the shard pool.
+    pub fn wait(mut self) {
+        self.join_front();
+        self.manager.shutdown();
+    }
+
+    /// Stops the server: drain, join the front-end, shut the shard pool
+    /// down. Idempotent.
     pub fn stop(&mut self) {
-        request_stop(&self.stop, self.addr);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
-        }
+        self.drain();
+        self.join_front();
+        self.manager.shutdown();
     }
 }
 
@@ -91,7 +234,7 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Flags the accept loop to exit and wakes it with a throwaway
+/// Flags the blocking accept loop to exit and wakes it with a throwaway
 /// connection (accept has no timeout; a self-connect is the portable way
 /// to unblock it).
 fn request_stop(stop: &AtomicBool, addr: SocketAddr) {
@@ -107,7 +250,6 @@ fn accept_loop(
     manager: &Arc<SessionManager>,
     stop: &Arc<AtomicBool>,
 ) {
-    let mut connections: Vec<JoinHandle<()>> = Vec::new();
     for stream in listener.incoming() {
         if stop.load(Ordering::Acquire) {
             break;
@@ -115,22 +257,22 @@ fn accept_loop(
         let Ok(stream) = stream else { continue };
         let manager = Arc::clone(manager);
         let stop = Arc::clone(stop);
-        let handle = std::thread::Builder::new()
+        // Connection threads are not joined: they serve until their
+        // peer leaves or the stop flag turns their next request into a
+        // ShuttingDown refusal. Joining here would hold the drain
+        // hostage to every idle client. The shard pool stays up — warm
+        // sessions remain snapshottable until the handle tears it down.
+        let _ = std::thread::Builder::new()
             .name("hotpath-conn".to_string())
             .spawn(move || {
                 let _ = connection(stream, addr, &manager, &stop);
             })
             .expect("spawn connection thread");
-        connections.push(handle);
     }
-    for handle in connections {
-        let _ = handle.join();
-    }
-    manager.shutdown();
 }
 
-/// Serves one connection until the peer disconnects or asks the whole
-/// server to shut down.
+/// Serves one connection until the peer disconnects, the server starts
+/// draining, or the peer asks the whole server to shut down.
 fn connection(
     stream: TcpStream,
     addr: SocketAddr,
@@ -140,6 +282,12 @@ fn connection(
     let mut reader = io::BufReader::new(stream.try_clone()?);
     let mut writer = io::BufWriter::new(stream);
     while let Some(payload) = read_frame(&mut reader)? {
+        // Draining: refuse with ShuttingDown and close, mirroring the
+        // reactor's treatment of frames queued behind a drain.
+        if stop.load(Ordering::Acquire) {
+            write_frame(&mut writer, &Response::ShuttingDown.encode())?;
+            return Ok(());
+        }
         let response = match Request::decode(&payload) {
             Ok(Request::Shutdown) => {
                 write_frame(&mut writer, &Response::ShuttingDown.encode())?;

@@ -9,7 +9,9 @@
 //! [`Response::Busy`] instead of unbounded buffering.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use hotpath_vm::BlockEvent;
@@ -17,6 +19,57 @@ use hotpath_vm::BlockEvent;
 use crate::protocol::Response;
 use crate::session::{Session, SessionConfig};
 use crate::snapshot::SessionSnapshot;
+
+/// Where a shard delivers a finished response.
+///
+/// The in-process API parks the caller on a rendezvous channel; the
+/// reactor front-end must never block, so its completions ride a plain
+/// queue paired with a self-pipe wake of the owning event loop.
+#[derive(Debug)]
+pub(crate) enum ReplyTo {
+    /// Blocking caller: one rendezvous slot, receiver waits.
+    Sync(SyncSender<Response>),
+    /// Reactor completion: enqueue and wake the event loop.
+    #[cfg(unix)]
+    Reactor {
+        /// Connection token the response belongs to (generation-tagged;
+        /// the reactor discards completions for recycled slots).
+        token: u64,
+        /// The owning reactor's completion queue.
+        tx: std::sync::mpsc::Sender<crate::reactor::Completion>,
+        /// Self-pipe that unparks the reactor's poller.
+        wake: Arc<crate::sys::WakePipe>,
+    },
+}
+
+impl ReplyTo {
+    /// Delivers the response; a dead receiver means the requester gave
+    /// up, which is never an error for the shard.
+    pub(crate) fn send(self, response: Response) {
+        match self {
+            ReplyTo::Sync(reply) => {
+                let _ = reply.send(response);
+            }
+            #[cfg(unix)]
+            ReplyTo::Reactor { token, tx, wake } => {
+                let _ = tx.send(crate::reactor::Completion { token, response });
+                wake.wake();
+            }
+        }
+    }
+}
+
+/// Lifetime counters a shard worker maintains; the manager sums them
+/// across shards to answer [`Request::Stats`](crate::Request::Stats).
+#[derive(Debug, Default)]
+pub(crate) struct ShardCounters {
+    /// Sessions currently resident in the shard's table.
+    pub live: AtomicU64,
+    /// Sessions ever opened (including restores).
+    pub opened: AtomicU64,
+    /// Sessions ever closed.
+    pub closed: AtomicU64,
+}
 
 /// A request already routed to a shard (session ids resolved by the
 /// manager).
@@ -57,35 +110,55 @@ pub(crate) enum ShardRequest {
 pub(crate) enum Job {
     Request {
         request: ShardRequest,
-        reply: SyncSender<Response>,
+        reply: ReplyTo,
+    },
+    /// Snapshot every resident session (used by the drain path to park
+    /// warm state on disk before the process exits).
+    SnapshotAll {
+        reply: SyncSender<Vec<(u64, Vec<u8>)>>,
     },
     /// Drain and exit; sent once by the manager at shutdown.
     Shutdown,
 }
 
-/// Spawns a shard worker; returns its queue sender and join handle.
+/// Spawns a shard worker; returns its queue sender, lifetime counters,
+/// and join handle.
 pub(crate) fn spawn(
     shard_id: u32,
     queue_depth: usize,
     max_sessions: usize,
-) -> (SyncSender<Job>, JoinHandle<()>) {
+) -> (SyncSender<Job>, Arc<ShardCounters>, JoinHandle<()>) {
     let (sender, receiver) = sync_channel(queue_depth);
-    let thread = std::thread::Builder::new()
-        .name(format!("hotpath-shard-{shard_id}"))
-        .spawn(move || worker(shard_id, &receiver, max_sessions))
-        .expect("spawn shard thread");
-    (sender, thread)
+    let counters = Arc::new(ShardCounters::default());
+    let thread = {
+        let counters = Arc::clone(&counters);
+        std::thread::Builder::new()
+            .name(format!("hotpath-shard-{shard_id}"))
+            .spawn(move || worker(shard_id, &receiver, max_sessions, &counters))
+            .expect("spawn shard thread")
+    };
+    (sender, counters, thread)
 }
 
-fn worker(shard_id: u32, receiver: &Receiver<Job>, max_sessions: usize) {
+fn worker(shard_id: u32, receiver: &Receiver<Job>, max_sessions: usize, counters: &ShardCounters) {
     let mut sessions: HashMap<u64, Session> = HashMap::new();
     while let Ok(job) = receiver.recv() {
-        let Job::Request { request, reply } = job else {
-            break;
+        let (request, reply) = match job {
+            Job::Request { request, reply } => (request, reply),
+            Job::SnapshotAll { reply } => {
+                let mut blobs: Vec<(u64, Vec<u8>)> = sessions
+                    .iter()
+                    .map(|(&id, session)| (id, session.snapshot().encode()))
+                    .collect();
+                blobs.sort_by_key(|&(id, _)| id);
+                let _ = reply.send(blobs);
+                continue;
+            }
+            Job::Shutdown => break,
         };
-        let response = handle(shard_id, &mut sessions, max_sessions, request);
+        let response = handle(shard_id, &mut sessions, max_sessions, counters, request);
         // A dead reply slot means the requester gave up; nothing to do.
-        let _ = reply.send(response);
+        reply.send(response);
     }
 }
 
@@ -93,6 +166,7 @@ fn handle(
     shard_id: u32,
     sessions: &mut HashMap<u64, Session>,
     max_sessions: usize,
+    counters: &ShardCounters,
     request: ShardRequest,
 ) -> Response {
     let missing = |id: u64| Response::Error {
@@ -104,6 +178,8 @@ fn handle(
                 return Response::Busy;
             }
             sessions.insert(id, Session::open(id, shard_id, config));
+            counters.live.fetch_add(1, Ordering::Relaxed);
+            counters.opened.fetch_add(1, Ordering::Relaxed);
             Response::Opened {
                 session: id,
                 shard: shard_id,
@@ -116,6 +192,8 @@ fn handle(
             match Session::restore(id, shard_id, &snapshot) {
                 Ok(session) => {
                     sessions.insert(id, session);
+                    counters.live.fetch_add(1, Ordering::Relaxed);
+                    counters.opened.fetch_add(1, Ordering::Relaxed);
                     Response::Opened {
                         session: id,
                         shard: shard_id,
@@ -160,9 +238,13 @@ fn handle(
             None => missing(id),
         },
         ShardRequest::Close { id } => match sessions.remove(&id) {
-            Some(session) => Response::Closed {
-                blocks: session.stats().blocks_executed,
-            },
+            Some(session) => {
+                counters.live.fetch_sub(1, Ordering::Relaxed);
+                counters.closed.fetch_add(1, Ordering::Relaxed);
+                Response::Closed {
+                    blocks: session.stats().blocks_executed,
+                }
+            }
             None => missing(id),
         },
     }

@@ -281,6 +281,40 @@ pub enum Event<'a> {
         /// Fragments re-installed from the snapshot.
         fragments: u64,
     },
+    /// The reactor front-end accepted a TCP connection.
+    ConnAccepted {
+        /// Index of the reactor event loop that owns the connection.
+        reactor: u32,
+        /// Generation-tagged connection token (unique while open).
+        conn: u64,
+    },
+    /// A reactor connection closed (peer hangup, error, or drain).
+    ConnClosed {
+        /// Index of the owning reactor event loop.
+        reactor: u32,
+        /// Generation-tagged connection token.
+        conn: u64,
+        /// Requests the connection carried over its lifetime.
+        requests: u64,
+    },
+    /// A reactor event loop woke from its poller.
+    ReactorWakeup {
+        /// Index of the reactor event loop.
+        reactor: u32,
+        /// Readiness events delivered by this wakeup.
+        events: u64,
+    },
+    /// A connection's socket refused further bytes mid-flush; the
+    /// remainder stays buffered until the peer drains (write
+    /// backpressure made visible).
+    WriteStalled {
+        /// Index of the owning reactor event loop.
+        reactor: u32,
+        /// Generation-tagged connection token.
+        conn: u64,
+        /// Bytes still buffered after the short write.
+        buffered: u64,
+    },
     /// A measured wall-clock duration. **Nondeterministic** — excluded
     /// from the byte-identical stream guarantee; summaries keep timings
     /// separate from event counts for the same reason.
@@ -326,6 +360,10 @@ impl Event<'_> {
             Event::ShardBusy { .. } => "shard_busy",
             Event::SnapshotSaved { .. } => "snapshot_saved",
             Event::SnapshotRestored { .. } => "snapshot_restored",
+            Event::ConnAccepted { .. } => "conn_accepted",
+            Event::ConnClosed { .. } => "conn_closed",
+            Event::ReactorWakeup { .. } => "reactor_wakeup",
+            Event::WriteStalled { .. } => "write_stalled",
             Event::Timing { .. } => "timing",
         }
     }
@@ -512,6 +550,32 @@ impl Event<'_> {
                 push_u64_field(out, "session", session);
                 push_u64_field(out, "bytes", bytes);
                 push_u64_field(out, "fragments", fragments);
+            }
+            Event::ConnAccepted { reactor, conn } => {
+                push_u64_field(out, "reactor", reactor as u64);
+                push_u64_field(out, "conn", conn);
+            }
+            Event::ConnClosed {
+                reactor,
+                conn,
+                requests,
+            } => {
+                push_u64_field(out, "reactor", reactor as u64);
+                push_u64_field(out, "conn", conn);
+                push_u64_field(out, "requests", requests);
+            }
+            Event::ReactorWakeup { reactor, events } => {
+                push_u64_field(out, "reactor", reactor as u64);
+                push_u64_field(out, "events", events);
+            }
+            Event::WriteStalled {
+                reactor,
+                conn,
+                buffered,
+            } => {
+                push_u64_field(out, "reactor", reactor as u64);
+                push_u64_field(out, "conn", conn);
+                push_u64_field(out, "buffered", buffered);
             }
             Event::Timing { label, secs } => {
                 push_str_field(out, "label", label);
@@ -709,6 +773,24 @@ mod tests {
                 session: 4,
                 bytes: 4096,
                 fragments: 12,
+            },
+            Event::ConnAccepted {
+                reactor: 0,
+                conn: (7 << 32) | 3,
+            },
+            Event::ConnClosed {
+                reactor: 0,
+                conn: (7 << 32) | 3,
+                requests: 41,
+            },
+            Event::ReactorWakeup {
+                reactor: 1,
+                events: 17,
+            },
+            Event::WriteStalled {
+                reactor: 0,
+                conn: (7 << 32) | 3,
+                buffered: 262_144,
             },
             Event::Timing {
                 label: "compress",

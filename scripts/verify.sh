@@ -70,4 +70,28 @@ fi
     --json "$ART_DIR/serve_smoke.json"
 wait "$SERVE_PID"   # --shutdown must stop the server cleanly (exit 0)
 
+echo "== reactor sweep smoke (scale sweep, SIGTERM drain, zero leaks) =="
+rm -f "$ART_DIR/sweep_out.txt" "$ART_DIR/serve_sweep.json"
+./target/release/serve --addr 127.0.0.1:0 >"$ART_DIR/sweep_out.txt" &
+SWEEP_PID=$!
+SWEEP_ADDR=""
+for _ in $(seq 1 100); do
+    SWEEP_ADDR=$(sed -n 's/^listening on //p' "$ART_DIR/sweep_out.txt")
+    [[ -n "$SWEEP_ADDR" ]] && break
+    sleep 0.1
+done
+if [[ -z "$SWEEP_ADDR" ]]; then
+    echo "serve never reported a listening address" >&2
+    kill "$SWEEP_PID" 2>/dev/null || true
+    exit 1
+fi
+./target/release/loadgen --addr "$SWEEP_ADDR" --sweep 8,32 --connections 4 \
+    --scale smoke --label verify-sweep --json "$ART_DIR/serve_sweep.json"
+kill -TERM "$SWEEP_PID"
+wait "$SWEEP_PID"   # graceful drain must exit 0
+
+echo "== bench_compare curve + trend self-gates =="
+./target/release/bench_compare --curve verify-sweep "$ART_DIR/serve_sweep.json"
+./target/release/bench_compare --trend BENCH_perf.json
+
 echo "verify.sh: all checks passed"
