@@ -12,13 +12,20 @@
 //! * **`--curve PREFIX FILE`**: gates a committed `loadgen --sweep`
 //!   curve: the `serve-aggregate` rate of `PREFIX-nN` at the largest N
 //!   must hold at least `--curve-floor` (default 0.5) of the smallest-N
-//!   rate.
+//!   rate;
+//! * **`--warmstart LABEL FILE`**: gates a committed `loadgen
+//!   --warm-start` run: every workload's pre-warmed
+//!   blocks-to-first-trace must sit strictly below its cold number, and
+//!   `serve-prewarmed` throughput must hold within the tolerance of
+//!   `serve-cold` (`--relative` normalizes both by the run's own
+//!   `native` rate for cross-host portability).
 //!
 //! ```text
 //! bench_compare BASELINE.json CURRENT.json [--tolerance 0.10] [--relative]
 //!               [--baseline-label L] [--current-label L]
 //! bench_compare --trend FILE [--tolerance 0.10]
 //! bench_compare --curve PREFIX FILE [--curve-floor 0.5]
+//! bench_compare --warmstart LABEL FILE [--tolerance 0.10] [--relative]
 //! ```
 //!
 //! `--relative` normalizes each perf run by its own `native` rate before
@@ -35,13 +42,14 @@ use std::process::ExitCode;
 
 use hotpath_bench::compare::{
     compare_perf, compare_telemetry, detect_kind, parse_perf_runs, perf_trend, select_run,
-    sweep_curve, CompareOptions, DocKind, DEFAULT_CURVE_FLOOR, DEFAULT_TOLERANCE,
+    sweep_curve, warm_start_gate, CompareOptions, DocKind, DEFAULT_CURVE_FLOOR, DEFAULT_TOLERANCE,
 };
 
 const USAGE: &str = "usage: bench_compare BASELINE.json CURRENT.json [--tolerance F] [--relative]
                      [--baseline-label L] [--current-label L]
        bench_compare --trend FILE [--tolerance F]
        bench_compare --curve PREFIX FILE [--curve-floor F]
+       bench_compare --warmstart LABEL FILE [--tolerance F] [--relative]
 
 modes:
   two files        pairwise gate: perf modes beyond the tolerance or any
@@ -51,6 +59,10 @@ modes:
   --curve PREFIX   sweep-curve gate over runs labelled PREFIX-nN: the
                    serve-aggregate rate at the largest N must hold
                    --curve-floor (default 0.5) of the smallest-N rate
+  --warmstart L    warm-start gate over the run labelled L: pre-warmed
+                   blocks-to-first-trace strictly below cold for every
+                   workload, serve-prewarmed throughput within the
+                   tolerance of serve-cold
 
 exit codes:
   0  gate passed (including --trend runs that only warn)
@@ -74,6 +86,11 @@ enum Mode {
         prefix: String,
         floor: f64,
     },
+    WarmStart {
+        file: String,
+        label: String,
+        options: CompareOptions,
+    },
 }
 
 fn parse_args() -> Result<Mode, String> {
@@ -88,6 +105,7 @@ fn parse_args() -> Result<Mode, String> {
     let mut current_label = None;
     let mut trend = false;
     let mut curve: Option<String> = None;
+    let mut warmstart: Option<String> = None;
     let mut floor = DEFAULT_CURVE_FLOOR;
     let mut files = Vec::new();
     let mut it = std::env::args().skip(1);
@@ -105,6 +123,7 @@ fn parse_args() -> Result<Mode, String> {
             "--current-label" => current_label = Some(value("--current-label")?),
             "--trend" => trend = true,
             "--curve" => curve = Some(value("--curve")?),
+            "--warmstart" => warmstart = Some(value("--warmstart")?),
             "--curve-floor" => {
                 let v = value("--curve-floor")?;
                 floor = v
@@ -122,8 +141,13 @@ fn parse_args() -> Result<Mode, String> {
     if !(0.0..1.0).contains(&tolerance) {
         return Err(format!("tolerance {tolerance} must be in [0, 1)"));
     }
-    if trend && curve.is_some() {
-        return Err("--trend and --curve are mutually exclusive".into());
+    if [trend, curve.is_some(), warmstart.is_some()]
+        .iter()
+        .filter(|&&set| set)
+        .count()
+        > 1
+    {
+        return Err("--trend, --curve, and --warmstart are mutually exclusive".into());
     }
     if trend {
         let [file]: [String; 1] = files
@@ -139,6 +163,19 @@ fn parse_args() -> Result<Mode, String> {
             file,
             prefix,
             floor,
+        });
+    }
+    if let Some(label) = warmstart {
+        let [file]: [String; 1] = files
+            .try_into()
+            .map_err(|_| "--warmstart takes exactly one snapshot file".to_string())?;
+        return Ok(Mode::WarmStart {
+            file,
+            label,
+            options: CompareOptions {
+                tolerance,
+                relative,
+            },
         });
     }
     let [baseline, current]: [String; 2] = files
@@ -186,6 +223,17 @@ fn run(mode: &Mode) -> Result<bool, String> {
             let report = sweep_curve(&runs, prefix, *floor)?;
             print!("{}", report.render());
             Ok(report.passed)
+        }
+        Mode::WarmStart {
+            file,
+            label,
+            options,
+        } => {
+            let runs = read_perf_runs(file)?;
+            let run = select_run(&runs, Some(label)).map_err(|e| format!("{file}: {e}"))?;
+            let report = warm_start_gate(run, *options)?;
+            print!("{}", report.render());
+            Ok(report.passed())
         }
         Mode::Diff {
             baseline,

@@ -36,9 +36,22 @@
 //! server's live-session count must return to its pre-point value after
 //! the closes.
 //!
+//! `--warm-start` switches to fleet warm-start measurement: for every
+//! workload in the suite, one cold session runs to completion and
+//! publishes its warm state into the server's profile store, then one
+//! pre-warmed session (`SessionConfig::prewarm`) runs the identical
+//! workload seeded from the aggregate. The mode records
+//! blocks-to-first-trace for both (the pre-warmed number must be
+//! strictly lower), asserts the pre-warmed run's final statistics are
+//! bit-identical to the cold run's, and appends one run with `native`,
+//! `serve-cold`, and `serve-prewarmed` modes plus a per-workload
+//! `warm_start` section — the document `bench_compare --warmstart`
+//! gates.
+//!
 //! Usage: `loadgen [--sessions N] [--shards N] [--scale smoke|small|full]
 //! [--seed S] [--fuel N] [--label NAME] [--json PATH] [--addr HOST:PORT]
-//! [--snapshot-check] [--shutdown] [--sweep N1,N2,...] [--connections C]`
+//! [--snapshot-check] [--shutdown] [--sweep N1,N2,...] [--connections C]
+//! [--warm-start]`
 
 use std::fmt::Write as _;
 use std::fs;
@@ -48,8 +61,8 @@ use std::time::Instant;
 
 use hotpath_core::rng::Rng64;
 use hotpath_serve::{
-    Client, Request, Response, ServeConfig, ServerStats, SessionConfig, SessionManager,
-    SessionSnapshot,
+    Client, PrewarmOutcome, Request, Response, ServeConfig, ServerStats, SessionConfig,
+    SessionManager, SessionSnapshot,
 };
 use hotpath_vm::{NullObserver, RunStats, Vm};
 use hotpath_workloads::{build, Scale, WorkloadName, ALL_WORKLOADS};
@@ -70,6 +83,7 @@ struct Args {
     shutdown: bool,
     sweep: Option<Vec<u32>>,
     connections: u32,
+    warm_start: bool,
 }
 
 fn parse_args() -> Args {
@@ -86,6 +100,7 @@ fn parse_args() -> Args {
         shutdown: false,
         sweep: None,
         connections: 16,
+        warm_start: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -132,11 +147,12 @@ fn parse_args() -> Args {
                     .expect("--connections: number");
                 assert!(args.connections > 0, "--connections must be positive");
             }
+            "--warm-start" => args.warm_start = true,
             other => panic!(
                 "unknown argument `{other}` (usage: [--sessions N] [--shards N] \
                  [--scale smoke|small|full] [--seed S] [--fuel N] [--label NAME] \
                  [--json PATH] [--addr HOST:PORT] [--snapshot-check] [--shutdown] \
-                 [--sweep N1,N2,...] [--connections C])"
+                 [--sweep N1,N2,...] [--connections C] [--warm-start])"
             ),
         }
     }
@@ -527,8 +543,211 @@ fn run_sweep(args: &Args, points: &[u32]) {
     }
 }
 
+/// Fuel slice while hunting for a session's first fragment install:
+/// fine enough to resolve blocks-to-first-trace, coarse enough that the
+/// per-slice query round-trips do not dominate the measurement.
+const FIRST_TRACE_SLICE: u64 = 256;
+
+/// One session driven to completion while watching for its first trace.
+struct WarmRun {
+    /// `blocks_executed` at the first status showing an installed
+    /// fragment (0 when the session was opened pre-warmed).
+    first_trace: u64,
+    /// Wall seconds from open to halt.
+    secs: f64,
+    /// Final execution statistics.
+    stats: RunStats,
+}
+
+/// Opens one session (optionally pre-warmed from the fleet profile
+/// store), records the blocks executed when the first fragment install
+/// becomes visible, runs it to completion, optionally publishes its
+/// warm state back into the store, and closes it.
+fn warm_run(
+    endpoint: &mut Endpoint,
+    name: WorkloadName,
+    scale: Scale,
+    prewarm: bool,
+    publish: bool,
+) -> WarmRun {
+    let config = SessionConfig::exec(name, scale).with_prewarm(prewarm);
+    let start = Instant::now();
+    let session = match endpoint.call_patient(Request::Open { config }) {
+        Response::Opened {
+            session,
+            prewarm: outcome,
+            ..
+        } => {
+            if prewarm {
+                assert!(
+                    matches!(outcome, PrewarmOutcome::Warmed { .. }),
+                    "{name}: expected a pre-warmed session, got {outcome:?}"
+                );
+            }
+            session
+        }
+        other => panic!("open {name} failed: {other:?}"),
+    };
+    let first_trace = loop {
+        let status = match endpoint.call_patient(Request::Query { session }) {
+            Response::Status(status) => status,
+            other => panic!("query {name} failed: {other:?}"),
+        };
+        if status.installs >= 1 {
+            break status.stats.blocks_executed;
+        }
+        assert!(
+            !status.done,
+            "{name}: session completed without installing a single fragment"
+        );
+        match endpoint.call_patient(Request::Run {
+            session,
+            fuel: Some(FIRST_TRACE_SLICE),
+        }) {
+            Response::Ran { .. } => {}
+            other => panic!("run {name} failed: {other:?}"),
+        }
+    };
+    let stats = finish(endpoint, session, None);
+    let secs = start.elapsed().as_secs_f64();
+    if publish {
+        match endpoint.call_patient(Request::PublishProfile { session }) {
+            Response::ProfilePublished { .. } => {}
+            other => panic!("publish {name} failed: {other:?}"),
+        }
+    }
+    endpoint.call_patient(Request::Close { session });
+    WarmRun {
+        first_trace,
+        secs,
+        stats,
+    }
+}
+
+/// Warm-start mode: for every workload in the suite, run one cold
+/// session (publishing its warm state into the fleet profile store) and
+/// one pre-warmed session, and record blocks-to-first-trace plus
+/// throughput for both passes. Asserts the contract end to end: the
+/// pre-warmed session must reach its first trace strictly earlier, and
+/// its final statistics must be bit-identical to the cold run's.
+fn run_warm_start(args: &Args) {
+    let native = measure_native(args.scale);
+    let pool = args.addr.is_none().then(|| {
+        Arc::new(SessionManager::new(ServeConfig {
+            shards: args.shards,
+            ..ServeConfig::default()
+        }))
+    });
+    let mut endpoint = match (&args.addr, &pool) {
+        (Some(addr), _) => Endpoint::Remote(Client::connect(addr).expect("connect")),
+        (None, Some(pool)) => Endpoint::Local(Arc::clone(pool)),
+        (None, None) => unreachable!(),
+    };
+
+    println!(
+        "\n=== loadgen warm-start: {} ({} shards, scale {}) ===",
+        args.label,
+        args.shards,
+        scale_name(args.scale)
+    );
+    println!(
+        "{:<12} {:>16} {:>20} {:>12}",
+        "workload", "cold 1st trace", "prewarmed 1st trace", "speedup"
+    );
+    let mut points: Vec<(WorkloadName, u64, u64)> = Vec::new();
+    let (mut cold_secs, mut warm_secs, mut total_blocks) = (0.0f64, 0.0f64, 0u64);
+    for (i, &name) in ALL_WORKLOADS.iter().enumerate() {
+        let cold = warm_run(&mut endpoint, name, args.scale, false, true);
+        let warm = warm_run(&mut endpoint, name, args.scale, true, false);
+        assert_eq!(
+            cold.stats.blocks_executed, native.blocks[i],
+            "{name}: cold serve run diverged from the native block total"
+        );
+        assert_eq!(
+            warm.stats, cold.stats,
+            "{name}: pre-warmed run diverged from the cold run"
+        );
+        assert!(
+            warm.first_trace < cold.first_trace,
+            "{name}: pre-warmed first trace at {} blocks is not strictly \
+             below the cold {} blocks",
+            warm.first_trace,
+            cold.first_trace
+        );
+        println!(
+            "{:<12} {:>16} {:>20} {:>11.1}x",
+            name.as_str(),
+            cold.first_trace,
+            warm.first_trace,
+            cold.first_trace as f64 / (warm.first_trace as f64).max(1.0)
+        );
+        cold_secs += cold.secs;
+        warm_secs += warm.secs;
+        total_blocks += cold.stats.blocks_executed;
+        points.push((name, cold.first_trace, warm.first_trace));
+    }
+    let (cold_rate, warm_rate) = (
+        total_blocks as f64 / cold_secs,
+        total_blocks as f64 / warm_secs,
+    );
+    println!("\n{:<16} {:>10} {:>16}", "mode", "secs", "blocks/sec");
+    let native_secs = total_blocks as f64 / native.rate;
+    for (mode, secs, rate) in [
+        ("native", native_secs, native.rate),
+        ("serve-cold", cold_secs, cold_rate),
+        ("serve-prewarmed", warm_secs, warm_rate),
+    ] {
+        println!("{mode:<16} {secs:>10.3} {rate:>16.0}");
+    }
+
+    let mut run_json = String::new();
+    let _ = writeln!(run_json, "    {{");
+    let _ = writeln!(run_json, "      \"label\": \"{}\",", args.label);
+    let _ = writeln!(run_json, "      \"scale\": \"{}\",", scale_name(args.scale));
+    let _ = writeln!(run_json, "      \"sessions\": {},", ALL_WORKLOADS.len());
+    let _ = writeln!(run_json, "      \"shards\": {},", args.shards);
+    let _ = writeln!(run_json, "      \"seed\": {},", args.seed);
+    let _ = writeln!(run_json, "      \"total_blocks\": {},", total_blocks);
+    let _ = writeln!(run_json, "      \"warm_start\": {{");
+    for (i, (name, cold, warm)) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            run_json,
+            "        \"{}\": {{\"cold_blocks_to_first_trace\": {cold}, \
+             \"prewarmed_blocks_to_first_trace\": {warm}}}{comma}",
+            name.as_str()
+        );
+    }
+    let _ = writeln!(run_json, "      }},");
+    let _ = writeln!(run_json, "      \"modes\": {{");
+    for (i, (mode, secs, rate)) in [
+        ("native", native_secs, native.rate),
+        ("serve-cold", cold_secs, cold_rate),
+        ("serve-prewarmed", warm_secs, warm_rate),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let comma = if i < 2 { "," } else { "" };
+        let _ = writeln!(
+            run_json,
+            "        \"{mode}\": {{\"secs\": {secs:.6}, \"blocks_per_sec\": {rate:.0}}}{comma}"
+        );
+    }
+    let _ = writeln!(run_json, "      }}");
+    let _ = write!(run_json, "    }}");
+    append_run(&args.json, &run_json, &args.label);
+}
+
 fn main() {
     let args = parse_args();
+    if args.warm_start {
+        run_warm_start(&args);
+        if args.shutdown {
+            shutdown_remote(args.addr.as_deref().expect("--shutdown needs --addr"));
+        }
+        return;
+    }
     if let Some(points) = args.sweep.clone() {
         run_sweep(&args, &points);
         if args.shutdown {

@@ -1,0 +1,233 @@
+//! `profile_sim` — offline what-if harness for the fleet profile
+//! store's merge policies.
+//!
+//! Replays a simulated fleet against each merge policy without a
+//! server: for every workload, K publisher sessions run staggered
+//! prefixes of the program (a fleet mid-flight: some sessions barely
+//! started, some nearly done), export their warm state, and publish it
+//! into one in-process [`ProfileStore`] per policy. The harness then
+//! opens a fresh session pre-warmed from each aggregate and reports,
+//! per workload and policy:
+//!
+//! * **fragments / counters** — aggregate size after the merge,
+//! * **bytes** — the sealed profile blob a fetch would ship,
+//! * **residual installs** — fragments the pre-warmed session still had
+//!   to learn on its own (lower = the aggregate predicted more of the
+//!   workload's hot paths),
+//! * **bit-identity** — the pre-warmed run's final statistics must
+//!   equal the cold run's (asserted, not just reported).
+//!
+//! Every store is also published in forward and reverse order and the
+//! two encodings compared byte-for-byte, re-proving merge
+//! order-independence on real profiles rather than synthetic ones.
+//!
+//! Everything is seeded and deterministic: two invocations with the
+//! same arguments print the same table.
+//!
+//! Usage: `profile_sim [--scale smoke|small|full] [--sessions K]
+//! [--seed S]`
+
+use hotpath_serve::{
+    MergePolicy, ProfileKey, ProfileStore, ProfileStoreConfig, Session, SessionConfig,
+    SessionProfile,
+};
+use hotpath_vm::RunStats;
+use hotpath_workloads::{Scale, WorkloadName, ALL_WORKLOADS};
+
+struct Args {
+    scale: Scale,
+    sessions: u32,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: Scale::Smoke,
+        sessions: 6,
+        seed: 42,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match a.as_str() {
+            "--scale" => {
+                args.scale = match value("--scale").as_str() {
+                    "smoke" => Scale::Smoke,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => panic!("unknown scale `{other}` (smoke|small|full)"),
+                }
+            }
+            "--sessions" => {
+                args.sessions = value("--sessions").parse().expect("--sessions: number");
+                assert!(args.sessions > 0, "--sessions must be positive");
+            }
+            "--seed" => args.seed = value("--seed").parse().expect("--seed: number"),
+            other => panic!(
+                "unknown argument `{other}` (usage: [--scale smoke|small|full] \
+                 [--sessions K] [--seed S])"
+            ),
+        }
+    }
+    args
+}
+
+/// The policies under comparison, in report order.
+fn policies() -> [MergePolicy; 3] {
+    [
+        MergePolicy::Union,
+        MergePolicy::FrequencyWeighted { min_percent: 50 },
+        MergePolicy::ExponentialDecay { half_life: 4 },
+    ]
+}
+
+/// Runs one cold session to completion; returns its final statistics.
+fn cold_run(name: WorkloadName, scale: Scale) -> RunStats {
+    let mut session = Session::open(0, 0, SessionConfig::exec(name, scale));
+    let (done, stats) = session.run(None).expect("cold run");
+    assert!(done, "{name}: cold run did not complete");
+    stats
+}
+
+/// Simulates K publishers for one workload: session i executes a
+/// `(i+1)/(K+1)` prefix of the program and exports its warm state. The
+/// stagger is the interesting part — early publishers have seen few hot
+/// paths, late ones most of them, so the policies genuinely disagree.
+fn publisher_profiles(
+    name: WorkloadName,
+    scale: Scale,
+    sessions: u32,
+    total_blocks: u64,
+) -> Vec<SessionProfile> {
+    (0..sessions)
+        .map(|i| {
+            let config = SessionConfig::exec(name, scale);
+            let mut session = Session::open(u64::from(i) + 1, 0, config.clone());
+            let budget = total_blocks * (u64::from(i) + 1) / (u64::from(sessions) + 1);
+            session.run(Some(budget.max(1))).expect("publisher run");
+            SessionProfile {
+                key: ProfileKey::of(&config),
+                epoch: session.epoch(),
+                warm: session.engine().export_warm_state(),
+            }
+        })
+        .collect()
+}
+
+/// One policy's outcome for one workload.
+struct PolicyOutcome {
+    fragments: u64,
+    counters: u64,
+    bytes: usize,
+    residual_installs: u64,
+}
+
+/// Publishes the profiles into a fresh store under `policy` (skipping
+/// empty ones — publishers that learned nothing have nothing to merge),
+/// proves order-independence by re-publishing in reverse into a second
+/// store, then measures a pre-warmed session against the aggregate.
+fn evaluate(
+    name: WorkloadName,
+    scale: Scale,
+    seed: u64,
+    policy: MergePolicy,
+    profiles: &[SessionProfile],
+    cold: &RunStats,
+) -> Option<PolicyOutcome> {
+    let config = ProfileStoreConfig {
+        default_policy: policy,
+        seed,
+        ..ProfileStoreConfig::default()
+    };
+    let forward = ProfileStore::new(config.clone());
+    let reverse = ProfileStore::new(config);
+    let nonempty: Vec<&SessionProfile> = profiles.iter().filter(|p| !p.warm.is_empty()).collect();
+    for profile in &nonempty {
+        forward.publish(profile).expect("forward publish");
+    }
+    for profile in nonempty.iter().rev() {
+        reverse.publish(profile).expect("reverse publish");
+    }
+    assert_eq!(
+        forward.encode(),
+        reverse.encode(),
+        "{name}/{}: publish order changed the store bytes",
+        policy.as_str()
+    );
+
+    let session_config = SessionConfig::exec(name, scale);
+    let key = ProfileKey::of(&session_config);
+    let aggregate = forward.fetch(&key)?;
+    let blob = SessionProfile {
+        key: aggregate.key,
+        epoch: aggregate.epoch,
+        warm: aggregate.warm.clone(),
+    }
+    .encode();
+
+    let mut session = Session::open(100, 0, session_config);
+    let (fragments, counters) = session.prewarm(&aggregate.warm).expect("prewarm");
+    let (done, stats) = session.run(None).expect("prewarmed run");
+    assert!(done, "{name}: pre-warmed run did not complete");
+    assert_eq!(
+        &stats,
+        cold,
+        "{name}/{}: pre-warmed run diverged from the cold run",
+        policy.as_str()
+    );
+    let installs = session.status().installs;
+    Some(PolicyOutcome {
+        fragments,
+        counters,
+        bytes: blob.len(),
+        residual_installs: installs.saturating_sub(fragments),
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let scale_name = match args.scale {
+        Scale::Smoke => "smoke",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    };
+    println!(
+        "=== profile_sim: {} publishers per workload, scale {}, seed {} ===",
+        args.sessions, scale_name, args.seed
+    );
+    println!(
+        "{:<12} {:<20} {:>10} {:>10} {:>10} {:>10}",
+        "workload", "policy", "fragments", "counters", "bytes", "residual"
+    );
+    let mut checked = 0u32;
+    for name in ALL_WORKLOADS {
+        let cold = cold_run(name, args.scale);
+        let profiles = publisher_profiles(name, args.scale, args.sessions, cold.blocks_executed);
+        for policy in policies() {
+            match evaluate(name, args.scale, args.seed, policy, &profiles, &cold) {
+                Some(outcome) => {
+                    println!(
+                        "{:<12} {:<20} {:>10} {:>10} {:>10} {:>10}",
+                        name.as_str(),
+                        policy.as_str(),
+                        outcome.fragments,
+                        outcome.counters,
+                        outcome.bytes,
+                        outcome.residual_installs
+                    );
+                    checked += 1;
+                }
+                None => println!(
+                    "{:<12} {:<20} {:>10}",
+                    name.as_str(),
+                    policy.as_str(),
+                    "(no publisher learned anything)"
+                ),
+            }
+        }
+    }
+    println!(
+        "\nprofile_sim: {checked} workload/policy aggregates evaluated; every merge \
+         order-independent, every pre-warmed run bit-identical to cold"
+    );
+}

@@ -10,6 +10,10 @@
 //!   run's own `native` rate, which cancels machine speed and makes the
 //!   gate portable across CI hosts — only the profiling *overhead ratio*
 //!   is gated, which is the quantity the paper argues about.
+//! * **Warm-start runs** (`loadgen --warm-start`): [`warm_start_gate`]
+//!   requires every workload's pre-warmed blocks-to-first-trace to sit
+//!   strictly below its cold number and the pre-warmed throughput to
+//!   hold within the tolerance of the cold run's.
 //! * **Telemetry documents** (`telemetry.json`, written by `all` or
 //!   `perf_baseline --telemetry`): event counts are diffed exactly. Events
 //!   carry logical clocks only, so identical builds must produce identical
@@ -39,6 +43,20 @@ pub struct ModePerf {
     pub guard_execs: Option<f64>,
 }
 
+/// One workload's cold vs pre-warmed time-to-first-trace record from a
+/// `loadgen --warm-start` run. Both numbers count dynamic blocks
+/// executed before the session's first fragment install became visible,
+/// so they are deterministic and portable across hosts.
+#[derive(Clone, PartialEq, Debug)]
+pub struct WarmStartPoint {
+    /// Workload name.
+    pub workload: String,
+    /// Blocks to first trace for the cold session.
+    pub cold_blocks_to_first_trace: f64,
+    /// Blocks to first trace for the pre-warmed session.
+    pub prewarmed_blocks_to_first_trace: f64,
+}
+
 /// One labelled `perf_baseline` invocation.
 #[derive(Clone, PartialEq, Debug)]
 pub struct PerfRun {
@@ -53,6 +71,9 @@ pub struct PerfRun {
     pub sessions: Option<f64>,
     /// Per-mode measurements in document order.
     pub modes: Vec<(String, ModePerf)>,
+    /// Per-workload warm-start records (`loadgen --warm-start` runs;
+    /// empty for every other document).
+    pub warm_start: Vec<WarmStartPoint>,
 }
 
 impl PerfRun {
@@ -132,6 +153,26 @@ pub fn parse_perf_runs(text: &str) -> Result<Vec<PerfRun>, String> {
                     ))
                 })
                 .collect::<Result<Vec<_>, String>>()?;
+            let warm_start = match run.get("warm_start").and_then(|w| w.as_obj()) {
+                Some(entries) => entries
+                    .iter()
+                    .map(|(workload, point)| {
+                        let num = |key: &str| {
+                            point.get(key).and_then(|v| v.as_f64()).ok_or_else(|| {
+                                format!("run #{i} warm_start {workload}: missing number \"{key}\"")
+                            })
+                        };
+                        Ok(WarmStartPoint {
+                            workload: workload.clone(),
+                            cold_blocks_to_first_trace: num("cold_blocks_to_first_trace")?,
+                            prewarmed_blocks_to_first_trace: num(
+                                "prewarmed_blocks_to_first_trace",
+                            )?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+                None => Vec::new(),
+            };
             Ok(PerfRun {
                 label: str_field("label")?,
                 scale: str_field("scale")?,
@@ -141,6 +182,7 @@ pub fn parse_perf_runs(text: &str) -> Result<Vec<PerfRun>, String> {
                     .ok_or_else(|| format!("run #{i}: missing number \"total_blocks\""))?,
                 sessions: run.get("sessions").and_then(|v| v.as_f64()),
                 modes,
+                warm_start,
             })
         })
         .collect()
@@ -637,6 +679,176 @@ pub fn sweep_curve(runs: &[PerfRun], prefix: &str, floor: f64) -> Result<CurveRe
         retention,
         passed: retention >= floor,
         points,
+    })
+}
+
+/// One workload's warm-start verdict.
+#[derive(Clone, PartialEq, Debug)]
+pub struct WarmStartVerdict {
+    /// The workload's cold/pre-warmed record.
+    pub point: WarmStartPoint,
+    /// Whether the pre-warmed count is strictly below the cold one.
+    pub passed: bool,
+}
+
+/// Outcome of gating one `loadgen --warm-start` run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct WarmStartReport {
+    /// The gated run's label.
+    pub label: String,
+    /// The options the gate ran under.
+    pub options: CompareOptions,
+    /// Per-workload verdicts, in document order.
+    pub verdicts: Vec<WarmStartVerdict>,
+    /// Pre-warmed vs cold serving throughput within the run (baseline =
+    /// `serve-cold`, current = `serve-prewarmed`), normalized by the
+    /// run's own `native` rate under [`CompareOptions::relative`].
+    pub throughput: ModeDelta,
+}
+
+impl WarmStartReport {
+    /// True when every workload pre-warms strictly faster and the
+    /// pre-warmed throughput holds within the tolerance.
+    pub fn passed(&self) -> bool {
+        self.verdicts.iter().all(|v| v.passed) && !self.throughput.regressed
+    }
+
+    /// Renders the gate as an aligned text table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let metric = if self.options.relative {
+            "rate/native"
+        } else {
+            "blocks/sec"
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "warm-start gate: run `{}` (blocks to first trace; throughput \
+             in {metric}, tolerance {:.0}%)",
+            self.label,
+            self.options.tolerance * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "{:<12} {:>14} {:>14}  verdict",
+            "workload", "cold", "prewarmed"
+        );
+        for v in &self.verdicts {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>14.0} {:>14.0}  {}",
+                v.point.workload,
+                v.point.cold_blocks_to_first_trace,
+                v.point.prewarmed_blocks_to_first_trace,
+                if v.passed { "ok" } else { "NOT BELOW COLD" }
+            );
+        }
+        let t = &self.throughput;
+        let _ = writeln!(
+            out,
+            "serve-prewarmed vs serve-cold throughput: {:.3} -> {:.3} \
+             ({:.3}x, {})",
+            t.baseline,
+            t.current,
+            t.ratio,
+            if t.regressed { "REGRESSED" } else { "ok" }
+        );
+        out
+    }
+}
+
+/// Gates a committed `loadgen --warm-start` run: every workload's
+/// pre-warmed blocks-to-first-trace must sit strictly below its cold
+/// number, and the `serve-prewarmed` throughput must hold within the
+/// tolerance of `serve-cold`. With [`CompareOptions::relative`] both
+/// rates are first normalized by the run's own `native` rate, making
+/// the throughput half of the gate portable across hosts (the
+/// first-trace counts are deterministic block counts and need no
+/// normalization).
+///
+/// # Errors
+///
+/// Returns a message when the run records no `warm_start` section, a
+/// record carries a non-finite or non-positive cold count, either
+/// serving mode is missing or non-finite, or relative mode is requested
+/// without a usable `native` rate.
+pub fn warm_start_gate(run: &PerfRun, options: CompareOptions) -> Result<WarmStartReport, String> {
+    if run.warm_start.is_empty() {
+        return Err(format!(
+            "run `{}` records no warm_start section; re-measure with \
+             `loadgen --warm-start`",
+            run.label
+        ));
+    }
+    let norm = if options.relative {
+        let native = run.mode("native").ok_or_else(|| {
+            format!(
+                "run `{}` has no `native` mode; relative mode needs one to normalize by",
+                run.label
+            )
+        })?;
+        let rate = native.blocks_per_sec;
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(format!(
+                "run `{}` has an unusable native rate ({rate}); cannot normalize by it",
+                run.label
+            ));
+        }
+        rate
+    } else {
+        1.0
+    };
+    let verdicts = run
+        .warm_start
+        .iter()
+        .map(|point| {
+            let (cold, warm) = (
+                point.cold_blocks_to_first_trace,
+                point.prewarmed_blocks_to_first_trace,
+            );
+            if !(cold.is_finite() && cold > 0.0 && warm.is_finite() && warm >= 0.0) {
+                return Err(format!(
+                    "workload `{}` in run `{}` has unusable first-trace counts \
+                     (cold {cold}, prewarmed {warm})",
+                    point.workload, run.label
+                ));
+            }
+            Ok(WarmStartVerdict {
+                point: point.clone(),
+                passed: warm < cold,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let serving = |mode: &str| -> Result<f64, String> {
+        let perf = run
+            .mode(mode)
+            .ok_or_else(|| format!("run `{}` has no `{mode}` mode", run.label))?;
+        let metric = perf.blocks_per_sec / norm;
+        if !(metric.is_finite() && metric > 0.0) {
+            return Err(format!(
+                "run `{}` mode `{mode}` has unusable metric {metric}",
+                run.label
+            ));
+        }
+        Ok(metric)
+    };
+    let (cold_rate, warm_rate) = (serving("serve-cold")?, serving("serve-prewarmed")?);
+    let ratio = warm_rate / cold_rate;
+    let throughput = ModeDelta {
+        mode: "serve-prewarmed".to_string(),
+        baseline: cold_rate,
+        current: warm_rate,
+        ratio,
+        guards: None,
+        guards_regressed: false,
+        regressed: ratio < 1.0 - options.tolerance,
+    };
+    Ok(WarmStartReport {
+        label: run.label.clone(),
+        options,
+        verdicts,
+        throughput,
     })
 }
 
@@ -1272,6 +1484,155 @@ mod tests {
         assert!(sweep_curve(&wrong, "sweep", 0.5)
             .unwrap_err()
             .contains("serve-aggregate"));
+    }
+
+    fn warm_doc(label: &str, li_prewarmed: f64, warm_rate: f64) -> String {
+        format!(
+            r#"{{
+  "runs": [
+    {{
+      "label": "{label}",
+      "scale": "smoke",
+      "sessions": 9,
+      "shards": 4,
+      "seed": 42,
+      "total_blocks": 579483,
+      "warm_start": {{
+        "compress": {{"cold_blocks_to_first_trace": 256, "prewarmed_blocks_to_first_trace": 0}},
+        "li": {{"cold_blocks_to_first_trace": 256, "prewarmed_blocks_to_first_trace": {li_prewarmed}}}
+      }},
+      "modes": {{
+        "native": {{"secs": 0.014, "blocks_per_sec": 41000000}},
+        "serve-cold": {{"secs": 0.016, "blocks_per_sec": 35000000}},
+        "serve-prewarmed": {{"secs": 0.014, "blocks_per_sec": {warm_rate}}}
+      }}
+    }}
+  ]
+}}"#
+        )
+    }
+
+    #[test]
+    fn warm_start_records_parse_and_default_empty() {
+        let runs = parse_perf_runs(&warm_doc("w", 0.0, 40000000.0)).unwrap();
+        assert_eq!(runs[0].warm_start.len(), 2);
+        assert_eq!(runs[0].warm_start[0].workload, "compress");
+        assert_eq!(runs[0].warm_start[1].cold_blocks_to_first_trace, 256.0);
+        assert_eq!(runs[0].warm_start[1].prewarmed_blocks_to_first_trace, 0.0);
+        // Documents without the section still parse, with no records.
+        let old = parse_perf_runs(&perf_doc("old", 500000.0)).unwrap();
+        assert!(old[0].warm_start.is_empty());
+    }
+
+    #[test]
+    fn warm_start_gate_requires_strictly_fewer_blocks_to_first_trace() {
+        let good = &parse_perf_runs(&warm_doc("w", 0.0, 40000000.0)).unwrap()[0];
+        let report = warm_start_gate(good, CompareOptions::default()).unwrap();
+        assert!(report.passed(), "{}", report.render());
+        // Equal counts are not strictly below: the gate must fail.
+        let tie = &parse_perf_runs(&warm_doc("w", 256.0, 40000000.0)).unwrap()[0];
+        let report = warm_start_gate(tie, CompareOptions::default()).unwrap();
+        assert!(!report.passed());
+        assert!(
+            report.render().contains("NOT BELOW COLD"),
+            "{}",
+            report.render()
+        );
+        // And a run without warm-start data cannot be gated at all.
+        let old = &parse_perf_runs(&perf_doc("old", 500000.0)).unwrap()[0];
+        let err = warm_start_gate(old, CompareOptions::default()).unwrap_err();
+        assert!(err.contains("no warm_start section"), "{err}");
+    }
+
+    #[test]
+    fn warm_start_gate_trips_on_prewarmed_throughput_loss() {
+        // Pre-warmed serving 15% under cold fails the default 10%
+        // tolerance; first-trace counts alone cannot save the run.
+        let slow = &parse_perf_runs(&warm_doc("w", 0.0, 29750000.0)).unwrap()[0];
+        let report = warm_start_gate(slow, CompareOptions::default()).unwrap();
+        assert!(report.verdicts.iter().all(|v| v.passed));
+        assert!(report.throughput.regressed);
+        assert!(!report.passed());
+        // Relative mode normalizes both serving rates by the same native
+        // rate, so the within-run verdict is unchanged.
+        let rel = warm_start_gate(
+            slow,
+            CompareOptions {
+                tolerance: DEFAULT_TOLERANCE,
+                relative: true,
+            },
+        )
+        .unwrap();
+        assert!((rel.throughput.ratio - report.throughput.ratio).abs() < 1e-12);
+        assert!(!rel.passed());
+    }
+
+    #[test]
+    fn warm_start_gate_rejects_malformed_runs() {
+        let zero_cold = r#"{
+  "runs": [
+    {
+      "label": "bad", "scale": "smoke", "total_blocks": 1,
+      "warm_start": {"li": {"cold_blocks_to_first_trace": 0, "prewarmed_blocks_to_first_trace": 0}},
+      "modes": {
+        "serve-cold": {"secs": 1.0, "blocks_per_sec": 1000},
+        "serve-prewarmed": {"secs": 1.0, "blocks_per_sec": 1000}
+      }
+    }
+  ]
+}"#;
+        let run = &parse_perf_runs(zero_cold).unwrap()[0];
+        let err = warm_start_gate(run, CompareOptions::default()).unwrap_err();
+        assert!(err.contains("unusable first-trace counts"), "{err}");
+        // A warm-start run missing a serving mode is an error, not a pass.
+        let mut no_mode = parse_perf_runs(&warm_doc("w", 0.0, 40000000.0)).unwrap()[0].clone();
+        no_mode.modes.retain(|(name, _)| name != "serve-prewarmed");
+        let err = warm_start_gate(&no_mode, CompareOptions::default()).unwrap_err();
+        assert!(err.contains("serve-prewarmed"), "{err}");
+        // Relative mode needs the native normalizer.
+        let mut no_native = parse_perf_runs(&warm_doc("w", 0.0, 40000000.0)).unwrap()[0].clone();
+        no_native.modes.retain(|(name, _)| name != "native");
+        let options = CompareOptions {
+            tolerance: DEFAULT_TOLERANCE,
+            relative: true,
+        };
+        let err = warm_start_gate(&no_native, options).unwrap_err();
+        assert!(err.contains("no `native` mode"), "{err}");
+    }
+
+    #[test]
+    fn committed_warm_start_run_prewarms_strictly_faster() {
+        // The repo's own BENCH_perf.json carries a `loadgen --warm-start`
+        // run: every workload family must reach its first trace in
+        // strictly fewer blocks pre-warmed than cold, and the pre-warmed
+        // serving throughput must hold within the default tolerance —
+        // this is what CI's warmstart-smoke job re-measures.
+        let text = include_str!("../../../BENCH_perf.json");
+        let runs = parse_perf_runs(text).unwrap();
+        let run = select_run(&runs, Some("warmstart")).expect("warmstart run is committed");
+        assert!(
+            run.warm_start.len() >= 9,
+            "warm-start run covers the whole suite, got {}",
+            run.warm_start.len()
+        );
+        let report = warm_start_gate(
+            run,
+            CompareOptions {
+                tolerance: DEFAULT_TOLERANCE,
+                relative: true,
+            },
+        )
+        .unwrap();
+        assert!(report.passed(), "{}", report.render());
+        for v in &report.verdicts {
+            assert!(
+                v.point.prewarmed_blocks_to_first_trace < v.point.cold_blocks_to_first_trace,
+                "{}: prewarmed {} not strictly below cold {}",
+                v.point.workload,
+                v.point.prewarmed_blocks_to_first_trace,
+                v.point.cold_blocks_to_first_trace
+            );
+        }
     }
 
     #[test]

@@ -84,6 +84,68 @@ pub struct EngineWarmState {
     pub net_counters: Vec<(u32, u64)>,
 }
 
+impl EngineWarmState {
+    /// True when there is nothing to import: no fragments, counters, or
+    /// armed targets.
+    pub fn is_empty(&self) -> bool {
+        self.fragments.is_empty()
+            && self.exit_counts.is_empty()
+            && self.armed.is_empty()
+            && self.net_counters.is_empty()
+    }
+
+    /// Checks the warm state against a program's block-id space before it
+    /// is imported into a live engine. Snapshots exported by the same
+    /// program always pass; the check exists for state that arrives from
+    /// elsewhere — a cross-session profile store, a snapshot taken on a
+    /// different build — where a dangling block id would otherwise panic
+    /// the install path or, worse, silently install a trace for the wrong
+    /// blocks. Warm state is policy only, so rejecting it is always safe:
+    /// the session just starts cold.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation:
+    /// an empty fragment, or any block/target/head id at or beyond
+    /// `block_limit`.
+    pub fn validate(&self, block_limit: u32) -> Result<(), String> {
+        for fragment in &self.fragments {
+            if fragment.blocks.is_empty() {
+                return Err("warm state carries a fragment with no blocks".into());
+            }
+            for &b in &fragment.blocks {
+                if b >= block_limit {
+                    return Err(format!(
+                        "fragment block {b} outside the program's {block_limit}-block space"
+                    ));
+                }
+            }
+        }
+        for &(target, _) in &self.exit_counts {
+            if target >= block_limit {
+                return Err(format!(
+                    "exit-stub target {target} outside the program's {block_limit}-block space"
+                ));
+            }
+        }
+        for &target in &self.armed {
+            if target >= block_limit {
+                return Err(format!(
+                    "armed target {target} outside the program's {block_limit}-block space"
+                ));
+            }
+        }
+        for &(head, _) in &self.net_counters {
+            if head >= block_limit {
+                return Err(format!(
+                    "NET counter head {head} outside the program's {block_limit}-block space"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// The Dynamo engine for [`Vm::run_linked`]: observes interpreted blocks,
 /// receives batched trace excursions, and feeds install/flush commands
 /// back to the VM's trace backend.

@@ -13,7 +13,7 @@ use std::time::Duration;
 
 use hotpath_vm::{BlockEvent, RunStats};
 
-use crate::protocol::{read_frame, write_frame, Request, Response, ServerStats};
+use crate::protocol::{read_frame, write_frame, PrewarmOutcome, Request, Response, ServerStats};
 use crate::session::{SessionConfig, SessionStatus};
 
 /// Pause between retries when the server answers `Busy`.
@@ -76,8 +76,27 @@ impl Client {
     ///
     /// I/O failures or a server-side error.
     pub fn open(&mut self, config: SessionConfig) -> io::Result<(u64, u32)> {
+        let (session, shard, _) = self.open_detailed(config)?;
+        Ok((session, shard))
+    }
+
+    /// Opens a session; returns `(session id, shard, prewarm outcome)`.
+    /// The outcome is [`PrewarmOutcome::NotRequested`] unless the config
+    /// set [`SessionConfig::prewarm`].
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a server-side error.
+    pub fn open_detailed(
+        &mut self,
+        config: SessionConfig,
+    ) -> io::Result<(u64, u32, PrewarmOutcome)> {
         match self.request_patient(&Request::Open { config })? {
-            Response::Opened { session, shard } => Ok((session, shard)),
+            Response::Opened {
+                session,
+                shard,
+                prewarm,
+            } => Ok((session, shard, prewarm)),
             response => Err(unexpected("Opened", &response)),
         }
     }
@@ -148,8 +167,40 @@ impl Client {
     /// I/O failures or a server-side error (bad checksum, version, …).
     pub fn restore(&mut self, blob: Vec<u8>) -> io::Result<(u64, u32)> {
         match self.request_patient(&Request::Restore { blob })? {
-            Response::Opened { session, shard } => Ok((session, shard)),
+            Response::Opened { session, shard, .. } => Ok((session, shard)),
             response => Err(unexpected("Opened", &response)),
+        }
+    }
+
+    /// Publishes a session's warm state into the fleet profile store;
+    /// returns `(publishers, generation, aggregate fragments)` after the
+    /// merge.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a server-side error (e.g. nothing learned yet).
+    pub fn publish_profile(&mut self, session: u64) -> io::Result<(u64, u64, u64)> {
+        match self.request_patient(&Request::PublishProfile { session })? {
+            Response::ProfilePublished {
+                publishers,
+                generation,
+                fragments,
+                ..
+            } => Ok((publishers, generation, fragments)),
+            response => Err(unexpected("ProfilePublished", &response)),
+        }
+    }
+
+    /// Fetches the store's sealed aggregate profile blob for a
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a server-side error (no aggregate yet).
+    pub fn fetch_profile(&mut self, config: SessionConfig) -> io::Result<Vec<u8>> {
+        match self.request_patient(&Request::FetchProfile { config })? {
+            Response::ProfileBlob { blob } => Ok(blob),
+            response => Err(unexpected("ProfileBlob", &response)),
         }
     }
 

@@ -32,6 +32,7 @@
 
 mod client;
 mod manager;
+pub mod profile_store;
 pub mod protocol;
 #[cfg(unix)]
 mod reactor;
@@ -45,8 +46,13 @@ mod wire;
 
 pub use client::Client;
 pub use manager::{ServeConfig, SessionManager};
+pub use profile_store::{
+    MergePolicy, PrewarmProfile, ProfileError, ProfileKey, ProfileStore, ProfileStoreConfig,
+    ProfileStoreStats, PublishInfo, SessionProfile, PROFILE_MAGIC, PROFILE_VERSION,
+};
 pub use protocol::{
-    read_frame, write_frame, ProtocolError, Request, Response, ServerStats, MAX_FRAME_BYTES,
+    read_frame, write_frame, PrewarmOutcome, ProtocolError, Request, Response, ServerStats,
+    MAX_FRAME_BYTES,
 };
 #[cfg(unix)]
 pub use reactor::{ConnError, ConnLimits, ConnState};

@@ -35,7 +35,8 @@ use std::sync::{Arc, Mutex};
 
 use hotpath_telemetry as telemetry;
 
-use crate::protocol::{Request, Response, ServerStats};
+use crate::profile_store::{ProfileKey, ProfileStore, ProfileStoreConfig, SessionProfile};
+use crate::protocol::{PrewarmOutcome, Request, Response, ServerStats};
 use crate::shard::{spawn, Job, ReplyTo, ShardCounters, ShardRequest};
 use crate::snapshot::SessionSnapshot;
 
@@ -105,6 +106,9 @@ pub(crate) enum RequestNote {
     Snapshot { session: u64 },
     /// A close: emit `SessionClosed` on success.
     Close { session: u64 },
+    /// A profile publish: emit `ProfilePublished` + `ProfileMerged` on
+    /// success.
+    Publish { session: u64 },
 }
 
 /// The sharded session pool. Cheap to share (`Arc`) across connection
@@ -114,6 +118,7 @@ pub struct SessionManager {
     config: ServeConfig,
     shards: Vec<SyncSender<Job>>,
     counters: Vec<Arc<ShardCounters>>,
+    store: Arc<ProfileStore>,
     next_id: AtomicU64,
     down: AtomicBool,
     /// Join handles drained at shutdown (kept apart from the senders so
@@ -122,21 +127,39 @@ pub struct SessionManager {
 }
 
 impl SessionManager {
-    /// Spawns the shard pool.
+    /// Spawns the shard pool with the default profile-store shape.
     ///
     /// # Panics
     ///
     /// Panics if `config.shards` is zero or a queue depth of zero is
     /// requested (a rendezvous queue would make every request `Busy`).
     pub fn new(config: ServeConfig) -> SessionManager {
+        SessionManager::with_profile_config(config, ProfileStoreConfig::default())
+    }
+
+    /// Spawns the shard pool with an explicit profile-store shape
+    /// (merge policies, decay quantum, tie-break seed).
+    ///
+    /// # Panics
+    ///
+    /// As [`SessionManager::new`], plus a zero epoch quantum.
+    pub fn with_profile_config(
+        config: ServeConfig,
+        profile_config: ProfileStoreConfig,
+    ) -> SessionManager {
         assert!(config.shards > 0, "need at least one shard");
         assert!(config.queue_depth > 0, "queue depth must be positive");
+        let store = Arc::new(ProfileStore::new(profile_config));
         let mut shards = Vec::with_capacity(config.shards as usize);
         let mut counters = Vec::with_capacity(config.shards as usize);
         let mut joins = Vec::with_capacity(config.shards as usize);
         for shard_id in 0..config.shards {
-            let (sender, shard_counters, thread) =
-                spawn(shard_id, config.queue_depth, config.max_sessions_per_shard);
+            let (sender, shard_counters, thread) = spawn(
+                shard_id,
+                config.queue_depth,
+                config.max_sessions_per_shard,
+                Arc::clone(&store),
+            );
             shards.push(sender);
             counters.push(shard_counters);
             joins.push(thread);
@@ -145,10 +168,16 @@ impl SessionManager {
             config,
             shards,
             counters,
+            store,
             next_id: AtomicU64::new(1),
             down: AtomicBool::new(false),
             joins: Mutex::new(joins),
         }
+    }
+
+    /// The fleet profile store shared by every shard.
+    pub fn profile_store(&self) -> &ProfileStore {
+        &self.store
     }
 
     /// Number of shards in the pool.
@@ -251,6 +280,29 @@ impl SessionManager {
                 note: RequestNote::Close { session },
             },
             Request::Stats => Prepared::Immediate(Response::ServerStats(self.server_stats())),
+            Request::PublishProfile { session } => Prepared::Route {
+                session,
+                shard_request: ShardRequest::Publish { id: session },
+                note: RequestNote::Publish { session },
+            },
+            // Pure store read — answered on the caller's thread, no
+            // shard involved.
+            Request::FetchProfile { config } => {
+                let key = ProfileKey::of(&config);
+                Prepared::Immediate(match self.store.fetch(&key) {
+                    Some(aggregate) => Response::ProfileBlob {
+                        blob: SessionProfile {
+                            key,
+                            epoch: aggregate.epoch,
+                            warm: aggregate.warm.clone(),
+                        }
+                        .encode(),
+                    },
+                    None => Response::Error {
+                        message: format!("no aggregate profile for {}", key.label()),
+                    },
+                })
+            }
             // Process lifecycle belongs to the host (TCP server or the
             // owner of this manager), not to a shard.
             Request::Shutdown => Prepared::Immediate(Response::ShuttingDown),
@@ -308,12 +360,36 @@ impl SessionManager {
         match note {
             RequestNote::Plain => {}
             RequestNote::Open { workload } => {
-                if let Response::Opened { session, shard } = response {
+                if let Response::Opened {
+                    session,
+                    shard,
+                    prewarm,
+                } = response
+                {
                     telemetry::emit!(telemetry::Event::SessionOpened {
                         session: *session,
                         shard: *shard,
                         workload,
                     });
+                    match prewarm {
+                        PrewarmOutcome::NotRequested => {}
+                        PrewarmOutcome::Warmed {
+                            fragments,
+                            counters,
+                        } => {
+                            telemetry::emit!(telemetry::Event::SessionPrewarmed {
+                                session: *session,
+                                fragments: *fragments,
+                                counters: *counters,
+                            });
+                        }
+                        PrewarmOutcome::Rejected { reason } => {
+                            telemetry::emit!(telemetry::Event::PrewarmRejected {
+                                session: *session,
+                                reason,
+                            });
+                        }
+                    }
                 }
             }
             RequestNote::Restore {
@@ -321,7 +397,7 @@ impl SessionManager {
                 bytes,
                 fragments,
             } => {
-                if let Response::Opened { session, shard } = response {
+                if let Response::Opened { session, shard, .. } = response {
                     telemetry::emit!(telemetry::Event::SessionOpened {
                         session: *session,
                         shard: *shard,
@@ -354,6 +430,27 @@ impl SessionManager {
                     });
                 }
             }
+            RequestNote::Publish { session } => {
+                if let Response::ProfilePublished {
+                    workload,
+                    publishers,
+                    generation,
+                    fragments,
+                    epoch,
+                } = response
+                {
+                    telemetry::emit!(telemetry::Event::ProfilePublished {
+                        session: *session,
+                        fragments: *fragments,
+                        epoch: *epoch,
+                    });
+                    telemetry::emit!(telemetry::Event::ProfileMerged {
+                        workload,
+                        publishers: *publishers,
+                        generation: *generation,
+                    });
+                }
+            }
         }
     }
 
@@ -361,14 +458,25 @@ impl SessionManager {
     /// fields are zero here; the reactor front-end overlays its own
     /// counts before answering [`Request::Stats`] over TCP.
     pub fn server_stats(&self) -> ServerStats {
+        let store_stats = self.store.stats();
         let mut stats = ServerStats {
             rss_max_bytes: max_rss(),
+            profiles_held: store_stats.profiles_held,
+            profile_bytes: store_stats.bytes,
             ..ServerStats::default()
         };
         for counters in &self.counters {
             stats.live_sessions += counters.live.load(Ordering::Relaxed);
             stats.sessions_opened += counters.opened.load(Ordering::Relaxed);
             stats.sessions_closed += counters.closed.load(Ordering::Relaxed);
+            stats.sessions_prewarmed += counters.prewarmed.load(Ordering::Relaxed);
+            // Refresh age: how many merges behind the store the
+            // staleness-worst shard cache is. Shards that have never
+            // consulted the store report the full generation lag.
+            let shard_gen = counters.profile_gen.load(Ordering::Acquire);
+            stats.profile_refresh_age = stats
+                .profile_refresh_age
+                .max(store_stats.generation.saturating_sub(shard_gen));
         }
         stats
     }

@@ -11,7 +11,7 @@
 //! body:    ...       opcode-specific fields, little-endian
 //! ```
 //!
-//! Requests use opcodes `0x01..=0x0A`, responses `0x80..=0x89`; the high
+//! Requests use opcodes `0x01..=0x0C`, responses `0x80..=0x8B`; the high
 //! bit tells the two apart on the wire. Variable-length fields (strings,
 //! event batches, snapshot blobs) are `u32`-length-prefixed; batched
 //! control-flow events use the VM's 14-byte
@@ -91,6 +91,43 @@ pub enum Request {
     /// sweep and the CI leak check read these to prove the session table
     /// drains to zero and memory stays bounded.
     Stats,
+    /// Publish a session's warm state into the fleet profile store
+    /// (`0x0B`). The store merges it into the per-key aggregate under the
+    /// key's merge policy; later sessions opened with
+    /// [`SessionConfig::prewarm`] import that aggregate at admission.
+    PublishProfile {
+        /// Session whose warm state is published.
+        session: u64,
+    },
+    /// Fetch the store's aggregate profile for a configuration (`0x0C`)
+    /// as a sealed blob — offline inspection and the `profile_sim`
+    /// harness read these.
+    FetchProfile {
+        /// Configuration whose aggregate is wanted (only the profile-key
+        /// fields — workload, scale, scheme, delay — select it).
+        config: SessionConfig,
+    },
+}
+
+/// What pre-warming did at admission, carried in [`Response::Opened`].
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub enum PrewarmOutcome {
+    /// The session did not ask to be pre-warmed.
+    #[default]
+    NotRequested,
+    /// The session imported the fleet aggregate before its first block.
+    Warmed {
+        /// Fragments imported into the session's cache.
+        fragments: u64,
+        /// Counter-table entries (exit + NET) imported.
+        counters: u64,
+    },
+    /// Pre-warming was requested but refused; the session opened cold.
+    /// Results are unaffected either way — this costs warm-up time only.
+    Rejected {
+        /// Why (no aggregate yet, warm state failed validation, …).
+        reason: String,
+    },
 }
 
 /// Whole-server counters carried by [`Response::ServerStats`].
@@ -110,6 +147,15 @@ pub struct ServerStats {
     /// Peak resident set size of the serving process in bytes (0 where
     /// the platform offers no cheap readout).
     pub rss_max_bytes: u64,
+    /// Per-key aggregate profiles held by the fleet profile store.
+    pub profiles_held: u64,
+    /// Canonical encoded size of the profile store in bytes.
+    pub profile_bytes: u64,
+    /// How far behind the store the staleness-worst shard's read-mostly
+    /// profile cache is, in store generations (0 = fully refreshed).
+    pub profile_refresh_age: u64,
+    /// Sessions pre-warmed from the store over the server's lifetime.
+    pub sessions_prewarmed: u64,
 }
 
 /// A server-to-client message.
@@ -121,6 +167,8 @@ pub enum Response {
         session: u64,
         /// Shard the session landed on.
         shard: u32,
+        /// What pre-warming did (NotRequested for ordinary opens).
+        prewarm: PrewarmOutcome,
     },
     /// A run slice finished (`0x81`).
     Ran {
@@ -161,6 +209,26 @@ pub enum Response {
     ShuttingDown,
     /// Whole-server counters (`0x89`), answering [`Request::Stats`].
     ServerStats(ServerStats),
+    /// A profile publish was merged into the store (`0x8A`).
+    ProfilePublished {
+        /// Workload label the profile aggregates under.
+        workload: String,
+        /// Publishers folded into the key's aggregate so far.
+        publishers: u64,
+        /// Store generation after the merge.
+        generation: u64,
+        /// Fragments in the rebuilt aggregate.
+        fragments: u64,
+        /// The publisher's logical epoch at capture.
+        epoch: u64,
+    },
+    /// The store's sealed aggregate profile blob (`0x8B`), answering
+    /// [`Request::FetchProfile`].
+    ProfileBlob {
+        /// A sealed `HPFP` blob (see
+        /// [`SessionProfile`](crate::SessionProfile)).
+        blob: Vec<u8>,
+    },
 }
 
 /// Why a payload failed to decode.
@@ -215,6 +283,7 @@ fn put_config(out: &mut Vec<u8>, config: &SessionConfig) {
         hotpath_vm::OptLevel::Guards => 1,
         hotpath_vm::OptLevel::Full => 2,
     });
+    out.push(u8::from(config.prewarm));
 }
 
 fn read_config(r: &mut Reader<'_>) -> Result<SessionConfig, ProtocolError> {
@@ -252,6 +321,11 @@ fn read_config(r: &mut Reader<'_>) -> Result<SessionConfig, ProtocolError> {
         2 => hotpath_vm::OptLevel::Full,
         _ => return Err(ProtocolError::Malformed("opt_level")),
     };
+    let prewarm = match r.u8("prewarm")? {
+        0 => false,
+        1 => true,
+        _ => return Err(ProtocolError::Malformed("prewarm")),
+    };
     Ok(SessionConfig {
         workload,
         scale,
@@ -259,6 +333,39 @@ fn read_config(r: &mut Reader<'_>) -> Result<SessionConfig, ProtocolError> {
         delay,
         fuel_budget,
         opt_level,
+        prewarm,
+    })
+}
+
+fn put_prewarm(out: &mut Vec<u8>, outcome: &PrewarmOutcome) {
+    match outcome {
+        PrewarmOutcome::NotRequested => out.push(0),
+        PrewarmOutcome::Warmed {
+            fragments,
+            counters,
+        } => {
+            out.push(1);
+            put_u64(out, *fragments);
+            put_u64(out, *counters);
+        }
+        PrewarmOutcome::Rejected { reason } => {
+            out.push(2);
+            put_str(out, reason);
+        }
+    }
+}
+
+fn read_prewarm(r: &mut Reader<'_>) -> Result<PrewarmOutcome, ProtocolError> {
+    Ok(match r.u8("prewarm outcome")? {
+        0 => PrewarmOutcome::NotRequested,
+        1 => PrewarmOutcome::Warmed {
+            fragments: r.u64("prewarm fragments")?,
+            counters: r.u64("prewarm counters")?,
+        },
+        2 => PrewarmOutcome::Rejected {
+            reason: r.str("prewarm reason")?.to_string(),
+        },
+        _ => return Err(ProtocolError::Malformed("prewarm outcome")),
     })
 }
 
@@ -305,6 +412,14 @@ impl Request {
                 put_u64(&mut out, *session);
             }
             Request::Stats => out.push(0x0A),
+            Request::PublishProfile { session } => {
+                out.push(0x0B);
+                put_u64(&mut out, *session);
+            }
+            Request::FetchProfile { config } => {
+                out.push(0x0C);
+                put_config(&mut out, config);
+            }
         }
         out
     }
@@ -351,6 +466,12 @@ impl Request {
                 session: r.u64("session")?,
             },
             0x0A => Request::Stats,
+            0x0B => Request::PublishProfile {
+                session: r.u64("session")?,
+            },
+            0x0C => Request::FetchProfile {
+                config: read_config(&mut r)?,
+            },
             op => return Err(ProtocolError::BadOpcode(op)),
         };
         if r.remaining() != 0 {
@@ -365,10 +486,15 @@ impl Response {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
-            Response::Opened { session, shard } => {
+            Response::Opened {
+                session,
+                shard,
+                prewarm,
+            } => {
                 out.push(0x80);
                 put_u64(&mut out, *session);
                 put_u32(&mut out, *shard);
+                put_prewarm(&mut out, prewarm);
             }
             Response::Ran { done, stats } => {
                 out.push(0x81);
@@ -420,6 +546,28 @@ impl Response {
                 put_u64(&mut out, stats.connections);
                 put_u64(&mut out, stats.conns_accepted);
                 put_u64(&mut out, stats.rss_max_bytes);
+                put_u64(&mut out, stats.profiles_held);
+                put_u64(&mut out, stats.profile_bytes);
+                put_u64(&mut out, stats.profile_refresh_age);
+                put_u64(&mut out, stats.sessions_prewarmed);
+            }
+            Response::ProfilePublished {
+                workload,
+                publishers,
+                generation,
+                fragments,
+                epoch,
+            } => {
+                out.push(0x8A);
+                put_str(&mut out, workload);
+                put_u64(&mut out, *publishers);
+                put_u64(&mut out, *generation);
+                put_u64(&mut out, *fragments);
+                put_u64(&mut out, *epoch);
+            }
+            Response::ProfileBlob { blob } => {
+                out.push(0x8B);
+                put_bytes(&mut out, blob);
             }
         }
         out
@@ -442,6 +590,7 @@ impl Response {
             0x80 => Response::Opened {
                 session: r.u64("session")?,
                 shard: r.u32("shard")?,
+                prewarm: read_prewarm(&mut r)?,
             },
             0x81 => Response::Ran {
                 done: flag(&mut r, "done")?,
@@ -482,7 +631,21 @@ impl Response {
                 connections: r.u64("connections")?,
                 conns_accepted: r.u64("conns_accepted")?,
                 rss_max_bytes: r.u64("rss_max_bytes")?,
+                profiles_held: r.u64("profiles_held")?,
+                profile_bytes: r.u64("profile_bytes")?,
+                profile_refresh_age: r.u64("profile_refresh_age")?,
+                sessions_prewarmed: r.u64("sessions_prewarmed")?,
             }),
+            0x8A => Response::ProfilePublished {
+                workload: r.str("workload")?.to_string(),
+                publishers: r.u64("publishers")?,
+                generation: r.u64("generation")?,
+                fragments: r.u64("fragments")?,
+                epoch: r.u64("epoch")?,
+            },
+            0x8B => Response::ProfileBlob {
+                blob: r.bytes("blob")?.to_vec(),
+            },
             op => return Err(ProtocolError::BadOpcode(op)),
         };
         if r.remaining() != 0 {
@@ -600,6 +763,10 @@ mod tests {
             Request::Shutdown,
             Request::Flush { session: 4 },
             Request::Stats,
+            Request::PublishProfile { session: 5 },
+            Request::FetchProfile {
+                config: SessionConfig::exec(WorkloadName::Li, Scale::Small).with_prewarm(true),
+            },
         ]
     }
 
@@ -608,6 +775,22 @@ mod tests {
             Response::Opened {
                 session: 11,
                 shard: 2,
+                prewarm: PrewarmOutcome::NotRequested,
+            },
+            Response::Opened {
+                session: 12,
+                shard: 0,
+                prewarm: PrewarmOutcome::Warmed {
+                    fragments: 9,
+                    counters: 40,
+                },
+            },
+            Response::Opened {
+                session: 13,
+                shard: 1,
+                prewarm: PrewarmOutcome::Rejected {
+                    reason: "no aggregate profile for this key yet".to_string(),
+                },
             },
             Response::Ran {
                 done: true,
@@ -655,7 +838,21 @@ mod tests {
                 connections: 64,
                 conns_accepted: 128,
                 rss_max_bytes: 1 << 30,
+                profiles_held: 9,
+                profile_bytes: 48_000,
+                profile_refresh_age: 2,
+                sessions_prewarmed: 5_000,
             }),
+            Response::ProfilePublished {
+                workload: "compress".to_string(),
+                publishers: 4,
+                generation: 7,
+                fragments: 12,
+                epoch: 250_000,
+            },
+            Response::ProfileBlob {
+                blob: vec![0xCD; 21],
+            },
         ]
     }
 

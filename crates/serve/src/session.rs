@@ -42,6 +42,10 @@ pub struct SessionConfig {
     /// Trace optimization level for exec sessions (ignored for ingest,
     /// which executes nothing). Affects speed only, never results.
     pub opt_level: hotpath_vm::OptLevel,
+    /// Ask admission to pre-warm the session from the fleet profile
+    /// store's aggregate for this configuration. Warm state is policy
+    /// only, so pre-warming affects warm-up speed, never results.
+    pub prewarm: bool,
 }
 
 impl SessionConfig {
@@ -54,6 +58,7 @@ impl SessionConfig {
             delay: 50,
             fuel_budget: None,
             opt_level: hotpath_vm::OptLevel::None,
+            prewarm: false,
         }
     }
 
@@ -66,12 +71,19 @@ impl SessionConfig {
             delay: 50,
             fuel_budget: None,
             opt_level: hotpath_vm::OptLevel::None,
+            prewarm: false,
         }
     }
 
     /// Returns the configuration with the trace optimization level set.
     pub fn with_opt_level(mut self, level: hotpath_vm::OptLevel) -> Self {
         self.opt_level = level;
+        self
+    }
+
+    /// Returns the configuration with pre-warm-at-admission set.
+    pub fn with_prewarm(mut self, prewarm: bool) -> Self {
+        self.prewarm = prewarm;
         self
     }
 
@@ -163,6 +175,7 @@ impl Session {
     /// program (wrong memory size, dangling block ids, …).
     pub fn restore(id: u64, shard: u32, snapshot: &SessionSnapshot) -> Result<Session, String> {
         let mut session = Session::open(id, shard, snapshot.config.clone());
+        snapshot.warm.validate(session.block_limit())?;
         session.engine.import_warm_state(&snapshot.warm);
         if let Some(saved) = &snapshot.vm {
             let exec = session
@@ -209,6 +222,48 @@ impl Session {
     /// The session's engine (inspection).
     pub fn engine(&self) -> &LinkedEngine {
         &self.engine
+    }
+
+    /// The session's logical clock: blocks executed for exec sessions,
+    /// events accepted for ingest sessions. Profile publishes are
+    /// stamped with this, which drives exponential-decay bucketing.
+    pub fn epoch(&self) -> u64 {
+        if self.exec.is_some() {
+            self.stats().blocks_executed
+        } else {
+            self.ingested
+        }
+    }
+
+    /// Largest valid block id bound for warm-state validation: the
+    /// program's block count for exec sessions, unbounded for ingest
+    /// (the client's block ids are its own).
+    fn block_limit(&self) -> u32 {
+        self.exec
+            .as_ref()
+            .map_or(u32::MAX, |e| e.vm.layout().block_count() as u32)
+    }
+
+    /// Imports fleet warm state into the session's engine at admission.
+    /// Returns `(fragments, counters)` imported. Policy state only:
+    /// RunStats, memory, and globals stay bit-identical to a cold run —
+    /// only *when* traces install changes.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty warm state and warm state referencing block ids the
+    /// session's program does not have (same checks as restore).
+    pub fn prewarm(
+        &mut self,
+        warm: &hotpath_dynamo::EngineWarmState,
+    ) -> Result<(u64, u64), String> {
+        if warm.is_empty() {
+            return Err("aggregate profile carries no warm state".into());
+        }
+        warm.validate(self.block_limit())?;
+        self.engine.import_warm_state(warm);
+        let counters = (warm.exit_counts.len() + warm.net_counters.len()) as u64;
+        Ok((warm.fragments.len() as u64, counters))
     }
 
     /// Advances an exec session by at most `fuel` blocks (`None` runs to
@@ -308,6 +363,9 @@ impl Session {
             config: self.config.clone(),
             warm: self.engine.export_warm_state(),
             vm: self.exec.as_ref().map(|e| e.vm.export_linked(&e.state)),
+            // The shard attaches the fleet aggregate; the session itself
+            // only knows its own warm state.
+            profile: None,
         }
     }
 }

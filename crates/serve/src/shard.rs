@@ -8,7 +8,7 @@
 //! uses `try_send`, and a full queue surfaces as an explicit
 //! [`Response::Busy`] instead of unbounded buffering.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
@@ -16,7 +16,8 @@ use std::thread::JoinHandle;
 
 use hotpath_vm::BlockEvent;
 
-use crate::protocol::Response;
+use crate::profile_store::{PrewarmProfile, ProfileKey, ProfileStore, SessionProfile};
+use crate::protocol::{PrewarmOutcome, Response};
 use crate::session::{Session, SessionConfig};
 use crate::snapshot::SessionSnapshot;
 
@@ -69,6 +70,11 @@ pub(crate) struct ShardCounters {
     pub opened: AtomicU64,
     /// Sessions ever closed.
     pub closed: AtomicU64,
+    /// Sessions pre-warmed from the fleet profile store.
+    pub prewarmed: AtomicU64,
+    /// Store generation the shard's read-mostly profile cache last
+    /// synced at; the manager reports the worst lag as refresh age.
+    pub profile_gen: AtomicU64,
 }
 
 /// A request already routed to a shard (session ids resolved by the
@@ -103,6 +109,10 @@ pub(crate) enum ShardRequest {
     Close {
         id: u64,
     },
+    /// Publish the session's warm state into the fleet profile store.
+    Publish {
+        id: u64,
+    },
 }
 
 /// One queued unit of work: a routed request plus the reply slot.
@@ -127,6 +137,7 @@ pub(crate) fn spawn(
     shard_id: u32,
     queue_depth: usize,
     max_sessions: usize,
+    store: Arc<ProfileStore>,
 ) -> (SyncSender<Job>, Arc<ShardCounters>, JoinHandle<()>) {
     let (sender, receiver) = sync_channel(queue_depth);
     let counters = Arc::new(ShardCounters::default());
@@ -134,21 +145,92 @@ pub(crate) fn spawn(
         let counters = Arc::clone(&counters);
         std::thread::Builder::new()
             .name(format!("hotpath-shard-{shard_id}"))
-            .spawn(move || worker(shard_id, &receiver, max_sessions, &counters))
+            .spawn(move || worker(shard_id, &receiver, max_sessions, &counters, &store))
             .expect("spawn shard thread")
     };
     (sender, counters, thread)
 }
 
-fn worker(shard_id: u32, receiver: &Receiver<Job>, max_sessions: usize, counters: &ShardCounters) {
+/// One slot of the shard's read-mostly profile cache: the aggregate (or
+/// confirmed absence of one) as of a store generation.
+struct CachedProfile {
+    generation: u64,
+    profile: Option<Arc<PrewarmProfile>>,
+}
+
+/// Shard-thread-local worker state beyond the session table.
+struct Worker<'a> {
+    shard_id: u32,
+    max_sessions: usize,
+    counters: &'a ShardCounters,
+    store: &'a ProfileStore,
+    /// Read-mostly cache of store aggregates. Admission consults this
+    /// after one lock-free generation check; the store mutex is only
+    /// touched when the cache is behind, so opening a session never
+    /// contends with other shards in steady state.
+    profiles: BTreeMap<ProfileKey, CachedProfile>,
+}
+
+impl Worker<'_> {
+    /// The store aggregate for `key`, through the shard-local cache.
+    fn cached_aggregate(&mut self, key: ProfileKey) -> Option<Arc<PrewarmProfile>> {
+        let generation = self.store.generation();
+        let hit = self
+            .profiles
+            .get(&key)
+            .is_some_and(|c| c.generation == generation);
+        if !hit {
+            self.profiles.insert(
+                key,
+                CachedProfile {
+                    generation,
+                    profile: self.store.fetch(&key),
+                },
+            );
+        }
+        self.counters
+            .profile_gen
+            .store(generation, Ordering::Release);
+        self.profiles.get(&key).unwrap().profile.clone()
+    }
+
+    /// A session snapshot with the fleet aggregate for its key attached,
+    /// so restoring the snapshot can re-seed the store.
+    fn snapshot_with_profile(&mut self, session: &Session) -> SessionSnapshot {
+        let mut snapshot = session.snapshot();
+        snapshot.profile = self
+            .cached_aggregate(ProfileKey::of(session.config()))
+            .map(|p| SessionProfile {
+                key: p.key,
+                epoch: p.epoch,
+                warm: p.warm.clone(),
+            });
+        snapshot
+    }
+}
+
+fn worker(
+    shard_id: u32,
+    receiver: &Receiver<Job>,
+    max_sessions: usize,
+    counters: &ShardCounters,
+    store: &ProfileStore,
+) {
     let mut sessions: HashMap<u64, Session> = HashMap::new();
+    let mut worker = Worker {
+        shard_id,
+        max_sessions,
+        counters,
+        store,
+        profiles: BTreeMap::new(),
+    };
     while let Ok(job) = receiver.recv() {
         let (request, reply) = match job {
             Job::Request { request, reply } => (request, reply),
             Job::SnapshotAll { reply } => {
                 let mut blobs: Vec<(u64, Vec<u8>)> = sessions
                     .iter()
-                    .map(|(&id, session)| (id, session.snapshot().encode()))
+                    .map(|(&id, session)| (id, worker.snapshot_with_profile(session).encode()))
                     .collect();
                 blobs.sort_by_key(|&(id, _)| id);
                 let _ = reply.send(blobs);
@@ -156,47 +238,75 @@ fn worker(shard_id: u32, receiver: &Receiver<Job>, max_sessions: usize, counters
             }
             Job::Shutdown => break,
         };
-        let response = handle(shard_id, &mut sessions, max_sessions, counters, request);
+        let response = handle(&mut worker, &mut sessions, request);
         // A dead reply slot means the requester gave up; nothing to do.
         reply.send(response);
     }
 }
 
 fn handle(
-    shard_id: u32,
+    worker: &mut Worker<'_>,
     sessions: &mut HashMap<u64, Session>,
-    max_sessions: usize,
-    counters: &ShardCounters,
     request: ShardRequest,
 ) -> Response {
+    let shard_id = worker.shard_id;
     let missing = |id: u64| Response::Error {
         message: format!("no session {id} on shard {shard_id}"),
     };
     match request {
         ShardRequest::Open { id, config } => {
-            if sessions.len() >= max_sessions {
+            if sessions.len() >= worker.max_sessions {
                 return Response::Busy;
             }
-            sessions.insert(id, Session::open(id, shard_id, config));
-            counters.live.fetch_add(1, Ordering::Relaxed);
-            counters.opened.fetch_add(1, Ordering::Relaxed);
+            let mut session = Session::open(id, shard_id, config.clone());
+            let prewarm = if config.prewarm {
+                match worker.cached_aggregate(ProfileKey::of(&config)) {
+                    Some(aggregate) => match session.prewarm(&aggregate.warm) {
+                        Ok((fragments, counters)) => {
+                            worker.counters.prewarmed.fetch_add(1, Ordering::Relaxed);
+                            PrewarmOutcome::Warmed {
+                                fragments,
+                                counters,
+                            }
+                        }
+                        Err(reason) => PrewarmOutcome::Rejected { reason },
+                    },
+                    None => PrewarmOutcome::Rejected {
+                        reason: "no aggregate profile for this key yet".to_string(),
+                    },
+                }
+            } else {
+                PrewarmOutcome::NotRequested
+            };
+            sessions.insert(id, session);
+            worker.counters.live.fetch_add(1, Ordering::Relaxed);
+            worker.counters.opened.fetch_add(1, Ordering::Relaxed);
             Response::Opened {
                 session: id,
                 shard: shard_id,
+                prewarm,
             }
         }
         ShardRequest::Restore { id, snapshot } => {
-            if sessions.len() >= max_sessions {
+            if sessions.len() >= worker.max_sessions {
                 return Response::Busy;
             }
             match Session::restore(id, shard_id, &snapshot) {
                 Ok(session) => {
+                    // A snapshot saved with a fleet aggregate re-seeds
+                    // the store (one publisher's worth); a fleet
+                    // restarted from parked snapshots warms its store
+                    // back up without waiting for live publishes.
+                    if let Some(profile) = &snapshot.profile {
+                        let _ = worker.store.publish(profile);
+                    }
                     sessions.insert(id, session);
-                    counters.live.fetch_add(1, Ordering::Relaxed);
-                    counters.opened.fetch_add(1, Ordering::Relaxed);
+                    worker.counters.live.fetch_add(1, Ordering::Relaxed);
+                    worker.counters.opened.fetch_add(1, Ordering::Relaxed);
                     Response::Opened {
                         session: id,
                         shard: shard_id,
+                        prewarm: PrewarmOutcome::NotRequested,
                     }
                 }
                 Err(message) => Response::Error { message },
@@ -226,7 +336,7 @@ fn handle(
         },
         ShardRequest::Snapshot { id } => match sessions.get(&id) {
             Some(session) => Response::SnapshotBlob {
-                blob: session.snapshot().encode(),
+                blob: worker.snapshot_with_profile(session).encode(),
             },
             None => missing(id),
         },
@@ -239,10 +349,30 @@ fn handle(
         },
         ShardRequest::Close { id } => match sessions.remove(&id) {
             Some(session) => {
-                counters.live.fetch_sub(1, Ordering::Relaxed);
-                counters.closed.fetch_add(1, Ordering::Relaxed);
+                worker.counters.live.fetch_sub(1, Ordering::Relaxed);
+                worker.counters.closed.fetch_add(1, Ordering::Relaxed);
                 Response::Closed {
                     blocks: session.stats().blocks_executed,
+                }
+            }
+            None => missing(id),
+        },
+        ShardRequest::Publish { id } => match sessions.get(&id) {
+            Some(session) => {
+                let profile = SessionProfile {
+                    key: ProfileKey::of(session.config()),
+                    epoch: session.epoch(),
+                    warm: session.engine().export_warm_state(),
+                };
+                match worker.store.publish(&profile) {
+                    Ok(info) => Response::ProfilePublished {
+                        workload: profile.key.label().to_string(),
+                        publishers: info.publishers,
+                        generation: info.generation,
+                        fragments: info.fragments,
+                        epoch: profile.epoch,
+                    },
+                    Err(message) => Response::Error { message },
                 }
             }
             None => missing(id),

@@ -1,7 +1,7 @@
 //! Persistent session snapshots: a versioned, checksummed binary format
 //! for warm-starting a restarted server past the τ-warm-up phase.
 //!
-//! A snapshot carries three sections:
+//! A snapshot carries up to four sections:
 //!
 //! 1. the [`SessionConfig`] (so a restore rebuilds the same workload and
 //!    engine policy),
@@ -11,7 +11,10 @@
 //!    head counters,
 //! 3. optionally, the VM's exact paused machine state
 //!    ([`SavedLinkedState`]) for exec sessions, so the restored run
-//!    finishes with bit-identical `RunStats`, memory, and globals.
+//!    finishes with bit-identical `RunStats`, memory, and globals,
+//! 4. optionally (v3), the fleet profile-store aggregate for the
+//!    session's configuration ([`SessionProfile`]), so restoring a
+//!    parked snapshot also re-seeds the cross-session profile store.
 //!
 //! # Format
 //!
@@ -19,16 +22,20 @@
 //!
 //! ```text
 //! "HPSS"            magic, 4 bytes
-//! version: u16      currently 1
+//! version: u16      currently 3
 //! flags:   u16      bit 0 = machine-state section present
+//!                   bit 1 = profile-store section present
 //! config  section   workload u8 (0xFF = ingest) · scale u8 · scheme u8 ·
-//!                   delay u64 · fuel_budget u64 (u64::MAX = none)
+//!                   delay u64 · fuel_budget u64 (u64::MAX = none) ·
+//!                   opt_level u8 · prewarm u8
 //! warm    section   counted arrays: fragments (insts u32, blocks [u32]),
 //!                   exit counters (u32, u64), armed targets u32,
 //!                   NET counters (u32, u64)
 //! machine section   stats · regs [i64] · frames (ret u32, base u64,
 //! (iff flag bit 0)  func u32) · frame_base u64 · pending event (14 B) ·
 //!                   cur u32 · memory [i64] · globals [i64] · done u8
+//! profile section   length-prefixed sealed "HPFP" profile blob (the
+//! (iff flag bit 1)  aggregate the store held for this key at save time)
 //! checksum: u64     FNV-1a 64 over every preceding byte
 //! ```
 //!
@@ -43,22 +50,30 @@
 //! * Unknown flag bits are rejected: a future writer's extension must not
 //!   be silently dropped by an old reader.
 
-use hotpath_dynamo::{EngineWarmState, FragmentRecord};
+use hotpath_dynamo::EngineWarmState;
 use hotpath_vm::{decode_events, encode_event, SavedFrame, SavedLinkedState, EVENT_WIRE_BYTES};
 use hotpath_workloads::{Scale, ALL_WORKLOADS};
 
+use crate::profile_store::SessionProfile;
 use crate::session::SessionConfig;
-use crate::wire::{fnv1a64, put_i64, put_stats, put_u32, put_u64, ReadError, Reader};
+use crate::wire::{
+    fnv1a64, put_bytes, put_i64, put_stats, put_u32, put_u64, put_warm, read_warm, ReadError,
+    Reader,
+};
 
 /// Magic bytes opening every snapshot ("Hot Path Session Snapshot").
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"HPSS";
 
 /// The format version this build writes and the only one it reads.
-/// Version 2 added the config's trace optimization level.
-pub const SNAPSHOT_VERSION: u16 = 2;
+/// Version 2 added the config's trace optimization level; version 3
+/// added the config's prewarm bit and the profile-store section.
+pub const SNAPSHOT_VERSION: u16 = 3;
 
 /// Flag bit: the machine-state section is present.
 const FLAG_MACHINE: u16 = 1;
+
+/// Flag bit: the profile-store section is present.
+const FLAG_PROFILE: u16 = 2;
 
 /// Why a snapshot failed to decode.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -125,6 +140,10 @@ pub struct SessionSnapshot {
     pub warm: EngineWarmState,
     /// Exact paused machine state; `None` for ingest sessions.
     pub vm: Option<SavedLinkedState>,
+    /// Fleet profile-store aggregate for the session's key at save time;
+    /// restoring a snapshot that carries one re-publishes it, so a fleet
+    /// restarted from parked snapshots warms its store back up too.
+    pub profile: Option<SessionProfile>,
 }
 
 impl SessionSnapshot {
@@ -133,7 +152,13 @@ impl SessionSnapshot {
         let mut out = Vec::with_capacity(256);
         out.extend_from_slice(&SNAPSHOT_MAGIC);
         out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
-        let flags: u16 = if self.vm.is_some() { FLAG_MACHINE } else { 0 };
+        let mut flags: u16 = 0;
+        if self.vm.is_some() {
+            flags |= FLAG_MACHINE;
+        }
+        if self.profile.is_some() {
+            flags |= FLAG_PROFILE;
+        }
         out.extend_from_slice(&flags.to_le_bytes());
 
         // Config section.
@@ -157,30 +182,10 @@ impl SessionSnapshot {
             hotpath_vm::OptLevel::Guards => 1,
             hotpath_vm::OptLevel::Full => 2,
         });
+        out.push(u8::from(self.config.prewarm));
 
         // Warm section.
-        put_u32(&mut out, self.warm.fragments.len() as u32);
-        for fragment in &self.warm.fragments {
-            put_u32(&mut out, fragment.insts);
-            put_u32(&mut out, fragment.blocks.len() as u32);
-            for &b in &fragment.blocks {
-                put_u32(&mut out, b);
-            }
-        }
-        put_u32(&mut out, self.warm.exit_counts.len() as u32);
-        for &(target, count) in &self.warm.exit_counts {
-            put_u32(&mut out, target);
-            put_u64(&mut out, count);
-        }
-        put_u32(&mut out, self.warm.armed.len() as u32);
-        for &target in &self.warm.armed {
-            put_u32(&mut out, target);
-        }
-        put_u32(&mut out, self.warm.net_counters.len() as u32);
-        for &(head, count) in &self.warm.net_counters {
-            put_u32(&mut out, head);
-            put_u64(&mut out, count);
-        }
+        put_warm(&mut out, &self.warm);
 
         // Machine section.
         if let Some(vm) = &self.vm {
@@ -207,6 +212,11 @@ impl SessionSnapshot {
                 put_i64(&mut out, g);
             }
             out.push(u8::from(vm.done));
+        }
+
+        // Profile section: the sealed blob verbatim, length-prefixed.
+        if let Some(profile) = &self.profile {
+            put_bytes(&mut out, &profile.encode());
         }
 
         let seal = fnv1a64(&out);
@@ -239,7 +249,7 @@ impl SessionSnapshot {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
         let flags = u16::from_le_bytes(r.take(2, "flags")?.try_into().unwrap());
-        if flags & !FLAG_MACHINE != 0 {
+        if flags & !(FLAG_MACHINE | FLAG_PROFILE) != 0 {
             return Err(SnapshotError::UnknownFlags(flags));
         }
 
@@ -274,6 +284,11 @@ impl SessionSnapshot {
             2 => hotpath_vm::OptLevel::Full,
             _ => return Err(SnapshotError::Malformed("opt_level")),
         };
+        let prewarm = match r.u8("prewarm")? {
+            0 => false,
+            1 => true,
+            _ => return Err(SnapshotError::Malformed("prewarm")),
+        };
         let config = SessionConfig {
             workload,
             scale,
@@ -281,36 +296,10 @@ impl SessionSnapshot {
             delay,
             fuel_budget,
             opt_level,
+            prewarm,
         };
 
-        let mut fragments = Vec::new();
-        for _ in 0..r.u32("fragment count")? {
-            let insts = r.u32("fragment insts")?;
-            let n = r.u32("fragment block count")?;
-            let mut blocks = Vec::with_capacity(n as usize);
-            for _ in 0..n {
-                blocks.push(r.u32("fragment block")?);
-            }
-            fragments.push(FragmentRecord { blocks, insts });
-        }
-        let mut exit_counts = Vec::new();
-        for _ in 0..r.u32("exit counter count")? {
-            exit_counts.push((r.u32("exit target")?, r.u64("exit count")?));
-        }
-        let mut armed = Vec::new();
-        for _ in 0..r.u32("armed count")? {
-            armed.push(r.u32("armed target")?);
-        }
-        let mut net_counters = Vec::new();
-        for _ in 0..r.u32("net counter count")? {
-            net_counters.push((r.u32("net head")?, r.u64("net count")?));
-        }
-        let warm = EngineWarmState {
-            fragments,
-            exit_counts,
-            armed,
-            net_counters,
-        };
+        let warm = read_warm(&mut r)?;
 
         let vm = if flags & FLAG_MACHINE != 0 {
             let stats = r.stats("stats")?;
@@ -360,16 +349,32 @@ impl SessionSnapshot {
             None
         };
 
+        let profile = if flags & FLAG_PROFILE != 0 {
+            let blob = r.bytes("profile blob")?;
+            Some(
+                SessionProfile::decode(blob)
+                    .map_err(|_| SnapshotError::Malformed("profile blob"))?,
+            )
+        } else {
+            None
+        };
+
         if r.remaining() != 0 {
             return Err(SnapshotError::Malformed("trailing bytes"));
         }
-        Ok(SessionSnapshot { config, warm, vm })
+        Ok(SessionSnapshot {
+            config,
+            warm,
+            vm,
+            profile,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hotpath_dynamo::FragmentRecord;
     use hotpath_workloads::WorkloadName;
 
     fn sample() -> SessionSnapshot {
@@ -381,6 +386,7 @@ mod tests {
                 delay: 50,
                 fuel_budget: Some(1_000_000),
                 opt_level: hotpath_vm::OptLevel::Full,
+                prewarm: false,
             },
             warm: EngineWarmState {
                 fragments: vec![
@@ -398,6 +404,7 @@ mod tests {
                 net_counters: vec![(3, 12)],
             },
             vm: None,
+            profile: None,
         }
     }
 
@@ -450,6 +457,46 @@ mod tests {
         assert_eq!(
             SessionSnapshot::decode(&reseal(flags)),
             Err(SnapshotError::UnknownFlags(0x80))
+        );
+    }
+
+    #[test]
+    fn v3_profile_section_and_prewarm_bit_round_trip() {
+        use crate::profile_store::ProfileKey;
+        let mut snap = sample();
+        snap.config.prewarm = true;
+        snap.profile = Some(SessionProfile {
+            key: ProfileKey::of(&snap.config),
+            epoch: 9_000,
+            warm: snap.warm.clone(),
+        });
+        let decoded = SessionSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
+
+        // A corrupted inner profile blob is caught even when the outer
+        // seal is recomputed over it.
+        let mut blob = snap.encode();
+        let profile_at = blob.len() - 8 - 12;
+        blob[profile_at] ^= 0x01;
+        let len = blob.len();
+        let seal = fnv1a64(&blob[..len - 8]);
+        blob[len - 8..].copy_from_slice(&seal.to_le_bytes());
+        assert_eq!(
+            SessionSnapshot::decode(&blob),
+            Err(SnapshotError::Malformed("profile blob"))
+        );
+    }
+
+    #[test]
+    fn stale_v2_snapshots_are_refused() {
+        let mut blob = sample().encode();
+        blob[4] = 2;
+        let len = blob.len();
+        let seal = fnv1a64(&blob[..len - 8]);
+        blob[len - 8..].copy_from_slice(&seal.to_le_bytes());
+        assert_eq!(
+            SessionSnapshot::decode(&blob),
+            Err(SnapshotError::UnsupportedVersion(2))
         );
     }
 

@@ -3,6 +3,7 @@
 //! with. Everything is explicit-width and little-endian; there is no
 //! varint cleverness to get wrong.
 
+use hotpath_dynamo::{EngineWarmState, FragmentRecord};
 use hotpath_vm::RunStats;
 
 /// Appends a `u32` (little-endian).
@@ -41,6 +42,66 @@ pub(crate) fn put_stats(out: &mut Vec<u8>, stats: &RunStats) {
     put_u64(out, stats.backward_transfers);
     put_u64(out, stats.max_call_depth as u64);
     out.push(u8::from(stats.halted));
+}
+
+/// Appends an [`EngineWarmState`] as the counted arrays shared by the
+/// snapshot and profile formats: fragments (insts, blocks), exit-stub
+/// counters, armed targets, NET counters.
+pub(crate) fn put_warm(out: &mut Vec<u8>, warm: &EngineWarmState) {
+    put_u32(out, warm.fragments.len() as u32);
+    for fragment in &warm.fragments {
+        put_u32(out, fragment.insts);
+        put_u32(out, fragment.blocks.len() as u32);
+        for &b in &fragment.blocks {
+            put_u32(out, b);
+        }
+    }
+    put_u32(out, warm.exit_counts.len() as u32);
+    for &(target, count) in &warm.exit_counts {
+        put_u32(out, target);
+        put_u64(out, count);
+    }
+    put_u32(out, warm.armed.len() as u32);
+    for &target in &warm.armed {
+        put_u32(out, target);
+    }
+    put_u32(out, warm.net_counters.len() as u32);
+    for &(head, count) in &warm.net_counters {
+        put_u32(out, head);
+        put_u64(out, count);
+    }
+}
+
+/// Reads an [`EngineWarmState`] written by [`put_warm`].
+pub(crate) fn read_warm(r: &mut Reader<'_>) -> Result<EngineWarmState, ReadError> {
+    let mut fragments = Vec::new();
+    for _ in 0..r.u32("fragment count")? {
+        let insts = r.u32("fragment insts")?;
+        let n = r.u32("fragment block count")?;
+        let mut blocks = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            blocks.push(r.u32("fragment block")?);
+        }
+        fragments.push(FragmentRecord { blocks, insts });
+    }
+    let mut exit_counts = Vec::new();
+    for _ in 0..r.u32("exit counter count")? {
+        exit_counts.push((r.u32("exit target")?, r.u64("exit count")?));
+    }
+    let mut armed = Vec::new();
+    for _ in 0..r.u32("armed count")? {
+        armed.push(r.u32("armed target")?);
+    }
+    let mut net_counters = Vec::new();
+    for _ in 0..r.u32("net counter count")? {
+        net_counters.push((r.u32("net head")?, r.u64("net count")?));
+    }
+    Ok(EngineWarmState {
+        fragments,
+        exit_counts,
+        armed,
+        net_counters,
+    })
 }
 
 /// A bounds-checked little-endian reader over a byte slice. Every read

@@ -281,6 +281,45 @@ pub enum Event<'a> {
         /// Fragments re-installed from the snapshot.
         fragments: u64,
     },
+    /// A session's warm state was published into the cross-session
+    /// profile store.
+    ProfilePublished {
+        /// Publishing session's id.
+        session: u64,
+        /// Fragments carried by the published profile.
+        fragments: u64,
+        /// The publisher's logical epoch (blocks executed, or events
+        /// ingested, when the profile was captured).
+        epoch: u64,
+    },
+    /// The profile store folded a publish into a per-workload aggregate
+    /// and rebuilt the pre-warm image shards serve from.
+    ProfileMerged {
+        /// Workload key the publish merged into (`"ingest"` for
+        /// event-stream sessions).
+        workload: &'a str,
+        /// Publishers merged into the aggregate so far.
+        publishers: u64,
+        /// Store generation after the merge (shard caches refresh when
+        /// they observe a generation ahead of their own).
+        generation: u64,
+    },
+    /// A session was pre-warmed from the store aggregate at admission.
+    SessionPrewarmed {
+        /// The admitted session's id.
+        session: u64,
+        /// Fragments imported from the aggregate.
+        fragments: u64,
+        /// NET + exit-stub counter entries imported from the aggregate.
+        counters: u64,
+    },
+    /// A requested pre-warm was not applied; the session opened cold.
+    PrewarmRejected {
+        /// The admitted session's id.
+        session: u64,
+        /// Why (`"no aggregate profile"`, a validation failure, …).
+        reason: &'a str,
+    },
     /// The reactor front-end accepted a TCP connection.
     ConnAccepted {
         /// Index of the reactor event loop that owns the connection.
@@ -360,6 +399,10 @@ impl Event<'_> {
             Event::ShardBusy { .. } => "shard_busy",
             Event::SnapshotSaved { .. } => "snapshot_saved",
             Event::SnapshotRestored { .. } => "snapshot_restored",
+            Event::ProfilePublished { .. } => "profile_published",
+            Event::ProfileMerged { .. } => "profile_merged",
+            Event::SessionPrewarmed { .. } => "session_prewarmed",
+            Event::PrewarmRejected { .. } => "prewarm_rejected",
             Event::ConnAccepted { .. } => "conn_accepted",
             Event::ConnClosed { .. } => "conn_closed",
             Event::ReactorWakeup { .. } => "reactor_wakeup",
@@ -550,6 +593,37 @@ impl Event<'_> {
                 push_u64_field(out, "session", session);
                 push_u64_field(out, "bytes", bytes);
                 push_u64_field(out, "fragments", fragments);
+            }
+            Event::ProfilePublished {
+                session,
+                fragments,
+                epoch,
+            } => {
+                push_u64_field(out, "session", session);
+                push_u64_field(out, "fragments", fragments);
+                push_u64_field(out, "epoch", epoch);
+            }
+            Event::ProfileMerged {
+                workload,
+                publishers,
+                generation,
+            } => {
+                push_str_field(out, "workload", workload);
+                push_u64_field(out, "publishers", publishers);
+                push_u64_field(out, "generation", generation);
+            }
+            Event::SessionPrewarmed {
+                session,
+                fragments,
+                counters,
+            } => {
+                push_u64_field(out, "session", session);
+                push_u64_field(out, "fragments", fragments);
+                push_u64_field(out, "counters", counters);
+            }
+            Event::PrewarmRejected { session, reason } => {
+                push_u64_field(out, "session", session);
+                push_str_field(out, "reason", reason);
             }
             Event::ConnAccepted { reactor, conn } => {
                 push_u64_field(out, "reactor", reactor as u64);
@@ -773,6 +847,25 @@ mod tests {
                 session: 4,
                 bytes: 4096,
                 fragments: 12,
+            },
+            Event::ProfilePublished {
+                session: 3,
+                fragments: 12,
+                epoch: 250_000,
+            },
+            Event::ProfileMerged {
+                workload: "compress",
+                publishers: 4,
+                generation: 7,
+            },
+            Event::SessionPrewarmed {
+                session: 5,
+                fragments: 12,
+                counters: 30,
+            },
+            Event::PrewarmRejected {
+                session: 6,
+                reason: "no aggregate profile",
             },
             Event::ConnAccepted {
                 reactor: 0,

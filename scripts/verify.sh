@@ -94,4 +94,31 @@ echo "== bench_compare curve + trend self-gates =="
 ./target/release/bench_compare --curve verify-sweep "$ART_DIR/serve_sweep.json"
 ./target/release/bench_compare --trend BENCH_perf.json
 
+echo "== warm-start smoke (cold publish, pre-warmed replay, first-trace gate) =="
+rm -f "$ART_DIR/warmstart_out.txt" "$ART_DIR/warmstart.json"
+./target/release/serve --addr 127.0.0.1:0 --shards 4 >"$ART_DIR/warmstart_out.txt" &
+WARM_PID=$!
+WARM_ADDR=""
+for _ in $(seq 1 100); do
+    WARM_ADDR=$(sed -n 's/^listening on //p' "$ART_DIR/warmstart_out.txt")
+    [[ -n "$WARM_ADDR" ]] && break
+    sleep 0.1
+done
+if [[ -z "$WARM_ADDR" ]]; then
+    echo "serve never reported a listening address" >&2
+    kill "$WARM_PID" 2>/dev/null || true
+    exit 1
+fi
+./target/release/loadgen --addr "$WARM_ADDR" --warm-start --scale smoke \
+    --shards 4 --label verify-warmstart --shutdown \
+    --json "$ART_DIR/warmstart.json"
+wait "$WARM_PID"   # --shutdown must stop the server cleanly (exit 0)
+./target/release/bench_compare --warmstart verify-warmstart \
+    "$ART_DIR/warmstart.json" --relative
+./target/release/bench_compare --warmstart warmstart BENCH_perf.json --relative
+
+echo "== profile_sim (merge policies replayed offline, order-independent) =="
+./target/release/profile_sim --scale smoke --sessions 4 \
+    | tee "$ART_DIR/profile_sim.txt"
+
 echo "verify.sh: all checks passed"

@@ -14,8 +14,8 @@ use std::net::TcpStream;
 
 use hotpath::prelude::*;
 use hotpath::serve::{
-    read_frame, serve, serve_blocking, write_frame, Client, ConnLimits, ConnState, Request,
-    Response, ServeConfig, ServerHandle, SessionConfig, SessionManager, MAX_FRAME_BYTES,
+    read_frame, serve, serve_blocking, write_frame, Client, ConnLimits, ConnState, PrewarmOutcome,
+    Request, Response, ServeConfig, ServerHandle, SessionConfig, SessionManager, MAX_FRAME_BYTES,
 };
 
 /// A plain interpreted run: the reference every serving path must match.
@@ -376,6 +376,35 @@ fn server_stats_track_sessions_and_connections() {
     assert!(
         after.rss_max_bytes > 0,
         "peak RSS must be reported on linux"
+    );
+
+    // Fleet profile-store counters ride the same reply: empty before
+    // the first publish, populated after, and the pre-warm tally moves.
+    assert_eq!(after.profiles_held, 0, "no profile published yet");
+    assert_eq!(after.profile_bytes, 0, "empty store reports zero bytes");
+    assert_eq!(after.sessions_prewarmed, 0);
+    let config = SessionConfig::exec(WorkloadName::Compress, Scale::Smoke);
+    let (publisher, _) = client.open(config.clone()).expect("open");
+    while !client.run(publisher, None).expect("run").0 {}
+    client.publish_profile(publisher).expect("publish");
+    client.close(publisher).expect("close");
+    let (warmed, _, outcome) = client
+        .open_detailed(config.with_prewarm(true))
+        .expect("open pre-warmed");
+    assert!(
+        matches!(outcome, PrewarmOutcome::Warmed { .. }),
+        "expected a warmed admission, got {outcome:?}"
+    );
+    client.close(warmed).expect("close");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.profiles_held, 1, "one workload key aggregated");
+    assert!(stats.profile_bytes > 0, "aggregate bytes reported");
+    assert_eq!(stats.sessions_prewarmed, 1);
+    assert!(
+        stats.profile_refresh_age <= 1,
+        "only shards that admitted a pre-warm have synced; the lag must \
+         never exceed the single publish, got {}",
+        stats.profile_refresh_age
     );
 
     client.shutdown_server().expect("shutdown");
