@@ -18,7 +18,12 @@
 //!   blocks-to-first-trace must sit strictly below its cold number, and
 //!   `serve-prewarmed` throughput must hold within the tolerance of
 //!   `serve-cold` (`--relative` normalizes both by the run's own
-//!   `native` rate for cross-host portability).
+//!   `native` rate for cross-host portability);
+//! * **`--chaos LABEL FILE`**: gates a committed `loadgen --chaos` run:
+//!   zero leaked sessions, zero divergent sessions, every expected
+//!   session completed, and at least one injected fault visibly
+//!   absorbed (retry, reconnect, shard restart, or quarantined
+//!   publish).
 //!
 //! ```text
 //! bench_compare BASELINE.json CURRENT.json [--tolerance 0.10] [--relative]
@@ -26,6 +31,7 @@
 //! bench_compare --trend FILE [--tolerance 0.10]
 //! bench_compare --curve PREFIX FILE [--curve-floor 0.5]
 //! bench_compare --warmstart LABEL FILE [--tolerance 0.10] [--relative]
+//! bench_compare --chaos LABEL FILE
 //! ```
 //!
 //! `--relative` normalizes each perf run by its own `native` rate before
@@ -41,8 +47,9 @@ use std::fs;
 use std::process::ExitCode;
 
 use hotpath_bench::compare::{
-    compare_perf, compare_telemetry, detect_kind, parse_perf_runs, perf_trend, select_run,
-    sweep_curve, warm_start_gate, CompareOptions, DocKind, DEFAULT_CURVE_FLOOR, DEFAULT_TOLERANCE,
+    chaos_gate, compare_perf, compare_telemetry, detect_kind, parse_perf_runs, perf_trend,
+    select_run, sweep_curve, warm_start_gate, CompareOptions, DocKind, DEFAULT_CURVE_FLOOR,
+    DEFAULT_TOLERANCE,
 };
 
 const USAGE: &str = "usage: bench_compare BASELINE.json CURRENT.json [--tolerance F] [--relative]
@@ -50,6 +57,7 @@ const USAGE: &str = "usage: bench_compare BASELINE.json CURRENT.json [--toleranc
        bench_compare --trend FILE [--tolerance F]
        bench_compare --curve PREFIX FILE [--curve-floor F]
        bench_compare --warmstart LABEL FILE [--tolerance F] [--relative]
+       bench_compare --chaos LABEL FILE
 
 modes:
   two files        pairwise gate: perf modes beyond the tolerance or any
@@ -63,6 +71,9 @@ modes:
                    blocks-to-first-trace strictly below cold for every
                    workload, serve-prewarmed throughput within the
                    tolerance of serve-cold
+  --chaos L        chaos gate over the run labelled L: zero leaked or
+                   divergent sessions, every expected session completed,
+                   and at least one injected fault visibly absorbed
 
 exit codes:
   0  gate passed (including --trend runs that only warn)
@@ -91,6 +102,10 @@ enum Mode {
         label: String,
         options: CompareOptions,
     },
+    Chaos {
+        file: String,
+        label: String,
+    },
 }
 
 fn parse_args() -> Result<Mode, String> {
@@ -106,6 +121,7 @@ fn parse_args() -> Result<Mode, String> {
     let mut trend = false;
     let mut curve: Option<String> = None;
     let mut warmstart: Option<String> = None;
+    let mut chaos: Option<String> = None;
     let mut floor = DEFAULT_CURVE_FLOOR;
     let mut files = Vec::new();
     let mut it = std::env::args().skip(1);
@@ -124,6 +140,7 @@ fn parse_args() -> Result<Mode, String> {
             "--trend" => trend = true,
             "--curve" => curve = Some(value("--curve")?),
             "--warmstart" => warmstart = Some(value("--warmstart")?),
+            "--chaos" => chaos = Some(value("--chaos")?),
             "--curve-floor" => {
                 let v = value("--curve-floor")?;
                 floor = v
@@ -141,13 +158,13 @@ fn parse_args() -> Result<Mode, String> {
     if !(0.0..1.0).contains(&tolerance) {
         return Err(format!("tolerance {tolerance} must be in [0, 1)"));
     }
-    if [trend, curve.is_some(), warmstart.is_some()]
+    if [trend, curve.is_some(), warmstart.is_some(), chaos.is_some()]
         .iter()
         .filter(|&&set| set)
         .count()
         > 1
     {
-        return Err("--trend, --curve, and --warmstart are mutually exclusive".into());
+        return Err("--trend, --curve, --warmstart, and --chaos are mutually exclusive".into());
     }
     if trend {
         let [file]: [String; 1] = files
@@ -177,6 +194,12 @@ fn parse_args() -> Result<Mode, String> {
                 relative,
             },
         });
+    }
+    if let Some(label) = chaos {
+        let [file]: [String; 1] = files
+            .try_into()
+            .map_err(|_| "--chaos takes exactly one snapshot file".to_string())?;
+        return Ok(Mode::Chaos { file, label });
     }
     let [baseline, current]: [String; 2] = files
         .try_into()
@@ -232,6 +255,13 @@ fn run(mode: &Mode) -> Result<bool, String> {
             let runs = read_perf_runs(file)?;
             let run = select_run(&runs, Some(label)).map_err(|e| format!("{file}: {e}"))?;
             let report = warm_start_gate(run, *options)?;
+            print!("{}", report.render());
+            Ok(report.passed())
+        }
+        Mode::Chaos { file, label } => {
+            let runs = read_perf_runs(file)?;
+            let run = select_run(&runs, Some(label)).map_err(|e| format!("{file}: {e}"))?;
+            let report = chaos_gate(run)?;
             print!("{}", report.render());
             Ok(report.passed())
         }

@@ -48,10 +48,22 @@
 //! `warm_start` section — the document `bench_compare --warmstart`
 //! gates.
 //!
+//! `--chaos` switches to fault-injection mode: the full suite runs
+//! against both front-ends (reactor and blocking) with every serve
+//! fault seam armed at `--chaos-rate` — torn/short writes, mid-frame
+//! resets, corrupted length prefixes and payloads, stalled peers,
+//! shard panics, poisoned publishes — plus one directed
+//! `PublishPoison` pass. Clients retry with the real `RetryPolicy`;
+//! the mode asserts zero session leaks, exact open counts (re-sent
+//! opens must dedup through the replay cache), and final statistics
+//! bit-identical to the native reference on every session, then
+//! appends one run with a `chaos` section — the document
+//! `bench_compare --chaos` gates.
+//!
 //! Usage: `loadgen [--sessions N] [--shards N] [--scale smoke|small|full]
 //! [--seed S] [--fuel N] [--label NAME] [--json PATH] [--addr HOST:PORT]
 //! [--snapshot-check] [--shutdown] [--sweep N1,N2,...] [--connections C]
-//! [--warm-start]`
+//! [--warm-start] [--chaos] [--chaos-rate R]`
 
 use std::fmt::Write as _;
 use std::fs;
@@ -61,8 +73,9 @@ use std::time::Instant;
 
 use hotpath_core::rng::Rng64;
 use hotpath_serve::{
-    Client, PrewarmOutcome, Request, Response, ServeConfig, ServerStats, SessionConfig,
-    SessionManager, SessionSnapshot,
+    serve, serve_blocking, Client, ClientError, FaultPlan, FaultPoint, PrewarmOutcome, Request,
+    Response, RetryPolicy, ServeConfig, ServerHandle, ServerStats, SessionConfig, SessionManager,
+    SessionSnapshot,
 };
 use hotpath_vm::{NullObserver, RunStats, Vm};
 use hotpath_workloads::{build, Scale, WorkloadName, ALL_WORKLOADS};
@@ -84,6 +97,8 @@ struct Args {
     sweep: Option<Vec<u32>>,
     connections: u32,
     warm_start: bool,
+    chaos: bool,
+    chaos_rate: f64,
 }
 
 fn parse_args() -> Args {
@@ -101,6 +116,8 @@ fn parse_args() -> Args {
         sweep: None,
         connections: 16,
         warm_start: false,
+        chaos: false,
+        chaos_rate: 0.05,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -148,11 +165,20 @@ fn parse_args() -> Args {
                 assert!(args.connections > 0, "--connections must be positive");
             }
             "--warm-start" => args.warm_start = true,
+            "--chaos" => args.chaos = true,
+            "--chaos-rate" => {
+                args.chaos_rate = value("--chaos-rate").parse().expect("--chaos-rate: number");
+                assert!(
+                    (0.0..=1.0).contains(&args.chaos_rate),
+                    "--chaos-rate must be in [0, 1]"
+                );
+            }
             other => panic!(
                 "unknown argument `{other}` (usage: [--sessions N] [--shards N] \
                  [--scale smoke|small|full] [--seed S] [--fuel N] [--label NAME] \
                  [--json PATH] [--addr HOST:PORT] [--snapshot-check] [--shutdown] \
-                 [--sweep N1,N2,...] [--connections C] [--warm-start])"
+                 [--sweep N1,N2,...] [--connections C] [--warm-start] \
+                 [--chaos] [--chaos-rate R])"
             ),
         }
     }
@@ -183,7 +209,7 @@ fn session_plan(sessions: u32, seed: u64) -> Vec<WorkloadName> {
 /// Each driver thread gets its own (threads never share a connection).
 enum Endpoint {
     Local(Arc<SessionManager>),
-    Remote(Client),
+    Remote(Box<Client>),
 }
 
 impl Endpoint {
@@ -412,7 +438,7 @@ fn sweep_point(args: &Args, pool: &Option<Arc<SessionManager>>, n: u32) -> Sweep
     let chunks: Vec<Vec<WorkloadName>> = plan.chunks(chunk).map(<[_]>::to_vec).collect();
     let drivers = chunks.len();
     let make_endpoint = || match (&args.addr, pool) {
-        (Some(addr), _) => Endpoint::Remote(Client::connect(addr).expect("connect")),
+        (Some(addr), _) => Endpoint::Remote(Box::new(Client::connect(addr).expect("connect"))),
         (None, Some(pool)) => Endpoint::Local(Arc::clone(pool)),
         (None, None) => unreachable!(),
     };
@@ -639,7 +665,7 @@ fn run_warm_start(args: &Args) {
         }))
     });
     let mut endpoint = match (&args.addr, &pool) {
-        (Some(addr), _) => Endpoint::Remote(Client::connect(addr).expect("connect")),
+        (Some(addr), _) => Endpoint::Remote(Box::new(Client::connect(addr).expect("connect"))),
         (None, Some(pool)) => Endpoint::Local(Arc::clone(pool)),
         (None, None) => unreachable!(),
     };
@@ -739,8 +765,354 @@ fn run_warm_start(args: &Args) {
     append_run(&args.json, &run_json, &args.label);
 }
 
+/// Fuel slice for chaos drivers: small enough that every session crosses
+/// many request/response boundaries (each one a fault opportunity).
+const CHAOS_FUEL: u64 = 256;
+
+/// What one chaos driver observed for its session.
+struct ChaosDriver {
+    stats: RunStats,
+    quarantined: bool,
+    retries: u64,
+    reconnects: u64,
+}
+
+/// Drives one workload to completion against a chaos-armed server with a
+/// retrying client, publishes its warm state, and closes the session.
+fn chaos_drive(
+    addr: std::net::SocketAddr,
+    name: WorkloadName,
+    scale: Scale,
+    seed: u64,
+) -> ChaosDriver {
+    let policy = RetryPolicy::default().with_seed(seed);
+    let mut client =
+        Client::connect_with(addr, policy).unwrap_or_else(|e| panic!("{name}: connect: {e}"));
+    let (session, _) = client
+        .open(SessionConfig::exec(name, scale))
+        .unwrap_or_else(|e| panic!("{name}: open under chaos: {e}"));
+    let stats = loop {
+        match client.run(session, Some(CHAOS_FUEL)) {
+            Ok((true, stats)) => break stats,
+            Ok((false, _)) => {}
+            // An exhausted attempt budget is safe to retry as a fresh
+            // logical call: re-running a fuel slice only advances the
+            // session (the slicing invariant), and `Run` on a finished
+            // session re-reports its final statistics.
+            Err(ClientError::Exhausted { .. }) => {}
+            Err(e) => panic!("{name}: run under chaos failed: {e}"),
+        }
+    };
+    let (_, _, _, quarantined) = client
+        .publish_profile(session)
+        .unwrap_or_else(|e| panic!("{name}: publish under chaos: {e}"));
+    client
+        .close(session)
+        .unwrap_or_else(|e| panic!("{name}: close under chaos: {e}"));
+    ChaosDriver {
+        stats,
+        quarantined,
+        retries: client.retries(),
+        reconnects: client.reconnects(),
+    }
+}
+
+/// Aggregate outcome of one chaos pass over a front-end.
+struct ChaosOutcome {
+    secs: f64,
+    blocks: u64,
+    retries: u64,
+    reconnects: u64,
+    shards_restarted: u64,
+    sessions_readmitted: u64,
+    profiles_quarantined: u64,
+}
+
+/// One chaos pass: the full suite against one front-end, one driver
+/// thread per workload, every connection and shard fault-armed. Asserts
+/// zero session leaks, an exact open count (the replay cache must absorb
+/// every re-sent open), and per-workload final statistics bit-identical
+/// to the native reference.
+fn chaos_front(
+    front: &str,
+    mut handle: ServerHandle,
+    args: &Args,
+    reference: &[RunStats],
+) -> ChaosOutcome {
+    let addr = handle.addr();
+    let mut control =
+        Client::connect_with(addr, RetryPolicy::default().with_seed(args.seed ^ 0xC0C0))
+            .expect("control connect");
+    let before = control.stats().expect("stats before");
+
+    let start = Instant::now();
+    let drivers: Vec<_> = ALL_WORKLOADS
+        .iter()
+        .enumerate()
+        .map(|(i, &name)| {
+            let (scale, seed) = (args.scale, args.seed ^ (i as u64 + 1));
+            std::thread::spawn(move || chaos_drive(addr, name, scale, seed))
+        })
+        .collect();
+    let results: Vec<ChaosDriver> = drivers
+        .into_iter()
+        .map(|d| d.join().expect("chaos driver"))
+        .collect();
+    let secs = start.elapsed().as_secs_f64();
+
+    for ((result, expect), name) in results.iter().zip(reference).zip(ALL_WORKLOADS) {
+        assert_eq!(
+            &result.stats, expect,
+            "{front}: {name} diverged from the native run under chaos"
+        );
+    }
+
+    let after = control.stats().expect("stats after");
+    assert_eq!(
+        after.live_sessions, before.live_sessions,
+        "{front}: session leak under chaos ({} live before, {} after)",
+        before.live_sessions, after.live_sessions
+    );
+    assert_eq!(
+        after.sessions_opened - before.sessions_opened,
+        ALL_WORKLOADS.len() as u64,
+        "{front}: open count drifted under chaos (re-sent opens must dedup)"
+    );
+    let quarantined_seen = results.iter().filter(|r| r.quarantined).count() as u64;
+    assert_eq!(
+        after.profiles_quarantined, quarantined_seen,
+        "{front}: quarantine bucket disagrees with client-observed quarantined publishes"
+    );
+    let (retries, reconnects) = (control.retries(), control.reconnects());
+    drop(control);
+    handle.stop();
+
+    ChaosOutcome {
+        secs,
+        blocks: results.iter().map(|r| r.stats.blocks_executed).sum(),
+        retries: results.iter().map(|r| r.retries).sum::<u64>() + retries,
+        reconnects: results.iter().map(|r| r.reconnects).sum::<u64>() + reconnects,
+        shards_restarted: after.shards_restarted - before.shards_restarted,
+        sessions_readmitted: after.sessions_readmitted - before.sessions_readmitted,
+        profiles_quarantined: after.profiles_quarantined,
+    }
+}
+
+/// Directed quarantine coverage: with `PublishPoison` firing at rate
+/// 1.0, a publish must land in the quarantine bucket (and report so) —
+/// the probabilistic passes cannot guarantee this class fires.
+fn chaos_poison_check(args: &Args) -> u64 {
+    let plan = FaultPlan::new(args.seed).with(FaultPoint::PublishPoison, 1.0);
+    let pool = Arc::new(SessionManager::new(ServeConfig {
+        shards: 1,
+        chaos: Some(plan),
+        ..ServeConfig::default()
+    }));
+    let mut endpoint = Endpoint::Local(Arc::clone(&pool));
+    let name = ALL_WORKLOADS[0];
+    let session = open(&mut endpoint, name, args.scale);
+    finish(&mut endpoint, session, args.fuel);
+    let quarantined = match endpoint.call_patient(Request::PublishProfile { session }) {
+        Response::ProfilePublished { quarantined, .. } => quarantined,
+        other => panic!("poison publish failed: {other:?}"),
+    };
+    assert!(
+        quarantined,
+        "PublishPoison at rate 1.0 must quarantine the publish"
+    );
+    let stats = server_stats(&mut endpoint);
+    assert_eq!(
+        stats.profiles_quarantined, 1,
+        "the quarantine bucket must hold the poisoned publish"
+    );
+    endpoint.call_patient(Request::Close { session });
+    stats.profiles_quarantined
+}
+
+/// Chaos mode: the full suite against both front-ends with every serve
+/// fault seam armed (torn/short writes, mid-frame resets, corrupted
+/// frames, stalled peers, shard panics, poisoned publishes), plus a
+/// directed `PublishPoison` pass. Asserts zero session leaks, exact open
+/// counts, and bit-identical final statistics on every session, then
+/// appends one run with a `chaos` section — the document
+/// `bench_compare --chaos` gates.
+fn run_chaos(args: &Args) {
+    assert!(
+        args.addr.is_none(),
+        "--chaos runs its own servers; drop --addr"
+    );
+    assert!(
+        args.chaos_rate > 0.0,
+        "--chaos needs a positive --chaos-rate"
+    );
+
+    // Per-workload native references: chaos asserts full bit-identity of
+    // the final statistics, not just block totals.
+    let mut reference: Vec<RunStats> = Vec::with_capacity(ALL_WORKLOADS.len());
+    let native_start = Instant::now();
+    for name in ALL_WORKLOADS {
+        let program = build(name, args.scale).program;
+        reference.push(
+            Vm::new(&program)
+                .run(&mut NullObserver)
+                .unwrap_or_else(|e| panic!("{name} failed: {e}")),
+        );
+    }
+    let native_secs = native_start.elapsed().as_secs_f64();
+    let suite_blocks: u64 = reference.iter().map(|s| s.blocks_executed).sum();
+    let native_rate = suite_blocks as f64 / native_secs;
+
+    // Injected shard panics are expected here; keep their default-hook
+    // backtraces out of the report. Every other panic keeps the default.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.contains("injected shard panic"))
+            .or_else(|| {
+                info.payload()
+                    .downcast_ref::<String>()
+                    .map(|s| s.contains("injected shard panic"))
+            })
+            .unwrap_or(false);
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let plan = FaultPlan::chaos(args.seed, args.chaos_rate);
+    let config = || ServeConfig {
+        shards: args.shards,
+        chaos: Some(plan),
+        ..ServeConfig::default()
+    };
+    eprintln!(
+        "[loadgen] chaos: seed={} rate={} shards={} scale={}",
+        args.seed,
+        args.chaos_rate,
+        args.shards,
+        scale_name(args.scale)
+    );
+    let fronts = [
+        (
+            "serve-reactor",
+            chaos_front(
+                "serve-reactor",
+                serve("127.0.0.1:0", config()).expect("bind reactor front"),
+                args,
+                &reference,
+            ),
+        ),
+        (
+            "serve-blocking",
+            chaos_front(
+                "serve-blocking",
+                serve_blocking("127.0.0.1:0", config()).expect("bind blocking front"),
+                args,
+                &reference,
+            ),
+        ),
+    ];
+    let forced_quarantine = chaos_poison_check(args);
+
+    let secs: f64 = fronts.iter().map(|(_, o)| o.secs).sum();
+    let blocks: u64 = fronts.iter().map(|(_, o)| o.blocks).sum();
+    let retries: u64 = fronts.iter().map(|(_, o)| o.retries).sum();
+    let reconnects: u64 = fronts.iter().map(|(_, o)| o.reconnects).sum();
+    let shards_restarted: u64 = fronts.iter().map(|(_, o)| o.shards_restarted).sum();
+    let sessions_readmitted: u64 = fronts.iter().map(|(_, o)| o.sessions_readmitted).sum();
+    let profiles_quarantined: u64 = fronts
+        .iter()
+        .map(|(_, o)| o.profiles_quarantined)
+        .sum::<u64>()
+        + forced_quarantine;
+    let completed = 2 * ALL_WORKLOADS.len() as u64;
+    assert_eq!(blocks, 2 * suite_blocks, "chaos block total drifted");
+    assert!(
+        retries + reconnects + shards_restarted + profiles_quarantined > 0,
+        "chaos pass observed no injected faults — raise --chaos-rate"
+    );
+
+    println!(
+        "\n=== loadgen chaos: {} ({} shards, scale {}, seed {}, rate {}) ===",
+        args.label,
+        args.shards,
+        scale_name(args.scale),
+        args.seed,
+        args.chaos_rate
+    );
+    println!(
+        "{:<16} {:>8} {:>14} {:>8} {:>10} {:>9} {:>11}",
+        "front", "secs", "blocks/sec", "retries", "reconnects", "restarts", "readmitted"
+    );
+    for (front, o) in &fronts {
+        println!(
+            "{:<16} {:>8.3} {:>14.0} {:>8} {:>10} {:>9} {:>11}",
+            front,
+            o.secs,
+            o.blocks as f64 / o.secs,
+            o.retries,
+            o.reconnects,
+            o.shards_restarted,
+            o.sessions_readmitted
+        );
+    }
+    println!(
+        "{} sessions completed bit-identical, 0 leaked, {} publish(es) quarantined",
+        completed, profiles_quarantined
+    );
+
+    let mut run_json = String::new();
+    let _ = writeln!(run_json, "    {{");
+    let _ = writeln!(run_json, "      \"label\": \"{}\",", args.label);
+    let _ = writeln!(run_json, "      \"scale\": \"{}\",", scale_name(args.scale));
+    let _ = writeln!(run_json, "      \"sessions\": {completed},");
+    let _ = writeln!(run_json, "      \"shards\": {},", args.shards);
+    let _ = writeln!(run_json, "      \"seed\": {},", args.seed);
+    let _ = writeln!(run_json, "      \"total_blocks\": {blocks},");
+    let _ = writeln!(run_json, "      \"chaos\": {{");
+    let _ = writeln!(run_json, "        \"rate\": {},", args.chaos_rate);
+    let _ = writeln!(run_json, "        \"completed\": {completed},");
+    let _ = writeln!(run_json, "        \"leaked\": 0,");
+    let _ = writeln!(run_json, "        \"divergent\": 0,");
+    let _ = writeln!(
+        run_json,
+        "        \"shards_restarted\": {shards_restarted},"
+    );
+    let _ = writeln!(
+        run_json,
+        "        \"sessions_readmitted\": {sessions_readmitted},"
+    );
+    let _ = writeln!(
+        run_json,
+        "        \"profiles_quarantined\": {profiles_quarantined},"
+    );
+    let _ = writeln!(run_json, "        \"client_retries\": {retries},");
+    let _ = writeln!(run_json, "        \"client_reconnects\": {reconnects}");
+    let _ = writeln!(run_json, "      }},");
+    let _ = writeln!(run_json, "      \"modes\": {{");
+    let _ = writeln!(
+        run_json,
+        "        \"native\": {{\"secs\": {:.6}, \"blocks_per_sec\": {native_rate:.0}}},",
+        blocks as f64 / native_rate
+    );
+    let _ = writeln!(
+        run_json,
+        "        \"serve-chaos\": {{\"secs\": {secs:.6}, \"blocks_per_sec\": {:.0}}}",
+        blocks as f64 / secs
+    );
+    let _ = writeln!(run_json, "      }}");
+    let _ = write!(run_json, "    }}");
+    append_run(&args.json, &run_json, &args.label);
+}
+
 fn main() {
     let args = parse_args();
+    if args.chaos {
+        run_chaos(&args);
+        return;
+    }
     if args.warm_start {
         run_warm_start(&args);
         if args.shutdown {
@@ -775,7 +1147,7 @@ fn main() {
             ..ServeConfig::default()
         }))
     };
-    let connect = |addr: &str| Endpoint::Remote(Client::connect(addr).expect("connect"));
+    let connect = |addr: &str| Endpoint::Remote(Box::new(Client::connect(addr).expect("connect")));
 
     // native: the same instances, bare VM, and the per-workload reference
     // stats the snapshot check needs.

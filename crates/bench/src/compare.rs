@@ -57,6 +57,43 @@ pub struct WarmStartPoint {
     pub prewarmed_blocks_to_first_trace: f64,
 }
 
+/// The fault-injection record of a `loadgen --chaos` run: how much
+/// chaos the pass absorbed and what it cost. Counts are deterministic
+/// for a fixed seed/rate/scale, so the gate can require them exactly.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ChaosSection {
+    /// Per-point firing probability the run was recorded under.
+    pub rate: f64,
+    /// Sessions driven to completion across both front-ends.
+    pub completed: f64,
+    /// Sessions left in the server's tables after the closes.
+    pub leaked: f64,
+    /// Sessions whose final statistics diverged from the native run.
+    pub divergent: f64,
+    /// Shard workers that panicked and were restarted.
+    pub shards_restarted: f64,
+    /// Sessions re-admitted into restarted shards.
+    pub sessions_readmitted: f64,
+    /// Publishes routed to the quarantine bucket (probabilistic passes
+    /// plus the directed `PublishPoison` check).
+    pub profiles_quarantined: f64,
+    /// Client-side request retries across every driver.
+    pub client_retries: f64,
+    /// Client-side reconnects after connection loss.
+    pub client_reconnects: f64,
+}
+
+impl ChaosSection {
+    /// Injected faults the pass visibly absorbed — the gate requires
+    /// this to be positive, or the run proved nothing.
+    pub fn faults_observed(&self) -> f64 {
+        self.client_retries
+            + self.client_reconnects
+            + self.shards_restarted
+            + self.profiles_quarantined
+    }
+}
+
 /// One labelled `perf_baseline` invocation.
 #[derive(Clone, PartialEq, Debug)]
 pub struct PerfRun {
@@ -74,6 +111,9 @@ pub struct PerfRun {
     /// Per-workload warm-start records (`loadgen --warm-start` runs;
     /// empty for every other document).
     pub warm_start: Vec<WarmStartPoint>,
+    /// Fault-injection record (`loadgen --chaos` runs; `None` for every
+    /// other document).
+    pub chaos: Option<ChaosSection>,
 }
 
 impl PerfRun {
@@ -173,6 +213,28 @@ pub fn parse_perf_runs(text: &str) -> Result<Vec<PerfRun>, String> {
                     .collect::<Result<Vec<_>, String>>()?,
                 None => Vec::new(),
             };
+            let chaos = match run.get("chaos") {
+                Some(section) if section.as_obj().is_some() => {
+                    let num = |key: &str| {
+                        section
+                            .get(key)
+                            .and_then(|v| v.as_f64())
+                            .ok_or_else(|| format!("run #{i} chaos: missing number \"{key}\""))
+                    };
+                    Some(ChaosSection {
+                        rate: num("rate")?,
+                        completed: num("completed")?,
+                        leaked: num("leaked")?,
+                        divergent: num("divergent")?,
+                        shards_restarted: num("shards_restarted")?,
+                        sessions_readmitted: num("sessions_readmitted")?,
+                        profiles_quarantined: num("profiles_quarantined")?,
+                        client_retries: num("client_retries")?,
+                        client_reconnects: num("client_reconnects")?,
+                    })
+                }
+                _ => None,
+            };
             Ok(PerfRun {
                 label: str_field("label")?,
                 scale: str_field("scale")?,
@@ -183,6 +245,7 @@ pub fn parse_perf_runs(text: &str) -> Result<Vec<PerfRun>, String> {
                 sessions: run.get("sessions").and_then(|v| v.as_f64()),
                 modes,
                 warm_start,
+                chaos,
             })
         })
         .collect()
@@ -849,6 +912,107 @@ pub fn warm_start_gate(run: &PerfRun, options: CompareOptions) -> Result<WarmSta
         options,
         verdicts,
         throughput,
+    })
+}
+
+/// Outcome of gating one `loadgen --chaos` run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ChaosReport {
+    /// The gated run's label.
+    pub label: String,
+    /// The run's fault-injection record.
+    pub section: ChaosSection,
+    /// Sessions the run was expected to complete (the run's `sessions`
+    /// count when recorded, else the section's own `completed`).
+    pub expected_sessions: f64,
+}
+
+impl ChaosReport {
+    /// True when every session completed bit-identical, nothing leaked,
+    /// and the pass visibly absorbed at least one injected fault.
+    pub fn passed(&self) -> bool {
+        let s = &self.section;
+        s.leaked == 0.0
+            && s.divergent == 0.0
+            && s.completed >= self.expected_sessions
+            && s.completed > 0.0
+            && s.faults_observed() > 0.0
+    }
+
+    /// Renders the gate as text.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let s = &self.section;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "chaos gate: run `{}` (fault rate {})",
+            self.label, s.rate
+        );
+        let verdict = |ok: bool| if ok { "ok" } else { "FAILED" };
+        let _ = writeln!(
+            out,
+            "  completed  {:>8} / {:<8} {}",
+            s.completed,
+            self.expected_sessions,
+            verdict(s.completed >= self.expected_sessions && s.completed > 0.0)
+        );
+        let _ = writeln!(
+            out,
+            "  leaked     {:>8}            {}",
+            s.leaked,
+            verdict(s.leaked == 0.0)
+        );
+        let _ = writeln!(
+            out,
+            "  divergent  {:>8}            {}",
+            s.divergent,
+            verdict(s.divergent == 0.0)
+        );
+        let _ = writeln!(
+            out,
+            "  absorbed: {} retries, {} reconnects, {} shard restarts \
+             ({} sessions re-admitted), {} quarantined publishes  {}",
+            s.client_retries,
+            s.client_reconnects,
+            s.shards_restarted,
+            s.sessions_readmitted,
+            s.profiles_quarantined,
+            verdict(s.faults_observed() > 0.0)
+        );
+        out
+    }
+}
+
+/// Gates a committed `loadgen --chaos` run: every driven session must
+/// have completed with statistics bit-identical to the native run
+/// (`divergent == 0`), the server's session tables must have returned to
+/// their pre-run size (`leaked == 0`), and the pass must have visibly
+/// absorbed at least one injected fault (retry, reconnect, shard
+/// restart, or quarantined publish) — a chaos run that dodged every
+/// fault proves nothing.
+///
+/// # Errors
+///
+/// Returns a message when the run records no `chaos` section or the
+/// recorded fault rate is not in `(0, 1]`.
+pub fn chaos_gate(run: &PerfRun) -> Result<ChaosReport, String> {
+    let section = run.chaos.clone().ok_or_else(|| {
+        format!(
+            "run `{}` records no chaos section; re-measure with `loadgen --chaos`",
+            run.label
+        )
+    })?;
+    if !(section.rate.is_finite() && section.rate > 0.0 && section.rate <= 1.0) {
+        return Err(format!(
+            "run `{}` records an unusable chaos rate ({}); expected (0, 1]",
+            run.label, section.rate
+        ));
+    }
+    Ok(ChaosReport {
+        label: run.label.clone(),
+        expected_sessions: run.sessions.unwrap_or(section.completed),
+        section,
     })
 }
 
@@ -1701,6 +1865,102 @@ mod tests {
             report.points.last().map(|p| p.sessions),
             Some(10_000.0),
             "curve reaches 10K concurrent sessions"
+        );
+    }
+
+    fn chaos_doc(leaked: u64, divergent: u64, retries: u64, restarts: u64) -> String {
+        format!(
+            r#"{{
+  "runs": [
+    {{
+      "label": "chaos",
+      "scale": "smoke",
+      "sessions": 18,
+      "shards": 4,
+      "seed": 42,
+      "total_blocks": 1158966,
+      "chaos": {{
+        "rate": 0.05,
+        "completed": 18,
+        "leaked": {leaked},
+        "divergent": {divergent},
+        "shards_restarted": {restarts},
+        "sessions_readmitted": 12,
+        "profiles_quarantined": 1,
+        "client_retries": {retries},
+        "client_reconnects": 0
+      }},
+      "modes": {{
+        "native": {{"secs": 0.02, "blocks_per_sec": 50000000}},
+        "serve-chaos": {{"secs": 2.4, "blocks_per_sec": 480000}}
+      }}
+    }}
+  ]
+}}"#
+        )
+    }
+
+    #[test]
+    fn chaos_section_parses_and_defaults_absent() {
+        let runs = parse_perf_runs(&chaos_doc(0, 0, 100, 3)).unwrap();
+        let section = runs[0].chaos.as_ref().expect("chaos section parsed");
+        assert_eq!(section.rate, 0.05);
+        assert_eq!(section.completed, 18.0);
+        assert_eq!(section.client_retries, 100.0);
+        assert_eq!(section.faults_observed(), 104.0);
+        // Documents without the section still parse, with no record.
+        let old = parse_perf_runs(&perf_doc("old", 500000.0)).unwrap();
+        assert!(old[0].chaos.is_none());
+        // A section missing a counter is an error, not a default.
+        let broken = chaos_doc(0, 0, 1, 1).replace("\"leaked\": 0,\n", "");
+        let err = parse_perf_runs(&broken).unwrap_err();
+        assert!(err.contains("leaked"), "{err}");
+    }
+
+    #[test]
+    fn chaos_gate_requires_clean_completion_and_observed_faults() {
+        let good = &parse_perf_runs(&chaos_doc(0, 0, 100, 3)).unwrap()[0];
+        let report = chaos_gate(good).unwrap();
+        assert!(report.passed(), "{}", report.render());
+        // A leaked session fails the gate.
+        let leaky = &parse_perf_runs(&chaos_doc(1, 0, 100, 3)).unwrap()[0];
+        assert!(!chaos_gate(leaky).unwrap().passed());
+        // A divergent session fails the gate.
+        let divergent = &parse_perf_runs(&chaos_doc(0, 2, 100, 3)).unwrap()[0];
+        assert!(!chaos_gate(divergent).unwrap().passed());
+        // A run that dodged every fault proves nothing; quarantine and
+        // readmission counts alone cannot save it here because this doc
+        // zeroes retries/restarts only — so rebuild with all zero.
+        let calm = chaos_doc(0, 0, 0, 0)
+            .replace("\"profiles_quarantined\": 1", "\"profiles_quarantined\": 0");
+        let calm = &parse_perf_runs(&calm).unwrap()[0];
+        let report = chaos_gate(calm).unwrap();
+        assert!(!report.passed(), "{}", report.render());
+        // And a run without a chaos section cannot be gated at all.
+        let old = &parse_perf_runs(&perf_doc("old", 500000.0)).unwrap()[0];
+        let err = chaos_gate(old).unwrap_err();
+        assert!(err.contains("no chaos section"), "{err}");
+    }
+
+    #[test]
+    fn committed_chaos_run_absorbed_faults_cleanly() {
+        // The repo's own BENCH_perf.json carries a `loadgen --chaos` run:
+        // every session completed bit-identical under injected wire and
+        // shard faults, nothing leaked, and the pass visibly absorbed
+        // faults — this is what CI's chaos-smoke job re-measures.
+        let text = include_str!("../../../BENCH_perf.json");
+        let runs = parse_perf_runs(text).unwrap();
+        let run = select_run(&runs, Some("chaos")).expect("chaos run is committed");
+        let report = chaos_gate(run).unwrap();
+        assert!(report.passed(), "{}", report.render());
+        let section = run.chaos.as_ref().unwrap();
+        assert!(
+            section.shards_restarted > 0.0,
+            "committed chaos run must exercise shard supervision"
+        );
+        assert!(
+            section.profiles_quarantined > 0.0,
+            "committed chaos run must exercise profile quarantine"
         );
     }
 }

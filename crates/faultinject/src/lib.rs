@@ -49,16 +49,58 @@ pub enum FaultPoint {
     /// state is mutated; the VM must catch it, poison the fragment, and
     /// resume interpreting with state intact.
     TracePanic,
+    /// A response frame is written in two short chunks with a pause in
+    /// between, exercising partial-write reassembly at the peer.
+    WireTornWrite,
+    /// The connection is torn down mid-frame: half a response frame is
+    /// written and the socket closed, as if the peer had reset.
+    WireReset,
+    /// A response frame's length prefix is corrupted before it is
+    /// written, desynchronizing the stream (the connection then closes).
+    WireCorruptLen,
+    /// One payload byte of a response frame is flipped before it is
+    /// written; framing stays intact but the body fails to decode.
+    WireCorruptPayload,
+    /// The server stalls before writing a response, simulating a slow or
+    /// wedged peer.
+    WireStall,
+    /// The server delays before reading the next request frame.
+    WireDelayRead,
+    /// A shard worker panics while handling a request; the supervisor
+    /// must restart it and re-admit its sessions.
+    ShardPanic,
+    /// A profile publish is treated as coming from a poisoned session
+    /// and is routed to the store's quarantine bucket.
+    PublishPoison,
 }
 
 /// All fault points, in declaration order.
-pub const FAULT_POINTS: [FaultPoint; 6] = [
+pub const FAULT_POINTS: [FaultPoint; 14] = [
     FaultPoint::GuardFail,
     FaultPoint::Flush,
     FaultPoint::FuelStarve,
     FaultPoint::InstallReject,
     FaultPoint::RecorderIo,
     FaultPoint::TracePanic,
+    FaultPoint::WireTornWrite,
+    FaultPoint::WireReset,
+    FaultPoint::WireCorruptLen,
+    FaultPoint::WireCorruptPayload,
+    FaultPoint::WireStall,
+    FaultPoint::WireDelayRead,
+    FaultPoint::ShardPanic,
+    FaultPoint::PublishPoison,
+];
+
+/// The six wire-level fault points, in declaration order (the connection
+/// seam of the serve layer).
+pub const WIRE_POINTS: [FaultPoint; 6] = [
+    FaultPoint::WireTornWrite,
+    FaultPoint::WireReset,
+    FaultPoint::WireCorruptLen,
+    FaultPoint::WireCorruptPayload,
+    FaultPoint::WireStall,
+    FaultPoint::WireDelayRead,
 ];
 
 impl FaultPoint {
@@ -71,6 +113,14 @@ impl FaultPoint {
             FaultPoint::InstallReject => "install_reject",
             FaultPoint::RecorderIo => "recorder_io",
             FaultPoint::TracePanic => "trace_panic",
+            FaultPoint::WireTornWrite => "wire_torn_write",
+            FaultPoint::WireReset => "wire_reset",
+            FaultPoint::WireCorruptLen => "wire_corrupt_len",
+            FaultPoint::WireCorruptPayload => "wire_corrupt_payload",
+            FaultPoint::WireStall => "wire_stall",
+            FaultPoint::WireDelayRead => "wire_delay_read",
+            FaultPoint::ShardPanic => "shard_panic",
+            FaultPoint::PublishPoison => "publish_poison",
         }
     }
 
@@ -82,6 +132,14 @@ impl FaultPoint {
             FaultPoint::InstallReject => 3,
             FaultPoint::RecorderIo => 4,
             FaultPoint::TracePanic => 5,
+            FaultPoint::WireTornWrite => 6,
+            FaultPoint::WireReset => 7,
+            FaultPoint::WireCorruptLen => 8,
+            FaultPoint::WireCorruptPayload => 9,
+            FaultPoint::WireStall => 10,
+            FaultPoint::WireDelayRead => 11,
+            FaultPoint::ShardPanic => 12,
+            FaultPoint::PublishPoison => 13,
         }
     }
 }
@@ -132,6 +190,37 @@ impl FaultPlan {
             .with(FaultPoint::Flush, rate)
             .with(FaultPoint::FuelStarve, rate)
             .with(FaultPoint::InstallReject, rate)
+    }
+
+    /// A plan firing every wire-level fault — torn writes, mid-frame
+    /// resets, corrupted length prefixes and payloads, stalls, delayed
+    /// reads — at a common rate. Engine and shard faults stay zero.
+    pub fn wire_uniform(seed: u64, rate: f64) -> Self {
+        WIRE_POINTS
+            .iter()
+            .fold(FaultPlan::new(seed), |plan, &point| plan.with(point, rate))
+    }
+
+    /// The full serve-layer chaos plan: every wire fault plus shard
+    /// panics and poisoned publishes at a common rate. Engine-internal
+    /// faults stay zero — the serve layer injects at its own seams.
+    pub fn chaos(seed: u64, rate: f64) -> Self {
+        FaultPlan::wire_uniform(seed, rate)
+            .with(FaultPoint::ShardPanic, rate)
+            .with(FaultPoint::PublishPoison, rate)
+    }
+
+    /// The same rates under a sub-stream seed: mixes `salt` into the
+    /// seed so each derived scope (a connection, a shard) draws its own
+    /// deterministic fault sequence independent of its siblings.
+    pub fn derive(&self, salt: u64) -> Self {
+        let mut derived = *self;
+        derived.seed = self
+            .seed
+            .wrapping_add(salt.wrapping_mul(0xD1B5_4A32_D192_ED03))
+            .rotate_left(17)
+            ^ salt;
+        derived
     }
 
     /// The seed the per-point streams derive from.
@@ -362,6 +451,35 @@ mod tests {
         assert!(FaultPlan::new(9).is_empty());
         let inj = FaultInjector::new(plan);
         assert_eq!(inj.plan(), Some(&plan));
+    }
+
+    #[test]
+    fn wire_and_chaos_plans_arm_the_serve_points() {
+        let wire = FaultPlan::wire_uniform(5, 0.25);
+        for point in WIRE_POINTS {
+            assert_eq!(wire.rate(point), 0.25, "{point}");
+        }
+        assert_eq!(wire.rate(FaultPoint::GuardFail), 0.0);
+        assert_eq!(wire.rate(FaultPoint::ShardPanic), 0.0);
+        let chaos = FaultPlan::chaos(5, 0.25);
+        assert_eq!(chaos.rate(FaultPoint::ShardPanic), 0.25);
+        assert_eq!(chaos.rate(FaultPoint::PublishPoison), 0.25);
+        assert_eq!(chaos.rate(FaultPoint::TracePanic), 0.0);
+    }
+
+    #[test]
+    fn derived_plans_are_deterministic_and_distinct_per_salt() {
+        let base = FaultPlan::wire_uniform(42, 0.5);
+        assert_eq!(base.derive(3), base.derive(3), "same salt, same plan");
+        assert_ne!(base.derive(3).seed(), base.derive(4).seed());
+        assert_eq!(base.derive(3).rate(FaultPoint::WireStall), 0.5);
+
+        // Distinct salts draw distinct sequences from the same base plan.
+        let mut a = FaultInjector::new(base.derive(1));
+        let mut b = FaultInjector::new(base.derive(2));
+        let seq_a: Vec<bool> = (0..64).map(|_| a.fire(FaultPoint::WireReset)).collect();
+        let seq_b: Vec<bool> = (0..64).map(|_| b.fire(FaultPoint::WireReset)).collect();
+        assert_ne!(seq_a, seq_b);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! ```text
 //! serve [--addr HOST:PORT] [--shards N] [--queue-depth N] [--max-sessions N]
 //!       [--reactors N] [--write-buf BYTES] [--snapshot-dir DIR] [--blocking]
+//!       [--drain-deadline-ms MS] [--chaos-seed SEED] [--chaos-rate RATE]
 //! ```
 //!
 //! Prints `listening on HOST:PORT` on stdout once bound (port 0 resolves
@@ -15,12 +16,13 @@
 //! `--snapshot-dir` is set, writes every still-open session's warm state
 //! to `DIR/session-<id>.hpss` before exiting 0.
 
-use hotpath_serve::{serve, serve_blocking, ServeConfig, ServerHandle};
+use hotpath_serve::{serve, serve_blocking, FaultPlan, ServeConfig, ServerHandle};
 
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--shards N] [--queue-depth N] [--max-sessions N]\n\
-         \x20            [--reactors N] [--write-buf BYTES] [--snapshot-dir DIR] [--blocking]"
+         \x20            [--reactors N] [--write-buf BYTES] [--snapshot-dir DIR] [--blocking]\n\
+         \x20            [--drain-deadline-ms MS] [--chaos-seed SEED] [--chaos-rate RATE]"
     );
     std::process::exit(2);
 }
@@ -44,6 +46,8 @@ fn main() {
     let mut config = ServeConfig::default();
     let mut snapshot_dir: Option<String> = None;
     let mut blocking = false;
+    let mut chaos_seed: Option<u64> = None;
+    let mut chaos_rate: f64 = 0.02;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -55,6 +59,9 @@ fn main() {
             "--write-buf" => config.write_buf_limit = parse(&arg, args.next()),
             "--snapshot-dir" => snapshot_dir = Some(parse(&arg, args.next())),
             "--blocking" => blocking = true,
+            "--drain-deadline-ms" => config.drain_deadline_ms = parse(&arg, args.next()),
+            "--chaos-seed" => chaos_seed = Some(parse(&arg, args.next())),
+            "--chaos-rate" => chaos_rate = parse(&arg, args.next()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -65,6 +72,14 @@ fn main() {
     if config.shards == 0 || config.queue_depth == 0 || config.reactors == 0 {
         eprintln!("--shards, --queue-depth, and --reactors must be positive");
         usage();
+    }
+    if !(0.0..=1.0).contains(&chaos_rate) {
+        eprintln!("--chaos-rate must be in [0, 1]");
+        usage();
+    }
+    if let Some(seed) = chaos_seed {
+        config.chaos = Some(FaultPlan::chaos(seed, chaos_rate));
+        eprintln!("chaos armed: seed {seed}, rate {chaos_rate}");
     }
     let bound = if blocking {
         serve_blocking(&addr, config)

@@ -1,72 +1,376 @@
 //! A blocking TCP client for the serving protocol: one connection, one
-//! request/response in flight at a time.
+//! request/response in flight at a time — hardened for partial failure.
 //!
 //! [`Client::request`] is the raw call — it surfaces every response,
-//! including [`Response::Busy`]. The typed wrappers ([`Client::open`],
-//! [`Client::run`], …) retry `Busy` with a short sleep, because for a
-//! client the right reaction to backpressure is almost always "wait and
-//! resubmit"; use `request` directly to observe backpressure instead.
+//! including [`Response::Busy`], and never retries. The typed wrappers
+//! ([`Client::open`], [`Client::run`], …) run a [`RetryPolicy`]: capped
+//! exponential backoff with seeded jitter on `Busy`, automatic reconnect
+//! on connection loss, a per-request deadline, and an overall attempt
+//! budget that surfaces as [`ClientError::Exhausted`] instead of looping
+//! forever against a persistently saturated shard.
+//!
+//! Retries after connection loss are made safe by sequencing: every
+//! mutating request is wrapped in [`Request::Sequenced`] with a
+//! per-session sequence number (opens use a client-chosen nonce), so a
+//! mutation whose response was lost is answered from the server's replay
+//! cache instead of executing twice.
 
+use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
+use hotpath_ir::rng::Rng64;
 use hotpath_vm::{BlockEvent, RunStats};
 
 use crate::protocol::{read_frame, write_frame, PrewarmOutcome, Request, Response, ServerStats};
 use crate::session::{SessionConfig, SessionStatus};
 
-/// Pause between retries when the server answers `Busy`.
-const BUSY_BACKOFF: Duration = Duration::from_millis(1);
+/// Retry behavior for the typed request wrappers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per logical request (first try included) before
+    /// giving up with [`ClientError::Exhausted`].
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry after that.
+    pub base_backoff: Duration,
+    /// Backoff growth cap.
+    pub max_backoff: Duration,
+    /// Wall-clock budget per logical request, spanning every attempt and
+    /// backoff sleep; also bounds each socket read. `None` waits
+    /// indefinitely.
+    pub deadline: Option<Duration>,
+    /// Seed for backoff jitter (and the open-nonce stream); two clients
+    /// given distinct seeds never sleep nor nonce in lockstep.
+    pub seed: u64,
+}
 
-/// A connected client.
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(100),
+            deadline: Some(Duration::from_secs(30)),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Returns the policy with a different jitter/nonce seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Why a typed request failed for good (retries, if any, included).
 #[derive(Debug)]
-pub struct Client {
+pub enum ClientError {
+    /// The transport failed and the policy would not (or could not)
+    /// retry further.
+    Io(io::Error),
+    /// The server answered, but with something the protocol does not
+    /// allow here (undecodable frame or wrong response variant).
+    Protocol(String),
+    /// The server rejected the request ([`Response::Error`]).
+    Server(String),
+    /// The attempt budget or deadline ran out before any attempt
+    /// succeeded.
+    Exhausted {
+        /// Attempts actually made.
+        attempts: u32,
+        /// What the final attempt saw.
+        last: String,
+    },
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client I/O error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Exhausted { attempts, last } => {
+                write!(
+                    f,
+                    "retries exhausted after {attempts} attempts (last: {last})"
+                )
+            }
+            ClientError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A live connection (split for buffered reads and writes).
+#[derive(Debug)]
+struct Conn {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
 }
 
-fn unexpected(what: &str, response: &Response) -> io::Error {
-    io::Error::other(format!("expected {what}, server sent {response:?}"))
+impl Conn {
+    fn dial(addr: SocketAddr) -> io::Result<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+}
+
+/// A connected client.
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    conn: Option<Conn>,
+    policy: RetryPolicy,
+    jitter: Rng64,
+    nonces: Rng64,
+    /// Next sequence number per open session (mutations are stamped and
+    /// the counter advances once per logical call, not per retry).
+    seqs: HashMap<u64, u64>,
+    retries: u64,
+    reconnects: u64,
+}
+
+fn unexpected(what: &str, response: &Response) -> ClientError {
+    ClientError::Protocol(format!("expected {what}, server sent {response:?}"))
 }
 
 impl Client {
-    /// Connects to a server.
+    /// Connects to a server with the default retry policy.
     ///
     /// # Errors
     ///
     /// Propagates connection failures.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(Client {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
-        })
+        Client::connect_with(addr, RetryPolicy::default())
     }
 
-    /// Sends one request and reads the response. No retries: `Busy`
-    /// comes back as-is.
+    /// Connects to a server with an explicit retry policy.
     ///
     /// # Errors
     ///
-    /// I/O failures, or a malformed/truncated response stream.
+    /// Propagates connection failures.
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, policy: RetryPolicy) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let addr = stream.peer_addr()?;
+        let conn = Conn {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        };
+        // Each client instance gets its own nonce/jitter streams even
+        // under a shared policy seed: two clients drawing the same open
+        // nonce would be deduplicated into ONE session by the server's
+        // replay cache.
+        static NEXT_INSTANCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let instance = NEXT_INSTANCE
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Ok(Client {
+            addr,
+            conn: Some(conn),
+            policy,
+            jitter: Rng64::seed_from_u64(policy.seed ^ instance ^ 0x4A49_5454),
+            nonces: Rng64::seed_from_u64(policy.seed ^ instance ^ 0x4E4F_4E43),
+            seqs: HashMap::new(),
+            retries: 0,
+            reconnects: 0,
+        })
+    }
+
+    /// The retry policy in force.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Retries performed so far (backoff sleeps taken).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Reconnects performed after connection loss.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Sends one request and reads the response on the current
+    /// connection. No retries, no sequencing: `Busy` comes back as-is
+    /// and a dead connection is an error.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a malformed/truncated response stream. The
+    /// connection is torn down on failure; the next typed call redials.
     pub fn request(&mut self, request: &Request) -> io::Result<Response> {
-        write_frame(&mut self.writer, &request.encode())?;
-        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+        self.request_once(request, None).map_err(|e| {
+            self.conn = None;
+            e
+        })
+    }
+
+    fn request_once(
+        &mut self,
+        request: &Request,
+        deadline: Option<Instant>,
+    ) -> io::Result<Response> {
+        if self.conn.is_none() {
+            self.conn = Some(Conn::dial(self.addr)?);
+            self.reconnects += 1;
+        }
+        let conn = self.conn.as_mut().expect("connection just established");
+        // Bound the wait for the response by what is left of the
+        // deadline, so a stalled peer cannot wedge the client.
+        let timeout = match deadline {
+            Some(at) => Some(
+                at.checked_duration_since(Instant::now())
+                    .filter(|d| !d.is_zero())
+                    .ok_or_else(|| {
+                        io::Error::new(io::ErrorKind::TimedOut, "request deadline exceeded")
+                    })?,
+            ),
+            None => None,
+        };
+        conn.reader.get_ref().set_read_timeout(timeout)?;
+        write_frame(&mut conn.writer, &request.encode())?;
+        let payload = read_frame(&mut conn.reader)?.ok_or_else(|| {
             io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
         })?;
         Response::decode(&payload)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
     }
 
-    /// Like [`Client::request`], but waits out `Busy` responses.
-    fn request_patient(&mut self, request: &Request) -> io::Result<Response> {
-        loop {
-            match self.request(request)? {
-                Response::Busy => std::thread::sleep(BUSY_BACKOFF),
-                response => return Ok(response),
+    /// The retry engine behind every typed wrapper. Every request sent
+    /// here is safe to re-send: reads are idempotent by nature and
+    /// mutations arrive pre-wrapped in [`Request::Sequenced`], so the
+    /// server's replay cache absorbs duplicates.
+    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let deadline = self.policy.deadline.map(|d| Instant::now() + d);
+        let mut last = String::new();
+        let mut attempts = 0u32;
+        while attempts < self.policy.max_attempts {
+            attempts += 1;
+            match self.request_once(request, deadline) {
+                Ok(Response::Busy) => last = "Busy".to_string(),
+                Ok(Response::ShuttingDown) => return Err(ClientError::ShuttingDown),
+                Ok(response) => return Ok(response),
+                Err(e) => {
+                    // Anything that broke the transport — reset, torn or
+                    // corrupt frame, timeout — leaves the stream state
+                    // unknowable: drop the connection and redial on the
+                    // next attempt.
+                    last = e.to_string();
+                    self.conn = None;
+                    if e.kind() == io::ErrorKind::TimedOut && deadline.is_some() {
+                        return Err(ClientError::Exhausted { attempts, last });
+                    }
+                    if e.kind() == io::ErrorKind::ConnectionRefused {
+                        // The server is gone, not flaky; retrying cannot
+                        // help and only delays the caller's error.
+                        return Err(ClientError::Io(e));
+                    }
+                }
             }
+            if attempts >= self.policy.max_attempts {
+                break;
+            }
+            if let Some(at) = deadline {
+                if Instant::now() >= at {
+                    return Err(ClientError::Exhausted { attempts, last });
+                }
+            }
+            self.retries += 1;
+            std::thread::sleep(self.backoff(attempts));
+        }
+        Err(ClientError::Exhausted { attempts, last })
+    }
+
+    /// Capped exponential backoff with seeded jitter: half the nominal
+    /// step is deterministic, the other half is drawn from the jitter
+    /// stream, so retrying clients spread out instead of thundering.
+    fn backoff(&mut self, retry: u32) -> Duration {
+        let base = self.policy.base_backoff.max(Duration::from_micros(1));
+        let nominal = base
+            .saturating_mul(1u32 << retry.saturating_sub(1).min(16))
+            .min(self.policy.max_backoff);
+        let half = nominal / 2;
+        let jitter_ns = if half.is_zero() {
+            0
+        } else {
+            self.jitter.gen_range(0..=half.as_nanos() as u64)
+        };
+        half + Duration::from_nanos(jitter_ns)
+    }
+
+    /// A fresh nonzero open nonce from the seeded nonce stream.
+    fn fresh_nonce(&mut self) -> u64 {
+        loop {
+            let nonce = self.nonces.next_u64();
+            if nonce != 0 {
+                return nonce;
+            }
+        }
+    }
+
+    /// Allocates the next sequence number for a session (stable across
+    /// the retries of one logical call).
+    fn next_seq(&mut self, session: u64) -> u64 {
+        let seq = self.seqs.entry(session).or_insert(1);
+        let allocated = *seq;
+        *seq += 1;
+        allocated
+    }
+
+    /// Wraps a session-scoped mutation in its sequence number and runs
+    /// the retry engine.
+    fn call_sequenced(&mut self, session: u64, inner: Request) -> Result<Response, ClientError> {
+        let seq = self.next_seq(session);
+        self.call(&Request::Sequenced {
+            seq,
+            inner: Box::new(inner),
+        })
+    }
+
+    /// Runs a (nonce-)sequenced open-class request and decodes the
+    /// `Opened` response.
+    fn call_open(&mut self, inner: Request) -> Result<(u64, u32, PrewarmOutcome), ClientError> {
+        let nonce = self.fresh_nonce();
+        let request = Request::Sequenced {
+            seq: nonce,
+            inner: Box::new(inner),
+        };
+        match self.call(&request)? {
+            Response::Opened {
+                session,
+                shard,
+                prewarm,
+            } => {
+                self.seqs.insert(session, 1);
+                Ok((session, shard, prewarm))
+            }
+            Response::Error { message } => Err(ClientError::Server(message)),
+            response => Err(unexpected("Opened", &response)),
         }
     }
 
@@ -74,8 +378,8 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// I/O failures or a server-side error.
-    pub fn open(&mut self, config: SessionConfig) -> io::Result<(u64, u32)> {
+    /// Transport failures after retries, or a server-side error.
+    pub fn open(&mut self, config: SessionConfig) -> Result<(u64, u32), ClientError> {
         let (session, shard, _) = self.open_detailed(config)?;
         Ok((session, shard))
     }
@@ -86,19 +390,24 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// I/O failures or a server-side error.
+    /// Transport failures after retries, or a server-side error.
     pub fn open_detailed(
         &mut self,
         config: SessionConfig,
-    ) -> io::Result<(u64, u32, PrewarmOutcome)> {
-        match self.request_patient(&Request::Open { config })? {
-            Response::Opened {
-                session,
-                shard,
-                prewarm,
-            } => Ok((session, shard, prewarm)),
-            response => Err(unexpected("Opened", &response)),
-        }
+    ) -> Result<(u64, u32, PrewarmOutcome), ClientError> {
+        self.call_open(Request::Open { config })
+    }
+
+    /// Opens a new session restored from a snapshot blob; returns
+    /// `(session id, shard)`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures after retries, or a server-side error (bad
+    /// checksum, version, …).
+    pub fn restore(&mut self, blob: Vec<u8>) -> Result<(u64, u32), ClientError> {
+        let (session, shard, _) = self.call_open(Request::Restore { blob })?;
+        Ok((session, shard))
     }
 
     /// Advances an exec session by at most `fuel` blocks; returns
@@ -106,10 +415,16 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// I/O failures or a server-side error (e.g. an exhausted budget).
-    pub fn run(&mut self, session: u64, fuel: Option<u64>) -> io::Result<(bool, RunStats)> {
-        match self.request_patient(&Request::Run { session, fuel })? {
+    /// Transport failures after retries, or a server-side error (e.g. an
+    /// exhausted budget).
+    pub fn run(
+        &mut self,
+        session: u64,
+        fuel: Option<u64>,
+    ) -> Result<(bool, RunStats), ClientError> {
+        match self.call_sequenced(session, Request::Run { session, fuel })? {
             Response::Ran { done, stats } => Ok((done, stats)),
+            Response::Error { message } => Err(ClientError::Server(message)),
             response => Err(unexpected("Ran", &response)),
         }
     }
@@ -119,18 +434,23 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// I/O failures or a server-side error.
-    pub fn ingest(&mut self, session: u64, events: &[BlockEvent]) -> io::Result<(u64, u64, u64)> {
+    /// Transport failures after retries, or a server-side error.
+    pub fn ingest(
+        &mut self,
+        session: u64,
+        events: &[BlockEvent],
+    ) -> Result<(u64, u64, u64), ClientError> {
         let request = Request::Ingest {
             session,
             events: events.to_vec(),
         };
-        match self.request_patient(&request)? {
+        match self.call_sequenced(session, request)? {
             Response::Ingested {
                 events,
                 paths,
                 fragments,
             } => Ok((events, paths, fragments)),
+            Response::Error { message } => Err(ClientError::Server(message)),
             response => Err(unexpected("Ingested", &response)),
         }
     }
@@ -139,10 +459,11 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// I/O failures or a server-side error.
-    pub fn query(&mut self, session: u64) -> io::Result<SessionStatus> {
-        match self.request_patient(&Request::Query { session })? {
+    /// Transport failures after retries, or a server-side error.
+    pub fn query(&mut self, session: u64) -> Result<SessionStatus, ClientError> {
+        match self.call(&Request::Query { session })? {
             Response::Status(status) => Ok(status),
+            Response::Error { message } => Err(ClientError::Server(message)),
             response => Err(unexpected("Status", &response)),
         }
     }
@@ -151,42 +472,33 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// I/O failures or a server-side error.
-    pub fn snapshot(&mut self, session: u64) -> io::Result<Vec<u8>> {
-        match self.request_patient(&Request::Snapshot { session })? {
+    /// Transport failures after retries, or a server-side error.
+    pub fn snapshot(&mut self, session: u64) -> Result<Vec<u8>, ClientError> {
+        match self.call(&Request::Snapshot { session })? {
             Response::SnapshotBlob { blob } => Ok(blob),
+            Response::Error { message } => Err(ClientError::Server(message)),
             response => Err(unexpected("SnapshotBlob", &response)),
         }
     }
 
-    /// Opens a new session restored from a snapshot blob; returns
-    /// `(session id, shard)`.
-    ///
-    /// # Errors
-    ///
-    /// I/O failures or a server-side error (bad checksum, version, …).
-    pub fn restore(&mut self, blob: Vec<u8>) -> io::Result<(u64, u32)> {
-        match self.request_patient(&Request::Restore { blob })? {
-            Response::Opened { session, shard, .. } => Ok((session, shard)),
-            response => Err(unexpected("Opened", &response)),
-        }
-    }
-
     /// Publishes a session's warm state into the fleet profile store;
-    /// returns `(publishers, generation, aggregate fragments)` after the
-    /// merge.
+    /// returns `(publishers, generation, aggregate fragments,
+    /// quarantined)` after the merge.
     ///
     /// # Errors
     ///
-    /// I/O failures or a server-side error (e.g. nothing learned yet).
-    pub fn publish_profile(&mut self, session: u64) -> io::Result<(u64, u64, u64)> {
-        match self.request_patient(&Request::PublishProfile { session })? {
+    /// Transport failures after retries, or a server-side error (e.g.
+    /// nothing learned yet).
+    pub fn publish_profile(&mut self, session: u64) -> Result<(u64, u64, u64, bool), ClientError> {
+        match self.call_sequenced(session, Request::PublishProfile { session })? {
             Response::ProfilePublished {
                 publishers,
                 generation,
                 fragments,
+                quarantined,
                 ..
-            } => Ok((publishers, generation, fragments)),
+            } => Ok((publishers, generation, fragments, quarantined)),
+            Response::Error { message } => Err(ClientError::Server(message)),
             response => Err(unexpected("ProfilePublished", &response)),
         }
     }
@@ -196,10 +508,12 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// I/O failures or a server-side error (no aggregate yet).
-    pub fn fetch_profile(&mut self, config: SessionConfig) -> io::Result<Vec<u8>> {
-        match self.request_patient(&Request::FetchProfile { config })? {
+    /// Transport failures after retries, or a server-side error (no
+    /// aggregate yet).
+    pub fn fetch_profile(&mut self, config: SessionConfig) -> Result<Vec<u8>, ClientError> {
+        match self.call(&Request::FetchProfile { config })? {
             Response::ProfileBlob { blob } => Ok(blob),
+            Response::Error { message } => Err(ClientError::Server(message)),
             response => Err(unexpected("ProfileBlob", &response)),
         }
     }
@@ -208,10 +522,11 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// I/O failures or a server-side error.
-    pub fn flush(&mut self, session: u64) -> io::Result<SessionStatus> {
-        match self.request_patient(&Request::Flush { session })? {
+    /// Transport failures after retries, or a server-side error.
+    pub fn flush(&mut self, session: u64) -> Result<SessionStatus, ClientError> {
+        match self.call_sequenced(session, Request::Flush { session })? {
             Response::Status(status) => Ok(status),
+            Response::Error { message } => Err(ClientError::Server(message)),
             response => Err(unexpected("Status", &response)),
         }
     }
@@ -220,23 +535,27 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// I/O failures or a server-side error.
-    pub fn close(&mut self, session: u64) -> io::Result<u64> {
-        match self.request_patient(&Request::Close { session })? {
+    /// Transport failures after retries, or a server-side error.
+    pub fn close(&mut self, session: u64) -> Result<u64, ClientError> {
+        let result = match self.call_sequenced(session, Request::Close { session })? {
             Response::Closed { blocks } => Ok(blocks),
+            Response::Error { message } => Err(ClientError::Server(message)),
             response => Err(unexpected("Closed", &response)),
-        }
+        };
+        self.seqs.remove(&session);
+        result
     }
 
     /// Fetches whole-server counters (live sessions, lifetime totals,
-    /// connection counts, peak RSS).
+    /// connection counts, restart/re-admission totals, peak RSS).
     ///
     /// # Errors
     ///
-    /// I/O failures or a server-side error.
-    pub fn stats(&mut self) -> io::Result<ServerStats> {
-        match self.request_patient(&Request::Stats)? {
+    /// Transport failures after retries, or a server-side error.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.call(&Request::Stats)? {
             Response::ServerStats(stats) => Ok(stats),
+            Response::Error { message } => Err(ClientError::Server(message)),
             response => Err(unexpected("ServerStats", &response)),
         }
     }
@@ -246,7 +565,7 @@ impl Client {
     /// # Errors
     ///
     /// I/O failures or an unexpected response.
-    pub fn shutdown_server(&mut self) -> io::Result<()> {
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
         match self.request(&Request::Shutdown)? {
             Response::ShuttingDown => Ok(()),
             response => Err(unexpected("ShuttingDown", &response)),

@@ -44,7 +44,8 @@ pub mod snapshot;
 mod sys;
 mod wire;
 
-pub use client::Client;
+pub use client::{Client, ClientError, RetryPolicy};
+pub use hotpath_faultinject::{FaultPlan, FaultPoint};
 pub use manager::{ServeConfig, SessionManager};
 pub use profile_store::{
     MergePolicy, PrewarmProfile, ProfileError, ProfileKey, ProfileStore, ProfileStoreConfig,

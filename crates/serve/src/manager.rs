@@ -29,10 +29,12 @@
 //! [`request`]: SessionManager::request
 //! [`SessionConfig::fuel_budget`]: crate::SessionConfig::fuel_budget
 
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 
+use hotpath_faultinject::FaultPlan;
 use hotpath_telemetry as telemetry;
 
 use crate::profile_store::{ProfileKey, ProfileStore, ProfileStoreConfig, SessionProfile};
@@ -41,7 +43,8 @@ use crate::shard::{spawn, Job, ReplyTo, ShardCounters, ShardRequest};
 use crate::snapshot::SessionSnapshot;
 
 /// Pool shape and admission-control bounds.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+// `FaultPlan` holds per-point `f64` rates, so `chaos` rules out `Eq`.
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct ServeConfig {
     /// Worker threads; sessions are partitioned across them by id.
     pub shards: u32,
@@ -57,6 +60,16 @@ pub struct ServeConfig {
     /// [`Response::Busy`] until the peer drains it. The hard bound (4x)
     /// stops reading from the socket entirely.
     pub write_buf_limit: usize,
+    /// How long a draining front-end waits for in-flight work before
+    /// closing connections that still owe responses. Both fronts honor
+    /// it: the reactor converts it to drain ticks, the blocking front
+    /// bounds its per-connection read timeout with it.
+    pub drain_deadline_ms: u64,
+    /// Fault plan armed across the serve stack (wire seams on both
+    /// fronts, shard panic injection, publish poisoning). `None` — the
+    /// default — compiles the hooks in but leaves every probe one
+    /// untaken branch.
+    pub chaos: Option<FaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +80,8 @@ impl Default for ServeConfig {
             max_sessions_per_shard: 64,
             reactors: 1,
             write_buf_limit: 256 << 10,
+            drain_deadline_ms: 5_000,
+            chaos: None,
         }
     }
 }
@@ -109,7 +124,45 @@ pub(crate) enum RequestNote {
     /// A profile publish: emit `ProfilePublished` + `ProfileMerged` on
     /// success.
     Publish { session: u64 },
+    /// A sequenced (idempotent) mutation: run the wrapped note, then
+    /// record the outcome in the replay cache under `key`.
+    Sequenced {
+        seq: u64,
+        key: DedupKey,
+        inner: Box<RequestNote>,
+    },
 }
+
+/// Where a sequenced request's outcome is cached for replay.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum DedupKey {
+    /// Sequenced `Open`/`Restore`: the sequence number doubles as a
+    /// client-chosen nonce, so a re-sent open lands on the cached
+    /// `Opened` instead of leaking a second session.
+    Nonce(u64),
+    /// Session-scoped mutation: dedup on the session's last sequence
+    /// number.
+    Session(u64),
+}
+
+/// Replay cache for sequenced requests. Only sequenced traffic touches
+/// it — clients that never wrap requests never take the lock, keeping
+/// the hot unsequenced path cost-free. Both maps are FIFO-bounded so a
+/// long-lived server cannot grow without bound.
+#[derive(Debug, Default)]
+struct DedupState {
+    /// Nonce → cached `Opened` (or deterministic failure) response.
+    opens: HashMap<u64, Response>,
+    open_order: VecDeque<u64>,
+    /// Session → (last seq, cached response for that seq).
+    sessions: HashMap<u64, (u64, Response)>,
+    session_order: VecDeque<u64>,
+}
+
+/// Distinct open nonces remembered for replay.
+const DEDUP_OPEN_CAP: usize = 1024;
+/// Distinct sessions with a remembered last-seq outcome.
+const DEDUP_SESSION_CAP: usize = 4096;
 
 /// The sharded session pool. Cheap to share (`Arc`) across connection
 /// threads; every method takes `&self`.
@@ -121,6 +174,9 @@ pub struct SessionManager {
     store: Arc<ProfileStore>,
     next_id: AtomicU64,
     down: AtomicBool,
+    /// Replay cache for sequenced requests; untouched by unsequenced
+    /// traffic.
+    dedup: Mutex<DedupState>,
     /// Join handles drained at shutdown (kept apart from the senders so
     /// `request` never takes a lock).
     joins: Mutex<Vec<std::thread::JoinHandle<()>>>,
@@ -159,6 +215,9 @@ impl SessionManager {
                 config.queue_depth,
                 config.max_sessions_per_shard,
                 Arc::clone(&store),
+                // Each shard gets its own deterministic sub-stream so
+                // panic schedules differ per shard but replay per seed.
+                config.chaos.map(|plan| plan.derive(u64::from(shard_id))),
             );
             shards.push(sender);
             counters.push(shard_counters);
@@ -171,6 +230,7 @@ impl SessionManager {
             store,
             next_id: AtomicU64::new(1),
             down: AtomicBool::new(false),
+            dedup: Mutex::new(DedupState::default()),
             joins: Mutex::new(joins),
         }
     }
@@ -303,9 +363,109 @@ impl SessionManager {
                     },
                 })
             }
+            Request::Sequenced { seq, inner } => {
+                let key = match inner.sequenced_session() {
+                    Some(session) => Some(DedupKey::Session(session)),
+                    None => match *inner {
+                        Request::Open { .. } | Request::Restore { .. } => {
+                            Some(DedupKey::Nonce(seq))
+                        }
+                        _ => None,
+                    },
+                };
+                // Sequencing a read adds nothing — serve it as if
+                // unwrapped.
+                let Some(key) = key else {
+                    return self.prepare(*inner);
+                };
+                if let Some(cached) = self.replay(key, seq) {
+                    return Prepared::Immediate(cached);
+                }
+                match self.prepare(*inner) {
+                    Prepared::Route {
+                        session,
+                        shard_request,
+                        note,
+                    } => Prepared::Route {
+                        session,
+                        shard_request,
+                        note: RequestNote::Sequenced {
+                            seq,
+                            key,
+                            inner: Box::new(note),
+                        },
+                    },
+                    immediate => immediate,
+                }
+            }
             // Process lifecycle belongs to the host (TCP server or the
             // owner of this manager), not to a shard.
             Request::Shutdown => Prepared::Immediate(Response::ShuttingDown),
+        }
+    }
+
+    /// Checks the replay cache for a sequenced request. A hit means the
+    /// mutation already executed and the client merely lost the
+    /// response; a stale sequence number (client went backwards) is
+    /// answered with an error rather than re-executed.
+    fn replay(&self, key: DedupKey, seq: u64) -> Option<Response> {
+        let dedup = self.dedup.lock().expect("dedup cache poisoned");
+        match key {
+            DedupKey::Nonce(nonce) => dedup.opens.get(&nonce).cloned(),
+            DedupKey::Session(session) => {
+                let &(last, ref cached) = dedup.sessions.get(&session)?;
+                if seq == last {
+                    Some(cached.clone())
+                } else if seq < last {
+                    Some(Response::Error {
+                        message: format!(
+                            "stale sequence number {seq} for session {session} (last {last})"
+                        ),
+                    })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Records a sequenced request's outcome for replay. Refusals
+    /// (`Busy`/`ShuttingDown`) and errors are not outcomes: the shard
+    /// either never executed the mutation or rejected it without
+    /// mutating, so a retried seq must re-execute.
+    fn record(&self, key: DedupKey, seq: u64, response: &Response) {
+        if matches!(
+            response,
+            Response::Busy | Response::ShuttingDown | Response::Error { .. }
+        ) {
+            return;
+        }
+        let mut dedup = self.dedup.lock().expect("dedup cache poisoned");
+        match key {
+            DedupKey::Nonce(nonce) => {
+                if dedup.opens.insert(nonce, response.clone()).is_none() {
+                    dedup.open_order.push_back(nonce);
+                    if dedup.open_order.len() > DEDUP_OPEN_CAP {
+                        if let Some(evicted) = dedup.open_order.pop_front() {
+                            dedup.opens.remove(&evicted);
+                        }
+                    }
+                }
+            }
+            DedupKey::Session(session) => {
+                if dedup
+                    .sessions
+                    .insert(session, (seq, response.clone()))
+                    .is_none()
+                {
+                    dedup.session_order.push_back(session);
+                    if dedup.session_order.len() > DEDUP_SESSION_CAP {
+                        if let Some(evicted) = dedup.session_order.pop_front() {
+                            dedup.sessions.remove(&evicted);
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -437,19 +597,32 @@ impl SessionManager {
                     generation,
                     fragments,
                     epoch,
+                    quarantined,
                 } = response
                 {
-                    telemetry::emit!(telemetry::Event::ProfilePublished {
-                        session: *session,
-                        fragments: *fragments,
-                        epoch: *epoch,
-                    });
-                    telemetry::emit!(telemetry::Event::ProfileMerged {
-                        workload,
-                        publishers: *publishers,
-                        generation: *generation,
-                    });
+                    if *quarantined {
+                        telemetry::emit!(telemetry::Event::ProfileQuarantined {
+                            session: *session,
+                            workload,
+                            fragments: *fragments,
+                        });
+                    } else {
+                        telemetry::emit!(telemetry::Event::ProfilePublished {
+                            session: *session,
+                            fragments: *fragments,
+                            epoch: *epoch,
+                        });
+                        telemetry::emit!(telemetry::Event::ProfileMerged {
+                            workload,
+                            publishers: *publishers,
+                            generation: *generation,
+                        });
+                    }
                 }
+            }
+            RequestNote::Sequenced { seq, key, inner } => {
+                self.finish(shard, inner, response);
+                self.record(*key, *seq, response);
             }
         }
     }
@@ -463,6 +636,7 @@ impl SessionManager {
             rss_max_bytes: max_rss(),
             profiles_held: store_stats.profiles_held,
             profile_bytes: store_stats.bytes,
+            profiles_quarantined: store_stats.quarantined,
             ..ServerStats::default()
         };
         for counters in &self.counters {
@@ -470,6 +644,8 @@ impl SessionManager {
             stats.sessions_opened += counters.opened.load(Ordering::Relaxed);
             stats.sessions_closed += counters.closed.load(Ordering::Relaxed);
             stats.sessions_prewarmed += counters.prewarmed.load(Ordering::Relaxed);
+            stats.shards_restarted += counters.restarted.load(Ordering::Relaxed);
+            stats.sessions_readmitted += counters.readmitted.load(Ordering::Relaxed);
             // Refresh age: how many merges behind the store the
             // staleness-worst shard cache is. Shards that have never
             // consulted the store report the full generation lag.

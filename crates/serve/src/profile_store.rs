@@ -398,6 +398,9 @@ pub struct ProfileStoreStats {
     pub bytes: u64,
     /// Current store generation (bumped on every merge).
     pub generation: u64,
+    /// Publishes held in the quarantine bucket (never merged into any
+    /// fleet aggregate until re-promoted).
+    pub quarantined: u64,
 }
 
 /// Raw commutative per-fragment state: every operation on it is a sum
@@ -463,12 +466,46 @@ impl KeyAggregate {
                 .or_insert(0) += 1;
         }
     }
+
+    /// Folds another raw aggregate into this one — the re-promotion
+    /// path, where a whole quarantine bucket rejoins the fleet
+    /// aggregate. Every operation is a sum or a max, so merging a
+    /// bucket is equivalent to having folded its publishes directly.
+    fn merge(&mut self, other: &KeyAggregate) {
+        self.publishers += other.publishers;
+        self.max_epoch = self.max_epoch.max(other.max_epoch);
+        self.max_bucket = self.max_bucket.max(other.max_bucket);
+        for (blocks, frag) in &other.fragments {
+            let entry = self.fragments.entry(blocks.clone()).or_default();
+            entry.insts = entry.insts.max(frag.insts);
+            for (&bucket, &v) in &frag.by_bucket {
+                *entry.by_bucket.entry(bucket).or_insert(0) += v;
+            }
+        }
+        for (ours, theirs) in [
+            (&mut self.exits, &other.exits),
+            (&mut self.nets, &other.nets),
+            (&mut self.armed, &other.armed),
+        ] {
+            for (&id, buckets) in theirs {
+                let entry = ours.entry(id).or_default();
+                for (&bucket, &v) in buckets {
+                    *entry.entry(bucket).or_insert(0) += v;
+                }
+            }
+        }
+    }
 }
 
 #[derive(Debug, Default)]
 struct Inner {
     keys: BTreeMap<ProfileKey, KeyAggregate>,
     aggregates: BTreeMap<ProfileKey, Arc<PrewarmProfile>>,
+    /// Publishes from unhealthy sessions (degraded ladder, bail-out,
+    /// poisoned trace heads). Held apart from `keys`: nothing here
+    /// reaches a derived aggregate or bumps the generation until the
+    /// key is explicitly re-promoted.
+    quarantine: BTreeMap<ProfileKey, KeyAggregate>,
     encoded_bytes: u64,
 }
 
@@ -532,12 +569,7 @@ impl ProfileStore {
     /// fragment with no blocks) — the same class of state
     /// [`EngineWarmState::validate`] would refuse at import.
     pub fn publish(&self, profile: &SessionProfile) -> Result<PublishInfo, String> {
-        if profile.warm.is_empty() {
-            return Err("profile carries no warm state; nothing to publish".into());
-        }
-        // Bound-free structural check here; the per-program block-range
-        // check happens at import, where the program is known.
-        profile.warm.validate(u32::MAX)?;
+        validate_publish(profile)?;
         let mut inner = self.inner.lock().expect("profile store poisoned");
         let agg = inner.keys.entry(profile.key).or_default();
         agg.fold(profile, self.config.epoch_quantum);
@@ -550,6 +582,61 @@ impl ProfileStore {
         ));
         let fragments = derived.warm.fragments.len() as u64;
         inner.aggregates.insert(profile.key, derived);
+        inner.encoded_bytes = self.encode_locked(&inner).len() as u64;
+        Ok(PublishInfo {
+            publishers,
+            generation,
+            fragments,
+        })
+    }
+
+    /// Folds a profile into the key's **quarantine** bucket instead of
+    /// the fleet aggregate. Quarantined state is structurally validated
+    /// and retained (it may be perfectly good warm state from a session
+    /// that merely tripped the degradation ladder), but it never reaches
+    /// a derived aggregate — and never bumps the store generation — until
+    /// [`ProfileStore::repromote`] clears the key.
+    ///
+    /// # Errors
+    ///
+    /// Same rejection rules as [`ProfileStore::publish`].
+    pub fn publish_quarantined(&self, profile: &SessionProfile) -> Result<PublishInfo, String> {
+        validate_publish(profile)?;
+        let mut inner = self.inner.lock().expect("profile store poisoned");
+        let agg = inner.quarantine.entry(profile.key).or_default();
+        agg.fold(profile, self.config.epoch_quantum);
+        let publishers = agg.publishers;
+        let fragments = agg.fragments.len() as u64;
+        inner.encoded_bytes = self.encode_locked(&inner).len() as u64;
+        Ok(PublishInfo {
+            publishers,
+            generation: self.generation(),
+            fragments,
+        })
+    }
+
+    /// Re-admits a key's quarantine bucket into the fleet aggregate —
+    /// the operator (or a health policy) has decided the quarantined
+    /// publishes are trustworthy after all. The whole bucket merges as
+    /// if its publishes had arrived directly, the generation bumps, and
+    /// the derived aggregate rebuilds.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the key has nothing in quarantine.
+    pub fn repromote(&self, key: &ProfileKey) -> Result<PublishInfo, String> {
+        let mut inner = self.inner.lock().expect("profile store poisoned");
+        let quarantined = inner
+            .quarantine
+            .remove(key)
+            .ok_or_else(|| format!("no quarantined profiles for {}", key.label()))?;
+        inner.keys.entry(*key).or_default().merge(&quarantined);
+        let agg = inner.keys.get(key).unwrap();
+        let publishers = agg.publishers;
+        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        let derived = Arc::new(self.derive(*key, agg, generation));
+        let fragments = derived.warm.fragments.len() as u64;
+        inner.aggregates.insert(*key, derived);
         inner.encoded_bytes = self.encode_locked(&inner).len() as u64;
         Ok(PublishInfo {
             publishers,
@@ -575,6 +662,7 @@ impl ProfileStore {
             profiles_held: inner.keys.len() as u64,
             bytes: inner.encoded_bytes,
             generation: self.generation(),
+            quarantined: inner.quarantine.values().map(|a| a.publishers).sum(),
         }
     }
 
@@ -595,24 +683,7 @@ impl ProfileStore {
         put_u32(&mut out, inner.keys.len() as u32);
         for (key, agg) in &inner.keys {
             key.encode_into(&mut out);
-            put_u64(&mut out, agg.publishers);
-            put_u64(&mut out, agg.max_epoch);
-            put_u32(&mut out, agg.fragments.len() as u32);
-            for (blocks, frag) in &agg.fragments {
-                put_u32(&mut out, blocks.len() as u32);
-                for &b in blocks {
-                    put_u32(&mut out, b);
-                }
-                put_u32(&mut out, frag.insts);
-                put_bucket_map(&mut out, &frag.by_bucket);
-            }
-            for table in [&agg.exits, &agg.nets, &agg.armed] {
-                put_u32(&mut out, table.len() as u32);
-                for (&id, buckets) in table {
-                    put_u32(&mut out, id);
-                    put_bucket_map(&mut out, buckets);
-                }
-            }
+            put_key_aggregate(&mut out, agg);
             match inner.aggregates.get(key) {
                 Some(derived) => {
                     out.push(1);
@@ -620,6 +691,14 @@ impl ProfileStore {
                 }
                 None => out.push(0),
             }
+        }
+        // Quarantine rides along in raw form (no derived image — nothing
+        // quarantined is ever importable), keeping the order-independence
+        // guarantee over quarantined publishes too.
+        put_u32(&mut out, inner.quarantine.len() as u32);
+        for (key, agg) in &inner.quarantine {
+            key.encode_into(&mut out);
+            put_key_aggregate(&mut out, agg);
         }
         let seal = fnv1a64(&out);
         put_u64(&mut out, seal);
@@ -736,6 +815,39 @@ fn put_bucket_map(out: &mut Vec<u8>, map: &BTreeMap<u64, u64>) {
         put_u64(out, bucket);
         put_u64(out, v);
     }
+}
+
+/// Canonical encoding of one raw aggregate (shared by the fleet and
+/// quarantine sections).
+fn put_key_aggregate(out: &mut Vec<u8>, agg: &KeyAggregate) {
+    put_u64(out, agg.publishers);
+    put_u64(out, agg.max_epoch);
+    put_u32(out, agg.fragments.len() as u32);
+    for (blocks, frag) in &agg.fragments {
+        put_u32(out, blocks.len() as u32);
+        for &b in blocks {
+            put_u32(out, b);
+        }
+        put_u32(out, frag.insts);
+        put_bucket_map(out, &frag.by_bucket);
+    }
+    for table in [&agg.exits, &agg.nets, &agg.armed] {
+        put_u32(out, table.len() as u32);
+        for (&id, buckets) in table {
+            put_u32(out, id);
+            put_bucket_map(out, buckets);
+        }
+    }
+}
+
+/// Shared admission checks for both publish paths: non-empty warm state
+/// and structural validity (the per-program block-range check happens at
+/// import, where the program is known).
+fn validate_publish(profile: &SessionProfile) -> Result<(), String> {
+    if profile.warm.is_empty() {
+        return Err("profile carries no warm state; nothing to publish".into());
+    }
+    profile.warm.validate(u32::MAX)
 }
 
 #[cfg(test)]
@@ -934,6 +1046,50 @@ mod tests {
                 "derived aggregate diverges under {policy:?}"
             );
         }
+    }
+
+    #[test]
+    fn quarantine_never_merges_until_repromoted() {
+        let s = store(MergePolicy::Union);
+        s.publish(&profile(10, warm(&[(&[1, 2], 5)], &[(1, 40)])))
+            .unwrap();
+        let gen_before = s.generation();
+
+        // Quarantined publishes are held apart: no generation bump, no
+        // change to the derived aggregate, but counted in stats.
+        s.publish_quarantined(&profile(20, warm(&[(&[7], 2)], &[(7, 9)])))
+            .unwrap();
+        s.publish_quarantined(&profile(30, warm(&[(&[7], 2)], &[(7, 1)])))
+            .unwrap();
+        assert_eq!(s.generation(), gen_before);
+        assert_eq!(s.stats().quarantined, 2);
+        let agg = s.fetch(&key()).unwrap();
+        assert_eq!(agg.publishers, 1);
+        assert!(agg.warm.fragments.iter().all(|f| f.blocks != vec![7]));
+
+        // Re-promotion merges the bucket as if its publishes had
+        // arrived directly, and empties the quarantine.
+        let info = s.repromote(&key()).unwrap();
+        assert_eq!(info.publishers, 3);
+        assert!(s.generation() > gen_before);
+        assert_eq!(s.stats().quarantined, 0);
+        let agg = s.fetch(&key()).unwrap();
+        assert!(agg.warm.fragments.iter().any(|f| f.blocks == vec![7]));
+        assert!(agg.warm.net_counters.contains(&(7, 10)), "sums merged");
+        assert!(s.repromote(&key()).is_err(), "bucket now empty");
+
+        // Merged-via-quarantine equals published-directly, byte for byte.
+        let direct = store(MergePolicy::Union);
+        direct
+            .publish(&profile(10, warm(&[(&[1, 2], 5)], &[(1, 40)])))
+            .unwrap();
+        direct
+            .publish(&profile(20, warm(&[(&[7], 2)], &[(7, 9)])))
+            .unwrap();
+        direct
+            .publish(&profile(30, warm(&[(&[7], 2)], &[(7, 1)])))
+            .unwrap();
+        assert_eq!(s.encode(), direct.encode());
     }
 
     #[test]

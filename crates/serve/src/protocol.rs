@@ -107,6 +107,36 @@ pub enum Request {
         /// fields — workload, scale, scheme, delay — select it).
         config: SessionConfig,
     },
+    /// A request stamped with a client-chosen sequence number (`0x0D`),
+    /// making a re-send after connection loss idempotent at the shard.
+    ///
+    /// For session-scoped mutations the number is a per-session sequence
+    /// the shard deduplicates on (a replayed number returns the cached
+    /// response instead of re-executing). For `Open`/`Restore` it is a
+    /// client nonce: a replayed open returns the already-opened session
+    /// instead of leaking a second one. `seq` must be nonzero and the
+    /// inner request must not itself be `Sequenced`.
+    Sequenced {
+        /// Nonzero sequence number / open nonce.
+        seq: u64,
+        /// The wrapped request.
+        inner: Box<Request>,
+    },
+}
+
+impl Request {
+    /// The session a sequenced mutation targets, if it is session-scoped
+    /// (`None` for opens, restores, and non-mutating requests).
+    pub(crate) fn sequenced_session(&self) -> Option<u64> {
+        match *self {
+            Request::Run { session, .. }
+            | Request::Ingest { session, .. }
+            | Request::Flush { session }
+            | Request::Close { session }
+            | Request::PublishProfile { session } => Some(session),
+            _ => None,
+        }
+    }
 }
 
 /// What pre-warming did at admission, carried in [`Response::Opened`].
@@ -156,6 +186,14 @@ pub struct ServerStats {
     pub profile_refresh_age: u64,
     /// Sessions pre-warmed from the store over the server's lifetime.
     pub sessions_prewarmed: u64,
+    /// Shard workers restarted by their supervisor after a panic.
+    pub shards_restarted: u64,
+    /// Sessions re-admitted (from a sealed snapshot or cold) after their
+    /// shard worker panicked.
+    pub sessions_readmitted: u64,
+    /// Profiles currently held in the store's quarantine bucket (pending
+    /// re-promotion; never merged into the fleet aggregate).
+    pub profiles_quarantined: u64,
 }
 
 /// A server-to-client message.
@@ -221,6 +259,10 @@ pub enum Response {
         fragments: u64,
         /// The publisher's logical epoch at capture.
         epoch: u64,
+        /// True when the publish landed in the quarantine bucket (the
+        /// session was degraded or poisoned) instead of the fleet
+        /// aggregate.
+        quarantined: bool,
     },
     /// The store's sealed aggregate profile blob (`0x8B`), answering
     /// [`Request::FetchProfile`].
@@ -420,6 +462,11 @@ impl Request {
                 out.push(0x0C);
                 put_config(&mut out, config);
             }
+            Request::Sequenced { seq, inner } => {
+                out.push(0x0D);
+                put_u64(&mut out, *seq);
+                out.extend_from_slice(&inner.encode());
+            }
         }
         out
     }
@@ -472,6 +519,21 @@ impl Request {
             0x0C => Request::FetchProfile {
                 config: read_config(&mut r)?,
             },
+            0x0D => {
+                let seq = r.u64("seq")?;
+                if seq == 0 {
+                    return Err(ProtocolError::Malformed("seq"));
+                }
+                let rest = r.take(r.remaining(), "sequenced inner")?;
+                let inner = Request::decode(rest)?;
+                if matches!(inner, Request::Sequenced { .. }) {
+                    return Err(ProtocolError::Malformed("nested sequenced"));
+                }
+                Request::Sequenced {
+                    seq,
+                    inner: Box::new(inner),
+                }
+            }
             op => return Err(ProtocolError::BadOpcode(op)),
         };
         if r.remaining() != 0 {
@@ -550,6 +612,9 @@ impl Response {
                 put_u64(&mut out, stats.profile_bytes);
                 put_u64(&mut out, stats.profile_refresh_age);
                 put_u64(&mut out, stats.sessions_prewarmed);
+                put_u64(&mut out, stats.shards_restarted);
+                put_u64(&mut out, stats.sessions_readmitted);
+                put_u64(&mut out, stats.profiles_quarantined);
             }
             Response::ProfilePublished {
                 workload,
@@ -557,6 +622,7 @@ impl Response {
                 generation,
                 fragments,
                 epoch,
+                quarantined,
             } => {
                 out.push(0x8A);
                 put_str(&mut out, workload);
@@ -564,6 +630,7 @@ impl Response {
                 put_u64(&mut out, *generation);
                 put_u64(&mut out, *fragments);
                 put_u64(&mut out, *epoch);
+                out.push(u8::from(*quarantined));
             }
             Response::ProfileBlob { blob } => {
                 out.push(0x8B);
@@ -635,6 +702,9 @@ impl Response {
                 profile_bytes: r.u64("profile_bytes")?,
                 profile_refresh_age: r.u64("profile_refresh_age")?,
                 sessions_prewarmed: r.u64("sessions_prewarmed")?,
+                shards_restarted: r.u64("shards_restarted")?,
+                sessions_readmitted: r.u64("sessions_readmitted")?,
+                profiles_quarantined: r.u64("profiles_quarantined")?,
             }),
             0x8A => Response::ProfilePublished {
                 workload: r.str("workload")?.to_string(),
@@ -642,6 +712,7 @@ impl Response {
                 generation: r.u64("generation")?,
                 fragments: r.u64("fragments")?,
                 epoch: r.u64("epoch")?,
+                quarantined: flag(&mut r, "quarantined")?,
             },
             0x8B => Response::ProfileBlob {
                 blob: r.bytes("blob")?.to_vec(),
@@ -767,6 +838,19 @@ mod tests {
             Request::FetchProfile {
                 config: SessionConfig::exec(WorkloadName::Li, Scale::Small).with_prewarm(true),
             },
+            Request::Sequenced {
+                seq: 17,
+                inner: Box::new(Request::Run {
+                    session: 7,
+                    fuel: Some(4_096),
+                }),
+            },
+            Request::Sequenced {
+                seq: u64::MAX,
+                inner: Box::new(Request::Open {
+                    config: SessionConfig::exec(WorkloadName::Compress, Scale::Smoke),
+                }),
+            },
         ]
     }
 
@@ -842,6 +926,9 @@ mod tests {
                 profile_bytes: 48_000,
                 profile_refresh_age: 2,
                 sessions_prewarmed: 5_000,
+                shards_restarted: 3,
+                sessions_readmitted: 17,
+                profiles_quarantined: 2,
             }),
             Response::ProfilePublished {
                 workload: "compress".to_string(),
@@ -849,6 +936,15 @@ mod tests {
                 generation: 7,
                 fragments: 12,
                 epoch: 250_000,
+                quarantined: false,
+            },
+            Response::ProfilePublished {
+                workload: "li".to_string(),
+                publishers: 1,
+                generation: 0,
+                fragments: 3,
+                epoch: 9_000,
+                quarantined: true,
             },
             Response::ProfileBlob {
                 blob: vec![0xCD; 21],
@@ -896,6 +992,29 @@ mod tests {
         assert_eq!(
             Request::decode(&payload),
             Err(ProtocolError::Malformed("trailing bytes"))
+        );
+    }
+
+    #[test]
+    fn sequenced_rejects_zero_seq_and_nesting() {
+        let zero = Request::Sequenced {
+            seq: 0,
+            inner: Box::new(Request::Stats),
+        };
+        assert_eq!(
+            Request::decode(&zero.encode()),
+            Err(ProtocolError::Malformed("seq"))
+        );
+        let nested = Request::Sequenced {
+            seq: 1,
+            inner: Box::new(Request::Sequenced {
+                seq: 2,
+                inner: Box::new(Request::Stats),
+            }),
+        };
+        assert_eq!(
+            Request::decode(&nested.encode()),
+            Err(ProtocolError::Malformed("nested sequenced"))
         );
     }
 

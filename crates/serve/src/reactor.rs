@@ -35,10 +35,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 
+use hotpath_faultinject::{FaultInjector, FaultPoint};
 use hotpath_telemetry as telemetry;
 
 use crate::manager::{Prepared, RequestNote, SessionManager};
 use crate::protocol::{Request, Response, MAX_FRAME_BYTES};
+use crate::server::{note_wire_fault, WIRE_CONN_SALT};
 use crate::shard::ReplyTo;
 use crate::sys::{Interest, PollEvent, Poller, WakePipe};
 
@@ -48,10 +50,10 @@ const LISTENER_TOKEN: u64 = u64::MAX;
 const WAKE_TOKEN: u64 = u64::MAX - 1;
 /// Read chunk size; frames larger than this reassemble across reads.
 const READ_CHUNK: usize = 16 << 10;
-/// Drain poll period (ms) and the deadline in periods (5 s total):
-/// after that, connections still unflushed are force-closed.
+/// Drain poll period (ms); the deadline in periods comes from
+/// [`ServeConfig::drain_deadline_ms`](crate::ServeConfig::drain_deadline_ms)
+/// — past it, connections still unflushed are force-closed.
 const DRAIN_TICK_MS: i32 = 50;
-const DRAIN_DEADLINE_TICKS: u32 = 100;
 
 /// A finished shard response on its way back to a reactor.
 #[derive(Debug)]
@@ -392,6 +394,10 @@ struct Conn {
     /// Interest currently registered with the poller.
     registered: Interest,
     requests: u64,
+    /// This connection's wire-fault stream (disabled outside chaos).
+    injector: FaultInjector,
+    /// One-shot cap on the next flush pass (an injected torn write).
+    torn_cap: Option<usize>,
 }
 
 /// Everything one reactor thread owns.
@@ -410,8 +416,10 @@ pub(crate) struct Reactor {
     conns: Vec<Option<Conn>>,
     free: Vec<usize>,
     next_gen: u32,
+    accepted_here: u64,
     draining: bool,
     drain_ticks: u32,
+    drain_deadline_ticks: u32,
 }
 
 /// A spawned reactor thread (reachable through the [`DrainFanout`] it
@@ -435,6 +443,8 @@ pub(crate) fn spawn_reactor(
     let (comp_tx, comp_rx) = channel();
     let (ctl_tx, ctl_rx) = channel();
     fanout.register(ctl_tx.clone(), Arc::clone(&wake));
+    let drain_deadline_ticks =
+        (manager.config().drain_deadline_ms / DRAIN_TICK_MS as u64).max(1) as u32;
     let mut reactor = Reactor {
         index,
         poller,
@@ -450,8 +460,10 @@ pub(crate) fn spawn_reactor(
         conns: Vec::new(),
         free: Vec::new(),
         next_gen: 0,
+        accepted_here: 0,
         draining: false,
         drain_ticks: 0,
+        drain_deadline_ticks,
     };
     let join = std::thread::Builder::new()
         .name(format!("hotpath-reactor-{index}"))
@@ -507,7 +519,7 @@ impl Reactor {
             }
             if self.draining {
                 self.drain_ticks += 1;
-                let force = self.drain_ticks > DRAIN_DEADLINE_TICKS;
+                let force = self.drain_ticks > self.drain_deadline_ticks;
                 if force {
                     let open: Vec<usize> = self.open_slots();
                     for idx in open {
@@ -563,6 +575,18 @@ impl Reactor {
             self.free.push(idx);
             return;
         }
+        // Salt mixes the reactor index and a per-reactor accept counter
+        // into the wire domain, so every connection in the process draws
+        // from its own fault stream.
+        let injector = match self.manager.config().chaos {
+            Some(plan) => FaultInjector::new(plan.derive(
+                WIRE_CONN_SALT
+                    ^ u64::from(self.index).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ self.accepted_here,
+            )),
+            None => FaultInjector::disabled(),
+        };
+        self.accepted_here += 1;
         self.conns[idx] = Some(Conn {
             stream,
             state: ConnState::new(self.limits),
@@ -570,6 +594,8 @@ impl Reactor {
             in_flight_meta: None,
             registered: Interest::READ,
             requests: 0,
+            injector,
+            torn_cap: None,
         });
         self.totals.live.fetch_add(1, Ordering::Relaxed);
         self.totals.accepted.fetch_add(1, Ordering::Relaxed);
@@ -695,14 +721,85 @@ impl Reactor {
                 },
             };
             if let Some(response) = immediate {
-                let conn = self.conns[idx].as_mut().expect("conn vanished mid-reply");
-                conn.requests += 1;
-                if conn.state.respond(&response.encode()).is_err() {
-                    self.close_conn(idx);
+                if !self.respond_with_faults(idx, &response) {
                     return false;
                 }
             }
         }
+    }
+
+    /// Frames `response` into the connection's write buffer, applying
+    /// the connection's wire-fault plan on the way. Returns false when
+    /// the connection was closed (oversize response or injected fault).
+    fn respond_with_faults(&mut self, idx: usize, response: &Response) -> bool {
+        let Some(conn) = self.conns[idx].as_mut() else {
+            return false;
+        };
+        conn.requests += 1;
+        let mut payload = response.encode();
+        if !conn.injector.armed() {
+            if conn.state.respond(&payload).is_err() {
+                self.close_conn(idx);
+                return false;
+            }
+            return true;
+        }
+        // Draw every outbound point in fixed order so the per-point
+        // fault streams stay aligned no matter which fault wins
+        // precedence.
+        let reset = conn.injector.fire(FaultPoint::WireReset);
+        let corrupt_len = conn.injector.fire(FaultPoint::WireCorruptLen);
+        let corrupt_payload = conn.injector.fire(FaultPoint::WireCorruptPayload);
+        let torn = conn.injector.fire(FaultPoint::WireTornWrite);
+        let stall = conn.injector.fire(FaultPoint::WireStall);
+        let delay = conn.injector.fire(FaultPoint::WireDelayRead);
+        let token = conn.token;
+        if stall {
+            note_wire_fault(FaultPoint::WireStall, token);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        if delay {
+            // One thread owns every connection here, so a short sleep
+            // also delays this connection's subsequent reads.
+            note_wire_fault(FaultPoint::WireDelayRead, token);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        if reset || corrupt_len {
+            let mut frame = Vec::with_capacity(4 + payload.len());
+            frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            frame.extend_from_slice(&payload);
+            if reset {
+                note_wire_fault(FaultPoint::WireReset, token);
+                let _ = conn.stream.write(&frame[..frame.len() / 2]);
+            } else {
+                note_wire_fault(FaultPoint::WireCorruptLen, token);
+                // Bit 30 pushes the length past the frame cap, so the
+                // client rejects it instantly; the stream is desynced
+                // for good either way, so the connection drops.
+                frame[3] ^= 0x40;
+                let _ = conn.stream.write(&frame);
+            }
+            self.close_conn(idx);
+            return false;
+        }
+        if corrupt_payload {
+            note_wire_fault(FaultPoint::WireCorruptPayload, token);
+            // Flip a high bit of the opcode: every response opcode is in
+            // 0x80..=0x8B, so the result is always invalid and the
+            // client sees a decode error — never silently wrong data.
+            payload[0] ^= 0x40;
+        }
+        if conn.state.respond(&payload).is_err() {
+            self.close_conn(idx);
+            return false;
+        }
+        if torn {
+            note_wire_fault(FaultPoint::WireTornWrite, token);
+            if let Some(conn) = self.conns[idx].as_mut() {
+                conn.torn_cap = Some((conn.state.buffered_write_bytes() / 2).max(1));
+            }
+        }
+        true
     }
 
     /// Applies a shard completion to its connection (or discards it if
@@ -716,12 +813,7 @@ impl Reactor {
         if let Some((shard, note)) = meta {
             self.manager.finish(shard, &note, &completion.response);
         }
-        let Some(conn) = self.conns[idx].as_mut() else {
-            return;
-        };
-        conn.requests += 1;
-        if conn.state.respond(&completion.response.encode()).is_err() {
-            self.close_conn(idx);
+        if !self.respond_with_faults(idx, &completion.response) {
             return;
         }
         if self.pump(idx) {
@@ -739,12 +831,21 @@ impl Reactor {
             if pending.is_empty() {
                 return;
             }
-            match conn.stream.write(pending) {
+            // An injected torn write caps this pass, leaving the tail
+            // buffered for the next writable event.
+            let cap = conn.torn_cap.take();
+            let n_max = cap.map_or(pending.len(), |c| c.min(pending.len()));
+            match conn.stream.write(&pending[..n_max]) {
                 Ok(0) => {
                     self.close_conn(idx);
                     return;
                 }
-                Ok(n) => conn.state.advance_write(n),
+                Ok(n) => {
+                    conn.state.advance_write(n);
+                    if cap.is_some() {
+                        return;
+                    }
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     telemetry::emit!(telemetry::Event::WriteStalled {
                         reactor: self.index,

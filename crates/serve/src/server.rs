@@ -16,14 +16,22 @@
 //! work, flush, close. [`ServerHandle::drain_trigger`] hands out a
 //! [`DrainTrigger`] that a signal watcher can fire from any thread.
 
-use std::io;
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hotpath_faultinject::{FaultInjector, FaultPoint};
+use hotpath_telemetry as telemetry;
 
 use crate::manager::{ServeConfig, SessionManager};
 use crate::protocol::{read_frame, write_frame, Request, Response};
+
+/// Salt domain for per-connection wire-fault streams ("WIRE" in the high
+/// half), disjoint from the shard ids the shard workers salt with.
+pub(crate) const WIRE_CONN_SALT: u64 = 0x5749_5245 << 32;
 
 /// A running server: the bound address, the shared manager, and the
 /// front-end threads. Dropping the handle stops the server and joins
@@ -250,11 +258,19 @@ fn accept_loop(
     manager: &Arc<SessionManager>,
     stop: &Arc<AtomicBool>,
 ) {
+    let chaos = manager.config().chaos;
+    let mut accepted: u64 = 0;
     for stream in listener.incoming() {
         if stop.load(Ordering::Acquire) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        accepted += 1;
+        let conn = accepted;
+        let injector = match chaos {
+            Some(plan) => FaultInjector::new(plan.derive(WIRE_CONN_SALT | conn)),
+            None => FaultInjector::disabled(),
+        };
         let manager = Arc::clone(manager);
         let stop = Arc::clone(stop);
         // Connection threads are not joined: they serve until their
@@ -265,7 +281,7 @@ fn accept_loop(
         let _ = std::thread::Builder::new()
             .name("hotpath-conn".to_string())
             .spawn(move || {
-                let _ = connection(stream, addr, &manager, &stop);
+                let _ = connection(stream, addr, &manager, &stop, conn, injector);
             })
             .expect("spawn connection thread");
     }
@@ -278,10 +294,37 @@ fn connection(
     addr: SocketAddr,
     manager: &SessionManager,
     stop: &AtomicBool,
+    conn: u64,
+    mut injector: FaultInjector,
 ) -> io::Result<()> {
+    // A blocking read would hold this thread hostage to an idle peer
+    // across a drain; waking at the drain deadline bounds how long a
+    // stalled or silent connection can outlive one.
+    let drain_deadline = Duration::from_millis(manager.config().drain_deadline_ms.max(1));
+    stream.set_read_timeout(Some(drain_deadline))?;
     let mut reader = io::BufReader::new(stream.try_clone()?);
     let mut writer = io::BufWriter::new(stream);
-    while let Some(payload) = read_frame(&mut reader)? {
+    loop {
+        if injector.armed() && injector.fire(FaultPoint::WireDelayRead) {
+            note_wire_fault(FaultPoint::WireDelayRead, conn);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return Ok(()),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::Acquire) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
         // Draining: refuse with ShuttingDown and close, mirroring the
         // reactor's treatment of frames queued behind a drain.
         if stop.load(Ordering::Acquire) {
@@ -299,7 +342,83 @@ fn connection(
                 message: e.to_string(),
             },
         };
-        write_frame(&mut writer, &response.encode())?;
+        if !send_response(&mut writer, &response.encode(), &mut injector, conn)? {
+            return Ok(());
+        }
     }
-    Ok(())
+}
+
+/// Writes one response frame, possibly mangled by the connection's
+/// wire-fault plan. Returns `false` when the injected fault requires the
+/// connection to drop (reset, or a corrupted length prefix that leaves
+/// the stream desynced for good).
+fn send_response<W: Write>(
+    writer: &mut W,
+    payload: &[u8],
+    injector: &mut FaultInjector,
+    conn: u64,
+) -> io::Result<bool> {
+    if !injector.armed() {
+        write_frame(writer, payload)?;
+        return Ok(true);
+    }
+    // Draw every outbound point in fixed order so the per-point fault
+    // streams stay aligned no matter which fault wins precedence.
+    let reset = injector.fire(FaultPoint::WireReset);
+    let corrupt_len = injector.fire(FaultPoint::WireCorruptLen);
+    let corrupt_payload = injector.fire(FaultPoint::WireCorruptPayload);
+    let torn = injector.fire(FaultPoint::WireTornWrite);
+    let stall = injector.fire(FaultPoint::WireStall);
+    if stall {
+        note_wire_fault(FaultPoint::WireStall, conn);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    if reset {
+        note_wire_fault(FaultPoint::WireReset, conn);
+        writer.write_all(&frame[..frame.len() / 2])?;
+        writer.flush()?;
+        return Ok(false);
+    }
+    if corrupt_len {
+        note_wire_fault(FaultPoint::WireCorruptLen, conn);
+        // Bit 30 pushes the length past MAX_FRAME_BYTES, so the client
+        // rejects the frame instantly instead of waiting out a bogus
+        // read for bytes that will never come.
+        frame[3] ^= 0x40;
+        writer.write_all(&frame)?;
+        writer.flush()?;
+        return Ok(false);
+    }
+    if corrupt_payload {
+        note_wire_fault(FaultPoint::WireCorruptPayload, conn);
+        // Flip a high bit of the opcode: every response opcode lands in
+        // 0x80..=0x8B, so the result is always invalid and the client
+        // sees a decode error — never silently wrong data.
+        frame[4] ^= 0x40;
+        writer.write_all(&frame)?;
+        writer.flush()?;
+        return Ok(true);
+    }
+    if torn {
+        note_wire_fault(FaultPoint::WireTornWrite, conn);
+        let mid = frame.len() / 2;
+        writer.write_all(&frame[..mid])?;
+        writer.flush()?;
+        std::thread::sleep(Duration::from_micros(200));
+        writer.write_all(&frame[mid..])?;
+    } else {
+        writer.write_all(&frame)?;
+    }
+    writer.flush()?;
+    Ok(true)
+}
+
+pub(crate) fn note_wire_fault(point: FaultPoint, conn: u64) {
+    telemetry::emit!(telemetry::Event::WireFaultInjected {
+        point: point.as_str(),
+        conn,
+    });
 }

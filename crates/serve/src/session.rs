@@ -224,6 +224,20 @@ impl Session {
         &self.engine
     }
 
+    /// True while the session's optimization machinery is unblemished:
+    /// the degradation ladder still at full linking, no bail-out, and no
+    /// trace heads poisoned by panics. Unhealthy sessions publish into
+    /// the profile store's quarantine bucket instead of the fleet
+    /// aggregate — their warm state is suspect until re-promoted.
+    pub fn healthy(&self) -> bool {
+        self.engine.mode() == hotpath_dynamo::LadderMode::FullLinking
+            && !self.engine.bailed_out()
+            && self
+                .exec
+                .as_ref()
+                .map_or(true, |e| e.state.poisoned_heads() == 0)
+    }
+
     /// The session's logical clock: blocks executed for exec sessions,
     /// events accepted for ingest sessions. Profile publishes are
     /// stamped with this, which drives exponential-decay bucketing.

@@ -9,11 +9,15 @@
 //! [`Response::Busy`] instead of unbounded buffering.
 
 use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
+use hotpath_faultinject::{FaultInjector, FaultPlan, FaultPoint};
+use hotpath_telemetry as telemetry;
 use hotpath_vm::BlockEvent;
 
 use crate::profile_store::{PrewarmProfile, ProfileKey, ProfileStore, SessionProfile};
@@ -75,6 +79,11 @@ pub(crate) struct ShardCounters {
     /// Store generation the shard's read-mostly profile cache last
     /// synced at; the manager reports the worst lag as refresh age.
     pub profile_gen: AtomicU64,
+    /// Times the shard's worker recovered from a panic (its session
+    /// table rebuilt from seeds).
+    pub restarted: AtomicU64,
+    /// Sessions re-admitted after worker panics, warm or cold.
+    pub readmitted: AtomicU64,
 }
 
 /// A request already routed to a shard (session ids resolved by the
@@ -132,12 +141,15 @@ pub(crate) enum Job {
 }
 
 /// Spawns a shard worker; returns its queue sender, lifetime counters,
-/// and join handle.
+/// and join handle. `chaos` (already derived per shard by the manager)
+/// arms the worker's fault injector; `None` leaves every probe one
+/// untaken branch.
 pub(crate) fn spawn(
     shard_id: u32,
     queue_depth: usize,
     max_sessions: usize,
     store: Arc<ProfileStore>,
+    chaos: Option<FaultPlan>,
 ) -> (SyncSender<Job>, Arc<ShardCounters>, JoinHandle<()>) {
     let (sender, receiver) = sync_channel(queue_depth);
     let counters = Arc::new(ShardCounters::default());
@@ -145,7 +157,7 @@ pub(crate) fn spawn(
         let counters = Arc::clone(&counters);
         std::thread::Builder::new()
             .name(format!("hotpath-shard-{shard_id}"))
-            .spawn(move || worker(shard_id, &receiver, max_sessions, &counters, &store))
+            .spawn(move || worker(shard_id, &receiver, max_sessions, &counters, &store, chaos))
             .expect("spawn shard thread")
     };
     (sender, counters, thread)
@@ -169,7 +181,53 @@ struct Worker<'a> {
     /// touched when the cache is behind, so opening a session never
     /// contends with other shards in steady state.
     profiles: BTreeMap<ProfileKey, CachedProfile>,
+    /// Seeded fault injector (shard-panic and publish-poison points).
+    /// Disabled unless the pool was configured with a chaos plan.
+    injector: FaultInjector,
 }
+
+/// Everything the supervisor needs to bring a session back after a
+/// worker panic: its opening configuration always, plus — only while the
+/// injector is armed — the last sealed snapshot. An unsealed seed
+/// re-admits cold (prewarmed when the config asks for it), which is
+/// slower but bit-identical for deterministic workloads.
+struct SessionSeed {
+    config: SessionConfig,
+    sealed: Option<Vec<u8>>,
+}
+
+/// Seed-table maintenance derived from a request before it is handled
+/// (the request itself is consumed — possibly by a panic — inside the
+/// unwind boundary).
+enum SeedUpdate {
+    None,
+    /// Open or restore: record the seed on success.
+    Open {
+        id: u64,
+        config: SessionConfig,
+    },
+    /// Run/ingest/flush: re-seal the session's snapshot on success
+    /// (armed injector only — unarmed shards skip the capture cost).
+    Mutate {
+        id: u64,
+    },
+    /// Snapshot: the response already carries a sealed blob; keep it.
+    Seal {
+        id: u64,
+    },
+    /// Close: drop the seed on success.
+    Close {
+        id: u64,
+    },
+}
+
+/// Consecutive panics before the circuit breaker trips and the worker
+/// exits for good (requests then surface `ShuttingDown`).
+const PANIC_BREAKER: u32 = 8;
+/// Base restart backoff; doubles per consecutive panic, capped at
+/// [`PANIC_BACKOFF_CAP_MS`].
+const PANIC_BACKOFF_BASE_MS: u64 = 1;
+const PANIC_BACKOFF_CAP_MS: u64 = 100;
 
 impl Worker<'_> {
     /// The store aggregate for `key`, through the shard-local cache.
@@ -215,15 +273,19 @@ fn worker(
     max_sessions: usize,
     counters: &ShardCounters,
     store: &ProfileStore,
+    chaos: Option<FaultPlan>,
 ) {
     let mut sessions: HashMap<u64, Session> = HashMap::new();
+    let mut seeds: HashMap<u64, SessionSeed> = HashMap::new();
     let mut worker = Worker {
         shard_id,
         max_sessions,
         counters,
         store,
         profiles: BTreeMap::new(),
+        injector: chaos.map_or_else(FaultInjector::disabled, FaultInjector::new),
     };
+    let mut consecutive_panics = 0u32;
     while let Ok(job) = receiver.recv() {
         let (request, reply) = match job {
             Job::Request { request, reply } => (request, reply),
@@ -238,10 +300,165 @@ fn worker(
             }
             Job::Shutdown => break,
         };
-        let response = handle(&mut worker, &mut sessions, request);
-        // A dead reply slot means the requester gave up; nothing to do.
-        reply.send(response);
+        // Seed-table bookkeeping is decided before the request crosses
+        // the unwind boundary (a panic consumes it).
+        let update = seed_update(&request);
+        // Supervision: the session table crosses the boundary (`handle`
+        // mutates it), but the seed table and reply slot stay out here,
+        // so a panicked request is always answered and recovery always
+        // has clean state to rebuild from.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            handle(&mut worker, &mut sessions, request)
+        }));
+        match outcome {
+            Ok(response) => {
+                consecutive_panics = 0;
+                apply_seed_update(&mut worker, &sessions, &mut seeds, update, &response);
+                // A dead reply slot means the requester gave up.
+                reply.send(response);
+            }
+            Err(_) => {
+                // The mutation may have half-applied; everything in the
+                // table is now suspect. Answer `Busy` — the honest
+                // "retry later" — then rebuild from seeds.
+                reply.send(Response::Busy);
+                consecutive_panics += 1;
+                if consecutive_panics >= PANIC_BREAKER {
+                    // Panic storm: stop flapping. The pool surfaces
+                    // `ShuttingDown` for this shard from here on.
+                    counters.live.store(0, Ordering::Relaxed);
+                    return;
+                }
+                let backoff =
+                    (PANIC_BACKOFF_BASE_MS << (consecutive_panics - 1)).min(PANIC_BACKOFF_CAP_MS);
+                std::thread::sleep(Duration::from_millis(backoff));
+                readmit(&mut worker, &mut sessions, &seeds);
+                counters.restarted.fetch_add(1, Ordering::Relaxed);
+                telemetry::emit!(telemetry::Event::ShardRestarted {
+                    shard: shard_id,
+                    consecutive: u64::from(consecutive_panics),
+                    readmitted: sessions.len() as u64,
+                });
+            }
+        }
     }
+}
+
+/// What the seed table should do once `request` completes successfully.
+fn seed_update(request: &ShardRequest) -> SeedUpdate {
+    match request {
+        ShardRequest::Open { id, config } => SeedUpdate::Open {
+            id: *id,
+            config: config.clone(),
+        },
+        ShardRequest::Restore { id, snapshot } => SeedUpdate::Open {
+            id: *id,
+            config: snapshot.config.clone(),
+        },
+        ShardRequest::Run { id, .. }
+        | ShardRequest::Ingest { id, .. }
+        | ShardRequest::Flush { id } => SeedUpdate::Mutate { id: *id },
+        ShardRequest::Snapshot { id } => SeedUpdate::Seal { id: *id },
+        ShardRequest::Close { id } => SeedUpdate::Close { id: *id },
+        ShardRequest::Query { .. } | ShardRequest::Publish { .. } => SeedUpdate::None,
+    }
+}
+
+/// Applies a [`SeedUpdate`] after a successful (non-panicking) request.
+/// Sealing is gated on an armed injector: unarmed shards keep only the
+/// cheap config seed (cold-but-correct re-admission), never paying
+/// snapshot-capture cost on the hot path.
+fn apply_seed_update(
+    worker: &mut Worker<'_>,
+    sessions: &HashMap<u64, Session>,
+    seeds: &mut HashMap<u64, SessionSeed>,
+    update: SeedUpdate,
+    response: &Response,
+) {
+    match update {
+        SeedUpdate::None => {}
+        SeedUpdate::Open { id, config } => {
+            if matches!(response, Response::Opened { .. }) {
+                let sealed = if worker.injector.armed() {
+                    sessions
+                        .get(&id)
+                        .map(|s| worker.snapshot_with_profile(s).encode())
+                } else {
+                    None
+                };
+                seeds.insert(id, SessionSeed { config, sealed });
+            }
+        }
+        SeedUpdate::Mutate { id } => {
+            if worker.injector.armed() && !matches!(response, Response::Error { .. }) {
+                if let Some(session) = sessions.get(&id) {
+                    let sealed = worker.snapshot_with_profile(session).encode();
+                    if let Some(seed) = seeds.get_mut(&id) {
+                        seed.sealed = Some(sealed);
+                    }
+                }
+            }
+        }
+        SeedUpdate::Seal { id } => {
+            if let Response::SnapshotBlob { blob } = response {
+                if worker.injector.armed() {
+                    if let Some(seed) = seeds.get_mut(&id) {
+                        seed.sealed = Some(blob.clone());
+                    }
+                }
+            }
+        }
+        SeedUpdate::Close { id } => {
+            if matches!(response, Response::Closed { .. }) {
+                seeds.remove(&id);
+            }
+        }
+    }
+}
+
+/// Rebuilds the session table from seeds after a panic: sealed seeds
+/// restore to their exact snapshotted state; unsealed ones re-open cold
+/// (prewarmed when the config asks), which costs warm-up time but — the
+/// engine contract — never changes results.
+fn readmit(
+    worker: &mut Worker<'_>,
+    sessions: &mut HashMap<u64, Session>,
+    seeds: &HashMap<u64, SessionSeed>,
+) {
+    sessions.clear();
+    let shard_id = worker.shard_id;
+    // Deterministic rebuild order (telemetry and prewarm cache touches).
+    let mut ids: Vec<u64> = seeds.keys().copied().collect();
+    ids.sort_unstable();
+    for id in ids {
+        let seed = &seeds[&id];
+        let restored = seed
+            .sealed
+            .as_deref()
+            .and_then(|blob| SessionSnapshot::decode(blob).ok())
+            .and_then(|snapshot| Session::restore(id, shard_id, &snapshot).ok());
+        let warm = restored.is_some();
+        let session = restored.unwrap_or_else(|| {
+            let mut cold = Session::open(id, shard_id, seed.config.clone());
+            if seed.config.prewarm {
+                if let Some(aggregate) = worker.cached_aggregate(ProfileKey::of(&seed.config)) {
+                    let _ = cold.prewarm(&aggregate.warm);
+                }
+            }
+            cold
+        });
+        sessions.insert(id, session);
+        worker.counters.readmitted.fetch_add(1, Ordering::Relaxed);
+        telemetry::emit!(telemetry::Event::SessionReadmitted {
+            session: id,
+            shard: shard_id,
+            warm,
+        });
+    }
+    worker
+        .counters
+        .live
+        .store(sessions.len() as u64, Ordering::Relaxed);
 }
 
 fn handle(
@@ -313,21 +530,33 @@ fn handle(
             }
         }
         ShardRequest::Run { id, fuel } => match sessions.get_mut(&id) {
-            Some(session) => match session.run(fuel) {
-                Ok((done, stats)) => Response::Ran { done, stats },
-                Err(message) => Response::Error { message },
-            },
+            Some(session) => {
+                // Injected before the slice mutates anything, so the
+                // re-admitted session replays from exactly this point.
+                if worker.injector.armed() && worker.injector.fire(FaultPoint::ShardPanic) {
+                    panic!("injected shard panic (run, session {id})");
+                }
+                match session.run(fuel) {
+                    Ok((done, stats)) => Response::Ran { done, stats },
+                    Err(message) => Response::Error { message },
+                }
+            }
             None => missing(id),
         },
         ShardRequest::Ingest { id, events } => match sessions.get_mut(&id) {
-            Some(session) => match session.ingest(&events) {
-                Ok((events, paths, fragments)) => Response::Ingested {
-                    events,
-                    paths,
-                    fragments,
-                },
-                Err(message) => Response::Error { message },
-            },
+            Some(session) => {
+                if worker.injector.armed() && worker.injector.fire(FaultPoint::ShardPanic) {
+                    panic!("injected shard panic (ingest, session {id})");
+                }
+                match session.ingest(&events) {
+                    Ok((events, paths, fragments)) => Response::Ingested {
+                        events,
+                        paths,
+                        fragments,
+                    },
+                    Err(message) => Response::Error { message },
+                }
+            }
             None => missing(id),
         },
         ShardRequest::Query { id } => match sessions.get(&id) {
@@ -364,13 +593,25 @@ fn handle(
                     epoch: session.epoch(),
                     warm: session.engine().export_warm_state(),
                 };
-                match worker.store.publish(&profile) {
+                // Unhealthy sessions (degraded ladder, bail-out,
+                // poisoned trace heads) — or an injected poison — must
+                // not feed the fleet aggregate; their warm state goes
+                // to quarantine until an operator re-promotes the key.
+                let quarantined = !session.healthy()
+                    || (worker.injector.armed() && worker.injector.fire(FaultPoint::PublishPoison));
+                let published = if quarantined {
+                    worker.store.publish_quarantined(&profile)
+                } else {
+                    worker.store.publish(&profile)
+                };
+                match published {
                     Ok(info) => Response::ProfilePublished {
                         workload: profile.key.label().to_string(),
                         publishers: info.publishers,
                         generation: info.generation,
                         fragments: info.fragments,
                         epoch: profile.epoch,
+                        quarantined,
                     },
                     Err(message) => Response::Error { message },
                 }

@@ -354,6 +354,47 @@ pub enum Event<'a> {
         /// Bytes still buffered after the short write.
         buffered: u64,
     },
+    /// A shard worker panicked; its supervisor restarted it and rebuilt
+    /// the session table from seeds.
+    ShardRestarted {
+        /// The restarted shard.
+        shard: u32,
+        /// Consecutive panics so far (resets on the first clean
+        /// request; the circuit breaker trips past its bound).
+        consecutive: u64,
+        /// Sessions re-admitted into the rebuilt table.
+        readmitted: u64,
+    },
+    /// One session came back after a shard restart.
+    SessionReadmitted {
+        /// The re-admitted session's id.
+        session: u64,
+        /// Shard it lives on.
+        shard: u32,
+        /// True when restored from its last sealed snapshot; false for a
+        /// cold (but still correct) re-open.
+        warm: bool,
+    },
+    /// A wire-level fault was injected on a serve connection.
+    WireFaultInjected {
+        /// Which wire point fired (`"wire_torn_write"`, `"wire_reset"`,
+        /// `"wire_corrupt_len"`, `"wire_corrupt_payload"`,
+        /// `"wire_stall"`, `"wire_delay_read"`).
+        point: &'static str,
+        /// Connection identity (generation-tagged token on the reactor
+        /// front, accept index on the blocking front).
+        conn: u64,
+    },
+    /// A profile publish was routed to the store's quarantine bucket
+    /// instead of the fleet aggregate (unhealthy publisher).
+    ProfileQuarantined {
+        /// Publishing session's id.
+        session: u64,
+        /// Workload key the publish was quarantined under.
+        workload: &'a str,
+        /// Fragments held in the key's quarantine bucket afterwards.
+        fragments: u64,
+    },
     /// A measured wall-clock duration. **Nondeterministic** — excluded
     /// from the byte-identical stream guarantee; summaries keep timings
     /// separate from event counts for the same reason.
@@ -407,6 +448,10 @@ impl Event<'_> {
             Event::ConnClosed { .. } => "conn_closed",
             Event::ReactorWakeup { .. } => "reactor_wakeup",
             Event::WriteStalled { .. } => "write_stalled",
+            Event::ShardRestarted { .. } => "shard_restarted",
+            Event::SessionReadmitted { .. } => "session_readmitted",
+            Event::WireFaultInjected { .. } => "wire_fault_injected",
+            Event::ProfileQuarantined { .. } => "profile_quarantined",
             Event::Timing { .. } => "timing",
         }
     }
@@ -651,6 +696,37 @@ impl Event<'_> {
                 push_u64_field(out, "conn", conn);
                 push_u64_field(out, "buffered", buffered);
             }
+            Event::ShardRestarted {
+                shard,
+                consecutive,
+                readmitted,
+            } => {
+                push_u64_field(out, "shard", shard as u64);
+                push_u64_field(out, "consecutive", consecutive);
+                push_u64_field(out, "readmitted", readmitted);
+            }
+            Event::SessionReadmitted {
+                session,
+                shard,
+                warm,
+            } => {
+                push_u64_field(out, "session", session);
+                push_u64_field(out, "shard", shard as u64);
+                push_u64_field(out, "warm", u64::from(warm));
+            }
+            Event::WireFaultInjected { point, conn } => {
+                push_str_field(out, "point", point);
+                push_u64_field(out, "conn", conn);
+            }
+            Event::ProfileQuarantined {
+                session,
+                workload,
+                fragments,
+            } => {
+                push_u64_field(out, "session", session);
+                push_str_field(out, "workload", workload);
+                push_u64_field(out, "fragments", fragments);
+            }
             Event::Timing { label, secs } => {
                 push_str_field(out, "label", label);
                 let _ = write!(out, ",\"secs\":{secs:.6}");
@@ -884,6 +960,25 @@ mod tests {
                 reactor: 0,
                 conn: (7 << 32) | 3,
                 buffered: 262_144,
+            },
+            Event::ShardRestarted {
+                shard: 2,
+                consecutive: 1,
+                readmitted: 5,
+            },
+            Event::SessionReadmitted {
+                session: 9,
+                shard: 2,
+                warm: true,
+            },
+            Event::WireFaultInjected {
+                point: "wire_torn_write",
+                conn: (3 << 32) | 11,
+            },
+            Event::ProfileQuarantined {
+                session: 9,
+                workload: "compress",
+                fragments: 4,
             },
             Event::Timing {
                 label: "compress",

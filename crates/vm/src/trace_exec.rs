@@ -473,6 +473,11 @@ impl TraceCache {
         self.flush()
     }
 
+    /// How many heads are blacklisted after trace panics.
+    pub(crate) fn poisoned_heads(&self) -> u64 {
+        self.poisoned.iter().filter(|&&p| p).count() as u64
+    }
+
     /// Turns trace-to-trace linking on or off. Turning it off severs
     /// every patched link (returned for `LinkSevered` accounting) and
     /// [`static_out`]/[`dynamic_out`] stop chaining, so each traversal

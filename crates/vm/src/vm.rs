@@ -88,6 +88,13 @@ impl LinkedState {
     pub fn done(&self) -> bool {
         self.done
     }
+
+    /// Heads blacklisted by trace panics so far. A serving layer treats
+    /// any non-zero count as a health signal: the session's published
+    /// profiles carry fragments that misbehaved at least once.
+    pub fn poisoned_heads(&self) -> u64 {
+        self.cache.poisoned_heads()
+    }
 }
 
 /// What a bounded [`Vm::step_linked`] call ended with.

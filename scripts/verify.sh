@@ -117,6 +117,13 @@ wait "$WARM_PID"   # --shutdown must stop the server cleanly (exit 0)
     "$ART_DIR/warmstart.json" --relative
 ./target/release/bench_compare --warmstart warmstart BENCH_perf.json --relative
 
+echo "== chaos smoke (wire + shard faults armed, bit-identity under chaos) =="
+rm -f "$ART_DIR/chaos.json"
+./target/release/loadgen --chaos --scale smoke --seed 42 \
+    --label verify-chaos --json "$ART_DIR/chaos.json"
+./target/release/bench_compare --chaos verify-chaos "$ART_DIR/chaos.json"
+./target/release/bench_compare --chaos chaos BENCH_perf.json
+
 echo "== profile_sim (merge policies replayed offline, order-independent) =="
 ./target/release/profile_sim --scale smoke --sessions 4 \
     | tee "$ART_DIR/profile_sim.txt"

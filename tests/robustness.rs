@@ -17,6 +17,11 @@
 //! 4. **Re-promotion.** A phase-shift workload demonstrably walks the
 //!    ladder down during cache churn and back up after the phase change
 //!    (telemetry-gated).
+//! 5. **Serve-layer faults.** The wire-fault matrix (torn writes,
+//!    resets, corrupt frames, stalls, delayed reads) on both TCP
+//!    front-ends, shard-panic supervision with snapshot re-admission,
+//!    the client's bounded retry budget, and the configurable drain
+//!    deadline.
 
 use hotpath::dynamo::{
     BailoutPolicy, DegradeConfig, DynamoConfig, LadderMode, LinkedEngine, Scheme,
@@ -325,6 +330,224 @@ fn phase_shift_walks_the_ladder_and_stays_bit_identical() {
         LadderMode::InterpOnly,
         "the clean second phase must re-promote the engine"
     );
+}
+
+/// Serve-layer fault model (DESIGN.md §15): the same absorb-and-recover
+/// discipline extended over the wire and across shard workers. Every
+/// injected wire fault either stays transparent to the client or
+/// surfaces as a fast transport/decode error the retry engine absorbs;
+/// injected shard panics are caught by the supervisor and the shard's
+/// sessions re-admitted from their last sealed snapshots. In all cases
+/// the session's final statistics stay bit-identical to a plain run.
+mod serve_faults {
+    use super::*;
+    use hotpath::serve::{
+        read_frame, serve, serve_blocking, write_frame, Client, ClientError, Request, Response,
+        RetryPolicy, ServeConfig, SessionConfig, SessionManager,
+    };
+    use hotpath::workloads::{build, ALL_WORKLOADS};
+    use std::time::{Duration, Instant};
+
+    fn reference(scale: Scale) -> RunStats {
+        let program = build(ALL_WORKLOADS[0], scale).program;
+        Vm::new(&program).run(&mut NullObserver).unwrap()
+    }
+
+    /// Silences the default panic hook for injected shard panics only
+    /// (the supervisor catches them; their backtraces are noise).
+    fn hush_injected_panics() {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains("injected shard panic"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    }
+
+    /// Drives the reference workload over TCP with a retrying client;
+    /// returns final stats plus the client's retry/reconnect counters.
+    fn drive_tcp(addr: std::net::SocketAddr, seed: u64) -> (RunStats, u64, u64) {
+        let mut client =
+            Client::connect_with(addr, RetryPolicy::default().with_seed(seed)).expect("connect");
+        let (session, _) = client
+            .open(SessionConfig::exec(ALL_WORKLOADS[0], Scale::Smoke))
+            .expect("open");
+        let stats = loop {
+            match client.run(session, Some(512)) {
+                Ok((true, stats)) => break stats,
+                Ok((false, _)) => {}
+                Err(e) => panic!("run under wire faults failed: {e}"),
+            }
+        };
+        client.close(session).expect("close");
+        (stats, client.retries(), client.reconnects())
+    }
+
+    /// The wire-fault matrix: every wire fault class, on both
+    /// front-ends, at a rate that guarantees it fires many times over
+    /// the run. Disruptive classes (resets, corrupt frames) must
+    /// visibly cost retries or reconnects; transparent ones (torn
+    /// writes, stalls, delayed reads) must not break anything either
+    /// way. All must end bit-identical.
+    #[test]
+    fn wire_fault_matrix_is_bit_identical_on_both_fronts() {
+        let expect = reference(Scale::Smoke);
+        hush_injected_panics();
+        let matrix = [
+            (FaultPoint::WireTornWrite, 1.0, false),
+            (FaultPoint::WireReset, 0.2, true),
+            (FaultPoint::WireCorruptLen, 0.2, true),
+            (FaultPoint::WireCorruptPayload, 0.2, true),
+            (FaultPoint::WireStall, 1.0, false),
+            (FaultPoint::WireDelayRead, 1.0, false),
+        ];
+        for (point, rate, disruptive) in matrix {
+            let plan = FaultPlan::new(0xC4A05).with(point, rate);
+            for front in ["reactor", "blocking"] {
+                let config = ServeConfig {
+                    shards: 1,
+                    chaos: Some(plan),
+                    ..ServeConfig::default()
+                };
+                let mut handle = match front {
+                    "reactor" => serve("127.0.0.1:0", config),
+                    _ => serve_blocking("127.0.0.1:0", config),
+                }
+                .expect("bind");
+                let (stats, retries, reconnects) = drive_tcp(handle.addr(), 0xD21 ^ rate as u64);
+                assert_eq!(stats, expect, "{front}/{point:?}: stats diverged");
+                if disruptive {
+                    assert!(
+                        retries + reconnects > 0,
+                        "{front}/{point:?}: the fault never visibly bit"
+                    );
+                }
+                handle.stop();
+            }
+        }
+    }
+
+    /// Shard supervision: a worker that keeps panicking mid-run is
+    /// restarted each time, and its live session is re-admitted from
+    /// its last sealed snapshot — the run completes with statistics
+    /// bit-identical to a run never interrupted.
+    #[test]
+    fn shard_panics_readmit_the_session_bit_identically() {
+        let expect = reference(Scale::Smoke);
+        hush_injected_panics();
+        let plan = FaultPlan::new(0x9A71C).with(FaultPoint::ShardPanic, 0.05);
+        let manager = SessionManager::new(ServeConfig {
+            shards: 1,
+            chaos: Some(plan),
+            ..ServeConfig::default()
+        });
+        let session = match manager.request(Request::Open {
+            config: SessionConfig::exec(ALL_WORKLOADS[0], Scale::Smoke),
+        }) {
+            Response::Opened { session, .. } => session,
+            other => panic!("open failed: {other:?}"),
+        };
+        let stats = loop {
+            match manager.request(Request::Run {
+                session,
+                fuel: Some(256),
+            }) {
+                Response::Ran { done: true, stats } => break stats,
+                Response::Ran { done: false, .. } => {}
+                // A panicked slice answers Busy while the supervisor
+                // restarts the worker; re-running the slice is safe.
+                Response::Busy => std::thread::sleep(Duration::from_millis(1)),
+                other => panic!("run failed: {other:?}"),
+            }
+        };
+        assert_eq!(stats, expect, "re-admitted session diverged");
+        let server = match manager.request(Request::Stats) {
+            Response::ServerStats(stats) => stats,
+            other => panic!("stats failed: {other:?}"),
+        };
+        assert!(
+            server.shards_restarted >= 1,
+            "the panic plan never fired; raise the rate or change the seed"
+        );
+        assert!(
+            server.sessions_readmitted >= 1,
+            "the surviving session must be re-admitted after each restart"
+        );
+        manager.request(Request::Close { session });
+    }
+
+    /// A persistently-Busy shard must exhaust the client's attempt
+    /// budget into a typed error, not retry forever (the seed's client
+    /// looped indefinitely here).
+    #[test]
+    fn persistent_busy_exhausts_the_attempt_budget() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        // A protocol-speaking peer that answers every request Busy.
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+            let mut writer = std::io::BufWriter::new(stream);
+            while let Ok(Some(_)) = read_frame(&mut reader) {
+                write_frame(&mut writer, &Response::Busy.encode()).expect("reply");
+            }
+        });
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(1),
+            deadline: None,
+            seed: 7,
+        };
+        let mut client = Client::connect_with(addr, policy).expect("connect");
+        match client.open(SessionConfig::exec(ALL_WORKLOADS[0], Scale::Smoke)) {
+            Err(ClientError::Exhausted { attempts, last }) => {
+                assert_eq!(attempts, 4);
+                assert!(
+                    last.contains("Busy"),
+                    "last error records the cause: {last}"
+                );
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+        drop(client);
+        server.join().expect("stub server");
+    }
+
+    /// `ServeConfig::drain_deadline_ms` bounds how long an idle
+    /// connection can stall a drain, on both front-ends (the seed
+    /// hardcoded 5 s in the reactor and waited forever in the blocking
+    /// front).
+    #[test]
+    fn drain_deadline_is_configurable_on_both_fronts() {
+        assert_eq!(ServeConfig::default().drain_deadline_ms, 5_000);
+        for front in ["reactor", "blocking"] {
+            let config = ServeConfig {
+                shards: 1,
+                drain_deadline_ms: 50,
+                ..ServeConfig::default()
+            };
+            let mut handle = match front {
+                "reactor" => serve("127.0.0.1:0", config),
+                _ => serve_blocking("127.0.0.1:0", config),
+            }
+            .expect("bind");
+            // An idle connection (no request in flight) holds the front
+            // open until the drain deadline expires.
+            let _idle = Client::connect(handle.addr()).expect("connect");
+            let start = Instant::now();
+            handle.stop();
+            assert!(
+                start.elapsed() < Duration::from_secs(2),
+                "{front}: drain took {:?}, the 50 ms deadline was not honored",
+                start.elapsed()
+            );
+        }
+    }
 }
 
 #[cfg(feature = "telemetry")]
