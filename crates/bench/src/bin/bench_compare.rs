@@ -23,7 +23,14 @@
 //!   zero leaked sessions, zero divergent sessions, every expected
 //!   session completed, and at least one injected fault visibly
 //!   absorbed (retry, reconnect, shard restart, or quarantined
-//!   publish).
+//!   publish);
+//! * **`--alloc LABEL FILE [CURRENT_FILE]`**: gates the serve-path
+//!   allocation profile recorded by a `selfprof-alloc` loadgen build:
+//!   heap bytes and allocator calls per interpreted block in the
+//!   current run must not exceed the run labelled `LABEL` by more than
+//!   the tolerance. With one file the run gates against itself, which
+//!   validates that the committed section exists and is well-formed;
+//!   with two, `--current-label` picks the fresh run (default `LABEL`).
 //!
 //! ```text
 //! bench_compare BASELINE.json CURRENT.json [--tolerance 0.10] [--relative]
@@ -32,6 +39,8 @@
 //! bench_compare --curve PREFIX FILE [--curve-floor 0.5]
 //! bench_compare --warmstart LABEL FILE [--tolerance 0.10] [--relative]
 //! bench_compare --chaos LABEL FILE
+//! bench_compare --alloc LABEL FILE [CURRENT_FILE] [--tolerance 0.10]
+//!               [--current-label L]
 //! ```
 //!
 //! `--relative` normalizes each perf run by its own `native` rate before
@@ -47,9 +56,9 @@ use std::fs;
 use std::process::ExitCode;
 
 use hotpath_bench::compare::{
-    chaos_gate, compare_perf, compare_telemetry, detect_kind, parse_perf_runs, perf_trend,
-    select_run, sweep_curve, warm_start_gate, CompareOptions, DocKind, DEFAULT_CURVE_FLOOR,
-    DEFAULT_TOLERANCE,
+    alloc_gate, chaos_gate, compare_perf, compare_telemetry, detect_kind, parse_perf_runs,
+    perf_trend, select_run, sweep_curve, warm_start_gate, CompareOptions, DocKind,
+    DEFAULT_CURVE_FLOOR, DEFAULT_TOLERANCE,
 };
 
 const USAGE: &str = "usage: bench_compare BASELINE.json CURRENT.json [--tolerance F] [--relative]
@@ -58,6 +67,8 @@ const USAGE: &str = "usage: bench_compare BASELINE.json CURRENT.json [--toleranc
        bench_compare --curve PREFIX FILE [--curve-floor F]
        bench_compare --warmstart LABEL FILE [--tolerance F] [--relative]
        bench_compare --chaos LABEL FILE
+       bench_compare --alloc LABEL FILE [CURRENT_FILE] [--tolerance F]
+                     [--current-label L]
 
 modes:
   two files        pairwise gate: perf modes beyond the tolerance or any
@@ -74,6 +85,11 @@ modes:
   --chaos L        chaos gate over the run labelled L: zero leaked or
                    divergent sessions, every expected session completed,
                    and at least one injected fault visibly absorbed
+  --alloc L        allocation gate against the run labelled L: serve-path
+                   heap bytes and allocator calls per block must not grow
+                   beyond the tolerance (one file self-validates the
+                   committed profile; a second file supplies the fresh
+                   run, picked by --current-label, default L)
 
 exit codes:
   0  gate passed (including --trend runs that only warn)
@@ -106,6 +122,13 @@ enum Mode {
         file: String,
         label: String,
     },
+    Alloc {
+        file: String,
+        current_file: Option<String>,
+        label: String,
+        current_label: Option<String>,
+        tolerance: f64,
+    },
 }
 
 fn parse_args() -> Result<Mode, String> {
@@ -122,6 +145,7 @@ fn parse_args() -> Result<Mode, String> {
     let mut curve: Option<String> = None;
     let mut warmstart: Option<String> = None;
     let mut chaos: Option<String> = None;
+    let mut alloc: Option<String> = None;
     let mut floor = DEFAULT_CURVE_FLOOR;
     let mut files = Vec::new();
     let mut it = std::env::args().skip(1);
@@ -141,6 +165,7 @@ fn parse_args() -> Result<Mode, String> {
             "--curve" => curve = Some(value("--curve")?),
             "--warmstart" => warmstart = Some(value("--warmstart")?),
             "--chaos" => chaos = Some(value("--chaos")?),
+            "--alloc" => alloc = Some(value("--alloc")?),
             "--curve-floor" => {
                 let v = value("--curve-floor")?;
                 floor = v
@@ -158,13 +183,21 @@ fn parse_args() -> Result<Mode, String> {
     if !(0.0..1.0).contains(&tolerance) {
         return Err(format!("tolerance {tolerance} must be in [0, 1)"));
     }
-    if [trend, curve.is_some(), warmstart.is_some(), chaos.is_some()]
-        .iter()
-        .filter(|&&set| set)
-        .count()
+    if [
+        trend,
+        curve.is_some(),
+        warmstart.is_some(),
+        chaos.is_some(),
+        alloc.is_some(),
+    ]
+    .iter()
+    .filter(|&&set| set)
+    .count()
         > 1
     {
-        return Err("--trend, --curve, --warmstart, and --chaos are mutually exclusive".into());
+        return Err(
+            "--trend, --curve, --warmstart, --chaos, and --alloc are mutually exclusive".into(),
+        );
     }
     if trend {
         let [file]: [String; 1] = files
@@ -200,6 +233,23 @@ fn parse_args() -> Result<Mode, String> {
             .try_into()
             .map_err(|_| "--chaos takes exactly one snapshot file".to_string())?;
         return Ok(Mode::Chaos { file, label });
+    }
+    if let Some(label) = alloc {
+        let (file, current_file) = match files.len() {
+            1 => (files.remove(0), None),
+            2 => {
+                let current = files.pop();
+                (files.remove(0), current)
+            }
+            n => return Err(format!("--alloc takes one or two snapshot files, got {n}")),
+        };
+        return Ok(Mode::Alloc {
+            file,
+            current_file,
+            label,
+            current_label,
+            tolerance,
+        });
     }
     let [baseline, current]: [String; 2] = files
         .try_into()
@@ -262,6 +312,30 @@ fn run(mode: &Mode) -> Result<bool, String> {
             let runs = read_perf_runs(file)?;
             let run = select_run(&runs, Some(label)).map_err(|e| format!("{file}: {e}"))?;
             let report = chaos_gate(run)?;
+            print!("{}", report.render());
+            Ok(report.passed())
+        }
+        Mode::Alloc {
+            file,
+            current_file,
+            label,
+            current_label,
+            tolerance,
+        } => {
+            let base_runs = read_perf_runs(file)?;
+            let base = select_run(&base_runs, Some(label)).map_err(|e| format!("{file}: {e}"))?;
+            let report = match current_file {
+                Some(cur_path) => {
+                    let cur_runs = read_perf_runs(cur_path)?;
+                    let want = current_label.as_deref().unwrap_or(label);
+                    let cur = select_run(&cur_runs, Some(want))
+                        .map_err(|e| format!("{cur_path}: {e}"))?;
+                    alloc_gate(base, cur, *tolerance)?
+                }
+                // One file: gate the committed run against itself, which
+                // validates the section's presence and shape.
+                None => alloc_gate(base, base, *tolerance)?,
+            };
             print!("{}", report.render());
             Ok(report.passed())
         }

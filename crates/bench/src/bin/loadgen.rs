@@ -60,10 +60,17 @@
 //! appends one run with a `chaos` section — the document
 //! `bench_compare --chaos` gates.
 //!
+//! `--console` redraws the self-profiler's stage table on stderr every
+//! ~400ms during the default three-mode measurement (build with
+//! `--features selfprof-alloc` to see allocation columns; a default build
+//! shows an empty table). In a selfprof-alloc build the default flow also
+//! appends an `alloc` section — serve-path bytes/allocations per block,
+//! per stage — which `bench_compare --alloc` gates.
+//!
 //! Usage: `loadgen [--sessions N] [--shards N] [--scale smoke|small|full]
 //! [--seed S] [--fuel N] [--label NAME] [--json PATH] [--addr HOST:PORT]
 //! [--snapshot-check] [--shutdown] [--sweep N1,N2,...] [--connections C]
-//! [--warm-start] [--chaos] [--chaos-rate R]`
+//! [--warm-start] [--chaos] [--chaos-rate R] [--console]`
 
 use std::fmt::Write as _;
 use std::fs;
@@ -72,6 +79,7 @@ use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use hotpath_core::rng::Rng64;
+use hotpath_selfprof as selfprof;
 use hotpath_serve::{
     serve, serve_blocking, Client, ClientError, FaultPlan, FaultPoint, PrewarmOutcome, Request,
     Response, RetryPolicy, ServeConfig, ServerHandle, ServerStats, SessionConfig, SessionManager,
@@ -99,6 +107,7 @@ struct Args {
     warm_start: bool,
     chaos: bool,
     chaos_rate: f64,
+    console: bool,
 }
 
 fn parse_args() -> Args {
@@ -118,6 +127,7 @@ fn parse_args() -> Args {
         warm_start: false,
         chaos: false,
         chaos_rate: 0.05,
+        console: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -165,6 +175,7 @@ fn parse_args() -> Args {
                 assert!(args.connections > 0, "--connections must be positive");
             }
             "--warm-start" => args.warm_start = true,
+            "--console" => args.console = true,
             "--chaos" => args.chaos = true,
             "--chaos-rate" => {
                 args.chaos_rate = value("--chaos-rate").parse().expect("--chaos-rate: number");
@@ -178,7 +189,7 @@ fn parse_args() -> Args {
                  [--scale smoke|small|full] [--seed S] [--fuel N] [--label NAME] \
                  [--json PATH] [--addr HOST:PORT] [--snapshot-check] [--shutdown] \
                  [--sweep N1,N2,...] [--connections C] [--warm-start] \
-                 [--chaos] [--chaos-rate R])"
+                 [--chaos] [--chaos-rate R] [--console])"
             ),
         }
     }
@@ -1177,9 +1188,24 @@ fn main() {
         );
     }
 
+    // Live console: redraw the self-profiler's stage table on stderr
+    // while the serve modes run. Works in any build — a default build
+    // just shows the empty table.
+    let console_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let console = args.console.then(|| {
+        let stop = Arc::clone(&console_stop);
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                eprint!("\x1b[2J\x1b[H{}", selfprof::report().render_table());
+                std::thread::sleep(std::time::Duration::from_millis(400));
+            }
+        })
+    });
+
     // serve-single: sequential sessions through one shard.
     let single_pool = args.addr.is_none().then(|| make_local(1));
     let single_start = Instant::now();
+    let mut single_blocks = 0u64;
     {
         let mut endpoint = match (&args.addr, &single_pool) {
             (Some(addr), _) => connect(addr),
@@ -1187,7 +1213,7 @@ fn main() {
             (None, None) => unreachable!(),
         };
         for &name in &plan {
-            drive(&mut endpoint, name, args.scale, args.fuel);
+            single_blocks += drive(&mut endpoint, name, args.scale, args.fuel);
         }
     }
     let single_secs = single_start.elapsed().as_secs_f64();
@@ -1219,6 +1245,13 @@ fn main() {
         aggregate_blocks, total_blocks,
         "concurrent sessions diverged from the native block total"
     );
+
+    console_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    if let Some(redraw) = console {
+        let _ = redraw.join();
+        eprintln!("\n[selfprof] final stage table:");
+        eprint!("{}", selfprof::report().render_table());
+    }
 
     if args.shutdown {
         shutdown_remote(args.addr.as_deref().expect("--shutdown needs --addr"));
@@ -1254,7 +1287,64 @@ fn main() {
             "        \"{mode}\": {{\"secs\": {secs:.6}, \"blocks_per_sec\": {rate:.0}}}{comma}"
         );
     }
-    let _ = writeln!(run_json, "      }}");
+    // Serve-path allocation profile (selfprof-alloc builds only): total
+    // and per-stage bytes/allocations over the blocks the serve modes
+    // executed (serve-single + serve-aggregate). `bench_compare --alloc`
+    // gates the two per-block ratios.
+    if selfprof::alloc_tracking() {
+        let report = selfprof::report();
+        let serve_stages = [
+            selfprof::Stage::FrameDecode,
+            selfprof::Stage::ShardDispatch,
+            selfprof::Stage::VmSlice,
+            selfprof::Stage::SnapshotSave,
+            selfprof::Stage::SnapshotRestore,
+            selfprof::Stage::ProfilePublish,
+            selfprof::Stage::Prewarm,
+        ];
+        let mut alloc_bytes = 0u64;
+        let mut alloc_count = 0u64;
+        let mut stage_rows = Vec::new();
+        for stage in serve_stages {
+            if let Some(s) = report.stage(stage.name()) {
+                alloc_bytes += s.alloc_bytes;
+                alloc_count += s.alloc_count;
+                stage_rows.push((stage.name(), s.alloc_bytes, s.alloc_count));
+            }
+        }
+        let served_blocks = single_blocks + aggregate_blocks;
+        let bytes_per_block = alloc_bytes as f64 / served_blocks.max(1) as f64;
+        let allocs_per_block = alloc_count as f64 / served_blocks.max(1) as f64;
+        println!(
+            "serve-path alloc {alloc_bytes} bytes / {alloc_count} allocs over {served_blocks} \
+             blocks ({bytes_per_block:.2} B/blk, {allocs_per_block:.4} allocs/blk)"
+        );
+        let _ = writeln!(run_json, "      }},");
+        let _ = writeln!(run_json, "      \"alloc\": {{");
+        let _ = writeln!(
+            run_json,
+            "        \"bytes_per_block\": {bytes_per_block:.4},"
+        );
+        let _ = writeln!(
+            run_json,
+            "        \"allocs_per_block\": {allocs_per_block:.6},"
+        );
+        let _ = writeln!(run_json, "        \"alloc_bytes\": {alloc_bytes},");
+        let _ = writeln!(run_json, "        \"alloc_count\": {alloc_count},");
+        let _ = writeln!(run_json, "        \"served_blocks\": {served_blocks},");
+        let _ = writeln!(run_json, "        \"stages\": {{");
+        for (i, (name, bytes, count)) in stage_rows.iter().enumerate() {
+            let comma = if i + 1 < stage_rows.len() { "," } else { "" };
+            let _ = writeln!(
+                run_json,
+                "          \"{name}\": {{\"bytes\": {bytes}, \"count\": {count}}}{comma}"
+            );
+        }
+        let _ = writeln!(run_json, "        }}");
+        let _ = writeln!(run_json, "      }}");
+    } else {
+        let _ = writeln!(run_json, "      }}");
+    }
     let _ = write!(run_json, "    }}");
 
     // Append to the shared perf document, same format as perf_baseline.

@@ -94,6 +94,27 @@ impl ChaosSection {
     }
 }
 
+/// The serve-path allocation profile of a `loadgen` run recorded under a
+/// `selfprof-alloc` build: every byte and allocation the measuring
+/// allocator attributed to a serving stage, normalized per interpreted
+/// block. The per-block ratios are what [`alloc_gate`] compares — they
+/// cancel run length, so two runs at different scales still gate.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AllocSection {
+    /// Serve-path heap bytes allocated per interpreted block.
+    pub bytes_per_block: f64,
+    /// Serve-path allocator calls per interpreted block.
+    pub allocs_per_block: f64,
+    /// Total serve-path bytes over the run.
+    pub alloc_bytes: f64,
+    /// Total serve-path allocator calls over the run.
+    pub alloc_count: f64,
+    /// Blocks the serving modes interpreted (the normalizer).
+    pub served_blocks: f64,
+    /// Per-stage `(name, bytes, count)` breakdown, in document order.
+    pub stages: Vec<(String, f64, f64)>,
+}
+
 /// One labelled `perf_baseline` invocation.
 #[derive(Clone, PartialEq, Debug)]
 pub struct PerfRun {
@@ -114,6 +135,9 @@ pub struct PerfRun {
     /// Fault-injection record (`loadgen --chaos` runs; `None` for every
     /// other document).
     pub chaos: Option<ChaosSection>,
+    /// Serve-path allocation profile (`selfprof-alloc` loadgen runs;
+    /// `None` for every other document).
+    pub alloc: Option<AllocSection>,
 }
 
 impl PerfRun {
@@ -235,6 +259,41 @@ pub fn parse_perf_runs(text: &str) -> Result<Vec<PerfRun>, String> {
                 }
                 _ => None,
             };
+            let alloc = match run.get("alloc") {
+                Some(section) if section.as_obj().is_some() => {
+                    let num = |key: &str| {
+                        section
+                            .get(key)
+                            .and_then(|v| v.as_f64())
+                            .ok_or_else(|| format!("run #{i} alloc: missing number \"{key}\""))
+                    };
+                    let stages = match section.get("stages").and_then(|s| s.as_obj()) {
+                        Some(entries) => entries
+                            .iter()
+                            .map(|(name, stage)| {
+                                let num = |key: &str| {
+                                    stage.get(key).and_then(|v| v.as_f64()).ok_or_else(|| {
+                                        format!(
+                                            "run #{i} alloc stage {name}: missing number \"{key}\""
+                                        )
+                                    })
+                                };
+                                Ok((name.clone(), num("bytes")?, num("count")?))
+                            })
+                            .collect::<Result<Vec<_>, String>>()?,
+                        None => Vec::new(),
+                    };
+                    Some(AllocSection {
+                        bytes_per_block: num("bytes_per_block")?,
+                        allocs_per_block: num("allocs_per_block")?,
+                        alloc_bytes: num("alloc_bytes")?,
+                        alloc_count: num("alloc_count")?,
+                        served_blocks: num("served_blocks")?,
+                        stages,
+                    })
+                }
+                _ => None,
+            };
             Ok(PerfRun {
                 label: str_field("label")?,
                 scale: str_field("scale")?,
@@ -246,6 +305,7 @@ pub fn parse_perf_runs(text: &str) -> Result<Vec<PerfRun>, String> {
                 modes,
                 warm_start,
                 chaos,
+                alloc,
             })
         })
         .collect()
@@ -1013,6 +1073,153 @@ pub fn chaos_gate(run: &PerfRun) -> Result<ChaosReport, String> {
         label: run.label.clone(),
         expected_sessions: run.sessions.unwrap_or(section.completed),
         section,
+    })
+}
+
+/// One per-block allocation metric's verdict inside an [`AllocReport`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct AllocDelta {
+    /// Metric name (`bytes_per_block` or `allocs_per_block`).
+    pub metric: &'static str,
+    /// The baseline run's value.
+    pub baseline: f64,
+    /// The current run's value.
+    pub current: f64,
+    /// `current / baseline`; above `1 + tolerance` means regressed —
+    /// allocation gates invert the throughput convention because more
+    /// heap traffic is the failure direction.
+    pub ratio: f64,
+    /// Whether the increase exceeds the tolerance.
+    pub regressed: bool,
+}
+
+/// Outcome of gating a serve-path allocation profile.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AllocReport {
+    /// Label of the baseline run.
+    pub baseline_label: String,
+    /// Label of the current run.
+    pub current_label: String,
+    /// Allowed fractional per-block increase (0.10 = 10%).
+    pub tolerance: f64,
+    /// Verdicts for both per-block metrics.
+    pub deltas: Vec<AllocDelta>,
+    /// The current run's per-stage `(name, bytes, count)` breakdown,
+    /// echoed for the report.
+    pub stages: Vec<(String, f64, f64)>,
+}
+
+impl AllocReport {
+    /// True when neither per-block metric grew beyond the tolerance.
+    pub fn passed(&self) -> bool {
+        self.deltas.iter().all(|d| !d.regressed)
+    }
+
+    /// Renders the gate as an aligned text table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "alloc gate: `{}` -> `{}` (serve-path per-block, tolerance +{:.0}%)",
+            self.baseline_label,
+            self.current_label,
+            self.tolerance * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "{:<18} {:>14} {:>14} {:>8}  verdict",
+            "metric", "baseline", "current", "ratio"
+        );
+        for d in &self.deltas {
+            let _ = writeln!(
+                out,
+                "{:<18} {:>14.4} {:>14.4} {:>7.3}x  {}",
+                d.metric,
+                d.baseline,
+                d.current,
+                d.ratio,
+                if d.regressed { "REGRESSED" } else { "ok" }
+            );
+        }
+        if !self.stages.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<18} {:>14} {:>14}  (current run)",
+                "stage", "bytes", "allocs"
+            );
+            for (name, bytes, count) in &self.stages {
+                let _ = writeln!(out, "{:<18} {:>14.0} {:>14.0}", name, bytes, count);
+            }
+        }
+        out
+    }
+}
+
+/// Gates a serve-path allocation profile: the current run's heap bytes
+/// and allocator calls per interpreted block must not exceed the
+/// baseline's by more than `tolerance` (more allocation is the failure
+/// direction, so the gate trips on *increases*). Both counts come from
+/// the measuring allocator's per-stage attribution, so they are
+/// deterministic for a fixed build and workload set and portable across
+/// hosts — no normalization is needed. Gating a run against itself
+/// (`baseline == current`) validates that the committed section exists
+/// and is well-formed, which is how CI self-checks the document.
+///
+/// # Errors
+///
+/// Returns a message when either run records no `alloc` section (the
+/// run was measured without a `selfprof-alloc` build) or carries a
+/// non-finite or non-positive per-block metric — an alloc-free serve
+/// path means the attribution hooks were compiled out, not that the
+/// path is perfect.
+pub fn alloc_gate(
+    baseline: &PerfRun,
+    current: &PerfRun,
+    tolerance: f64,
+) -> Result<AllocReport, String> {
+    let section = |run: &PerfRun| -> Result<AllocSection, String> {
+        run.alloc.clone().ok_or_else(|| {
+            format!(
+                "run `{}` records no alloc section; re-measure with a \
+                 `--features selfprof-alloc` loadgen build",
+                run.label
+            )
+        })
+    };
+    let (base, cur) = (section(baseline)?, section(current)?);
+    let metric =
+        |name: &'static str, pick: &dyn Fn(&AllocSection) -> f64| -> Result<AllocDelta, String> {
+            let (b, c) = (pick(&base), pick(&cur));
+            if !(b.is_finite() && b > 0.0) {
+                return Err(format!(
+                    "run `{}` has unusable {name} {b}; a zero serve-path \
+                 allocation count means the measuring allocator was not active",
+                    baseline.label
+                ));
+            }
+            if !(c.is_finite() && c >= 0.0) {
+                return Err(format!("run `{}` has unusable {name} {c}", current.label));
+            }
+            let ratio = c / b;
+            Ok(AllocDelta {
+                metric: name,
+                baseline: b,
+                current: c,
+                ratio,
+                regressed: ratio > 1.0 + tolerance,
+            })
+        };
+    let deltas = vec![
+        metric("bytes_per_block", &|s| s.bytes_per_block)?,
+        metric("allocs_per_block", &|s| s.allocs_per_block)?,
+    ];
+    Ok(AllocReport {
+        baseline_label: baseline.label.clone(),
+        current_label: current.label.clone(),
+        tolerance,
+        deltas,
+        stages: cur.stages,
     })
 }
 
@@ -1940,6 +2147,121 @@ mod tests {
         let old = &parse_perf_runs(&perf_doc("old", 500000.0)).unwrap()[0];
         let err = chaos_gate(old).unwrap_err();
         assert!(err.contains("no chaos section"), "{err}");
+    }
+
+    fn alloc_doc(label: &str, bytes_per_block: f64, allocs_per_block: f64) -> String {
+        format!(
+            r#"{{
+  "runs": [
+    {{
+      "label": "{label}",
+      "scale": "smoke",
+      "sessions": 9,
+      "shards": 4,
+      "seed": 42,
+      "total_blocks": 579483,
+      "modes": {{
+        "native": {{"secs": 0.014, "blocks_per_sec": 41000000}},
+        "serve-single": {{"secs": 0.16, "blocks_per_sec": 3600000}},
+        "serve-aggregate": {{"secs": 0.06, "blocks_per_sec": 9600000}}
+      }},
+      "alloc": {{
+        "bytes_per_block": {bytes_per_block},
+        "allocs_per_block": {allocs_per_block},
+        "alloc_bytes": 52000000,
+        "alloc_count": 910000,
+        "served_blocks": 1158966,
+        "stages": {{
+          "frame_decode": {{"bytes": 21000000, "count": 400000}},
+          "shard_dispatch": {{"bytes": 9000000, "count": 200000}},
+          "vm_slice": {{"bytes": 22000000, "count": 310000}}
+        }}
+      }}
+    }}
+  ]
+}}"#
+        )
+    }
+
+    #[test]
+    fn alloc_section_parses_and_defaults_absent() {
+        let runs = parse_perf_runs(&alloc_doc("a", 44.87, 0.785)).unwrap();
+        let section = runs[0].alloc.as_ref().expect("alloc section parsed");
+        assert_eq!(section.bytes_per_block, 44.87);
+        assert_eq!(section.allocs_per_block, 0.785);
+        assert_eq!(section.served_blocks, 1158966.0);
+        assert_eq!(section.stages.len(), 3);
+        assert_eq!(section.stages[0].0, "frame_decode");
+        assert_eq!(section.stages[0].1, 21000000.0);
+        // Documents without the section still parse, with no record.
+        let old = parse_perf_runs(&perf_doc("old", 500000.0)).unwrap();
+        assert!(old[0].alloc.is_none());
+        // A section missing a per-block ratio is an error, not a default.
+        let broken = alloc_doc("a", 1.0, 1.0).replace("\"allocs_per_block\": 1,\n", "");
+        let err = parse_perf_runs(&broken).unwrap_err();
+        assert!(err.contains("allocs_per_block"), "{err}");
+    }
+
+    #[test]
+    fn alloc_gate_trips_on_per_block_increases_only() {
+        let base = &parse_perf_runs(&alloc_doc("base", 100.0, 1.0)).unwrap()[0];
+        // Self-comparison validates the committed section and passes.
+        let same = alloc_gate(base, base, DEFAULT_TOLERANCE).unwrap();
+        assert!(same.passed(), "{}", same.render());
+        // A 15% bytes-per-block increase fails the default 10% tolerance.
+        let fat = &parse_perf_runs(&alloc_doc("fat", 115.0, 1.0)).unwrap()[0];
+        let report = alloc_gate(base, fat, DEFAULT_TOLERANCE).unwrap();
+        assert!(!report.passed());
+        let regressed: Vec<&str> = report
+            .deltas
+            .iter()
+            .filter(|d| d.regressed)
+            .map(|d| d.metric)
+            .collect();
+        assert_eq!(regressed, ["bytes_per_block"]);
+        assert!(report.render().contains("REGRESSED"), "{}", report.render());
+        // So does a 15% allocation-count increase at flat bytes.
+        let chatty = &parse_perf_runs(&alloc_doc("chatty", 100.0, 1.15)).unwrap()[0];
+        assert!(!alloc_gate(base, chatty, DEFAULT_TOLERANCE)
+            .unwrap()
+            .passed());
+        // Decreases are improvements — a near-alloc-free current run passes.
+        let lean = &parse_perf_runs(&alloc_doc("lean", 1.0, 0.01)).unwrap()[0];
+        assert!(alloc_gate(base, lean, DEFAULT_TOLERANCE).unwrap().passed());
+    }
+
+    #[test]
+    fn alloc_gate_rejects_missing_or_hollow_sections() {
+        let base = &parse_perf_runs(&alloc_doc("base", 100.0, 1.0)).unwrap()[0];
+        // A run measured without the measuring allocator cannot be gated.
+        let old = &parse_perf_runs(&perf_doc("old", 500000.0)).unwrap()[0];
+        let err = alloc_gate(base, old, DEFAULT_TOLERANCE).unwrap_err();
+        assert!(err.contains("no alloc section"), "{err}");
+        let err = alloc_gate(old, base, DEFAULT_TOLERANCE).unwrap_err();
+        assert!(err.contains("no alloc section"), "{err}");
+        // A zero baseline means the hooks were compiled out, not perfection.
+        let hollow = &parse_perf_runs(&alloc_doc("hollow", 0.0, 0.0)).unwrap()[0];
+        let err = alloc_gate(hollow, base, DEFAULT_TOLERANCE).unwrap_err();
+        assert!(err.contains("measuring allocator"), "{err}");
+    }
+
+    #[test]
+    fn committed_selfprof_run_gates_its_own_alloc_profile() {
+        // The repo's own BENCH_perf.json carries a `selfprof` run recorded
+        // under a selfprof-alloc build: its serve-path allocation profile
+        // must exist, be well-formed, and pass the gate against itself —
+        // this is what CI's selfprof-smoke job re-measures.
+        let text = include_str!("../../../BENCH_perf.json");
+        let runs = parse_perf_runs(text).unwrap();
+        let run = select_run(&runs, Some("selfprof")).expect("selfprof run is committed");
+        let report = alloc_gate(run, run, DEFAULT_TOLERANCE).unwrap();
+        assert!(report.passed(), "{}", report.render());
+        let section = run.alloc.as_ref().unwrap();
+        assert!(
+            !section.stages.is_empty(),
+            "committed alloc profile must break down by stage"
+        );
+        assert!(section.served_blocks > 0.0);
     }
 
     #[test]

@@ -57,6 +57,8 @@ impl RecordedRun {
 /// Panics if the workload fails to execute — experiment inputs are
 /// programmer-controlled, so failures are bugs.
 pub fn record_workload(workload: &Workload) -> RecordedRun {
+    let _selfprof_record =
+        hotpath_selfprof::StageGuard::enter(hotpath_selfprof::Stage::BenchRecord);
     let started = Instant::now();
     let mut extractor = PathExtractor::new(StreamingSink::new());
     let mut vm = Vm::new(&workload.program);

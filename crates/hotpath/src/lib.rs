@@ -14,6 +14,7 @@
 //! | Dynamo | [`dynamo`] | fragment-cache optimizer simulation, Figure 5 harness |
 //! | Serving | [`serve`] | sharded session service, TCP protocol, cache snapshots |
 //! | Telemetry | [`telemetry`] | structured pipeline events, recorders, run summaries |
+//! | Self-profiling | [`selfprof`] | measuring allocator, per-stage percentiles, sealed reports |
 //! | Faults | [`faultinject`] | deterministic seeded fault plans for robustness testing |
 //!
 //! # Quickstart
@@ -40,6 +41,7 @@ pub use hotpath_dynamo as dynamo;
 pub use hotpath_faultinject as faultinject;
 pub use hotpath_ir as ir;
 pub use hotpath_profiles as profiles;
+pub use hotpath_selfprof as selfprof;
 pub use hotpath_serve as serve;
 pub use hotpath_telemetry as telemetry;
 pub use hotpath_vm as vm;

@@ -82,6 +82,19 @@ impl Hasher for FxHasher {
     }
 }
 
+/// FNV-1a 64-bit over `bytes` — the integrity seal used by the sealed
+/// binary formats (serve snapshots, self-profiler reports). Not
+/// cryptographic; it guards against truncation and bit rot, which is all
+/// a local cache or report file needs.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 /// `BuildHasher` producing [`FxHasher`]s.
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
@@ -120,6 +133,14 @@ mod tests {
         let mut s: FxHashSet<Vec<u32>> = FxHashSet::default();
         assert!(s.insert(vec![1, 2, 3]));
         assert!(!s.insert(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
     }
 
     #[test]

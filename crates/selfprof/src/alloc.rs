@@ -1,0 +1,61 @@
+//! The measuring global allocator.
+//!
+//! [`MeasuringAlloc`] wraps [`System`] and attributes every allocation to
+//! the stage active on the allocating thread. The hook path is careful
+//! never to allocate itself: it touches only const-initialized,
+//! destructor-free thread-local cells and pre-allocated per-thread atomics
+//! (see `slots::note_alloc`), so re-entrancy is impossible by
+//! construction.
+//!
+//! The `#[global_allocator]` registration lives behind the `alloc`
+//! feature: a default build links [`System`] directly and carries zero
+//! overhead. Deallocations are deliberately not tracked — the gate metric
+//! is allocation *pressure* on the serve path (bytes and count requested
+//! per block), not live heap size, and skipping the free side halves the
+//! hook cost.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+/// A [`System`] wrapper that reports each allocation's size to the
+/// self-profiler's per-thread stage slots.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MeasuringAlloc;
+
+// SAFETY: defers all allocation to `System`; the bookkeeping side effect
+// never allocates and never observes the returned block.
+unsafe impl GlobalAlloc for MeasuringAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            crate::slots::note_alloc(layout.size() as u64);
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            crate::slots::note_alloc(layout.size() as u64);
+        }
+        ptr
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            // A grow/shrink is one fresh request for `new_size` bytes:
+            // count it like an allocation so realloc-heavy code (Vec
+            // growth) shows up in the pressure numbers.
+            crate::slots::note_alloc(new_size as u64);
+        }
+        new_ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+}
+
+/// The process-wide allocator when the `alloc` feature is on.
+#[global_allocator]
+static GLOBAL: MeasuringAlloc = MeasuringAlloc;

@@ -1,0 +1,91 @@
+//! A dependency-free HTTP endpoint serving the live self-profile.
+//!
+//! One detached accept-loop thread on plain `std::net`; `GET /selfprof`
+//! returns the current [`crate::SelfProfReport`] as JSON, anything else
+//! gets a 404. Compiled unconditionally — a disabled build answers with an
+//! empty report, so dashboards can poll the same URL regardless of how the
+//! binary was built.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Binds `addr` (e.g. `127.0.0.1:9191`) and serves the self-profile from
+/// a detached background thread. Returns the bound address (useful with
+/// port `0`).
+///
+/// # Errors
+///
+/// Propagates bind/spawn failures; per-connection errors are swallowed.
+pub fn serve_http(addr: &str) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("selfprof-http".into())
+        .spawn(move || {
+            for mut stream in listener.incoming().flatten() {
+                let _ = handle(&mut stream);
+            }
+        })?;
+    Ok(local)
+}
+
+fn handle(stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = [0u8; 2048];
+    let mut used = 0;
+    // Read until the header terminator; the request body is irrelevant.
+    while used < buf.len() && !buf[..used].windows(4).any(|w| w == b"\r\n\r\n") {
+        match stream.read(&mut buf[used..]) {
+            Ok(0) => break,
+            Ok(n) => used += n,
+            Err(_) => break,
+        }
+    }
+    let request = String::from_utf8_lossy(&buf[..used]);
+    let mut parts = request.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method == "GET" && path == "/selfprof" {
+        let body = crate::report().to_json();
+        write!(
+            stream,
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )?;
+    } else {
+        let body = "not found\n";
+        write!(
+            stream,
+            "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )?;
+    }
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").expect("write");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read");
+        out
+    }
+
+    #[test]
+    fn endpoint_serves_report_json_and_404s() {
+        let addr = serve_http("127.0.0.1:0").expect("bind");
+        let ok = get(addr, "/selfprof");
+        assert!(ok.starts_with("HTTP/1.1 200 OK"));
+        assert!(ok.contains("\"stages\""));
+        assert!(ok.contains("\"peak_rss_bytes\""));
+        let missing = get(addr, "/other");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Peak-RSS sampling with a background-refreshed high-water cache.
+//!
+//! `VmHWM` in `/proc/self/status` is the kernel's own high-water mark, so
+//! a point sample is already monotonic — but only on Linux, and only when
+//! someone asks. The aggregator calls [`refresh_cache`] periodically so
+//! sweep curves read a mark that was actually maintained during the run,
+//! and [`peak_rss_bytes`] folds the cache with a fresh direct sample so
+//! callers always see the larger of the two.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Largest RSS ever observed by any sample in this process.
+static CACHED_PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// Peak resident set size of this process in bytes; `0` where
+/// unavailable. The maximum of a fresh `VmHWM` sample and the
+/// aggregator-maintained cache.
+pub fn peak_rss_bytes() -> u64 {
+    let direct = sample();
+    CACHED_PEAK.fetch_max(direct, Relaxed);
+    CACHED_PEAK.load(Relaxed).max(direct)
+}
+
+/// Folds a fresh sample into the cached high-water mark (called from the
+/// background aggregator; unused — beyond tests — when `enabled` is off).
+#[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+pub(crate) fn refresh_cache() {
+    let direct = sample();
+    CACHED_PEAK.fetch_max(direct, Relaxed);
+}
+
+/// One direct `VmHWM` read from `/proc/self/status` (Linux), else `0`.
+fn sample() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kib: u64 = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                    return kib * 1024;
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_rss_is_positive_on_linux_and_monotonic() {
+        if cfg!(target_os = "linux") {
+            let first = peak_rss_bytes();
+            assert!(first > 0);
+            refresh_cache();
+            assert!(peak_rss_bytes() >= first);
+        }
+    }
+}

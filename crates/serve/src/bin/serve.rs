@@ -5,6 +5,7 @@
 //! serve [--addr HOST:PORT] [--shards N] [--queue-depth N] [--max-sessions N]
 //!       [--reactors N] [--write-buf BYTES] [--snapshot-dir DIR] [--blocking]
 //!       [--drain-deadline-ms MS] [--chaos-seed SEED] [--chaos-rate RATE]
+//!       [--selfprof-port PORT]
 //! ```
 //!
 //! Prints `listening on HOST:PORT` on stdout once bound (port 0 resolves
@@ -22,7 +23,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--shards N] [--queue-depth N] [--max-sessions N]\n\
          \x20            [--reactors N] [--write-buf BYTES] [--snapshot-dir DIR] [--blocking]\n\
-         \x20            [--drain-deadline-ms MS] [--chaos-seed SEED] [--chaos-rate RATE]"
+         \x20            [--drain-deadline-ms MS] [--chaos-seed SEED] [--chaos-rate RATE]\n\
+         \x20            [--selfprof-port PORT]"
     );
     std::process::exit(2);
 }
@@ -48,6 +50,7 @@ fn main() {
     let mut blocking = false;
     let mut chaos_seed: Option<u64> = None;
     let mut chaos_rate: f64 = 0.02;
+    let mut selfprof_port: Option<u16> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -62,6 +65,7 @@ fn main() {
             "--drain-deadline-ms" => config.drain_deadline_ms = parse(&arg, args.next()),
             "--chaos-seed" => chaos_seed = Some(parse(&arg, args.next())),
             "--chaos-rate" => chaos_rate = parse(&arg, args.next()),
+            "--selfprof-port" => selfprof_port = Some(parse(&arg, args.next())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -94,6 +98,14 @@ fn main() {
         }
     };
     println!("listening on {}", handle.addr());
+    if let Some(port) = selfprof_port {
+        // Mounted next to the serve front-end; with the selfprof feature
+        // off it still answers, with an empty report.
+        match hotpath_selfprof::serve_http(&format!("127.0.0.1:{port}")) {
+            Ok(bound) => println!("selfprof on http://{bound}/selfprof"),
+            Err(e) => eprintln!("selfprof bind port {port}: {e}"),
+        }
+    }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
 

@@ -35,6 +35,7 @@ use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 
 use hotpath_faultinject::FaultPlan;
+use hotpath_selfprof as selfprof;
 use hotpath_telemetry as telemetry;
 
 use crate::profile_store::{ProfileKey, ProfileStore, ProfileStoreConfig, SessionProfile};
@@ -287,7 +288,10 @@ impl SessionManager {
                     RequestNote::Open { workload },
                 )
             }
-            Request::Restore { blob } => match SessionSnapshot::decode(&blob) {
+            Request::Restore { blob } => match selfprof::stage!(
+                selfprof::Stage::SnapshotRestore,
+                SessionSnapshot::decode(&blob)
+            ) {
                 Ok(snapshot) => {
                     let note = RequestNote::Restore {
                         workload: snapshot.config.label(),
@@ -707,14 +711,9 @@ impl Drop for SessionManager {
 }
 
 /// Peak RSS of this process; zero where the platform offers no cheap
-/// readout (non-unix, where the `sys` module is compiled out).
+/// readout. Goes through the self-profiler's cached high-water mark, so
+/// with the selfprof feature on the aggregator keeps it fresh between
+/// stats requests.
 fn max_rss() -> u64 {
-    #[cfg(unix)]
-    {
-        crate::sys::max_rss_bytes()
-    }
-    #[cfg(not(unix))]
-    {
-        0
-    }
+    selfprof::peak_rss_bytes()
 }

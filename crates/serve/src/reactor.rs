@@ -36,6 +36,7 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 
 use hotpath_faultinject::{FaultInjector, FaultPoint};
+use hotpath_selfprof as selfprof;
 use hotpath_telemetry as telemetry;
 
 use crate::manager::{Prepared, RequestNote, SessionManager};
@@ -675,7 +676,8 @@ impl Reactor {
                 return true;
             };
             let token = conn.token;
-            let immediate = match Request::decode(&payload) {
+            let decoded = selfprof::stage!(selfprof::Stage::FrameDecode, Request::decode(&payload));
+            let immediate = match decoded {
                 Err(e) => Some(Response::Error {
                     message: e.to_string(),
                 }),

@@ -24,6 +24,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use hotpath_faultinject::{FaultInjector, FaultPoint};
+use hotpath_selfprof as selfprof;
 use hotpath_telemetry as telemetry;
 
 use crate::manager::{ServeConfig, SessionManager};
@@ -331,7 +332,8 @@ fn connection(
             write_frame(&mut writer, &Response::ShuttingDown.encode())?;
             return Ok(());
         }
-        let response = match Request::decode(&payload) {
+        let decoded = selfprof::stage!(selfprof::Stage::FrameDecode, Request::decode(&payload));
+        let response = match decoded {
             Ok(Request::Shutdown) => {
                 write_frame(&mut writer, &Response::ShuttingDown.encode())?;
                 request_stop(stop, addr);

@@ -17,6 +17,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use hotpath_faultinject::{FaultInjector, FaultPlan, FaultPoint};
+use hotpath_selfprof as selfprof;
 use hotpath_telemetry as telemetry;
 use hotpath_vm::BlockEvent;
 
@@ -466,6 +467,7 @@ fn handle(
     sessions: &mut HashMap<u64, Session>,
     request: ShardRequest,
 ) -> Response {
+    let _selfprof_dispatch = selfprof::StageGuard::enter(selfprof::Stage::ShardDispatch);
     let shard_id = worker.shard_id;
     let missing = |id: u64| Response::Error {
         message: format!("no session {id} on shard {shard_id}"),
@@ -477,6 +479,7 @@ fn handle(
             }
             let mut session = Session::open(id, shard_id, config.clone());
             let prewarm = if config.prewarm {
+                let _selfprof_prewarm = selfprof::StageGuard::enter(selfprof::Stage::Prewarm);
                 match worker.cached_aggregate(ProfileKey::of(&config)) {
                     Some(aggregate) => match session.prewarm(&aggregate.warm) {
                         Ok((fragments, counters)) => {
@@ -508,14 +511,21 @@ fn handle(
             if sessions.len() >= worker.max_sessions {
                 return Response::Busy;
             }
-            match Session::restore(id, shard_id, &snapshot) {
+            let restored = selfprof::stage!(
+                selfprof::Stage::SnapshotRestore,
+                Session::restore(id, shard_id, &snapshot)
+            );
+            match restored {
                 Ok(session) => {
                     // A snapshot saved with a fleet aggregate re-seeds
                     // the store (one publisher's worth); a fleet
                     // restarted from parked snapshots warms its store
                     // back up without waiting for live publishes.
                     if let Some(profile) = &snapshot.profile {
-                        let _ = worker.store.publish(profile);
+                        let _ = selfprof::stage!(
+                            selfprof::Stage::ProfilePublish,
+                            worker.store.publish(profile)
+                        );
                     }
                     sessions.insert(id, session);
                     worker.counters.live.fetch_add(1, Ordering::Relaxed);
@@ -565,7 +575,10 @@ fn handle(
         },
         ShardRequest::Snapshot { id } => match sessions.get(&id) {
             Some(session) => Response::SnapshotBlob {
-                blob: worker.snapshot_with_profile(session).encode(),
+                blob: selfprof::stage!(
+                    selfprof::Stage::SnapshotSave,
+                    worker.snapshot_with_profile(session).encode()
+                ),
             },
             None => missing(id),
         },
@@ -599,11 +612,14 @@ fn handle(
                 // to quarantine until an operator re-promotes the key.
                 let quarantined = !session.healthy()
                     || (worker.injector.armed() && worker.injector.fire(FaultPoint::PublishPoison));
-                let published = if quarantined {
-                    worker.store.publish_quarantined(&profile)
-                } else {
-                    worker.store.publish(&profile)
-                };
+                let published = selfprof::stage!(
+                    selfprof::Stage::ProfilePublish,
+                    if quarantined {
+                        worker.store.publish_quarantined(&profile)
+                    } else {
+                        worker.store.publish(&profile)
+                    }
+                );
                 match published {
                     Ok(info) => Response::ProfilePublished {
                         workload: profile.key.label().to_string(),

@@ -483,29 +483,11 @@ pub fn block_until_signal(read_fd: RawFd) {
 
 /// Peak resident set size of this process in bytes (`VmHWM` from
 /// `/proc/self/status`); `0` where unavailable. The 10K-session sweep
-/// records it to prove memory stays bounded.
+/// records it to prove memory stays bounded. The sampling itself lives in
+/// `hotpath-selfprof`, whose background aggregator also refreshes the
+/// high-water cache this reads.
 pub fn max_rss_bytes() -> u64 {
-    #[cfg(target_os = "linux")]
-    {
-        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
-            for line in status.lines() {
-                if let Some(rest) = line.strip_prefix("VmHWM:") {
-                    let kib: u64 = rest
-                        .trim()
-                        .trim_end_matches("kB")
-                        .trim()
-                        .parse()
-                        .unwrap_or(0);
-                    return kib * 1024;
-                }
-            }
-        }
-        0
-    }
-    #[cfg(not(target_os = "linux"))]
-    {
-        0
-    }
+    hotpath_selfprof::peak_rss_bytes()
 }
 
 #[cfg(test)]

@@ -182,17 +182,9 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// FNV-1a 64-bit over `bytes` — the snapshot format's integrity seal.
-/// Not cryptographic; it guards against truncation and bit rot, which is
-/// all a local warm-start cache needs.
-pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+/// FNV-1a 64-bit — the snapshot format's integrity seal, shared with the
+/// self-profiler report format via `hotpath-ir`.
+pub(crate) use hotpath_ir::fasthash::fnv1a64;
 
 #[cfg(test)]
 mod tests {

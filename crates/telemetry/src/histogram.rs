@@ -53,6 +53,39 @@ impl Histogram {
         Self::new(&POW2_BOUNDS)
     }
 
+    /// Rebuilds a histogram from previously exported parts: the bucket
+    /// layout, one count per bucket (`bounds.len() + 1`, the last being
+    /// the overflow bucket), and the recorded sum and max. `total` is
+    /// recomputed from the counts. This is the inverse of reading
+    /// [`bucket_counts`](Self::bucket_counts) / [`sum`](Self::sum) /
+    /// [`max`](Self::max) back out — serialized histograms (the
+    /// self-profiler report format) round-trip through it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the count vector does not match the bucket
+    /// layout.
+    pub fn from_parts(
+        bounds: &'static [u64],
+        counts: Vec<u64>,
+        sum: u64,
+        max: u64,
+    ) -> Result<Self, String> {
+        if counts.len() != bounds.len() + 1 {
+            return Err(format!(
+                "histogram counts length {} does not match {} bounds (+1 overflow)",
+                counts.len(),
+                bounds.len()
+            ));
+        }
+        let mut h = Histogram::new(bounds);
+        h.total = counts.iter().sum();
+        h.counts = counts;
+        h.sum = sum;
+        h.max = max;
+        Ok(h)
+    }
+
     /// Records one value.
     pub fn add(&mut self, value: u64) {
         let idx = self
@@ -96,6 +129,38 @@ impl Histogram {
         } else {
             self.sum as f64 / self.total as f64
         }
+    }
+
+    /// The inclusive upper bound covering at least fraction `q` of the
+    /// recorded values (`q` clamped to `[0, 1]`) — the pX readout over
+    /// fixed buckets, so the answer is the bucket's upper bound, not an
+    /// interpolated value. Values that landed in the overflow bucket
+    /// report the recorded [`max`](Self::max). Zero if empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return match self.bounds.get(i) {
+                    Some(&le) => le,
+                    None => self.max,
+                };
+            }
+        }
+        self.max
+    }
+
+    /// One count per bucket in layout order: `(Some(upper_bound), count)`
+    /// for the bounded buckets, `(None, count)` for the overflow bucket.
+    pub fn bucket_counts(&self) -> impl Iterator<Item = (Option<u64>, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| (self.bounds.get(i).copied(), count))
     }
 
     /// Folds another histogram with identical bounds into this one.
@@ -207,5 +272,31 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_bounds_panic() {
         let _ = Histogram::new(&[2, 1]);
+    }
+
+    #[test]
+    fn percentiles_read_bucket_upper_bounds() {
+        let mut h = Histogram::new(&[1, 2, 4, 8]);
+        for v in [1, 1, 2, 3, 4, 5, 6, 7, 8, 100] {
+            h.add(v);
+        }
+        assert_eq!(h.percentile(0.5), 4); // 5th of 10 values sits in le=4
+        assert_eq!(h.percentile(0.9), 8);
+        // p99 lands in the overflow bucket, which reports the real max.
+        assert_eq!(h.percentile(0.99), 100);
+        assert_eq!(Histogram::pow2().percentile(0.5), 0, "empty reads zero");
+    }
+
+    #[test]
+    fn from_parts_round_trips_bucket_counts() {
+        let mut h = Histogram::pow2();
+        for v in [1, 7, 300, (1 << 20) + 5] {
+            h.add(v);
+        }
+        let counts: Vec<u64> = h.bucket_counts().map(|(_, c)| c).collect();
+        let back = Histogram::from_parts(&POW2_BOUNDS, counts, h.sum(), h.max()).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.total(), 4);
+        assert!(Histogram::from_parts(&POW2_BOUNDS, vec![0; 3], 0, 0).is_err());
     }
 }

@@ -35,8 +35,14 @@ pub struct TelemetrySummary {
     /// Distribution of guard checks executed per trace entry (one sample
     /// per trace excursion) — the trace optimizer's target metric.
     guards_per_trace_entry: Option<Histogram>,
-    /// Wall-clock timings, in emission order.
-    timings: Vec<(String, f64)>,
+    /// Distinct timing labels in first-seen order. Labels are interned:
+    /// repeated `Timing` events with the same label reuse the stored
+    /// `String` instead of allocating a fresh one per event, so the
+    /// steady-state observe path is allocation-free (pinned by the
+    /// selfprof allocation-count test).
+    timing_labels: Vec<String>,
+    /// Wall-clock timings, in emission order, as `(label index, secs)`.
+    timings: Vec<(u32, f64)>,
     /// Logical timestamp of the previous fragment install.
     last_install_at: Option<u64>,
     /// Logical timestamp of the previous τ-trigger, per scheme.
@@ -95,9 +101,23 @@ impl TelemetrySummary {
                     .add(guards / entries.max(1));
             }
             Event::Timing { label, secs } => {
-                self.timings.push((label.to_string(), secs));
+                let idx = self.intern_timing_label(label);
+                self.timings.push((idx, secs));
             }
             _ => {}
+        }
+    }
+
+    /// Index of `label` in the interned label table, adding it on first
+    /// sight. Timing labels are few (a handful of phase names per run), so
+    /// a linear scan beats hashing and keeps repeats allocation-free.
+    fn intern_timing_label(&mut self, label: &str) -> u32 {
+        match self.timing_labels.iter().position(|l| l == label) {
+            Some(i) => i as u32,
+            None => {
+                self.timing_labels.push(label.to_string());
+                (self.timing_labels.len() - 1) as u32
+            }
         }
     }
 
@@ -112,8 +132,10 @@ impl TelemetrySummary {
     }
 
     /// Wall-clock timings in emission order.
-    pub fn timings(&self) -> &[(String, f64)] {
-        &self.timings
+    pub fn timings(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.timings
+            .iter()
+            .map(move |&(idx, secs)| (self.timing_labels[idx as usize].as_str(), secs))
     }
 
     /// The path-length histogram, if any path completed.
@@ -172,7 +194,10 @@ impl TelemetrySummary {
                 mine.get_or_insert_with(Histogram::pow2).merge(theirs);
             }
         }
-        self.timings.extend(other.timings.iter().cloned());
+        for &(idx, secs) in &other.timings {
+            let mine = self.intern_timing_label(&other.timing_labels[idx as usize]);
+            self.timings.push((mine, secs));
+        }
     }
 
     /// Serializes the summary as a `telemetry.json` document.
@@ -210,7 +235,7 @@ impl TelemetrySummary {
         }
         out.push_str("\n  },\n  \"timings\": [");
         let mut first = true;
-        for (label, secs) in &self.timings {
+        for (label, secs) in self.timings() {
             if !first {
                 out.push(',');
             }
@@ -359,7 +384,39 @@ mod tests {
         });
         a.merge(&b);
         assert_eq!(a.count("vm_halt"), 2);
-        assert_eq!(a.timings().len(), 1);
+        assert_eq!(a.timings().count(), 1);
+        assert_eq!(a.timings().next(), Some(("x", 1.0)));
+    }
+
+    #[test]
+    fn timing_labels_intern_across_repeats_and_merges() {
+        let mut a = TelemetrySummary::new();
+        for secs in [1.0, 2.0] {
+            a.observe(&Event::Timing { label: "x", secs });
+        }
+        let mut b = TelemetrySummary::new();
+        b.observe(&Event::Timing {
+            label: "y",
+            secs: 3.0,
+        });
+        b.observe(&Event::Timing {
+            label: "x",
+            secs: 4.0,
+        });
+        a.merge(&b);
+        let got: Vec<(String, f64)> = a.timings().map(|(l, s)| (l.to_string(), s)).collect();
+        assert_eq!(
+            got,
+            vec![
+                ("x".to_string(), 1.0),
+                ("x".to_string(), 2.0),
+                ("y".to_string(), 3.0),
+                ("x".to_string(), 4.0),
+            ]
+        );
+        // Two distinct labels, four samples — repeats share the interned
+        // String rather than cloning per event.
+        assert_eq!(a.timing_labels.len(), 2);
     }
 
     #[test]

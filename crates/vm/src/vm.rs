@@ -541,6 +541,7 @@ impl Vm {
         if state.done {
             return Ok(StepOutcome::Halted(state.stats));
         }
+        let _selfprof_slice = hotpath_selfprof::StageGuard::enter(hotpath_selfprof::Stage::VmSlice);
         let limit = match fuel {
             None => self.config.max_blocks,
             Some(f) => state

@@ -128,4 +128,33 @@ echo "== profile_sim (merge policies replayed offline, order-independent) =="
 ./target/release/profile_sim --scale smoke --sessions 4 \
     | tee "$ART_DIR/profile_sim.txt"
 
+echo "== selfprof disabled-overhead gate (committed selfprof-off vs trace-opt) =="
+# Committed-vs-committed across recording hosts: use the CI perf-gate
+# tolerance (0.25) rather than the same-host default.
+./target/release/bench_compare BENCH_perf.json BENCH_perf.json --relative \
+    --baseline-label trace-opt --current-label selfprof-off --tolerance 0.25
+
+echo "== selfprof alloc self-gate (committed serve-path allocation profile) =="
+./target/release/bench_compare --alloc selfprof BENCH_perf.json
+
+# Last because it rebuilds loadgen with the measuring-allocator feature
+# chain, touching the release profile's bench artifacts.
+echo "== selfprof smoke (measuring allocator, alloc section, attribution tests) =="
+cargo test -p hotpath --test selfprof --features selfprof-alloc --quiet
+rm -f "$ART_DIR/selfprof.json"
+cargo build --release -p hotpath-bench --features selfprof-alloc --bin loadgen
+# Per-block allocation is dominated by fixed per-session setup, so the
+# cross-run gate is only meaningful at the committed run's exact config
+# (9 sessions / 4 shards / scale small) — allocation counts are
+# deterministic there, so the committed profile reproduces byte-for-byte.
+./target/release/loadgen --sessions 9 --shards 4 --scale small \
+    --label verify-selfprof --json "$ART_DIR/selfprof.json" \
+    2>"$ART_DIR/selfprof_console.txt"
+grep -q '"alloc"' "$ART_DIR/selfprof.json"
+./target/release/bench_compare --alloc selfprof BENCH_perf.json \
+    "$ART_DIR/selfprof.json" --current-label verify-selfprof
+# Restore the default-features loadgen so later manual runs see the
+# system allocator again.
+cargo build --release -p hotpath-bench --bin loadgen
+
 echo "verify.sh: all checks passed"
